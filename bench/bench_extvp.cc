@@ -1,0 +1,132 @@
+// A2 — S2RDF's ExtVP assessment (§IV.A.2). Reproduces the paper's worked
+// example: "assuming there are two tables containing 100 entries each,
+// having only 10 entries in the same subject, we need 10,000 comparisons to
+// join them. If we store data using ExtVP, only 10 comparisons are needed."
+// Also sweeps the selectivity-factor threshold to show the storage/benefit
+// trade-off that motivates the SF cut-off.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "systems/s2rdf.h"
+
+namespace rdfspark::bench {
+namespace {
+
+/// Two-predicate dataset: p1 and p2 have `per_table` triples each; exactly
+/// `overlap` subjects occur in both.
+rdf::TripleStore TwoTableStore(int per_table, int overlap) {
+  rdf::TripleStore store;
+  auto uri = [](const std::string& s) { return rdf::Term::Uri("http://" + s); };
+  for (int i = 0; i < per_table; ++i) {
+    // p1 subjects: s0..s{n-1}; p2 subjects overlap on the first `overlap`.
+    store.Add({uri("s" + std::to_string(i)), uri("p1"),
+               uri("a" + std::to_string(i))});
+    std::string p2_subject =
+        i < overlap ? "s" + std::to_string(i) : "t" + std::to_string(i);
+    store.Add({uri(p2_subject), uri("p2"), uri("b" + std::to_string(i))});
+  }
+  return store;
+}
+
+void PaperExample() {
+  std::printf(
+      "A2: ExtVP worked example — 2 tables x 100 entries, 10 shared "
+      "subjects\n\n");
+  rdf::TripleStore store = TwoTableStore(100, 10);
+  const std::string query =
+      "SELECT ?x ?y ?z WHERE { ?x <http://p1> ?y . ?x <http://p2> ?z }";
+
+  std::vector<int> widths = {26, 8, 16, 18, 14};
+  PrintRow({"Variant", "rows", "join_inputs", "comparisons", "analytic"},
+           widths);
+  PrintRule(widths);
+
+  struct Variant {
+    std::string name;
+    bool extvp;
+    std::string analytic;
+  };
+  for (const Variant& v :
+       {Variant{"VP (plain)", false, "100 probes"},
+        Variant{"ExtVP (semi-join SS)", true, "10 probes"}}) {
+    spark::SparkContext sc(DefaultCluster());
+    systems::S2rdfEngine::Options opts;
+    opts.enable_extvp = v.extvp;
+    opts.selectivity_threshold = 1.0;
+    systems::S2rdfEngine engine(&sc, opts);
+    auto load = engine.Load(store);
+    if (!load.ok()) continue;
+    QueryRun run = RunQuery(&engine, query);
+    PrintRow({v.name, Fmt(run.rows), Fmt(run.delta.records_processed),
+              Fmt(run.delta.join_comparisons), v.analytic},
+             widths);
+  }
+  std::printf(
+      "\nNested-loop framing of the paper: VP needs 100x100 = 10000 pair\n"
+      "comparisons; ExtVP tables hold only the 10 surviving rows each, so a\n"
+      "nested loop needs 10x10 = 100 and a hash join ~10.\n\n");
+}
+
+void ThresholdSweep() {
+  std::printf("A2b: selectivity-factor threshold sweep on LUBM\n\n");
+  rdf::TripleStore store = MakeLubmStore(1);
+  const std::string linear = rdf::LubmShapeQuery(rdf::QueryShape::kLinear, 3);
+
+  std::vector<int> widths = {12, 14, 14, 16, 14, 10};
+  PrintRow({"SF thresh", "extvp_tables", "extvp_rows", "storage_bytes",
+            "comparisons", "rows"},
+           widths);
+  PrintRule(widths);
+  for (double sf : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    spark::SparkContext sc(DefaultCluster());
+    systems::S2rdfEngine::Options opts;
+    opts.enable_extvp = sf > 0.0;
+    opts.selectivity_threshold = sf;
+    systems::S2rdfEngine engine(&sc, opts);
+    auto load = engine.Load(store);
+    if (!load.ok()) continue;
+    QueryRun run = RunQuery(&engine, linear);
+    PrintRow({Fmt(sf, 2), Fmt(engine.num_extvp_tables()),
+              Fmt(engine.extvp_rows()), Fmt(load->stored_bytes),
+              Fmt(run.delta.join_comparisons), Fmt(run.rows)},
+             widths);
+  }
+  std::printf(
+      "\nCheck: storage grows with the threshold while query-time join work\n"
+      "shrinks — the trade-off the SF threshold controls.\n\n");
+}
+
+void BM_ExtvpJoin(benchmark::State& state) {
+  bool extvp = state.range(0) != 0;
+  rdf::TripleStore store = TwoTableStore(500, 25);
+  spark::SparkContext sc(DefaultCluster());
+  systems::S2rdfEngine::Options opts;
+  opts.enable_extvp = extvp;
+  opts.selectivity_threshold = 1.0;
+  systems::S2rdfEngine engine(&sc, opts);
+  if (!engine.Load(store).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const std::string query =
+      "SELECT ?x WHERE { ?x <http://p1> ?y . ?x <http://p2> ?z }";
+  for (auto _ : state) {
+    QueryRun run = RunQuery(&engine, query);
+    benchmark::DoNotOptimize(run.rows);
+  }
+}
+BENCHMARK(BM_ExtvpJoin)->Arg(0)->Arg(1)->Name("S2RDF_join/extvp");
+
+}  // namespace
+}  // namespace rdfspark::bench
+
+int main(int argc, char** argv) {
+  rdfspark::bench::PaperExample();
+  rdfspark::bench::ThresholdSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// A6 — scalability assessment: Spark's promise of "parallel computations
+// on commodity machines with ... load balancing" (§III). Simulated cluster
+// time for a representative engine as (a) executors grow at fixed data and
+// (b) data grows at fixed executors.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "systems/sparqlgx.h"
+
+namespace rdfspark::bench {
+namespace {
+
+void ExecutorSweep() {
+  std::printf(
+      "A6: executor sweep — SPARQLGX, snowflake query, LUBM x4\n\n");
+  rdf::TripleStore store = MakeLubmStore(4);
+  const std::string query = rdf::LubmShapeQuery(rdf::QueryShape::kSnowflake);
+
+  std::vector<int> widths = {11, 10, 10, 12, 10};
+  PrintRow({"executors", "rows", "sim_ms", "speedup", "tasks"}, widths);
+  PrintRule(widths);
+  double base = 0;
+  for (int executors : {1, 2, 4, 8, 16}) {
+    spark::SparkContext sc(DefaultCluster(executors, 16));
+    systems::SparqlgxEngine engine(&sc);
+    if (!engine.Load(store).ok()) continue;
+    QueryRun run = RunQuery(&engine, query);
+    if (base == 0) base = run.delta.simulated_ms;
+    PrintRow({Fmt(uint64_t(executors)), Fmt(run.rows),
+              Fmt(run.delta.simulated_ms),
+              Fmt(base / run.delta.simulated_ms, 2) + "x",
+              Fmt(run.delta.tasks)},
+             widths);
+  }
+  std::printf(
+      "\nCheck: simulated time falls with executors (sub-linearly: the\n"
+      "shuffle's network cost and task overheads bound the speedup).\n\n");
+}
+
+void DataSweep() {
+  std::printf("A6b: data sweep — SPARQLGX, snowflake query, 8 executors\n\n");
+  std::vector<int> widths = {8, 10, 10, 10, 14};
+  PrintRow({"univs", "triples", "rows", "sim_ms", "shuffle_rec"}, widths);
+  PrintRule(widths);
+  for (int universities : {1, 2, 4, 8}) {
+    rdf::TripleStore store = MakeLubmStore(universities);
+    spark::SparkContext sc(DefaultCluster(8, 16));
+    systems::SparqlgxEngine engine(&sc);
+    if (!engine.Load(store).ok()) continue;
+    QueryRun run =
+        RunQuery(&engine, rdf::LubmShapeQuery(rdf::QueryShape::kSnowflake));
+    PrintRow({Fmt(uint64_t(universities)), Fmt(store.size()), Fmt(run.rows),
+              Fmt(run.delta.simulated_ms), Fmt(run.delta.shuffle_records)},
+             widths);
+  }
+  std::printf("\nCheck: cost grows roughly linearly with dataset size.\n\n");
+}
+
+void BM_QueryAtScale(benchmark::State& state) {
+  int universities = static_cast<int>(state.range(0));
+  rdf::TripleStore store = MakeLubmStore(universities);
+  spark::SparkContext sc(DefaultCluster(8, 16));
+  systems::SparqlgxEngine engine(&sc);
+  if (!engine.Load(store).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  const std::string query = rdf::LubmShapeQuery(rdf::QueryShape::kSnowflake);
+  for (auto _ : state) {
+    QueryRun run = RunQuery(&engine, query);
+    benchmark::DoNotOptimize(run.rows);
+  }
+  state.counters["triples"] = static_cast<double>(store.size());
+}
+BENCHMARK(BM_QueryAtScale)->Arg(1)->Arg(2)->Arg(4)->Name("sparqlgx/universities");
+
+}  // namespace
+}  // namespace rdfspark::bench
+
+int main(int argc, char** argv) {
+  rdfspark::bench::ExecutorSweep();
+  rdfspark::bench::DataSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+#ifndef RDFSPARK_BENCH_BENCH_UTIL_H_
+#define RDFSPARK_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "spark/context.h"
+#include "sparql/parser.h"
+#include "systems/engine.h"
+
+namespace rdfspark::bench {
+
+/// Fixed-width table printing for benchmark reports.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 16;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%-*s", w, cells[i].c_str());
+    line += buf;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline void PrintRule(const std::vector<int>& widths) {
+  int total = 0;
+  for (int w : widths) total += w;
+  std::printf("%s\n", std::string(static_cast<size_t>(total), '-').c_str());
+}
+
+inline std::string Fmt(uint64_t v) { return std::to_string(v); }
+inline std::string Fmt(double v, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+/// LUBM dataset scaled by `universities`, deduplicated.
+inline rdf::TripleStore MakeLubmStore(int universities, uint64_t seed = 42) {
+  rdf::LubmConfig cfg;
+  cfg.num_universities = universities;
+  cfg.seed = seed;
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(cfg));
+  store.Dedupe();
+  return store;
+}
+
+inline spark::ClusterConfig DefaultCluster(int executors = 4,
+                                           int parallelism = 8) {
+  spark::ClusterConfig cfg;
+  cfg.num_executors = executors;
+  cfg.default_parallelism = parallelism;
+  return cfg;
+}
+
+/// Result of one measured query execution.
+struct QueryRun {
+  uint64_t rows = 0;
+  double wall_ms = 0.0;
+  spark::Metrics delta;
+  bool ok = false;
+  std::string error;
+};
+
+inline QueryRun RunQuery(systems::RdfQueryEngine* engine,
+                         const std::string& text) {
+  QueryRun run;
+  auto query = sparql::ParseQuery(text);
+  if (!query.ok()) {
+    run.error = query.status().ToString();
+    return run;
+  }
+  auto before = engine->context()->metrics();
+  auto start = std::chrono::steady_clock::now();
+  auto result = engine->Execute(*query);
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  run.delta = engine->context()->metrics() - before;
+  if (!result.ok()) {
+    run.error = result.status().ToString();
+    return run;
+  }
+  run.ok = true;
+  run.rows = result->num_rows();
+  return run;
+}
+
+}  // namespace rdfspark::bench
+
+#endif  // RDFSPARK_BENCH_BENCH_UTIL_H_

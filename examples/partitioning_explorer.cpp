@@ -1,0 +1,81 @@
+// Demonstrates the paper's central assessment — "data partitioning is a
+// key element of efficient query processing" (§V) — by contrasting how
+// HAQWA's fragmentation handles star vs linear queries, with and without
+// workload-aware replication, and showing the RDD lineage behind one plan.
+//
+//   $ ./partitioning_explorer
+
+#include <cstdio>
+
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "spark/context.h"
+#include "systems/haqwa.h"
+
+namespace {
+
+void RunOne(const char* label, rdfspark::systems::HaqwaEngine* engine,
+            const std::string& query) {
+  auto* sc = engine->context();
+  auto before = sc->metrics();
+  auto result = engine->ExecuteText(query);
+  auto delta = sc->metrics() - before;
+  if (!result.ok()) {
+    std::printf("%-32s %s\n", label, result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-32s rows=%-5llu shuffle_rec=%-6llu remote=%-8llu sim_ms=%.2f\n",
+              label, static_cast<unsigned long long>(result->num_rows()),
+              static_cast<unsigned long long>(delta.shuffle_records),
+              static_cast<unsigned long long>(delta.remote_shuffle_bytes),
+              delta.simulated_ms);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rdfspark;
+
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(rdf::LubmConfig{}));
+  store.Dedupe();
+
+  const std::string star = rdf::LubmShapeQuery(rdf::QueryShape::kStar, 4);
+  const std::string linear = rdf::LubmShapeQuery(rdf::QueryShape::kLinear, 3);
+
+  std::printf("== HAQWA, plain subject-hash fragmentation ==\n");
+  spark::SparkContext sc1(spark::ClusterConfig{});
+  systems::HaqwaEngine plain(&sc1);
+  if (!plain.Load(store).ok()) return 1;
+  RunOne("star (local by construction)", &plain, star);
+  RunOne("linear (must shuffle)", &plain, linear);
+
+  std::printf(
+      "\n== HAQWA, workload-aware allocation for the linear query ==\n");
+  spark::SparkContext sc2(spark::ClusterConfig{});
+  systems::HaqwaEngine::Options opts;
+  opts.frequent_queries = {linear};
+  systems::HaqwaEngine aware(&sc2, opts);
+  auto load = aware.Load(store);
+  if (!load.ok()) return 1;
+  std::printf("replicated %llu triples during load (storage for locality)\n",
+              static_cast<unsigned long long>(aware.replicated_triples()));
+  RunOne("star (unchanged)", &aware, star);
+  RunOne("linear (replicas join locally)", &aware, linear);
+
+  std::printf(
+      "\n== The machinery underneath: an RDD lineage with partitioners ==\n");
+  spark::SparkContext sc3(spark::ClusterConfig{});
+  std::vector<std::pair<int, int>> kv;
+  for (int i = 0; i < 64; ++i) kv.emplace_back(i % 8, i);
+  auto rdd = Parallelize(&sc3, kv, 4)
+                 .PartitionByKey(8, "hash-subject")
+                 .MapValues([](const int& v) { return v * 2; })
+                 .Filter([](const std::pair<int, int>& p) {
+                   return p.second % 3 == 0;
+                 });
+  std::printf("%s", rdd.DebugString().c_str());
+  std::printf("partitioner preserved: %s\n",
+              rdd.partitioner() ? rdd.partitioner()->kind.c_str() : "none");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// An interactive SPARQL shell over any of the nine reproduced engines.
+//
+//   $ ./sparql_shell data.nt [engine]
+//   sparql> SELECT ?s ?o WHERE { ?s <http://ex/p> ?o }
+//   sparql>                                   (blank line executes)
+//
+// Engines: haqwa sparqlgx s2rdf hybrid s2x graphxsm sparkql graphframes
+// sparkrdf (default: s2rdf). Dot-commands: .engines .metrics .stats .quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "rdf/ntriples.h"
+#include "rdf/store.h"
+#include "spark/context.h"
+#include "sparql/parser.h"
+#include "systems/engine.h"
+#include "systems/graphframes_engine.h"
+#include "systems/graphx_sm.h"
+#include "systems/haqwa.h"
+#include "systems/hybrid.h"
+#include "systems/s2rdf.h"
+#include "systems/s2x.h"
+#include "systems/sparkql.h"
+#include "systems/sparkrdf.h"
+#include "systems/sparqlgx.h"
+
+namespace {
+
+using namespace rdfspark;
+
+std::unique_ptr<systems::RdfQueryEngine> MakeEngine(
+    const std::string& name, spark::SparkContext* sc) {
+  if (name == "haqwa") return std::make_unique<systems::HaqwaEngine>(sc);
+  if (name == "sparqlgx") return std::make_unique<systems::SparqlgxEngine>(sc);
+  if (name == "s2rdf") return std::make_unique<systems::S2rdfEngine>(sc);
+  if (name == "hybrid") return std::make_unique<systems::HybridEngine>(sc);
+  if (name == "s2x") return std::make_unique<systems::S2xEngine>(sc);
+  if (name == "graphxsm") return std::make_unique<systems::GraphxSmEngine>(sc);
+  if (name == "sparkql") return std::make_unique<systems::SparkqlEngine>(sc);
+  if (name == "graphframes") {
+    return std::make_unique<systems::GraphFramesEngine>(sc);
+  }
+  if (name == "sparkrdf") return std::make_unique<systems::SparkRdfEngine>(sc);
+  return nullptr;
+}
+
+void RunQuery(systems::RdfQueryEngine* engine, const rdf::TripleStore& store,
+              const std::string& text) {
+  auto parsed = sparql::ParseQuery(text);
+  if (!parsed.ok()) {
+    std::printf("parse error: %s\n", parsed.status().ToString().c_str());
+    return;
+  }
+  auto before = engine->context()->metrics();
+  // CONSTRUCT/DESCRIBE output triples; SELECT/ASK output bindings.
+  if (parsed->form == sparql::QueryForm::kConstruct ||
+      parsed->form == sparql::QueryForm::kDescribe) {
+    auto triples =
+        parsed->form == sparql::QueryForm::kConstruct
+            ? systems::ExecuteConstruct(engine, store, *parsed)
+            : systems::ExecuteDescribe(engine, store, *parsed);
+    auto delta = engine->context()->metrics() - before;
+    if (!triples.ok()) {
+      std::printf("error: %s\n", triples.status().ToString().c_str());
+      return;
+    }
+    size_t shown = 0;
+    for (const auto& t : *triples) {
+      if (shown++ >= 40) {
+        std::printf("... (%zu triples total)\n", triples->size());
+        break;
+      }
+      std::printf("%s\n", t.ToNTriples().c_str());
+    }
+    std::printf("-- %zu triples; %llu shuffled records, %.3f sim ms\n",
+                triples->size(),
+                static_cast<unsigned long long>(delta.shuffle_records),
+                delta.simulated_ms);
+    return;
+  }
+  auto result = engine->Execute(*parsed);
+  auto delta = engine->context()->metrics() - before;
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", result->ToString(store.dictionary(), 40).c_str());
+  std::printf("-- %llu rows; %llu shuffled records, %llu tasks, %.3f sim ms\n",
+              static_cast<unsigned long long>(result->num_rows()),
+              static_cast<unsigned long long>(delta.shuffle_records),
+              static_cast<unsigned long long>(delta.tasks),
+              delta.simulated_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <data.nt> [engine]\n"
+                 "engines: haqwa sparqlgx s2rdf hybrid s2x graphxsm sparkql "
+                 "graphframes sparkrdf\n",
+                 argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto triples = rdf::ParseNTriplesDocument(buffer.str());
+  if (!triples.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 triples.status().ToString().c_str());
+    return 1;
+  }
+  rdf::TripleStore store;
+  store.AddAll(*triples);
+  store.Dedupe();
+
+  spark::ClusterConfig cluster;
+  cluster.num_executors = 4;
+  cluster.default_parallelism = 8;
+  spark::SparkContext sc(cluster);
+  std::string engine_name = argc > 2 ? argv[2] : "s2rdf";
+  auto engine = MakeEngine(engine_name, &sc);
+  if (!engine) {
+    std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+    return 2;
+  }
+  auto load = engine->Load(store);
+  if (!load.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 load.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%zu triples loaded into %s (%.1f ms, %llu stored records)\n",
+              store.size(), engine->traits().name.c_str(), load->wall_ms,
+              static_cast<unsigned long long>(load->stored_records));
+  std::printf("enter a SPARQL query, blank line to run; .quit to exit\n");
+
+  std::string pending;
+  std::string line;
+  std::printf("sparql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(TrimWhitespace(line));
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed == ".engines") {
+      std::printf(
+          "haqwa sparqlgx s2rdf hybrid s2x graphxsm sparkql graphframes "
+          "sparkrdf\n");
+    } else if (trimmed == ".metrics") {
+      std::printf("%s\n", sc.metrics().ToString().c_str());
+    } else if (trimmed == ".stats") {
+      auto stats = store.ComputeStatistics();
+      std::printf(
+          "triples=%llu subjects=%llu predicates=%llu objects=%llu\n",
+          static_cast<unsigned long long>(stats.num_triples),
+          static_cast<unsigned long long>(stats.distinct_subjects),
+          static_cast<unsigned long long>(stats.distinct_predicates),
+          static_cast<unsigned long long>(stats.distinct_objects));
+    } else if (trimmed.empty()) {
+      if (!TrimWhitespace(pending).empty()) {
+        RunQuery(engine.get(), store, pending);
+      }
+      pending.clear();
+    } else {
+      pending += line;
+      pending += '\n';
+    }
+    std::printf("sparql> ");
+    std::fflush(stdout);
+  }
+  // Run any trailing query on EOF.
+  if (!TrimWhitespace(pending).empty()) {
+    std::printf("\n");
+    RunQuery(engine.get(), store, pending);
+  }
+  return 0;
+}

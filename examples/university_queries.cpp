@@ -1,0 +1,74 @@
+// Runs the four query shapes of the paper's §II.B over a generated
+// LUBM-style university dataset, on all nine reproduced systems, and prints
+// a side-by-side comparison — a miniature of the survey's assessment.
+//
+//   $ ./university_queries [universities]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "spark/context.h"
+#include "sparql/parser.h"
+#include "systems/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace rdfspark;
+
+  int universities = argc > 1 ? std::atoi(argv[1]) : 1;
+  if (universities < 1) universities = 1;
+
+  rdf::LubmConfig cfg;
+  cfg.num_universities = universities;
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(cfg));
+  store.Dedupe();
+  std::printf("LUBM(%d): %zu triples, %zu dictionary terms\n\n", universities,
+              store.size(), store.dictionary().size());
+
+  spark::ClusterConfig cluster;
+  cluster.num_executors = 4;
+  cluster.default_parallelism = 8;
+  spark::SparkContext sc(cluster);
+  auto engines = systems::MakeAllEngines(&sc);
+
+  std::printf("%-26s %-11s %8s %10s %12s %8s\n", "system", "shape", "rows",
+              "sim_ms", "shuffle_rec", "steps");
+  std::printf("%s\n", std::string(80, '-').c_str());
+  for (auto& engine : engines) {
+    auto load = engine->Load(store);
+    if (!load.ok()) {
+      std::printf("%-26s load failed: %s\n", engine->traits().name.c_str(),
+                  load.status().ToString().c_str());
+      continue;
+    }
+    for (auto shape :
+         {rdf::QueryShape::kStar, rdf::QueryShape::kLinear,
+          rdf::QueryShape::kSnowflake}) {
+      auto query = sparql::ParseQuery(rdf::LubmShapeQuery(shape));
+      if (!query.ok()) continue;
+      auto before = sc.metrics();
+      auto result = engine->Execute(*query);
+      auto delta = sc.metrics() - before;
+      if (!result.ok()) {
+        std::printf("%-26s %-11s %s\n", engine->traits().name.c_str(),
+                    rdf::QueryShapeName(shape),
+                    result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-26s %-11s %8llu %10.2f %12llu %8llu\n",
+                  engine->traits().name.c_str(), rdf::QueryShapeName(shape),
+                  static_cast<unsigned long long>(result->num_rows()),
+                  delta.simulated_ms,
+                  static_cast<unsigned long long>(delta.shuffle_records),
+                  static_cast<unsigned long long>(delta.supersteps));
+    }
+  }
+  std::printf(
+      "\nNote the Table II contrasts: subject-hash systems answer stars\n"
+      "without shuffling; graph engines run supersteps; S2RDF's ExtVP\n"
+      "avoids shuffles entirely on these shapes.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#ifndef RDFSPARK_COMMON_HASH_H_
+#define RDFSPARK_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rdfspark {
+
+/// 64-bit FNV-1a over arbitrary bytes. Deterministic across platforms, which
+/// keeps partition assignment (and therefore every shuffle metric) stable
+/// between runs.
+inline uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Mixes a 64-bit integer (splitmix64 finalizer). Used to hash numeric keys
+/// so that consecutive ids spread across partitions.
+inline uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t CombineHash64(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace rdfspark
+
+#endif  // RDFSPARK_COMMON_HASH_H_

@@ -1,0 +1,23 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace rdfspark {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  // Inverse-CDF by binary search over the harmonic partial sums. The sums are
+  // recomputed per call only for modest n; generators cache ranks themselves
+  // when n is large.
+  double total = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) total += 1.0 / std::pow(double(k), s);
+  double u = NextDouble() * total;
+  double acc = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(double(k), s);
+    if (u <= acc) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace rdfspark

@@ -1,0 +1,80 @@
+#ifndef RDFSPARK_COMMON_RNG_H_
+#define RDFSPARK_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rdfspark {
+
+/// Deterministic xoshiro256**-based random number generator. The data
+/// generators and the cluster simulator depend on run-to-run determinism so
+/// that benchmark output is reproducible; std::mt19937_64 would also work but
+/// its seeding is verbose and its state large.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed rank in [0, n) with exponent s; rank 0 is the most
+  /// frequent. Uses inverse-CDF over precomputed weights for small n and
+  /// rejection sampling otherwise; here n is small enough for the direct way.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = Below(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace rdfspark
+
+#endif  // RDFSPARK_COMMON_RNG_H_

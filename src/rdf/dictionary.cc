@@ -1,0 +1,42 @@
+#include "rdf/dictionary.h"
+
+namespace rdfspark::rdf {
+
+TermId Dictionary::Encode(const Term& term) {
+  std::string key = term.ToNTriples();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = terms_.size();
+  string_bytes_ += key.size();
+  index_.emplace(std::move(key), id);
+  terms_.push_back(term);
+  return id;
+}
+
+EncodedTriple Dictionary::Encode(const Triple& triple) {
+  return EncodedTriple{Encode(triple.subject), Encode(triple.predicate),
+                       Encode(triple.object)};
+}
+
+Result<TermId> Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term.ToNTriples());
+  if (it == index_.end()) {
+    return Status::NotFound("term not in dictionary: " + term.ToNTriples());
+  }
+  return it->second;
+}
+
+Result<Term> Dictionary::Decode(TermId id) const {
+  if (id >= terms_.size()) {
+    return Status::OutOfRange("term id " + std::to_string(id) +
+                              " out of range");
+  }
+  return terms_[id];
+}
+
+Result<std::string> Dictionary::DecodeString(TermId id) const {
+  RDFSPARK_ASSIGN_OR_RETURN(Term t, Decode(id));
+  return t.ToNTriples();
+}
+
+}  // namespace rdfspark::rdf

@@ -1,0 +1,58 @@
+#ifndef RDFSPARK_RDF_DICTIONARY_H_
+#define RDFSPARK_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfspark::rdf {
+
+/// Bidirectional string <-> integer encoding of RDF terms, keyed on the
+/// canonical N-Triples serialization. All surveyed engines operate on the
+/// integer side (HAQWA makes this an explicit design point: encoding string
+/// values to integers "minimizes data volume and makes processing more
+/// efficient").
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // The dictionary owns large tables; keep it move-only to avoid accidental
+  // deep copies.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the id for `term`, assigning a fresh one on first sight.
+  TermId Encode(const Term& term);
+
+  /// Encodes a whole triple.
+  EncodedTriple Encode(const Triple& triple);
+
+  /// Returns the id of `term` if present, without inserting.
+  Result<TermId> Lookup(const Term& term) const;
+
+  /// Decodes an id back to its Term.
+  Result<Term> Decode(TermId id) const;
+
+  /// Decodes to the canonical N-Triples string.
+  Result<std::string> DecodeString(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+
+  /// Total bytes of the string side (what encoding saves per record).
+  uint64_t StringBytes() const { return string_bytes_; }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<Term> terms_;
+  uint64_t string_bytes_ = 0;
+};
+
+}  // namespace rdfspark::rdf
+
+#endif  // RDFSPARK_RDF_DICTIONARY_H_

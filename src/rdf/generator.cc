@@ -1,0 +1,464 @@
+#include "rdf/generator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace rdfspark::rdf {
+
+namespace {
+
+std::string Ub(const std::string& local) { return kUbPrefix + local; }
+std::string Wd(const std::string& local) { return kWdPrefix + local; }
+
+Term UbUri(const std::string& local) { return Term::Uri(Ub(local)); }
+Term WdUri(const std::string& local) { return Term::Uri(Wd(local)); }
+
+void Emit(std::vector<Triple>* out, Term s, const std::string& p, Term o) {
+  out->push_back(Triple{std::move(s), Term::Uri(p), std::move(o)});
+}
+
+}  // namespace
+
+std::vector<Triple> GenerateLubm(const LubmConfig& config) {
+  std::vector<Triple> out;
+  Rng rng(config.seed);
+  const std::string type = kRdfType;
+
+  std::vector<Term> universities;
+  for (int u = 0; u < config.num_universities; ++u) {
+    Term uni = Term::Uri(Ub("University" + std::to_string(u)));
+    universities.push_back(uni);
+    Emit(&out, uni, type, UbUri("University"));
+    Emit(&out, uni, Ub("name"),
+         Term::Literal("University " + std::to_string(u)));
+  }
+
+  for (int u = 0; u < config.num_universities; ++u) {
+    const Term& uni = universities[static_cast<size_t>(u)];
+    for (int d = 0; d < config.departments_per_university; ++d) {
+      std::string dept_id =
+          "Dept" + std::to_string(d) + ".Univ" + std::to_string(u);
+      Term dept = Term::Uri(Ub(dept_id));
+      Emit(&out, dept, type, UbUri("Department"));
+      Emit(&out, dept, Ub("subOrganizationOf"), uni);
+      Emit(&out, dept, Ub("name"), Term::Literal(dept_id));
+
+      // Courses.
+      std::vector<Term> courses;
+      for (int c = 0; c < config.courses_per_department; ++c) {
+        Term course =
+            Term::Uri(Ub("Course" + std::to_string(c) + "." + dept_id));
+        courses.push_back(course);
+        Emit(&out, course, type,
+             UbUri(c % 3 == 0 ? "GraduateCourse" : "Course"));
+        Emit(&out, course, Ub("name"),
+             Term::Literal("Course " + std::to_string(c)));
+      }
+
+      // Professors.
+      static const char* kRanks[] = {"FullProfessor", "AssociateProfessor",
+                                     "AssistantProfessor"};
+      std::vector<Term> professors;
+      for (int pi = 0; pi < config.professors_per_department; ++pi) {
+        Term prof =
+            Term::Uri(Ub("Professor" + std::to_string(pi) + "." + dept_id));
+        professors.push_back(prof);
+        Emit(&out, prof, type, UbUri(kRanks[pi % 3]));
+        Emit(&out, prof, Ub("worksFor"), dept);
+        Emit(&out, prof, Ub("name"),
+             Term::Literal("Professor " + std::to_string(pi)));
+        Emit(&out, prof, Ub("emailAddress"),
+             Term::Literal("prof" + std::to_string(pi) + "@" + dept_id));
+        Emit(&out, prof, Ub("doctoralDegreeFrom"),
+             universities[rng.Below(universities.size())]);
+        if (pi == 0) Emit(&out, prof, Ub("headOf"), dept);
+        // Teaching load: 1-2 courses.
+        if (!courses.empty()) {
+          Emit(&out, prof, Ub("teacherOf"),
+               courses[rng.Below(courses.size())]);
+          if (rng.Bernoulli(0.5)) {
+            Emit(&out, prof, Ub("teacherOf"),
+                 courses[rng.Below(courses.size())]);
+          }
+        }
+        // Publications.
+        for (int b = 0; b < config.publications_per_professor; ++b) {
+          Term pub = Term::Uri(Ub("Publication" + std::to_string(b) + "." +
+                                  std::to_string(pi) + "." + dept_id));
+          Emit(&out, pub, type, UbUri("Publication"));
+          Emit(&out, pub, Ub("publicationAuthor"), prof);
+          Emit(&out, pub, Ub("name"),
+               Term::Literal("Pub " + std::to_string(b)));
+        }
+      }
+
+      // Students.
+      for (int s = 0; s < config.students_per_department; ++s) {
+        bool grad = s % 4 == 0;
+        Term student =
+            Term::Uri(Ub("Student" + std::to_string(s) + "." + dept_id));
+        Emit(&out, student, type,
+             UbUri(grad ? "GraduateStudent" : "UndergraduateStudent"));
+        Emit(&out, student, Ub("memberOf"), dept);
+        Emit(&out, student, Ub("name"),
+             Term::Literal("Student " + std::to_string(s)));
+        Emit(&out, student, Ub("age"),
+             Term::Literal(std::to_string(18 + rng.Below(12)), kXsdInteger));
+        if (grad && !professors.empty()) {
+          Emit(&out, student, Ub("advisor"),
+               professors[rng.Below(professors.size())]);
+          Emit(&out, student, Ub("undergraduateDegreeFrom"),
+               universities[rng.Below(universities.size())]);
+        }
+        int num_courses = 1 + static_cast<int>(rng.Below(3));
+        for (int c = 0; c < num_courses && !courses.empty(); ++c) {
+          Emit(&out, student, Ub("takesCourse"),
+               courses[rng.Below(courses.size())]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Triple> LubmSchema() {
+  std::vector<Triple> out;
+  auto sub_class = [&](const char* a, const char* b) {
+    out.push_back(Triple{UbUri(a), Term::Uri(kRdfsSubClassOf), UbUri(b)});
+  };
+  auto sub_prop = [&](const char* a, const char* b) {
+    out.push_back(Triple{UbUri(a), Term::Uri(kRdfsSubPropertyOf), UbUri(b)});
+  };
+  auto dom = [&](const char* p, const char* c) {
+    out.push_back(Triple{UbUri(p), Term::Uri(kRdfsDomain), UbUri(c)});
+  };
+  auto range = [&](const char* p, const char* c) {
+    out.push_back(Triple{UbUri(p), Term::Uri(kRdfsRange), UbUri(c)});
+  };
+  sub_class("FullProfessor", "Professor");
+  sub_class("AssociateProfessor", "Professor");
+  sub_class("AssistantProfessor", "Professor");
+  sub_class("Professor", "Faculty");
+  sub_class("Lecturer", "Faculty");
+  sub_class("Faculty", "Person");
+  sub_class("GraduateStudent", "Student");
+  sub_class("UndergraduateStudent", "Student");
+  sub_class("Student", "Person");
+  sub_class("GraduateCourse", "Course");
+  sub_prop("headOf", "worksFor");
+  sub_prop("doctoralDegreeFrom", "degreeFrom");
+  sub_prop("undergraduateDegreeFrom", "degreeFrom");
+  dom("worksFor", "Faculty");
+  range("worksFor", "Department");
+  dom("takesCourse", "Student");
+  range("takesCourse", "Course");
+  dom("advisor", "Student");
+  range("advisor", "Professor");
+  range("subOrganizationOf", "University");
+  return out;
+}
+
+std::vector<Triple> GenerateWatdiv(const WatdivConfig& config) {
+  std::vector<Triple> out;
+  Rng rng(config.seed);
+  const std::string type = kRdfType;
+
+  std::vector<Term> products;
+  for (int p = 0; p < config.num_products; ++p) {
+    Term prod = Term::Uri(Wd("Product" + std::to_string(p)));
+    products.push_back(prod);
+    Emit(&out, prod, type, WdUri("Product"));
+    Emit(&out, prod, Wd("hasGenre"),
+         WdUri("Genre" + std::to_string(p % 7)));
+    Emit(&out, prod, Wd("price"),
+         Term::Literal(std::to_string(5 + rng.Below(995)), kXsdInteger));
+  }
+  for (int r = 0; r < config.num_retailers; ++r) {
+    Term retailer = Term::Uri(Wd("Retailer" + std::to_string(r)));
+    Emit(&out, retailer, type, WdUri("Retailer"));
+    int offers = config.num_products / config.num_retailers;
+    for (int i = 0; i < offers; ++i) {
+      Emit(&out, retailer, Wd("offers"),
+           products[rng.Zipf(products.size(), config.zipf_exponent)]);
+    }
+  }
+  std::vector<Term> users;
+  for (int u = 0; u < config.num_users; ++u) {
+    Term user = Term::Uri(Wd("User" + std::to_string(u)));
+    users.push_back(user);
+    Emit(&out, user, type, WdUri("User"));
+    Emit(&out, user, Wd("name"), Term::Literal("User " + std::to_string(u)));
+  }
+  int review_counter = 0;
+  for (int u = 0; u < config.num_users; ++u) {
+    const Term& user = users[static_cast<size_t>(u)];
+    int follows = static_cast<int>(config.follows_per_user);
+    for (int f = 0; f < follows; ++f) {
+      // Zipf: early users are celebrities.
+      Term other = users[rng.Zipf(users.size(), config.zipf_exponent)];
+      if (!(other == user)) Emit(&out, user, Wd("follows"), other);
+    }
+    int likes = static_cast<int>(config.likes_per_user);
+    for (int l = 0; l < likes; ++l) {
+      Emit(&out, user, Wd("likes"),
+           products[rng.Zipf(products.size(), config.zipf_exponent)]);
+    }
+    int reviews =
+        static_cast<int>(config.reviews_per_user) + (rng.Bernoulli(0.5) ? 1 : 0);
+    for (int rv = 0; rv < reviews; ++rv) {
+      Term review = Term::Uri(Wd("Review" + std::to_string(review_counter++)));
+      Emit(&out, review, type, WdUri("Review"));
+      Emit(&out, review, Wd("reviewer"), user);
+      Emit(&out, review, Wd("reviewFor"),
+           products[rng.Zipf(products.size(), config.zipf_exponent)]);
+      Emit(&out, review, Wd("rating"),
+           Term::Literal(std::to_string(1 + rng.Below(5)), kXsdInteger));
+    }
+  }
+  return out;
+}
+
+const char* QueryShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kStar:
+      return "star";
+    case QueryShape::kLinear:
+      return "linear";
+    case QueryShape::kSnowflake:
+      return "snowflake";
+    case QueryShape::kComplex:
+      return "complex";
+  }
+  return "unknown";
+}
+
+std::string LubmShapeQuery(QueryShape shape, int size) {
+  const std::string prologue =
+      "PREFIX ub: <" + std::string(kUbPrefix) +
+      ">\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+  switch (shape) {
+    case QueryShape::kStar: {
+      // Subject-subject joins on ?x, width `size` (2..5).
+      int width = std::max(2, std::min(size, 5));
+      std::string q = prologue + "SELECT ?x ?d WHERE {\n";
+      static const char* kPreds[] = {"worksFor", "name", "emailAddress",
+                                     "doctoralDegreeFrom", "teacherOf"};
+      static const char* kVars[] = {"?d", "?n", "?e", "?u", "?c"};
+      for (int i = 0; i < width; ++i) {
+        q += std::string("  ?x ub:") + kPreds[i] + " " + kVars[i] + " .\n";
+      }
+      q += "}\n";
+      return q;
+    }
+    case QueryShape::kLinear: {
+      // Object-subject chain of length `size` (2..4).
+      int len = std::max(2, std::min(size, 4));
+      static const char* kChain[] = {"advisor", "worksFor",
+                                     "subOrganizationOf", "name"};
+      std::string q = prologue + "SELECT ?v0 ?v" + std::to_string(len) +
+                      " WHERE {\n";
+      for (int i = 0; i < len; ++i) {
+        q += "  ?v" + std::to_string(i) + " ub:" + kChain[i] + " ?v" +
+             std::to_string(i + 1) + " .\n";
+      }
+      q += "}\n";
+      return q;
+    }
+    case QueryShape::kSnowflake: {
+      // Two stars (student ?x, professor ?p) joined through advisor.
+      return prologue +
+             "SELECT ?x ?p ?d WHERE {\n"
+             "  ?x rdf:type ub:GraduateStudent .\n"
+             "  ?x ub:memberOf ?dm .\n"
+             "  ?x ub:advisor ?p .\n"
+             "  ?p ub:worksFor ?d .\n"
+             "  ?p ub:name ?pn .\n"
+             "  ?d ub:subOrganizationOf ?u .\n"
+             "}\n";
+    }
+    case QueryShape::kComplex: {
+      return prologue +
+             "SELECT DISTINCT ?x ?n ?age WHERE {\n"
+             "  ?x rdf:type ub:UndergraduateStudent .\n"
+             "  ?x ub:name ?n .\n"
+             "  ?x ub:age ?age .\n"
+             "  ?x ub:takesCourse ?c .\n"
+             "  ?t ub:teacherOf ?c .\n"
+             "  ?t ub:worksFor ?d .\n"
+             "  FILTER (?age > 20)\n"
+             "}\n";
+    }
+  }
+  return prologue;
+}
+
+std::string WatdivShapeQuery(QueryShape shape) {
+  const std::string prologue =
+      "PREFIX wd: <" + std::string(kWdPrefix) +
+      ">\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+  switch (shape) {
+    case QueryShape::kStar:
+      return prologue +
+             "SELECT ?u ?n WHERE {\n"
+             "  ?u rdf:type wd:User .\n"
+             "  ?u wd:name ?n .\n"
+             "  ?u wd:follows ?v .\n"
+             "  ?u wd:likes ?p .\n"
+             "}\n";
+    case QueryShape::kLinear:
+      return prologue +
+             "SELECT ?r ?v WHERE {\n"
+             "  ?r wd:reviewer ?u .\n"
+             "  ?u wd:follows ?v .\n"
+             "}\n";
+    case QueryShape::kSnowflake:
+      return prologue +
+             "SELECT ?r ?u ?g WHERE {\n"
+             "  ?r wd:reviewFor ?p .\n"
+             "  ?r wd:reviewer ?u .\n"
+             "  ?u wd:name ?n .\n"
+             "  ?p wd:hasGenre ?g .\n"
+             "}\n";
+    case QueryShape::kComplex:
+      return prologue +
+             "SELECT DISTINCT ?u ?rating WHERE {\n"
+             "  ?r wd:reviewer ?u .\n"
+             "  ?r wd:rating ?rating .\n"
+             "  ?r wd:reviewFor ?p .\n"
+             "  ?q wd:reviewFor ?p .\n"
+             "  FILTER (?rating >= 4)\n"
+             "}\n";
+  }
+  return prologue;
+}
+
+std::vector<std::pair<std::string, std::string>> LubmBenchmarkQueries() {
+  const std::string p =
+      "PREFIX ub: <" + std::string(kUbPrefix) +
+      ">\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+  std::vector<std::pair<std::string, std::string>> out;
+  // Q1: graduate students taking a specific course.
+  out.emplace_back("Q1", p +
+                             "SELECT ?x WHERE {\n"
+                             "  ?x rdf:type ub:GraduateStudent .\n"
+                             "  ?x ub:takesCourse ub:Course0.Dept0.Univ0 .\n"
+                             "}\n");
+  // Q2: graduate students, their university and department (triangle).
+  out.emplace_back("Q2",
+                   p +
+                       "SELECT ?x ?y ?z WHERE {\n"
+                       "  ?x rdf:type ub:GraduateStudent .\n"
+                       "  ?y rdf:type ub:University .\n"
+                       "  ?z rdf:type ub:Department .\n"
+                       "  ?x ub:memberOf ?z .\n"
+                       "  ?z ub:subOrganizationOf ?y .\n"
+                       "  ?x ub:undergraduateDegreeFrom ?y .\n"
+                       "}\n");
+  // Q3: publications of a particular professor.
+  out.emplace_back("Q3",
+                   p +
+                       "SELECT ?x WHERE {\n"
+                       "  ?x rdf:type ub:Publication .\n"
+                       "  ?x ub:publicationAuthor "
+                       "ub:Professor0.Dept0.Univ0 .\n"
+                       "}\n");
+  // Q4: professors of a department with name and email (needs Professor
+  // subsumption).
+  out.emplace_back("Q4",
+                   p +
+                       "SELECT ?x ?n ?e WHERE {\n"
+                       "  ?x rdf:type ub:Professor .\n"
+                       "  ?x ub:worksFor ub:Dept0.Univ0 .\n"
+                       "  ?x ub:name ?n .\n"
+                       "  ?x ub:emailAddress ?e .\n"
+                       "}\n");
+  // Q5: members of a department (needs Person subsumption via memberOf
+  // domain... our adaptation: any member).
+  out.emplace_back("Q5", p +
+                             "SELECT ?x WHERE {\n"
+                             "  ?x ub:memberOf ub:Dept0.Univ0 .\n"
+                             "}\n");
+  // Q6: all students (pure subsumption query).
+  out.emplace_back("Q6", p +
+                             "SELECT ?x WHERE {\n"
+                             "  ?x rdf:type ub:Student .\n"
+                             "}\n");
+  // Q7: students taking a course taught by a specific professor.
+  out.emplace_back("Q7",
+                   p +
+                       "SELECT ?x ?y WHERE {\n"
+                       "  ?x rdf:type ub:Student .\n"
+                       "  ?y rdf:type ub:Course .\n"
+                       "  ?x ub:takesCourse ?y .\n"
+                       "  ub:Professor0.Dept0.Univ0 ub:teacherOf ?y .\n"
+                       "}\n");
+  // Q8: students of departments of a university, with email.
+  out.emplace_back("Q8",
+                   p +
+                       "SELECT ?x ?y WHERE {\n"
+                       "  ?x rdf:type ub:Student .\n"
+                       "  ?y rdf:type ub:Department .\n"
+                       "  ?x ub:memberOf ?y .\n"
+                       "  ?y ub:subOrganizationOf ub:University0 .\n"
+                       "}\n");
+  // Q9: student - advisor - course triangle.
+  out.emplace_back("Q9",
+                   p +
+                       "SELECT ?x ?y ?z WHERE {\n"
+                       "  ?x rdf:type ub:Student .\n"
+                       "  ?y rdf:type ub:Faculty .\n"
+                       "  ?z rdf:type ub:Course .\n"
+                       "  ?x ub:advisor ?y .\n"
+                       "  ?y ub:teacherOf ?z .\n"
+                       "  ?x ub:takesCourse ?z .\n"
+                       "}\n");
+  // Q10: students taking a specific graduate course.
+  out.emplace_back("Q10",
+                   p +
+                       "SELECT ?x WHERE {\n"
+                       "  ?x rdf:type ub:Student .\n"
+                       "  ?x ub:takesCourse ub:Course0.Dept0.Univ0 .\n"
+                       "}\n");
+  // Q11: research groups of a university — our generator has none, so the
+  // adapted query asks for sub-organizations (non-empty by construction).
+  out.emplace_back("Q11",
+                   p +
+                       "SELECT ?x WHERE {\n"
+                       "  ?x ub:subOrganizationOf ub:University0 .\n"
+                       "}\n");
+  // Q12: department chairs of a university (headOf is a sub-property of
+  // worksFor, so inference also yields worksFor edges).
+  out.emplace_back("Q12",
+                   p +
+                       "SELECT ?x ?y WHERE {\n"
+                       "  ?x ub:headOf ?y .\n"
+                       "  ?y rdf:type ub:Department .\n"
+                       "  ?y ub:subOrganizationOf ub:University0 .\n"
+                       "}\n");
+  // Q13: people with a degree from a specific university (degreeFrom is
+  // purely inferred from doctoral/undergraduate sub-properties).
+  out.emplace_back("Q13", p +
+                              "SELECT ?x WHERE {\n"
+                              "  ?x ub:degreeFrom ub:University0 .\n"
+                              "}\n");
+  // Q14: all undergraduate students (the paper's classic full-scan query).
+  out.emplace_back("Q14",
+                   p +
+                       "SELECT ?x WHERE {\n"
+                       "  ?x rdf:type ub:UndergraduateStudent .\n"
+                       "}\n");
+  return out;
+}
+
+std::vector<std::pair<QueryShape, std::string>> LubmQueryMix() {
+  return {
+      {QueryShape::kStar, LubmShapeQuery(QueryShape::kStar, 4)},
+      {QueryShape::kLinear, LubmShapeQuery(QueryShape::kLinear, 3)},
+      {QueryShape::kSnowflake, LubmShapeQuery(QueryShape::kSnowflake)},
+      {QueryShape::kComplex, LubmShapeQuery(QueryShape::kComplex)},
+  };
+}
+
+}  // namespace rdfspark::rdf

@@ -1,0 +1,85 @@
+#ifndef RDFSPARK_RDF_GENERATOR_H_
+#define RDFSPARK_RDF_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfspark::rdf {
+
+/// Namespace prefixes used by the generated data and queries.
+inline constexpr char kUbPrefix[] = "http://lubm.example.org/univ-bench.owl#";
+inline constexpr char kWdPrefix[] = "http://watdiv.example.org/vocab#";
+
+/// LUBM-style university data generator. The schema (universities,
+/// departments, professors, students, courses, publications, plus the
+/// degree/membership/advisor predicates) mirrors the LUBM benchmark the
+/// surveyed systems were evaluated on; sizes are controlled so the benches
+/// can sweep dataset scale deterministically.
+struct LubmConfig {
+  int num_universities = 1;
+  int departments_per_university = 4;
+  int professors_per_department = 6;
+  int students_per_department = 40;
+  int courses_per_department = 8;
+  int publications_per_professor = 3;
+  uint64_t seed = 42;
+};
+
+/// Generates the dataset. Deterministic in the config.
+std::vector<Triple> GenerateLubm(const LubmConfig& config);
+
+/// Schema triples (subClassOf / subPropertyOf / domain / range) matching the
+/// LUBM-style vocabulary, for RDFS materialization experiments.
+std::vector<Triple> LubmSchema();
+
+/// WatDiv-style e-commerce generator: users follow/like with Zipf-skewed
+/// popularity, retailers offer products, users write reviews. Produces the
+/// skewed predicate-frequency distribution the partitioning assessments
+/// need.
+struct WatdivConfig {
+  int num_users = 200;
+  int num_products = 100;
+  int num_retailers = 10;
+  double follows_per_user = 5.0;
+  double likes_per_user = 3.0;
+  double reviews_per_user = 1.5;
+  double zipf_exponent = 1.0;
+  uint64_t seed = 7;
+};
+
+std::vector<Triple> GenerateWatdiv(const WatdivConfig& config);
+
+/// Query shapes from the paper's §II.B: star (subject-subject joins),
+/// linear (subject-object chains), snowflake (stars joined via a path),
+/// complex (combination with a filter).
+enum class QueryShape { kStar, kLinear, kSnowflake, kComplex };
+
+const char* QueryShapeName(QueryShape shape);
+
+/// Returns SPARQL text of a query of the given shape over the LUBM-style
+/// vocabulary. `size` scales the number of triple patterns (star width /
+/// chain length); valid range is clamped to what the vocabulary supports.
+std::string LubmShapeQuery(QueryShape shape, int size = 3);
+
+/// All benchmark queries (one per shape) at default size.
+std::vector<std::pair<QueryShape, std::string>> LubmQueryMix();
+
+/// Shape queries over the WatDiv-style e-commerce vocabulary (the Zipf-
+/// skewed dataset), exercising the same §II.B taxonomy on different data.
+std::string WatdivShapeQuery(QueryShape shape);
+
+/// The classic LUBM benchmark queries (Q1..Q14), adapted to this
+/// generator's vocabulary and coverage — the workload the surveyed systems
+/// (S2RDF, SPARQLGX, S2X, ...) report results on. Several queries rely on
+/// RDFS subsumption (Student, Professor, Faculty superclasses), so run them
+/// against a store with LubmSchema() materialized via MaterializeRdfs().
+/// Returns (name, SPARQL text) pairs.
+std::vector<std::pair<std::string, std::string>> LubmBenchmarkQueries();
+
+}  // namespace rdfspark::rdf
+
+#endif  // RDFSPARK_RDF_GENERATOR_H_

@@ -1,0 +1,197 @@
+#include "rdf/ntriples.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace rdfspark::rdf {
+
+namespace {
+
+/// Cursor over one line.
+struct Cursor {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && (text[pos] == ' ' || text[pos] == '\t')) ++pos;
+  }
+};
+
+Status UnexpectedEnd() {
+  return Status::ParseError("unexpected end of N-Triples line");
+}
+
+Result<Term> ParseUri(Cursor* c) {
+  // Caller saw '<'.
+  size_t end = c->text.find('>', c->pos);
+  if (end == std::string_view::npos) {
+    return Status::ParseError("unterminated URI");
+  }
+  std::string uri(c->text.substr(c->pos + 1, end - c->pos - 1));
+  c->pos = end + 1;
+  return Term::Uri(std::move(uri));
+}
+
+Result<Term> ParseBlank(Cursor* c) {
+  // Caller saw "_".
+  if (c->pos + 1 >= c->text.size() || c->text[c->pos + 1] != ':') {
+    return Status::ParseError("malformed blank node");
+  }
+  size_t start = c->pos + 2;
+  size_t end = start;
+  while (end < c->text.size() &&
+         (std::isalnum(static_cast<unsigned char>(c->text[end])) ||
+          c->text[end] == '_' || c->text[end] == '-')) {
+    ++end;
+  }
+  if (end == start) return Status::ParseError("empty blank node label");
+  std::string label(c->text.substr(start, end - start));
+  c->pos = end;
+  return Term::Blank(std::move(label));
+}
+
+Result<Term> ParseLiteral(Cursor* c) {
+  // Caller saw '"'. Unescape until the closing quote.
+  std::string lexical;
+  size_t i = c->pos + 1;
+  bool closed = false;
+  while (i < c->text.size()) {
+    char ch = c->text[i];
+    if (ch == '\\') {
+      if (i + 1 >= c->text.size()) return Status::ParseError("bad escape");
+      char esc = c->text[i + 1];
+      switch (esc) {
+        case 'n':
+          lexical.push_back('\n');
+          break;
+        case 't':
+          lexical.push_back('\t');
+          break;
+        case 'r':
+          lexical.push_back('\r');
+          break;
+        case '"':
+          lexical.push_back('"');
+          break;
+        case '\\':
+          lexical.push_back('\\');
+          break;
+        default:
+          return Status::ParseError(std::string("unknown escape \\") + esc);
+      }
+      i += 2;
+    } else if (ch == '"') {
+      closed = true;
+      ++i;
+      break;
+    } else {
+      lexical.push_back(ch);
+      ++i;
+    }
+  }
+  if (!closed) return Status::ParseError("unterminated literal");
+  c->pos = i;
+  // Optional @lang or ^^<datatype>.
+  std::string lang;
+  std::string datatype;
+  if (!c->AtEnd() && c->Peek() == '@') {
+    size_t start = c->pos + 1;
+    size_t end = start;
+    while (end < c->text.size() &&
+           (std::isalnum(static_cast<unsigned char>(c->text[end])) ||
+            c->text[end] == '-')) {
+      ++end;
+    }
+    if (end == start) return Status::ParseError("empty language tag");
+    lang.assign(c->text.substr(start, end - start));
+    c->pos = end;
+  } else if (c->pos + 1 < c->text.size() && c->Peek() == '^' &&
+             c->text[c->pos + 1] == '^') {
+    c->pos += 2;
+    if (c->AtEnd() || c->Peek() != '<') {
+      return Status::ParseError("datatype must be a URI");
+    }
+    RDFSPARK_ASSIGN_OR_RETURN(Term dt, ParseUri(c));
+    datatype = dt.lexical();
+  }
+  return Term::Literal(std::move(lexical), std::move(datatype),
+                       std::move(lang));
+}
+
+Result<Term> ParseTerm(Cursor* c) {
+  c->SkipSpace();
+  if (c->AtEnd()) return UnexpectedEnd();
+  switch (c->Peek()) {
+    case '<':
+      return ParseUri(c);
+    case '_':
+      return ParseBlank(c);
+    case '"':
+      return ParseLiteral(c);
+    default:
+      return Status::ParseError(std::string("unexpected character '") +
+                                c->Peek() + "'");
+  }
+}
+
+}  // namespace
+
+Result<Triple> ParseNTriplesLine(std::string_view line) {
+  Cursor c{line, 0};
+  RDFSPARK_ASSIGN_OR_RETURN(Term s, ParseTerm(&c));
+  if (s.is_literal()) {
+    return Status::ParseError("literal not allowed in subject position");
+  }
+  RDFSPARK_ASSIGN_OR_RETURN(Term p, ParseTerm(&c));
+  if (!p.is_uri()) {
+    return Status::ParseError("predicate must be a URI");
+  }
+  RDFSPARK_ASSIGN_OR_RETURN(Term o, ParseTerm(&c));
+  c.SkipSpace();
+  if (c.AtEnd() || c.Peek() != '.') {
+    return Status::ParseError("missing terminating '.'");
+  }
+  ++c.pos;
+  c.SkipSpace();
+  if (!c.AtEnd()) return Status::ParseError("trailing characters after '.'");
+  return Triple{std::move(s), std::move(p), std::move(o)};
+}
+
+Result<std::vector<Triple>> ParseNTriplesDocument(std::string_view text) {
+  std::vector<Triple> out;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view raw = text.substr(start, end - start);
+    ++line_no;
+    std::string_view line = TrimWhitespace(raw);
+    if (!line.empty() && line[0] != '#') {
+      auto triple = ParseNTriplesLine(line);
+      if (!triple.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  triple.status().message());
+      }
+      out.push_back(std::move(triple).value());
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string WriteNTriples(const std::vector<Triple>& triples) {
+  std::string out;
+  for (const Triple& t : triples) {
+    out += t.ToNTriples();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rdfspark::rdf

@@ -1,0 +1,27 @@
+#ifndef RDFSPARK_RDF_NTRIPLES_H_
+#define RDFSPARK_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace rdfspark::rdf {
+
+/// Parses one N-Triples line ("<s> <p> <o> ." with literal/blank forms).
+/// Comment lines (starting with '#') and blank lines are rejected here;
+/// ParseNTriplesDocument skips them.
+Result<Triple> ParseNTriplesLine(std::string_view line);
+
+/// Parses a whole document, skipping blank lines and '#' comments. Fails on
+/// the first malformed line with its 1-based line number in the message.
+Result<std::vector<Triple>> ParseNTriplesDocument(std::string_view text);
+
+/// Serializes triples, one per line.
+std::string WriteNTriples(const std::vector<Triple>& triples);
+
+}  // namespace rdfspark::rdf
+
+#endif  // RDFSPARK_RDF_NTRIPLES_H_

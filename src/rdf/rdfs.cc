@@ -1,0 +1,97 @@
+#include "rdf/rdfs.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "spark/value_hash.h"
+
+namespace rdfspark::rdf {
+
+namespace {
+
+std::optional<TermId> LookupUri(const Dictionary& dict, const char* uri) {
+  auto id = dict.Lookup(Term::Uri(uri));
+  if (!id.ok()) return std::nullopt;
+  return *id;
+}
+
+}  // namespace
+
+RdfsResult MaterializeRdfs(TripleStore* store, const RdfsOptions& options) {
+  RdfsResult result;
+  Dictionary& dict = store->dictionary();
+  std::optional<TermId> type = LookupUri(dict, kRdfType);
+  std::optional<TermId> sub_class = LookupUri(dict, kRdfsSubClassOf);
+  std::optional<TermId> sub_prop = LookupUri(dict, kRdfsSubPropertyOf);
+  std::optional<TermId> domain = LookupUri(dict, kRdfsDomain);
+  std::optional<TermId> range = LookupUri(dict, kRdfsRange);
+  // rdf:type may be absent from raw data but is needed to state inferences.
+  TermId type_id = type ? *type : dict.Encode(Term::Uri(kRdfType));
+
+  std::unordered_set<EncodedTriple, spark::ValueHasher> known(
+      store->triples().begin(), store->triples().end());
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<EncodedTriple> fresh;
+    auto emit = [&](TermId s, TermId p, TermId o) {
+      EncodedTriple t{s, p, o};
+      if (known.insert(t).second) fresh.push_back(t);
+    };
+
+    if (options.sub_class_of && sub_class) {
+      // rdfs11: (a subClassOf b), (b subClassOf c) => (a subClassOf c).
+      auto sc = store->Match({std::nullopt, *sub_class, std::nullopt});
+      for (const auto& ab : sc) {
+        for (const auto& bc :
+             store->Match({ab.o, *sub_class, std::nullopt})) {
+          emit(ab.s, *sub_class, bc.o);
+        }
+      }
+      // rdfs9: (x type a), (a subClassOf b) => (x type b).
+      for (const auto& ab : sc) {
+        for (const auto& xa : store->Match({std::nullopt, type_id, ab.s})) {
+          emit(xa.s, type_id, ab.o);
+        }
+      }
+    }
+    if (options.sub_property_of && sub_prop) {
+      // rdfs5: transitivity of subPropertyOf.
+      auto sp = store->Match({std::nullopt, *sub_prop, std::nullopt});
+      for (const auto& ab : sp) {
+        for (const auto& bc : store->Match({ab.o, *sub_prop, std::nullopt})) {
+          emit(ab.s, *sub_prop, bc.o);
+        }
+      }
+      // rdfs7: (x p y), (p subPropertyOf q) => (x q y).
+      for (const auto& pq : sp) {
+        for (const auto& xy : store->Match({std::nullopt, pq.s, std::nullopt})) {
+          emit(xy.s, pq.o, xy.o);
+        }
+      }
+    }
+    if (options.domain && domain) {
+      // rdfs2: (p domain c), (x p y) => (x type c).
+      for (const auto& pc : store->Match({std::nullopt, *domain, std::nullopt})) {
+        for (const auto& xy : store->Match({std::nullopt, pc.s, std::nullopt})) {
+          emit(xy.s, type_id, pc.o);
+        }
+      }
+    }
+    if (options.range && range) {
+      // rdfs3: (p range c), (x p y) => (y type c).
+      for (const auto& pc : store->Match({std::nullopt, *range, std::nullopt})) {
+        for (const auto& xy : store->Match({std::nullopt, pc.s, std::nullopt})) {
+          emit(xy.o, type_id, pc.o);
+        }
+      }
+    }
+
+    ++result.iterations;
+    if (fresh.empty()) break;
+    for (const auto& t : fresh) store->AddEncoded(t);
+    result.inferred_triples += fresh.size();
+  }
+  return result;
+}
+
+}  // namespace rdfspark::rdf

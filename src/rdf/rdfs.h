@@ -1,0 +1,35 @@
+#ifndef RDFSPARK_RDF_RDFS_H_
+#define RDFSPARK_RDF_RDFS_H_
+
+#include <cstdint>
+
+#include "rdf/store.h"
+
+namespace rdfspark::rdf {
+
+/// Which RDFS entailment rules to apply.
+struct RdfsOptions {
+  bool sub_class_of = true;       // rdfs9 + rdfs11 (transitivity)
+  bool sub_property_of = true;    // rdfs7 + rdfs5 (transitivity)
+  bool domain = true;             // rdfs2
+  bool range = true;              // rdfs3
+  /// Safety bound on fixpoint iterations.
+  int max_iterations = 64;
+};
+
+/// Result of materialization.
+struct RdfsResult {
+  uint64_t inferred_triples = 0;
+  int iterations = 0;
+};
+
+/// Forward-chains the selected RDFS rules over `store` until fixpoint,
+/// inserting the inferred triples. RDF Schema "includes a set of inference
+/// rules used to generate new, implicit triples from explicit ones" (§II.A);
+/// the engines can query either the raw or the materialized graph.
+RdfsResult MaterializeRdfs(TripleStore* store,
+                           const RdfsOptions& options = RdfsOptions());
+
+}  // namespace rdfspark::rdf
+
+#endif  // RDFSPARK_RDF_RDFS_H_

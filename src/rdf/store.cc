@@ -1,0 +1,119 @@
+#include "rdf/store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "spark/value_hash.h"
+
+namespace rdfspark::rdf {
+
+EncodedTriple TripleStore::Add(const Triple& triple) {
+  EncodedTriple t = dict_.Encode(triple);
+  AddEncoded(t);
+  return t;
+}
+
+void TripleStore::AddEncoded(const EncodedTriple& t) {
+  uint32_t idx = static_cast<uint32_t>(triples_.size());
+  triples_.push_back(t);
+  s_index_[t.s].push_back(idx);
+  p_index_[t.p].push_back(idx);
+  o_index_[t.o].push_back(idx);
+}
+
+void TripleStore::AddAll(const std::vector<Triple>& triples) {
+  for (const Triple& t : triples) Add(t);
+}
+
+void TripleStore::Dedupe() {
+  std::unordered_set<EncodedTriple, spark::ValueHasher> seen;
+  std::vector<EncodedTriple> unique;
+  unique.reserve(triples_.size());
+  for (const EncodedTriple& t : triples_) {
+    if (seen.insert(t).second) unique.push_back(t);
+  }
+  triples_ = std::move(unique);
+  s_index_.clear();
+  p_index_.clear();
+  o_index_.clear();
+  for (uint32_t i = 0; i < triples_.size(); ++i) {
+    const EncodedTriple& t = triples_[i];
+    s_index_[t.s].push_back(i);
+    p_index_[t.p].push_back(i);
+    o_index_[t.o].push_back(i);
+  }
+}
+
+bool TripleStore::Contains(const EncodedTriple& t) const {
+  auto it = s_index_.find(t.s);
+  if (it == s_index_.end()) return false;
+  for (uint32_t idx : it->second) {
+    if (triples_[idx] == t) return true;
+  }
+  return false;
+}
+
+std::vector<EncodedTriple> TripleStore::Match(const IdPattern& pattern) const {
+  auto matches = [&](const EncodedTriple& t) {
+    return (!pattern.s || *pattern.s == t.s) &&
+           (!pattern.p || *pattern.p == t.p) &&
+           (!pattern.o || *pattern.o == t.o);
+  };
+  // Pick the most selective available index.
+  const std::vector<uint32_t>* candidates = nullptr;
+  auto consider = [&](const std::unordered_map<TermId, std::vector<uint32_t>>&
+                          index,
+                      const std::optional<TermId>& key) {
+    if (!key) return;
+    auto it = index.find(*key);
+    static const std::vector<uint32_t> kEmpty;
+    const std::vector<uint32_t>* list = it == index.end() ? &kEmpty
+                                                          : &it->second;
+    if (candidates == nullptr || list->size() < candidates->size()) {
+      candidates = list;
+    }
+  };
+  consider(s_index_, pattern.s);
+  consider(p_index_, pattern.p);
+  consider(o_index_, pattern.o);
+
+  std::vector<EncodedTriple> out;
+  if (candidates != nullptr) {
+    for (uint32_t idx : *candidates) {
+      if (matches(triples_[idx])) out.push_back(triples_[idx]);
+    }
+  } else {
+    for (const EncodedTriple& t : triples_) {
+      if (matches(t)) out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::optional<TermId> TripleStore::TypePredicate() const {
+  auto id = dict_.Lookup(Term::Uri(kRdfType));
+  if (!id.ok()) return std::nullopt;
+  return *id;
+}
+
+DatasetStatistics TripleStore::ComputeStatistics() const {
+  DatasetStatistics stats;
+  stats.num_triples = triples_.size();
+  stats.distinct_subjects = s_index_.size();
+  stats.distinct_predicates = p_index_.size();
+  stats.distinct_objects = o_index_.size();
+  for (const auto& [p, idxs] : p_index_) {
+    stats.predicate_count[p] = idxs.size();
+    std::unordered_set<TermId> subjects;
+    std::unordered_set<TermId> objects;
+    for (uint32_t i : idxs) {
+      subjects.insert(triples_[i].s);
+      objects.insert(triples_[i].o);
+    }
+    stats.predicate_distinct_subjects[p] = subjects.size();
+    stats.predicate_distinct_objects[p] = objects.size();
+  }
+  return stats;
+}
+
+}  // namespace rdfspark::rdf

@@ -1,0 +1,89 @@
+#ifndef RDFSPARK_RDF_STORE_H_
+#define RDFSPARK_RDF_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+
+namespace rdfspark::rdf {
+
+/// Dataset-level statistics, the raw material of the surveyed optimizers:
+/// SPARQLGX "counts all distinct subjects, predicates and objects"; the
+/// GraphFrames engine orders sub-queries by predicate frequency; S2RDF
+/// compares table sizes.
+struct DatasetStatistics {
+  uint64_t num_triples = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_predicates = 0;
+  uint64_t distinct_objects = 0;
+  /// Triples per predicate (VP table sizes).
+  std::unordered_map<TermId, uint64_t> predicate_count;
+  /// Distinct subjects / objects per predicate, for selectivity estimation.
+  std::unordered_map<TermId, uint64_t> predicate_distinct_subjects;
+  std::unordered_map<TermId, uint64_t> predicate_distinct_objects;
+};
+
+/// A triple pattern over ids; std::nullopt is a wildcard.
+struct IdPattern {
+  std::optional<TermId> s;
+  std::optional<TermId> p;
+  std::optional<TermId> o;
+};
+
+/// In-memory dictionary-encoded triple store with S/P/O hash indexes. This
+/// is the "HDFS dataset" every engine loads from, and the substrate of the
+/// non-distributed reference evaluator used to cross-check engines.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  /// Encodes and inserts. Duplicate triples are kept (RDF graphs are sets,
+  /// but bulk loads dedupe explicitly via Dedupe()).
+  EncodedTriple Add(const Triple& triple);
+  void AddEncoded(const EncodedTriple& t);
+
+  /// Bulk insert.
+  void AddAll(const std::vector<Triple>& triples);
+
+  /// Removes exact duplicates.
+  void Dedupe();
+
+  const std::vector<EncodedTriple>& triples() const { return triples_; }
+  Dictionary& dictionary() { return dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+  size_t size() const { return triples_.size(); }
+
+  /// True if the exact triple is present.
+  bool Contains(const EncodedTriple& t) const;
+
+  /// All triples matching the pattern; uses the most selective index.
+  std::vector<EncodedTriple> Match(const IdPattern& pattern) const;
+
+  /// Id of rdf:type if it occurs in the data (engines special-case it).
+  std::optional<TermId> TypePredicate() const;
+
+  /// Recomputes statistics over the current contents.
+  DatasetStatistics ComputeStatistics() const;
+
+ private:
+  Dictionary dict_;
+  std::vector<EncodedTriple> triples_;
+  std::unordered_map<TermId, std::vector<uint32_t>> s_index_;
+  std::unordered_map<TermId, std::vector<uint32_t>> p_index_;
+  std::unordered_map<TermId, std::vector<uint32_t>> o_index_;
+};
+
+}  // namespace rdfspark::rdf
+
+#endif  // RDFSPARK_RDF_STORE_H_

@@ -1,0 +1,115 @@
+#include "rdf/term.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+
+namespace rdfspark::rdf {
+
+Term Term::Uri(std::string uri) {
+  Term t;
+  t.kind_ = TermKind::kUri;
+  t.lexical_ = std::move(uri);
+  return t;
+}
+
+Term Term::Literal(std::string lexical, std::string datatype,
+                   std::string lang) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(lexical);
+  t.datatype_ = std::move(datatype);
+  t.lang_ = std::move(lang);
+  return t;
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind_ = TermKind::kBlank;
+  t.lexical_ = std::move(label);
+  return t;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Term::ToNTriples() const {
+  std::string out;
+  switch (kind_) {
+    case TermKind::kUri:
+      out.push_back('<');
+      out.append(lexical_);
+      out.push_back('>');
+      break;
+    case TermKind::kBlank:
+      out.append("_:");
+      out.append(lexical_);
+      break;
+    case TermKind::kLiteral:
+      out.push_back('"');
+      AppendEscaped(lexical_, &out);
+      out.push_back('"');
+      if (!lang_.empty()) {
+        out.push_back('@');
+        out.append(lang_);
+      } else if (!datatype_.empty()) {
+        out.append("^^<");
+        out.append(datatype_);
+        out.push_back('>');
+      }
+      break;
+  }
+  return out;
+}
+
+Result<double> Term::AsNumber() const {
+  if (!is_literal()) {
+    return Status::InvalidArgument("term is not a literal: " + ToNTriples());
+  }
+  const char* begin = lexical_.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0') {
+    return Status::InvalidArgument("literal is not numeric: " + lexical_);
+  }
+  return v;
+}
+
+std::string Triple::ToNTriples() const {
+  return subject.ToNTriples() + " " + predicate.ToNTriples() + " " +
+         object.ToNTriples() + " .";
+}
+
+uint64_t HashValue(const EncodedTriple& t) {
+  return CombineHash64(MixHash64(t.s),
+                       CombineHash64(MixHash64(t.p), MixHash64(t.o)));
+}
+
+uint64_t EstimateSize(const EncodedTriple&) { return 24; }
+
+}  // namespace rdfspark::rdf

@@ -1,0 +1,104 @@
+#ifndef RDFSPARK_RDF_TERM_H_
+#define RDFSPARK_RDF_TERM_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace rdfspark::rdf {
+
+/// Well-known vocabulary URIs.
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kRdfsSubClassOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr char kRdfsSubPropertyOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr char kRdfsDomain[] =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr char kRdfsRange[] =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr char kXsdInteger[] =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr char kXsdDouble[] = "http://www.w3.org/2001/XMLSchema#double";
+
+/// The three disjoint RDF resource sets: URIs (U), literals (L) and blank
+/// nodes (B). A triple is (U ∪ B) × U × (U ∪ L ∪ B).
+enum class TermKind : uint8_t { kUri = 0, kLiteral = 1, kBlank = 2 };
+
+/// One RDF term. Immutable after construction via the factory functions.
+class Term {
+ public:
+  Term() = default;
+
+  static Term Uri(std::string uri);
+  /// A literal with optional datatype URI and language tag (at most one of
+  /// the two, per RDF 1.1; not enforced here).
+  static Term Literal(std::string lexical, std::string datatype = "",
+                      std::string lang = "");
+  static Term Blank(std::string label);
+
+  TermKind kind() const { return kind_; }
+  bool is_uri() const { return kind_ == TermKind::kUri; }
+  bool is_literal() const { return kind_ == TermKind::kLiteral; }
+  bool is_blank() const { return kind_ == TermKind::kBlank; }
+
+  /// URI text, literal lexical form, or blank node label.
+  const std::string& lexical() const { return lexical_; }
+  const std::string& datatype() const { return datatype_; }
+  const std::string& lang() const { return lang_; }
+
+  /// Serializes to N-Triples syntax: <uri>, "lit"^^<dt>, "lit"@lang, _:b0.
+  /// This string doubles as the dictionary key, so it is canonical.
+  std::string ToNTriples() const;
+
+  /// If the literal parses as a number, returns it.
+  Result<double> AsNumber() const;
+
+  bool operator==(const Term&) const = default;
+  auto operator<=>(const Term&) const = default;
+
+ private:
+  TermKind kind_ = TermKind::kUri;
+  std::string lexical_;
+  std::string datatype_;
+  std::string lang_;
+};
+
+/// A triple of terms, pre-dictionary-encoding.
+struct Triple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  bool operator==(const Triple&) const = default;
+  auto operator<=>(const Triple&) const = default;
+
+  std::string ToNTriples() const;
+};
+
+/// Dictionary-encoded term id. Ids are dense indexes assigned by Dictionary.
+using TermId = uint64_t;
+
+/// A dictionary-encoded triple — the record type the distributed engines
+/// move around. Keeping it at 24 fixed bytes is the point of the encoding
+/// step the paper credits HAQWA with ("minimizes data volume").
+struct EncodedTriple {
+  TermId s = 0;
+  TermId p = 0;
+  TermId o = 0;
+
+  bool operator==(const EncodedTriple&) const = default;
+  auto operator<=>(const EncodedTriple&) const = default;
+};
+
+/// ADL hooks so EncodedTriple can flow through RDDs (partitioning and
+/// shuffle-byte accounting).
+uint64_t HashValue(const EncodedTriple& t);
+uint64_t EstimateSize(const EncodedTriple& t);
+
+}  // namespace rdfspark::rdf
+
+#endif  // RDFSPARK_RDF_TERM_H_

@@ -1,0 +1,117 @@
+#include "rdf/versioning.h"
+
+#include <unordered_set>
+
+#include "spark/value_hash.h"
+
+namespace rdfspark::rdf {
+
+VersionedStore::VersionedStore() = default;
+
+Status VersionedStore::CheckVersion(int version) const {
+  if (version < 0 || version > latest_version()) {
+    return Status::OutOfRange("version " + std::to_string(version) +
+                              " out of range [0, " +
+                              std::to_string(latest_version()) + "]");
+  }
+  return Status::OK();
+}
+
+Result<int> VersionedStore::Commit(const Delta& delta) {
+  std::unordered_set<EncodedTriple, spark::ValueHasher> current(
+      current_.begin(), current_.end());
+  EncodedDelta encoded;
+  for (const Triple& t : delta.removed) {
+    EncodedTriple full{dict_.Encode(t.subject), dict_.Encode(t.predicate),
+                       dict_.Encode(t.object)};
+    if (!current.count(full)) {
+      return Status::InvalidArgument("cannot remove absent triple: " +
+                                     t.ToNTriples());
+    }
+    current.erase(full);
+    encoded.removed.push_back(full);
+  }
+  for (const Triple& t : delta.added) {
+    EncodedTriple full{dict_.Encode(t.subject), dict_.Encode(t.predicate),
+                       dict_.Encode(t.object)};
+    if (current.insert(full).second) {
+      encoded.added.push_back(full);
+    }
+  }
+  deltas_.push_back(std::move(encoded));
+  current_.assign(current.begin(), current.end());
+  return latest_version();
+}
+
+Result<uint64_t> VersionedStore::SizeAt(int version) const {
+  RDFSPARK_RETURN_NOT_OK(CheckVersion(version));
+  std::unordered_set<EncodedTriple, spark::ValueHasher> alive;
+  for (int v = 0; v < version; ++v) {
+    for (const auto& t : deltas_[static_cast<size_t>(v)].removed) {
+      alive.erase(t);
+    }
+    for (const auto& t : deltas_[static_cast<size_t>(v)].added) {
+      alive.insert(t);
+    }
+  }
+  return static_cast<uint64_t>(alive.size());
+}
+
+Result<TripleStore> VersionedStore::Materialize(int version) const {
+  RDFSPARK_RETURN_NOT_OK(CheckVersion(version));
+  std::unordered_set<EncodedTriple, spark::ValueHasher> alive;
+  for (int v = 0; v < version; ++v) {
+    for (const auto& t : deltas_[static_cast<size_t>(v)].removed) {
+      alive.erase(t);
+    }
+    for (const auto& t : deltas_[static_cast<size_t>(v)].added) {
+      alive.insert(t);
+    }
+  }
+  TripleStore store;
+  for (const auto& t : alive) {
+    // Re-encode through the snapshot's own dictionary so the store is
+    // self-contained.
+    Triple decoded{*dict_.Decode(t.s), *dict_.Decode(t.p), *dict_.Decode(t.o)};
+    store.Add(decoded);
+  }
+  return store;
+}
+
+Result<Delta> VersionedStore::DeltaBetween(int from, int to) const {
+  RDFSPARK_RETURN_NOT_OK(CheckVersion(from));
+  RDFSPARK_RETURN_NOT_OK(CheckVersion(to));
+  auto alive_at = [&](int version) {
+    std::unordered_set<EncodedTriple, spark::ValueHasher> alive;
+    for (int v = 0; v < version; ++v) {
+      for (const auto& t : deltas_[static_cast<size_t>(v)].removed) {
+        alive.erase(t);
+      }
+      for (const auto& t : deltas_[static_cast<size_t>(v)].added) {
+        alive.insert(t);
+      }
+    }
+    return alive;
+  };
+  auto a = alive_at(from);
+  auto b = alive_at(to);
+  Delta out;
+  auto decode = [&](const EncodedTriple& t) {
+    return Triple{*dict_.Decode(t.s), *dict_.Decode(t.p), *dict_.Decode(t.o)};
+  };
+  for (const auto& t : b) {
+    if (!a.count(t)) out.added.push_back(decode(t));
+  }
+  for (const auto& t : a) {
+    if (!b.count(t)) out.removed.push_back(decode(t));
+  }
+  return out;
+}
+
+uint64_t VersionedStore::StoredRecords() const {
+  uint64_t n = 0;
+  for (const auto& d : deltas_) n += d.added.size() + d.removed.size();
+  return n;
+}
+
+}  // namespace rdfspark::rdf

@@ -1,0 +1,76 @@
+#ifndef RDFSPARK_RDF_VERSIONING_H_
+#define RDFSPARK_RDF_VERSIONING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/store.h"
+
+namespace rdfspark::rdf {
+
+/// One change set: triples added and removed relative to the previous
+/// version.
+struct Delta {
+  std::vector<Triple> added;
+  std::vector<Triple> removed;
+  std::string message;
+};
+
+/// An archive of an evolving RDF dataset, stored as a base version plus a
+/// chain of deltas — the §V direction that "next generation parallel RDF
+/// query answering systems should be able to handle evolving data in an
+/// uninterrupted manner" (cf. the archiving policies of [25] and the SPBv
+/// benchmark [22]).
+///
+/// Supported access patterns:
+///   * Materialize(v): the full store at version v (independent copy);
+///   * DeltaBetween(v1, v2): net changes between two versions;
+///   * uninterrupted answering: Materialize(latest) while older versions
+///     stay addressable.
+class VersionedStore {
+ public:
+  VersionedStore();
+
+  VersionedStore(const VersionedStore&) = delete;
+  VersionedStore& operator=(const VersionedStore&) = delete;
+
+  /// Applies a change set; returns the new version number (>= 1). Removing
+  /// a triple absent from the current version is an error; adding a triple
+  /// already present is ignored (RDF graphs are sets).
+  Result<int> Commit(const Delta& delta);
+
+  int latest_version() const { return static_cast<int>(deltas_.size()); }
+
+  /// Number of triples alive at `version`.
+  Result<uint64_t> SizeAt(int version) const;
+
+  /// Full store at `version` (0 = empty base).
+  Result<TripleStore> Materialize(int version) const;
+
+  /// Net additions/removals turning version `from` into version `to`.
+  Result<Delta> DeltaBetween(int from, int to) const;
+
+  /// Total stored records across all deltas (the archive's storage cost,
+  /// as opposed to the sum of materialized snapshot sizes).
+  uint64_t StoredRecords() const;
+
+ private:
+  struct EncodedDelta {
+    std::vector<EncodedTriple> added;
+    std::vector<EncodedTriple> removed;
+  };
+
+  Status CheckVersion(int version) const;
+
+  /// Shared dictionary across versions.
+  Dictionary dict_;
+  std::vector<EncodedDelta> deltas_;
+  /// Current (latest) triple set, for validation and fast latest access.
+  std::vector<EncodedTriple> current_;
+};
+
+}  // namespace rdfspark::rdf
+
+#endif  // RDFSPARK_RDF_VERSIONING_H_

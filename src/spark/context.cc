@@ -1,0 +1,49 @@
+#include "spark/context.h"
+
+#include <algorithm>
+
+namespace rdfspark::spark {
+
+SparkContext::SparkContext(ClusterConfig config) : config_(config) {
+  if (config_.num_executors < 1) config_.num_executors = 1;
+  if (config_.default_parallelism < 1) {
+    config_.default_parallelism = config_.num_executors;
+  }
+  executor_ns_.assign(config_.num_executors, 0.0);
+}
+
+void SparkContext::BeginPhase() {
+  phase_stack_.push_back(executor_ns_);
+  std::fill(executor_ns_.begin(), executor_ns_.end(), 0.0);
+}
+
+void SparkContext::EndPhase() {
+  double max_ns = 0.0;
+  for (double ns : executor_ns_) max_ns = std::max(max_ns, ns);
+  metrics_.simulated_ms += max_ns / 1e6;
+  ++metrics_.stages;
+  if (!phase_stack_.empty()) {
+    executor_ns_ = phase_stack_.back();
+    phase_stack_.pop_back();
+  } else {
+    std::fill(executor_ns_.begin(), executor_ns_.end(), 0.0);
+  }
+}
+
+void SparkContext::ChargeCompute(int partition, uint64_t records) {
+  metrics_.records_processed += records;
+  executor_ns_[ExecutorOf(partition)] +=
+      config_.cost.cpu_ns_per_record * static_cast<double>(records);
+}
+
+void SparkContext::ChargeTask(int partition, uint64_t records,
+                              uint64_t remote_bytes) {
+  ++metrics_.tasks;
+  metrics_.records_processed += records;
+  double& ns = executor_ns_[ExecutorOf(partition)];
+  ns += config_.cost.task_overhead_us * 1e3;
+  ns += config_.cost.cpu_ns_per_record * static_cast<double>(records);
+  ns += config_.cost.net_ns_per_byte * static_cast<double>(remote_bytes);
+}
+
+}  // namespace rdfspark::spark

@@ -1,0 +1,129 @@
+#ifndef RDFSPARK_SPARK_CONTEXT_H_
+#define RDFSPARK_SPARK_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spark/metrics.h"
+#include "spark/size_estimator.h"
+
+namespace rdfspark::spark {
+
+/// Shape of the simulated cluster.
+struct ClusterConfig {
+  int num_executors = 4;
+  /// Partition count used when callers do not specify one.
+  int default_parallelism = 8;
+  /// DataFrame joins broadcast the smaller side when its estimated size is
+  /// below this threshold (Spark's spark.sql.autoBroadcastJoinThreshold).
+  uint64_t broadcast_threshold_bytes = 10ull << 20;
+  CostModel cost;
+};
+
+/// Identity of a partitioning scheme. Two RDDs co-partitioned by equal
+/// PartitionerInfo can be joined without a shuffle, which is how the
+/// simulator expresses the pre-partitioning optimizations several surveyed
+/// systems rely on (SparkRDF's dynamic pre-partitioning, the hybrid engine's
+/// partitioning awareness).
+struct PartitionerInfo {
+  std::string kind;  ///< e.g. "hash", "hash-subject", "range".
+  int num_partitions = 0;
+  uint64_t seed = 0;
+
+  bool operator==(const PartitionerInfo&) const = default;
+};
+
+/// A value replicated to every executor. Reading it is always a local read;
+/// creating it charges network volume proportional to cluster size.
+template <typename T>
+class Broadcast {
+ public:
+  explicit Broadcast(std::shared_ptr<const T> value)
+      : value_(std::move(value)) {}
+  const T& value() const { return *value_; }
+
+ private:
+  std::shared_ptr<const T> value_;
+};
+
+/// Entry point to the simulated cluster: owns the configuration and the
+/// metrics, assigns partitions to executors, and provides the phase/cost
+/// accounting hooks the RDD/DataFrame layers call into.
+///
+/// Cost accounting model: work is grouped into *phases* (one per shuffle
+/// materialization plus one per action). Within a phase, each charge lands on
+/// the executor that owns the charged partition; when the phase ends, the
+/// busiest executor's time is added to `simulated_ms`. This reproduces the
+/// barrier semantics of Spark stages: narrow chains pipeline inside one
+/// phase, shuffles serialize phases.
+class SparkContext {
+ public:
+  explicit SparkContext(ClusterConfig config = ClusterConfig());
+
+  SparkContext(const SparkContext&) = delete;
+  SparkContext& operator=(const SparkContext&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Executor owning partition `partition` (round-robin placement).
+  int ExecutorOf(int partition) const {
+    return partition % config_.num_executors;
+  }
+
+  /// Unique id for a new RDD node.
+  int NextNodeId() { return next_node_id_++; }
+
+  /// Begins/ends a cost phase; see class comment. Nestable.
+  void BeginPhase();
+  void EndPhase();
+
+  /// Charges CPU work done while computing `records` records of partition
+  /// `partition` (no task counted: narrow work pipelines into its stage task).
+  void ChargeCompute(int partition, uint64_t records);
+
+  /// Charges a schedulable task on `partition` that consumed `records`
+  /// records and pulled `remote_bytes` over the network.
+  void ChargeTask(int partition, uint64_t records, uint64_t remote_bytes);
+
+  /// Records an action execution (one job).
+  void RecordJob() { ++metrics_.jobs; }
+
+  /// Accounts the volume and time of replicating `bytes` to every executor
+  /// (tree distribution: every executor receives the payload once, in
+  /// parallel, so the time cost is one network transfer).
+  void ChargeBroadcastBytes(uint64_t bytes) {
+    metrics_.broadcast_bytes +=
+        bytes * static_cast<uint64_t>(config_.num_executors > 1
+                                          ? config_.num_executors - 1
+                                          : 0);
+    if (config_.num_executors > 1) {
+      metrics_.simulated_ms +=
+          config_.cost.net_ns_per_byte * static_cast<double>(bytes) / 1e6;
+    }
+  }
+
+  /// Wraps `value` into a Broadcast, charging replication traffic.
+  template <typename T>
+  Broadcast<T> MakeBroadcast(T value) {
+    ChargeBroadcastBytes(EstimateSize(value));
+    return Broadcast<T>(std::make_shared<const T>(std::move(value)));
+  }
+
+ private:
+  ClusterConfig config_;
+  Metrics metrics_;
+  int next_node_id_ = 0;
+
+  // Per-executor busy nanoseconds for the current phase, plus a stack for
+  // nested phases (a shuffle materialized lazily inside an action).
+  std::vector<double> executor_ns_;
+  std::vector<std::vector<double>> phase_stack_;
+};
+
+}  // namespace rdfspark::spark
+
+#endif  // RDFSPARK_SPARK_CONTEXT_H_

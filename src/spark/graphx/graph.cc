@@ -1,0 +1,19 @@
+#include "spark/graphx/graph.h"
+
+namespace rdfspark::spark::graphx {
+
+const char* PartitionStrategyName(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kEdgePartition1D:
+      return "EdgePartition1D";
+    case PartitionStrategy::kEdgePartition2D:
+      return "EdgePartition2D";
+    case PartitionStrategy::kRandomVertexCut:
+      return "RandomVertexCut";
+    case PartitionStrategy::kCanonicalRandomVertexCut:
+      return "CanonicalRandomVertexCut";
+  }
+  return "unknown";
+}
+
+}  // namespace rdfspark::spark::graphx

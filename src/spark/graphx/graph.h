@@ -1,0 +1,293 @@
+#ifndef RDFSPARK_SPARK_GRAPHX_GRAPH_H_
+#define RDFSPARK_SPARK_GRAPHX_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "spark/rdd.h"
+
+namespace rdfspark::spark::graphx {
+
+using VertexId = int64_t;
+
+/// A directed edge with attribute ED.
+template <typename ED>
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  ED attr{};
+
+  bool operator==(const Edge&) const = default;
+};
+
+template <typename ED>
+uint64_t HashValue(const Edge<ED>& e) {
+  using rdfspark::spark::HashValue;
+  return CombineHash64(CombineHash64(HashValue(e.src), HashValue(e.dst)),
+                       HashValue(e.attr));
+}
+
+template <typename ED>
+uint64_t EstimateSize(const Edge<ED>& e) {
+  using rdfspark::spark::EstimateSize;
+  return 16 + EstimateSize(e.attr);
+}
+
+/// An edge with both endpoint attributes attached (GraphX's EdgeTriplet).
+template <typename VD, typename ED>
+struct EdgeTriplet {
+  VertexId src = 0;
+  VertexId dst = 0;
+  ED attr{};
+  VD src_attr{};
+  VD dst_attr{};
+};
+
+template <typename VD, typename ED>
+uint64_t EstimateSize(const EdgeTriplet<VD, ED>& t) {
+  using rdfspark::spark::EstimateSize;
+  return 16 + EstimateSize(t.attr) + EstimateSize(t.src_attr) +
+         EstimateSize(t.dst_attr);
+}
+
+/// How edges are assigned to partitions — GraphX's PartitionStrategy. The
+/// choice controls replication and communication, which is the substance of
+/// the paper's observation that "graph partitioning focuses on minimizing
+/// the edge-cut between partitions".
+enum class PartitionStrategy {
+  kEdgePartition1D,         // hash(src)
+  kEdgePartition2D,         // grid by (hash(src), hash(dst))
+  kRandomVertexCut,         // hash(src, dst)
+  kCanonicalRandomVertexCut  // hash(min, max) — co-locates both directions
+};
+
+const char* PartitionStrategyName(PartitionStrategy s);
+
+/// Message direction filter for AggregateMessages.
+enum class EdgeDirection { kOut, kIn, kEither };
+
+/// A property graph: a vertex RDD (id -> VD) and an edge RDD, mirroring
+/// GraphX's Graph[VD, ED] ("Resilient Distributed Graph"). All bulk
+/// operations run through the RDD layer so shuffle/messaging costs are
+/// accounted.
+template <typename VD, typename ED>
+class Graph {
+ public:
+  Graph() = default;
+  Graph(Rdd<std::pair<VertexId, VD>> vertices, Rdd<Edge<ED>> edges)
+      : vertices_(std::move(vertices)), edges_(std::move(edges)) {}
+
+  /// Builds a graph, deriving missing vertices from edge endpoints with
+  /// `default_attr`.
+  static Graph FromEdges(SparkContext* sc, std::vector<Edge<ED>> edges,
+                         VD default_attr, int num_partitions = -1) {
+    auto edge_rdd = Parallelize(sc, std::move(edges), num_partitions);
+    auto vertex_ids =
+        edge_rdd
+            .FlatMap([](const Edge<ED>& e) {
+              return std::vector<VertexId>{e.src, e.dst};
+            })
+            .Distinct();
+    auto vertices = vertex_ids.Map([default_attr](const VertexId& id) {
+      return std::pair<VertexId, VD>(id, default_attr);
+    });
+    return Graph(vertices, edge_rdd);
+  }
+
+  const Rdd<std::pair<VertexId, VD>>& vertices() const { return vertices_; }
+  const Rdd<Edge<ED>>& edges() const { return edges_; }
+  SparkContext* context() const { return edges_.context(); }
+
+  uint64_t NumVertices() const { return vertices_.Count(); }
+  uint64_t NumEdges() const { return edges_.Count(); }
+
+  /// Re-partitions edges under the given strategy (returns a new graph).
+  Graph PartitionBy(PartitionStrategy strategy, int num_partitions = -1) const {
+    int n = num_partitions > 0 ? num_partitions : edges_.num_partitions();
+    auto hash = [strategy, n](const Edge<ED>& e) -> uint64_t {
+      switch (strategy) {
+        case PartitionStrategy::kEdgePartition1D:
+          return MixHash64(static_cast<uint64_t>(e.src));
+        case PartitionStrategy::kEdgePartition2D: {
+          uint64_t rows = static_cast<uint64_t>(n);
+          uint64_t grid = 1;
+          while (grid * grid < rows) ++grid;
+          uint64_t r = MixHash64(static_cast<uint64_t>(e.src)) % grid;
+          uint64_t c = MixHash64(static_cast<uint64_t>(e.dst)) % grid;
+          return r * grid + c;
+        }
+        case PartitionStrategy::kRandomVertexCut:
+          return CombineHash64(MixHash64(static_cast<uint64_t>(e.src)),
+                               MixHash64(static_cast<uint64_t>(e.dst)));
+        case PartitionStrategy::kCanonicalRandomVertexCut: {
+          VertexId lo = std::min(e.src, e.dst);
+          VertexId hi = std::max(e.src, e.dst);
+          return CombineHash64(MixHash64(static_cast<uint64_t>(lo)),
+                               MixHash64(static_cast<uint64_t>(hi)));
+        }
+      }
+      return 0;
+    };
+    auto shuffled = edges_.ShuffleBy(
+        hash, n, "GraphPartitionBy",
+        PartitionerInfo{std::string("graph-") + PartitionStrategyName(strategy),
+                        n, 0});
+    return Graph(vertices_, shuffled);
+  }
+
+  /// Transforms vertex attributes.
+  template <typename F>
+  auto MapVertices(F f) const
+      -> Graph<std::invoke_result_t<F, VertexId, const VD&>, ED> {
+    using VD2 = std::invoke_result_t<F, VertexId, const VD&>;
+    auto mapped = vertices_.Map([f](const std::pair<VertexId, VD>& kv) {
+      return std::pair<VertexId, VD2>(kv.first, f(kv.first, kv.second));
+    });
+    return Graph<VD2, ED>(mapped, edges_);
+  }
+
+  /// Joins new attributes onto vertices (missing entries keep old attr).
+  template <typename U, typename F>
+  Graph JoinVertices(const Rdd<std::pair<VertexId, U>>& table, F f) const {
+    auto joined = vertices_.LeftOuterJoin(table).Map(
+        [f](const std::pair<VertexId, std::pair<VD, std::optional<U>>>& kv) {
+          const auto& [old_attr, update] = kv.second;
+          VD attr = update ? f(kv.first, old_attr, *update) : old_attr;
+          return std::pair<VertexId, VD>(kv.first, attr);
+        });
+    return Graph(joined, edges_);
+  }
+
+  /// GraphX's outerJoinVertices: every vertex is rewritten, receiving the
+  /// joined value as an optional; the vertex type may change.
+  /// f(id, attr, optional<U>) -> VD2.
+  template <typename U, typename F>
+  auto OuterJoinVertices(const Rdd<std::pair<VertexId, U>>& table, F f) const
+      -> Graph<std::invoke_result_t<F, VertexId, const VD&,
+                                    const std::optional<U>&>,
+               ED> {
+    using VD2 = std::invoke_result_t<F, VertexId, const VD&,
+                                     const std::optional<U>&>;
+    auto joined = vertices_.LeftOuterJoin(table).Map(
+        [f](const std::pair<VertexId, std::pair<VD, std::optional<U>>>& kv) {
+          return std::pair<VertexId, VD2>(
+              kv.first, f(kv.first, kv.second.first, kv.second.second));
+        });
+    return Graph<VD2, ED>(joined, edges_);
+  }
+
+  /// The triplets view: every edge with both endpoint attributes. Costs two
+  /// joins (vertex attrs ship to edge partitions), as in GraphX.
+  Rdd<EdgeTriplet<VD, ED>> Triplets() const {
+    auto by_src = edges_.KeyBy([](const Edge<ED>& e) { return e.src; });
+    auto with_src = by_src.Join(vertices_);
+    auto by_dst = with_src.Map(
+        [](const std::pair<VertexId, std::pair<Edge<ED>, VD>>& kv) {
+          return std::pair<VertexId, std::pair<Edge<ED>, VD>>(
+              kv.second.first.dst, kv.second);
+        });
+    auto with_both = by_dst.Join(vertices_);
+    return with_both.Map(
+        [](const std::pair<VertexId,
+                           std::pair<std::pair<Edge<ED>, VD>, VD>>& kv) {
+          EdgeTriplet<VD, ED> t;
+          t.src = kv.second.first.first.src;
+          t.dst = kv.second.first.first.dst;
+          t.attr = kv.second.first.first.attr;
+          t.src_attr = kv.second.first.second;
+          t.dst_attr = kv.second.second;
+          return t;
+        });
+  }
+
+  /// GraphX's aggregateMessages: `send` inspects a triplet and emits
+  /// (vertex, message) pairs; `merge` combines messages per vertex.
+  /// Message traffic is recorded in the metrics.
+  template <typename M, typename SendFn, typename MergeFn>
+  Rdd<std::pair<VertexId, M>> AggregateMessages(SendFn send,
+                                                MergeFn merge) const {
+    SparkContext* sc = context();
+    ++sc->metrics().supersteps;  // one graph-parallel round
+    auto messages = Triplets().FlatMap(
+        [send, sc](const EdgeTriplet<VD, ED>& t) {
+          std::vector<std::pair<VertexId, M>> out = send(t);
+          sc->metrics().messages += out.size();
+          return out;
+        });
+    return messages.ReduceByKey(merge);
+  }
+
+  /// Pregel: iterate vertex programs until no messages flow or max_iter.
+  /// vprog(id, attr, msg) -> new attr; send(triplet) -> messages;
+  /// merge(m1, m2) -> m.
+  template <typename M, typename VProg, typename SendFn, typename MergeFn>
+  Graph Pregel(M initial_msg, int max_iterations, VProg vprog, SendFn send,
+               MergeFn merge) const {
+    // Superstep 0: deliver the initial message to every vertex. Captures
+    // are by value: the closure lives inside a lazy lineage that can
+    // outlive this call.
+    auto g = MapVertices([vprog, initial_msg](VertexId id, const VD& attr) {
+      return vprog(id, attr, initial_msg);
+    });
+    Graph current(g.vertices().Cache(), edges_);
+    for (int i = 0; i < max_iterations; ++i) {
+      auto msgs = current.template AggregateMessages<M>(send, merge);
+      if (msgs.Count() == 0) break;
+      current = current.JoinVertices(
+          msgs, [vprog](VertexId id, const VD& attr, const M& msg) {
+            return vprog(id, attr, msg);
+          });
+    }
+    return current;
+  }
+
+  /// Keeps edges whose triplet passes `edge_pred` and vertices passing
+  /// `vertex_pred`; dangling edges are dropped (GraphX subgraph semantics).
+  template <typename VPred, typename EPred>
+  Graph Subgraph(VPred vertex_pred, EPred edge_pred) const {
+    auto kept_vertices =
+        vertices_.Filter([vertex_pred](const std::pair<VertexId, VD>& kv) {
+          return vertex_pred(kv.first, kv.second);
+        });
+    auto triplets = Triplets();
+    auto kept_edges =
+        triplets
+            .Filter([vertex_pred, edge_pred](const EdgeTriplet<VD, ED>& t) {
+              return edge_pred(t) && vertex_pred(t.src, t.src_attr) &&
+                     vertex_pred(t.dst, t.dst_attr);
+            })
+            .Map([](const EdgeTriplet<VD, ED>& t) {
+              return Edge<ED>{t.src, t.dst, t.attr};
+            });
+    return Graph(kept_vertices, kept_edges);
+  }
+
+  /// Reverses every edge.
+  Graph Reverse() const {
+    auto reversed = edges_.Map([](const Edge<ED>& e) {
+      return Edge<ED>{e.dst, e.src, e.attr};
+    });
+    return Graph(vertices_, reversed);
+  }
+
+  /// Out-degree of every vertex present in the edge set.
+  Rdd<std::pair<VertexId, uint64_t>> OutDegrees() const {
+    return edges_
+        .Map([](const Edge<ED>& e) {
+          return std::pair<VertexId, uint64_t>(e.src, 1);
+        })
+        .ReduceByKey([](uint64_t a, uint64_t b) { return a + b; });
+  }
+
+ private:
+  Rdd<std::pair<VertexId, VD>> vertices_;
+  Rdd<Edge<ED>> edges_;
+};
+
+}  // namespace rdfspark::spark::graphx
+
+#endif  // RDFSPARK_SPARK_GRAPHX_GRAPH_H_

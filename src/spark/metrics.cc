@@ -1,0 +1,62 @@
+#include "spark/metrics.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace rdfspark::spark {
+
+Metrics Metrics::operator-(const Metrics& rhs) const {
+  Metrics d;
+  d.jobs = jobs - rhs.jobs;
+  d.stages = stages - rhs.stages;
+  d.tasks = tasks - rhs.tasks;
+  d.shuffle_records = shuffle_records - rhs.shuffle_records;
+  d.shuffle_bytes = shuffle_bytes - rhs.shuffle_bytes;
+  d.remote_shuffle_bytes = remote_shuffle_bytes - rhs.remote_shuffle_bytes;
+  d.local_read_records = local_read_records - rhs.local_read_records;
+  d.remote_read_records = remote_read_records - rhs.remote_read_records;
+  d.broadcast_bytes = broadcast_bytes - rhs.broadcast_bytes;
+  d.join_comparisons = join_comparisons - rhs.join_comparisons;
+  d.records_processed = records_processed - rhs.records_processed;
+  d.messages = messages - rhs.messages;
+  d.supersteps = supersteps - rhs.supersteps;
+  d.simulated_ms = simulated_ms - rhs.simulated_ms;
+  return d;
+}
+
+Metrics& Metrics::operator+=(const Metrics& rhs) {
+  jobs += rhs.jobs;
+  stages += rhs.stages;
+  tasks += rhs.tasks;
+  shuffle_records += rhs.shuffle_records;
+  shuffle_bytes += rhs.shuffle_bytes;
+  remote_shuffle_bytes += rhs.remote_shuffle_bytes;
+  local_read_records += rhs.local_read_records;
+  remote_read_records += rhs.remote_read_records;
+  broadcast_bytes += rhs.broadcast_bytes;
+  join_comparisons += rhs.join_comparisons;
+  records_processed += rhs.records_processed;
+  messages += rhs.messages;
+  supersteps += rhs.supersteps;
+  simulated_ms += rhs.simulated_ms;
+  return *this;
+}
+
+std::string Metrics::ToString() const {
+  std::ostringstream os;
+  os << "jobs=" << jobs << " stages=" << stages << " tasks=" << tasks << "\n"
+     << "shuffle: records=" << shuffle_records
+     << " bytes=" << FormatBytes(shuffle_bytes)
+     << " remote_bytes=" << FormatBytes(remote_shuffle_bytes) << "\n"
+     << "reads: local=" << local_read_records
+     << " remote=" << remote_read_records << "\n"
+     << "broadcast_bytes=" << FormatBytes(broadcast_bytes)
+     << " join_comparisons=" << join_comparisons
+     << " records_processed=" << records_processed << "\n"
+     << "graph: messages=" << messages << " supersteps=" << supersteps << "\n"
+     << "simulated_ms=" << FormatDouble(simulated_ms, 3);
+  return os.str();
+}
+
+}  // namespace rdfspark::spark

@@ -1,0 +1,54 @@
+#ifndef RDFSPARK_SPARK_METRICS_H_
+#define RDFSPARK_SPARK_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rdfspark::spark {
+
+/// Execution counters accumulated by the cluster simulator. Everything the
+/// assessment benchmarks report (shuffle volume, locality, comparisons,
+/// supersteps, simulated wall time) comes out of this struct; engines obtain
+/// deltas by snapshotting before/after a query.
+struct Metrics {
+  uint64_t jobs = 0;    ///< Actions executed.
+  uint64_t stages = 0;  ///< Stages (shuffle boundaries + result stages).
+  uint64_t tasks = 0;   ///< Per-partition tasks launched.
+
+  uint64_t shuffle_records = 0;  ///< Records written through shuffles.
+  uint64_t shuffle_bytes = 0;    ///< Estimated bytes written through shuffles.
+  uint64_t remote_shuffle_bytes = 0;  ///< Subset crossing executor boundaries.
+
+  uint64_t local_read_records = 0;   ///< Partition reads served locally.
+  uint64_t remote_read_records = 0;  ///< Partition reads from other executors.
+
+  uint64_t broadcast_bytes = 0;  ///< Bytes replicated to every executor.
+
+  uint64_t join_comparisons = 0;  ///< Candidate pairs examined by joins.
+  uint64_t records_processed = 0;  ///< Records flowing through operators.
+
+  uint64_t messages = 0;    ///< Graph messages sent (aggregateMessages).
+  uint64_t supersteps = 0;  ///< Pregel/fixpoint iterations.
+
+  double simulated_ms = 0.0;  ///< Critical-path time under the cost model.
+
+  Metrics operator-(const Metrics& rhs) const;
+  Metrics& operator+=(const Metrics& rhs);
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+/// Cost model translating simulator events into simulated milliseconds.
+/// A stage's duration is max over its tasks of
+///   cpu_ns_per_record * records + net_ns_per_byte * remote_bytes,
+/// mirroring a synchronous stage barrier on a homogeneous cluster.
+struct CostModel {
+  double cpu_ns_per_record = 50.0;
+  double net_ns_per_byte = 10.0;
+  double task_overhead_us = 100.0;  ///< Scheduling overhead per task.
+};
+
+}  // namespace rdfspark::spark
+
+#endif  // RDFSPARK_SPARK_METRICS_H_

@@ -1,0 +1,1022 @@
+#ifndef RDFSPARK_SPARK_RDD_H_
+#define RDFSPARK_SPARK_RDD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "spark/context.h"
+#include "spark/size_estimator.h"
+#include "spark/value_hash.h"
+
+namespace rdfspark::spark {
+
+/// Type-erased lineage node. Holds everything the DAG visualizer and the
+/// failure-injection tests need without knowing the element type.
+class RddNodeBase {
+ public:
+  RddNodeBase(int id, std::string name, int num_partitions, bool is_shuffle)
+      : id_(id),
+        name_(std::move(name)),
+        num_partitions_(num_partitions),
+        is_shuffle_(is_shuffle) {}
+  virtual ~RddNodeBase() = default;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int num_partitions() const { return num_partitions_; }
+  bool is_shuffle() const { return is_shuffle_; }
+  const std::vector<std::shared_ptr<RddNodeBase>>& parents() const {
+    return parents_;
+  }
+  void AddParent(std::shared_ptr<RddNodeBase> p) {
+    parents_.push_back(std::move(p));
+  }
+
+  const std::optional<PartitionerInfo>& partitioner() const {
+    return partitioner_;
+  }
+  void set_partitioner(PartitionerInfo info) { partitioner_ = std::move(info); }
+
+  /// Drops the cached data of one partition (failure injection); the next
+  /// read recomputes it from lineage.
+  virtual void EvictPartition(int partition) = 0;
+  virtual bool IsPartitionCached(int partition) const = 0;
+
+ private:
+  int id_;
+  std::string name_;
+  int num_partitions_;
+  bool is_shuffle_;
+  std::vector<std::shared_ptr<RddNodeBase>> parents_;
+  std::optional<PartitionerInfo> partitioner_;
+};
+
+/// Concrete lineage node for element type T. Partitions are computed on
+/// demand by `compute` and retained (the simulator persists everything so
+/// iterative engines behave; `EvictPartition` restores the recompute path for
+/// fault-tolerance tests).
+template <typename T>
+class RddNode : public RddNodeBase {
+ public:
+  using ComputeFn = std::function<std::vector<T>(int)>;
+
+  RddNode(int id, std::string name, int num_partitions, bool is_shuffle,
+          ComputeFn compute)
+      : RddNodeBase(id, std::move(name), num_partitions, is_shuffle),
+        compute_(std::move(compute)),
+        cache_(static_cast<size_t>(num_partitions)) {}
+
+  std::shared_ptr<const std::vector<T>> GetPartition(int p) {
+    if (!cache_[p]) {
+      cache_[p] = std::make_shared<std::vector<T>>(compute_(p));
+    }
+    return cache_[p];
+  }
+
+  void EvictPartition(int partition) override { cache_[partition].reset(); }
+  bool IsPartitionCached(int partition) const override {
+    return cache_[partition] != nullptr;
+  }
+
+ private:
+  ComputeFn compute_;
+  std::vector<std::shared_ptr<std::vector<T>>> cache_;
+};
+
+template <typename T>
+class Rdd;
+
+/// Creates an RDD from driver-local data, splitting it into `num_partitions`
+/// roughly equal slices (Spark's sc.parallelize).
+template <typename T>
+Rdd<T> Parallelize(SparkContext* sc, std::vector<T> data,
+                   int num_partitions = -1);
+
+/// An immutable, partitioned, lazily-computed collection with lineage —
+/// the simulator's counterpart of Spark's RDD. Transformations build new
+/// lineage nodes; actions trigger computation and charge the cost model.
+template <typename T>
+class Rdd {
+ public:
+  using Element = T;
+
+  Rdd() = default;
+  Rdd(SparkContext* sc, std::shared_ptr<RddNode<T>> node)
+      : sc_(sc), node_(std::move(node)) {}
+
+  bool valid() const { return node_ != nullptr; }
+  SparkContext* context() const { return sc_; }
+  const std::shared_ptr<RddNode<T>>& node() const { return node_; }
+  int num_partitions() const { return node_->num_partitions(); }
+  const std::optional<PartitionerInfo>& partitioner() const {
+    return node_->partitioner();
+  }
+
+  // ---------------------------------------------------------------------
+  // Narrow transformations.
+  // ---------------------------------------------------------------------
+
+  /// Applies `f` to every element.
+  template <typename F>
+  auto Map(F f) const -> Rdd<std::invoke_result_t<F, const T&>> {
+    using U = std::invoke_result_t<F, const T&>;
+    auto* sc = sc_;
+    auto parent = node_;
+    auto compute = [sc, parent, f](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::vector<U> out;
+      out.reserve(in->size());
+      for (const T& x : *in) out.push_back(f(x));
+      return out;
+    };
+    return MakeChild<U>("Map", node_->num_partitions(), false, compute,
+                        std::nullopt);
+  }
+
+  /// Applies `f`, concatenating the produced vectors.
+  template <typename F>
+  auto FlatMap(F f) const
+      -> Rdd<typename std::invoke_result_t<F, const T&>::value_type> {
+    using U = typename std::invoke_result_t<F, const T&>::value_type;
+    auto* sc = sc_;
+    auto parent = node_;
+    auto compute = [sc, parent, f](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::vector<U> out;
+      for (const T& x : *in) {
+        auto produced = f(x);
+        for (auto& u : produced) out.push_back(std::move(u));
+      }
+      return out;
+    };
+    return MakeChild<U>("FlatMap", node_->num_partitions(), false, compute,
+                        std::nullopt);
+  }
+
+  /// Keeps elements satisfying `pred`. Preserves the partitioner.
+  template <typename F>
+  Rdd<T> Filter(F pred) const {
+    auto* sc = sc_;
+    auto parent = node_;
+    auto compute = [sc, parent, pred](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::vector<T> out;
+      for (const T& x : *in) {
+        if (pred(x)) out.push_back(x);
+      }
+      return out;
+    };
+    return MakeChild<T>("Filter", node_->num_partitions(), false, compute,
+                        node_->partitioner());
+  }
+
+  /// Applies `f` to each whole partition: f(partition_index, const
+  /// std::vector<T>&) -> std::vector<U>.
+  template <typename F>
+  auto MapPartitionsWithIndex(F f) const
+      -> Rdd<typename std::invoke_result_t<F, int,
+                                           const std::vector<T>&>::value_type> {
+    using U =
+        typename std::invoke_result_t<F, int,
+                                      const std::vector<T>&>::value_type;
+    auto* sc = sc_;
+    auto parent = node_;
+    auto compute = [sc, parent, f](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      return f(p, *in);
+    };
+    return MakeChild<U>("MapPartitions", node_->num_partitions(), false,
+                        compute, std::nullopt);
+  }
+
+  /// Pairs every element with key `f(x)`.
+  template <typename F>
+  auto KeyBy(F f) const -> Rdd<std::pair<std::invoke_result_t<F, const T&>, T>> {
+    using K = std::invoke_result_t<F, const T&>;
+    return Map([f](const T& x) { return std::pair<K, T>(f(x), x); });
+  }
+
+  /// Concatenates two RDDs; partitions are appended (reads stay local, as in
+  /// Spark's UnionRDD).
+  Rdd<T> Union(const Rdd<T>& other) const {
+    auto* sc = sc_;
+    auto a = node_;
+    auto b = other.node_;
+    int an = a->num_partitions();
+    int total = an + b->num_partitions();
+    auto compute = [sc, a, b, an](int p) {
+      auto in = p < an ? a->GetPartition(p) : b->GetPartition(p - an);
+      sc->ChargeCompute(p, in->size());
+      return *in;
+    };
+    auto child = MakeChild<T>("Union", total, false, compute, std::nullopt);
+    child.node_->AddParent(b);
+    return child;
+  }
+
+  /// Deterministic sample of ~fraction of the elements.
+  Rdd<T> Sample(double fraction, uint64_t seed = 17) const {
+    auto* sc = sc_;
+    auto parent = node_;
+    auto compute = [sc, parent, fraction, seed](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::vector<T> out;
+      uint64_t i = 0;
+      for (const T& x : *in) {
+        uint64_t h = MixHash64(seed ^ MixHash64(uint64_t(p) << 32 | i++));
+        if (static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0) <
+            fraction) {
+          out.push_back(x);
+        }
+      }
+      return out;
+    };
+    return MakeChild<T>("Sample", node_->num_partitions(), false, compute,
+                        std::nullopt);
+  }
+
+  /// Distinct elements present in both RDDs (Spark's intersection).
+  Rdd<T> Intersection(const Rdd<T>& other, int num_partitions = -1) const {
+    int n = ResolvePartitions(num_partitions);
+    auto left = KeyBy([](const T& x) { return HashValue(x); })
+                    .PartitionByKey(n);
+    auto right = other.KeyBy([](const T& x) { return HashValue(x); })
+                     .PartitionByKey(n);
+    auto grouped = left.CoGroup(right, n);
+    return grouped.FlatMap(
+        [](const std::pair<uint64_t,
+                           std::pair<std::vector<T>, std::vector<T>>>& kv) {
+          std::vector<T> out;
+          // Hash buckets may mix values: verify actual membership.
+          for (const T& x : kv.second.first) {
+            bool in_right = false;
+            for (const T& y : kv.second.second) in_right |= x == y;
+            bool already = false;
+            for (const T& z : out) already |= x == z;
+            if (in_right && !already) out.push_back(x);
+          }
+          return out;
+        });
+  }
+
+  /// Elements of this RDD whose value does not occur in `other` (Spark's
+  /// subtract; duplicates of surviving values are kept).
+  Rdd<T> Subtract(const Rdd<T>& other, int num_partitions = -1) const {
+    int n = ResolvePartitions(num_partitions);
+    auto left = KeyBy([](const T& x) { return HashValue(x); })
+                    .PartitionByKey(n);
+    auto right = other.KeyBy([](const T& x) { return HashValue(x); })
+                     .PartitionByKey(n);
+    auto grouped = left.CoGroup(right, n);
+    return grouped.FlatMap(
+        [](const std::pair<uint64_t,
+                           std::pair<std::vector<T>, std::vector<T>>>& kv) {
+          std::vector<T> out;
+          for (const T& x : kv.second.first) {
+            bool in_right = false;
+            for (const T& y : kv.second.second) in_right |= x == y;
+            if (!in_right) out.push_back(x);
+          }
+          return out;
+        });
+  }
+
+  /// Pairs every element with its global index in partition order (Spark's
+  /// zipWithIndex; like Spark, this runs a job to size the partitions).
+  Rdd<std::pair<T, int64_t>> ZipWithIndex() const {
+    auto* sc = sc_;
+    auto parent = node_;
+    // Size every partition (one job, as in Spark).
+    std::vector<int64_t> offsets(static_cast<size_t>(
+                                     parent->num_partitions()) +
+                                 1,
+                                 0);
+    sc->RecordJob();
+    sc->BeginPhase();
+    for (int p = 0; p < parent->num_partitions(); ++p) {
+      auto part = parent->GetPartition(p);
+      sc->ChargeTask(p, part->size(), 0);
+      offsets[static_cast<size_t>(p) + 1] =
+          offsets[static_cast<size_t>(p)] +
+          static_cast<int64_t>(part->size());
+    }
+    sc->EndPhase();
+    auto shared_offsets =
+        std::make_shared<const std::vector<int64_t>>(std::move(offsets));
+    auto compute = [sc, parent, shared_offsets](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::vector<std::pair<T, int64_t>> out;
+      out.reserve(in->size());
+      int64_t index = (*shared_offsets)[static_cast<size_t>(p)];
+      for (const T& x : *in) out.emplace_back(x, index++);
+      return out;
+    };
+    return Rdd<std::pair<T, int64_t>>(
+        sc_, MakeNode<std::pair<T, int64_t>>(sc_, parent, "ZipWithIndex",
+                                             parent->num_partitions(), false,
+                                             compute, std::nullopt));
+  }
+
+  /// Aggregates with different element/accumulator types (Spark's
+  /// aggregate): seq folds elements into a per-partition accumulator,
+  /// comb merges accumulators on the driver.
+  template <typename U, typename SeqFn, typename CombFn>
+  U Aggregate(U zero, SeqFn seq, CombFn comb) const {
+    auto partials =
+        MapPartitionsWithIndex([zero, seq](int, const std::vector<T>& in) {
+          U acc = zero;
+          for (const T& x : in) acc = seq(acc, x);
+          return std::vector<U>{acc};
+        }).Collect();
+    U result = zero;
+    for (const U& part : partials) result = comb(result, part);
+    return result;
+  }
+
+  /// Pairwise cartesian product. Deliberately expensive (remote partition
+  /// pulls + quadratic comparisons) — this is the fallback the naive
+  /// SQL translation in [21] degenerates to.
+  template <typename U>
+  Rdd<std::pair<T, U>> Cartesian(const Rdd<U>& other) const {
+    auto* sc = sc_;
+    auto a = node_;
+    auto b = other.node();
+    int bn = b->num_partitions();
+    int total = a->num_partitions() * bn;
+    auto compute = [sc, a, b, bn](int p) {
+      int i = p / bn;
+      int j = p % bn;
+      auto left = a->GetPartition(i);
+      auto right = b->GetPartition(j);
+      sc->ChargeCompute(p, left->size() + right->size());
+      uint64_t right_bytes = 0;
+      for (const U& u : *right) right_bytes += EstimateSize(u);
+      bool remote = sc->ExecutorOf(p) != sc->ExecutorOf(j);
+      sc->metrics().join_comparisons += left->size() * right->size();
+      if (remote) {
+        sc->metrics().remote_read_records += right->size();
+        sc->ChargeTask(p, 0, right_bytes);
+      } else {
+        sc->metrics().local_read_records += right->size();
+        sc->ChargeTask(p, 0, 0);
+      }
+      std::vector<std::pair<T, U>> out;
+      out.reserve(left->size() * right->size());
+      for (const T& x : *left) {
+        for (const U& y : *right) out.emplace_back(x, y);
+      }
+      return out;
+    };
+    auto child = MakeChild<std::pair<T, U>>("Cartesian", total, false, compute,
+                                            std::nullopt);
+    child.node()->AddParent(b);
+    return child;
+  }
+
+  // ---------------------------------------------------------------------
+  // Wide transformations (shuffles).
+  // ---------------------------------------------------------------------
+
+  /// Redistributes elements into `num_partitions` by record hash.
+  Rdd<T> Repartition(int num_partitions) const {
+    return ShuffleBy(
+        [](const T& x) { return HashValue(x); }, num_partitions, "Repartition",
+        PartitionerInfo{"hash-any", num_partitions, 0});
+  }
+
+  /// Removes duplicates (shuffle + local dedup). Requires operator== on T.
+  Rdd<T> Distinct(int num_partitions = -1) const {
+    int n = ResolvePartitions(num_partitions);
+    Rdd<T> shuffled =
+        ShuffleBy([](const T& x) { return HashValue(x); }, n, "Distinct",
+                  PartitionerInfo{"hash-any", n, 0});
+    auto* sc = sc_;
+    auto parent = shuffled.node_;
+    auto compute = [sc, parent](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::unordered_set<T, ValueHasher> seen;
+      std::vector<T> out;
+      for (const T& x : *in) {
+        if (seen.insert(x).second) out.push_back(x);
+      }
+      return out;
+    };
+    return Rdd<T>(sc_, MakeNode<T>(sc_, parent, "DistinctLocal",
+                                   parent->num_partitions(), false, compute,
+                                   parent->partitioner()));
+  }
+
+  /// Globally sorts by `key_fn` using a range partitioner computed from the
+  /// materialized key distribution, then sorting each partition locally.
+  template <typename F>
+  Rdd<T> SortBy(F key_fn, bool ascending = true,
+                int num_partitions = -1) const {
+    using K = std::invoke_result_t<F, const T&>;
+    int n = ResolvePartitions(num_partitions);
+    auto* sc = sc_;
+    auto parent = node_;
+    auto state = std::make_shared<ShuffleState>(n);
+    auto compute = [sc, parent, state, key_fn, ascending, n](int p) {
+      if (!state->materialized) {
+        // Sample keys to pick range boundaries, then bucket.
+        std::vector<K> keys;
+        for (int q = 0; q < parent->num_partitions(); ++q) {
+          auto in = parent->GetPartition(q);
+          for (const T& x : *in) keys.push_back(key_fn(x));
+        }
+        std::sort(keys.begin(), keys.end());
+        if (!ascending) std::reverse(keys.begin(), keys.end());
+        std::vector<K> bounds;
+        for (int b = 1; b < n; ++b) {
+          if (!keys.empty()) {
+            bounds.push_back(keys[keys.size() * b / n]);
+          }
+        }
+        auto target = [&](const T& x) {
+          K k = key_fn(x);
+          int lo = 0;
+          for (size_t b = 0; b < bounds.size(); ++b) {
+            bool past = ascending ? (k > bounds[b]) : (k < bounds[b]);
+            if (past) lo = static_cast<int>(b) + 1;
+          }
+          return lo;
+        };
+        MaterializeShuffle<T>(sc, parent.get(), state.get(), target);
+      }
+      auto out = state->template TakeBucket<T>(sc, p);
+      std::sort(out.begin(), out.end(), [&](const T& a, const T& b) {
+        return ascending ? key_fn(a) < key_fn(b) : key_fn(b) < key_fn(a);
+      });
+      return out;
+    };
+    auto child = Rdd<T>(
+        sc_, MakeNode<T>(sc_, parent, "SortBy", n, true, compute,
+                         PartitionerInfo{"range", n, 0}));
+    return child;
+  }
+
+  // ---------------------------------------------------------------------
+  // Pair-RDD transformations. Only instantiable when T is std::pair<K, V>.
+  // ---------------------------------------------------------------------
+
+  /// Hash-partitions by key. If the RDD already carries an equal
+  /// PartitionerInfo this is a no-op (no shuffle) — the mechanism behind all
+  /// "pre-partitioning avoids shuffles" assessments.
+  template <typename TT = T, typename K = typename TT::first_type>
+  Rdd<T> PartitionByKey(int num_partitions = -1,
+                        const std::string& kind = "hash") const {
+    int n = ResolvePartitions(num_partitions);
+    PartitionerInfo info{kind, n, 0};
+    if (node_->partitioner() && *node_->partitioner() == info) return *this;
+    return ShuffleBy([](const T& kv) { return HashValue(kv.first); }, n,
+                     "PartitionByKey", info);
+  }
+
+  /// Map-side-combining aggregation by key (Spark's reduceByKey).
+  template <typename F, typename TT = T, typename K = typename TT::first_type,
+            typename V = typename TT::second_type>
+  Rdd<std::pair<K, V>> ReduceByKey(F combine, int num_partitions = -1) const {
+    int n = ResolvePartitions(num_partitions);
+    auto* sc = sc_;
+    auto parent = node_;
+    // Map-side combine first (narrow), then shuffle, then final combine.
+    auto precombined =
+        MapPartitionsWithIndex([combine](int, const std::vector<T>& in) {
+          std::unordered_map<K, V, ValueHasher> acc;
+          for (const auto& kv : in) {
+            auto it = acc.find(kv.first);
+            if (it == acc.end()) {
+              acc.emplace(kv.first, kv.second);
+            } else {
+              it->second = combine(it->second, kv.second);
+            }
+          }
+          return std::vector<std::pair<K, V>>(acc.begin(), acc.end());
+        });
+    PartitionerInfo info{"hash", n, 0};
+    auto shuffled = precombined.ShuffleBy(
+        [](const std::pair<K, V>& kv) { return HashValue(kv.first); }, n,
+        "ReduceByKey", info);
+    auto node = shuffled.node();
+    auto compute = [sc, node, combine](int p) {
+      auto in = node->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::unordered_map<K, V, ValueHasher> acc;
+      for (const auto& kv : *in) {
+        auto it = acc.find(kv.first);
+        if (it == acc.end()) {
+          acc.emplace(kv.first, kv.second);
+        } else {
+          it->second = combine(it->second, kv.second);
+        }
+      }
+      return std::vector<std::pair<K, V>>(acc.begin(), acc.end());
+    };
+    return Rdd<std::pair<K, V>>(
+        sc_, MakeNode<std::pair<K, V>>(sc_, node, "ReduceByKeyLocal", n, false,
+                                       compute, info));
+  }
+
+  /// Groups values per key without map-side combine (Spark's groupByKey —
+  /// the full-shuffle behaviour is intentional).
+  template <typename TT = T, typename K = typename TT::first_type,
+            typename V = typename TT::second_type>
+  Rdd<std::pair<K, std::vector<V>>> GroupByKey(int num_partitions = -1) const {
+    int n = ResolvePartitions(num_partitions);
+    PartitionerInfo info{"hash", n, 0};
+    auto shuffled =
+        ShuffleBy([](const T& kv) { return HashValue(kv.first); }, n,
+                  "GroupByKey", info);
+    auto* sc = sc_;
+    auto node = shuffled.node();
+    auto compute = [sc, node](int p) {
+      auto in = node->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::unordered_map<K, std::vector<V>, ValueHasher> acc;
+      for (const auto& kv : *in) acc[kv.first].push_back(kv.second);
+      std::vector<std::pair<K, std::vector<V>>> out;
+      out.reserve(acc.size());
+      for (auto& [k, vs] : acc) out.emplace_back(k, std::move(vs));
+      return out;
+    };
+    return Rdd<std::pair<K, std::vector<V>>>(
+        sc_, MakeNode<std::pair<K, std::vector<V>>>(
+                 sc_, node, "GroupByKeyLocal", n, false, compute, info));
+  }
+
+  /// Transforms values, preserving keys and the partitioner.
+  template <typename F, typename TT = T, typename K = typename TT::first_type,
+            typename V = typename TT::second_type>
+  auto MapValues(F f) const
+      -> Rdd<std::pair<K, std::invoke_result_t<F, const V&>>> {
+    using W = std::invoke_result_t<F, const V&>;
+    auto* sc = sc_;
+    auto parent = node_;
+    auto compute = [sc, parent, f](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::vector<std::pair<K, W>> out;
+      out.reserve(in->size());
+      for (const auto& kv : *in) out.emplace_back(kv.first, f(kv.second));
+      return out;
+    };
+    return Rdd<std::pair<K, W>>(
+        sc_, MakeNode<std::pair<K, W>>(sc_, parent, "MapValues",
+                                       parent->num_partitions(), false,
+                                       compute, parent->partitioner()));
+  }
+
+  template <typename TT = T, typename K = typename TT::first_type>
+  Rdd<K> Keys() const {
+    return Map([](const T& kv) { return kv.first; });
+  }
+
+  template <typename TT = T, typename V = typename TT::second_type>
+  Rdd<V> Values() const {
+    return Map([](const T& kv) { return kv.second; });
+  }
+
+  /// Inner hash join. Uses co-partitioned (shuffle-free) execution when both
+  /// sides share a partitioner, otherwise shuffles both sides.
+  template <typename W, typename TT = T, typename K = typename TT::first_type,
+            typename V = typename TT::second_type>
+  Rdd<std::pair<K, std::pair<V, W>>> Join(const Rdd<std::pair<K, W>>& other,
+                                          int num_partitions = -1) const {
+    return JoinImpl<W, K, V, JoinKind::kInner>(other, num_partitions);
+  }
+
+  /// Left outer join: right side optional.
+  template <typename W, typename TT = T, typename K = typename TT::first_type,
+            typename V = typename TT::second_type>
+  Rdd<std::pair<K, std::pair<V, std::optional<W>>>> LeftOuterJoin(
+      const Rdd<std::pair<K, W>>& other, int num_partitions = -1) const {
+    return JoinImpl<W, K, V, JoinKind::kLeftOuter>(other, num_partitions);
+  }
+
+  /// Groups both sides by key: (K, (V list, W list)).
+  template <typename W, typename TT = T, typename K = typename TT::first_type,
+            typename V = typename TT::second_type>
+  Rdd<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
+      const Rdd<std::pair<K, W>>& other, int num_partitions = -1) const {
+    int n = ResolvePartitions(num_partitions);
+    auto left = PartitionByKey(n);
+    auto right = other.PartitionByKey(n);
+    auto* sc = sc_;
+    auto ln = left.node();
+    auto rn = right.node();
+    using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+    auto compute = [sc, ln, rn](int p) {
+      auto l = ln->GetPartition(p);
+      auto r = rn->GetPartition(p);
+      sc->ChargeCompute(p, l->size() + r->size());
+      std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>,
+                         ValueHasher>
+          acc;
+      for (const auto& kv : *l) acc[kv.first].first.push_back(kv.second);
+      for (const auto& kv : *r) acc[kv.first].second.push_back(kv.second);
+      std::vector<Out> out;
+      out.reserve(acc.size());
+      for (auto& [k, vw] : acc) out.emplace_back(k, std::move(vw));
+      return out;
+    };
+    auto node = MakeNode<Out>(sc_, ln, "CoGroup", n, false, compute,
+                              PartitionerInfo{"hash", n, 0});
+    node->AddParent(rn);
+    return Rdd<Out>(sc_, node);
+  }
+
+  /// Map-side (broadcast) hash join against a small relation replicated to
+  /// all executors. No shuffle of the large side.
+  template <typename W, typename TT = T, typename K = typename TT::first_type,
+            typename V = typename TT::second_type>
+  Rdd<std::pair<K, std::pair<V, W>>> BroadcastHashJoin(
+      const std::unordered_map<K, std::vector<W>, ValueHasher>& small) const {
+    auto bc = sc_->MakeBroadcast(small);
+    auto* sc = sc_;
+    auto parent = node_;
+    using Out = std::pair<K, std::pair<V, W>>;
+    auto compute = [sc, parent, bc](int p) {
+      auto in = parent->GetPartition(p);
+      sc->ChargeCompute(p, in->size());
+      std::vector<Out> out;
+      for (const auto& kv : *in) {
+        auto it = bc.value().find(kv.first);
+        ++sc->metrics().join_comparisons;
+        if (it != bc.value().end()) {
+          sc->metrics().join_comparisons += it->second.size() - 1;
+          for (const W& w : it->second) {
+            out.emplace_back(kv.first, std::pair<V, W>(kv.second, w));
+          }
+        }
+      }
+      return out;
+    };
+    return Rdd<Out>(sc_, MakeNode<Out>(sc_, parent, "BroadcastHashJoin",
+                                       parent->num_partitions(), false,
+                                       compute, parent->partitioner()));
+  }
+
+  /// Removes pairs whose key appears in `other` (used by OPTIONAL/MINUS
+  /// style evaluation).
+  template <typename W, typename TT = T, typename K = typename TT::first_type,
+            typename V = typename TT::second_type>
+  Rdd<T> SubtractByKey(const Rdd<std::pair<K, W>>& other,
+                       int num_partitions = -1) const {
+    int n = ResolvePartitions(num_partitions);
+    auto left = PartitionByKey(n);
+    auto right = other.PartitionByKey(n);
+    auto* sc = sc_;
+    auto ln = left.node();
+    auto rn = right.node();
+    auto compute = [sc, ln, rn](int p) {
+      auto l = ln->GetPartition(p);
+      auto r = rn->GetPartition(p);
+      sc->ChargeCompute(p, l->size() + r->size());
+      std::unordered_set<K, ValueHasher> keys;
+      for (const auto& kv : *r) keys.insert(kv.first);
+      std::vector<T> out;
+      for (const auto& kv : *l) {
+        if (!keys.count(kv.first)) out.push_back(kv);
+      }
+      return out;
+    };
+    return Rdd<T>(sc_, MakeNode<T>(sc_, ln, "SubtractByKey", n, false, compute,
+                                   PartitionerInfo{"hash", n, 0}));
+  }
+
+  // ---------------------------------------------------------------------
+  // Actions.
+  // ---------------------------------------------------------------------
+
+  /// Materializes every partition on the driver.
+  std::vector<T> Collect() const {
+    sc_->RecordJob();
+    sc_->BeginPhase();
+    std::vector<T> out;
+    for (int p = 0; p < node_->num_partitions(); ++p) {
+      auto part = node_->GetPartition(p);
+      uint64_t bytes = 0;
+      for (const T& x : *part) bytes += EstimateSize(x);
+      sc_->ChargeTask(p, part->size(), bytes);  // results travel to driver
+      out.insert(out.end(), part->begin(), part->end());
+    }
+    sc_->EndPhase();
+    return out;
+  }
+
+  /// Number of elements.
+  uint64_t Count() const {
+    sc_->RecordJob();
+    sc_->BeginPhase();
+    uint64_t n = 0;
+    for (int p = 0; p < node_->num_partitions(); ++p) {
+      auto part = node_->GetPartition(p);
+      sc_->ChargeTask(p, part->size(), 0);
+      n += part->size();
+    }
+    sc_->EndPhase();
+    return n;
+  }
+
+  /// First `n` elements in partition order.
+  std::vector<T> Take(size_t n) const {
+    sc_->RecordJob();
+    sc_->BeginPhase();
+    std::vector<T> out;
+    for (int p = 0; p < node_->num_partitions() && out.size() < n; ++p) {
+      auto part = node_->GetPartition(p);
+      sc_->ChargeTask(p, part->size(), 0);
+      for (const T& x : *part) {
+        if (out.size() >= n) break;
+        out.push_back(x);
+      }
+    }
+    sc_->EndPhase();
+    return out;
+  }
+
+  /// Folds all elements with `combine`; empty RDD returns `zero`.
+  template <typename F>
+  T Fold(T zero, F combine) const {
+    auto all = Collect();
+    T acc = std::move(zero);
+    for (const T& x : all) acc = combine(acc, x);
+    return acc;
+  }
+
+  /// Counts elements per key (pair RDDs).
+  template <typename TT = T, typename K = typename TT::first_type>
+  std::map<K, uint64_t> CountByKey() const {
+    std::map<K, uint64_t> out;
+    for (const auto& kv : Collect()) ++out[kv.first];
+    return out;
+  }
+
+  /// Estimated resident bytes across all partitions (materializes them).
+  uint64_t MemoryFootprint() const {
+    uint64_t total = 0;
+    for (int p = 0; p < node_->num_partitions(); ++p) {
+      auto part = node_->GetPartition(p);
+      for (const T& x : *part) total += EstimateSize(x);
+    }
+    return total;
+  }
+
+  /// Marks the RDD persisted. The simulator retains computed partitions for
+  /// every RDD already, so this is documentation of intent (as in the
+  /// surveyed engines' pseudo-code); Evict still works for fault injection.
+  Rdd<T> Cache() const { return *this; }
+
+  /// Declares that this RDD is partitioned per `info` without shuffling.
+  /// For use by operators that provably preserve key placement (e.g. a
+  /// per-partition star join over subject-hashed triples keeps rows on the
+  /// subject's partition). The caller owns the proof.
+  Rdd<T> AssumePartitioner(PartitionerInfo info) const {
+    auto* sc = sc_;
+    auto parent = node_;
+    auto compute = [sc, parent](int p) {
+      auto in = parent->GetPartition(p);
+      return *in;
+    };
+    return Rdd<T>(sc_, MakeNode<T>(sc_, parent, "AssumePartitioner",
+                                   parent->num_partitions(), false, compute,
+                                   std::move(info)));
+  }
+
+  /// Lineage description, one node per line (Spark's toDebugString).
+  std::string DebugString() const {
+    std::string out;
+    AppendDebug(node_.get(), 0, &out);
+    return out;
+  }
+
+  // ---------------------------------------------------------------------
+  // Shuffle plumbing (public so sibling templates can reuse it).
+  // ---------------------------------------------------------------------
+
+  struct ShuffleState {
+    explicit ShuffleState(int n)
+        : materialized(false), buckets_void(static_cast<size_t>(n)) {}
+    bool materialized;
+    // Type-erased bucket storage: each slot holds a shared_ptr<vector<T>>.
+    std::vector<std::shared_ptr<void>> buckets_void;
+    std::vector<uint64_t> remote_bytes_per_target =
+        std::vector<uint64_t>(buckets_void.size(), 0);
+
+    template <typename U>
+    std::vector<U> TakeBucket(SparkContext* sc, int p) {
+      auto ptr = std::static_pointer_cast<std::vector<U>>(buckets_void[p]);
+      std::vector<U> out = ptr ? *ptr : std::vector<U>();
+      sc->ChargeTask(p, out.size(), remote_bytes_per_target[p]);
+      return out;
+    }
+  };
+
+  /// Builds a shuffled child of this RDD: records are routed to
+  /// `hash(record) % n` (via `hash_fn`). Exposed for reuse by SortBy and the
+  /// pair-RDD ops.
+  template <typename H>
+  Rdd<T> ShuffleBy(H hash_fn, int num_partitions, const std::string& name,
+                   PartitionerInfo info) const {
+    int n = num_partitions;
+    auto* sc = sc_;
+    auto parent = node_;
+    auto state = std::make_shared<ShuffleState>(n);
+    auto compute = [sc, parent, state, hash_fn, n](int p) {
+      if (!state->materialized) {
+        auto target = [&](const T& x) {
+          return static_cast<int>(hash_fn(x) % static_cast<uint64_t>(n));
+        };
+        MaterializeShuffle<T>(sc, parent.get(), state.get(), target);
+      }
+      return state->template TakeBucket<T>(sc, p);
+    };
+    return Rdd<T>(sc_, MakeNode<T>(sc_, parent, name, n, true, compute,
+                                   std::move(info)));
+  }
+
+  /// Runs the map side of a shuffle: computes every parent partition,
+  /// buckets records with `target`, and charges shuffle metrics.
+  template <typename U, typename Parent, typename TargetFn>
+  static void MaterializeShuffle(SparkContext* sc, Parent* parent,
+                                 ShuffleState* state, TargetFn target) {
+    sc->BeginPhase();
+    int n = static_cast<int>(state->buckets_void.size());
+    std::vector<std::shared_ptr<std::vector<U>>> buckets;
+    buckets.reserve(n);
+    for (int b = 0; b < n; ++b) {
+      buckets.push_back(std::make_shared<std::vector<U>>());
+    }
+    for (int q = 0; q < parent->num_partitions(); ++q) {
+      auto in = parent->GetPartition(q);
+      sc->ChargeTask(q, in->size(), 0);
+      int src_exec = sc->ExecutorOf(q);
+      for (const U& x : *in) {
+        int t = target(x);
+        uint64_t bytes = EstimateSize(x);
+        ++sc->metrics().shuffle_records;
+        sc->metrics().shuffle_bytes += bytes;
+        if (sc->ExecutorOf(t) != src_exec) {
+          sc->metrics().remote_shuffle_bytes += bytes;
+          ++sc->metrics().remote_read_records;
+          state->remote_bytes_per_target[t] += bytes;
+        } else {
+          ++sc->metrics().local_read_records;
+        }
+        buckets[t]->push_back(x);
+      }
+    }
+    for (int b = 0; b < n; ++b) state->buckets_void[b] = buckets[b];
+    state->materialized = true;
+    sc->EndPhase();
+  }
+
+ private:
+  enum class JoinKind { kInner, kLeftOuter };
+
+  template <typename W, typename K, typename V, JoinKind kKind>
+  auto JoinImpl(const Rdd<std::pair<K, W>>& other, int num_partitions) const {
+    int n = num_partitions > 0
+                ? num_partitions
+                : std::max(node_->num_partitions(),
+                           other.node()->num_partitions());
+    // Co-partitioned fast path: equal partitioners mean key-collocated data.
+    bool copartitioned = node_->partitioner() && other.node()->partitioner() &&
+                         *node_->partitioner() == *other.node()->partitioner();
+    auto left = copartitioned ? *this : PartitionByKey(n);
+    auto right = copartitioned ? other : other.PartitionByKey(n);
+    int out_n = copartitioned ? node_->num_partitions() : n;
+
+    auto* sc = sc_;
+    auto ln = left.node();
+    auto rn = right.node();
+    using OutVal =
+        std::conditional_t<kKind == JoinKind::kInner, std::pair<V, W>,
+                           std::pair<V, std::optional<W>>>;
+    using Out = std::pair<K, OutVal>;
+    auto compute = [sc, ln, rn](int p) {
+      auto l = ln->GetPartition(p);
+      auto r = rn->GetPartition(p);
+      sc->ChargeCompute(p, l->size() + r->size());
+      std::unordered_map<K, std::vector<W>, ValueHasher> build;
+      for (const auto& kv : *r) build[kv.first].push_back(kv.second);
+      std::vector<Out> out;
+      for (const auto& kv : *l) {
+        auto it = build.find(kv.first);
+        ++sc->metrics().join_comparisons;
+        if (it != build.end()) {
+          sc->metrics().join_comparisons += it->second.size() - 1;
+          for (const W& w : it->second) {
+            if constexpr (kKind == JoinKind::kInner) {
+              out.emplace_back(kv.first, std::pair<V, W>(kv.second, w));
+            } else {
+              out.emplace_back(kv.first, std::pair<V, std::optional<W>>(
+                                             kv.second, w));
+            }
+          }
+        } else if constexpr (kKind == JoinKind::kLeftOuter) {
+          out.emplace_back(kv.first, std::pair<V, std::optional<W>>(
+                                         kv.second, std::nullopt));
+        }
+      }
+      return out;
+    };
+    auto node = MakeNode<Out>(sc_, ln,
+                              kKind == JoinKind::kInner ? "Join"
+                                                        : "LeftOuterJoin",
+                              out_n, false, compute,
+                              PartitionerInfo{"hash", out_n, 0});
+    node->AddParent(rn);
+    return Rdd<Out>(sc_, node);
+  }
+
+  template <typename U, typename ComputeFn>
+  Rdd<U> MakeChild(const std::string& name, int num_partitions,
+                   bool is_shuffle, ComputeFn compute,
+                   std::optional<PartitionerInfo> info) const {
+    auto node = MakeNode<U>(sc_, node_, name, num_partitions, is_shuffle,
+                            std::move(compute), std::move(info));
+    return Rdd<U>(sc_, node);
+  }
+
+  template <typename U, typename ParentPtr, typename ComputeFn>
+  static std::shared_ptr<RddNode<U>> MakeNode(
+      SparkContext* sc, ParentPtr parent, const std::string& name,
+      int num_partitions, bool is_shuffle, ComputeFn compute,
+      std::optional<PartitionerInfo> info) {
+    auto node = std::make_shared<RddNode<U>>(sc->NextNodeId(), name,
+                                             num_partitions, is_shuffle,
+                                             std::move(compute));
+    node->AddParent(parent);
+    if (info) node->set_partitioner(std::move(*info));
+    return node;
+  }
+
+  static void AppendDebug(const RddNodeBase* node, int depth,
+                          std::string* out) {
+    out->append(static_cast<size_t>(depth) * 2, ' ');
+    out->append(node->name());
+    out->append(" [" + std::to_string(node->num_partitions()) + " parts" +
+                (node->is_shuffle() ? ", shuffle" : "") + "]\n");
+    for (const auto& p : node->parents()) {
+      AppendDebug(p.get(), depth + 1, out);
+    }
+  }
+
+  int ResolvePartitions(int requested) const {
+    if (requested > 0) return requested;
+    return node_ ? node_->num_partitions() : sc_->config().default_parallelism;
+  }
+
+  SparkContext* sc_ = nullptr;
+  std::shared_ptr<RddNode<T>> node_;
+
+  template <typename U>
+  friend class Rdd;
+};
+
+template <typename T>
+Rdd<T> Parallelize(SparkContext* sc, std::vector<T> data, int num_partitions) {
+  int n = num_partitions > 0 ? num_partitions
+                             : sc->config().default_parallelism;
+  auto shared = std::make_shared<std::vector<T>>(std::move(data));
+  size_t total = shared->size();
+  auto compute = [shared, total, n](int p) {
+    size_t begin = total * static_cast<size_t>(p) / static_cast<size_t>(n);
+    size_t end = total * (static_cast<size_t>(p) + 1) / static_cast<size_t>(n);
+    return std::vector<T>(shared->begin() + begin, shared->begin() + end);
+  };
+  auto node = std::make_shared<RddNode<T>>(sc->NextNodeId(), "Parallelize", n,
+                                           false, compute);
+  return Rdd<T>(sc, node);
+}
+
+/// Collects a pair RDD into a key -> values multimap (driver side). Used to
+/// build broadcast join tables.
+template <typename K, typename V>
+std::unordered_map<K, std::vector<V>, ValueHasher> CollectAsMultimap(
+    const Rdd<std::pair<K, V>>& rdd) {
+  std::unordered_map<K, std::vector<V>, ValueHasher> out;
+  for (auto& kv : rdd.Collect()) out[kv.first].push_back(kv.second);
+  return out;
+}
+
+}  // namespace rdfspark::spark
+
+#endif  // RDFSPARK_SPARK_RDD_H_

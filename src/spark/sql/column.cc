@@ -1,0 +1,94 @@
+#include "spark/sql/column.h"
+
+namespace rdfspark::spark::sql {
+
+void Column::Append(const Value& v) {
+  ++num_values_;
+  bool null = IsNull(v);
+  nulls_.push_back(null ? 1 : 0);
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(null ? 0 : std::get<int64_t>(v));
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(null ? 0.0 : std::get<double>(v));
+      break;
+    case DataType::kBool:
+      bools_.push_back(null ? 0 : (std::get<bool>(v) ? 1 : 0));
+      break;
+    case DataType::kString: {
+      if (null) {
+        codes_.push_back(-1);
+        break;
+      }
+      const std::string& s = std::get<std::string>(v);
+      auto it = dict_index_.find(s);
+      int32_t code;
+      if (it == dict_index_.end()) {
+        code = static_cast<int32_t>(dict_.size());
+        dict_.push_back(s);
+        dict_index_.emplace(s, code);
+      } else {
+        code = it->second;
+      }
+      codes_.push_back(code);
+      break;
+    }
+    case DataType::kNull:
+      break;
+  }
+}
+
+Value Column::Get(size_t i) const {
+  if (nulls_[i]) return Value{};
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_[i];
+    case DataType::kDouble:
+      return doubles_[i];
+    case DataType::kBool:
+      return bools_[i] != 0;
+    case DataType::kString:
+      return dict_[static_cast<size_t>(codes_[i])];
+    case DataType::kNull:
+      return Value{};
+  }
+  return Value{};
+}
+
+uint64_t Column::MemoryBytes() const {
+  uint64_t total = nulls_.size();
+  total += ints_.size() * 8 + doubles_.size() * 8 + bools_.size();
+  total += codes_.size() * 4;
+  for (const auto& s : dict_) total += 16 + s.size();
+  return total;
+}
+
+Row RecordBatch::GetRow(size_t i) const {
+  Row row;
+  row.reserve(columns.size());
+  for (const Column& c : columns) row.push_back(c.Get(i));
+  return row;
+}
+
+void RecordBatch::AppendRow(const Row& row) {
+  for (size_t i = 0; i < columns.size(); ++i) columns[i].Append(row[i]);
+  ++num_rows;
+}
+
+uint64_t RecordBatch::MemoryBytes() const {
+  uint64_t total = 0;
+  for (const Column& c : columns) total += c.MemoryBytes();
+  return total;
+}
+
+RecordBatch MakeBatch(const Schema& schema) {
+  RecordBatch batch;
+  batch.columns.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    batch.columns.emplace_back(f.type);
+  }
+  return batch;
+}
+
+}  // namespace rdfspark::spark::sql

@@ -1,0 +1,151 @@
+#include "spark/sql/logical_plan.h"
+
+#include <sstream>
+
+namespace rdfspark::spark::sql {
+
+PlanPtr MakeScan(std::string table, std::string alias) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kScan;
+  p->table = std::move(table);
+  p->alias = std::move(alias);
+  return p;
+}
+
+PlanPtr MakeProject(PlanPtr child,
+                    std::vector<std::pair<Expr, std::string>> projections) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kProject;
+  p->left = std::move(child);
+  p->projections = std::move(projections);
+  return p;
+}
+
+PlanPtr MakeFilter(PlanPtr child, Expr predicate) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kFilter;
+  p->left = std::move(child);
+  p->predicate = std::move(predicate);
+  return p;
+}
+
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, Expr condition, JoinType type,
+                 JoinStrategy strategy) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kJoin;
+  p->left = std::move(left);
+  p->right = std::move(right);
+  p->predicate = std::move(condition);
+  p->join_type = type;
+  p->join_strategy = strategy;
+  return p;
+}
+
+PlanPtr MakeAggregate(PlanPtr child, std::vector<std::string> group_keys,
+                      std::vector<AggSpec> aggs) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kAggregate;
+  p->left = std::move(child);
+  p->group_keys = std::move(group_keys);
+  p->aggs = std::move(aggs);
+  return p;
+}
+
+PlanPtr MakeSort(PlanPtr child,
+                 std::vector<std::pair<std::string, bool>> keys) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kSort;
+  p->left = std::move(child);
+  p->sort_keys = std::move(keys);
+  return p;
+}
+
+PlanPtr MakeLimit(PlanPtr child, int64_t limit) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kLimit;
+  p->left = std::move(child);
+  p->limit = limit;
+  return p;
+}
+
+PlanPtr MakeDistinct(PlanPtr child) {
+  auto p = std::make_shared<LogicalPlan>();
+  p->kind = PlanKind::kDistinct;
+  p->left = std::move(child);
+  return p;
+}
+
+PlanPtr ClonePlan(const PlanPtr& plan) {
+  if (!plan) return nullptr;
+  auto p = std::make_shared<LogicalPlan>(*plan);
+  p->left = ClonePlan(plan->left);
+  p->right = ClonePlan(plan->right);
+  return p;
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad;
+  switch (kind) {
+    case PlanKind::kScan:
+      os << "Scan " << table;
+      if (!alias.empty()) os << " AS " << alias;
+      os << "\n";
+      break;
+    case PlanKind::kProject: {
+      os << "Project [";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i) os << ", ";
+        os << projections[i].first.ToString() << " AS "
+           << projections[i].second;
+      }
+      os << "]\n";
+      break;
+    }
+    case PlanKind::kFilter:
+      os << "Filter " << predicate.ToString() << "\n";
+      break;
+    case PlanKind::kJoin:
+      os << (join_type == JoinType::kInner ? "Join " : "LeftOuterJoin ")
+         << (predicate.valid() ? predicate.ToString() : std::string("true"));
+      switch (join_strategy) {
+        case JoinStrategy::kBroadcast:
+          os << " [broadcast]";
+          break;
+        case JoinStrategy::kShuffleHash:
+          os << " [shuffle]";
+          break;
+        case JoinStrategy::kCartesian:
+          os << " [cartesian]";
+          break;
+        case JoinStrategy::kAuto:
+          break;
+      }
+      os << "\n";
+      break;
+    case PlanKind::kAggregate: {
+      os << "Aggregate keys=[";
+      for (size_t i = 0; i < group_keys.size(); ++i) {
+        if (i) os << ", ";
+        os << group_keys[i];
+      }
+      os << "] aggs=" << aggs.size() << "\n";
+      break;
+    }
+    case PlanKind::kSort:
+      os << "Sort\n";
+      break;
+    case PlanKind::kLimit:
+      os << "Limit " << limit << "\n";
+      break;
+    case PlanKind::kDistinct:
+      os << "Distinct\n";
+      break;
+  }
+  if (left) os << left->ToString(indent + 1);
+  if (right) os << right->ToString(indent + 1);
+  return os.str();
+}
+
+}  // namespace rdfspark::spark::sql

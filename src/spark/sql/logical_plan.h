@@ -1,0 +1,86 @@
+#ifndef RDFSPARK_SPARK_SQL_LOGICAL_PLAN_H_
+#define RDFSPARK_SPARK_SQL_LOGICAL_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spark/sql/dataframe.h"
+#include "spark/sql/expr.h"
+
+namespace rdfspark::spark::sql {
+
+struct LogicalPlan;
+using PlanPtr = std::shared_ptr<LogicalPlan>;
+
+enum class PlanKind {
+  kScan,
+  kProject,
+  kFilter,
+  kJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+  kDistinct,
+};
+
+/// One node of the logical query plan the SQL front-end produces and the
+/// Catalyst-style optimizer rewrites. A deliberately plain struct: rules
+/// pattern-match on `kind` and rebuild nodes.
+struct LogicalPlan {
+  PlanKind kind = PlanKind::kScan;
+
+  // Children (kJoin uses both; other non-leaf kinds use `left`).
+  PlanPtr left;
+  PlanPtr right;
+
+  // kScan.
+  std::string table;
+  std::string alias;  // empty: keep original column names
+
+  // kProject.
+  std::vector<std::pair<Expr, std::string>> projections;
+
+  // kFilter / kJoin condition.
+  Expr predicate;
+
+  // kJoin.
+  JoinType join_type = JoinType::kInner;
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+
+  // kAggregate.
+  std::vector<std::string> group_keys;
+  std::vector<AggSpec> aggs;
+
+  // kSort.
+  std::vector<std::pair<std::string, bool>> sort_keys;
+
+  // kLimit.
+  int64_t limit = -1;
+
+  /// Pretty-prints the plan tree (EXPLAIN-style).
+  std::string ToString(int indent = 0) const;
+};
+
+PlanPtr MakeScan(std::string table, std::string alias = "");
+PlanPtr MakeProject(PlanPtr child,
+                    std::vector<std::pair<Expr, std::string>> projections);
+PlanPtr MakeFilter(PlanPtr child, Expr predicate);
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, Expr condition,
+                 JoinType type = JoinType::kInner,
+                 JoinStrategy strategy = JoinStrategy::kAuto);
+PlanPtr MakeAggregate(PlanPtr child, std::vector<std::string> group_keys,
+                      std::vector<AggSpec> aggs);
+PlanPtr MakeSort(PlanPtr child,
+                 std::vector<std::pair<std::string, bool>> keys);
+PlanPtr MakeLimit(PlanPtr child, int64_t limit);
+PlanPtr MakeDistinct(PlanPtr child);
+
+/// Deep copy (optimizer rules mutate copies, never shared inputs).
+PlanPtr ClonePlan(const PlanPtr& plan);
+
+}  // namespace rdfspark::spark::sql
+
+#endif  // RDFSPARK_SPARK_SQL_LOGICAL_PLAN_H_

@@ -1,0 +1,296 @@
+#include "spark/sql/optimizer.h"
+
+#include <algorithm>
+
+namespace rdfspark::spark::sql {
+
+Result<Schema> Optimizer::InferSchema(const PlanPtr& plan,
+                                      const Catalog& catalog) {
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      auto it = catalog.find(plan->table);
+      if (it == catalog.end()) {
+        return Status::NotFound("unknown table: " + plan->table);
+      }
+      Schema schema = it->second.schema();
+      if (plan->alias.empty()) return schema;
+      std::vector<Field> fields;
+      for (const Field& f : schema.fields()) {
+        fields.push_back(Field{plan->alias + "." + f.name, f.type});
+      }
+      return Schema{fields};
+    }
+    case PlanKind::kProject: {
+      RDFSPARK_ASSIGN_OR_RETURN(Schema child,
+                                InferSchema(plan->left, catalog));
+      std::vector<Field> fields;
+      for (const auto& [expr, name] : plan->projections) {
+        DataType t = DataType::kString;
+        if (expr.kind() == ExprKind::kColumn) {
+          int idx = child.Index(expr.column());
+          if (idx >= 0) t = child.field(static_cast<size_t>(idx)).type;
+        } else if (expr.kind() == ExprKind::kLiteral) {
+          t = TypeOf(expr.literal());
+        }
+        fields.push_back(Field{name, t});
+      }
+      return Schema{fields};
+    }
+    case PlanKind::kJoin: {
+      RDFSPARK_ASSIGN_OR_RETURN(Schema left, InferSchema(plan->left, catalog));
+      RDFSPARK_ASSIGN_OR_RETURN(Schema right,
+                                InferSchema(plan->right, catalog));
+      std::vector<Field> fields = left.fields();
+      for (const Field& f : right.fields()) fields.push_back(f);
+      return Schema{fields};
+    }
+    case PlanKind::kAggregate: {
+      RDFSPARK_ASSIGN_OR_RETURN(Schema child,
+                                InferSchema(plan->left, catalog));
+      std::vector<Field> fields;
+      for (const auto& k : plan->group_keys) {
+        int idx = child.Index(k);
+        fields.push_back(Field{
+            k, idx >= 0 ? child.field(static_cast<size_t>(idx)).type
+                        : DataType::kString});
+      }
+      for (const auto& a : plan->aggs) {
+        DataType t = a.op == AggOp::kAvg ? DataType::kDouble
+                                         : DataType::kInt64;
+        if (a.op == AggOp::kMin || a.op == AggOp::kMax ||
+            a.op == AggOp::kSum) {
+          int idx = child.Index(a.column);
+          if (idx >= 0) t = child.field(static_cast<size_t>(idx)).type;
+        }
+        fields.push_back(Field{a.alias, t});
+      }
+      return Schema{fields};
+    }
+    case PlanKind::kFilter:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+    case PlanKind::kDistinct:
+      return InferSchema(plan->left, catalog);
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+uint64_t Optimizer::EstimateRows(const PlanPtr& plan, const Catalog& catalog) {
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      auto it = catalog.find(plan->table);
+      return it == catalog.end() ? 0 : it->second.NumRows();
+    }
+    case PlanKind::kFilter: {
+      std::vector<Expr> conjuncts;
+      SplitConjuncts(plan->predicate, &conjuncts);
+      uint64_t rows = EstimateRows(plan->left, catalog);
+      for (size_t i = 0; i < conjuncts.size(); ++i) rows /= 4;
+      return std::max<uint64_t>(rows, 1);
+    }
+    case PlanKind::kJoin:
+      return EstimateRows(plan->left, catalog) +
+             EstimateRows(plan->right, catalog);
+    case PlanKind::kLimit:
+      return std::min<uint64_t>(
+          EstimateRows(plan->left, catalog),
+          plan->limit < 0 ? ~0ull : static_cast<uint64_t>(plan->limit));
+    default:
+      return plan->left ? EstimateRows(plan->left, catalog) : 0;
+  }
+}
+
+Result<PlanPtr> Optimizer::Optimize(const PlanPtr& plan,
+                                    const Catalog& catalog) const {
+  PlanPtr out = ClonePlan(plan);
+  if (options_.push_filters) {
+    RDFSPARK_ASSIGN_OR_RETURN(out, PushFilters(out, catalog));
+  }
+  if (options_.reorder_joins) {
+    RDFSPARK_ASSIGN_OR_RETURN(out, ReorderJoins(out, catalog));
+  }
+  return out;
+}
+
+Result<PlanPtr> Optimizer::PushFilters(PlanPtr plan,
+                                       const Catalog& catalog) const {
+  if (!plan) return plan;
+  if (plan->left) {
+    RDFSPARK_ASSIGN_OR_RETURN(plan->left, PushFilters(plan->left, catalog));
+  }
+  if (plan->right) {
+    RDFSPARK_ASSIGN_OR_RETURN(plan->right, PushFilters(plan->right, catalog));
+  }
+  if (plan->kind != PlanKind::kFilter) return plan;
+
+  // Merge stacked filters.
+  while (plan->left && plan->left->kind == PlanKind::kFilter) {
+    plan->predicate = plan->predicate && plan->left->predicate;
+    plan->left = plan->left->left;
+  }
+  if (!plan->left || plan->left->kind != PlanKind::kJoin) return plan;
+
+  PlanPtr join = plan->left;
+  RDFSPARK_ASSIGN_OR_RETURN(Schema lschema,
+                            InferSchema(join->left, catalog));
+  RDFSPARK_ASSIGN_OR_RETURN(Schema rschema,
+                            InferSchema(join->right, catalog));
+  std::vector<Expr> conjuncts;
+  SplitConjuncts(plan->predicate, &conjuncts);
+  std::vector<Expr> to_left, to_right, stay;
+  for (const Expr& c : conjuncts) {
+    if (c.ResolvedBy(lschema)) {
+      to_left.push_back(c);
+    } else if (c.ResolvedBy(rschema) &&
+               join->join_type == JoinType::kInner) {
+      // Pushing below the null-producing side of an outer join is unsound;
+      // only inner joins accept right-side pushdown.
+      to_right.push_back(c);
+    } else {
+      stay.push_back(c);
+    }
+  }
+  if (!to_left.empty()) {
+    join->left = MakeFilter(join->left, CombineConjuncts(to_left));
+    RDFSPARK_ASSIGN_OR_RETURN(join->left, PushFilters(join->left, catalog));
+  }
+  if (!to_right.empty()) {
+    join->right = MakeFilter(join->right, CombineConjuncts(to_right));
+    RDFSPARK_ASSIGN_OR_RETURN(join->right,
+                              PushFilters(join->right, catalog));
+  }
+  if (stay.empty()) return join;
+  return MakeFilter(join, CombineConjuncts(stay));
+}
+
+namespace {
+
+/// Collects the leaves and conditions of a maximal chain of inner kAuto
+/// joins rooted at `plan`.
+void CollectJoinChain(const PlanPtr& plan, std::vector<PlanPtr>* leaves,
+                      std::vector<Expr>* conditions) {
+  if (plan->kind == PlanKind::kJoin && plan->join_type == JoinType::kInner &&
+      plan->join_strategy == JoinStrategy::kAuto) {
+    CollectJoinChain(plan->left, leaves, conditions);
+    CollectJoinChain(plan->right, leaves, conditions);
+    if (plan->predicate.valid()) {
+      SplitConjuncts(plan->predicate, conditions);
+    }
+    return;
+  }
+  leaves->push_back(plan);
+}
+
+}  // namespace
+
+Result<PlanPtr> Optimizer::ReorderJoins(PlanPtr plan,
+                                        const Catalog& catalog) const {
+  if (!plan) return plan;
+  if (plan->kind != PlanKind::kJoin ||
+      plan->join_type != JoinType::kInner ||
+      plan->join_strategy != JoinStrategy::kAuto) {
+    if (plan->left) {
+      RDFSPARK_ASSIGN_OR_RETURN(plan->left, ReorderJoins(plan->left, catalog));
+    }
+    if (plan->right) {
+      RDFSPARK_ASSIGN_OR_RETURN(plan->right,
+                                ReorderJoins(plan->right, catalog));
+    }
+    return plan;
+  }
+
+  std::vector<PlanPtr> leaves;
+  std::vector<Expr> conditions;
+  CollectJoinChain(plan, &leaves, &conditions);
+  if (leaves.size() <= 2) return plan;
+
+  // Recursively optimize leaves and size them.
+  std::vector<Schema> schemas;
+  std::vector<uint64_t> sizes;
+  for (auto& leaf : leaves) {
+    RDFSPARK_ASSIGN_OR_RETURN(leaf, ReorderJoins(leaf, catalog));
+    RDFSPARK_ASSIGN_OR_RETURN(Schema s, InferSchema(leaf, catalog));
+    schemas.push_back(std::move(s));
+    sizes.push_back(EstimateRows(leaf, catalog));
+  }
+
+  auto resolved_by_union = [](const Expr& e, const Schema& a,
+                              const Schema& b) {
+    std::vector<std::string> cols;
+    e.CollectColumns(&cols);
+    for (const auto& c : cols) {
+      if (a.Index(c) < 0 && b.Index(c) < 0) return false;
+    }
+    return true;
+  };
+  auto touches = [](const Expr& e, const Schema& s) {
+    std::vector<std::string> cols;
+    e.CollectColumns(&cols);
+    for (const auto& c : cols) {
+      if (s.Index(c) >= 0) return true;
+    }
+    return false;
+  };
+
+  // Greedy: start from the smallest leaf, repeatedly add the smallest leaf
+  // connected to the current set by an unused condition.
+  std::vector<bool> used(leaves.size(), false);
+  std::vector<bool> cond_used(conditions.size(), false);
+  size_t first = 0;
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    if (sizes[i] < sizes[first]) first = i;
+  }
+  used[first] = true;
+  PlanPtr current = leaves[first];
+  std::vector<Field> current_fields = schemas[first].fields();
+
+  for (size_t step = 1; step < leaves.size(); ++step) {
+    Schema current_schema{current_fields};
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = false;
+      for (size_t c = 0; c < conditions.size(); ++c) {
+        if (cond_used[c]) continue;
+        if (touches(conditions[c], current_schema) &&
+            touches(conditions[c], schemas[i]) &&
+            resolved_by_union(conditions[c], current_schema, schemas[i])) {
+          connected = true;
+          break;
+        }
+      }
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           sizes[i] < sizes[static_cast<size_t>(best)])) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    size_t b = static_cast<size_t>(best);
+    used[b] = true;
+    // Attach every not-yet-used condition now fully resolvable.
+    std::vector<Expr> attach;
+    for (size_t c = 0; c < conditions.size(); ++c) {
+      if (cond_used[c]) continue;
+      if (resolved_by_union(conditions[c], current_schema, schemas[b]) &&
+          touches(conditions[c], schemas[b])) {
+        attach.push_back(conditions[c]);
+        cond_used[c] = true;
+      }
+    }
+    current = MakeJoin(current, leaves[b], CombineConjuncts(attach),
+                       JoinType::kInner, JoinStrategy::kAuto);
+    for (const Field& f : schemas[b].fields()) current_fields.push_back(f);
+  }
+
+  // Leftover conditions become a final filter.
+  std::vector<Expr> rest;
+  for (size_t c = 0; c < conditions.size(); ++c) {
+    if (!cond_used[c]) rest.push_back(conditions[c]);
+  }
+  if (!rest.empty()) current = MakeFilter(current, CombineConjuncts(rest));
+  return current;
+}
+
+}  // namespace rdfspark::spark::sql

@@ -1,0 +1,50 @@
+#ifndef RDFSPARK_SPARK_SQL_OPTIMIZER_H_
+#define RDFSPARK_SPARK_SQL_OPTIMIZER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "spark/sql/logical_plan.h"
+
+namespace rdfspark::spark::sql {
+
+/// Registered tables.
+using Catalog = std::unordered_map<std::string, DataFrame>;
+
+/// Rule-based + stats-driven logical optimizer modeled on Catalyst's core
+/// behaviours the paper discusses: predicate pushdown below joins, and
+/// statistics-based join reordering (greedy smallest-connected-first). The
+/// physical broadcast-vs-shuffle choice happens in DataFrame::Join using the
+/// size threshold.
+class Optimizer {
+ public:
+  struct Options {
+    bool push_filters = true;
+    bool reorder_joins = true;
+  };
+
+  Optimizer() = default;
+  explicit Optimizer(Options options) : options_(options) {}
+
+  /// Returns an optimized copy of `plan`.
+  Result<PlanPtr> Optimize(const PlanPtr& plan, const Catalog& catalog) const;
+
+  /// Schema a plan node produces (needs the catalog for scans). Scans with
+  /// an alias qualify their columns as "alias.column".
+  static Result<Schema> InferSchema(const PlanPtr& plan,
+                                    const Catalog& catalog);
+
+  /// Rough output-cardinality estimate used by join reordering.
+  static uint64_t EstimateRows(const PlanPtr& plan, const Catalog& catalog);
+
+ private:
+  Result<PlanPtr> PushFilters(PlanPtr plan, const Catalog& catalog) const;
+  Result<PlanPtr> ReorderJoins(PlanPtr plan, const Catalog& catalog) const;
+
+  Options options_;
+};
+
+}  // namespace rdfspark::spark::sql
+
+#endif  // RDFSPARK_SPARK_SQL_OPTIMIZER_H_

@@ -1,0 +1,111 @@
+#include "spark/sql/session.h"
+
+namespace rdfspark::spark::sql {
+
+Result<DataFrame> SqlSession::Table(const std::string& name) const {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("unknown table: " + name);
+  }
+  return it->second;
+}
+
+Result<DataFrame> SqlSession::Sql(std::string_view query) const {
+  RDFSPARK_ASSIGN_OR_RETURN(PlanPtr plan, ParseSql(query));
+  Optimizer optimizer(optimizer_options_);
+  RDFSPARK_ASSIGN_OR_RETURN(PlanPtr optimized,
+                            optimizer.Optimize(plan, catalog_));
+  return Execute(optimized);
+}
+
+Result<std::string> SqlSession::Explain(std::string_view query) const {
+  RDFSPARK_ASSIGN_OR_RETURN(PlanPtr plan, ParseSql(query));
+  Optimizer optimizer(optimizer_options_);
+  RDFSPARK_ASSIGN_OR_RETURN(PlanPtr optimized,
+                            optimizer.Optimize(plan, catalog_));
+  return optimized->ToString();
+}
+
+Result<DataFrame> SqlSession::Execute(const PlanPtr& plan) const {
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame df, Table(plan->table));
+      if (plan->alias.empty()) return df;
+      std::vector<std::string> names;
+      for (const Field& f : df.schema().fields()) {
+        names.push_back(plan->alias + "." + f.name);
+      }
+      return df.Rename(names);
+    }
+    case PlanKind::kProject: {
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame child, Execute(plan->left));
+      return child.SelectExprs(plan->projections);
+    }
+    case PlanKind::kFilter: {
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame child, Execute(plan->left));
+      return child.Filter(plan->predicate);
+    }
+    case PlanKind::kJoin: {
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame left, Execute(plan->left));
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame right, Execute(plan->right));
+      // Split the condition into equi-join keys (column = column across the
+      // two sides) and a residual predicate.
+      std::vector<std::pair<std::string, std::string>> keys;
+      std::vector<Expr> residual;
+      if (plan->predicate.valid()) {
+        std::vector<Expr> conjuncts;
+        SplitConjuncts(plan->predicate, &conjuncts);
+        for (const Expr& c : conjuncts) {
+          bool is_key = false;
+          if (c.kind() == ExprKind::kEq &&
+              c.children()[0].kind() == ExprKind::kColumn &&
+              c.children()[1].kind() == ExprKind::kColumn) {
+            const std::string& a = c.children()[0].column();
+            const std::string& b = c.children()[1].column();
+            if (left.schema().Index(a) >= 0 &&
+                right.schema().Index(b) >= 0) {
+              keys.emplace_back(a, b);
+              is_key = true;
+            } else if (left.schema().Index(b) >= 0 &&
+                       right.schema().Index(a) >= 0) {
+              keys.emplace_back(b, a);
+              is_key = true;
+            }
+          }
+          if (!is_key) residual.push_back(c);
+        }
+      }
+      DataFrame joined;
+      if (keys.empty()) {
+        // No equi keys: Cartesian product (the naive fallback of [21]).
+        joined = left.CrossJoin(right);
+      } else {
+        joined = left.Join(right, keys, plan->join_type,
+                           plan->join_strategy);
+      }
+      if (!residual.empty()) {
+        joined = joined.Filter(CombineConjuncts(residual));
+      }
+      return joined;
+    }
+    case PlanKind::kAggregate: {
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame child, Execute(plan->left));
+      return child.GroupByAgg(plan->group_keys, plan->aggs);
+    }
+    case PlanKind::kSort: {
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame child, Execute(plan->left));
+      return child.Sort(plan->sort_keys);
+    }
+    case PlanKind::kLimit: {
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame child, Execute(plan->left));
+      return child.Limit(plan->limit);
+    }
+    case PlanKind::kDistinct: {
+      RDFSPARK_ASSIGN_OR_RETURN(DataFrame child, Execute(plan->left));
+      return child.Distinct();
+    }
+  }
+  return Status::Internal("unhandled plan kind");
+}
+
+}  // namespace rdfspark::spark::sql

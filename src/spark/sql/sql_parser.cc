@@ -1,0 +1,508 @@
+#include "spark/sql/sql_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace rdfspark::spark::sql {
+
+namespace {
+
+enum class SqlTok { kEof, kIdent, kNumber, kString, kPunct, kKeyword };
+
+struct Token {
+  SqlTok kind = SqlTok::kEof;
+  std::string text;
+};
+
+const char* kKeywords[] = {"SELECT", "DISTINCT", "FROM",  "JOIN",  "LEFT",
+                           "OUTER",  "INNER",    "ON",    "WHERE", "GROUP",
+                           "BY",     "ORDER",    "ASC",   "DESC",  "LIMIT",
+                           "AS",     "AND",      "OR",    "NOT",   "COUNT",
+                           "SUM",    "MIN",      "MAX",   "AVG",   "UNION",
+                           "IS",     "NULL"};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_' || text[i] == '.')) {
+        ++i;
+      }
+      std::string word(text.substr(start, i - start));
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      if (IsKeyword(upper) && word.find('.') == std::string::npos) {
+        tok.kind = SqlTok::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = SqlTok::kIdent;
+        tok.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < text.size() &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool dot = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              (text[i] == '.' && !dot))) {
+        if (text[i] == '.') dot = true;
+        ++i;
+      }
+      tok.kind = SqlTok::kNumber;
+      tok.text.assign(text.substr(start, i - start));
+    } else if (c == '\'') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\'') {
+          if (i + 1 < text.size() && text[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      tok.kind = SqlTok::kString;
+      tok.text = std::move(value);
+    } else {
+      auto two = text.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == "<>") {
+        tok.kind = SqlTok::kPunct;
+        tok.text = two == "<>" ? "!=" : std::string(two);
+        i += 2;
+      } else if (std::string("(),*=<>").find(c) != std::string::npos) {
+        tok.kind = SqlTok::kPunct;
+        tok.text.assign(1, c);
+        ++i;
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' in SQL");
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  out.push_back(Token{});
+  return out;
+}
+
+struct SelectItem {
+  bool is_star = false;
+  bool is_agg = false;
+  AggSpec agg;
+  Expr expr;         // non-agg
+  std::string name;  // output name
+};
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<PlanPtr> Parse() {
+    RDFSPARK_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    bool distinct = false;
+    if (PeekKeyword("DISTINCT")) {
+      Advance();
+      distinct = true;
+    }
+    std::vector<SelectItem> items;
+    while (true) {
+      RDFSPARK_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      items.push_back(std::move(item));
+      if (Peek().kind == SqlTok::kPunct && Peek().text == ",") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    RDFSPARK_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    RDFSPARK_ASSIGN_OR_RETURN(PlanPtr plan, ParseTableRef());
+    while (PeekKeyword("JOIN") || PeekKeyword("LEFT") ||
+           PeekKeyword("INNER")) {
+      JoinType type = JoinType::kInner;
+      if (PeekKeyword("LEFT")) {
+        Advance();
+        if (PeekKeyword("OUTER")) Advance();
+        type = JoinType::kLeftOuter;
+      } else if (PeekKeyword("INNER")) {
+        Advance();
+      }
+      RDFSPARK_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      RDFSPARK_ASSIGN_OR_RETURN(PlanPtr right, ParseTableRef());
+      RDFSPARK_RETURN_NOT_OK(ExpectKeyword("ON"));
+      RDFSPARK_ASSIGN_OR_RETURN(Expr cond, ParseOr());
+      plan = MakeJoin(std::move(plan), std::move(right), std::move(cond),
+                      type);
+    }
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(Expr pred, ParseOr());
+      plan = MakeFilter(std::move(plan), std::move(pred));
+    }
+    std::vector<std::string> group_keys;
+    bool has_group = false;
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      RDFSPARK_RETURN_NOT_OK(ExpectKeyword("BY"));
+      has_group = true;
+      while (Peek().kind == SqlTok::kIdent) {
+        group_keys.push_back(Peek().text);
+        Advance();
+        if (Peek().kind == SqlTok::kPunct && Peek().text == ",") {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (group_keys.empty()) return Error("GROUP BY expects columns");
+    }
+
+    // Parse the trailing modifiers first; where Sort lands depends on
+    // whether the sort keys survive the projection.
+    std::vector<std::pair<std::string, bool>> sort_keys;
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      RDFSPARK_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (Peek().kind == SqlTok::kIdent) {
+        std::string col = Peek().text;
+        Advance();
+        bool asc = true;
+        if (PeekKeyword("ASC")) {
+          Advance();
+        } else if (PeekKeyword("DESC")) {
+          Advance();
+          asc = false;
+        }
+        sort_keys.emplace_back(col, asc);
+        if (Peek().kind == SqlTok::kPunct && Peek().text == ",") {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (sort_keys.empty()) return Error("ORDER BY expects columns");
+    }
+
+    bool any_agg = false;
+    for (const auto& item : items) any_agg |= item.is_agg;
+    if (any_agg || has_group) {
+      std::vector<AggSpec> aggs;
+      std::vector<std::pair<Expr, std::string>> post;
+      for (const auto& item : items) {
+        if (item.is_star) return Error("SELECT * incompatible with GROUP BY");
+        if (item.is_agg) {
+          aggs.push_back(item.agg);
+          post.emplace_back(Col(item.agg.alias), item.name);
+        } else {
+          if (item.expr.kind() != ExprKind::kColumn) {
+            return Error("non-aggregate select items must be columns");
+          }
+          post.emplace_back(item.expr, item.name);
+        }
+      }
+      plan = MakeAggregate(std::move(plan), std::move(group_keys),
+                           std::move(aggs));
+      plan = MakeProject(std::move(plan), std::move(post));
+      if (distinct) plan = MakeDistinct(std::move(plan));
+      if (!sort_keys.empty()) plan = MakeSort(std::move(plan), sort_keys);
+    } else {
+      bool star = items.size() == 1 && items[0].is_star;
+      // Sort keys that are select aliases map back to their source column;
+      // keys absent from the projection force the sort below it.
+      bool sort_below = false;
+      std::vector<std::pair<std::string, bool>> mapped_keys = sort_keys;
+      if (!star) {
+        for (auto& [key, asc] : mapped_keys) {
+          bool in_output = false;
+          for (const auto& item : items) {
+            if (item.name == key) {
+              in_output = true;
+              if (item.expr.kind() == ExprKind::kColumn) {
+                key = item.expr.column();
+              }
+              break;
+            }
+          }
+          if (!in_output) sort_below = true;
+          // Either way the (possibly remapped) key names a child column or
+          // an expression alias; sorting below the projection handles both
+          // column cases.
+        }
+      }
+      if (!sort_keys.empty() && (star || sort_below || !distinct)) {
+        // Sort below projection (safe: child schema has the columns).
+        plan = MakeSort(std::move(plan), mapped_keys);
+      }
+      if (!star) {
+        std::vector<std::pair<Expr, std::string>> projections;
+        for (const auto& item : items) {
+          projections.emplace_back(item.expr, item.name);
+        }
+        plan = MakeProject(std::move(plan), std::move(projections));
+      }
+      if (distinct) {
+        plan = MakeDistinct(std::move(plan));
+        // DISTINCT shuffles and destroys order; re-sort on top when the
+        // keys survived projection.
+        if (!sort_keys.empty() && !sort_below) {
+          plan = MakeSort(std::move(plan), sort_keys);
+        }
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Peek().kind != SqlTok::kNumber) return Error("LIMIT expects number");
+      plan = MakeLimit(std::move(plan),
+                       std::strtoll(Peek().text.c_str(), nullptr, 10));
+      Advance();
+    }
+    if (Peek().kind != SqlTok::kEof) {
+      return Error("trailing tokens: '" + Peek().text + "'");
+    }
+    return plan;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == SqlTok::kKeyword && Peek().text == kw;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("SQL: " + msg);
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) {
+      return Error("expected " + std::string(kw) + ", got '" + Peek().text +
+                   "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    const Token& t = Peek();
+    if (t.kind == SqlTok::kPunct && t.text == "*") {
+      Advance();
+      item.is_star = true;
+      return item;
+    }
+    auto agg_op = [&](const std::string& kw) -> std::optional<AggOp> {
+      if (kw == "COUNT") return AggOp::kCount;
+      if (kw == "SUM") return AggOp::kSum;
+      if (kw == "MIN") return AggOp::kMin;
+      if (kw == "MAX") return AggOp::kMax;
+      if (kw == "AVG") return AggOp::kAvg;
+      return std::nullopt;
+    };
+    if (t.kind == SqlTok::kKeyword) {
+      auto op = agg_op(t.text);
+      if (!op) return Error("unexpected keyword '" + t.text + "' in SELECT");
+      Advance();
+      if (!(Peek().kind == SqlTok::kPunct && Peek().text == "(")) {
+        return Error("aggregate expects '('");
+      }
+      Advance();
+      item.is_agg = true;
+      item.agg.op = *op;
+      if (Peek().kind == SqlTok::kPunct && Peek().text == "*") {
+        if (*op != AggOp::kCount) return Error("only COUNT(*) allowed");
+        Advance();
+      } else if (Peek().kind == SqlTok::kIdent) {
+        item.agg.column = Peek().text;
+        Advance();
+      } else {
+        return Error("aggregate expects column or '*'");
+      }
+      if (!(Peek().kind == SqlTok::kPunct && Peek().text == ")")) {
+        return Error("aggregate expects ')'");
+      }
+      Advance();
+      item.agg.alias = "agg_" + std::to_string(agg_counter_++);
+      item.name = item.agg.alias;
+    } else if (t.kind == SqlTok::kIdent) {
+      item.expr = Col(t.text);
+      item.name = t.text;
+      Advance();
+    } else if (t.kind == SqlTok::kNumber) {
+      item.expr = t.text.find('.') != std::string::npos
+                      ? Lit(Value(std::strtod(t.text.c_str(), nullptr)))
+                      : Lit(Value(int64_t{
+                            std::strtoll(t.text.c_str(), nullptr, 10)}));
+      item.name = "lit_" + std::to_string(agg_counter_++);
+      Advance();
+    } else if (t.kind == SqlTok::kString) {
+      item.expr = Lit(Value(t.text));
+      item.name = "lit_" + std::to_string(agg_counter_++);
+      Advance();
+    } else {
+      return Error("expected select item, got '" + t.text + "'");
+    }
+    if (PeekKeyword("AS")) {
+      Advance();
+      if (Peek().kind != SqlTok::kIdent) return Error("AS expects a name");
+      item.name = Peek().text;
+      if (item.is_agg) item.agg.alias = item.name;
+      Advance();
+    }
+    return item;
+  }
+
+  Result<PlanPtr> ParseTableRef() {
+    if (Peek().kind != SqlTok::kIdent) return Error("expected table name");
+    std::string table = Peek().text;
+    Advance();
+    std::string alias;
+    if (Peek().kind == SqlTok::kIdent) {
+      alias = Peek().text;
+      Advance();
+    }
+    return MakeScan(std::move(table), std::move(alias));
+  }
+
+  Result<Expr> ParseOr() {
+    RDFSPARK_ASSIGN_OR_RETURN(Expr lhs, ParseAnd());
+    while (PeekKeyword("OR")) {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(Expr rhs, ParseAnd());
+      lhs = lhs || rhs;
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseAnd() {
+    RDFSPARK_ASSIGN_OR_RETURN(Expr lhs, ParseNot());
+    while (PeekKeyword("AND")) {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(Expr rhs, ParseNot());
+      lhs = lhs && rhs;
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseNot() {
+    if (PeekKeyword("NOT")) {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(Expr inner, ParseNot());
+      return !inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<Expr> ParseComparison() {
+    RDFSPARK_ASSIGN_OR_RETURN(Expr lhs, ParseOperand());
+    const Token& t = Peek();
+    if (PeekKeyword("IS")) {
+      Advance();
+      bool negated = false;
+      if (PeekKeyword("NOT")) {
+        Advance();
+        negated = true;
+      }
+      RDFSPARK_RETURN_NOT_OK(ExpectKeyword("NULL"));
+      Expr e = Expr::Unary(ExprKind::kIsNull, std::move(lhs));
+      return negated ? !e : e;
+    }
+    if (t.kind == SqlTok::kPunct) {
+      ExprKind kind;
+      if (t.text == "=") {
+        kind = ExprKind::kEq;
+      } else if (t.text == "!=") {
+        kind = ExprKind::kNe;
+      } else if (t.text == "<") {
+        kind = ExprKind::kLt;
+      } else if (t.text == "<=") {
+        kind = ExprKind::kLe;
+      } else if (t.text == ">") {
+        kind = ExprKind::kGt;
+      } else if (t.text == ">=") {
+        kind = ExprKind::kGe;
+      } else {
+        return lhs;
+      }
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(Expr rhs, ParseOperand());
+      return Expr::Binary(kind, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Expr> ParseOperand() {
+    const Token& t = Peek();
+    if (t.kind == SqlTok::kPunct && t.text == "(") {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(Expr inner, ParseOr());
+      if (!(Peek().kind == SqlTok::kPunct && Peek().text == ")")) {
+        return Error("expected ')'");
+      }
+      Advance();
+      return inner;
+    }
+    if (t.kind == SqlTok::kIdent) {
+      Expr e = Col(t.text);
+      Advance();
+      return e;
+    }
+    if (t.kind == SqlTok::kNumber) {
+      Expr e = t.text.find('.') != std::string::npos
+                   ? Lit(Value(std::strtod(t.text.c_str(), nullptr)))
+                   : Lit(Value(int64_t{
+                         std::strtoll(t.text.c_str(), nullptr, 10)}));
+      Advance();
+      return e;
+    }
+    if (t.kind == SqlTok::kString) {
+      Expr e = Lit(Value(t.text));
+      Advance();
+      return e;
+    }
+    return Error("expected operand, got '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int agg_counter_ = 0;
+};
+
+}  // namespace
+
+Result<PlanPtr> ParseSql(std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  SqlParser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace rdfspark::spark::sql

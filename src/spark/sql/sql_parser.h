@@ -1,0 +1,30 @@
+#ifndef RDFSPARK_SPARK_SQL_SQL_PARSER_H_
+#define RDFSPARK_SPARK_SQL_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "spark/sql/logical_plan.h"
+
+namespace rdfspark::spark::sql {
+
+/// Parses a SQL query into a logical plan. Supported fragment:
+///
+///   SELECT [DISTINCT] (* | item[, item...])
+///   FROM table [alias]
+///   [[LEFT [OUTER]] JOIN table [alias] ON cond]*
+///   [WHERE expr]
+///   [GROUP BY col[, col...]]
+///   [ORDER BY col [ASC|DESC][, ...]]
+///   [LIMIT n]
+///
+/// where item := col [AS name] | COUNT(*|col) | SUM/MIN/MAX/AVG(col)
+/// [AS name], and expressions support =, !=, <, <=, >, >=, AND, OR, NOT,
+/// parentheses, numeric and 'string' literals. Qualified column names use
+/// dots ("t0.s"). This is the fragment S2RDF's SPARQL-to-SQL translation
+/// emits.
+Result<PlanPtr> ParseSql(std::string_view text);
+
+}  // namespace rdfspark::spark::sql
+
+#endif  // RDFSPARK_SPARK_SQL_SQL_PARSER_H_

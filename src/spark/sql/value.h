@@ -1,0 +1,75 @@
+#ifndef RDFSPARK_SPARK_SQL_VALUE_H_
+#define RDFSPARK_SPARK_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rdfspark::spark::sql {
+
+/// Column data types supported by the DataFrame layer.
+enum class DataType : uint8_t { kNull, kInt64, kDouble, kString, kBool };
+
+const char* DataTypeName(DataType t);
+
+/// A dynamically-typed cell. monostate encodes SQL NULL.
+using Value = std::variant<std::monostate, int64_t, double, std::string, bool>;
+
+/// A row of cells, aligned with a Schema.
+using Row = std::vector<Value>;
+
+DataType TypeOf(const Value& v);
+bool IsNull(const Value& v);
+
+/// Rendering for examples/debugging ("NULL", quoted strings).
+std::string ValueToString(const Value& v);
+
+/// SQL comparison with numeric coercion between int64 and double. NULL
+/// compares as incomparable: returns nullopt semantics via Status.
+/// cmp < 0, == 0, > 0 like strcmp.
+Result<int> CompareValues(const Value& a, const Value& b);
+
+/// Equality used by joins and DISTINCT (NULL != NULL, like SQL).
+bool ValuesEqual(const Value& a, const Value& b);
+
+/// Deterministic hash for partitioning (NULL hashes to a fixed value).
+uint64_t HashValue(const Value& v);
+
+/// Estimated in-memory size for shuffle accounting.
+uint64_t EstimateSize(const Value& v);
+uint64_t EstimateSize(const Row& row);
+
+/// Named, typed column.
+struct Field {
+  std::string name;
+  DataType type = DataType::kNull;
+  bool operator==(const Field&) const = default;
+};
+
+/// Ordered list of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of column `name`, or -1.
+  int Index(const std::string& name) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace rdfspark::spark::sql
+
+#endif  // RDFSPARK_SPARK_SQL_VALUE_H_

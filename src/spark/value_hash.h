@@ -1,0 +1,92 @@
+#ifndef RDFSPARK_SPARK_VALUE_HASH_H_
+#define RDFSPARK_SPARK_VALUE_HASH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace rdfspark::spark {
+
+/// Deterministic, platform-independent hashing of record keys. Partition
+/// placement — and therefore every locality metric in the benchmarks — is a
+/// pure function of these hashes, so std::hash (which is unspecified across
+/// standard libraries) is deliberately not used.
+///
+/// All overloads are declared before any definition so that composite types
+/// (pairs of vectors, tuples of optionals, ...) resolve regardless of
+/// nesting order.
+
+inline uint64_t HashValue(const std::string& s);
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T>
+uint64_t HashValue(T v);
+inline uint64_t HashValue(double d);
+template <typename A, typename B>
+uint64_t HashValue(const std::pair<A, B>& p);
+template <typename... Ts>
+uint64_t HashValue(const std::tuple<Ts...>& t);
+template <typename T>
+uint64_t HashValue(const std::optional<T>& o);
+template <typename T>
+uint64_t HashValue(const std::vector<T>& v);
+
+inline uint64_t HashValue(const std::string& s) { return Fnv1a64(s); }
+
+template <typename T>
+  requires std::is_integral_v<T> || std::is_enum_v<T>
+uint64_t HashValue(T v) {
+  return MixHash64(static_cast<uint64_t>(v));
+}
+
+inline uint64_t HashValue(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  __builtin_memcpy(&bits, &d, sizeof(bits));
+  return MixHash64(bits);
+}
+
+template <typename A, typename B>
+uint64_t HashValue(const std::pair<A, B>& p) {
+  return CombineHash64(HashValue(p.first), HashValue(p.second));
+}
+
+template <typename... Ts>
+uint64_t HashValue(const std::tuple<Ts...>& t) {
+  uint64_t h = 0x12345678abcdef01ULL;
+  std::apply(
+      [&h](const Ts&... xs) { ((h = CombineHash64(h, HashValue(xs))), ...); },
+      t);
+  return h;
+}
+
+template <typename T>
+uint64_t HashValue(const std::optional<T>& o) {
+  return o ? CombineHash64(1, HashValue(*o)) : 0x9e3779b97f4a7c15ULL;
+}
+
+template <typename T>
+uint64_t HashValue(const std::vector<T>& v) {
+  uint64_t h = 0xabcdef0123456789ULL;
+  for (const auto& x : v) h = CombineHash64(h, HashValue(x));
+  return h;
+}
+
+/// Functor adapter so unordered containers can key on arbitrary record types
+/// through the deterministic HashValue overload set (ADL picks up overloads
+/// for user types such as rdf::EncodedTriple).
+struct ValueHasher {
+  template <typename T>
+  size_t operator()(const T& v) const {
+    return static_cast<size_t>(HashValue(v));
+  }
+};
+
+}  // namespace rdfspark::spark
+
+#endif  // RDFSPARK_SPARK_VALUE_HASH_H_

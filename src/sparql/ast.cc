@@ -1,0 +1,117 @@
+#include "sparql/ast.h"
+
+#include <algorithm>
+
+namespace rdfspark::sparql {
+
+std::vector<std::string> TriplePattern::Variables() const {
+  std::vector<std::string> out;
+  auto add = [&](const PatternTerm& t) {
+    if (t.is_variable() &&
+        std::find(out.begin(), out.end(), t.var()) == out.end()) {
+      out.push_back(t.var());
+    }
+  };
+  add(s);
+  add(p);
+  add(o);
+  return out;
+}
+
+std::shared_ptr<FilterExpr> FilterExpr::MakeVar(std::string name) {
+  auto e = std::make_shared<FilterExpr>();
+  e->op = ExprOp::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+std::shared_ptr<FilterExpr> FilterExpr::MakeLiteral(rdf::Term term) {
+  auto e = std::make_shared<FilterExpr>();
+  e->op = ExprOp::kLiteral;
+  e->literal = std::move(term);
+  return e;
+}
+
+std::shared_ptr<FilterExpr> FilterExpr::MakeUnary(
+    ExprOp op, std::shared_ptr<FilterExpr> child) {
+  auto e = std::make_shared<FilterExpr>();
+  e->op = op;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+std::shared_ptr<FilterExpr> FilterExpr::MakeBinary(
+    ExprOp op, std::shared_ptr<FilterExpr> lhs,
+    std::shared_ptr<FilterExpr> rhs) {
+  auto e = std::make_shared<FilterExpr>();
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+void FilterExpr::CollectVariables(std::vector<std::string>* out) const {
+  if (op == ExprOp::kVar || op == ExprOp::kBound) {
+    if (std::find(out->begin(), out->end(), var) == out->end()) {
+      out->push_back(var);
+    }
+  }
+  for (const auto& c : children) c->CollectVariables(out);
+}
+
+namespace {
+
+void AddUnique(std::vector<std::string>* out, const std::string& v) {
+  if (std::find(out->begin(), out->end(), v) == out->end()) out->push_back(v);
+}
+
+void CollectGroupVars(const GroupPattern& g, std::vector<std::string>* out) {
+  for (const auto& tp : g.bgp) {
+    for (const auto& v : tp.Variables()) AddUnique(out, v);
+  }
+  for (const auto& f : g.filters) {
+    std::vector<std::string> vars;
+    f->CollectVariables(&vars);
+    for (const auto& v : vars) AddUnique(out, v);
+  }
+  for (const auto& opt : g.optionals) CollectGroupVars(opt, out);
+  for (const auto& alternatives : g.unions) {
+    for (const auto& alt : alternatives) CollectGroupVars(alt, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> GroupPattern::Variables() const {
+  std::vector<std::string> out;
+  CollectGroupVars(*this, &out);
+  return out;
+}
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kCount:
+      return "COUNT";
+    case AggregateOp::kSum:
+      return "SUM";
+    case AggregateOp::kAvg:
+      return "AVG";
+    case AggregateOp::kMin:
+      return "MIN";
+    case AggregateOp::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::vector<std::string> Query::EffectiveProjection() const {
+  if (IsAggregate()) {
+    std::vector<std::string> out = select_vars;
+    for (const auto& agg : aggregates) out.push_back(agg.alias);
+    return out;
+  }
+  if (!select_vars.empty()) return select_vars;
+  return where.Variables();
+}
+
+}  // namespace rdfspark::sparql

@@ -1,0 +1,174 @@
+#ifndef RDFSPARK_SPARQL_AST_H_
+#define RDFSPARK_SPARQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfspark::sparql {
+
+/// One slot of a triple pattern: a variable ("?x") or a constant term.
+class PatternTerm {
+ public:
+  static PatternTerm Var(std::string name) {
+    PatternTerm t;
+    t.is_variable_ = true;
+    t.var_ = std::move(name);
+    return t;
+  }
+  static PatternTerm Const(rdf::Term term) {
+    PatternTerm t;
+    t.is_variable_ = false;
+    t.term_ = std::move(term);
+    return t;
+  }
+
+  bool is_variable() const { return is_variable_; }
+  /// Variable name without the leading '?'.
+  const std::string& var() const { return var_; }
+  const rdf::Term& term() const { return term_; }
+
+  std::string ToString() const {
+    return is_variable_ ? "?" + var_ : term_.ToNTriples();
+  }
+
+  bool operator==(const PatternTerm&) const = default;
+
+ private:
+  bool is_variable_ = false;
+  std::string var_;
+  rdf::Term term_;
+};
+
+/// A SPARQL triple pattern (§II.B): each position may be a variable or a
+/// constant.
+struct TriplePattern {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  bool operator==(const TriplePattern&) const = default;
+
+  std::string ToString() const {
+    return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
+  }
+
+  /// Variables used by this pattern, in s/p/o order, without duplicates.
+  std::vector<std::string> Variables() const;
+
+  /// Number of non-variable slots (S2RDF orders by this).
+  int BoundCount() const {
+    return (s.is_variable() ? 0 : 1) + (p.is_variable() ? 0 : 1) +
+           (o.is_variable() ? 0 : 1);
+  }
+};
+
+/// FILTER expression tree over variables and literals.
+enum class ExprOp {
+  kVar,      // leaf: variable reference
+  kLiteral,  // leaf: constant term
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kNot,
+  kBound,  // BOUND(?x)
+};
+
+struct FilterExpr {
+  ExprOp op = ExprOp::kLiteral;
+  std::string var;        // for kVar / kBound
+  rdf::Term literal;      // for kLiteral
+  std::vector<std::shared_ptr<FilterExpr>> children;
+
+  static std::shared_ptr<FilterExpr> MakeVar(std::string name);
+  static std::shared_ptr<FilterExpr> MakeLiteral(rdf::Term term);
+  static std::shared_ptr<FilterExpr> MakeUnary(
+      ExprOp op, std::shared_ptr<FilterExpr> child);
+  static std::shared_ptr<FilterExpr> MakeBinary(
+      ExprOp op, std::shared_ptr<FilterExpr> lhs,
+      std::shared_ptr<FilterExpr> rhs);
+
+  /// Variables referenced anywhere in the expression.
+  void CollectVariables(std::vector<std::string>* out) const;
+};
+
+/// A group graph pattern: a BGP plus filters, OPTIONAL sub-groups, and
+/// UNION alternatives (each unions entry is a list of alternative groups
+/// whose results are concatenated, then joined with the rest).
+struct GroupPattern {
+  std::vector<TriplePattern> bgp;
+  std::vector<std::shared_ptr<FilterExpr>> filters;
+  std::vector<GroupPattern> optionals;
+  std::vector<std::vector<GroupPattern>> unions;
+
+  bool IsPlainBgp() const {
+    return filters.empty() && optionals.empty() && unions.empty();
+  }
+
+  /// All variables appearing anywhere in the group.
+  std::vector<std::string> Variables() const;
+};
+
+/// SPARQL query forms — the four output types of §II.B: "yes/no answers"
+/// (ASK), "selections of values of the variables" (SELECT), "construction
+/// of new triples" (CONSTRUCT), and "descriptions of resources" (DESCRIBE).
+enum class QueryForm { kSelect, kAsk, kConstruct, kDescribe };
+
+struct OrderKey {
+  std::string var;
+  bool ascending = true;
+  bool operator==(const OrderKey&) const = default;
+};
+
+/// Aggregate functions of the BGP+ fragment ("operations (BGP+), such as
+/// average (AVG)", §III).
+enum class AggregateOp { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggregateOpName(AggregateOp op);
+
+/// One "(AGG(?v) AS ?alias)" select item. `var` empty means COUNT(*).
+struct SelectAggregate {
+  AggregateOp op = AggregateOp::kCount;
+  std::string var;
+  std::string alias;
+  bool operator==(const SelectAggregate&) const = default;
+};
+
+/// Parsed query: pattern matching part + solution modifiers (§II.B).
+struct Query {
+  QueryForm form = QueryForm::kSelect;
+  bool distinct = false;
+  /// Empty means "*": all variables in the pattern (unless aggregating).
+  std::vector<std::string> select_vars;
+  /// Aggregate select items; non-empty makes this an aggregate query whose
+  /// plain select_vars act as (and must be) grouping keys.
+  std::vector<SelectAggregate> aggregates;
+  std::vector<std::string> group_by;
+  /// CONSTRUCT template patterns (kConstruct only).
+  std::vector<TriplePattern> construct_template;
+  /// DESCRIBE targets: variables or constant resources (kDescribe only).
+  std::vector<PatternTerm> describe_targets;
+  GroupPattern where;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;  // -1: none
+  int64_t offset = 0;
+
+  bool IsAggregate() const { return !aggregates.empty() || !group_by.empty(); }
+
+  /// The projection actually used (select_vars, or all pattern variables
+  /// when the query used '*').
+  std::vector<std::string> EffectiveProjection() const;
+};
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_AST_H_

@@ -1,0 +1,481 @@
+#include "sparql/binding.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "spark/value_hash.h"
+
+namespace rdfspark::sparql {
+
+BindingTable BindingTable::Unit() {
+  BindingTable t;
+  t.rows_.push_back({});
+  return t;
+}
+
+int BindingTable::VarIndex(const std::string& var) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == var) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+rdf::TermId BindingTable::AddComputedTerm(rdf::Term term) {
+  if (!computed_) computed_ = std::make_shared<std::vector<rdf::Term>>();
+  computed_->push_back(std::move(term));
+  return kComputedTermBase + computed_->size() - 1;
+}
+
+Result<rdf::Term> BindingTable::ResolveTerm(rdf::TermId id,
+                                            const rdf::Dictionary& dict) const {
+  if (id >= kComputedTermBase && id != kUnbound) {
+    size_t idx = static_cast<size_t>(id - kComputedTermBase);
+    if (!computed_ || idx >= computed_->size()) {
+      return Status::OutOfRange("computed term id out of range");
+    }
+    return (*computed_)[idx];
+  }
+  return dict.Decode(id);
+}
+
+BindingTable CopyComputedTerms(const BindingTable& from, BindingTable to) {
+  if (from.computed_ && !to.computed_) to.computed_ = from.computed_;
+  return to;
+}
+
+std::vector<std::map<std::string, std::string>> BindingTable::Decode(
+    const rdf::Dictionary& dict) const {
+  std::vector<std::map<std::string, std::string>> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::map<std::string, std::string> m;
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      if (row[i] == kUnbound) continue;
+      auto term = ResolveTerm(row[i], dict);
+      m[vars_[i]] = term.ok() ? term->ToNTriples() : "<?bad-id>";
+    }
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string BindingTable::ToString(const rdf::Dictionary& dict,
+                                   size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    os << (i ? "\t" : "") << "?" << vars_[i];
+  }
+  os << "\n";
+  size_t shown = 0;
+  for (const auto& row : rows_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows_.size() << " rows total)\n";
+      break;
+    }
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      if (i) os << "\t";
+      if (row[i] == kUnbound) {
+        os << "-";
+      } else {
+        auto term = ResolveTerm(row[i], dict);
+        os << (term.ok() ? term->ToNTriples() : "<?bad-id>");
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Shared/unshared variable positions for a join.
+struct JoinPlan {
+  std::vector<std::pair<int, int>> shared;  // (a index, b index)
+  std::vector<int> b_new;                   // b columns not in a
+  std::vector<std::string> out_vars;
+};
+
+JoinPlan PlanJoin(const BindingTable& a, const BindingTable& b) {
+  JoinPlan plan;
+  plan.out_vars = a.vars();
+  for (size_t j = 0; j < b.vars().size(); ++j) {
+    int ai = a.VarIndex(b.vars()[j]);
+    if (ai >= 0) {
+      plan.shared.emplace_back(ai, static_cast<int>(j));
+    } else {
+      plan.b_new.push_back(static_cast<int>(j));
+      plan.out_vars.push_back(b.vars()[j]);
+    }
+  }
+  return plan;
+}
+
+std::vector<rdf::TermId> JoinKeyOf(const std::vector<rdf::TermId>& row,
+                                   const std::vector<int>& cols) {
+  std::vector<rdf::TermId> key;
+  key.reserve(cols.size());
+  for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+}  // namespace
+
+BindingTable HashJoin(const BindingTable& a, const BindingTable& b) {
+  JoinPlan plan = PlanJoin(a, b);
+  BindingTable out(plan.out_vars);
+
+  std::vector<int> a_cols, b_cols;
+  for (auto& [ai, bi] : plan.shared) {
+    a_cols.push_back(ai);
+    b_cols.push_back(bi);
+  }
+  // Build on b.
+  std::unordered_map<std::vector<rdf::TermId>, std::vector<size_t>,
+                     spark::ValueHasher>
+      build;
+  for (size_t r = 0; r < b.rows().size(); ++r) {
+    auto key = JoinKeyOf(b.rows()[r], b_cols);
+    if (std::find(key.begin(), key.end(), kUnbound) != key.end()) continue;
+    build[std::move(key)].push_back(r);
+  }
+  for (const auto& arow : a.rows()) {
+    auto key = JoinKeyOf(arow, a_cols);
+    if (!a_cols.empty() &&
+        std::find(key.begin(), key.end(), kUnbound) != key.end()) {
+      continue;
+    }
+    auto it = build.find(key);
+    if (it == build.end() && !a_cols.empty()) continue;
+    if (a_cols.empty()) {
+      // Cross product.
+      for (const auto& brow : b.rows()) {
+        auto row = arow;
+        for (int c : plan.b_new) row.push_back(brow[static_cast<size_t>(c)]);
+        out.AddRow(std::move(row));
+      }
+    } else {
+      for (size_t r : it->second) {
+        auto row = arow;
+        for (int c : plan.b_new) {
+          row.push_back(b.rows()[r][static_cast<size_t>(c)]);
+        }
+        out.AddRow(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+BindingTable LeftJoin(const BindingTable& a, const BindingTable& b) {
+  JoinPlan plan = PlanJoin(a, b);
+  BindingTable out(plan.out_vars);
+
+  std::vector<int> a_cols, b_cols;
+  for (auto& [ai, bi] : plan.shared) {
+    a_cols.push_back(ai);
+    b_cols.push_back(bi);
+  }
+  std::unordered_map<std::vector<rdf::TermId>, std::vector<size_t>,
+                     spark::ValueHasher>
+      build;
+  for (size_t r = 0; r < b.rows().size(); ++r) {
+    auto key = JoinKeyOf(b.rows()[r], b_cols);
+    if (std::find(key.begin(), key.end(), kUnbound) != key.end()) continue;
+    build[std::move(key)].push_back(r);
+  }
+  std::vector<size_t> all_b_rows(b.rows().size());
+  for (size_t r = 0; r < all_b_rows.size(); ++r) all_b_rows[r] = r;
+  for (const auto& arow : a.rows()) {
+    auto key = JoinKeyOf(arow, a_cols);
+    bool key_ok = std::find(key.begin(), key.end(), kUnbound) == key.end();
+    const std::vector<size_t>* matches = nullptr;
+    if (key_ok) {
+      if (a_cols.empty()) {
+        // No shared vars: every b row matches (cross), unless b is empty.
+        if (!b.rows().empty()) matches = &all_b_rows;
+      } else {
+        auto it = build.find(key);
+        if (it != build.end()) matches = &it->second;
+      }
+    }
+    if (matches == nullptr) {
+      auto row = arow;
+      for (size_t i = 0; i < plan.b_new.size(); ++i) row.push_back(kUnbound);
+      out.AddRow(std::move(row));
+    } else {
+      for (size_t r : *matches) {
+        auto row = arow;
+        for (int c : plan.b_new) {
+          row.push_back(b.rows()[r][static_cast<size_t>(c)]);
+        }
+        out.AddRow(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+BindingTable UnionTables(const BindingTable& a, const BindingTable& b) {
+  std::vector<std::string> vars = a.vars();
+  for (const auto& v : b.vars()) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+    }
+  }
+  BindingTable out(vars);
+  auto add_all = [&](const BindingTable& t) {
+    std::vector<int> mapping(vars.size(), -1);
+    for (size_t i = 0; i < vars.size(); ++i) mapping[i] = t.VarIndex(vars[i]);
+    for (const auto& row : t.rows()) {
+      std::vector<rdf::TermId> r(vars.size(), kUnbound);
+      for (size_t i = 0; i < vars.size(); ++i) {
+        if (mapping[i] >= 0) r[i] = row[static_cast<size_t>(mapping[i])];
+      }
+      out.AddRow(std::move(r));
+    }
+  };
+  add_all(a);
+  add_all(b);
+  return out;
+}
+
+BindingTable Project(const BindingTable& table,
+                     const std::vector<std::string>& vars) {
+  BindingTable out(vars);
+  std::vector<int> mapping;
+  mapping.reserve(vars.size());
+  for (const auto& v : vars) mapping.push_back(table.VarIndex(v));
+  for (const auto& row : table.rows()) {
+    std::vector<rdf::TermId> r;
+    r.reserve(vars.size());
+    for (int m : mapping) {
+      r.push_back(m >= 0 ? row[static_cast<size_t>(m)] : kUnbound);
+    }
+    out.AddRow(std::move(r));
+  }
+  return CopyComputedTerms(table, std::move(out));
+}
+
+BindingTable Distinct(const BindingTable& table) {
+  BindingTable out(table.vars());
+  std::unordered_set<std::vector<rdf::TermId>, spark::ValueHasher> seen;
+  for (const auto& row : table.rows()) {
+    if (seen.insert(row).second) out.AddRow(row);
+  }
+  return CopyComputedTerms(table, std::move(out));
+}
+
+namespace {
+
+/// Sort key: numeric literals order numerically before everything else
+/// orders by serialized form.
+struct SortKey {
+  bool is_numeric = false;
+  double number = 0;
+  std::string text;
+
+  bool operator<(const SortKey& rhs) const {
+    if (is_numeric != rhs.is_numeric) return is_numeric;  // numbers first
+    if (is_numeric) return number < rhs.number;
+    return text < rhs.text;
+  }
+  bool operator==(const SortKey& rhs) const {
+    return is_numeric == rhs.is_numeric && number == rhs.number &&
+           text == rhs.text;
+  }
+};
+
+SortKey MakeSortKey(const BindingTable& table, rdf::TermId id,
+                    const rdf::Dictionary& dict) {
+  SortKey key;
+  if (id == kUnbound) {
+    key.text = "";
+    return key;
+  }
+  auto term = table.ResolveTerm(id, dict);
+  if (!term.ok()) {
+    key.text = "<?bad>";
+    return key;
+  }
+  auto num = term->AsNumber();
+  if (num.ok()) {
+    key.is_numeric = true;
+    key.number = *num;
+  } else {
+    key.text = term->ToNTriples();
+  }
+  return key;
+}
+
+}  // namespace
+
+BindingTable OrderBy(const BindingTable& table,
+                     const std::vector<OrderKey>& keys,
+                     const rdf::Dictionary& dict) {
+  std::vector<int> cols;
+  for (const auto& k : keys) cols.push_back(table.VarIndex(k.var));
+  std::vector<size_t> order(table.rows().size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      if (cols[k] < 0) continue;
+      SortKey a = MakeSortKey(
+          table, table.rows()[x][static_cast<size_t>(cols[k])], dict);
+      SortKey b = MakeSortKey(
+          table, table.rows()[y][static_cast<size_t>(cols[k])], dict);
+      if (a == b) continue;
+      bool less = a < b;
+      return keys[k].ascending ? less : !less;
+    }
+    return false;
+  });
+  BindingTable out(table.vars());
+  for (size_t i : order) out.AddRow(table.rows()[i]);
+  return CopyComputedTerms(table, std::move(out));
+}
+
+BindingTable Slice(const BindingTable& table, int64_t offset, int64_t limit) {
+  BindingTable out(table.vars());
+  int64_t n = static_cast<int64_t>(table.rows().size());
+  int64_t begin = std::min(std::max<int64_t>(offset, 0), n);
+  int64_t end = limit < 0 ? n : std::min(begin + limit, n);
+  for (int64_t i = begin; i < end; ++i) {
+    out.AddRow(table.rows()[static_cast<size_t>(i)]);
+  }
+  return CopyComputedTerms(table, std::move(out));
+}
+
+namespace {
+
+/// Tri-state filter value: error propagates per SPARQL semantics.
+enum class Tri { kTrue, kFalse, kError };
+
+Tri Negate(Tri t) {
+  if (t == Tri::kError) return Tri::kError;
+  return t == Tri::kTrue ? Tri::kFalse : Tri::kTrue;
+}
+
+/// A resolved operand: a concrete term or error.
+struct Operand {
+  bool error = false;
+  rdf::Term term;
+};
+
+Operand ResolveOperand(const FilterExpr& expr, const BindingTable& table,
+                       const std::vector<rdf::TermId>& row,
+                       const rdf::Dictionary& dict) {
+  Operand out;
+  if (expr.op == ExprOp::kLiteral) {
+    out.term = expr.literal;
+    return out;
+  }
+  if (expr.op == ExprOp::kVar) {
+    int idx = table.VarIndex(expr.var);
+    if (idx < 0 || row[static_cast<size_t>(idx)] == kUnbound) {
+      out.error = true;
+      return out;
+    }
+    auto term = dict.Decode(row[static_cast<size_t>(idx)]);
+    if (!term.ok()) {
+      out.error = true;
+      return out;
+    }
+    out.term = *term;
+    return out;
+  }
+  out.error = true;
+  return out;
+}
+
+Tri EvalExpr(const FilterExpr& expr, const BindingTable& table,
+             const std::vector<rdf::TermId>& row,
+             const rdf::Dictionary& dict) {
+  switch (expr.op) {
+    case ExprOp::kBound: {
+      int idx = table.VarIndex(expr.var);
+      bool bound = idx >= 0 && row[static_cast<size_t>(idx)] != kUnbound;
+      return bound ? Tri::kTrue : Tri::kFalse;
+    }
+    case ExprOp::kNot:
+      return Negate(EvalExpr(*expr.children[0], table, row, dict));
+    case ExprOp::kAnd: {
+      Tri a = EvalExpr(*expr.children[0], table, row, dict);
+      Tri b = EvalExpr(*expr.children[1], table, row, dict);
+      if (a == Tri::kFalse || b == Tri::kFalse) return Tri::kFalse;
+      if (a == Tri::kError || b == Tri::kError) return Tri::kError;
+      return Tri::kTrue;
+    }
+    case ExprOp::kOr: {
+      Tri a = EvalExpr(*expr.children[0], table, row, dict);
+      Tri b = EvalExpr(*expr.children[1], table, row, dict);
+      if (a == Tri::kTrue || b == Tri::kTrue) return Tri::kTrue;
+      if (a == Tri::kError || b == Tri::kError) return Tri::kError;
+      return Tri::kFalse;
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      Operand a = ResolveOperand(*expr.children[0], table, row, dict);
+      Operand b = ResolveOperand(*expr.children[1], table, row, dict);
+      if (a.error || b.error) return Tri::kError;
+      auto na = a.term.AsNumber();
+      auto nb = b.term.AsNumber();
+      int cmp;
+      if (na.ok() && nb.ok()) {
+        cmp = *na < *nb ? -1 : (*na > *nb ? 1 : 0);
+      } else {
+        // Term comparison on canonical form; ordering comparisons between
+        // non-literals are errors per SPARQL.
+        std::string sa = a.term.ToNTriples();
+        std::string sb = b.term.ToNTriples();
+        if (expr.op != ExprOp::kEq && expr.op != ExprOp::kNe &&
+            (!a.term.is_literal() || !b.term.is_literal())) {
+          return Tri::kError;
+        }
+        cmp = sa < sb ? -1 : (sa > sb ? 1 : 0);
+      }
+      bool r = false;
+      switch (expr.op) {
+        case ExprOp::kEq: r = cmp == 0; break;
+        case ExprOp::kNe: r = cmp != 0; break;
+        case ExprOp::kLt: r = cmp < 0; break;
+        case ExprOp::kLe: r = cmp <= 0; break;
+        case ExprOp::kGt: r = cmp > 0; break;
+        case ExprOp::kGe: r = cmp >= 0; break;
+        default: break;
+      }
+      return r ? Tri::kTrue : Tri::kFalse;
+    }
+    case ExprOp::kVar:
+    case ExprOp::kLiteral:
+      // A bare term in boolean position: effective boolean value of
+      // non-empty literals; errors otherwise. Keep it simple: error.
+      return Tri::kError;
+  }
+  return Tri::kError;
+}
+
+}  // namespace
+
+bool EvalFilter(const FilterExpr& expr, const BindingTable& table,
+                const std::vector<rdf::TermId>& row,
+                const rdf::Dictionary& dict) {
+  return EvalExpr(expr, table, row, dict) == Tri::kTrue;
+}
+
+BindingTable ApplyFilter(const BindingTable& table, const FilterExpr& expr,
+                         const rdf::Dictionary& dict) {
+  BindingTable out(table.vars());
+  for (const auto& row : table.rows()) {
+    if (EvalFilter(expr, table, row, dict)) out.AddRow(row);
+  }
+  return out;
+}
+
+}  // namespace rdfspark::sparql

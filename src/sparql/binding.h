@@ -1,0 +1,115 @@
+#ifndef RDFSPARK_SPARQL_BINDING_H_
+#define RDFSPARK_SPARQL_BINDING_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/dictionary.h"
+#include "sparql/ast.h"
+
+namespace rdfspark::sparql {
+
+/// Sentinel for a variable left unbound by OPTIONAL / UNION padding.
+inline constexpr rdf::TermId kUnbound = ~0ull;
+
+/// Ids at or above this base index a table's own computed-term side store
+/// (aggregate results and other values that are not dataset terms).
+inline constexpr rdf::TermId kComputedTermBase = 1ull << 48;
+
+/// A solution sequence: named variables and rows of term ids. This is the
+/// common output format of every engine and the reference evaluator, so
+/// results can be compared across systems.
+class BindingTable {
+ public:
+  BindingTable() = default;
+  explicit BindingTable(std::vector<std::string> vars)
+      : vars_(std::move(vars)) {}
+
+  /// The unit table (no variables, one empty row) — join identity.
+  static BindingTable Unit();
+
+  const std::vector<std::string>& vars() const { return vars_; }
+  const std::vector<std::vector<rdf::TermId>>& rows() const { return rows_; }
+  std::vector<std::vector<rdf::TermId>>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Index of `var` or -1.
+  int VarIndex(const std::string& var) const;
+
+  void AddRow(std::vector<rdf::TermId> row) { rows_.push_back(std::move(row)); }
+
+  /// Stores a computed term (e.g. an aggregate result) in the table's side
+  /// store and returns its id (>= kComputedTermBase).
+  rdf::TermId AddComputedTerm(rdf::Term term);
+
+  /// Resolves an id against the dataset dictionary or this table's side
+  /// store of computed terms.
+  Result<rdf::Term> ResolveTerm(rdf::TermId id,
+                                const rdf::Dictionary& dict) const;
+
+  /// Decodes all rows to sorted "var=term" multisets — an order-insensitive
+  /// canonical form used to compare engine outputs in tests.
+  std::vector<std::map<std::string, std::string>> Decode(
+      const rdf::Dictionary& dict) const;
+
+  /// Human-readable table (for examples and debugging).
+  std::string ToString(const rdf::Dictionary& dict, size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<std::vector<rdf::TermId>> rows_;
+  /// Computed terms; shared so projections/slices keep them alive cheaply.
+  std::shared_ptr<std::vector<rdf::Term>> computed_;
+
+  friend BindingTable CopyComputedTerms(const BindingTable& from,
+                                        BindingTable to);
+};
+
+/// Transfers `from`'s computed-term side store onto `to` (used by the
+/// relational ops, which build fresh tables from existing rows).
+BindingTable CopyComputedTerms(const BindingTable& from, BindingTable to);
+
+/// Natural hash join on the shared variables (rows with kUnbound in a join
+/// column never match). Output variables: a's, then b's new ones.
+BindingTable HashJoin(const BindingTable& a, const BindingTable& b);
+
+/// SPARQL left join (OPTIONAL): keeps every row of `a`, padding b-only
+/// variables with kUnbound when no match exists.
+BindingTable LeftJoin(const BindingTable& a, const BindingTable& b);
+
+/// Union: aligns columns (missing variables padded with kUnbound).
+BindingTable UnionTables(const BindingTable& a, const BindingTable& b);
+
+/// Projects onto `vars` (missing variables become unbound columns).
+BindingTable Project(const BindingTable& table,
+                     const std::vector<std::string>& vars);
+
+/// Stable duplicate removal.
+BindingTable Distinct(const BindingTable& table);
+
+/// Sorts rows by the given keys; term order is (numeric value when both
+/// numeric, else N-Triples string).
+BindingTable OrderBy(const BindingTable& table,
+                     const std::vector<OrderKey>& keys,
+                     const rdf::Dictionary& dict);
+
+/// OFFSET/LIMIT (-1 limit = unlimited).
+BindingTable Slice(const BindingTable& table, int64_t offset, int64_t limit);
+
+/// Evaluates a FILTER expression on one row. SPARQL error semantics: any
+/// type error or unbound (non-BOUND) reference makes the row fail.
+bool EvalFilter(const FilterExpr& expr, const BindingTable& table,
+                const std::vector<rdf::TermId>& row,
+                const rdf::Dictionary& dict);
+
+/// Applies a filter to all rows.
+BindingTable ApplyFilter(const BindingTable& table, const FilterExpr& expr,
+                         const rdf::Dictionary& dict);
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_BINDING_H_

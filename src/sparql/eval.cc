@@ -1,0 +1,384 @@
+#include "sparql/eval.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace rdfspark::sparql {
+
+namespace {
+
+/// Resolves a constant pattern slot to an id; nullopt-wrapped in IdPattern
+/// terms. Returns false if the constant does not exist in the dictionary
+/// (then the pattern matches nothing).
+bool ResolveConst(const rdf::Dictionary& dict, const PatternTerm& t,
+                  std::optional<rdf::TermId>* out) {
+  if (t.is_variable()) {
+    out->reset();
+    return true;
+  }
+  auto id = dict.Lookup(t.term());
+  if (!id.ok()) return false;
+  *out = *id;
+  return true;
+}
+
+}  // namespace
+
+BindingTable ReferenceEvaluator::ExtendWithPattern(
+    const BindingTable& table, const TriplePattern& pattern) const {
+  const rdf::Dictionary& dict = store_->dictionary();
+  rdf::IdPattern base;
+  if (!ResolveConst(dict, pattern.s, &base.s) ||
+      !ResolveConst(dict, pattern.p, &base.p) ||
+      !ResolveConst(dict, pattern.o, &base.o)) {
+    // A constant term that is absent from the data: empty result, but the
+    // output schema still gains the pattern's variables.
+    std::vector<std::string> vars = table.vars();
+    for (const auto& v : pattern.Variables()) {
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    return BindingTable(vars);
+  }
+
+  // Output schema: existing vars plus new pattern vars.
+  std::vector<std::string> vars = table.vars();
+  std::vector<std::string> new_vars;
+  for (const auto& v : pattern.Variables()) {
+    if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+      vars.push_back(v);
+      new_vars.push_back(v);
+    }
+  }
+  BindingTable out(vars);
+
+  int s_idx = pattern.s.is_variable() ? table.VarIndex(pattern.s.var()) : -1;
+  int p_idx = pattern.p.is_variable() ? table.VarIndex(pattern.p.var()) : -1;
+  int o_idx = pattern.o.is_variable() ? table.VarIndex(pattern.o.var()) : -1;
+
+  for (const auto& row : table.rows()) {
+    rdf::IdPattern q = base;
+    if (s_idx >= 0 && row[static_cast<size_t>(s_idx)] != kUnbound) {
+      q.s = row[static_cast<size_t>(s_idx)];
+    }
+    if (p_idx >= 0 && row[static_cast<size_t>(p_idx)] != kUnbound) {
+      q.p = row[static_cast<size_t>(p_idx)];
+    }
+    if (o_idx >= 0 && row[static_cast<size_t>(o_idx)] != kUnbound) {
+      q.o = row[static_cast<size_t>(o_idx)];
+    }
+    for (const auto& t : store_->Match(q)) {
+      // Check intra-pattern variable repetition, e.g. ?x ?p ?x.
+      std::vector<rdf::TermId> extended = row;
+      extended.resize(vars.size(), kUnbound);
+      bool ok = true;
+      auto bind = [&](const PatternTerm& slot, rdf::TermId value) {
+        if (!slot.is_variable()) return;
+        int idx = out.VarIndex(slot.var());
+        rdf::TermId& cell = extended[static_cast<size_t>(idx)];
+        if (cell == kUnbound) {
+          cell = value;
+        } else if (cell != value) {
+          ok = false;
+        }
+      };
+      bind(pattern.s, t.s);
+      bind(pattern.p, t.p);
+      bind(pattern.o, t.o);
+      if (ok) out.AddRow(std::move(extended));
+    }
+  }
+  return out;
+}
+
+BindingTable ReferenceEvaluator::EvaluateBgp(
+    const std::vector<TriplePattern>& bgp) const {
+  BindingTable table = BindingTable::Unit();
+  for (const auto& pattern : bgp) {
+    table = ExtendWithPattern(table, pattern);
+  }
+  return table;
+}
+
+Result<BindingTable> ReferenceEvaluator::EvaluateGroup(
+    const GroupPattern& group) const {
+  BindingTable table = EvaluateBgp(group.bgp);
+  for (const auto& alternatives : group.unions) {
+    BindingTable united;
+    bool first = true;
+    for (const auto& alt : alternatives) {
+      RDFSPARK_ASSIGN_OR_RETURN(BindingTable t, EvaluateGroup(alt));
+      united = first ? std::move(t) : UnionTables(united, t);
+      first = false;
+    }
+    table = HashJoin(table, united);
+  }
+  for (const auto& opt : group.optionals) {
+    RDFSPARK_ASSIGN_OR_RETURN(BindingTable t, EvaluateGroup(opt));
+    table = LeftJoin(table, t);
+  }
+  for (const auto& filter : group.filters) {
+    table = ApplyFilter(table, *filter, store_->dictionary());
+  }
+  return table;
+}
+
+Result<BindingTable> ReferenceEvaluator::Evaluate(const Query& query) const {
+  if (query.form == QueryForm::kConstruct ||
+      query.form == QueryForm::kDescribe) {
+    return Status::InvalidArgument(
+        "CONSTRUCT/DESCRIBE produce triples; use EvaluateConstruct / "
+        "EvaluateDescribe");
+  }
+  RDFSPARK_ASSIGN_OR_RETURN(BindingTable table, EvaluateGroup(query.where));
+  if (query.form == QueryForm::kAsk) {
+    BindingTable out;
+    if (table.num_rows() > 0) out.AddRow({});
+    return out;
+  }
+  return ApplyModifiers(query, std::move(table), store_->dictionary());
+}
+
+Result<std::vector<rdf::Triple>> ReferenceEvaluator::EvaluateConstruct(
+    const Query& query) const {
+  if (query.form != QueryForm::kConstruct) {
+    return Status::InvalidArgument("not a CONSTRUCT query");
+  }
+  RDFSPARK_ASSIGN_OR_RETURN(BindingTable table, EvaluateGroup(query.where));
+  // Solution modifiers (ORDER/LIMIT/OFFSET) apply to the solutions before
+  // template instantiation; the projection keeps all pattern variables.
+  table = ApplyModifiers(query, std::move(table), store_->dictionary());
+  return InstantiateTemplate(query.construct_template, table,
+                             store_->dictionary());
+}
+
+Result<std::vector<rdf::Triple>> ReferenceEvaluator::EvaluateDescribe(
+    const Query& query) const {
+  if (query.form != QueryForm::kDescribe) {
+    return Status::InvalidArgument("not a DESCRIBE query");
+  }
+  std::vector<rdf::TermId> resources;
+  BindingTable table;
+  bool evaluated = false;
+  for (const auto& target : query.describe_targets) {
+    if (target.is_variable()) {
+      if (!evaluated) {
+        RDFSPARK_ASSIGN_OR_RETURN(table, EvaluateGroup(query.where));
+        evaluated = true;
+      }
+      int idx = table.VarIndex(target.var());
+      if (idx < 0) continue;
+      for (const auto& row : table.rows()) {
+        rdf::TermId id = row[static_cast<size_t>(idx)];
+        if (id != kUnbound) resources.push_back(id);
+      }
+    } else {
+      auto id = store_->dictionary().Lookup(target.term());
+      if (id.ok()) resources.push_back(*id);
+    }
+  }
+  return DescribeResources(resources, *store_);
+}
+
+namespace {
+
+/// Formats a double as the shortest faithful literal.
+rdf::Term NumberLiteral(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    return rdf::Term::Literal(
+        std::to_string(static_cast<int64_t>(value)), rdf::kXsdInteger);
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return rdf::Term::Literal(buf, rdf::kXsdDouble);
+}
+
+}  // namespace
+
+BindingTable ApplyAggregation(const Query& query, const BindingTable& table,
+                              const rdf::Dictionary& dict) {
+  std::vector<int> key_cols;
+  for (const auto& g : query.group_by) key_cols.push_back(table.VarIndex(g));
+
+  struct Acc {
+    uint64_t count = 0;
+    double sum = 0;
+    uint64_t numeric = 0;
+    rdf::TermId min_id = kUnbound;
+    rdf::TermId max_id = kUnbound;
+    double min_val = 0;
+    double max_val = 0;
+  };
+  // Group rows. With no GROUP BY, a single global group exists even for an
+  // empty input (COUNT over nothing is 0).
+  std::map<std::vector<rdf::TermId>, std::vector<Acc>> groups;
+  if (query.group_by.empty()) {
+    groups[{}] = std::vector<Acc>(query.aggregates.size());
+  }
+  for (const auto& row : table.rows()) {
+    std::vector<rdf::TermId> key;
+    bool key_ok = true;
+    for (int c : key_cols) {
+      if (c < 0) {
+        key_ok = false;
+        break;
+      }
+      key.push_back(row[static_cast<size_t>(c)]);
+    }
+    if (!key_ok) continue;
+    auto& accs = groups[key];
+    if (accs.empty()) accs.resize(query.aggregates.size());
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const SelectAggregate& agg = query.aggregates[a];
+      Acc& acc = accs[a];
+      rdf::TermId value = kUnbound;
+      if (agg.var.empty()) {  // COUNT(*)
+        ++acc.count;
+        continue;
+      }
+      int col = table.VarIndex(agg.var);
+      if (col >= 0) value = row[static_cast<size_t>(col)];
+      if (value == kUnbound) continue;
+      ++acc.count;
+      auto term = table.ResolveTerm(value, dict);
+      auto num = term.ok() ? term->AsNumber() : Status::NotFound("");
+      if (num.ok()) {
+        ++acc.numeric;
+        acc.sum += *num;
+        if (acc.min_id == kUnbound || *num < acc.min_val) {
+          acc.min_id = value;
+          acc.min_val = *num;
+        }
+        if (acc.max_id == kUnbound || *num > acc.max_val) {
+          acc.max_id = value;
+          acc.max_val = *num;
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> out_vars = query.group_by;
+  for (const auto& agg : query.aggregates) out_vars.push_back(agg.alias);
+  BindingTable out(out_vars);
+  for (const auto& [key, accs] : groups) {
+    std::vector<rdf::TermId> row = key;
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const SelectAggregate& agg = query.aggregates[a];
+      const Acc& acc = accs[a];
+      switch (agg.op) {
+        case AggregateOp::kCount:
+          row.push_back(out.AddComputedTerm(NumberLiteral(
+              static_cast<double>(acc.count))));
+          break;
+        case AggregateOp::kSum:
+          row.push_back(out.AddComputedTerm(NumberLiteral(acc.sum)));
+          break;
+        case AggregateOp::kAvg:
+          row.push_back(out.AddComputedTerm(
+              acc.numeric
+                  ? rdf::Term::Literal(
+                        [&] {
+                          char buf[64];
+                          std::snprintf(buf, sizeof(buf), "%.6g",
+                                        acc.sum / double(acc.numeric));
+                          return std::string(buf);
+                        }(),
+                        rdf::kXsdDouble)
+                  : NumberLiteral(0)));
+          break;
+        case AggregateOp::kMin:
+          row.push_back(acc.min_id);
+          break;
+        case AggregateOp::kMax:
+          row.push_back(acc.max_id);
+          break;
+      }
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<rdf::Triple>> InstantiateTemplate(
+    const std::vector<TriplePattern>& construct_template,
+    const BindingTable& table, const rdf::Dictionary& dict) {
+  std::vector<rdf::Triple> out;
+  std::set<std::string> seen;
+  for (const auto& row : table.rows()) {
+    for (const auto& pattern : construct_template) {
+      auto resolve = [&](const PatternTerm& slot,
+                         rdf::Term* term) -> bool {
+        if (!slot.is_variable()) {
+          *term = slot.term();
+          return true;
+        }
+        int idx = table.VarIndex(slot.var());
+        if (idx < 0) return false;
+        rdf::TermId id = row[static_cast<size_t>(idx)];
+        if (id == kUnbound) return false;
+        auto resolved = table.ResolveTerm(id, dict);
+        if (!resolved.ok()) return false;
+        *term = *resolved;
+        return true;
+      };
+      rdf::Triple triple;
+      if (!resolve(pattern.s, &triple.subject) ||
+          !resolve(pattern.p, &triple.predicate) ||
+          !resolve(pattern.o, &triple.object)) {
+        continue;
+      }
+      // RDF well-formedness: no literal subjects, URI predicates only.
+      if (triple.subject.is_literal() || !triple.predicate.is_uri()) {
+        continue;
+      }
+      std::string key = triple.ToNTriples();
+      if (seen.insert(std::move(key)).second) {
+        out.push_back(std::move(triple));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<rdf::Triple> DescribeResources(
+    const std::vector<rdf::TermId>& resources,
+    const rdf::TripleStore& store) {
+  std::vector<rdf::Triple> out;
+  std::set<std::string> seen;
+  const rdf::Dictionary& dict = store.dictionary();
+  for (rdf::TermId id : resources) {
+    for (const auto& t : store.Match({id, std::nullopt, std::nullopt})) {
+      auto s = dict.Decode(t.s);
+      auto p = dict.Decode(t.p);
+      auto o = dict.Decode(t.o);
+      if (!s.ok() || !p.ok() || !o.ok()) continue;
+      rdf::Triple triple{*s, *p, *o};
+      std::string key = triple.ToNTriples();
+      if (seen.insert(std::move(key)).second) {
+        out.push_back(std::move(triple));
+      }
+    }
+  }
+  return out;
+}
+
+BindingTable ApplyModifiers(const Query& query, BindingTable table,
+                            const rdf::Dictionary& dict) {
+  if (query.IsAggregate()) {
+    table = ApplyAggregation(query, table, dict);
+  }
+  if (!query.order_by.empty()) {
+    table = OrderBy(table, query.order_by, dict);
+  }
+  table = Project(table, query.EffectiveProjection());
+  if (query.distinct) table = Distinct(table);
+  if (query.offset > 0 || query.limit >= 0) {
+    table = Slice(table, query.offset, query.limit);
+  }
+  return table;
+}
+
+}  // namespace rdfspark::sparql

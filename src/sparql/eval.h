@@ -1,0 +1,74 @@
+#ifndef RDFSPARK_SPARQL_EVAL_H_
+#define RDFSPARK_SPARQL_EVAL_H_
+
+#include "common/status.h"
+#include "rdf/store.h"
+#include "sparql/ast.h"
+#include "sparql/binding.h"
+
+namespace rdfspark::sparql {
+
+/// Single-node reference evaluator over a TripleStore. Not distributed and
+/// not optimized — its only job is to be obviously correct, so that every
+/// distributed engine's output can be cross-checked against it in tests.
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(const rdf::TripleStore* store)
+      : store_(store) {}
+
+  /// Evaluates a full query (pattern + modifiers). For ASK queries the
+  /// result has zero variables and one row iff the pattern matched.
+  Result<BindingTable> Evaluate(const Query& query) const;
+
+  /// Evaluates a CONSTRUCT query to new triples (deduplicated).
+  Result<std::vector<rdf::Triple>> EvaluateConstruct(
+      const Query& query) const;
+
+  /// Evaluates a DESCRIBE query: all triples whose subject is one of the
+  /// described resources (concise bounded description, subject-based).
+  Result<std::vector<rdf::Triple>> EvaluateDescribe(const Query& query) const;
+
+  /// Evaluates just a group pattern (no modifiers/projection).
+  Result<BindingTable> EvaluateGroup(const GroupPattern& group) const;
+
+  /// Evaluates one BGP by iterated pattern extension.
+  BindingTable EvaluateBgp(const std::vector<TriplePattern>& bgp) const;
+
+ private:
+  /// Extends `table` with one triple pattern.
+  BindingTable ExtendWithPattern(const BindingTable& table,
+                                 const TriplePattern& pattern) const;
+
+  const rdf::TripleStore* store_;
+};
+
+/// Instantiates a CONSTRUCT template over solution rows: for every row and
+/// template pattern, variables are substituted; instantiations with unbound
+/// variables, literal subjects or non-URI predicates are skipped, and the
+/// output is deduplicated. Shared by the reference evaluator and the
+/// engine-side ExecuteConstruct.
+Result<std::vector<rdf::Triple>> InstantiateTemplate(
+    const std::vector<TriplePattern>& construct_template,
+    const BindingTable& table, const rdf::Dictionary& dict);
+
+/// Triples describing the given resource ids (subject-based CBD),
+/// deduplicated across resources.
+std::vector<rdf::Triple> DescribeResources(
+    const std::vector<rdf::TermId>& resources, const rdf::TripleStore& store);
+
+/// Groups and aggregates a raw pattern result per the query's GROUP BY and
+/// aggregate select items (COUNT/SUM/AVG/MIN/MAX — the BGP+ operations of
+/// §III). Aggregate values become computed terms of the output table.
+BindingTable ApplyAggregation(const Query& query, const BindingTable& table,
+                              const rdf::Dictionary& dict);
+
+/// Applies a query's solution modifiers (aggregation, order, projection,
+/// distinct, slice) to a raw pattern result. Shared by the reference
+/// evaluator and those engines that evaluate modifiers "with the Spark
+/// API" driver-side.
+BindingTable ApplyModifiers(const Query& query, BindingTable table,
+                            const rdf::Dictionary& dict);
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_EVAL_H_

@@ -1,0 +1,221 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace rdfspark::sparql {
+
+namespace {
+
+bool IsKeyword(const std::string& upper) {
+  static const char* kKeywords[] = {
+      "PREFIX", "SELECT", "ASK",    "DISTINCT", "WHERE",  "OPTIONAL",
+      "FILTER", "UNION",  "ORDER",  "BY",       "ASC",    "DESC",
+      "LIMIT",  "OFFSET", "BOUND",  "BASE",     "REDUCED", "GROUP",
+      "AS",     "COUNT",  "SUM",    "AVG",      "MIN",    "MAX",
+      "CONSTRUCT", "DESCRIBE"};
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == '.';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  size_t line = 1;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError("line " + std::to_string(line) + ": " + msg);
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.line = line;
+    // '<' is ambiguous: IRI opener or less-than. It is an IRI iff a '>'
+    // appears before any whitespace (IRIs cannot contain spaces).
+    bool iri_start = false;
+    if (c == '<') {
+      for (size_t j = i + 1; j < text.size(); ++j) {
+        char cj = text[j];
+        if (cj == '>') {
+          iri_start = true;
+          break;
+        }
+        if (cj == ' ' || cj == '\t' || cj == '\n' || cj == '\r') break;
+      }
+    }
+    if (iri_start) {
+      size_t end = text.find('>', i);
+      tok.kind = TokenKind::kIri;
+      tok.text.assign(text.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else if (c == '?' || c == '$') {
+      size_t start = ++i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      if (i == start) return error("empty variable name");
+      tok.kind = TokenKind::kVar;
+      tok.text.assign(text.substr(start, i - start));
+    } else if (c == '"') {
+      std::string value;
+      ++i;
+      bool closed = false;
+      while (i < text.size()) {
+        char ch = text[i];
+        if (ch == '\\') {
+          if (i + 1 >= text.size()) return error("bad escape");
+          char esc = text[i + 1];
+          switch (esc) {
+            case 'n': value.push_back('\n'); break;
+            case 't': value.push_back('\t'); break;
+            case 'r': value.push_back('\r'); break;
+            case '"': value.push_back('"'); break;
+            case '\\': value.push_back('\\'); break;
+            default:
+              return error(std::string("unknown escape \\") + esc);
+          }
+          i += 2;
+        } else if (ch == '"') {
+          closed = true;
+          ++i;
+          break;
+        } else {
+          value.push_back(ch);
+          ++i;
+        }
+      }
+      if (!closed) return error("unterminated string literal");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(value);
+      if (i < text.size() && text[i] == '@') {
+        size_t start = ++i;
+        while (i < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                text[i] == '-')) {
+          ++i;
+        }
+        if (i == start) return error("empty language tag");
+        tok.lang.assign(text.substr(start, i - start));
+      } else if (i + 1 < text.size() && text[i] == '^' && text[i + 1] == '^') {
+        i += 2;
+        if (i >= text.size() || text[i] != '<') {
+          return error("datatype must be an IRI");
+        }
+        size_t end = text.find('>', i);
+        if (end == std::string_view::npos) return error("unterminated IRI");
+        tok.datatype.assign(text.substr(i + 1, end - i - 1));
+        i = end + 1;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               ((c == '-' || c == '+') && i + 1 < text.size() &&
+                std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      if (c == '-' || c == '+') ++i;
+      bool saw_dot = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              (text[i] == '.' && !saw_dot &&
+               i + 1 < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i + 1]))))) {
+        if (text[i] == '.') saw_dot = true;
+        ++i;
+      }
+      tok.kind = TokenKind::kNumber;
+      tok.text.assign(text.substr(start, i - start));
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() && IsNameChar(text[i])) ++i;
+      std::string word(text.substr(start, i - start));
+      // A trailing '.' belongs to the triple terminator, not the name.
+      while (!word.empty() && word.back() == '.') {
+        word.pop_back();
+        --i;
+      }
+      if (i < text.size() && text[i] == ':') {
+        // pname: prefix:local
+        ++i;
+        size_t lstart = i;
+        while (i < text.size() && IsNameChar(text[i])) ++i;
+        std::string local(text.substr(lstart, i - lstart));
+        while (!local.empty() && local.back() == '.') {
+          local.pop_back();
+          --i;
+        }
+        tok.kind = TokenKind::kPname;
+        tok.text = word + ":" + local;
+      } else if (word == "a") {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = "a";
+      } else {
+        std::string upper = word;
+        for (char& ch : upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        if (!IsKeyword(upper)) {
+          return error("unexpected identifier '" + word + "'");
+        }
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      }
+    } else if (c == ':') {
+      // Default-prefix pname ":local".
+      ++i;
+      size_t lstart = i;
+      while (i < text.size() && IsNameChar(text[i])) ++i;
+      std::string local(text.substr(lstart, i - lstart));
+      while (!local.empty() && local.back() == '.') {
+        local.pop_back();
+        --i;
+      }
+      tok.kind = TokenKind::kPname;
+      tok.text = ":" + local;
+    } else {
+      // Punctuation, including two-char operators.
+      auto two = text.substr(i, 2);
+      if (two == "!=" || two == "<=" || two == ">=" || two == "&&" ||
+          two == "||") {
+        tok.kind = TokenKind::kPunct;
+        tok.text.assign(two);
+        i += 2;
+      } else if (std::string("{}().,;*=<>!").find(c) != std::string::npos) {
+        tok.kind = TokenKind::kPunct;
+        tok.text.assign(1, c);
+        ++i;
+      } else {
+        return error(std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  out.push_back(eof);
+  return out;
+}
+
+}  // namespace rdfspark::sparql

@@ -1,0 +1,41 @@
+#ifndef RDFSPARK_SPARQL_LEXER_H_
+#define RDFSPARK_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rdfspark::sparql {
+
+enum class TokenKind {
+  kEof,
+  kIri,      // <...> with brackets stripped
+  kPname,    // prefix:local (text keeps the colon form)
+  kVar,      // ?name (text without '?')
+  kString,   // "..." with optional @lang / ^^<datatype> in extra fields
+  kNumber,   // integer or decimal text
+  kKeyword,  // uppercased SPARQL keyword, or "a"
+  kPunct,    // one of { } ( ) . , ; * = != < <= > >= && || !
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  std::string lang;      // kString only
+  std::string datatype;  // kString only
+  size_t line = 1;
+
+  bool Is(TokenKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+};
+
+/// Tokenizes SPARQL text. Keywords are uppercased; `a` stays lowercase (it
+/// is the rdf:type shorthand, not a keyword proper).
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_LEXER_H_

@@ -1,0 +1,544 @@
+#include "sparql/parser.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "rdf/term.h"
+#include "sparql/lexer.h"
+
+namespace rdfspark::sparql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    RDFSPARK_RETURN_NOT_OK(ParsePrologue());
+    if (PeekKeyword("SELECT")) {
+      Advance();
+      query.form = QueryForm::kSelect;
+      if (PeekKeyword("DISTINCT")) {
+        Advance();
+        query.distinct = true;
+      } else if (PeekKeyword("REDUCED")) {
+        Advance();  // treated as DISTINCT-less
+      }
+      if (Peek().Is(TokenKind::kPunct, "*")) {
+        Advance();
+      } else {
+        // Select items: ?var or (AGG(?v|*) AS ?alias).
+        while (true) {
+          if (Peek().kind == TokenKind::kVar) {
+            query.select_vars.push_back(Peek().text);
+            Advance();
+            continue;
+          }
+          if (Peek().Is(TokenKind::kPunct, "(")) {
+            Advance();
+            RDFSPARK_ASSIGN_OR_RETURN(SelectAggregate agg, ParseAggregate());
+            RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, ")"));
+            query.aggregates.push_back(std::move(agg));
+            continue;
+          }
+          break;
+        }
+        if (query.select_vars.empty() && query.aggregates.empty()) {
+          return Error("SELECT requires '*' or at least one item");
+        }
+      }
+      if (PeekKeyword("WHERE")) Advance();
+    } else if (PeekKeyword("ASK")) {
+      Advance();
+      query.form = QueryForm::kAsk;
+      if (PeekKeyword("WHERE")) Advance();
+    } else if (PeekKeyword("CONSTRUCT")) {
+      Advance();
+      query.form = QueryForm::kConstruct;
+      // The template is a brace-enclosed triple block.
+      RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, "{"));
+      GroupPattern template_group;
+      while (!Peek().Is(TokenKind::kPunct, "}")) {
+        if (Peek().kind == TokenKind::kEof) {
+          return Error("unterminated CONSTRUCT template");
+        }
+        RDFSPARK_RETURN_NOT_OK(ParseTripleBlock(&template_group));
+      }
+      Advance();  // consume '}'
+      if (template_group.bgp.empty()) {
+        return Error("CONSTRUCT template must contain triples");
+      }
+      query.construct_template = std::move(template_group.bgp);
+      if (PeekKeyword("WHERE")) Advance();
+    } else if (PeekKeyword("DESCRIBE")) {
+      Advance();
+      query.form = QueryForm::kDescribe;
+      while (true) {
+        const Token& t = Peek();
+        if (t.kind == TokenKind::kVar) {
+          query.describe_targets.push_back(PatternTerm::Var(t.text));
+          Advance();
+        } else if (t.kind == TokenKind::kIri) {
+          query.describe_targets.push_back(
+              PatternTerm::Const(rdf::Term::Uri(t.text)));
+          Advance();
+        } else if (t.kind == TokenKind::kPname) {
+          RDFSPARK_ASSIGN_OR_RETURN(rdf::Term term, ExpandPname(t.text));
+          query.describe_targets.push_back(
+              PatternTerm::Const(std::move(term)));
+          Advance();
+        } else {
+          break;
+        }
+      }
+      if (query.describe_targets.empty()) {
+        return Error("DESCRIBE requires at least one resource or variable");
+      }
+      if (PeekKeyword("WHERE")) Advance();
+      // A pattern is optional for constant-only DESCRIBE.
+      if (Peek().Is(TokenKind::kPunct, "{")) {
+        RDFSPARK_ASSIGN_OR_RETURN(query.where, ParseGroup());
+      } else {
+        for (const auto& target : query.describe_targets) {
+          if (target.is_variable()) {
+            return Error("DESCRIBE with variables requires a WHERE pattern");
+          }
+        }
+      }
+      if (Peek().kind != TokenKind::kEof) {
+        return Error("trailing tokens after DESCRIBE");
+      }
+      return query;
+    } else {
+      return Error("expected SELECT, ASK, CONSTRUCT or DESCRIBE");
+    }
+    RDFSPARK_ASSIGN_OR_RETURN(query.where, ParseGroup());
+    RDFSPARK_RETURN_NOT_OK(ParseModifiers(&query));
+    if (Peek().kind != TokenKind::kEof) {
+      return Error("trailing tokens after query");
+    }
+    return query;
+  }
+
+ private:
+  // --- token helpers ---
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("line " + std::to_string(Peek().line) + ": " +
+                              msg);
+  }
+  Status Expect(TokenKind kind, std::string_view text) {
+    if (!Peek().Is(kind, text)) {
+      return Error("expected '" + std::string(text) + "', got '" +
+                   Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // --- grammar ---
+  Status ParsePrologue() {
+    while (PeekKeyword("PREFIX") || PeekKeyword("BASE")) {
+      bool is_base = PeekKeyword("BASE");
+      Advance();
+      if (is_base) {
+        if (Peek().kind != TokenKind::kIri) return Error("BASE expects IRI");
+        Advance();
+        continue;
+      }
+      // The lexer folds "ns:" into a pname token with empty local part.
+      if (Peek().kind != TokenKind::kPname) {
+        return Error("PREFIX expects 'name:'");
+      }
+      std::string pname = Peek().text;
+      size_t colon = pname.find(':');
+      std::string prefix = pname.substr(0, colon);
+      if (pname.size() != colon + 1) {
+        return Error("PREFIX name must end with ':'");
+      }
+      Advance();
+      if (Peek().kind != TokenKind::kIri) {
+        return Error("PREFIX expects an IRI");
+      }
+      prefixes_[prefix] = Peek().text;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<rdf::Term> ExpandPname(const std::string& pname) {
+    size_t colon = pname.find(':');
+    std::string prefix = pname.substr(0, colon);
+    std::string local = pname.substr(colon + 1);
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Status::ParseError("unknown prefix '" + prefix + ":'");
+    }
+    return rdf::Term::Uri(it->second + local);
+  }
+
+  Result<PatternTerm> ParsePatternTerm(bool predicate_position) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVar: {
+        PatternTerm out = PatternTerm::Var(t.text);
+        Advance();
+        return out;
+      }
+      case TokenKind::kIri: {
+        PatternTerm out = PatternTerm::Const(rdf::Term::Uri(t.text));
+        Advance();
+        return out;
+      }
+      case TokenKind::kPname: {
+        RDFSPARK_ASSIGN_OR_RETURN(rdf::Term term, ExpandPname(t.text));
+        Advance();
+        return PatternTerm::Const(std::move(term));
+      }
+      case TokenKind::kString: {
+        PatternTerm out = PatternTerm::Const(
+            rdf::Term::Literal(t.text, t.datatype, t.lang));
+        Advance();
+        return out;
+      }
+      case TokenKind::kNumber: {
+        bool is_double = t.text.find('.') != std::string::npos;
+        PatternTerm out = PatternTerm::Const(rdf::Term::Literal(
+            t.text, is_double ? rdf::kXsdDouble : rdf::kXsdInteger));
+        Advance();
+        return out;
+      }
+      case TokenKind::kKeyword:
+        if (t.text == "a" && predicate_position) {
+          Advance();
+          return PatternTerm::Const(rdf::Term::Uri(rdf::kRdfType));
+        }
+        [[fallthrough]];
+      default:
+        return Error("expected term, got '" + t.text + "'");
+    }
+  }
+
+  /// Parses "s p o (; p o)* (, o)* ." into one or more patterns.
+  Status ParseTripleBlock(GroupPattern* group) {
+    RDFSPARK_ASSIGN_OR_RETURN(PatternTerm s, ParsePatternTerm(false));
+    while (true) {
+      RDFSPARK_ASSIGN_OR_RETURN(PatternTerm p, ParsePatternTerm(true));
+      while (true) {
+        RDFSPARK_ASSIGN_OR_RETURN(PatternTerm o, ParsePatternTerm(false));
+        group->bgp.push_back(TriplePattern{s, p, o});
+        if (Peek().Is(TokenKind::kPunct, ",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().Is(TokenKind::kPunct, ";")) {
+        Advance();
+        // Allow trailing ';' before '.' or '}'.
+        if (Peek().Is(TokenKind::kPunct, ".") ||
+            Peek().Is(TokenKind::kPunct, "}")) {
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    if (Peek().Is(TokenKind::kPunct, ".")) Advance();
+    return Status::OK();
+  }
+
+  Result<GroupPattern> ParseGroup() {
+    RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, "{"));
+    GroupPattern group;
+    while (!Peek().Is(TokenKind::kPunct, "}")) {
+      if (Peek().kind == TokenKind::kEof) return Error("unterminated group");
+      if (PeekKeyword("OPTIONAL")) {
+        Advance();
+        RDFSPARK_ASSIGN_OR_RETURN(GroupPattern opt, ParseGroup());
+        group.optionals.push_back(std::move(opt));
+      } else if (PeekKeyword("FILTER")) {
+        Advance();
+        RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, "("));
+        RDFSPARK_ASSIGN_OR_RETURN(auto expr, ParseOrExpr());
+        RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, ")"));
+        group.filters.push_back(std::move(expr));
+      } else if (Peek().Is(TokenKind::kPunct, "{")) {
+        // Sub-group; if followed by UNION, gather alternatives.
+        RDFSPARK_ASSIGN_OR_RETURN(GroupPattern first, ParseGroup());
+        if (PeekKeyword("UNION")) {
+          std::vector<GroupPattern> alternatives;
+          alternatives.push_back(std::move(first));
+          while (PeekKeyword("UNION")) {
+            Advance();
+            RDFSPARK_ASSIGN_OR_RETURN(GroupPattern alt, ParseGroup());
+            alternatives.push_back(std::move(alt));
+          }
+          group.unions.push_back(std::move(alternatives));
+        } else {
+          // Plain nested group: fold its contents into this one.
+          for (auto& tp : first.bgp) group.bgp.push_back(std::move(tp));
+          for (auto& f : first.filters) group.filters.push_back(std::move(f));
+          for (auto& o : first.optionals) {
+            group.optionals.push_back(std::move(o));
+          }
+          for (auto& u : first.unions) group.unions.push_back(std::move(u));
+        }
+        if (Peek().Is(TokenKind::kPunct, ".")) Advance();
+      } else {
+        RDFSPARK_RETURN_NOT_OK(ParseTripleBlock(&group));
+      }
+    }
+    Advance();  // consume '}'
+    return group;
+  }
+
+  // expr := and ('||' and)*
+  Result<std::shared_ptr<FilterExpr>> ParseOrExpr() {
+    RDFSPARK_ASSIGN_OR_RETURN(auto lhs, ParseAndExpr());
+    while (Peek().Is(TokenKind::kPunct, "||")) {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(auto rhs, ParseAndExpr());
+      lhs = FilterExpr::MakeBinary(ExprOp::kOr, std::move(lhs),
+                                   std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::shared_ptr<FilterExpr>> ParseAndExpr() {
+    RDFSPARK_ASSIGN_OR_RETURN(auto lhs, ParseComparison());
+    while (Peek().Is(TokenKind::kPunct, "&&")) {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(auto rhs, ParseComparison());
+      lhs = FilterExpr::MakeBinary(ExprOp::kAnd, std::move(lhs),
+                                   std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::shared_ptr<FilterExpr>> ParseComparison() {
+    RDFSPARK_ASSIGN_OR_RETURN(auto lhs, ParsePrimary());
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kPunct) {
+      ExprOp op;
+      if (t.text == "=") {
+        op = ExprOp::kEq;
+      } else if (t.text == "!=") {
+        op = ExprOp::kNe;
+      } else if (t.text == "<") {
+        op = ExprOp::kLt;
+      } else if (t.text == "<=") {
+        op = ExprOp::kLe;
+      } else if (t.text == ">") {
+        op = ExprOp::kGt;
+      } else if (t.text == ">=") {
+        op = ExprOp::kGe;
+      } else {
+        return lhs;
+      }
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(auto rhs, ParsePrimary());
+      return FilterExpr::MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<std::shared_ptr<FilterExpr>> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.Is(TokenKind::kPunct, "(")) {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(auto inner, ParseOrExpr());
+      RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, ")"));
+      return inner;
+    }
+    if (t.Is(TokenKind::kPunct, "!")) {
+      Advance();
+      RDFSPARK_ASSIGN_OR_RETURN(auto inner, ParsePrimary());
+      return FilterExpr::MakeUnary(ExprOp::kNot, std::move(inner));
+    }
+    if (t.kind == TokenKind::kKeyword && t.text == "BOUND") {
+      Advance();
+      RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, "("));
+      if (Peek().kind != TokenKind::kVar) {
+        return Error("BOUND expects a variable");
+      }
+      auto e = std::make_shared<FilterExpr>();
+      e->op = ExprOp::kBound;
+      e->var = Peek().text;
+      Advance();
+      RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, ")"));
+      return e;
+    }
+    if (t.kind == TokenKind::kVar) {
+      auto e = FilterExpr::MakeVar(t.text);
+      Advance();
+      return e;
+    }
+    if (t.kind == TokenKind::kString) {
+      auto e = FilterExpr::MakeLiteral(
+          rdf::Term::Literal(t.text, t.datatype, t.lang));
+      Advance();
+      return e;
+    }
+    if (t.kind == TokenKind::kNumber) {
+      bool is_double = t.text.find('.') != std::string::npos;
+      auto e = FilterExpr::MakeLiteral(rdf::Term::Literal(
+          t.text, is_double ? rdf::kXsdDouble : rdf::kXsdInteger));
+      Advance();
+      return e;
+    }
+    if (t.kind == TokenKind::kIri) {
+      auto e = FilterExpr::MakeLiteral(rdf::Term::Uri(t.text));
+      Advance();
+      return e;
+    }
+    if (t.kind == TokenKind::kPname) {
+      RDFSPARK_ASSIGN_OR_RETURN(rdf::Term term, ExpandPname(t.text));
+      Advance();
+      return FilterExpr::MakeLiteral(std::move(term));
+    }
+    return Error("expected filter expression, got '" + t.text + "'");
+  }
+
+  Result<SelectAggregate> ParseAggregate() {
+    SelectAggregate agg;
+    if (Peek().kind != TokenKind::kKeyword) {
+      return Error("expected aggregate function");
+    }
+    const std::string& kw = Peek().text;
+    if (kw == "COUNT") {
+      agg.op = AggregateOp::kCount;
+    } else if (kw == "SUM") {
+      agg.op = AggregateOp::kSum;
+    } else if (kw == "AVG") {
+      agg.op = AggregateOp::kAvg;
+    } else if (kw == "MIN") {
+      agg.op = AggregateOp::kMin;
+    } else if (kw == "MAX") {
+      agg.op = AggregateOp::kMax;
+    } else {
+      return Error("unknown aggregate '" + kw + "'");
+    }
+    Advance();
+    RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, "("));
+    if (Peek().Is(TokenKind::kPunct, "*")) {
+      if (agg.op != AggregateOp::kCount) {
+        return Error("only COUNT accepts '*'");
+      }
+      Advance();
+    } else if (Peek().kind == TokenKind::kVar) {
+      agg.var = Peek().text;
+      Advance();
+    } else {
+      return Error("aggregate expects a variable or '*'");
+    }
+    RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, ")"));
+    if (!PeekKeyword("AS")) return Error("aggregate requires AS ?alias");
+    Advance();
+    if (Peek().kind != TokenKind::kVar) {
+      return Error("AS expects a variable");
+    }
+    agg.alias = Peek().text;
+    Advance();
+    return agg;
+  }
+
+  Status ParseModifiers(Query* query) {
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      if (!PeekKeyword("BY")) return Error("expected BY after GROUP");
+      Advance();
+      while (Peek().kind == TokenKind::kVar) {
+        query->group_by.push_back(Peek().text);
+        Advance();
+      }
+      if (query->group_by.empty()) {
+        return Error("GROUP BY requires at least one variable");
+      }
+    }
+    if (query->IsAggregate()) {
+      // Plain select vars must be grouping keys (SPARQL 1.1 rule).
+      for (const auto& v : query->select_vars) {
+        bool grouped = false;
+        for (const auto& g : query->group_by) grouped |= g == v;
+        if (!grouped) {
+          return Error("non-aggregate variable ?" + v +
+                       " must appear in GROUP BY");
+        }
+      }
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      if (!PeekKeyword("BY")) return Error("expected BY after ORDER");
+      Advance();
+      while (true) {
+        OrderKey key;
+        if (PeekKeyword("ASC") || PeekKeyword("DESC")) {
+          key.ascending = Peek().text == "ASC";
+          Advance();
+          RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, "("));
+          if (Peek().kind != TokenKind::kVar) {
+            return Error("ORDER BY expects a variable");
+          }
+          key.var = Peek().text;
+          Advance();
+          RDFSPARK_RETURN_NOT_OK(Expect(TokenKind::kPunct, ")"));
+        } else if (Peek().kind == TokenKind::kVar) {
+          key.var = Peek().text;
+          Advance();
+        } else {
+          break;
+        }
+        query->order_by.push_back(std::move(key));
+      }
+      if (query->order_by.empty()) {
+        return Error("ORDER BY requires at least one key");
+      }
+    }
+    // LIMIT and OFFSET in either order.
+    for (int i = 0; i < 2; ++i) {
+      if (PeekKeyword("LIMIT")) {
+        Advance();
+        if (Peek().kind != TokenKind::kNumber) {
+          return Error("LIMIT expects a number");
+        }
+        query->limit = std::strtoll(Peek().text.c_str(), nullptr, 10);
+        Advance();
+      } else if (PeekKeyword("OFFSET")) {
+        Advance();
+        if (Peek().kind != TokenKind::kNumber) {
+          return Error("OFFSET expects a number");
+        }
+        query->offset = std::strtoll(Peek().text.c_str(), nullptr, 10);
+        Advance();
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace rdfspark::sparql

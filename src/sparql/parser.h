@@ -1,0 +1,25 @@
+#ifndef RDFSPARK_SPARQL_PARSER_H_
+#define RDFSPARK_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "sparql/ast.h"
+
+namespace rdfspark::sparql {
+
+/// Parses the supported SPARQL fragment:
+///
+///   PREFIX ns: <iri> ...
+///   SELECT [DISTINCT] (?v ... | *) WHERE { ... }  |  ASK { ... }
+///
+/// where the group pattern supports basic graph patterns (with `a`,
+/// `;` predicate lists and `,` object lists), FILTER with comparison and
+/// boolean operators plus BOUND, OPTIONAL { ... }, and
+/// { ... } UNION { ... }; solution modifiers ORDER BY [ASC|DESC](?v),
+/// LIMIT and OFFSET. This covers the BGP+ fragment of Table II.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_PARSER_H_

@@ -1,0 +1,146 @@
+#include "sparql/serialize.h"
+
+namespace rdfspark::sparql {
+
+namespace {
+
+const char* OpToken(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+      return "=";
+    case ExprOp::kNe:
+      return "!=";
+    case ExprOp::kLt:
+      return "<";
+    case ExprOp::kLe:
+      return "<=";
+    case ExprOp::kGt:
+      return ">";
+    case ExprOp::kGe:
+      return ">=";
+    case ExprOp::kAnd:
+      return "&&";
+    case ExprOp::kOr:
+      return "||";
+    default:
+      return "?";
+  }
+}
+
+void AppendIndent(int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+std::string ToSparql(const FilterExpr& expr) {
+  switch (expr.op) {
+    case ExprOp::kVar:
+      return "?" + expr.var;
+    case ExprOp::kLiteral:
+      return expr.literal.ToNTriples();
+    case ExprOp::kBound:
+      return "BOUND(?" + expr.var + ")";
+    case ExprOp::kNot:
+      return "(!" + ToSparql(*expr.children[0]) + ")";
+    default:
+      return "(" + ToSparql(*expr.children[0]) + " " + OpToken(expr.op) +
+             " " + ToSparql(*expr.children[1]) + ")";
+  }
+}
+
+std::string ToSparql(const GroupPattern& group, int indent) {
+  std::string out = "{\n";
+  for (const auto& tp : group.bgp) {
+    AppendIndent(indent + 1, &out);
+    out += tp.ToString();
+    out += "\n";
+  }
+  for (const auto& alternatives : group.unions) {
+    AppendIndent(indent + 1, &out);
+    for (size_t i = 0; i < alternatives.size(); ++i) {
+      if (i) out += " UNION ";
+      out += ToSparql(alternatives[i], indent + 1);
+    }
+    out += "\n";
+  }
+  for (const auto& opt : group.optionals) {
+    AppendIndent(indent + 1, &out);
+    out += "OPTIONAL ";
+    out += ToSparql(opt, indent + 1);
+    out += "\n";
+  }
+  for (const auto& filter : group.filters) {
+    AppendIndent(indent + 1, &out);
+    out += "FILTER (" + ToSparql(*filter) + ")\n";
+  }
+  AppendIndent(indent, &out);
+  out += "}";
+  return out;
+}
+
+std::string ToSparql(const Query& query) {
+  std::string out;
+  if (query.form == QueryForm::kAsk) {
+    out = "ASK ";
+    out += ToSparql(query.where, 0);
+    return out;
+  }
+  if (query.form == QueryForm::kConstruct) {
+    out = "CONSTRUCT {\n";
+    for (const auto& tp : query.construct_template) {
+      out += "  " + tp.ToString() + "\n";
+    }
+    out += "} WHERE ";
+    out += ToSparql(query.where, 0);
+    if (query.limit >= 0) out += "\nLIMIT " + std::to_string(query.limit);
+    if (query.offset > 0) out += "\nOFFSET " + std::to_string(query.offset);
+    return out;
+  }
+  if (query.form == QueryForm::kDescribe) {
+    out = "DESCRIBE";
+    for (const auto& target : query.describe_targets) {
+      out += " " + target.ToString();
+    }
+    if (!query.where.bgp.empty() || !query.where.filters.empty() ||
+        !query.where.optionals.empty() || !query.where.unions.empty()) {
+      out += " WHERE ";
+      out += ToSparql(query.where, 0);
+    }
+    return out;
+  }
+  out = "SELECT ";
+  if (query.distinct) out += "DISTINCT ";
+  if (query.select_vars.empty() && query.aggregates.empty()) {
+    out += "* ";
+  } else {
+    for (const auto& v : query.select_vars) {
+      out += "?" + v + " ";
+    }
+    for (const auto& agg : query.aggregates) {
+      out += "(";
+      out += AggregateOpName(agg.op);
+      out += "(";
+      out += agg.var.empty() ? "*" : "?" + agg.var;
+      out += ") AS ?" + agg.alias + ") ";
+    }
+  }
+  out += "WHERE ";
+  out += ToSparql(query.where, 0);
+  if (!query.group_by.empty()) {
+    out += "\nGROUP BY";
+    for (const auto& g : query.group_by) out += " ?" + g;
+  }
+  if (!query.order_by.empty()) {
+    out += "\nORDER BY";
+    for (const auto& key : query.order_by) {
+      out += key.ascending ? " ASC(?" : " DESC(?";
+      out += key.var + ")";
+    }
+  }
+  if (query.limit >= 0) out += "\nLIMIT " + std::to_string(query.limit);
+  if (query.offset > 0) out += "\nOFFSET " + std::to_string(query.offset);
+  return out;
+}
+
+}  // namespace rdfspark::sparql

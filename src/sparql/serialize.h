@@ -1,0 +1,25 @@
+#ifndef RDFSPARK_SPARQL_SERIALIZE_H_
+#define RDFSPARK_SPARQL_SERIALIZE_H_
+
+#include <string>
+
+#include "sparql/ast.h"
+
+namespace rdfspark::sparql {
+
+/// Serializes a parsed query back to SPARQL text. The output always
+/// re-parses to an equivalent query (round-trip tested), which makes it
+/// suitable for logging, shipping queries between components, and the
+/// workload descriptions engines persist (e.g. HAQWA's frequent-query
+/// option).
+std::string ToSparql(const Query& query);
+
+/// Serializes one group pattern (indented by `indent` levels).
+std::string ToSparql(const GroupPattern& group, int indent = 0);
+
+/// Serializes a filter expression.
+std::string ToSparql(const FilterExpr& expr);
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_SERIALIZE_H_

@@ -1,0 +1,130 @@
+#include "sparql/shape.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace rdfspark::sparql {
+
+const char* BgpShapeName(BgpShape shape) {
+  switch (shape) {
+    case BgpShape::kSingle:
+      return "single";
+    case BgpShape::kStar:
+      return "star";
+    case BgpShape::kLinear:
+      return "linear";
+    case BgpShape::kSnowflake:
+      return "snowflake";
+    case BgpShape::kComplex:
+      return "complex";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Positions a variable occupies across the BGP.
+struct VarUse {
+  std::set<size_t> subject_of;
+  std::set<size_t> object_of;
+  std::set<size_t> predicate_of;
+
+  size_t Degree() const {
+    std::set<size_t> all = subject_of;
+    all.insert(object_of.begin(), object_of.end());
+    all.insert(predicate_of.begin(), predicate_of.end());
+    return all.size();
+  }
+};
+
+}  // namespace
+
+BgpShape ClassifyBgp(const std::vector<TriplePattern>& bgp) {
+  if (bgp.size() <= 1) return BgpShape::kSingle;
+
+  std::map<std::string, VarUse> uses;
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    if (bgp[i].s.is_variable()) uses[bgp[i].s.var()].subject_of.insert(i);
+    if (bgp[i].p.is_variable()) uses[bgp[i].p.var()].predicate_of.insert(i);
+    if (bgp[i].o.is_variable()) uses[bgp[i].o.var()].object_of.insert(i);
+  }
+
+  // Join variables: appear in >= 2 patterns.
+  bool any_pred_join = false;
+  bool any_oo_join = false;
+  bool any_ss_join = false;
+  bool any_so_join = false;
+  for (const auto& [name, use] : uses) {
+    if (use.Degree() < 2) continue;
+    if (!use.predicate_of.empty()) any_pred_join = true;
+    if (use.subject_of.size() >= 2) any_ss_join = true;
+    if (use.object_of.size() >= 2 && use.subject_of.empty()) {
+      any_oo_join = true;
+    }
+    if (!use.subject_of.empty() && !use.object_of.empty()) any_so_join = true;
+  }
+  if (any_pred_join || any_oo_join) return BgpShape::kComplex;
+
+  // Connectivity over shared variables.
+  std::vector<int> component(bgp.size(), -1);
+  int num_components = 0;
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    if (component[i] >= 0) continue;
+    // BFS.
+    std::vector<size_t> frontier{i};
+    component[i] = num_components;
+    while (!frontier.empty()) {
+      size_t cur = frontier.back();
+      frontier.pop_back();
+      for (const auto& [name, use] : uses) {
+        std::set<size_t> all = use.subject_of;
+        all.insert(use.object_of.begin(), use.object_of.end());
+        if (!all.count(cur)) continue;
+        for (size_t j : all) {
+          if (component[j] < 0) {
+            component[j] = num_components;
+            frontier.push_back(j);
+          }
+        }
+      }
+    }
+    ++num_components;
+  }
+  if (num_components > 1) return BgpShape::kComplex;
+
+  // Star: a single hub variable that is the subject of every pattern.
+  for (const auto& [name, use] : uses) {
+    if (use.subject_of.size() == bgp.size()) return BgpShape::kStar;
+  }
+
+  // Linear: pure subject-object chain — no subject-subject joins, and every
+  // join variable links exactly two patterns (one as subject, one as object).
+  if (!any_ss_join && any_so_join) {
+    bool is_chain = true;
+    for (const auto& [name, use] : uses) {
+      if (use.Degree() < 2) continue;
+      if (use.subject_of.size() != 1 || use.object_of.size() != 1) {
+        is_chain = false;
+        break;
+      }
+    }
+    if (is_chain) return BgpShape::kLinear;
+  }
+
+  // Snowflake: connected mixture of subject-subject stars and
+  // subject-object links.
+  if (any_ss_join && any_so_join) return BgpShape::kSnowflake;
+
+  // SS joins with several hubs but no SO links, or other leftovers.
+  return BgpShape::kComplex;
+}
+
+BgpShape ClassifyQuery(const Query& query) {
+  if (!query.where.unions.empty() || !query.where.optionals.empty()) {
+    return BgpShape::kComplex;
+  }
+  return ClassifyBgp(query.where.bgp);
+}
+
+}  // namespace rdfspark::sparql

@@ -1,0 +1,27 @@
+#ifndef RDFSPARK_SPARQL_SHAPE_H_
+#define RDFSPARK_SPARQL_SHAPE_H_
+
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace rdfspark::sparql {
+
+/// The query shapes of §II.B. Star: subject-subject joins only, one hub.
+/// Linear: a chain of subject-object joins. Snowflake: several star
+/// components connected by paths. Complex: everything else (object-object
+/// joins, disconnected patterns, predicate-variable joins).
+enum class BgpShape { kSingle, kStar, kLinear, kSnowflake, kComplex };
+
+const char* BgpShapeName(BgpShape shape);
+
+/// Classifies a basic graph pattern.
+BgpShape ClassifyBgp(const std::vector<TriplePattern>& bgp);
+
+/// Classifies a whole query (a query with UNION/OPTIONAL is complex; FILTER
+/// does not change the pattern shape).
+BgpShape ClassifyQuery(const Query& query);
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_SHAPE_H_

@@ -1,0 +1,100 @@
+#ifndef RDFSPARK_SYSTEMS_COMMON_H_
+#define RDFSPARK_SYSTEMS_COMMON_H_
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/store.h"
+#include "sparql/ast.h"
+#include "sparql/binding.h"
+
+namespace rdfspark::systems {
+
+/// A triple pattern with constants resolved against the dictionary.
+/// `impossible` marks patterns whose constant term does not occur in the
+/// data at all (they match nothing).
+struct EncodedPattern {
+  rdf::IdPattern ids;
+  sparql::TriplePattern source;
+  bool impossible = false;
+};
+
+/// Resolves a pattern's constants. Never fails: unknown constants yield
+/// impossible=true.
+EncodedPattern EncodePattern(const rdf::Dictionary& dict,
+                             const sparql::TriplePattern& pattern);
+
+/// Mutable variable schema used while composing distributed joins.
+class VarSchema {
+ public:
+  const std::vector<std::string>& vars() const { return vars_; }
+  int IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      if (vars_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  /// Adds if missing; returns the index either way.
+  int Add(const std::string& name) {
+    int idx = IndexOf(name);
+    if (idx >= 0) return idx;
+    vars_.push_back(name);
+    return static_cast<int>(vars_.size()) - 1;
+  }
+
+ private:
+  std::vector<std::string> vars_;
+};
+
+/// A partial solution row, aligned with a VarSchema.
+using IdRow = std::vector<rdf::TermId>;
+
+/// Tries to extend `row` (over `schema`) with the bindings a concrete
+/// triple induces under `pattern`; returns false on conflict (repeated
+/// variable bound to a different value).
+bool ExtendRow(const sparql::TriplePattern& pattern,
+               const rdf::EncodedTriple& triple, const VarSchema& schema,
+               IdRow* row);
+
+/// True if `triple` matches the constant slots of `encoded`.
+bool MatchesConstants(const EncodedPattern& encoded,
+                      const rdf::EncodedTriple& triple);
+
+/// Variables shared between a pattern and an existing schema.
+std::vector<std::string> SharedVars(const sparql::TriplePattern& pattern,
+                                    const VarSchema& schema);
+
+/// Packs rows into a BindingTable.
+sparql::BindingTable ToBindingTable(const VarSchema& schema,
+                                    std::vector<IdRow> rows);
+
+/// Orders BGP patterns greedily so each one (when possible) shares a
+/// variable with the already-ordered prefix, starting from `first`.
+std::vector<sparql::TriplePattern> OrderConnected(
+    std::vector<sparql::TriplePattern> bgp, size_t first);
+
+/// Element-wise merge of two rows over the same schema; nullopt when a
+/// variable is bound to different values.
+std::optional<IdRow> MergeRows(const IdRow& a, const IdRow& b);
+
+/// A star fragment: patterns sharing one subject (variable or constant).
+struct SubjectGroup {
+  std::string subject_var;  // empty when the subject is a constant
+  std::optional<rdf::TermId> subject_const;
+  bool impossible = false;  // constant subject absent from the data
+  std::vector<sparql::TriplePattern> patterns;
+};
+
+/// Decomposes a BGP into subject groups (HAQWA's locally-evaluable
+/// sub-queries under subject-hash fragmentation).
+std::vector<SubjectGroup> GroupBySubject(
+    const std::vector<sparql::TriplePattern>& bgp,
+    const rdf::Dictionary& dict);
+
+}  // namespace rdfspark::systems
+
+#endif  // RDFSPARK_SYSTEMS_COMMON_H_

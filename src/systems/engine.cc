@@ -1,0 +1,163 @@
+#include "systems/engine.h"
+
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+#include "systems/graphframes_engine.h"
+#include "systems/graphx_sm.h"
+#include "systems/haqwa.h"
+#include "systems/hybrid.h"
+#include "systems/s2rdf.h"
+#include "systems/s2x.h"
+#include "systems/sparkql.h"
+#include "systems/sparkrdf.h"
+#include "systems/sparqlgx.h"
+
+namespace rdfspark::systems {
+
+const char* SparkAbstractionName(SparkAbstraction a) {
+  switch (a) {
+    case SparkAbstraction::kRdd:
+      return "RDD";
+    case SparkAbstraction::kDataFrames:
+      return "DataFrames";
+    case SparkAbstraction::kSparkSql:
+      return "Spark SQL";
+    case SparkAbstraction::kGraphX:
+      return "GraphX";
+    case SparkAbstraction::kGraphFrames:
+      return "GraphFrames";
+  }
+  return "unknown";
+}
+
+const char* DataModelName(DataModel m) {
+  return m == DataModel::kTriple ? "The Triple Model" : "The Graph Model";
+}
+
+const char* SparqlFragmentName(SparqlFragment f) {
+  return f == SparqlFragment::kBgp ? "BGP" : "BGP+";
+}
+
+Result<sparql::BindingTable> RdfQueryEngine::ExecuteText(
+    std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  return Execute(query);
+}
+
+Result<sparql::BindingTable> BgpEngineBase::EvaluateGroup(
+    const sparql::GroupPattern& group) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table,
+                            EvaluateBgp(group.bgp));
+  for (const auto& alternatives : group.unions) {
+    sparql::BindingTable united;
+    bool first = true;
+    for (const auto& alt : alternatives) {
+      RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable t, EvaluateGroup(alt));
+      united = first ? std::move(t) : UnionTables(united, t);
+      first = false;
+    }
+    table = HashJoin(table, united);
+  }
+  for (const auto& opt : group.optionals) {
+    RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable t, EvaluateGroup(opt));
+    table = LeftJoin(table, t);
+  }
+  for (const auto& filter : group.filters) {
+    table = ApplyFilter(table, *filter, dictionary());
+  }
+  return table;
+}
+
+Result<sparql::BindingTable> BgpEngineBase::Execute(
+    const sparql::Query& query) {
+  if (query.form == sparql::QueryForm::kConstruct ||
+      query.form == sparql::QueryForm::kDescribe) {
+    return Status::InvalidArgument(
+        "CONSTRUCT/DESCRIBE produce triples; use the ExecuteConstruct / "
+        "ExecuteDescribe helpers");
+  }
+  if (traits().fragment == SparqlFragment::kBgp &&
+      (!query.where.IsPlainBgp() || query.IsAggregate())) {
+    return Status::Unsupported(
+        traits().name +
+        " supports the BGP fragment only (no FILTER/OPTIONAL/UNION/"
+        "aggregates)");
+  }
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table,
+                            EvaluateGroup(query.where));
+  if (query.form == sparql::QueryForm::kAsk) {
+    sparql::BindingTable out;
+    if (table.num_rows() > 0) out.AddRow({});
+    return out;
+  }
+  // Solution modifiers run "with the Spark API" driver-side, as the
+  // surveyed systems implement them.
+  return ApplyModifiers(query, std::move(table), dictionary());
+}
+
+Result<std::vector<rdf::Triple>> ExecuteConstruct(
+    RdfQueryEngine* engine, const rdf::TripleStore& store,
+    const sparql::Query& query) {
+  if (query.form != sparql::QueryForm::kConstruct) {
+    return Status::InvalidArgument("not a CONSTRUCT query");
+  }
+  sparql::Query select = query;
+  select.form = sparql::QueryForm::kSelect;
+  select.construct_template.clear();
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table,
+                            engine->Execute(select));
+  return sparql::InstantiateTemplate(query.construct_template, table,
+                                     store.dictionary());
+}
+
+Result<std::vector<rdf::Triple>> ExecuteDescribe(
+    RdfQueryEngine* engine, const rdf::TripleStore& store,
+    const sparql::Query& query) {
+  if (query.form != sparql::QueryForm::kDescribe) {
+    return Status::InvalidArgument("not a DESCRIBE query");
+  }
+  std::vector<rdf::TermId> resources;
+  bool has_vars = false;
+  for (const auto& target : query.describe_targets) {
+    if (target.is_variable()) {
+      has_vars = true;
+    } else {
+      auto id = store.dictionary().Lookup(target.term());
+      if (id.ok()) resources.push_back(*id);
+    }
+  }
+  if (has_vars) {
+    sparql::Query select = query;
+    select.form = sparql::QueryForm::kSelect;
+    select.describe_targets.clear();
+    RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table,
+                              engine->Execute(select));
+    for (const auto& target : query.describe_targets) {
+      if (!target.is_variable()) continue;
+      int idx = table.VarIndex(target.var());
+      if (idx < 0) continue;
+      for (const auto& row : table.rows()) {
+        rdf::TermId id = row[static_cast<size_t>(idx)];
+        if (id != sparql::kUnbound) resources.push_back(id);
+      }
+    }
+  }
+  return sparql::DescribeResources(resources, store);
+}
+
+std::vector<std::unique_ptr<RdfQueryEngine>> MakeAllEngines(
+    spark::SparkContext* sc) {
+  std::vector<std::unique_ptr<RdfQueryEngine>> engines;
+  engines.push_back(std::make_unique<HaqwaEngine>(sc));       // [7]
+  engines.push_back(std::make_unique<SparqlgxEngine>(sc));    // [13]
+  engines.push_back(std::make_unique<S2rdfEngine>(sc));       // [24]
+  engines.push_back(std::make_unique<HybridEngine>(sc));      // [21]
+  engines.push_back(std::make_unique<S2xEngine>(sc));         // [23]
+  engines.push_back(std::make_unique<GraphxSmEngine>(sc));    // [16]
+  engines.push_back(std::make_unique<SparkqlEngine>(sc));     // [12]
+  engines.push_back(std::make_unique<GraphFramesEngine>(sc));  // [4]
+  engines.push_back(std::make_unique<SparkRdfEngine>(sc));    // [5]
+  return engines;
+}
+
+}  // namespace rdfspark::systems

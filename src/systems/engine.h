@@ -1,0 +1,135 @@
+#ifndef RDFSPARK_SYSTEMS_ENGINE_H_
+#define RDFSPARK_SYSTEMS_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/store.h"
+#include "spark/context.h"
+#include "sparql/ast.h"
+#include "sparql/binding.h"
+
+namespace rdfspark::systems {
+
+/// The Spark data abstractions of Figure 1 / Table I.
+enum class SparkAbstraction {
+  kRdd,
+  kDataFrames,
+  kSparkSql,
+  kGraphX,
+  kGraphFrames,
+};
+
+const char* SparkAbstractionName(SparkAbstraction a);
+
+/// The data-model dimension of Figure 1 / Table I.
+enum class DataModel { kTriple, kGraph };
+
+const char* DataModelName(DataModel m);
+
+/// SPARQL fragment supported (Table II): plain basic graph patterns, or
+/// BGP plus further operators (FILTER, OPTIONAL, UNION, modifiers).
+enum class SparqlFragment { kBgp, kBgpPlus };
+
+const char* SparqlFragmentName(SparqlFragment f);
+
+/// Self-description of a system. Tables I and II and Figure 1 are generated
+/// from these traits, so the taxonomy is program output rather than prose.
+struct EngineTraits {
+  std::string name;
+  std::string citation;  // e.g. "[7] Cure et al., HAQWA, ISWC P&D 2015"
+  DataModel data_model = DataModel::kTriple;
+  std::vector<SparkAbstraction> abstractions;
+  std::string query_processing;  // Table II column "Query Processing"
+  bool has_optimization = false;
+  std::string optimization_note;
+  std::string partitioning;  // Table II column "Partitioning"
+  SparqlFragment fragment = SparqlFragment::kBgp;
+  std::string contribution;  // the System Contribution dimension (§III)
+};
+
+/// What Load() did: preprocessing cost and storage blow-up, reported by the
+/// partitioning assessment benchmark.
+struct LoadStats {
+  double wall_ms = 0.0;
+  uint64_t input_triples = 0;
+  /// Stored records incl. replication / ExtVP sub-tables / indexes.
+  uint64_t stored_records = 0;
+  uint64_t stored_bytes = 0;
+};
+
+/// Common interface of the nine reproduced systems. An engine is bound to a
+/// SparkContext (the simulated cluster) and loads a dataset once; queries
+/// produce binding tables over the dataset's dictionary so results can be
+/// cross-checked against the reference evaluator.
+class RdfQueryEngine {
+ public:
+  virtual ~RdfQueryEngine() = default;
+
+  virtual const EngineTraits& traits() const = 0;
+
+  /// Ingests the dataset, building the engine's partitioning and index
+  /// structures. `store` must outlive the engine.
+  virtual Result<LoadStats> Load(const rdf::TripleStore& store) = 0;
+
+  /// Executes a parsed query. Engines whose fragment is kBgp reject
+  /// queries using FILTER/OPTIONAL/UNION or solution modifiers.
+  virtual Result<sparql::BindingTable> Execute(const sparql::Query& query) = 0;
+
+  /// Parses and executes SPARQL text.
+  Result<sparql::BindingTable> ExecuteText(std::string_view text);
+
+  spark::SparkContext* context() const { return sc_; }
+
+ protected:
+  explicit RdfQueryEngine(spark::SparkContext* sc) : sc_(sc) {}
+
+  spark::SparkContext* sc_;
+};
+
+/// Shared skeleton for engines that evaluate BGPs in a distributed fashion
+/// and (when their fragment allows) run the remaining operators with the
+/// "Spark API" driver-side, as the surveyed systems do. Subclasses provide
+/// EvaluateBgp(); Execute() handles fragment checking, group structure
+/// (FILTER/OPTIONAL/UNION) and solution modifiers.
+class BgpEngineBase : public RdfQueryEngine {
+ public:
+  Result<sparql::BindingTable> Execute(const sparql::Query& query) override;
+
+ protected:
+  explicit BgpEngineBase(spark::SparkContext* sc) : RdfQueryEngine(sc) {}
+
+  /// Distributed evaluation of one basic graph pattern.
+  virtual Result<sparql::BindingTable> EvaluateBgp(
+      const std::vector<sparql::TriplePattern>& bgp) = 0;
+
+  /// Dictionary of the loaded dataset (for filters/modifiers).
+  virtual const rdf::Dictionary& dictionary() const = 0;
+
+  Result<sparql::BindingTable> EvaluateGroup(
+      const sparql::GroupPattern& group);
+};
+
+/// All nine engines, constructed against `sc`. Order matches Table II rows.
+/// Callers own the engines; each needs Load() before use.
+std::vector<std::unique_ptr<RdfQueryEngine>> MakeAllEngines(
+    spark::SparkContext* sc);
+
+/// Runs a CONSTRUCT query through `engine` (distributed pattern matching,
+/// driver-side template instantiation against `store`'s dictionary).
+Result<std::vector<rdf::Triple>> ExecuteConstruct(
+    RdfQueryEngine* engine, const rdf::TripleStore& store,
+    const sparql::Query& query);
+
+/// Runs a DESCRIBE query through `engine`: the pattern (if any) resolves
+/// variable targets distributedly; descriptions come from `store`.
+Result<std::vector<rdf::Triple>> ExecuteDescribe(
+    RdfQueryEngine* engine, const rdf::TripleStore& store,
+    const sparql::Query& query);
+
+}  // namespace rdfspark::systems
+
+#endif  // RDFSPARK_SYSTEMS_ENGINE_H_

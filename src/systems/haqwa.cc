@@ -1,0 +1,427 @@
+#include "systems/haqwa.h"
+
+#include <chrono>
+
+#include "sparql/parser.h"
+
+namespace rdfspark::systems {
+
+using spark::Rdd;
+
+HaqwaEngine::HaqwaEngine(spark::SparkContext* sc, Options options)
+    : BgpEngineBase(sc), options_(std::move(options)) {
+  traits_.name = "HAQWA";
+  traits_.citation = "[7] Cure, Naacke, Baazizi, Amann — ISWC P&D 2015";
+  traits_.data_model = DataModel::kTriple;
+  traits_.abstractions = {SparkAbstraction::kRdd};
+  traits_.query_processing = "RDD API";
+  traits_.has_optimization = false;
+  traits_.optimization_note =
+      "no join reordering; relies on fragmentation + replication";
+  traits_.partitioning = "Hash / Query Aware";
+  traits_.fragment = SparqlFragment::kBgpPlus;
+  traits_.contribution =
+      "trade-off between data distribution complexity and query answering "
+      "efficiency; star queries local by construction";
+}
+
+Result<LoadStats> HaqwaEngine::Load(const rdf::TripleStore& store) {
+  auto start = std::chrono::steady_clock::now();
+  store_ = &store;
+  stats_ = store.ComputeStatistics();
+  int n = options_.num_partitions > 0 ? options_.num_partitions
+                                      : sc_->config().default_parallelism;
+
+  // Step 1: fragmentation on subjects (dictionary-encoded triples) — hash
+  // by default, by subject class under the semantic option.
+  std::vector<KeyedTriple> keyed;
+  keyed.reserve(store.triples().size());
+  for (const auto& t : store.triples()) keyed.emplace_back(t.s, t);
+  auto base = Parallelize(sc_, std::move(keyed), n);
+  if (options_.semantic_partitioning) {
+    semantic_ = std::make_shared<const SemanticPartitioner>(store, n);
+    subject_partitioner_ = spark::PartitionerInfo{"semantic-class", n, 0};
+    auto partitioner = semantic_;
+    by_subject_ = base.ShuffleBy(
+        [partitioner](const KeyedTriple& kv) {
+          // The partition index is already < n, so the modulo in ShuffleBy
+          // leaves it unchanged.
+          return static_cast<uint64_t>(
+              partitioner->PartitionOfSubject(kv.first));
+        },
+        n, "SemanticPartition", subject_partitioner_);
+  } else {
+    semantic_.reset();
+    subject_partitioner_ = spark::PartitionerInfo{"hash-subject", n, 0};
+    by_subject_ = base.PartitionByKey(n, "hash-subject");
+  }
+  by_subject_.Count();  // materialize the fragmentation
+
+  // Step 2: workload-aware allocation. For every subject-object link
+  // (?x pA ?y)(?y pB ?z) in a frequent query, replicate the pB triples to
+  // the partition of the pA subject that reaches them.
+  replicated_triples_ = 0;
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> links;
+  for (const auto& text : options_.frequent_queries) {
+    auto query = sparql::ParseQuery(text);
+    if (!query.ok()) continue;
+    const auto& bgp = query->where.bgp;
+    for (const auto& a : bgp) {
+      if (!a.o.is_variable() || a.p.is_variable()) continue;
+      for (const auto& b : bgp) {
+        if (&a == &b || b.p.is_variable()) continue;
+        if (b.s.is_variable() && b.s.var() == a.o.var()) {
+          auto pa = store.dictionary().Lookup(a.p.term());
+          auto pb = store.dictionary().Lookup(b.p.term());
+          if (pa.ok() && pb.ok()) links.emplace_back(*pa, *pb);
+        }
+      }
+    }
+  }
+  for (const auto& [pa, pb] : links) {
+    if (replicas_.count({pa, pb})) continue;
+    rdf::TermId pa_id = pa;
+    rdf::TermId pb_id = pb;
+    // A-triples keyed by object; B-triples keyed by subject.
+    auto a_by_object =
+        by_subject_
+            .Filter([pa_id](const KeyedTriple& kv) {
+              return kv.second.p == pa_id;
+            })
+            .Map([](const KeyedTriple& kv) {
+              return std::pair<rdf::TermId, rdf::TermId>(kv.second.o,
+                                                         kv.second.s);
+            });
+    auto b_by_subject = by_subject_.Filter(
+        [pb_id](const KeyedTriple& kv) { return kv.second.p == pb_id; });
+    // (object==subject) join, then re-key by the reaching A-subject and
+    // co-partition with the base fragmentation.
+    auto replica =
+        a_by_object.Join(b_by_subject)
+            .Map([](const std::pair<rdf::TermId,
+                                    std::pair<rdf::TermId,
+                                              rdf::EncodedTriple>>& kv) {
+              return KeyedTriple(kv.second.first, kv.second.second);
+            })
+            .PartitionByKey(subject_partitioner_.num_partitions,
+                            "hash-subject");
+    replicated_triples_ += replica.Count();
+    replicas_.emplace(std::make_pair(pa, pb), replica);
+
+    // Object-keyed replica of the link source, for seeds at the target end.
+    if (!object_replicas_.count(pa)) {
+      auto by_object =
+          by_subject_
+              .Filter([pa_id](const KeyedTriple& kv) {
+                return kv.second.p == pa_id;
+              })
+              .Map([](const KeyedTriple& kv) {
+                return KeyedTriple(kv.second.o, kv.second);
+              })
+              .PartitionByKey(subject_partitioner_.num_partitions,
+                              "hash-subject");
+      replicated_triples_ += by_object.Count();
+      object_replicas_.emplace(pa, by_object);
+    }
+  }
+
+  LoadStats stats;
+  stats.input_triples = store.triples().size();
+  stats.stored_records = stats.input_triples + replicated_triples_;
+  stats.stored_bytes = by_subject_.MemoryFootprint();
+  for (auto& [key, replica] : replicas_) {
+    stats.stored_bytes += replica.MemoryFootprint();
+  }
+  for (auto& [key, replica] : object_replicas_) {
+    stats.stored_bytes += replica.MemoryFootprint();
+  }
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return stats;
+}
+
+spark::Rdd<HaqwaEngine::KeyedRow> HaqwaEngine::EvaluateStarLocal(
+    const SubjectGroup& group, const VarSchema& schema) const {
+  // Encode the group's patterns once, outside the closure.
+  auto encoded = std::make_shared<std::vector<EncodedPattern>>();
+  for (const auto& tp : group.patterns) {
+    encoded->push_back(EncodePattern(store_->dictionary(), tp));
+  }
+  auto schema_copy = std::make_shared<const VarSchema>(schema);
+  size_t width = schema.vars().size();
+  auto rows = by_subject_.MapPartitionsWithIndex(
+      [encoded, schema_copy, width](int,
+                                    const std::vector<KeyedTriple>& part) {
+        // Bucket the partition's triples by subject.
+        std::unordered_map<rdf::TermId, std::vector<rdf::EncodedTriple>,
+                           spark::ValueHasher>
+            by_subject;
+        for (const auto& kv : part) by_subject[kv.first].push_back(kv.second);
+        std::vector<KeyedRow> out;
+        for (const auto& [subject, triples] : by_subject) {
+          std::vector<IdRow> rows{IdRow(width, sparql::kUnbound)};
+          for (const auto& ep : *encoded) {
+            std::vector<IdRow> next;
+            for (const auto& row : rows) {
+              for (const auto& t : triples) {
+                if (!MatchesConstants(ep, t)) continue;
+                IdRow extended = row;
+                if (ExtendRow(ep.source, t, *schema_copy, &extended)) {
+                  next.push_back(std::move(extended));
+                }
+              }
+            }
+            rows = std::move(next);
+            if (rows.empty()) break;
+          }
+          for (auto& row : rows) out.emplace_back(subject, std::move(row));
+        }
+        return out;
+      });
+  // Per-partition star joins never move rows off the subject's partition.
+  return rows.AssumePartitioner(subject_partitioner_);
+}
+
+uint64_t HaqwaEngine::GroupCost(const SubjectGroup& group) const {
+  uint64_t best = ~0ull;
+  for (const auto& tp : group.patterns) {
+    uint64_t cost = stats_.num_triples;
+    if (!tp.p.is_variable()) {
+      auto id = store_->dictionary().Lookup(tp.p.term());
+      if (id.ok()) {
+        auto it = stats_.predicate_count.find(*id);
+        cost = it == stats_.predicate_count.end() ? 0 : it->second;
+      } else {
+        cost = 0;
+      }
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+Result<sparql::BindingTable> HaqwaEngine::EvaluateBgp(
+    const std::vector<sparql::TriplePattern>& bgp) {
+  if (store_ == nullptr) return Status::Internal("HAQWA: Load() not called");
+  if (bgp.empty()) return sparql::BindingTable::Unit();
+
+  // Fixed schema over all BGP variables.
+  VarSchema schema;
+  for (const auto& tp : bgp) {
+    for (const auto& v : tp.Variables()) schema.Add(v);
+  }
+
+  // Decompose into locally evaluable sub-queries (subject stars).
+  std::vector<SubjectGroup> groups =
+      GroupBySubject(bgp, store_->dictionary());
+  for (const auto& g : groups) {
+    if (g.impossible) return sparql::BindingTable(schema.vars());
+  }
+  // Seed: cheapest group (transfer-cost proxy).
+  std::sort(groups.begin(), groups.end(),
+            [this](const SubjectGroup& a, const SubjectGroup& b) {
+              return GroupCost(a) < GroupCost(b);
+            });
+
+  // Evaluate the seed.
+  Rdd<KeyedRow> current = EvaluateStarLocal(groups[0], schema);
+  std::string current_key_var = groups[0].subject_var;  // may be empty
+
+  std::vector<bool> done(groups.size(), false);
+  done[0] = true;
+  VarSchema bound;
+  for (const auto& tp : groups[0].patterns) {
+    for (const auto& v : tp.Variables()) bound.Add(v);
+  }
+
+  for (size_t step = 1; step < groups.size(); ++step) {
+    // Pick the next group sharing a variable with what is bound so far.
+    int next = -1;
+    std::string link_var;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (done[i]) continue;
+      // Prefer linking through the group's subject variable (enables the
+      // replica fast path).
+      if (!groups[i].subject_var.empty() &&
+          bound.IndexOf(groups[i].subject_var) >= 0) {
+        next = static_cast<int>(i);
+        link_var = groups[i].subject_var;
+        break;
+      }
+      if (next < 0) {
+        for (const auto& tp : groups[i].patterns) {
+          for (const auto& v : tp.Variables()) {
+            if (bound.IndexOf(v) >= 0) {
+              next = static_cast<int>(i);
+              link_var = v;
+              break;
+            }
+          }
+          if (next >= 0) break;
+        }
+      }
+    }
+    if (next < 0) {
+      // Disconnected: take any remaining group (cartesian).
+      for (size_t i = 0; i < groups.size(); ++i) {
+        if (!done[i]) {
+          next = static_cast<int>(i);
+          break;
+        }
+      }
+      link_var.clear();
+    }
+    const SubjectGroup& group = groups[static_cast<size_t>(next)];
+    done[static_cast<size_t>(next)] = true;
+
+    // Workload-aware fast path: the group is a single pattern reached over
+    // a subject-object link from the current key variable, and its triples
+    // were replicated to the link source's partitions at load time — the
+    // join is local (no shuffle).
+    if (!link_var.empty() && link_var == group.subject_var &&
+        group.patterns.size() == 1 && !group.patterns[0].p.is_variable() &&
+        !current_key_var.empty()) {
+      std::optional<std::pair<rdf::TermId, rdf::TermId>> replica_key;
+      for (const auto& tp : bgp) {
+        if (tp.s.is_variable() && tp.s.var() == current_key_var &&
+            tp.o.is_variable() && tp.o.var() == link_var &&
+            !tp.p.is_variable()) {
+          auto pa = store_->dictionary().Lookup(tp.p.term());
+          auto pb = store_->dictionary().Lookup(group.patterns[0].p.term());
+          if (pa.ok() && pb.ok() && replicas_.count({*pa, *pb})) {
+            replica_key = std::make_pair(*pa, *pb);
+          }
+          break;
+        }
+      }
+      if (replica_key) {
+        const auto& replica = replicas_.at(*replica_key);
+        auto pattern = std::make_shared<const sparql::TriplePattern>(
+            group.patterns[0]);
+        auto ep = std::make_shared<const EncodedPattern>(
+            EncodePattern(store_->dictionary(), *pattern));
+        auto schema_copy = std::make_shared<const VarSchema>(schema);
+        auto joined = current.Join(replica);  // co-partitioned: no shuffle
+        current = joined.FlatMap(
+            [pattern, ep, schema_copy](
+                const std::pair<rdf::TermId,
+                                std::pair<IdRow, rdf::EncodedTriple>>& kv) {
+              std::vector<KeyedRow> out;
+              if (MatchesConstants(*ep, kv.second.second)) {
+                IdRow row = kv.second.first;
+                if (ExtendRow(*pattern, kv.second.second, *schema_copy,
+                              &row)) {
+                  out.emplace_back(kv.first, std::move(row));
+                }
+              }
+              return out;
+            });
+        // Key variable unchanged (still the link source's subject).
+        if (!options_.semantic_partitioning) {
+          current = current.AssumePartitioner(subject_partitioner_);
+        }
+        for (const auto& tp : group.patterns) {
+          for (const auto& v : tp.Variables()) bound.Add(v);
+        }
+        continue;
+      }
+    }
+
+    // Backward fast path: the group's single pattern reaches the current
+    // key variable at its *object* and its triples were object-replicated.
+    if (!link_var.empty() && link_var == current_key_var &&
+        group.patterns.size() == 1 && !group.patterns[0].p.is_variable() &&
+        group.patterns[0].o.is_variable() &&
+        group.patterns[0].o.var() == link_var) {
+      auto pb = store_->dictionary().Lookup(group.patterns[0].p.term());
+      if (pb.ok() && object_replicas_.count(*pb)) {
+        const auto& replica = object_replicas_.at(*pb);
+        auto pattern = std::make_shared<const sparql::TriplePattern>(
+            group.patterns[0]);
+        auto ep = std::make_shared<const EncodedPattern>(
+            EncodePattern(store_->dictionary(), *pattern));
+        auto schema_copy = std::make_shared<const VarSchema>(schema);
+        auto joined = current.Join(replica);  // co-partitioned: no shuffle
+        current = joined.FlatMap(
+            [pattern, ep, schema_copy](
+                const std::pair<rdf::TermId,
+                                std::pair<IdRow, rdf::EncodedTriple>>& kv) {
+              std::vector<KeyedRow> out;
+              if (MatchesConstants(*ep, kv.second.second)) {
+                IdRow row = kv.second.first;
+                if (ExtendRow(*pattern, kv.second.second, *schema_copy,
+                              &row)) {
+                  out.emplace_back(kv.first, std::move(row));
+                }
+              }
+              return out;
+            });
+        if (!options_.semantic_partitioning) {
+          current = current.AssumePartitioner(subject_partitioner_);
+        }
+        for (const auto& tp : group.patterns) {
+          for (const auto& v : tp.Variables()) bound.Add(v);
+        }
+        continue;
+      }
+    }
+
+    Rdd<KeyedRow> group_rows = EvaluateStarLocal(group, schema);
+
+    if (link_var.empty()) {
+      // Cartesian of two keyed row sets.
+      auto pairs = current.Cartesian(group_rows);
+      current = pairs.FlatMap(
+          [](const std::pair<KeyedRow, KeyedRow>& ab) {
+            std::vector<KeyedRow> out;
+            auto merged = MergeRows(ab.first.second, ab.second.second);
+            if (merged) out.emplace_back(ab.first.first, std::move(*merged));
+            return out;
+          });
+      current_key_var.clear();
+    } else {
+      int link_idx = schema.IndexOf(link_var);
+      // Re-key current rows by the link variable.
+      auto rekeyed_current =
+          current.Map([link_idx](const KeyedRow& kv) {
+            return KeyedRow(kv.second[static_cast<size_t>(link_idx)],
+                            kv.second);
+          });
+      if (current_key_var == link_var && !options_.semantic_partitioning) {
+        // Hash placement is a pure function of the key, so re-keyed rows
+        // keep their placement claim. Semantic placement is a function of
+        // the *subject entity*, not of arbitrary key values — no claim.
+        rekeyed_current = rekeyed_current.AssumePartitioner(
+            subject_partitioner_);
+      }
+      Rdd<KeyedRow> rekeyed_group;
+      if (link_var == group.subject_var) {
+        rekeyed_group = group_rows;  // already keyed & partitioned by subject
+      } else {
+        rekeyed_group = group_rows.Map([link_idx](const KeyedRow& kv) {
+          return KeyedRow(kv.second[static_cast<size_t>(link_idx)],
+                          kv.second);
+        });
+      }
+      auto joined = rekeyed_current.Join(rekeyed_group);
+      current = joined.FlatMap(
+          [](const std::pair<rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
+            std::vector<KeyedRow> out;
+            auto merged = MergeRows(kv.second.first, kv.second.second);
+            if (merged) out.emplace_back(kv.first, std::move(*merged));
+            return out;
+          });
+      current_key_var = link_var;
+    }
+    for (const auto& tp : group.patterns) {
+      for (const auto& v : tp.Variables()) bound.Add(v);
+    }
+  }
+
+  std::vector<IdRow> rows;
+  for (auto& kv : current.Collect()) rows.push_back(std::move(kv.second));
+  return ToBindingTable(schema, std::move(rows));
+}
+
+}  // namespace rdfspark::systems

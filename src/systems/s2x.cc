@@ -1,0 +1,237 @@
+#include "systems/s2x.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rdfspark::systems {
+
+using spark::Rdd;
+using spark::graphx::Edge;
+using spark::graphx::Graph;
+using spark::graphx::VertexId;
+
+S2xEngine::S2xEngine(spark::SparkContext* sc, Options options)
+    : BgpEngineBase(sc), options_(options) {
+  traits_.name = "S2X";
+  traits_.citation =
+      "[23] Schatzle, Przyjaciel-Zablocki, Berberich, Lausen — Big-O(Q) 2015";
+  traits_.data_model = DataModel::kGraph;
+  traits_.abstractions = {SparkAbstraction::kGraphX};
+  traits_.query_processing = "Graph Iterations";
+  traits_.has_optimization = false;
+  traits_.optimization_note = "no cost-based optimization; fixpoint pruning";
+  traits_.partitioning = "Default";
+  traits_.fragment = SparqlFragment::kBgpPlus;
+  traits_.contribution =
+      "combines graph-parallel BGP matching with data-parallel evaluation "
+      "of the remaining operators";
+}
+
+Result<LoadStats> S2xEngine::Load(const rdf::TripleStore& store) {
+  auto start = std::chrono::steady_clock::now();
+  store_ = &store;
+  int n = options_.num_partitions > 0 ? options_.num_partitions
+                                      : sc_->config().default_parallelism;
+  std::vector<Edge<rdf::TermId>> edges;
+  edges.reserve(store.triples().size());
+  for (const auto& t : store.triples()) {
+    edges.push_back(Edge<rdf::TermId>{static_cast<VertexId>(t.s),
+                                      static_cast<VertexId>(t.o), t.p});
+  }
+  graph_ = Graph<rdf::TermId, rdf::TermId>::FromEdges(
+      sc_, std::move(edges), rdf::TermId{0}, n);
+  // Vertex attribute = the term id itself.
+  graph_ = Graph<rdf::TermId, rdf::TermId>(
+      graph_.vertices().Map([](const std::pair<VertexId, rdf::TermId>& kv) {
+        return std::pair<VertexId, rdf::TermId>(
+            kv.first, static_cast<rdf::TermId>(kv.first));
+      }),
+      graph_.edges());
+  uint64_t nv = graph_.NumVertices();
+  uint64_t ne = graph_.NumEdges();
+
+  LoadStats stats;
+  stats.input_triples = store.triples().size();
+  stats.stored_records = nv + ne;
+  stats.stored_bytes = graph_.edges().MemoryFootprint() +
+                       graph_.vertices().MemoryFootprint();
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return stats;
+}
+
+namespace {
+
+/// Per-pattern edge matches with variable bindings. Row schema is the BGP's
+/// VarSchema; subject/object values kept for candidate pruning.
+struct PatternMatches {
+  std::vector<IdRow> rows;
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> endpoints;  // (s, o)
+};
+
+}  // namespace
+
+Result<sparql::BindingTable> S2xEngine::EvaluateBgp(
+    const std::vector<sparql::TriplePattern>& bgp) {
+  if (store_ == nullptr) return Status::Internal("S2X: Load() not called");
+  if (bgp.empty()) return sparql::BindingTable::Unit();
+
+  VarSchema schema;
+  for (const auto& tp : bgp) {
+    for (const auto& v : tp.Variables()) schema.Add(v);
+  }
+  size_t width = schema.vars().size();
+
+  // Step 1: match every triple pattern independently against all edges
+  // (graph-parallel over the triplets view).
+  std::vector<PatternMatches> matches(bgp.size());
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    auto ep = std::make_shared<const EncodedPattern>(
+        EncodePattern(store_->dictionary(), bgp[i]));
+    auto pattern = std::make_shared<const sparql::TriplePattern>(bgp[i]);
+    auto schema_copy = std::make_shared<const VarSchema>(schema);
+    using MatchTuple = std::tuple<rdf::TermId, rdf::TermId, IdRow>;
+    auto rdd = graph_.edges().FlatMap(
+        [ep, pattern, schema_copy, width](const Edge<rdf::TermId>& e) {
+          std::vector<MatchTuple> out;
+          rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src), e.attr,
+                               static_cast<rdf::TermId>(e.dst)};
+          if (MatchesConstants(*ep, t)) {
+            IdRow row(width, sparql::kUnbound);
+            if (ExtendRow(*pattern, t, *schema_copy, &row)) {
+              out.emplace_back(t.s, t.o, std::move(row));
+            }
+          }
+          return out;
+        });
+    for (auto& [s, o, row] : rdd.Collect()) {
+      matches[i].endpoints.emplace_back(s, o);
+      matches[i].rows.push_back(std::move(row));
+    }
+  }
+
+  // Step 2: iterative validation of match candidates. A vertex stays a
+  // candidate for variable x only if every pattern mentioning x retains a
+  // match with this vertex in x's position; matches whose endpoint lost
+  // candidacy are discarded. Messages = surviving matches per round.
+  std::unordered_map<std::string, std::unordered_set<rdf::TermId>> cand;
+  auto var_of = [](const sparql::PatternTerm& t) -> const std::string* {
+    return t.is_variable() ? &t.var() : nullptr;
+  };
+  // Initial local match sets.
+  for (size_t i = 0; i < bgp.size(); ++i) {
+    const std::string* sv = var_of(bgp[i].s);
+    const std::string* ov = var_of(bgp[i].o);
+    for (const auto& [s, o] : matches[i].endpoints) {
+      if (sv) cand[*sv].insert(s);
+      if (ov) cand[*ov].insert(o);
+    }
+  }
+  last_iterations_ = 0;
+  bool changed = true;
+  while (changed && last_iterations_ < options_.max_iterations) {
+    changed = false;
+    ++last_iterations_;
+    ++sc_->metrics().supersteps;
+    // Filter matches by current candidates; rebuild candidate sets.
+    std::unordered_map<std::string, std::unordered_set<rdf::TermId>> next;
+    std::unordered_map<std::string, bool> initialized;
+    for (size_t i = 0; i < bgp.size(); ++i) {
+      const std::string* sv = var_of(bgp[i].s);
+      const std::string* ov = var_of(bgp[i].o);
+      std::vector<IdRow> kept_rows;
+      std::vector<std::pair<rdf::TermId, rdf::TermId>> kept_eps;
+      std::unordered_set<rdf::TermId> s_here, o_here;
+      for (size_t m = 0; m < matches[i].endpoints.size(); ++m) {
+        auto [s, o] = matches[i].endpoints[m];
+        if (sv && !cand[*sv].count(s)) continue;
+        if (ov && !cand[*ov].count(o)) continue;
+        kept_rows.push_back(matches[i].rows[m]);
+        kept_eps.emplace_back(s, o);
+        if (sv) s_here.insert(s);
+        if (ov) o_here.insert(o);
+        ++sc_->metrics().messages;  // local match sent to neighbors
+      }
+      if (kept_rows.size() != matches[i].rows.size()) changed = true;
+      matches[i].rows = std::move(kept_rows);
+      matches[i].endpoints = std::move(kept_eps);
+      // Candidates for a variable: intersection over patterns using it.
+      auto merge = [&](const std::string& var,
+                       std::unordered_set<rdf::TermId>& here) {
+        if (!initialized[var]) {
+          next[var] = std::move(here);
+          initialized[var] = true;
+        } else {
+          std::unordered_set<rdf::TermId> inter;
+          for (rdf::TermId v : next[var]) {
+            if (here.count(v)) inter.insert(v);
+          }
+          next[var] = std::move(inter);
+        }
+      };
+      if (sv) merge(*sv, s_here);
+      if (ov) merge(*ov, o_here);
+    }
+    for (auto& [var, set] : next) {
+      if (set.size() != cand[var].size()) changed = true;
+    }
+    cand = std::move(next);
+  }
+
+  // Step 3: assemble the final output from the per-pattern subgraphs with
+  // data-parallel joins.
+  Rdd<IdRow> current = Parallelize(sc_, std::move(matches[0].rows),
+                                   sc_->config().default_parallelism);
+  VarSchema bound;
+  for (const auto& v : bgp[0].Variables()) bound.Add(v);
+  std::vector<bool> done(bgp.size(), false);
+  done[0] = true;
+  for (size_t step = 1; step < bgp.size(); ++step) {
+    // Next pattern sharing a variable.
+    int next_i = -1;
+    for (size_t i = 0; i < bgp.size(); ++i) {
+      if (done[i]) continue;
+      if (!SharedVars(bgp[i], bound).empty()) {
+        next_i = static_cast<int>(i);
+        break;
+      }
+      if (next_i < 0) next_i = static_cast<int>(i);
+    }
+    size_t i = static_cast<size_t>(next_i);
+    done[i] = true;
+    auto rows = Parallelize(sc_, std::move(matches[i].rows),
+                            sc_->config().default_parallelism);
+    auto shared = SharedVars(bgp[i], bound);
+    if (shared.empty()) {
+      current = current.Cartesian(rows).FlatMap(
+          [](const std::pair<IdRow, IdRow>& ab) {
+            std::vector<IdRow> out;
+            auto merged = MergeRows(ab.first, ab.second);
+            if (merged) out.push_back(std::move(*merged));
+            return out;
+          });
+    } else {
+      int key_idx = schema.IndexOf(shared[0]);
+      auto key_by = [key_idx](const IdRow& row) {
+        return std::pair<rdf::TermId, IdRow>(
+            row[static_cast<size_t>(key_idx)], row);
+      };
+      current = current.Map(key_by)
+                    .Join(rows.Map(key_by))
+                    .FlatMap([](const std::pair<rdf::TermId,
+                                                std::pair<IdRow, IdRow>>& kv) {
+                      std::vector<IdRow> out;
+                      auto merged =
+                          MergeRows(kv.second.first, kv.second.second);
+                      if (merged) out.push_back(std::move(*merged));
+                      return out;
+                    });
+    }
+    for (const auto& v : bgp[i].Variables()) bound.Add(v);
+  }
+  return ToBindingTable(schema, current.Collect());
+}
+
+}  // namespace rdfspark::systems

@@ -1,0 +1,76 @@
+#include "systems/semantic_partitioning.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace rdfspark::systems {
+
+SemanticPartitioner::SemanticPartitioner(const rdf::TripleStore& store,
+                                         int num_partitions)
+    : num_partitions_(std::max(1, num_partitions)) {
+  auto type = store.TypePredicate();
+  // Subject -> first class; class -> triple volume of its subjects.
+  std::unordered_map<rdf::TermId, rdf::TermId> subject_class;
+  if (type) {
+    for (const auto& t : store.triples()) {
+      if (t.p == *type) subject_class.emplace(t.s, t.o);
+    }
+  }
+  std::unordered_map<rdf::TermId, uint64_t> class_volume;
+  for (const auto& t : store.triples()) {
+    auto it = subject_class.find(t.s);
+    if (it != subject_class.end()) ++class_volume[it->second];
+  }
+  // Greedy balanced packing: heaviest class into the lightest partition.
+  std::vector<std::pair<rdf::TermId, uint64_t>> classes(class_volume.begin(),
+                                                        class_volume.end());
+  std::sort(classes.begin(), classes.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;  // deterministic tie-break
+            });
+  std::vector<uint64_t> load(static_cast<size_t>(num_partitions_), 0);
+  for (const auto& [cls, volume] : classes) {
+    int lightest = 0;
+    for (int p = 1; p < num_partitions_; ++p) {
+      if (load[static_cast<size_t>(p)] < load[static_cast<size_t>(lightest)]) {
+        lightest = p;
+      }
+    }
+    class_partition_[cls] = lightest;
+    load[static_cast<size_t>(lightest)] += volume;
+  }
+  for (const auto& [subject, cls] : subject_class) {
+    subject_partition_[subject] = class_partition_[cls];
+  }
+}
+
+int SemanticPartitioner::PartitionOfSubject(rdf::TermId subject) const {
+  auto it = subject_partition_.find(subject);
+  if (it != subject_partition_.end()) return it->second;
+  return static_cast<int>(MixHash64(subject) %
+                          static_cast<uint64_t>(num_partitions_));
+}
+
+int SemanticPartitioner::PartitionsSpannedByClass(rdf::TermId cls) const {
+  return class_partition_.count(cls) ? 1 : num_partitions_;
+}
+
+double SemanticPartitioner::Skew(const rdf::TripleStore& store) const {
+  std::vector<uint64_t> counts(static_cast<size_t>(num_partitions_), 0);
+  for (const auto& t : store.triples()) {
+    ++counts[static_cast<size_t>(PartitionOf(t))];
+  }
+  uint64_t max = 0, total = 0;
+  for (uint64_t c : counts) {
+    max = std::max(max, c);
+    total += c;
+  }
+  if (total == 0) return 1.0;
+  double mean = static_cast<double>(total) /
+                static_cast<double>(num_partitions_);
+  return mean == 0 ? 1.0 : static_cast<double>(max) / mean;
+}
+
+}  // namespace rdfspark::systems

@@ -1,0 +1,58 @@
+#ifndef RDFSPARK_SYSTEMS_SEMANTIC_PARTITIONING_H_
+#define RDFSPARK_SYSTEMS_SEMANTIC_PARTITIONING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/store.h"
+
+namespace rdfspark::systems {
+
+/// Prototype of the paper's §V direction citing Troullinou et al. [27]
+/// ("Semantic partitioning for RDF datasets"): instead of hashing opaque
+/// ids, co-locate entities of the same schema class. All triples of one
+/// subject land in the subject's class partition, so subject stars stay
+/// local (like hash) while class-homogeneous scans and same-class joins
+/// touch few partitions.
+///
+/// Placement: classes are assigned to partitions by greedy balanced bin
+/// packing of their triple volume (largest class first, into the currently
+/// lightest partition); untyped subjects fall back to subject hash.
+class SemanticPartitioner {
+ public:
+  /// Builds the class -> partition assignment from the dataset.
+  SemanticPartitioner(const rdf::TripleStore& store, int num_partitions);
+
+  int num_partitions() const { return num_partitions_; }
+
+  /// Partition of a subject (class placement, or hash fallback).
+  int PartitionOfSubject(rdf::TermId subject) const;
+
+  /// Partition of a triple (by its subject).
+  int PartitionOf(const rdf::EncodedTriple& t) const {
+    return PartitionOfSubject(t.s);
+  }
+
+  /// Partitions holding at least one instance of `cls` (locality measure:
+  /// 1 means a class-restricted scan is a single-partition read).
+  int PartitionsSpannedByClass(rdf::TermId cls) const;
+
+  /// Load imbalance: max partition triple count / mean (1.0 = perfect).
+  double Skew(const rdf::TripleStore& store) const;
+
+  /// Number of classes assigned.
+  size_t num_classes() const { return class_partition_.size(); }
+
+ private:
+  int num_partitions_;
+  /// Subject -> partition for typed subjects.
+  std::unordered_map<rdf::TermId, int> subject_partition_;
+  /// Class -> partition.
+  std::unordered_map<rdf::TermId, int> class_partition_;
+};
+
+}  // namespace rdfspark::systems
+
+#endif  // RDFSPARK_SYSTEMS_SEMANTIC_PARTITIONING_H_

@@ -1,0 +1,507 @@
+#include "systems/sparkql.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <unordered_map>
+
+namespace rdfspark::systems {
+
+using spark::Rdd;
+using spark::graphx::Edge;
+using spark::graphx::EdgeTriplet;
+using spark::graphx::Graph;
+using spark::graphx::VertexId;
+
+uint64_t EstimateSize(const SparkqlNode& n) {
+  return 8 + n.data_properties.size() * 16 + n.types.size() * 8;
+}
+
+namespace {
+
+using Mt = std::vector<IdRow>;
+
+Mt ConcatMt(const Mt& a, const Mt& b) {
+  Mt out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+SparkqlEngine::SparkqlEngine(spark::SparkContext* sc, Options options)
+    : BgpEngineBase(sc), options_(options) {
+  traits_.name = "Spar(k)ql";
+  traits_.citation = "[12] Gombos, Racz, Kiss — FiCloud Workshops 2016";
+  traits_.data_model = DataModel::kGraph;
+  traits_.abstractions = {SparkAbstraction::kGraphX};
+  traits_.query_processing = "Graph Iterations";
+  traits_.has_optimization = true;
+  traits_.optimization_note = "BFS query-plan tree, bottom-up evaluation";
+  traits_.partitioning = "Default";
+  traits_.fragment = SparqlFragment::kBgp;
+  traits_.contribution =
+      "node model storing data properties (and rdf:type) inside vertices; "
+      "vertex programs with sub-result tables";
+}
+
+Result<LoadStats> SparkqlEngine::Load(const rdf::TripleStore& store) {
+  auto start = std::chrono::steady_clock::now();
+  store_ = &store;
+  int n = options_.num_partitions > 0 ? options_.num_partitions
+                                      : sc_->config().default_parallelism;
+
+  auto type_id = store.TypePredicate();
+  has_type_predicate_ = type_id.has_value();
+  if (has_type_predicate_) type_predicate_ = *type_id;
+
+  // A predicate is a data property iff every object is a literal.
+  std::unordered_map<rdf::TermId, bool> all_literal;
+  for (const auto& t : store.triples()) {
+    auto term = store.dictionary().Decode(t.o);
+    bool literal = term.ok() && term->is_literal();
+    auto it = all_literal.find(t.p);
+    if (it == all_literal.end()) {
+      all_literal[t.p] = literal;
+    } else {
+      it->second = it->second && literal;
+    }
+  }
+  data_predicates_.clear();
+  for (const auto& [p, literal] : all_literal) {
+    if (literal && !(has_type_predicate_ && p == type_predicate_)) {
+      data_predicates_.insert(p);
+    }
+  }
+
+  // Split triples into node properties and object-property edges.
+  std::unordered_map<VertexId, SparkqlNode> nodes;
+  auto node_of = [&](rdf::TermId id) -> SparkqlNode& {
+    auto [it, inserted] = nodes.emplace(static_cast<VertexId>(id),
+                                        SparkqlNode{});
+    if (inserted) it->second.term = id;
+    return it->second;
+  };
+  std::vector<Edge<rdf::TermId>> edges;
+  for (const auto& t : store.triples()) {
+    if (has_type_predicate_ && t.p == type_predicate_) {
+      node_of(t.s).types.push_back(t.o);
+      node_of(t.o);  // classes are nodes too (type queries bind them)
+    } else if (data_predicates_.count(t.p)) {
+      node_of(t.s).data_properties.emplace_back(t.p, t.o);
+    } else {
+      edges.push_back(Edge<rdf::TermId>{static_cast<VertexId>(t.s),
+                                        static_cast<VertexId>(t.o), t.p});
+      node_of(t.s);
+      node_of(t.o);
+    }
+  }
+  std::vector<std::pair<VertexId, SparkqlNode>> vertex_list(nodes.begin(),
+                                                            nodes.end());
+  graph_ = Graph<SparkqlNode, rdf::TermId>(
+      Parallelize(sc_, std::move(vertex_list), n),
+      Parallelize(sc_, std::move(edges), n));
+
+  LoadStats stats;
+  stats.input_triples = store.triples().size();
+  stats.stored_records = graph_.NumVertices() + graph_.NumEdges();
+  stats.stored_bytes = graph_.vertices().MemoryFootprint() +
+                       graph_.edges().MemoryFootprint();
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return stats;
+}
+
+Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
+    const std::vector<sparql::TriplePattern>& bgp) {
+  if (store_ == nullptr) return Status::Internal("Load() not called");
+  if (bgp.empty()) return sparql::BindingTable::Unit();
+  const rdf::Dictionary& dict = store_->dictionary();
+
+  // Rewrite: constant subjects/objects of object-property patterns become
+  // synthetic variables with forced bindings, so the plan tree is purely
+  // over variables.
+  std::vector<sparql::TriplePattern> rewritten;
+  std::unordered_map<std::string, rdf::TermId> forced;
+  int synth_counter = 0;
+  bool impossible = false;
+  auto as_var = [&](const sparql::PatternTerm& t) -> sparql::PatternTerm {
+    if (t.is_variable()) return t;
+    auto id = dict.Lookup(t.term());
+    std::string name = "__c" + std::to_string(synth_counter++);
+    if (id.ok()) {
+      forced[name] = *id;
+    } else {
+      impossible = true;
+    }
+    return sparql::PatternTerm::Var(name);
+  };
+
+  // Classify patterns. Any variable predicate forces the generic fallback
+  // (the node model needs bound predicates to route to node vs edge data).
+  bool any_pvar = false;
+  for (const auto& tp : bgp) any_pvar |= tp.p.is_variable();
+
+  VarSchema schema;
+  // Local patterns per variable; edge patterns across variables.
+  struct EdgePattern {
+    std::string src_var;
+    std::string dst_var;
+    rdf::TermId predicate;
+    sparql::TriplePattern source;
+  };
+  std::vector<EdgePattern> edge_patterns;
+  std::unordered_map<std::string, std::vector<sparql::TriplePattern>> local;
+
+  if (!any_pvar) {
+    for (const auto& tp : bgp) {
+      auto pid = dict.Lookup(tp.p.term());
+      if (!pid.ok()) {
+        impossible = true;
+        continue;
+      }
+      bool is_type = has_type_predicate_ && *pid == type_predicate_;
+      bool is_data = data_predicates_.count(*pid) > 0;
+      if (is_type || is_data) {
+        // Node-local: subject may still be constant.
+        sparql::TriplePattern p = tp;
+        p.s = as_var(tp.s);
+        local[p.s.var()].push_back(p);
+        for (const auto& v : p.Variables()) schema.Add(v);
+      } else {
+        sparql::TriplePattern p = tp;
+        p.s = as_var(tp.s);
+        p.o = as_var(tp.o);
+        edge_patterns.push_back(
+            EdgePattern{p.s.var(), p.o.var(), *pid, p});
+        for (const auto& v : p.Variables()) schema.Add(v);
+      }
+    }
+  }
+
+  if (impossible) {
+    VarSchema all;
+    for (const auto& tp : bgp) {
+      for (const auto& v : tp.Variables()) all.Add(v);
+    }
+    return sparql::BindingTable(all.vars());
+  }
+
+  if (any_pvar) {
+    // Generic fallback over "virtual triples" (edges + node properties).
+    VarSchema all;
+    for (const auto& tp : bgp) {
+      for (const auto& v : tp.Variables()) all.Add(v);
+    }
+    size_t width = all.vars().size();
+    auto schema_copy = std::make_shared<const VarSchema>(all);
+    bool has_type = has_type_predicate_;
+    rdf::TermId type_pred = type_predicate_;
+    auto virtual_triples =
+        graph_.edges()
+            .Map([](const Edge<rdf::TermId>& e) {
+              return rdf::EncodedTriple{static_cast<rdf::TermId>(e.src),
+                                        e.attr,
+                                        static_cast<rdf::TermId>(e.dst)};
+            })
+            .Union(graph_.vertices().FlatMap(
+                [has_type, type_pred](
+                    const std::pair<VertexId, SparkqlNode>& kv) {
+                  std::vector<rdf::EncodedTriple> out;
+                  for (const auto& [p, v] : kv.second.data_properties) {
+                    out.push_back(
+                        rdf::EncodedTriple{kv.second.term, p, v});
+                  }
+                  if (has_type) {
+                    for (rdf::TermId c : kv.second.types) {
+                      out.push_back(rdf::EncodedTriple{kv.second.term,
+                                                       type_pred, c});
+                    }
+                  }
+                  return out;
+                }));
+    Rdd<IdRow> current;
+    VarSchema bound;
+    for (size_t i = 0; i < bgp.size(); ++i) {
+      auto ep = std::make_shared<const EncodedPattern>(
+          EncodePattern(dict, bgp[i]));
+      auto pattern = std::make_shared<const sparql::TriplePattern>(bgp[i]);
+      auto rows = virtual_triples.FlatMap(
+          [ep, pattern, schema_copy, width](const rdf::EncodedTriple& t) {
+            std::vector<IdRow> out;
+            if (MatchesConstants(*ep, t)) {
+              IdRow row(width, sparql::kUnbound);
+              if (ExtendRow(*pattern, t, *schema_copy, &row)) {
+                out.push_back(std::move(row));
+              }
+            }
+            return out;
+          });
+      if (i == 0) {
+        current = rows;
+      } else {
+        auto shared = SharedVars(bgp[i], bound);
+        if (shared.empty()) {
+          current = current.Cartesian(rows).FlatMap(
+              [](const std::pair<IdRow, IdRow>& ab) {
+                std::vector<IdRow> out;
+                auto merged = MergeRows(ab.first, ab.second);
+                if (merged) out.push_back(std::move(*merged));
+                return out;
+              });
+        } else {
+          int key_idx = all.IndexOf(shared[0]);
+          auto key_by = [key_idx](const IdRow& row) {
+            return std::pair<rdf::TermId, IdRow>(
+                row[static_cast<size_t>(key_idx)], row);
+          };
+          current =
+              current.Map(key_by)
+                  .Join(rows.Map(key_by))
+                  .FlatMap(
+                      [](const std::pair<rdf::TermId,
+                                         std::pair<IdRow, IdRow>>& kv) {
+                        std::vector<IdRow> out;
+                        auto merged =
+                            MergeRows(kv.second.first, kv.second.second);
+                        if (merged) out.push_back(std::move(*merged));
+                        return out;
+                      });
+        }
+      }
+      for (const auto& v : bgp[i].Variables()) bound.Add(v);
+    }
+    return ToBindingTable(all, current.Collect());
+  }
+
+  size_t width = schema.vars().size();
+  auto schema_copy = std::make_shared<const VarSchema>(schema);
+
+  // Variables participating in the plan.
+  std::vector<std::string> all_vars;
+  for (const auto& [v, ps] : local) {
+    if (std::find(all_vars.begin(), all_vars.end(), v) == all_vars.end()) {
+      all_vars.push_back(v);
+    }
+  }
+  for (const auto& e : edge_patterns) {
+    for (const auto& v : {e.src_var, e.dst_var}) {
+      if (std::find(all_vars.begin(), all_vars.end(), v) == all_vars.end()) {
+        all_vars.push_back(v);
+      }
+    }
+  }
+  std::sort(all_vars.begin(), all_vars.end());
+
+  // Local candidate tables: vertices satisfying the variable's node-local
+  // patterns, with literal/class variables bound.
+  auto candidates = [&](const std::string& var) -> Rdd<std::pair<VertexId, Mt>> {
+    auto patterns = std::make_shared<const std::vector<sparql::TriplePattern>>(
+        local.count(var) ? local.at(var)
+                         : std::vector<sparql::TriplePattern>{});
+    // Encode constants of the local patterns.
+    auto encoded = std::make_shared<std::vector<EncodedPattern>>();
+    for (const auto& p : *patterns) encoded->push_back(EncodePattern(dict, p));
+    std::optional<rdf::TermId> force;
+    auto fit = forced.find(var);
+    if (fit != forced.end()) force = fit->second;
+    int var_idx = schema.IndexOf(var);
+    bool has_type = has_type_predicate_;
+    rdf::TermId type_pred = type_predicate_;
+    return graph_.vertices().FlatMap(
+        [patterns, encoded, schema_copy, width, var_idx, force, has_type,
+         type_pred](const std::pair<VertexId, SparkqlNode>& kv) {
+          std::vector<std::pair<VertexId, Mt>> out;
+          const SparkqlNode& node = kv.second;
+          if (force && node.term != *force) return out;
+          IdRow base(width, sparql::kUnbound);
+          if (var_idx >= 0) base[static_cast<size_t>(var_idx)] = node.term;
+          Mt rows{std::move(base)};
+          for (size_t i = 0; i < patterns->size(); ++i) {
+            const auto& p = (*patterns)[i];
+            const auto& ep = (*encoded)[i];
+            if (ep.impossible) return out;
+            Mt next;
+            // Enumerate this node's matching property triples.
+            std::vector<rdf::EncodedTriple> triples;
+            bool is_type = has_type && ep.ids.p &&
+                           *ep.ids.p == type_pred;
+            if (is_type) {
+              for (rdf::TermId c : node.types) {
+                triples.push_back(
+                    rdf::EncodedTriple{node.term, type_pred, c});
+              }
+            } else {
+              for (const auto& [dp, dv] : node.data_properties) {
+                triples.push_back(rdf::EncodedTriple{node.term, dp, dv});
+              }
+            }
+            for (const IdRow& row : rows) {
+              for (const auto& t : triples) {
+                if (!MatchesConstants(ep, t)) continue;
+                IdRow e = row;
+                if (ExtendRow(p, t, *schema_copy, &e)) {
+                  next.push_back(std::move(e));
+                }
+              }
+            }
+            rows = std::move(next);
+            if (rows.empty()) return out;
+          }
+          out.emplace_back(kv.first, std::move(rows));
+          return out;
+        });
+  };
+
+  // Build the BFS plan tree over edge patterns, rooted at the most
+  // connected variable.
+  std::unordered_map<std::string, int> degree;
+  for (const auto& e : edge_patterns) {
+    ++degree[e.src_var];
+    ++degree[e.dst_var];
+  }
+  std::vector<bool> pattern_used(edge_patterns.size(), false);
+  std::vector<IdRow> final_rows;
+
+  // Evaluate one connected component rooted at `root`; returns per-vertex
+  // tables for the component. Recursion over the BFS tree.
+  std::unordered_map<std::string, bool> var_done;
+  std::function<Rdd<std::pair<VertexId, Mt>>(const std::string&)> eval_var =
+      [&](const std::string& var) -> Rdd<std::pair<VertexId, Mt>> {
+    var_done[var] = true;
+    auto table = candidates(var);
+    for (size_t i = 0; i < edge_patterns.size(); ++i) {
+      if (pattern_used[i]) continue;
+      const auto& e = edge_patterns[i];
+      bool forward;  // child below, edge points parent -> child?
+      std::string child;
+      if (e.src_var == var && !var_done[e.dst_var]) {
+        child = e.dst_var;
+        forward = true;  // pattern (var p child): edges var -> child
+      } else if (e.dst_var == var && !var_done[e.src_var]) {
+        child = e.src_var;
+        forward = false;  // pattern (child p var): edges child -> var
+      } else {
+        continue;
+      }
+      pattern_used[i] = true;
+      auto child_table = eval_var(child);
+      // Ship child tables to the parent along the pattern's edges.
+      auto installed = graph_.OuterJoinVertices(
+          child_table, [](VertexId, const SparkqlNode& node,
+                          const std::optional<Mt>& t) {
+            return std::pair<SparkqlNode, Mt>(node, t ? *t : Mt{});
+          });
+      rdf::TermId pid = e.predicate;
+      auto msgs = installed.AggregateMessages<Mt>(
+          [pid, forward](
+              const EdgeTriplet<std::pair<SparkqlNode, Mt>, rdf::TermId>&
+                  t) {
+            std::vector<std::pair<VertexId, Mt>> out;
+            if (t.attr != pid) return out;
+            // forward: parent=src receives from child=dst.
+            const Mt& source =
+                forward ? t.dst_attr.second : t.src_attr.second;
+            if (source.empty()) return out;
+            out.emplace_back(forward ? t.src : t.dst, source);
+            return out;
+          },
+          ConcatMt);
+      // Combine: per-vertex product of current rows and child rows.
+      table = table.Join(msgs).MapValues(
+          [](const std::pair<Mt, Mt>& ab) {
+            Mt merged;
+            for (const IdRow& a : ab.first) {
+              for (const IdRow& b : ab.second) {
+                auto m = MergeRows(a, b);
+                if (m) merged.push_back(std::move(*m));
+              }
+            }
+            return merged;
+          });
+      table = table.Filter([](const std::pair<VertexId, Mt>& kv) {
+        return !kv.second.empty();
+      });
+    }
+    return table;
+  };
+
+  // Components in decreasing connectivity order.
+  Rdd<IdRow> current;
+  bool have_current = false;
+  while (true) {
+    std::string root;
+    int best_degree = -1;
+    for (const auto& v : all_vars) {
+      if (var_done[v]) continue;
+      int d = degree.count(v) ? degree[v] : 0;
+      if (d > best_degree) {
+        best_degree = d;
+        root = v;
+      }
+    }
+    if (root.empty()) break;
+    auto table = eval_var(root);
+    auto rows = table.FlatMap([](const std::pair<VertexId, Mt>& kv) {
+      return kv.second;
+    });
+    if (!have_current) {
+      current = rows;
+      have_current = true;
+    } else {
+      current = current.Cartesian(rows).FlatMap(
+          [](const std::pair<IdRow, IdRow>& ab) {
+            std::vector<IdRow> out;
+            auto merged = MergeRows(ab.first, ab.second);
+            if (merged) out.push_back(std::move(*merged));
+            return out;
+          });
+    }
+  }
+  if (!have_current) {
+    return sparql::BindingTable(schema.vars());
+  }
+
+  // Closing (non-tree) patterns: verify edge existence.
+  for (size_t i = 0; i < edge_patterns.size(); ++i) {
+    if (pattern_used[i]) continue;
+    const auto& e = edge_patterns[i];
+    int a_idx = schema.IndexOf(e.src_var);
+    int b_idx = schema.IndexOf(e.dst_var);
+    rdf::TermId pid = e.predicate;
+    auto pairs = graph_.edges().FlatMap(
+        [pid](const Edge<rdf::TermId>& edge) {
+          std::vector<std::pair<std::pair<rdf::TermId, rdf::TermId>, bool>>
+              out;
+          if (edge.attr == pid) {
+            out.emplace_back(
+                std::make_pair(static_cast<rdf::TermId>(edge.src),
+                               static_cast<rdf::TermId>(edge.dst)),
+                true);
+          }
+          return out;
+        });
+    auto keyed = current.Map([a_idx, b_idx](const IdRow& row) {
+      return std::pair<std::pair<rdf::TermId, rdf::TermId>, IdRow>(
+          std::make_pair(row[static_cast<size_t>(a_idx)],
+                         row[static_cast<size_t>(b_idx)]),
+          row);
+    });
+    current = keyed.Join(pairs.Distinct())
+                  .Map([](const std::pair<std::pair<rdf::TermId, rdf::TermId>,
+                                          std::pair<IdRow, bool>>& kv) {
+                    return kv.second.first;
+                  });
+  }
+
+  // Strip synthetic variables by projecting onto the real schema.
+  VarSchema real;
+  for (const auto& tp : bgp) {
+    for (const auto& v : tp.Variables()) real.Add(v);
+  }
+  auto table = ToBindingTable(schema, current.Collect());
+  return Project(table, real.vars());
+}
+
+}  // namespace rdfspark::systems

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+#include "systems/haqwa.h"
+#include "systems/s2rdf.h"
+#include "systems/s2x.h"
+
+namespace rdfspark::sparql {
+namespace {
+
+using rdf::Term;
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+TEST(AggregateParserTest, ParsesGroupByWithAggregates) {
+  auto q = ParseQuery(
+      "SELECT ?d (COUNT(?x) AS ?n) (AVG(?age) AS ?a) WHERE { ?x <http://p> "
+      "?d . ?x <http://age> ?age } GROUP BY ?d");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->IsAggregate());
+  EXPECT_EQ(q->select_vars, (std::vector<std::string>{"d"}));
+  ASSERT_EQ(q->aggregates.size(), 2u);
+  EXPECT_EQ(q->aggregates[0].op, AggregateOp::kCount);
+  EXPECT_EQ(q->aggregates[0].var, "x");
+  EXPECT_EQ(q->aggregates[0].alias, "n");
+  EXPECT_EQ(q->aggregates[1].op, AggregateOp::kAvg);
+  EXPECT_EQ(q->group_by, (std::vector<std::string>{"d"}));
+  EXPECT_EQ(q->EffectiveProjection(),
+            (std::vector<std::string>{"d", "n", "a"}));
+}
+
+TEST(AggregateParserTest, ParsesCountStar) {
+  auto q = ParseQuery(
+      "SELECT (COUNT(*) AS ?total) WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->aggregates.size(), 1u);
+  EXPECT_TRUE(q->aggregates[0].var.empty());
+}
+
+TEST(AggregateParserTest, ParsesAllOps) {
+  auto q = ParseQuery(
+      "SELECT (SUM(?v) AS ?s) (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) "
+      "WHERE { ?x <http://v> ?v }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->aggregates.size(), 3u);
+  EXPECT_EQ(q->aggregates[0].op, AggregateOp::kSum);
+  EXPECT_EQ(q->aggregates[1].op, AggregateOp::kMin);
+  EXPECT_EQ(q->aggregates[2].op, AggregateOp::kMax);
+}
+
+TEST(AggregateParserTest, RejectsBadForms) {
+  // Ungrouped plain variable.
+  EXPECT_FALSE(ParseQuery("SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x "
+                          "<http://p> ?y }")
+                   .ok());
+  // SUM(*) is invalid.
+  EXPECT_FALSE(
+      ParseQuery("SELECT (SUM(*) AS ?s) WHERE { ?x <http://p> ?y }").ok());
+  // Missing AS alias.
+  EXPECT_FALSE(
+      ParseQuery("SELECT (COUNT(?x)) WHERE { ?x <http://p> ?y }").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Reference evaluation.
+// ---------------------------------------------------------------------------
+
+class AggregateEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add = [&](const char* who, const char* dept, int age) {
+      store_.AddAll({{Term::Uri(std::string("http://") + who),
+                      Term::Uri("http://dept"),
+                      Term::Uri(std::string("http://") + dept)},
+                     {Term::Uri(std::string("http://") + who),
+                      Term::Uri("http://age"),
+                      Term::Literal(std::to_string(age), rdf::kXsdInteger)}});
+    };
+    add("alice", "eng", 30);
+    add("bob", "eng", 40);
+    add("carol", "sales", 25);
+  }
+
+  BindingTable Eval(const std::string& text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    ReferenceEvaluator eval(&store_);
+    auto r = eval.Evaluate(*q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  rdf::TripleStore store_;
+};
+
+TEST_F(AggregateEvalTest, CountStarGlobal) {
+  auto t = Eval("SELECT (COUNT(*) AS ?n) WHERE { ?x <http://dept> ?d }");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.Decode(store_.dictionary())[0].at("n"),
+            "\"3\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+TEST_F(AggregateEvalTest, GroupByDepartment) {
+  auto t = Eval(
+      "SELECT ?d (COUNT(?x) AS ?n) (AVG(?a) AS ?avg) WHERE { ?x "
+      "<http://dept> ?d . ?x <http://age> ?a } GROUP BY ?d");
+  ASSERT_EQ(t.num_rows(), 2u);
+  auto rows = t.Decode(store_.dictionary());
+  for (const auto& row : rows) {
+    if (row.at("d") == "<http://eng>") {
+      EXPECT_EQ(row.at("n"),
+                "\"2\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+      EXPECT_EQ(row.at("avg"),
+                "\"35\"^^<http://www.w3.org/2001/XMLSchema#double>");
+    } else {
+      EXPECT_EQ(row.at("n"),
+                "\"1\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+    }
+  }
+}
+
+TEST_F(AggregateEvalTest, MinMaxReturnOriginalTerms) {
+  auto t = Eval(
+      "SELECT (MIN(?a) AS ?lo) (MAX(?a) AS ?hi) WHERE { ?x <http://age> ?a "
+      "}");
+  ASSERT_EQ(t.num_rows(), 1u);
+  auto row = t.Decode(store_.dictionary())[0];
+  EXPECT_EQ(row.at("lo"), "\"25\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  EXPECT_EQ(row.at("hi"), "\"40\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+TEST_F(AggregateEvalTest, SumAndEmptyMatch) {
+  auto t = Eval("SELECT (SUM(?a) AS ?s) WHERE { ?x <http://age> ?a }");
+  EXPECT_EQ(t.Decode(store_.dictionary())[0].at("s"),
+            "\"95\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  // COUNT over an empty match is 0 (single global group).
+  auto empty =
+      Eval("SELECT (COUNT(?x) AS ?n) WHERE { ?x <http://nothere> ?y }");
+  ASSERT_EQ(empty.num_rows(), 1u);
+  EXPECT_EQ(empty.Decode(store_.dictionary())[0].at("n"),
+            "\"0\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+TEST_F(AggregateEvalTest, OrderByAggregateAlias) {
+  auto t = Eval(
+      "SELECT ?d (COUNT(?x) AS ?n) WHERE { ?x <http://dept> ?d } "
+      "GROUP BY ?d ORDER BY DESC(?n)");
+  ASSERT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(*t.ResolveTerm(t.rows()[0][0], store_.dictionary()),
+            Term::Uri("http://eng"));
+}
+
+// ---------------------------------------------------------------------------
+// Engines: BGP+ engines evaluate aggregates; BGP engines reject them.
+// ---------------------------------------------------------------------------
+
+TEST(AggregateEngineTest, BgpPlusEnginesAgreeWithReference) {
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(rdf::LubmConfig{}));
+  store.Dedupe();
+  const std::string query =
+      "PREFIX ub: <" + std::string(rdf::kUbPrefix) +
+      ">\nSELECT ?d (COUNT(?x) AS ?n) WHERE { ?x ub:worksFor ?d } GROUP BY "
+      "?d ORDER BY ?d";
+  auto parsed = ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+
+  ReferenceEvaluator reference(&store);
+  auto expected = reference.Evaluate(*parsed);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_GT(expected->num_rows(), 0u);
+
+  spark::ClusterConfig cfg;
+  spark::SparkContext sc(cfg);
+  systems::S2rdfEngine s2rdf(&sc);
+  ASSERT_TRUE(s2rdf.Load(store).ok());
+  auto got = s2rdf.Execute(*parsed);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->Decode(store.dictionary()),
+            expected->Decode(store.dictionary()));
+
+  systems::S2xEngine s2x(&sc);
+  ASSERT_TRUE(s2x.Load(store).ok());
+  auto got2 = s2x.Execute(*parsed);
+  ASSERT_TRUE(got2.ok()) << got2.status().ToString();
+  EXPECT_EQ(got2->Decode(store.dictionary()),
+            expected->Decode(store.dictionary()));
+}
+
+TEST(AggregateEngineTest, BgpOnlyEnginesReject) {
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(rdf::LubmConfig{}));
+  store.Dedupe();
+  spark::SparkContext sc(spark::ClusterConfig{});
+  systems::HaqwaEngine haqwa(&sc);  // BGP+: accepts
+  ASSERT_TRUE(haqwa.Load(store).ok());
+  const std::string query =
+      "PREFIX ub: <" + std::string(rdf::kUbPrefix) +
+      ">\nSELECT (COUNT(*) AS ?n) WHERE { ?x ub:worksFor ?d }";
+  auto r = haqwa.ExecuteText(query);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace rdfspark::sparql

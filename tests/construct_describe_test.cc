@@ -1,0 +1,189 @@
+// CONSTRUCT and DESCRIBE — the remaining two SPARQL output types of §II.B
+// ("construction of new triples", "descriptions of resources") — through
+// the reference evaluator and through every engine.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+#include "sparql/serialize.h"
+#include "systems/engine.h"
+
+namespace rdfspark::sparql {
+namespace {
+
+using rdf::Term;
+
+class ConstructDescribeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.AddAll({
+        {Term::Uri("http://alice"), Term::Uri("http://worksFor"),
+         Term::Uri("http://acme")},
+        {Term::Uri("http://bob"), Term::Uri("http://worksFor"),
+         Term::Uri("http://acme")},
+        {Term::Uri("http://alice"), Term::Uri("http://knows"),
+         Term::Uri("http://bob")},
+        {Term::Uri("http://acme"), Term::Uri("http://located"),
+         Term::Literal("Athens")},
+    });
+  }
+
+  rdf::TripleStore store_;
+};
+
+TEST_F(ConstructDescribeTest, ParserAcceptsBothForms) {
+  auto c = ParseQuery(
+      "CONSTRUCT { ?x <http://colleagueOf> ?y } WHERE { ?x "
+      "<http://worksFor> ?o . ?y <http://worksFor> ?o }");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->form, QueryForm::kConstruct);
+  EXPECT_EQ(c->construct_template.size(), 1u);
+
+  auto d = ParseQuery("DESCRIBE <http://acme>");
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->form, QueryForm::kDescribe);
+
+  auto dv = ParseQuery(
+      "DESCRIBE ?x WHERE { ?x <http://worksFor> <http://acme> }");
+  ASSERT_TRUE(dv.ok()) << dv.status().ToString();
+  EXPECT_EQ(dv->describe_targets.size(), 1u);
+}
+
+TEST_F(ConstructDescribeTest, ParserRejectsBadForms) {
+  EXPECT_FALSE(ParseQuery("CONSTRUCT { } WHERE { ?s ?p ?o }").ok());
+  EXPECT_FALSE(ParseQuery("DESCRIBE").ok());
+  // Variable DESCRIBE without a pattern is meaningless.
+  EXPECT_FALSE(ParseQuery("DESCRIBE ?x").ok());
+}
+
+TEST_F(ConstructDescribeTest, ConstructBuildsNewTriples) {
+  auto q = ParseQuery(
+      "CONSTRUCT { ?x <http://colleagueOf> ?y } WHERE { ?x "
+      "<http://worksFor> ?o . ?y <http://worksFor> ?o }");
+  ASSERT_TRUE(q.ok());
+  ReferenceEvaluator eval(&store_);
+  auto triples = eval.EvaluateConstruct(*q);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  // alice-alice, alice-bob, bob-alice, bob-bob.
+  EXPECT_EQ(triples->size(), 4u);
+  for (const auto& t : *triples) {
+    EXPECT_EQ(t.predicate.lexical(), "http://colleagueOf");
+  }
+}
+
+TEST_F(ConstructDescribeTest, ConstructSkipsIllFormedInstantiations) {
+  // ?lit is a literal: it cannot become a subject.
+  auto q = ParseQuery(
+      "CONSTRUCT { ?lit <http://p> ?x } WHERE { ?x <http://located> ?lit "
+      "}");
+  ASSERT_TRUE(q.ok());
+  ReferenceEvaluator eval(&store_);
+  auto triples = eval.EvaluateConstruct(*q);
+  ASSERT_TRUE(triples.ok());
+  EXPECT_TRUE(triples->empty());
+}
+
+TEST_F(ConstructDescribeTest, ConstructDeduplicates) {
+  auto q = ParseQuery(
+      "CONSTRUCT { ?o <http://hasEmployee> ?x } WHERE { ?x "
+      "<http://worksFor> ?o . ?y <http://worksFor> ?o }");
+  ASSERT_TRUE(q.ok());
+  ReferenceEvaluator eval(&store_);
+  auto triples = eval.EvaluateConstruct(*q);
+  ASSERT_TRUE(triples.ok());
+  // 4 solution rows but only 2 distinct (acme, hasEmployee, {alice,bob}).
+  EXPECT_EQ(triples->size(), 2u);
+}
+
+TEST_F(ConstructDescribeTest, DescribeConstantResource) {
+  auto q = ParseQuery("DESCRIBE <http://acme>");
+  ASSERT_TRUE(q.ok());
+  ReferenceEvaluator eval(&store_);
+  auto triples = eval.EvaluateDescribe(*q);
+  ASSERT_TRUE(triples.ok());
+  ASSERT_EQ(triples->size(), 1u);  // acme located "Athens"
+  EXPECT_EQ((*triples)[0].predicate.lexical(), "http://located");
+}
+
+TEST_F(ConstructDescribeTest, DescribeVariableTargets) {
+  auto q = ParseQuery(
+      "DESCRIBE ?x WHERE { ?x <http://worksFor> <http://acme> }");
+  ASSERT_TRUE(q.ok());
+  ReferenceEvaluator eval(&store_);
+  auto triples = eval.EvaluateDescribe(*q);
+  ASSERT_TRUE(triples.ok());
+  // alice: worksFor + knows; bob: worksFor => 3 triples.
+  EXPECT_EQ(triples->size(), 3u);
+}
+
+TEST_F(ConstructDescribeTest, SelectPathRejectsTripleForms) {
+  auto q = ParseQuery("DESCRIBE <http://acme>");
+  ASSERT_TRUE(q.ok());
+  ReferenceEvaluator eval(&store_);
+  EXPECT_FALSE(eval.Evaluate(*q).ok());
+}
+
+TEST_F(ConstructDescribeTest, SerializerRoundTripsBothForms) {
+  for (const char* text :
+       {"CONSTRUCT { ?x <http://colleagueOf> ?y } WHERE { ?x "
+        "<http://worksFor> ?o . ?y <http://worksFor> ?o }",
+        "DESCRIBE <http://acme>",
+        "DESCRIBE ?x WHERE { ?x <http://worksFor> <http://acme> }"}) {
+    auto q1 = ParseQuery(text);
+    ASSERT_TRUE(q1.ok()) << text;
+    std::string s1 = ToSparql(*q1);
+    auto q2 = ParseQuery(s1);
+    ASSERT_TRUE(q2.ok()) << s1;
+    EXPECT_EQ(s1, ToSparql(*q2));
+  }
+}
+
+TEST(ConstructDescribeEngineTest, AllEnginesMatchReference) {
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(rdf::LubmConfig{}));
+  store.Dedupe();
+  const std::string construct_text =
+      "PREFIX ub: <" + std::string(rdf::kUbPrefix) +
+      ">\nCONSTRUCT { ?p ub:advises ?x } WHERE { ?x ub:advisor ?p }";
+  const std::string describe_text =
+      "PREFIX ub: <" + std::string(rdf::kUbPrefix) +
+      ">\nDESCRIBE ?d WHERE { ?d ub:subOrganizationOf ?u }";
+  auto construct_q = sparql::ParseQuery(construct_text);
+  auto describe_q = sparql::ParseQuery(describe_text);
+  ASSERT_TRUE(construct_q.ok() && describe_q.ok());
+
+  ReferenceEvaluator reference(&store);
+  auto expected_c = reference.EvaluateConstruct(*construct_q);
+  auto expected_d = reference.EvaluateDescribe(*describe_q);
+  ASSERT_TRUE(expected_c.ok() && expected_d.ok());
+  EXPECT_GT(expected_c->size(), 0u);
+  EXPECT_GT(expected_d->size(), 0u);
+  auto canonical = [](const std::vector<rdf::Triple>& ts) {
+    std::set<std::string> out;
+    for (const auto& t : ts) out.insert(t.ToNTriples());
+    return out;
+  };
+  auto want_c = canonical(*expected_c);
+  auto want_d = canonical(*expected_d);
+
+  spark::SparkContext sc(spark::ClusterConfig{});
+  for (auto& engine : systems::MakeAllEngines(&sc)) {
+    ASSERT_TRUE(engine->Load(store).ok());
+    auto got_c = systems::ExecuteConstruct(engine.get(), store, *construct_q);
+    ASSERT_TRUE(got_c.ok()) << engine->traits().name << ": "
+                            << got_c.status().ToString();
+    EXPECT_EQ(canonical(*got_c), want_c) << engine->traits().name;
+    auto got_d = systems::ExecuteDescribe(engine.get(), store, *describe_q);
+    ASSERT_TRUE(got_d.ok()) << engine->traits().name;
+    EXPECT_EQ(canonical(*got_d), want_d) << engine->traits().name;
+  }
+}
+
+}  // namespace
+}  // namespace rdfspark::sparql

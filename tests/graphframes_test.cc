@@ -1,0 +1,193 @@
+#include "spark/graphframes/graphframe.h"
+
+#include <gtest/gtest.h>
+
+namespace rdfspark::spark::graphframes {
+namespace {
+
+using sql::Col;
+using sql::DataFrame;
+using sql::DataType;
+using sql::Field;
+using sql::Lit;
+using sql::Row;
+using sql::Schema;
+
+ClusterConfig SmallCluster() {
+  ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.default_parallelism = 2;
+  return cfg;
+}
+
+GraphFrame SocialGraph(SparkContext* sc) {
+  Schema vschema{{Field{"id", DataType::kString},
+                  Field{"age", DataType::kInt64}}};
+  std::vector<Row> vrows = {
+      {std::string("alice"), int64_t{30}},
+      {std::string("bob"), int64_t{25}},
+      {std::string("carol"), int64_t{35}},
+  };
+  Schema eschema{{Field{"src", DataType::kString},
+                  Field{"dst", DataType::kString},
+                  Field{"rel", DataType::kString}}};
+  std::vector<Row> erows = {
+      {std::string("alice"), std::string("bob"), std::string("knows")},
+      {std::string("bob"), std::string("carol"), std::string("knows")},
+      {std::string("alice"), std::string("carol"), std::string("likes")},
+  };
+  return GraphFrame(DataFrame::FromRows(sc, vschema, vrows, 2),
+                    DataFrame::FromRows(sc, eschema, erows, 2));
+}
+
+TEST(MotifParserTest, ParsesChain) {
+  auto motif = ParseMotif("(a)-[e]->(b); (b)-[f]->(c)");
+  ASSERT_TRUE(motif.ok()) << motif.status().ToString();
+  ASSERT_EQ(motif->size(), 2u);
+  EXPECT_EQ((*motif)[0].src, "a");
+  EXPECT_EQ((*motif)[0].edge, "e");
+  EXPECT_EQ((*motif)[1].dst, "c");
+}
+
+TEST(MotifParserTest, AnonymousElements) {
+  auto motif = ParseMotif("()-[]->(b)");
+  ASSERT_TRUE(motif.ok()) << motif.status().ToString();
+  EXPECT_TRUE((*motif)[0].src.empty());
+  EXPECT_TRUE((*motif)[0].edge.empty());
+  EXPECT_EQ((*motif)[0].dst, "b");
+}
+
+TEST(MotifParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseMotif("").ok());
+  EXPECT_FALSE(ParseMotif("(a)-[e]-(b)").ok());
+  EXPECT_FALSE(ParseMotif("a-[e]->(b)").ok());
+}
+
+TEST(GraphFrameTest, SingleEdgeMotif) {
+  SparkContext sc(SmallCluster());
+  auto gf = SocialGraph(&sc);
+  auto result = gf.FindMotif("(a)-[e]->(b)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 3u);
+  EXPECT_GE(result->schema().Index("a"), 0);
+  EXPECT_GE(result->schema().Index("e.rel"), 0);
+  EXPECT_GE(result->schema().Index("a.age"), 0);
+}
+
+TEST(GraphFrameTest, ChainMotifJoins) {
+  SparkContext sc(SmallCluster());
+  auto gf = SocialGraph(&sc);
+  auto result = gf.FindMotif("(a)-[e]->(b); (b)-[f]->(c)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // alice->bob->carol is the only 2-hop chain.
+  ASSERT_EQ(result->NumRows(), 1u);
+  auto rows = result->Collect();
+  int a_idx = result->schema().Index("a");
+  int c_idx = result->schema().Index("c");
+  EXPECT_EQ(std::get<std::string>(rows[0][static_cast<size_t>(a_idx)]),
+            "alice");
+  EXPECT_EQ(std::get<std::string>(rows[0][static_cast<size_t>(c_idx)]),
+            "carol");
+}
+
+TEST(GraphFrameTest, FilterEdgesPrunesSearchSpace) {
+  SparkContext sc(SmallCluster());
+  auto gf = SocialGraph(&sc);
+  auto pruned = gf.FilterEdges(Col("rel") == Lit("knows"));
+  EXPECT_EQ(pruned.edges().NumRows(), 2u);
+  auto result = pruned.FindMotif("(a)-[e]->(b)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->NumRows(), 2u);
+}
+
+TEST(GraphFrameTest, Degrees) {
+  SparkContext sc(SmallCluster());
+  auto gf = SocialGraph(&sc);
+  auto in_rows = gf.InDegrees().Collect();
+  bool carol_ok = false;
+  for (const Row& r : in_rows) {
+    if (std::get<std::string>(r[0]) == "carol") {
+      EXPECT_EQ(std::get<int64_t>(r[1]), 2);
+      carol_ok = true;
+    }
+  }
+  EXPECT_TRUE(carol_ok);
+  auto out_rows = gf.OutDegrees().Collect();
+  bool alice_ok = false;
+  for (const Row& r : out_rows) {
+    if (std::get<std::string>(r[0]) == "alice") {
+      EXPECT_EQ(std::get<int64_t>(r[1]), 2);
+      alice_ok = true;
+    }
+  }
+  EXPECT_TRUE(alice_ok);
+}
+
+TEST(GraphFrameBfsTest, FindsShortestPathLevel) {
+  SparkContext sc(SmallCluster());
+  auto gf = SocialGraph(&sc);
+  // alice -> bob -> carol: shortest alice->carol is 1 hop (likes) — the
+  // direct edge wins over the 2-hop knows chain.
+  auto direct = gf.Bfs(Col("id") == Lit("alice"), Col("id") == Lit("carol"),
+                       3);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  ASSERT_EQ(direct->NumRows(), 1u);
+  EXPECT_GE(direct->schema().Index("v1"), 0);
+  EXPECT_LT(direct->schema().Index("v2"), 0) << "must stop at first level";
+
+  // Restrict to knows-edges: now carol is 2 hops away.
+  auto knows_only = gf.FilterEdges(Col("rel") == Lit("knows"));
+  auto two_hop = knows_only.Bfs(Col("id") == Lit("alice"),
+                                Col("id") == Lit("carol"), 3);
+  ASSERT_TRUE(two_hop.ok());
+  ASSERT_EQ(two_hop->NumRows(), 1u);
+  EXPECT_GE(two_hop->schema().Index("v2"), 0);
+}
+
+TEST(GraphFrameBfsTest, ZeroHopsAndUnreachable) {
+  SparkContext sc(SmallCluster());
+  auto gf = SocialGraph(&sc);
+  // from == to: a 0-hop path.
+  auto self = gf.Bfs(Col("id") == Lit("bob"), Col("id") == Lit("bob"), 2);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(self->NumRows(), 1u);
+  // carol has no outgoing edges: alice unreachable from carol.
+  auto none = gf.Bfs(Col("id") == Lit("carol"), Col("id") == Lit("alice"), 4);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->NumRows(), 0u);
+  // Hop bound too small.
+  auto bounded = gf.FilterEdges(Col("rel") == Lit("knows"))
+                     .Bfs(Col("id") == Lit("alice"),
+                          Col("id") == Lit("carol"), 1);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_EQ(bounded->NumRows(), 0u);
+}
+
+TEST(GraphFrameBfsTest, AttributePredicates) {
+  SparkContext sc(SmallCluster());
+  auto gf = SocialGraph(&sc);
+  // From any vertex aged >= 30 to any vertex aged < 30 (alice -> bob).
+  auto r = gf.Bfs(Col("age") >= Lit(30), Col("age") < Lit(30), 2);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->NumRows(), 1u);
+  EXPECT_GE(r->schema().Index("v0.age"), 0);
+}
+
+TEST(GraphFrameTest, TriangleMotifOnCycle) {
+  SparkContext sc(SmallCluster());
+  Schema vschema{{Field{"id", DataType::kInt64}}};
+  Schema eschema{{Field{"src", DataType::kInt64},
+                  Field{"dst", DataType::kInt64}}};
+  std::vector<Row> vrows = {{int64_t{1}}, {int64_t{2}}, {int64_t{3}}};
+  std::vector<Row> erows = {{int64_t{1}, int64_t{2}},
+                            {int64_t{2}, int64_t{3}},
+                            {int64_t{3}, int64_t{1}}};
+  GraphFrame gf(DataFrame::FromRows(&sc, vschema, vrows, 1),
+                DataFrame::FromRows(&sc, eschema, erows, 1));
+  auto result = gf.FindMotif("(a)-[]->(b); (b)-[]->(c); (c)-[]->(a)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->NumRows(), 3u);  // 3 rotations of the one triangle
+}
+
+}  // namespace
+}  // namespace rdfspark::spark::graphframes

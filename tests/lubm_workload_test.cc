@@ -1,0 +1,86 @@
+// The adapted LUBM Q1..Q14 workload as a conformance suite: every engine
+// must return exactly the reference evaluator's answers on the
+// RDFS-materialized dataset (the setting the surveyed papers evaluate in).
+
+#include <gtest/gtest.h>
+
+#include "rdf/generator.h"
+#include "rdf/rdfs.h"
+#include "rdf/store.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+#include "systems/engine.h"
+
+namespace rdfspark::systems {
+namespace {
+
+const rdf::TripleStore& MaterializedStore() {
+  static rdf::TripleStore* store = [] {
+    auto* s = new rdf::TripleStore();
+    s->AddAll(rdf::GenerateLubm(rdf::LubmConfig{}));
+    s->AddAll(rdf::LubmSchema());
+    s->Dedupe();
+    rdf::MaterializeRdfs(s);
+    return s;
+  }();
+  return *store;
+}
+
+TEST(LubmWorkloadTest, FourteenQueriesParseAndHaveAnswers) {
+  const rdf::TripleStore& store = MaterializedStore();
+  sparql::ReferenceEvaluator reference(&store);
+  auto queries = rdf::LubmBenchmarkQueries();
+  ASSERT_EQ(queries.size(), 14u);
+  int with_answers = 0;
+  for (const auto& [name, text] : queries) {
+    auto parsed = sparql::ParseQuery(text);
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().ToString();
+    auto result = reference.Evaluate(*parsed);
+    ASSERT_TRUE(result.ok()) << name;
+    if (result->num_rows() > 0) ++with_answers;
+  }
+  // The workload is only meaningful if most queries are non-empty.
+  EXPECT_GE(with_answers, 12);
+}
+
+TEST(LubmWorkloadTest, SubsumptionQueriesNeedInference) {
+  // Q6 (all Students) must be empty without materialization and non-empty
+  // with it — the RDFS machinery is load-bearing for LUBM.
+  rdf::TripleStore raw;
+  raw.AddAll(rdf::GenerateLubm(rdf::LubmConfig{}));
+  raw.Dedupe();
+  sparql::ReferenceEvaluator raw_eval(&raw);
+  auto q6 = sparql::ParseQuery(rdf::LubmBenchmarkQueries()[5].second);
+  ASSERT_TRUE(q6.ok());
+  EXPECT_EQ((*raw_eval.Evaluate(*q6)).num_rows(), 0u);
+
+  sparql::ReferenceEvaluator mat_eval(&MaterializedStore());
+  EXPECT_GT((*mat_eval.Evaluate(*q6)).num_rows(), 0u);
+}
+
+TEST(LubmWorkloadTest, AllEnginesMatchReferenceOnAllFourteen) {
+  const rdf::TripleStore& store = MaterializedStore();
+  sparql::ReferenceEvaluator reference(&store);
+  spark::SparkContext sc(spark::ClusterConfig{});
+  auto engines = MakeAllEngines(&sc);
+  for (auto& engine : engines) {
+    ASSERT_TRUE(engine->Load(store).ok()) << engine->traits().name;
+  }
+  for (const auto& [name, text] : rdf::LubmBenchmarkQueries()) {
+    auto parsed = sparql::ParseQuery(text);
+    ASSERT_TRUE(parsed.ok()) << name;
+    auto expected = reference.Evaluate(*parsed);
+    ASSERT_TRUE(expected.ok()) << name;
+    auto expected_decoded = expected->Decode(store.dictionary());
+    for (auto& engine : engines) {
+      auto got = engine->Execute(*parsed);
+      ASSERT_TRUE(got.ok()) << engine->traits().name << " / " << name << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(got->Decode(store.dictionary()), expected_decoded)
+          << engine->traits().name << " / " << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdfspark::systems

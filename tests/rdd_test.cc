@@ -1,0 +1,480 @@
+#include "spark/rdd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace rdfspark::spark {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.default_parallelism = 8;
+  return cfg;
+}
+
+std::vector<int> Ints(int n) {
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(RddTest, ParallelizeSplitsEvenly) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(100), 8);
+  EXPECT_EQ(rdd.num_partitions(), 8);
+  EXPECT_EQ(rdd.Count(), 100u);
+}
+
+TEST(RddTest, CollectPreservesOrderWithinPartitions) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(10), 2);
+  auto got = rdd.Collect();
+  EXPECT_EQ(got, Ints(10));
+}
+
+TEST(RddTest, MapAndFilter) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(10), 4);
+  auto even_squares = rdd.Filter([](const int& x) { return x % 2 == 0; })
+                          .Map([](const int& x) { return x * x; })
+                          .Collect();
+  EXPECT_EQ(even_squares, (std::vector<int>{0, 4, 16, 36, 64}));
+}
+
+TEST(RddTest, FlatMapExpands) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, std::vector<int>{1, 2, 3}, 2);
+  auto out = rdd.FlatMap([](const int& x) {
+                   return std::vector<int>(static_cast<size_t>(x), x);
+                 })
+                 .Collect();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+}
+
+TEST(RddTest, UnionConcatenates) {
+  SparkContext sc(SmallCluster());
+  auto a = Parallelize(&sc, std::vector<int>{1, 2}, 2);
+  auto b = Parallelize(&sc, std::vector<int>{3, 4}, 2);
+  auto u = a.Union(b);
+  EXPECT_EQ(u.num_partitions(), 4);
+  EXPECT_EQ(u.Count(), 4u);
+}
+
+TEST(RddTest, DistinctRemovesDuplicates) {
+  SparkContext sc(SmallCluster());
+  auto rdd =
+      Parallelize(&sc, std::vector<int>{1, 1, 2, 2, 3, 3, 3, 4}, 4).Distinct();
+  auto got = rdd.Collect();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(RddTest, DistinctOnStringsUsesValueHash) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::string> data{"a", "b", "a", "c", "b"};
+  auto got = Parallelize(&sc, data, 3).Distinct().Collect();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(RddTest, SortByAscendingAndDescending) {
+  SparkContext sc(SmallCluster());
+  std::vector<int> data{5, 3, 9, 1, 7, 2, 8, 0, 6, 4};
+  auto asc = Parallelize(&sc, data, 4)
+                 .SortBy([](const int& x) { return x; })
+                 .Collect();
+  EXPECT_EQ(asc, Ints(10));
+  auto desc = Parallelize(&sc, data, 4)
+                  .SortBy([](const int& x) { return x; }, /*ascending=*/false)
+                  .Collect();
+  auto want = Ints(10);
+  std::reverse(want.begin(), want.end());
+  EXPECT_EQ(desc, want);
+}
+
+TEST(RddTest, SampleIsDeterministicAndApproximate) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(2000), 8);
+  auto s1 = rdd.Sample(0.25, 42).Collect();
+  auto s2 = rdd.Sample(0.25, 42).Collect();
+  EXPECT_EQ(s1, s2);
+  EXPECT_GT(s1.size(), 350u);
+  EXPECT_LT(s1.size(), 650u);
+}
+
+TEST(RddTest, TakeStopsEarly) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(100), 10);
+  auto got = rdd.Take(5);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RddTest, FoldSums) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(11), 3);
+  int total = rdd.Fold(0, [](int a, int b) { return a + b; });
+  EXPECT_EQ(total, 55);
+}
+
+TEST(RddTest, CartesianProducesAllPairs) {
+  SparkContext sc(SmallCluster());
+  auto a = Parallelize(&sc, std::vector<int>{1, 2}, 2);
+  auto b = Parallelize(&sc, std::vector<int>{10, 20, 30}, 3);
+  auto pairs = a.Cartesian(b).Collect();
+  EXPECT_EQ(pairs.size(), 6u);
+  uint64_t before = sc.metrics().join_comparisons;
+  EXPECT_GT(before, 0u);
+}
+
+TEST(RddTest, IntersectionKeepsCommonDistinctValues) {
+  SparkContext sc(SmallCluster());
+  auto a = Parallelize(&sc, std::vector<int>{1, 2, 2, 3, 4}, 3);
+  auto b = Parallelize(&sc, std::vector<int>{2, 3, 3, 5}, 2);
+  auto got = a.Intersection(b).Collect();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{2, 3}));
+}
+
+TEST(RddTest, SubtractRemovesMatchingValues) {
+  SparkContext sc(SmallCluster());
+  auto a = Parallelize(&sc, std::vector<int>{1, 2, 2, 3, 4}, 3);
+  auto b = Parallelize(&sc, std::vector<int>{2, 5}, 2);
+  auto got = a.Subtract(b).Collect();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<int>{1, 3, 4}));  // both 2s removed
+}
+
+TEST(RddTest, ZipWithIndexIsGloballyConsecutive) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(23), 5).ZipWithIndex();
+  auto got = rdd.Collect();
+  ASSERT_EQ(got.size(), 23u);
+  for (int64_t i = 0; i < 23; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)].first, static_cast<int>(i));
+    EXPECT_EQ(got[static_cast<size_t>(i)].second, i);
+  }
+}
+
+TEST(RddTest, AggregateWithDifferentAccumulatorType) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(10), 4);
+  // Accumulate (sum, count) pairs.
+  auto [sum, count] = rdd.Aggregate(
+      std::pair<int, int>{0, 0},
+      [](std::pair<int, int> acc, int x) {
+        return std::pair<int, int>{acc.first + x, acc.second + 1};
+      },
+      [](std::pair<int, int> a, std::pair<int, int> b) {
+        return std::pair<int, int>{a.first + b.first, a.second + b.second};
+      });
+  EXPECT_EQ(sum, 45);
+  EXPECT_EQ(count, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Pair-RDD operations.
+// ---------------------------------------------------------------------------
+
+TEST(PairRddTest, KeyByAndCountByKey) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(10), 4).KeyBy([](const int& x) {
+    return x % 3;
+  });
+  auto counts = rdd.CountByKey();
+  EXPECT_EQ(counts[0], 4u);  // 0,3,6,9
+  EXPECT_EQ(counts[1], 3u);
+  EXPECT_EQ(counts[2], 3u);
+}
+
+TEST(PairRddTest, ReduceByKeySums) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<std::string, int>> data{
+      {"a", 1}, {"b", 2}, {"a", 3}, {"b", 4}, {"c", 5}};
+  auto out = Parallelize(&sc, data, 3)
+                 .ReduceByKey([](int a, int b) { return a + b; })
+                 .Collect();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<std::pair<std::string, int>>{
+                     {"a", 4}, {"b", 6}, {"c", 5}}));
+}
+
+TEST(PairRddTest, MapSideCombineReducesShuffleRecords) {
+  SparkContext sc(SmallCluster());
+  // 1000 records, only 4 distinct keys: combine should shrink the shuffle.
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 1000; ++i) data.emplace_back(i % 4, 1);
+  auto before = sc.metrics();
+  Parallelize(&sc, data, 8)
+      .ReduceByKey([](int a, int b) { return a + b; })
+      .Collect();
+  auto delta = sc.metrics() - before;
+  // At most 4 keys per map partition * 8 partitions records shuffled.
+  EXPECT_LE(delta.shuffle_records, 32u);
+
+  SparkContext sc2(SmallCluster());
+  auto before2 = sc2.metrics();
+  Parallelize(&sc2, data, 8).GroupByKey().Collect();
+  auto delta2 = sc2.metrics() - before2;
+  EXPECT_EQ(delta2.shuffle_records, 1000u);  // groupByKey: no combine
+}
+
+TEST(PairRddTest, GroupByKeyGathersValues) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> data{{1, 10}, {2, 20}, {1, 11}, {2, 21}};
+  auto out = Parallelize(&sc, data, 2).GroupByKey().Collect();
+  ASSERT_EQ(out.size(), 2u);
+  for (auto& [k, vs] : out) {
+    auto sorted = vs;
+    std::sort(sorted.begin(), sorted.end());
+    if (k == 1) {
+      EXPECT_EQ(sorted, (std::vector<int>{10, 11}));
+    }
+    if (k == 2) {
+      EXPECT_EQ(sorted, (std::vector<int>{20, 21}));
+    }
+  }
+}
+
+TEST(PairRddTest, MapValuesPreservesPartitioner) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> data{{1, 1}, {2, 2}, {3, 3}};
+  auto part = Parallelize(&sc, data, 2).PartitionByKey(4);
+  ASSERT_TRUE(part.partitioner().has_value());
+  auto mapped = part.MapValues([](const int& v) { return v * 10; });
+  ASSERT_TRUE(mapped.partitioner().has_value());
+  EXPECT_EQ(*mapped.partitioner(), *part.partitioner());
+}
+
+TEST(PairRddTest, JoinMatchesKeys) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, std::string>> left{{1, "a"}, {2, "b"}, {3, "c"}};
+  std::vector<std::pair<int, int>> right{{2, 20}, {3, 30}, {4, 40}};
+  auto joined = Parallelize(&sc, left, 2)
+                    .Join(Parallelize(&sc, right, 3))
+                    .Collect();
+  std::sort(joined.begin(), joined.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(joined.size(), 2u);
+  EXPECT_EQ(joined[0].first, 2);
+  EXPECT_EQ(joined[0].second.first, "b");
+  EXPECT_EQ(joined[0].second.second, 20);
+  EXPECT_EQ(joined[1].first, 3);
+}
+
+TEST(PairRddTest, JoinHandlesDuplicateKeys) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> left{{1, 1}, {1, 2}};
+  std::vector<std::pair<int, int>> right{{1, 10}, {1, 20}};
+  auto joined = Parallelize(&sc, left, 2).Join(Parallelize(&sc, right, 2));
+  EXPECT_EQ(joined.Count(), 4u);
+}
+
+TEST(PairRddTest, LeftOuterJoinKeepsUnmatched) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> left{{1, 1}, {2, 2}};
+  std::vector<std::pair<int, int>> right{{2, 20}};
+  auto joined =
+      Parallelize(&sc, left, 2).LeftOuterJoin(Parallelize(&sc, right, 2));
+  auto rows = joined.Collect();
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_FALSE(rows[0].second.second.has_value());
+  ASSERT_TRUE(rows[1].second.second.has_value());
+  EXPECT_EQ(*rows[1].second.second, 20);
+}
+
+TEST(PairRddTest, CoGroupGathersBothSides) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> left{{1, 1}, {1, 2}, {2, 3}};
+  std::vector<std::pair<int, int>> right{{1, 10}, {3, 30}};
+  auto rows =
+      Parallelize(&sc, left, 2).CoGroup(Parallelize(&sc, right, 2)).Collect();
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].second.first.size(), 2u);   // key 1: two left values
+  EXPECT_EQ(rows[0].second.second.size(), 1u);  // key 1: one right value
+  EXPECT_EQ(rows[2].second.first.size(), 0u);   // key 3: right only
+}
+
+TEST(PairRddTest, SubtractByKey) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> left{{1, 1}, {2, 2}, {3, 3}};
+  std::vector<std::pair<int, int>> right{{2, 0}};
+  auto rows = Parallelize(&sc, left, 2)
+                  .SubtractByKey(Parallelize(&sc, right, 2))
+                  .Collect();
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<std::pair<int, int>>{{1, 1}, {3, 3}}));
+}
+
+TEST(PairRddTest, CoPartitionedJoinAvoidsShuffle) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 200; ++i) data.emplace_back(i, i);
+  auto a = Parallelize(&sc, data, 4).PartitionByKey(8);
+  auto b = Parallelize(&sc, data, 4).PartitionByKey(8);
+  a.Count();  // force materialization (and its shuffle)
+  b.Count();
+  auto before = sc.metrics();
+  a.Join(b).Count();
+  auto delta = sc.metrics() - before;
+  EXPECT_EQ(delta.shuffle_records, 0u) << "co-partitioned join must not shuffle";
+
+  // Contrast: same join without pre-partitioning shuffles both sides.
+  SparkContext sc2(SmallCluster());
+  auto a2 = Parallelize(&sc2, data, 4);
+  auto b2 = Parallelize(&sc2, data, 4);
+  auto before2 = sc2.metrics();
+  a2.Join(b2).Count();
+  auto delta2 = sc2.metrics() - before2;
+  EXPECT_EQ(delta2.shuffle_records, 400u);
+}
+
+TEST(PairRddTest, BroadcastHashJoinShufflesNothing) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> big;
+  for (int i = 0; i < 500; ++i) big.emplace_back(i % 50, i);
+  std::vector<std::pair<int, std::string>> small{{7, "seven"}, {13, "x"}};
+  auto big_rdd = Parallelize(&sc, big, 8);
+  auto small_map = CollectAsMultimap(Parallelize(&sc, small, 2));
+  auto before = sc.metrics();
+  auto joined = big_rdd.BroadcastHashJoin(small_map);
+  uint64_t n = joined.Count();
+  auto delta = sc.metrics() - before;
+  EXPECT_EQ(n, 20u);  // two hot keys * 10 occurrences each
+  EXPECT_EQ(delta.shuffle_records, 0u);
+  EXPECT_GT(sc.metrics().broadcast_bytes, 0u);
+}
+
+TEST(PairRddTest, PartitionByKeyIsIdempotent) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> data{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  auto part = Parallelize(&sc, data, 2).PartitionByKey(4);
+  part.Count();
+  auto before = sc.metrics();
+  auto again = part.PartitionByKey(4);
+  again.Count();
+  auto delta = sc.metrics() - before;
+  EXPECT_EQ(delta.shuffle_records, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics / simulator behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, ActionsCountJobsAndTasks) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(100), 8);
+  rdd.Count();
+  EXPECT_EQ(sc.metrics().jobs, 1u);
+  EXPECT_EQ(sc.metrics().tasks, 8u);
+  EXPECT_EQ(sc.metrics().stages, 1u);
+  rdd.Collect();
+  EXPECT_EQ(sc.metrics().jobs, 2u);
+}
+
+TEST(MetricsTest, ShuffleCountsRecordsAndBytes) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 64; ++i) data.emplace_back(i, i);
+  auto before = sc.metrics();
+  Parallelize(&sc, data, 4).PartitionByKey(8).Count();
+  auto delta = sc.metrics() - before;
+  EXPECT_EQ(delta.shuffle_records, 64u);
+  EXPECT_GT(delta.shuffle_bytes, 0u);
+  EXPECT_GT(delta.remote_shuffle_bytes, 0u);
+  EXPECT_LE(delta.remote_shuffle_bytes, delta.shuffle_bytes);
+}
+
+TEST(MetricsTest, MoreExecutorsReduceSimulatedTime) {
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 20000; ++i) data.emplace_back(i, i);
+
+  auto run = [&](int executors) {
+    ClusterConfig cfg;
+    cfg.num_executors = executors;
+    cfg.default_parallelism = 16;
+    SparkContext sc(cfg);
+    Parallelize(&sc, data, 16)
+        .Map([](const std::pair<int, int>& kv) {
+          return std::pair<int, int>(kv.first % 7, kv.second);
+        })
+        .ReduceByKey([](int a, int b) { return a + b; })
+        .Collect();
+    return sc.metrics().simulated_ms;
+  };
+  double t1 = run(1);
+  double t8 = run(8);
+  EXPECT_LT(t8, t1);
+}
+
+TEST(MetricsTest, MemoryFootprintTracksStringSizes) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::string> strings(100, std::string(100, 'x'));
+  auto rdd = Parallelize(&sc, strings, 4);
+  uint64_t fp = rdd.MemoryFootprint();
+  EXPECT_GE(fp, 100u * 100u);
+  EXPECT_LE(fp, 100u * 140u);
+}
+
+TEST(MetricsTest, ToStringMentionsKeyCounters) {
+  Metrics m;
+  m.jobs = 3;
+  m.shuffle_records = 17;
+  auto s = m.ToString();
+  EXPECT_NE(s.find("jobs=3"), std::string::npos);
+  EXPECT_NE(s.find("records=17"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Lineage & fault tolerance.
+// ---------------------------------------------------------------------------
+
+TEST(LineageTest, DebugStringShowsChain) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(10), 2)
+                 .Map([](const int& x) { return x + 1; })
+                 .Filter([](const int& x) { return x > 3; });
+  auto dbg = rdd.DebugString();
+  EXPECT_NE(dbg.find("Filter"), std::string::npos);
+  EXPECT_NE(dbg.find("Map"), std::string::npos);
+  EXPECT_NE(dbg.find("Parallelize"), std::string::npos);
+}
+
+TEST(LineageTest, EvictedPartitionRecomputesSameData) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(100), 8).Map([](const int& x) {
+    return x * 3;
+  });
+  auto first = rdd.Collect();
+  // Simulate losing three partitions.
+  rdd.node()->EvictPartition(1);
+  rdd.node()->EvictPartition(4);
+  rdd.node()->EvictPartition(7);
+  EXPECT_FALSE(rdd.node()->IsPartitionCached(1));
+  auto second = rdd.Collect();
+  EXPECT_EQ(first, second);
+}
+
+TEST(LineageTest, EvictionAfterShuffleRecomputesFromBuckets) {
+  SparkContext sc(SmallCluster());
+  std::vector<std::pair<int, int>> data;
+  for (int i = 0; i < 50; ++i) data.emplace_back(i % 5, 1);
+  auto rdd = Parallelize(&sc, data, 4).ReduceByKey([](int a, int b) {
+    return a + b;
+  });
+  auto first = rdd.Collect();
+  rdd.node()->EvictPartition(0);
+  auto second = rdd.Collect();
+  std::sort(first.begin(), first.end());
+  std::sort(second.begin(), second.end());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace rdfspark::spark

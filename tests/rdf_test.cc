@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rdf/dictionary.h"
+#include "rdf/generator.h"
+#include "rdf/ntriples.h"
+#include "rdf/rdfs.h"
+#include "rdf/store.h"
+#include "rdf/term.h"
+
+namespace rdfspark::rdf {
+namespace {
+
+TEST(TermTest, UriSerialization) {
+  Term t = Term::Uri("http://example.org/a");
+  EXPECT_TRUE(t.is_uri());
+  EXPECT_EQ(t.ToNTriples(), "<http://example.org/a>");
+}
+
+TEST(TermTest, PlainLiteralSerialization) {
+  EXPECT_EQ(Term::Literal("hello").ToNTriples(), "\"hello\"");
+}
+
+TEST(TermTest, TypedLiteralSerialization) {
+  Term t = Term::Literal("42", kXsdInteger);
+  EXPECT_EQ(t.ToNTriples(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+}
+
+TEST(TermTest, LangLiteralSerialization) {
+  EXPECT_EQ(Term::Literal("bonjour", "", "fr").ToNTriples(),
+            "\"bonjour\"@fr");
+}
+
+TEST(TermTest, BlankSerialization) {
+  EXPECT_EQ(Term::Blank("b0").ToNTriples(), "_:b0");
+}
+
+TEST(TermTest, LiteralEscaping) {
+  Term t = Term::Literal("line1\nline2 \"quoted\" back\\slash");
+  EXPECT_EQ(t.ToNTriples(),
+            "\"line1\\nline2 \\\"quoted\\\" back\\\\slash\"");
+}
+
+TEST(TermTest, AsNumberParsesNumericLiterals) {
+  auto n = Term::Literal("3.5", kXsdDouble).AsNumber();
+  ASSERT_TRUE(n.ok());
+  EXPECT_DOUBLE_EQ(*n, 3.5);
+  EXPECT_FALSE(Term::Literal("abc").AsNumber().ok());
+  EXPECT_FALSE(Term::Uri("http://x").AsNumber().ok());
+}
+
+TEST(TermTest, OrderingAndEquality) {
+  EXPECT_EQ(Term::Uri("a"), Term::Uri("a"));
+  EXPECT_NE(Term::Uri("a"), Term::Blank("a"));
+  EXPECT_NE(Term::Literal("a"), Term::Literal("a", kXsdInteger));
+}
+
+TEST(DictionaryTest, EncodeIsIdempotent) {
+  Dictionary d;
+  TermId a1 = d.Encode(Term::Uri("http://a"));
+  TermId a2 = d.Encode(Term::Uri("http://a"));
+  TermId b = d.Encode(Term::Uri("http://b"));
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, DecodeRoundTrips) {
+  Dictionary d;
+  Term original = Term::Literal("x", kXsdInteger);
+  TermId id = d.Encode(original);
+  auto decoded = d.Decode(id);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+}
+
+TEST(DictionaryTest, LookupWithoutInsert) {
+  Dictionary d;
+  EXPECT_FALSE(d.Lookup(Term::Uri("http://missing")).ok());
+  d.Encode(Term::Uri("http://present"));
+  EXPECT_TRUE(d.Lookup(Term::Uri("http://present")).ok());
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DictionaryTest, DecodeOutOfRangeFails) {
+  Dictionary d;
+  EXPECT_EQ(d.Decode(99).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(NTriplesTest, ParsesSimpleTriple) {
+  auto t = ParseNTriplesLine("<http://a> <http://p> <http://b> .");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->subject.lexical(), "http://a");
+  EXPECT_EQ(t->predicate.lexical(), "http://p");
+  EXPECT_EQ(t->object.lexical(), "http://b");
+}
+
+TEST(NTriplesTest, ParsesLiteralsWithDatatypeAndLang) {
+  auto t1 = ParseNTriplesLine(
+      "<http://a> <http://p> \"42\"^^<http://www.w3.org/2001/XMLSchema#integer> .");
+  ASSERT_TRUE(t1.ok()) << t1.status().ToString();
+  EXPECT_EQ(t1->object.datatype(), kXsdInteger);
+
+  auto t2 = ParseNTriplesLine("<http://a> <http://p> \"hi\"@en .");
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->object.lang(), "en");
+}
+
+TEST(NTriplesTest, ParsesBlankNodesAndEscapes) {
+  auto t = ParseNTriplesLine("_:b1 <http://p> \"a\\\"b\\nc\" .");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_TRUE(t->subject.is_blank());
+  EXPECT_EQ(t->object.lexical(), "a\"b\nc");
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseNTriplesLine("<http://a> <http://p> <http://b>").ok());
+  EXPECT_FALSE(ParseNTriplesLine("\"lit\" <http://p> <http://b> .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<http://a> _:b <http://b> .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("<http://a> <http://p> \"open .").ok());
+  EXPECT_FALSE(ParseNTriplesLine("").ok());
+}
+
+TEST(NTriplesTest, DocumentSkipsCommentsAndReportsLineNumbers) {
+  auto doc = ParseNTriplesDocument(
+      "# a comment\n"
+      "<http://a> <http://p> <http://b> .\n"
+      "\n"
+      "<http://c> <http://p> \"v\" .\n");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->size(), 2u);
+
+  auto bad = ParseNTriplesDocument(
+      "<http://a> <http://p> <http://b> .\nbogus line\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, WriteParseRoundTrip) {
+  std::vector<Triple> triples = {
+      {Term::Uri("http://a"), Term::Uri("http://p"), Term::Literal("x\ny")},
+      {Term::Blank("n"), Term::Uri("http://q"),
+       Term::Literal("7", kXsdInteger)},
+  };
+  auto parsed = ParseNTriplesDocument(WriteNTriples(triples));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, triples);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.AddAll({
+        {Term::Uri("http://s1"), Term::Uri("http://p1"), Term::Uri("http://o1")},
+        {Term::Uri("http://s1"), Term::Uri("http://p2"), Term::Uri("http://o2")},
+        {Term::Uri("http://s2"), Term::Uri("http://p1"), Term::Uri("http://o1")},
+        {Term::Uri("http://s2"), Term::Uri("http://p1"), Term::Uri("http://o3")},
+    });
+  }
+  TermId Id(const std::string& uri) {
+    return store_.dictionary().Encode(Term::Uri(uri));
+  }
+  TripleStore store_;
+};
+
+TEST_F(StoreTest, MatchBySubject) {
+  auto got = store_.Match({Id("http://s1"), std::nullopt, std::nullopt});
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST_F(StoreTest, MatchByPredicate) {
+  EXPECT_EQ(store_.Match({std::nullopt, Id("http://p1"), std::nullopt}).size(),
+            3u);
+}
+
+TEST_F(StoreTest, MatchFullyBound) {
+  auto got =
+      store_.Match({Id("http://s2"), Id("http://p1"), Id("http://o3")});
+  EXPECT_EQ(got.size(), 1u);
+  EXPECT_EQ(store_.Match({Id("http://s2"), Id("http://p2"), std::nullopt})
+                .size(),
+            0u);
+}
+
+TEST_F(StoreTest, MatchAllWildcards) {
+  EXPECT_EQ(store_.Match({}).size(), 4u);
+}
+
+TEST_F(StoreTest, ContainsFindsExactTriple) {
+  EncodedTriple t{Id("http://s1"), Id("http://p1"), Id("http://o1")};
+  EXPECT_TRUE(store_.Contains(t));
+  EncodedTriple missing{Id("http://s1"), Id("http://p1"), Id("http://o3")};
+  EXPECT_FALSE(store_.Contains(missing));
+}
+
+TEST_F(StoreTest, DedupeRemovesDuplicates) {
+  store_.AddEncoded(
+      EncodedTriple{Id("http://s1"), Id("http://p1"), Id("http://o1")});
+  EXPECT_EQ(store_.size(), 5u);
+  store_.Dedupe();
+  EXPECT_EQ(store_.size(), 4u);
+  // Indexes still work after dedupe.
+  EXPECT_EQ(store_.Match({Id("http://s1"), std::nullopt, std::nullopt}).size(),
+            2u);
+}
+
+TEST_F(StoreTest, StatisticsCountDistincts) {
+  auto stats = store_.ComputeStatistics();
+  EXPECT_EQ(stats.num_triples, 4u);
+  EXPECT_EQ(stats.distinct_subjects, 2u);
+  EXPECT_EQ(stats.distinct_predicates, 2u);
+  EXPECT_EQ(stats.distinct_objects, 3u);
+  EXPECT_EQ(stats.predicate_count[Id("http://p1")], 3u);
+  EXPECT_EQ(stats.predicate_distinct_subjects[Id("http://p1")], 2u);
+  EXPECT_EQ(stats.predicate_distinct_objects[Id("http://p1")], 2u);
+}
+
+TEST(RdfsTest, SubClassTransitivityAndInstances) {
+  TripleStore store;
+  Term a = Term::Uri("http://A"), b = Term::Uri("http://B"),
+       c = Term::Uri("http://C"), x = Term::Uri("http://x");
+  store.AddAll({
+      {a, Term::Uri(kRdfsSubClassOf), b},
+      {b, Term::Uri(kRdfsSubClassOf), c},
+      {x, Term::Uri(kRdfType), a},
+  });
+  auto result = MaterializeRdfs(&store);
+  EXPECT_GE(result.inferred_triples, 3u);  // A sc C, x type B, x type C
+  TermId xid = *store.dictionary().Lookup(x);
+  TermId type = *store.dictionary().Lookup(Term::Uri(kRdfType));
+  TermId cid = *store.dictionary().Lookup(c);
+  EXPECT_TRUE(store.Contains(EncodedTriple{xid, type, cid}));
+}
+
+TEST(RdfsTest, SubPropertyDomainRange) {
+  TripleStore store;
+  Term head = Term::Uri("http://headOf"), works = Term::Uri("http://worksFor");
+  Term person = Term::Uri("http://Person"), org = Term::Uri("http://Org");
+  Term alice = Term::Uri("http://alice"), acme = Term::Uri("http://acme");
+  store.AddAll({
+      {head, Term::Uri(kRdfsSubPropertyOf), works},
+      {works, Term::Uri(kRdfsDomain), person},
+      {works, Term::Uri(kRdfsRange), org},
+      {alice, head, acme},
+  });
+  MaterializeRdfs(&store);
+  auto& dict = store.dictionary();
+  TermId type = *dict.Lookup(Term::Uri(kRdfType));
+  // rdfs7: alice worksFor acme; rdfs2/3 via worksFor: alice Person, acme Org.
+  EXPECT_TRUE(store.Contains(EncodedTriple{*dict.Lookup(alice),
+                                           *dict.Lookup(works),
+                                           *dict.Lookup(acme)}));
+  EXPECT_TRUE(store.Contains(
+      EncodedTriple{*dict.Lookup(alice), type, *dict.Lookup(person)}));
+  EXPECT_TRUE(store.Contains(
+      EncodedTriple{*dict.Lookup(acme), type, *dict.Lookup(org)}));
+}
+
+TEST(RdfsTest, FixpointTerminatesOnCycles) {
+  TripleStore store;
+  Term a = Term::Uri("http://A"), b = Term::Uri("http://B");
+  store.AddAll({
+      {a, Term::Uri(kRdfsSubClassOf), b},
+      {b, Term::Uri(kRdfsSubClassOf), a},
+      {Term::Uri("http://x"), Term::Uri(kRdfType), a},
+  });
+  auto result = MaterializeRdfs(&store);
+  EXPECT_LT(result.iterations, 10);
+}
+
+TEST(RdfsTest, LubmSchemaInfersProfessorSuperclass) {
+  TripleStore store;
+  store.AddAll(GenerateLubm(LubmConfig{}));
+  store.AddAll(LubmSchema());
+  uint64_t before = store.size();
+  MaterializeRdfs(&store);
+  EXPECT_GT(store.size(), before);
+  auto& dict = store.dictionary();
+  TermId type = *dict.Lookup(Term::Uri(kRdfType));
+  TermId prof = *dict.Lookup(Term::Uri(std::string(kUbPrefix) + "Professor"));
+  // Every FullProfessor instance must now also be typed Professor.
+  auto profs = store.Match({std::nullopt, type, prof});
+  EXPECT_GT(profs.size(), 0u);
+}
+
+TEST(GeneratorTest, LubmIsDeterministic) {
+  LubmConfig cfg;
+  auto a = GenerateLubm(cfg);
+  auto b = GenerateLubm(cfg);
+  EXPECT_EQ(a, b);
+  cfg.seed = 43;
+  EXPECT_NE(GenerateLubm(cfg), a);
+}
+
+TEST(GeneratorTest, LubmScalesWithUniversities) {
+  LubmConfig small;
+  small.num_universities = 1;
+  LubmConfig big = small;
+  big.num_universities = 3;
+  EXPECT_GT(GenerateLubm(big).size(), 2 * GenerateLubm(small).size());
+}
+
+TEST(GeneratorTest, LubmHasExpectedShape) {
+  TripleStore store;
+  store.AddAll(GenerateLubm(LubmConfig{}));
+  auto& dict = store.dictionary();
+  TermId type = *dict.Lookup(Term::Uri(kRdfType));
+  auto ub = [&](const char* local) {
+    return *dict.Lookup(Term::Uri(std::string(kUbPrefix) + local));
+  };
+  // 4 departments, each with 6 professors and 40 students.
+  EXPECT_EQ(store.Match({std::nullopt, type, ub("Department")}).size(), 4u);
+  EXPECT_EQ(store.Match({std::nullopt, ub("worksFor"), std::nullopt}).size(),
+            24u);
+  EXPECT_EQ(store.Match({std::nullopt, ub("memberOf"), std::nullopt}).size(),
+            160u);
+  // Every grad student has an advisor.
+  auto grads = store.Match({std::nullopt, type, ub("GraduateStudent")});
+  for (const auto& g : grads) {
+    EXPECT_EQ(store.Match({g.s, ub("advisor"), std::nullopt}).size(), 1u);
+  }
+}
+
+TEST(GeneratorTest, WatdivZipfSkewsPopularity) {
+  WatdivConfig cfg;
+  cfg.num_users = 300;
+  auto triples = GenerateWatdiv(cfg);
+  TripleStore store;
+  store.AddAll(triples);
+  auto& dict = store.dictionary();
+  TermId follows =
+      *dict.Lookup(Term::Uri(std::string(kWdPrefix) + "follows"));
+  // In-degree of user 0 (most popular under Zipf) should far exceed that of
+  // the median user.
+  TermId user0 = *dict.Lookup(Term::Uri(std::string(kWdPrefix) + "User0"));
+  TermId user150 =
+      *dict.Lookup(Term::Uri(std::string(kWdPrefix) + "User150"));
+  auto in0 = store.Match({std::nullopt, follows, user0}).size();
+  auto in150 = store.Match({std::nullopt, follows, user150}).size();
+  EXPECT_GT(in0, in150 * 3);
+}
+
+TEST(GeneratorTest, ShapeQueriesAreDistinct) {
+  std::set<std::string> texts;
+  for (auto shape : {QueryShape::kStar, QueryShape::kLinear,
+                     QueryShape::kSnowflake, QueryShape::kComplex}) {
+    texts.insert(LubmShapeQuery(shape));
+  }
+  EXPECT_EQ(texts.size(), 4u);
+  EXPECT_STREQ(QueryShapeName(QueryShape::kStar), "star");
+  EXPECT_STREQ(QueryShapeName(QueryShape::kSnowflake), "snowflake");
+}
+
+TEST(GeneratorTest, StarQueryWidthIsClamped) {
+  auto q2 = LubmShapeQuery(QueryShape::kStar, 2);
+  auto q9 = LubmShapeQuery(QueryShape::kStar, 9);
+  EXPECT_LT(q2.size(), q9.size());
+  EXPECT_EQ(q9, LubmShapeQuery(QueryShape::kStar, 5));
+}
+
+}  // namespace
+}  // namespace rdfspark::rdf

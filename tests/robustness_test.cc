@@ -1,0 +1,143 @@
+// Robustness sweeps: random garbage must produce Status errors, never
+// crashes or hangs, across every parser in the library (N-Triples, SPARQL,
+// SQL, motifs). Also exercises the context's phase/cost accounting edges.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "rdf/ntriples.h"
+#include "spark/context.h"
+#include "spark/graphframes/graphframe.h"
+#include "spark/sql/sql_parser.h"
+#include "sparql/parser.h"
+
+namespace rdfspark {
+namespace {
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  size_t len = rng->Below(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(32 + rng->Below(95)));  // printable
+  }
+  return out;
+}
+
+std::string RandomFromAlphabet(Rng* rng, const std::string& alphabet,
+                               size_t max_len) {
+  size_t len = rng->Below(max_len + 1);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(alphabet[rng->Below(alphabet.size())]);
+  }
+  return out;
+}
+
+TEST(RobustnessTest, NTriplesParserNeverCrashes) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    auto r1 = rdf::ParseNTriplesLine(RandomBytes(&rng, 80));
+    (void)r1;
+    // Structured-ish garbage hits deeper code paths.
+    auto r2 = rdf::ParseNTriplesLine(RandomFromAlphabet(
+        &rng, "<>\"\\._:@^ abc0", 60));
+    (void)r2;
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, SparqlParserNeverCrashes) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    auto r1 = sparql::ParseQuery(RandomBytes(&rng, 120));
+    (void)r1;
+    auto r2 = sparql::ParseQuery(
+        "SELECT " + RandomFromAlphabet(&rng, "?xy*( )ASCOUNT", 30) +
+        " WHERE { " + RandomFromAlphabet(&rng, "?xp<>\". {}FILTERUNION", 60) +
+        " }");
+    (void)r2;
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, SqlParserNeverCrashes) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    auto r1 = spark::sql::ParseSql(RandomBytes(&rng, 120));
+    (void)r1;
+    auto r2 = spark::sql::ParseSql(
+        "SELECT " + RandomFromAlphabet(&rng, "abc.,*()'=<>", 40) + " FROM " +
+        RandomFromAlphabet(&rng, "abc JOINWHERE", 40));
+    (void)r2;
+  }
+  SUCCEED();
+}
+
+TEST(RobustnessTest, MotifParserNeverCrashes) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    auto r = spark::graphframes::ParseMotif(
+        RandomFromAlphabet(&rng, "()[]->;ab ", 50));
+    (void)r;
+  }
+  SUCCEED();
+}
+
+TEST(ContextTest, NestedPhasesAccumulateTime) {
+  spark::ClusterConfig cfg;
+  cfg.num_executors = 2;
+  spark::SparkContext sc(cfg);
+  sc.BeginPhase();
+  sc.ChargeTask(0, 100, 0);
+  sc.BeginPhase();  // nested (a shuffle inside an action)
+  sc.ChargeTask(1, 200, 50);
+  sc.EndPhase();
+  double after_inner = sc.metrics().simulated_ms;
+  EXPECT_GT(after_inner, 0.0);
+  sc.ChargeTask(0, 100, 0);
+  sc.EndPhase();
+  EXPECT_GT(sc.metrics().simulated_ms, after_inner);
+  EXPECT_EQ(sc.metrics().stages, 2u);
+  EXPECT_EQ(sc.metrics().tasks, 3u);
+}
+
+TEST(ContextTest, ExecutorPlacementIsRoundRobin) {
+  spark::ClusterConfig cfg;
+  cfg.num_executors = 3;
+  spark::SparkContext sc(cfg);
+  EXPECT_EQ(sc.ExecutorOf(0), 0);
+  EXPECT_EQ(sc.ExecutorOf(4), 1);
+  EXPECT_EQ(sc.ExecutorOf(5), 2);
+}
+
+TEST(ContextTest, BroadcastChargesVolumeAndTime) {
+  spark::ClusterConfig cfg;
+  cfg.num_executors = 4;
+  spark::SparkContext sc(cfg);
+  sc.ChargeBroadcastBytes(1000);
+  EXPECT_EQ(sc.metrics().broadcast_bytes, 3000u);  // (executors-1) copies
+  EXPECT_GT(sc.metrics().simulated_ms, 0.0);
+
+  // A single-executor cluster broadcasts nothing.
+  spark::ClusterConfig solo;
+  solo.num_executors = 1;
+  spark::SparkContext sc1(solo);
+  sc1.ChargeBroadcastBytes(1000);
+  EXPECT_EQ(sc1.metrics().broadcast_bytes, 0u);
+  EXPECT_DOUBLE_EQ(sc1.metrics().simulated_ms, 0.0);
+}
+
+TEST(ContextTest, DegenerateConfigsAreClamped) {
+  spark::ClusterConfig cfg;
+  cfg.num_executors = 0;
+  cfg.default_parallelism = -5;
+  spark::SparkContext sc(cfg);
+  EXPECT_GE(sc.config().num_executors, 1);
+  EXPECT_GE(sc.config().default_parallelism, 1);
+}
+
+}  // namespace
+}  // namespace rdfspark

@@ -1,0 +1,104 @@
+#include "sparql/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+
+namespace rdfspark::sparql {
+namespace {
+
+/// Round trip: parse -> serialize -> parse -> serialize; the two serialized
+/// forms must be identical (fixed point), and both queries must evaluate to
+/// the same results.
+void CheckRoundTrip(const std::string& text, const rdf::TripleStore& store) {
+  auto q1 = ParseQuery(text);
+  ASSERT_TRUE(q1.ok()) << text << "\n" << q1.status().ToString();
+  std::string s1 = ToSparql(*q1);
+  auto q2 = ParseQuery(s1);
+  ASSERT_TRUE(q2.ok()) << "serialized form failed to parse:\n" << s1 << "\n"
+                       << q2.status().ToString();
+  EXPECT_EQ(s1, ToSparql(*q2)) << "not a serialization fixed point";
+
+  ReferenceEvaluator eval(&store);
+  auto r1 = eval.Evaluate(*q1);
+  auto r2 = eval.Evaluate(*q2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->Decode(store.dictionary()), r2->Decode(store.dictionary()))
+      << "round trip changed the answers for:\n" << text;
+}
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  static const rdf::TripleStore& Store() {
+    static rdf::TripleStore* store = [] {
+      auto* s = new rdf::TripleStore();
+      s->AddAll(rdf::GenerateLubm(rdf::LubmConfig{}));
+      s->Dedupe();
+      return s;
+    }();
+    return *store;
+  }
+};
+
+TEST_F(SerializeTest, ShapeQueriesRoundTrip) {
+  for (auto shape :
+       {rdf::QueryShape::kStar, rdf::QueryShape::kLinear,
+        rdf::QueryShape::kSnowflake, rdf::QueryShape::kComplex}) {
+    CheckRoundTrip(rdf::LubmShapeQuery(shape), Store());
+  }
+}
+
+TEST_F(SerializeTest, ModifiersRoundTrip) {
+  const std::string prologue =
+      "PREFIX ub: <" + std::string(rdf::kUbPrefix) + ">\n";
+  CheckRoundTrip(prologue +
+                     "SELECT DISTINCT ?d WHERE { ?x ub:worksFor ?d } "
+                     "ORDER BY DESC(?d) LIMIT 3 OFFSET 1",
+                 Store());
+}
+
+TEST_F(SerializeTest, OptionalUnionFilterRoundTrip) {
+  const std::string prologue =
+      "PREFIX ub: <" + std::string(rdf::kUbPrefix) +
+      ">\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+  CheckRoundTrip(
+      prologue +
+          "SELECT ?x ?u WHERE { ?x rdf:type ub:GraduateStudent . "
+          "OPTIONAL { ?x ub:undergraduateDegreeFrom ?u } "
+          "{ ?x ub:memberOf ?d } UNION { ?x ub:advisor ?p } "
+          "FILTER (BOUND(?u) || !(?x = ?x)) }",
+      Store());
+}
+
+TEST_F(SerializeTest, AggregatesRoundTrip) {
+  const std::string prologue =
+      "PREFIX ub: <" + std::string(rdf::kUbPrefix) + ">\n";
+  CheckRoundTrip(prologue +
+                     "SELECT ?d (COUNT(?x) AS ?n) (AVG(?a) AS ?avg) WHERE { "
+                     "?x ub:memberOf ?d . ?x ub:age ?a } GROUP BY ?d",
+                 Store());
+  CheckRoundTrip(
+      prologue + "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }", Store());
+}
+
+TEST_F(SerializeTest, AskAndLiteralsRoundTrip) {
+  CheckRoundTrip("ASK { ?x <http://a> \"v\\\"quoted\\\"\"@en }", Store());
+  CheckRoundTrip(
+      "SELECT ?x WHERE { ?x <http://p> "
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer> }",
+      Store());
+}
+
+TEST_F(SerializeTest, FilterPrecedenceSurvives) {
+  // Parentheses in the output must preserve evaluation order.
+  CheckRoundTrip(
+      "SELECT ?x WHERE { ?x <http://age> ?a . "
+      "FILTER (?a > 1 && ?a < 9 || ?a = 30) }",
+      Store());
+}
+
+}  // namespace
+}  // namespace rdfspark::sparql

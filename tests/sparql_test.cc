@@ -1,0 +1,456 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "sparql/ast.h"
+#include "sparql/binding.h"
+#include "sparql/eval.h"
+#include "sparql/lexer.h"
+#include "sparql/parser.h"
+#include "sparql/shape.h"
+
+namespace rdfspark::sparql {
+namespace {
+
+using rdf::Term;
+
+// ---------------------------------------------------------------------------
+// Lexer.
+// ---------------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Tokenize("SELECT ?x WHERE { ?x <http://p> \"v\" . }");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  ASSERT_GE(tokens->size(), 9u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[1].text, "x");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kVar);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kIri);
+  EXPECT_EQ((*tokens)[5].text, "http://p");
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[6].text, "v");
+}
+
+TEST(LexerTest, DistinguishesIriFromLessThan) {
+  auto tokens = Tokenize("FILTER (?x < 5 && ?y > <http://iri>)");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  int less_than = 0, iris = 0;
+  for (const auto& t : *tokens) {
+    if (t.Is(TokenKind::kPunct, "<")) ++less_than;
+    if (t.kind == TokenKind::kIri) ++iris;
+  }
+  EXPECT_EQ(less_than, 1);
+  EXPECT_EQ(iris, 1);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select ?x where { ?x ?p ?o }");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+}
+
+TEST(LexerTest, LexesNumbersAndOperators) {
+  auto tokens = Tokenize("(-3 >= 2.5) || (!(?x != 7))");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  bool saw_neg = false, saw_dec = false, saw_ge = false, saw_or = false;
+  for (const auto& t : *tokens) {
+    if (t.kind == TokenKind::kNumber && t.text == "-3") saw_neg = true;
+    if (t.kind == TokenKind::kNumber && t.text == "2.5") saw_dec = true;
+    if (t.Is(TokenKind::kPunct, ">=")) saw_ge = true;
+    if (t.Is(TokenKind::kPunct, "||")) saw_or = true;
+  }
+  EXPECT_TRUE(saw_neg && saw_dec && saw_ge && saw_or);
+}
+
+TEST(LexerTest, LexesLiteralsWithLangAndDatatype) {
+  auto tokens =
+      Tokenize("\"hi\"@en \"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].lang, "en");
+  EXPECT_EQ((*tokens)[1].datatype, rdf::kXsdInteger);
+}
+
+TEST(LexerTest, SkipsComments) {
+  auto tokens = Tokenize("SELECT ?x # comment with <junk>\nWHERE { }");
+  ASSERT_TRUE(tokens.ok());
+  for (const auto& t : *tokens) EXPECT_NE(t.text, "junk");
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Tokenize("SELECT @").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("?").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------------
+
+TEST(ParserTest, ParsesSelectWithPrefixes) {
+  auto q = ParseQuery(
+      "PREFIX ub: <http://u/>\n"
+      "SELECT ?x ?y WHERE { ?x ub:p ?y . ?y ub:q \"v\" . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->form, QueryForm::kSelect);
+  EXPECT_EQ(q->select_vars, (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(q->where.bgp.size(), 2u);
+  EXPECT_EQ(q->where.bgp[0].p.term().lexical(), "http://u/p");
+}
+
+TEST(ParserTest, ParsesSelectStar) {
+  auto q = ParseQuery("SELECT * WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->select_vars.empty());
+  EXPECT_EQ(q->EffectiveProjection(),
+            (std::vector<std::string>{"s", "p", "o"}));
+}
+
+TEST(ParserTest, ParsesTypeShorthand) {
+  auto q = ParseQuery("SELECT ?x WHERE { ?x a <http://C> }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where.bgp[0].p.term().lexical(), rdf::kRdfType);
+}
+
+TEST(ParserTest, ParsesPredicateAndObjectLists) {
+  auto q = ParseQuery(
+      "SELECT ?x WHERE { ?x <http://p> ?a , ?b ; <http://q> ?c . }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->where.bgp.size(), 3u);
+  EXPECT_EQ(q->where.bgp[0].o.var(), "a");
+  EXPECT_EQ(q->where.bgp[1].o.var(), "b");
+  EXPECT_EQ(q->where.bgp[2].p.term().lexical(), "http://q");
+  // All three share subject ?x.
+  EXPECT_EQ(q->where.bgp[2].s.var(), "x");
+}
+
+TEST(ParserTest, ParsesFilterPrecedence) {
+  auto q = ParseQuery(
+      "SELECT ?x WHERE { ?x <http://p> ?y . FILTER (?y > 3 && ?y < 9 || "
+      "BOUND(?x)) }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->where.filters.size(), 1u);
+  // Top node must be OR (|| binds loosest).
+  EXPECT_EQ(q->where.filters[0]->op, ExprOp::kOr);
+  EXPECT_EQ(q->where.filters[0]->children[0]->op, ExprOp::kAnd);
+  EXPECT_EQ(q->where.filters[0]->children[1]->op, ExprOp::kBound);
+}
+
+TEST(ParserTest, ParsesOptionalAndUnion) {
+  auto q = ParseQuery(
+      "SELECT ?x WHERE { ?x <http://p> ?y . "
+      "OPTIONAL { ?x <http://mail> ?m } "
+      "{ ?x <http://a> ?z } UNION { ?x <http://b> ?z } }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->where.optionals.size(), 1u);
+  ASSERT_EQ(q->where.unions.size(), 1u);
+  EXPECT_EQ(q->where.unions[0].size(), 2u);
+}
+
+TEST(ParserTest, ParsesModifiers) {
+  auto q = ParseQuery(
+      "SELECT DISTINCT ?x WHERE { ?x <http://p> ?y } "
+      "ORDER BY DESC(?y) ?x LIMIT 10 OFFSET 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->distinct);
+  ASSERT_EQ(q->order_by.size(), 2u);
+  EXPECT_FALSE(q->order_by[0].ascending);
+  EXPECT_EQ(q->order_by[0].var, "y");
+  EXPECT_TRUE(q->order_by[1].ascending);
+  EXPECT_EQ(q->limit, 10);
+  EXPECT_EQ(q->offset, 5);
+}
+
+TEST(ParserTest, ParsesAsk) {
+  auto q = ParseQuery("ASK { <http://s> <http://p> <http://o> }");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->form, QueryForm::kAsk);
+}
+
+TEST(ParserTest, RejectsUnknownPrefixAndSyntaxErrors) {
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ub:p ?y }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { ?x ?p ?o }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?o ").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x { ?x ?p ?o } extra garbage").ok());
+}
+
+TEST(ParserTest, ParsesGeneratedShapeQueries) {
+  for (auto shape :
+       {rdf::QueryShape::kStar, rdf::QueryShape::kLinear,
+        rdf::QueryShape::kSnowflake, rdf::QueryShape::kComplex}) {
+    auto q = ParseQuery(rdf::LubmShapeQuery(shape));
+    EXPECT_TRUE(q.ok()) << rdf::QueryShapeName(shape) << ": "
+                        << q.status().ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binding table relational ops.
+// ---------------------------------------------------------------------------
+
+class BindingOpsTest : public ::testing::Test {
+ protected:
+  BindingTable MakeTable(std::vector<std::string> vars,
+                         std::vector<std::vector<rdf::TermId>> rows) {
+    BindingTable t(std::move(vars));
+    for (auto& r : rows) t.AddRow(std::move(r));
+    return t;
+  }
+};
+
+TEST_F(BindingOpsTest, HashJoinOnSharedVar) {
+  auto a = MakeTable({"x", "y"}, {{1, 10}, {2, 20}, {3, 30}});
+  auto b = MakeTable({"y", "z"}, {{10, 100}, {30, 300}, {40, 400}});
+  auto j = HashJoin(a, b);
+  EXPECT_EQ(j.vars(), (std::vector<std::string>{"x", "y", "z"}));
+  ASSERT_EQ(j.num_rows(), 2u);
+}
+
+TEST_F(BindingOpsTest, HashJoinCrossWhenNoSharedVars) {
+  auto a = MakeTable({"x"}, {{1}, {2}});
+  auto b = MakeTable({"y"}, {{7}, {8}, {9}});
+  EXPECT_EQ(HashJoin(a, b).num_rows(), 6u);
+}
+
+TEST_F(BindingOpsTest, HashJoinSkipsUnboundKeys) {
+  auto a = MakeTable({"x", "y"}, {{1, kUnbound}});
+  auto b = MakeTable({"y", "z"}, {{kUnbound, 5}, {2, 6}});
+  EXPECT_EQ(HashJoin(a, b).num_rows(), 0u);
+}
+
+TEST_F(BindingOpsTest, LeftJoinPadsUnmatched) {
+  auto a = MakeTable({"x", "y"}, {{1, 10}, {2, 20}});
+  auto b = MakeTable({"y", "z"}, {{10, 100}});
+  auto j = LeftJoin(a, b);
+  ASSERT_EQ(j.num_rows(), 2u);
+  int unbound_rows = 0;
+  for (const auto& row : j.rows()) {
+    if (row[2] == kUnbound) ++unbound_rows;
+  }
+  EXPECT_EQ(unbound_rows, 1);
+}
+
+TEST_F(BindingOpsTest, UnionAlignsColumns) {
+  auto a = MakeTable({"x"}, {{1}});
+  auto b = MakeTable({"y"}, {{2}});
+  auto u = UnionTables(a, b);
+  EXPECT_EQ(u.vars(), (std::vector<std::string>{"x", "y"}));
+  ASSERT_EQ(u.num_rows(), 2u);
+  EXPECT_EQ(u.rows()[0][1], kUnbound);
+  EXPECT_EQ(u.rows()[1][0], kUnbound);
+}
+
+TEST_F(BindingOpsTest, ProjectAndDistinct) {
+  auto t = MakeTable({"x", "y"}, {{1, 10}, {1, 20}, {2, 30}});
+  auto p = Project(t, {"x"});
+  EXPECT_EQ(p.vars(), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(p.num_rows(), 3u);
+  EXPECT_EQ(Distinct(p).num_rows(), 2u);
+}
+
+TEST_F(BindingOpsTest, SliceRespectsOffsetAndLimit) {
+  auto t = MakeTable({"x"}, {{1}, {2}, {3}, {4}, {5}});
+  auto s = Slice(t, 1, 2);
+  ASSERT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.rows()[0][0], 2u);
+  EXPECT_EQ(Slice(t, 0, -1).num_rows(), 5u);
+  EXPECT_EQ(Slice(t, 10, 5).num_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reference evaluator end-to-end.
+// ---------------------------------------------------------------------------
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.AddAll({
+        {Term::Uri("http://alice"), Term::Uri("http://knows"),
+         Term::Uri("http://bob")},
+        {Term::Uri("http://bob"), Term::Uri("http://knows"),
+         Term::Uri("http://carol")},
+        {Term::Uri("http://alice"), Term::Uri("http://age"),
+         Term::Literal("30", rdf::kXsdInteger)},
+        {Term::Uri("http://bob"), Term::Uri("http://age"),
+         Term::Literal("25", rdf::kXsdInteger)},
+        {Term::Uri("http://carol"), Term::Uri("http://age"),
+         Term::Literal("35", rdf::kXsdInteger)},
+        {Term::Uri("http://alice"), Term::Uri("http://mail"),
+         Term::Literal("alice@x")},
+    });
+  }
+
+  BindingTable Eval(const std::string& text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    ReferenceEvaluator eval(&store_);
+    auto r = eval.Evaluate(*q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  rdf::TripleStore store_;
+};
+
+TEST_F(EvalTest, SinglePattern) {
+  auto t = Eval("SELECT ?x WHERE { ?x <http://knows> <http://bob> }");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(*store_.dictionary().DecodeString(t.rows()[0][0]),
+            "<http://alice>");
+}
+
+TEST_F(EvalTest, ChainJoin) {
+  auto t = Eval(
+      "SELECT ?a ?c WHERE { ?a <http://knows> ?b . ?b <http://knows> ?c }");
+  ASSERT_EQ(t.num_rows(), 1u);
+  auto decoded = t.Decode(store_.dictionary());
+  EXPECT_EQ(decoded[0].at("a"), "<http://alice>");
+  EXPECT_EQ(decoded[0].at("c"), "<http://carol>");
+}
+
+TEST_F(EvalTest, NumericFilter) {
+  auto t = Eval(
+      "SELECT ?x WHERE { ?x <http://age> ?a . FILTER (?a > 26 && ?a < 34) }");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.Decode(store_.dictionary())[0].at("x"), "<http://alice>");
+}
+
+TEST_F(EvalTest, OptionalKeepsAllLeftRows) {
+  auto t = Eval(
+      "SELECT ?x ?m WHERE { ?x <http://age> ?a . "
+      "OPTIONAL { ?x <http://mail> ?m } }");
+  EXPECT_EQ(t.num_rows(), 3u);
+  auto decoded = t.Decode(store_.dictionary());
+  int with_mail = 0;
+  for (const auto& row : decoded) {
+    if (row.count("m")) ++with_mail;
+  }
+  EXPECT_EQ(with_mail, 1);
+}
+
+TEST_F(EvalTest, BoundFilterOnOptional) {
+  auto t = Eval(
+      "SELECT ?x WHERE { ?x <http://age> ?a . "
+      "OPTIONAL { ?x <http://mail> ?m } FILTER (!BOUND(?m)) }");
+  EXPECT_EQ(t.num_rows(), 2u);  // bob and carol have no mail
+}
+
+TEST_F(EvalTest, UnionConcatenates) {
+  auto t = Eval(
+      "SELECT ?x WHERE { { ?x <http://knows> <http://bob> } UNION "
+      "{ ?x <http://knows> <http://carol> } }");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST_F(EvalTest, OrderByLimitOffset) {
+  auto t = Eval(
+      "SELECT ?x ?a WHERE { ?x <http://age> ?a } ORDER BY DESC(?a) LIMIT 2");
+  ASSERT_EQ(t.num_rows(), 2u);
+  auto first = *store_.dictionary().DecodeString(t.rows()[0][0]);
+  EXPECT_EQ(first, "<http://carol>");  // age 35 first
+  auto t2 = Eval(
+      "SELECT ?x ?a WHERE { ?x <http://age> ?a } ORDER BY ?a OFFSET 1 LIMIT "
+      "1");
+  ASSERT_EQ(t2.num_rows(), 1u);
+  EXPECT_EQ(*store_.dictionary().DecodeString(t2.rows()[0][0]),
+            "<http://alice>");  // 25, [30], 35
+}
+
+TEST_F(EvalTest, DistinctDeduplicates) {
+  auto t = Eval("SELECT DISTINCT ?p WHERE { ?s ?p ?o }");
+  EXPECT_EQ(t.num_rows(), 3u);  // knows, age, mail
+}
+
+TEST_F(EvalTest, AskQuery) {
+  EXPECT_EQ(Eval("ASK { <http://alice> <http://knows> ?x }").num_rows(), 1u);
+  EXPECT_EQ(Eval("ASK { <http://carol> <http://knows> ?x }").num_rows(), 0u);
+}
+
+TEST_F(EvalTest, ConstantNotInDataYieldsEmpty) {
+  auto t = Eval("SELECT ?x WHERE { ?x <http://nonexistent> ?y }");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST_F(EvalTest, RepeatedVariableWithinPattern) {
+  store_.AddAll({{Term::Uri("http://self"), Term::Uri("http://knows"),
+                  Term::Uri("http://self")}});
+  auto t = Eval("SELECT ?x WHERE { ?x <http://knows> ?x }");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.Decode(store_.dictionary())[0].at("x"), "<http://self>");
+}
+
+TEST_F(EvalTest, LubmSnowflakeHasAnswers) {
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(rdf::LubmConfig{}));
+  ReferenceEvaluator eval(&store);
+  auto q = ParseQuery(rdf::LubmShapeQuery(rdf::QueryShape::kSnowflake));
+  ASSERT_TRUE(q.ok());
+  auto r = eval.Evaluate(*q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->num_rows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Shape classification.
+// ---------------------------------------------------------------------------
+
+BgpShape ShapeOf(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return ClassifyQuery(*q);
+}
+
+TEST(ShapeTest, SinglePattern) {
+  EXPECT_EQ(ShapeOf("SELECT * WHERE { ?s ?p ?o }"), BgpShape::kSingle);
+}
+
+TEST(ShapeTest, GeneratedShapeQueriesClassifyAsIntended) {
+  EXPECT_EQ(ShapeOf(rdf::LubmShapeQuery(rdf::QueryShape::kStar, 4)),
+            BgpShape::kStar);
+  EXPECT_EQ(ShapeOf(rdf::LubmShapeQuery(rdf::QueryShape::kLinear, 3)),
+            BgpShape::kLinear);
+  EXPECT_EQ(ShapeOf(rdf::LubmShapeQuery(rdf::QueryShape::kSnowflake)),
+            BgpShape::kSnowflake);
+  EXPECT_EQ(ShapeOf(rdf::LubmShapeQuery(rdf::QueryShape::kComplex)),
+            BgpShape::kComplex);
+}
+
+TEST(ShapeTest, ObjectObjectJoinIsComplex) {
+  EXPECT_EQ(ShapeOf("SELECT * WHERE { ?a <http://p> ?x . ?b <http://q> ?x }"),
+            BgpShape::kComplex);
+}
+
+TEST(ShapeTest, DisconnectedIsComplex) {
+  EXPECT_EQ(ShapeOf("SELECT * WHERE { ?a <http://p> ?x . ?b <http://q> ?y }"),
+            BgpShape::kComplex);
+}
+
+TEST(ShapeTest, PredicateVariableJoinIsComplex) {
+  EXPECT_EQ(ShapeOf("SELECT * WHERE { ?a ?p ?x . ?x ?p ?y }"),
+            BgpShape::kComplex);
+}
+
+TEST(ShapeTest, UnionOrOptionalIsComplex) {
+  EXPECT_EQ(ShapeOf("SELECT ?x WHERE { { ?x <http://a> ?y } UNION { ?x "
+                    "<http://b> ?y } }"),
+            BgpShape::kComplex);
+  EXPECT_EQ(
+      ShapeOf("SELECT ?x WHERE { ?x <http://a> ?y . OPTIONAL { ?x <http://b> "
+              "?z } }"),
+      BgpShape::kComplex);
+}
+
+TEST(ShapeTest, NamesAreStable) {
+  EXPECT_STREQ(BgpShapeName(BgpShape::kStar), "star");
+  EXPECT_STREQ(BgpShapeName(BgpShape::kLinear), "linear");
+  EXPECT_STREQ(BgpShapeName(BgpShape::kSnowflake), "snowflake");
+  EXPECT_STREQ(BgpShapeName(BgpShape::kComplex), "complex");
+  EXPECT_STREQ(BgpShapeName(BgpShape::kSingle), "single");
+}
+
+}  // namespace
+}  // namespace rdfspark::sparql
