@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extvp.dir/bench_extvp.cc.o"
+  "CMakeFiles/bench_extvp.dir/bench_extvp.cc.o.d"
+  "bench_extvp"
+  "bench_extvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_iter.dir/bench_graph_iter.cc.o"
+  "CMakeFiles/bench_graph_iter.dir/bench_graph_iter.cc.o.d"
+  "bench_graph_iter"
+  "bench_graph_iter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_iter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_joins.dir/bench_joins.cc.o"
+  "CMakeFiles/bench_joins.dir/bench_joins.cc.o.d"
+  "bench_joins"
+  "bench_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lubm.dir/bench_lubm.cc.o"
+  "CMakeFiles/bench_lubm.dir/bench_lubm.cc.o.d"
+  "bench_lubm"
+  "bench_lubm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lubm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

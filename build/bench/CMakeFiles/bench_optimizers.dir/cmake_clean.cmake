@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizers.dir/bench_optimizers.cc.o"
+  "CMakeFiles/bench_optimizers.dir/bench_optimizers.cc.o.d"
+  "bench_optimizers"
+  "bench_optimizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

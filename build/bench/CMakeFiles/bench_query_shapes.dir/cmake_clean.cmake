@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_shapes.dir/bench_query_shapes.cc.o"
+  "CMakeFiles/bench_query_shapes.dir/bench_query_shapes.cc.o.d"
+  "bench_query_shapes"
+  "bench_query_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfspark_common.dir/rng.cc.o"
+  "CMakeFiles/rdfspark_common.dir/rng.cc.o.d"
+  "CMakeFiles/rdfspark_common.dir/status.cc.o"
+  "CMakeFiles/rdfspark_common.dir/status.cc.o.d"
+  "CMakeFiles/rdfspark_common.dir/string_util.cc.o"
+  "CMakeFiles/rdfspark_common.dir/string_util.cc.o.d"
+  "librdfspark_common.a"
+  "librdfspark_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfspark_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/dictionary.cc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/dictionary.cc.o" "gcc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/dictionary.cc.o.d"
+  "/root/repo/src/rdf/generator.cc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/generator.cc.o" "gcc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/generator.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/ntriples.cc.o" "gcc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/ntriples.cc.o.d"
+  "/root/repo/src/rdf/rdfs.cc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/rdfs.cc.o" "gcc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/rdfs.cc.o.d"
+  "/root/repo/src/rdf/store.cc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/store.cc.o" "gcc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/store.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/term.cc.o" "gcc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/term.cc.o.d"
+  "/root/repo/src/rdf/versioning.cc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/versioning.cc.o" "gcc" "src/rdf/CMakeFiles/rdfspark_rdf.dir/versioning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rdfspark_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/rdfspark_spark.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

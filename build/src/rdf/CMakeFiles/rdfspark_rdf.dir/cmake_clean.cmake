@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfspark_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/rdfspark_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/rdfspark_rdf.dir/generator.cc.o"
+  "CMakeFiles/rdfspark_rdf.dir/generator.cc.o.d"
+  "CMakeFiles/rdfspark_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/rdfspark_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/rdfspark_rdf.dir/rdfs.cc.o"
+  "CMakeFiles/rdfspark_rdf.dir/rdfs.cc.o.d"
+  "CMakeFiles/rdfspark_rdf.dir/store.cc.o"
+  "CMakeFiles/rdfspark_rdf.dir/store.cc.o.d"
+  "CMakeFiles/rdfspark_rdf.dir/term.cc.o"
+  "CMakeFiles/rdfspark_rdf.dir/term.cc.o.d"
+  "CMakeFiles/rdfspark_rdf.dir/versioning.cc.o"
+  "CMakeFiles/rdfspark_rdf.dir/versioning.cc.o.d"
+  "librdfspark_rdf.a"
+  "librdfspark_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfspark_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdfspark_rdf.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/context.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/context.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/context.cc.o.d"
+  "/root/repo/src/spark/graphframes/graphframe.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/graphframes/graphframe.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/graphframes/graphframe.cc.o.d"
+  "/root/repo/src/spark/graphx/graph.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/graphx/graph.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/graphx/graph.cc.o.d"
+  "/root/repo/src/spark/metrics.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/metrics.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/metrics.cc.o.d"
+  "/root/repo/src/spark/sql/column.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/column.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/column.cc.o.d"
+  "/root/repo/src/spark/sql/dataframe.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/dataframe.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/dataframe.cc.o.d"
+  "/root/repo/src/spark/sql/expr.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/expr.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/expr.cc.o.d"
+  "/root/repo/src/spark/sql/logical_plan.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/logical_plan.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/logical_plan.cc.o.d"
+  "/root/repo/src/spark/sql/optimizer.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/optimizer.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/optimizer.cc.o.d"
+  "/root/repo/src/spark/sql/session.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/session.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/session.cc.o.d"
+  "/root/repo/src/spark/sql/sql_parser.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/sql_parser.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/sql_parser.cc.o.d"
+  "/root/repo/src/spark/sql/value.cc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/value.cc.o" "gcc" "src/spark/CMakeFiles/rdfspark_spark.dir/sql/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rdfspark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfspark_spark.dir/context.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/context.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/graphframes/graphframe.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/graphframes/graphframe.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/graphx/graph.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/graphx/graph.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/metrics.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/metrics.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/sql/column.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/sql/column.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/sql/dataframe.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/sql/dataframe.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/sql/expr.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/sql/expr.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/sql/logical_plan.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/sql/logical_plan.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/sql/optimizer.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/sql/optimizer.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/sql/session.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/sql/session.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/sql/sql_parser.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/sql/sql_parser.cc.o.d"
+  "CMakeFiles/rdfspark_spark.dir/sql/value.cc.o"
+  "CMakeFiles/rdfspark_spark.dir/sql/value.cc.o.d"
+  "librdfspark_spark.a"
+  "librdfspark_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfspark_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

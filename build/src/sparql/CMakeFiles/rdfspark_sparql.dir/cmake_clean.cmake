@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfspark_sparql.dir/ast.cc.o"
+  "CMakeFiles/rdfspark_sparql.dir/ast.cc.o.d"
+  "CMakeFiles/rdfspark_sparql.dir/binding.cc.o"
+  "CMakeFiles/rdfspark_sparql.dir/binding.cc.o.d"
+  "CMakeFiles/rdfspark_sparql.dir/eval.cc.o"
+  "CMakeFiles/rdfspark_sparql.dir/eval.cc.o.d"
+  "CMakeFiles/rdfspark_sparql.dir/lexer.cc.o"
+  "CMakeFiles/rdfspark_sparql.dir/lexer.cc.o.d"
+  "CMakeFiles/rdfspark_sparql.dir/parser.cc.o"
+  "CMakeFiles/rdfspark_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/rdfspark_sparql.dir/serialize.cc.o"
+  "CMakeFiles/rdfspark_sparql.dir/serialize.cc.o.d"
+  "CMakeFiles/rdfspark_sparql.dir/shape.cc.o"
+  "CMakeFiles/rdfspark_sparql.dir/shape.cc.o.d"
+  "librdfspark_sparql.a"
+  "librdfspark_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfspark_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

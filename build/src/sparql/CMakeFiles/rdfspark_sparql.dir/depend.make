@@ -1,0 +1,2 @@
+# Empty dependencies file for rdfspark_sparql.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systems/common.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/common.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/common.cc.o.d"
+  "/root/repo/src/systems/engine.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/engine.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/engine.cc.o.d"
+  "/root/repo/src/systems/graphframes_engine.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/graphframes_engine.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/graphframes_engine.cc.o.d"
+  "/root/repo/src/systems/graphx_sm.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/graphx_sm.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/graphx_sm.cc.o.d"
+  "/root/repo/src/systems/haqwa.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/haqwa.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/haqwa.cc.o.d"
+  "/root/repo/src/systems/hybrid.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/hybrid.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/hybrid.cc.o.d"
+  "/root/repo/src/systems/s2rdf.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/s2rdf.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/s2rdf.cc.o.d"
+  "/root/repo/src/systems/s2x.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/s2x.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/s2x.cc.o.d"
+  "/root/repo/src/systems/semantic_partitioning.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/semantic_partitioning.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/semantic_partitioning.cc.o.d"
+  "/root/repo/src/systems/sparkql.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/sparkql.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/sparkql.cc.o.d"
+  "/root/repo/src/systems/sparkrdf.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/sparkrdf.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/sparkrdf.cc.o.d"
+  "/root/repo/src/systems/sparqlgx.cc" "src/systems/CMakeFiles/rdfspark_systems.dir/sparqlgx.cc.o" "gcc" "src/systems/CMakeFiles/rdfspark_systems.dir/sparqlgx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparql/CMakeFiles/rdfspark_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfspark_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/rdfspark_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdfspark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdfspark_systems.dir/common.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/common.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/engine.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/engine.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/graphframes_engine.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/graphframes_engine.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/graphx_sm.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/graphx_sm.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/haqwa.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/haqwa.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/hybrid.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/hybrid.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/s2rdf.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/s2rdf.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/s2x.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/s2x.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/semantic_partitioning.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/semantic_partitioning.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/sparkql.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/sparkql.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/sparkrdf.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/sparkrdf.cc.o.d"
+  "CMakeFiles/rdfspark_systems.dir/sparqlgx.cc.o"
+  "CMakeFiles/rdfspark_systems.dir/sparqlgx.cc.o.d"
+  "librdfspark_systems.a"
+  "librdfspark_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdfspark_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

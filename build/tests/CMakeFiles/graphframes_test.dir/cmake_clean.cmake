@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphframes_test.dir/graphframes_test.cc.o"
+  "CMakeFiles/graphframes_test.dir/graphframes_test.cc.o.d"
+  "graphframes_test"
+  "graphframes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphframes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

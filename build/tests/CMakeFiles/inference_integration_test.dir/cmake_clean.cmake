@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_integration_test.dir/inference_integration_test.cc.o"
+  "CMakeFiles/inference_integration_test.dir/inference_integration_test.cc.o.d"
+  "inference_integration_test"
+  "inference_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lubm_workload_test.dir/lubm_workload_test.cc.o"
+  "CMakeFiles/lubm_workload_test.dir/lubm_workload_test.cc.o.d"
+  "lubm_workload_test"
+  "lubm_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lubm_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

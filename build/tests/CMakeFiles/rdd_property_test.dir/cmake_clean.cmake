@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_property_test.dir/rdd_property_test.cc.o"
+  "CMakeFiles/rdd_property_test.dir/rdd_property_test.cc.o.d"
+  "rdd_property_test"
+  "rdd_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdd_test.dir/rdd_test.cc.o"
+  "CMakeFiles/rdd_test.dir/rdd_test.cc.o.d"
+  "rdd_test"
+  "rdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

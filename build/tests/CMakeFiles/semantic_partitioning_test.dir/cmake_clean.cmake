@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_partitioning_test.dir/semantic_partitioning_test.cc.o"
+  "CMakeFiles/semantic_partitioning_test.dir/semantic_partitioning_test.cc.o.d"
+  "semantic_partitioning_test"
+  "semantic_partitioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_partitioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_equivalence_test.dir/sql_equivalence_test.cc.o"
+  "CMakeFiles/sql_equivalence_test.dir/sql_equivalence_test.cc.o.d"
+  "sql_equivalence_test"
+  "sql_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/versioning_test.cc" "tests/CMakeFiles/versioning_test.dir/versioning_test.cc.o" "gcc" "tests/CMakeFiles/versioning_test.dir/versioning_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/rdfspark_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/rdfspark_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/rdfspark_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/spark/CMakeFiles/rdfspark_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdfspark_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioning_test.dir/versioning_test.cc.o"
+  "CMakeFiles/versioning_test.dir/versioning_test.cc.o.d"
+  "versioning_test"
+  "versioning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
