@@ -35,15 +35,16 @@ void SizeRatioSweep() {
   std::printf(
       "A3: broadcast vs partitioned join across |small|/|large| ratios\n"
       "(|large| = 20000 rows, broadcast threshold = 64 KiB)\n\n");
-  std::vector<int> widths = {12, 12, 22, 22, 20};
+  std::vector<int> widths = {12, 12, 20, 20, 20, 20};
   PrintRow({"small_rows", "result", "broadcast: net_KiB", "shuffle: net_KiB",
-            "winner (sim_ms b/s)"},
+            "wall_ms (b/s)", "winner (sim_ms b/s)"},
            widths);
   PrintRule(widths);
 
   const int kLargeRows = 20000;
   for (int small_rows : {10, 100, 1000, 5000, 20000}) {
     double sim_ms[2];
+    double wall_ms[2];
     uint64_t net_bytes[2];
     uint64_t result_rows = 0;
     for (int strat = 0; strat < 2; ++strat) {
@@ -53,11 +54,13 @@ void SizeRatioSweep() {
       auto large = MakeTable(&sc, kLargeRows, 4096, "k", "lv");
       auto small = MakeTable(&sc, small_rows, 4096, "k2", "rv");
       auto before = sc.metrics();
-      auto joined = large.Join(
-          small, {{"k", "k2"}}, sql::JoinType::kInner,
-          strat == 0 ? sql::JoinStrategy::kBroadcast
-                     : sql::JoinStrategy::kShuffleHash);
-      result_rows = joined.NumRows();
+      wall_ms[strat] = WallMs([&] {
+        auto joined = large.Join(
+            small, {{"k", "k2"}}, sql::JoinType::kInner,
+            strat == 0 ? sql::JoinStrategy::kBroadcast
+                       : sql::JoinStrategy::kShuffleHash);
+        result_rows = joined.NumRows();
+      });
       auto delta = sc.metrics() - before;
       sim_ms[strat] = delta.simulated_ms;
       net_bytes[strat] =
@@ -67,6 +70,7 @@ void SizeRatioSweep() {
     PrintRow({Fmt(uint64_t(small_rows)), Fmt(result_rows),
               Fmt(double(net_bytes[0]) / 1024.0),
               Fmt(double(net_bytes[1]) / 1024.0),
+              Fmt(wall_ms[0]) + "/" + Fmt(wall_ms[1]),
               winner + " (" + Fmt(sim_ms[0]) + "/" + Fmt(sim_ms[1]) + ")"},
              widths);
   }

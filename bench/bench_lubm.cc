@@ -69,7 +69,7 @@ void LubmTable() {
         all_match = false;
         std::printf("%7s", "ERR");
       } else {
-        std::printf("%7.2f", run.delta.simulated_ms);
+        std::printf("%7.2f", run.delta.simulated_ms.ms());
       }
     }
     std::printf("  | total %.2f sim ms%s\n", total_ms,

@@ -54,11 +54,22 @@ inline rdf::TripleStore MakeLubmStore(int universities, uint64_t seed = 42) {
 }
 
 inline spark::ClusterConfig DefaultCluster(int executors = 4,
-                                           int parallelism = 8) {
+                                           int parallelism = 8,
+                                           int executor_threads = 0) {
   spark::ClusterConfig cfg;
   cfg.num_executors = executors;
   cfg.default_parallelism = parallelism;
+  cfg.executor_threads = executor_threads;
   return cfg;
+}
+
+/// Wall-clock milliseconds spent in `fn`.
+inline double WallMs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 /// Result of one measured query execution.

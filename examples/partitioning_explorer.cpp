@@ -28,7 +28,7 @@ void RunOne(const char* label, rdfspark::systems::HaqwaEngine* engine,
               label, static_cast<unsigned long long>(result->num_rows()),
               static_cast<unsigned long long>(delta.shuffle_records),
               static_cast<unsigned long long>(delta.remote_shuffle_bytes),
-              delta.simulated_ms);
+              delta.simulated_ms.ms());
 }
 
 }  // namespace

@@ -81,7 +81,7 @@ void RunQuery(systems::RdfQueryEngine* engine, const rdf::TripleStore& store,
     std::printf("-- %zu triples; %llu shuffled records, %.3f sim ms\n",
                 triples->size(),
                 static_cast<unsigned long long>(delta.shuffle_records),
-                delta.simulated_ms);
+                delta.simulated_ms.ms());
     return;
   }
   auto result = engine->Execute(*parsed);
@@ -95,7 +95,7 @@ void RunQuery(systems::RdfQueryEngine* engine, const rdf::TripleStore& store,
               static_cast<unsigned long long>(result->num_rows()),
               static_cast<unsigned long long>(delta.shuffle_records),
               static_cast<unsigned long long>(delta.tasks),
-              delta.simulated_ms);
+              delta.simulated_ms.ms());
 }
 
 }  // namespace

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
       std::printf("%-26s %-11s %8llu %10.2f %12llu %8llu\n",
                   engine->traits().name.c_str(), rdf::QueryShapeName(shape),
                   static_cast<unsigned long long>(result->num_rows()),
-                  delta.simulated_ms,
+                  delta.simulated_ms.ms(),
                   static_cast<unsigned long long>(delta.shuffle_records),
                   static_cast<unsigned long long>(delta.supersteps));
     }

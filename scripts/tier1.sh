@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
+# over the concurrency-sensitive suites (scheduler, rdd, dataframe).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "=== tier 1: build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j4
+
+echo
+echo "=== tier 1: ThreadSanitizer (scheduler/rdd/dataframe) ==="
+cmake -B build-tsan -S . -DRDFSPARK_TSAN=ON >/dev/null
+cmake --build build-tsan -j --target scheduler_test rdd_test dataframe_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/scheduler_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/rdd_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dataframe_test
+
+echo
+echo "tier 1: OK"

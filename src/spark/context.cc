@@ -2,48 +2,132 @@
 
 #include <algorithm>
 
+#include "spark/scheduler.h"
+
 namespace rdfspark::spark {
+
+namespace {
+
+/// One open phase on this thread. Frames for every live context share the
+/// thread's stack; CurrentPhase scans for the innermost frame of its own
+/// context. `owned` marks frames created by BeginPhase (popped and folded
+/// by EndPhase) as opposed to frames propagated into pool workers by
+/// RunParallel (popped when the task returns).
+struct PhaseFrame {
+  const SparkContext* ctx;
+  SparkContext::Phase* phase;
+  bool owned;
+};
+
+thread_local std::vector<PhaseFrame> t_phase_frames;
+
+}  // namespace
+
+SparkContext::Phase::Phase(int num_executors)
+    : busy_ns(static_cast<size_t>(num_executors)) {
+  Reset();
+}
+
+uint64_t SparkContext::Phase::MaxNanos() const {
+  uint64_t max_ns = 0;
+  for (const auto& ns : busy_ns) {
+    max_ns = std::max(max_ns, ns.load(std::memory_order_relaxed));
+  }
+  return max_ns;
+}
+
+void SparkContext::Phase::Reset() {
+  for (auto& ns : busy_ns) ns.store(0, std::memory_order_relaxed);
+}
 
 SparkContext::SparkContext(ClusterConfig config) : config_(config) {
   if (config_.num_executors < 1) config_.num_executors = 1;
   if (config_.default_parallelism < 1) {
     config_.default_parallelism = config_.num_executors;
   }
-  executor_ns_.assign(config_.num_executors, 0.0);
+  root_phase_ = std::make_unique<Phase>(config_.num_executors);
+}
+
+SparkContext::~SparkContext() {
+  // Drop any frames this context left on the calling thread's stack
+  // (mismatched BeginPhase without EndPhase); erase so a later context
+  // allocated at the same address cannot alias them.
+  auto& frames = t_phase_frames;
+  for (size_t i = frames.size(); i > 0; --i) {
+    if (frames[i - 1].ctx == this) {
+      if (frames[i - 1].owned) delete frames[i - 1].phase;
+      frames.erase(frames.begin() + static_cast<ptrdiff_t>(i - 1));
+    }
+  }
+}
+
+SparkContext::Phase* SparkContext::CurrentPhase() const {
+  for (auto it = t_phase_frames.rbegin(); it != t_phase_frames.rend(); ++it) {
+    if (it->ctx == this) return it->phase;
+  }
+  return root_phase_.get();
 }
 
 void SparkContext::BeginPhase() {
-  phase_stack_.push_back(executor_ns_);
-  std::fill(executor_ns_.begin(), executor_ns_.end(), 0.0);
+  t_phase_frames.push_back({this, new Phase(config_.num_executors), true});
 }
 
 void SparkContext::EndPhase() {
-  double max_ns = 0.0;
-  for (double ns : executor_ns_) max_ns = std::max(max_ns, ns);
-  metrics_.simulated_ms += max_ns / 1e6;
-  ++metrics_.stages;
-  if (!phase_stack_.empty()) {
-    executor_ns_ = phase_stack_.back();
-    phase_stack_.pop_back();
+  auto& frames = t_phase_frames;
+  if (!frames.empty() && frames.back().ctx == this && frames.back().owned) {
+    Phase* phase = frames.back().phase;
+    frames.pop_back();
+    metrics_.simulated_ms.AddNanos(phase->MaxNanos());
+    delete phase;
   } else {
-    std::fill(executor_ns_.begin(), executor_ns_.end(), 0.0);
+    // Unmatched EndPhase: fold whatever accumulated outside phases and
+    // reset it (the seed's behaviour for an empty phase stack).
+    metrics_.simulated_ms.AddNanos(root_phase_->MaxNanos());
+    root_phase_->Reset();
   }
+  ++metrics_.stages;
 }
 
 void SparkContext::ChargeCompute(int partition, uint64_t records) {
   metrics_.records_processed += records;
-  executor_ns_[ExecutorOf(partition)] +=
-      config_.cost.cpu_ns_per_record * static_cast<double>(records);
+  CurrentPhase()->Add(
+      ExecutorOf(partition),
+      static_cast<uint64_t>(
+          config_.cost.cpu_ns_per_record * static_cast<double>(records) +
+          0.5));
 }
 
 void SparkContext::ChargeTask(int partition, uint64_t records,
                               uint64_t remote_bytes) {
   ++metrics_.tasks;
   metrics_.records_processed += records;
-  double& ns = executor_ns_[ExecutorOf(partition)];
-  ns += config_.cost.task_overhead_us * 1e3;
+  double ns = config_.cost.task_overhead_us * 1e3;
   ns += config_.cost.cpu_ns_per_record * static_cast<double>(records);
   ns += config_.cost.net_ns_per_byte * static_cast<double>(remote_bytes);
+  CurrentPhase()->Add(ExecutorOf(partition),
+                      static_cast<uint64_t>(ns + 0.5));
+}
+
+void SparkContext::RunParallel(int count,
+                               const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  int threads = config_.executor_threads > 0 ? config_.executor_threads
+                                             : config_.num_executors;
+  if (count == 1 || threads <= 1 || TaskScheduler::InWorkerThread()) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  if (!scheduler_) scheduler_ = std::make_unique<TaskScheduler>(threads);
+  Phase* phase = CurrentPhase();
+  scheduler_->ParallelFor(count, [this, phase, &fn](int i) {
+    // Propagate the submitting thread's phase so task charges land in the
+    // action's phase; popped even if fn throws.
+    t_phase_frames.push_back({this, phase, false});
+    struct FramePopper {
+      ~FramePopper() { t_phase_frames.pop_back(); }
+    } popper;
+    fn(i);
+  });
 }
 
 }  // namespace rdfspark::spark

@@ -1,7 +1,10 @@
 #ifndef RDFSPARK_SPARK_CONTEXT_H_
 #define RDFSPARK_SPARK_CONTEXT_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,11 +14,17 @@
 
 namespace rdfspark::spark {
 
+class TaskScheduler;
+
 /// Shape of the simulated cluster.
 struct ClusterConfig {
   int num_executors = 4;
   /// Partition count used when callers do not specify one.
   int default_parallelism = 8;
+  /// Threads in the executor pool that physically runs partition tasks:
+  /// 0 = one per simulated executor (the default), 1 = serial in-driver
+  /// execution (the reference path the scheduler tests compare against).
+  int executor_threads = 0;
   /// DataFrame joins broadcast the smaller side when its estimated size is
   /// below this threshold (Spark's spark.sql.autoBroadcastJoinThreshold).
   uint64_t broadcast_threshold_bytes = 10ull << 20;
@@ -48,9 +57,10 @@ class Broadcast {
   std::shared_ptr<const T> value_;
 };
 
-/// Entry point to the simulated cluster: owns the configuration and the
-/// metrics, assigns partitions to executors, and provides the phase/cost
-/// accounting hooks the RDD/DataFrame layers call into.
+/// Entry point to the simulated cluster: owns the configuration, the
+/// metrics and the executor thread pool, assigns partitions to executors,
+/// and provides the phase/cost accounting hooks the RDD/DataFrame layers
+/// call into.
 ///
 /// Cost accounting model: work is grouped into *phases* (one per shuffle
 /// materialization plus one per action). Within a phase, each charge lands on
@@ -58,9 +68,19 @@ class Broadcast {
 /// busiest executor's time is added to `simulated_ms`. This reproduces the
 /// barrier semantics of Spark stages: narrow chains pipeline inside one
 /// phase, shuffles serialize phases.
+///
+/// Thread-safety contract: phases are tracked per thread. BeginPhase/
+/// EndPhase nest on the thread that calls them; RunParallel propagates the
+/// caller's current phase to the pool workers, so concurrent task charges
+/// land in the phase of the action that spawned them while a nested phase
+/// opened inside a task (a lazily materialized shuffle) stays private to
+/// that task's thread. Per-executor busy time accumulates in integer
+/// nanoseconds, which makes `simulated_ms` bit-identical for any thread
+/// interleaving — and identical to the serial (executor_threads = 1) path.
 class SparkContext {
  public:
   explicit SparkContext(ClusterConfig config = ClusterConfig());
+  ~SparkContext();
 
   SparkContext(const SparkContext&) = delete;
   SparkContext& operator=(const SparkContext&) = delete;
@@ -70,14 +90,20 @@ class SparkContext {
   const Metrics& metrics() const { return metrics_; }
 
   /// Executor owning partition `partition` (round-robin placement).
+  /// Partition ids are non-negative by construction (hash-derived bucket
+  /// indices are reduced modulo a positive count before they get here);
+  /// a negative id would silently land on a negative "executor".
   int ExecutorOf(int partition) const {
+    assert(partition >= 0 && "partition ids must be non-negative");
     return partition % config_.num_executors;
   }
 
   /// Unique id for a new RDD node.
-  int NextNodeId() { return next_node_id_++; }
+  int NextNodeId() {
+    return next_node_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  /// Begins/ends a cost phase; see class comment. Nestable.
+  /// Begins/ends a cost phase; see class comment. Nestable, per thread.
   void BeginPhase();
   void EndPhase();
 
@@ -92,6 +118,13 @@ class SparkContext {
   /// Records an action execution (one job).
   void RecordJob() { ++metrics_.jobs; }
 
+  /// Runs fn(0..count-1) on the executor pool, blocking until all tasks
+  /// finish. Falls back to an inline serial loop when the pool is disabled
+  /// (executor_threads = 1), the batch is trivial, or the caller is itself
+  /// a pool worker (nested parallelism runs inline; see TaskScheduler).
+  /// Workers inherit the caller's current cost phase.
+  void RunParallel(int count, const std::function<void(int)>& fn);
+
   /// Accounts the volume and time of replicating `bytes` to every executor
   /// (tree distribution: every executor receives the payload once, in
   /// parallel, so the time cost is one network transfer).
@@ -101,8 +134,8 @@ class SparkContext {
                                           ? config_.num_executors - 1
                                           : 0);
     if (config_.num_executors > 1) {
-      metrics_.simulated_ms +=
-          config_.cost.net_ns_per_byte * static_cast<double>(bytes) / 1e6;
+      metrics_.simulated_ms.AddNanos(static_cast<uint64_t>(
+          config_.cost.net_ns_per_byte * static_cast<double>(bytes) + 0.5));
     }
   }
 
@@ -113,15 +146,32 @@ class SparkContext {
     return Broadcast<T>(std::make_shared<const T>(std::move(value)));
   }
 
+  /// Per-phase accumulator: busy nanoseconds per executor. Tasks of one
+  /// phase add concurrently (relaxed atomics — integer addition commutes,
+  /// so totals are interleaving-independent).
+  struct Phase {
+    explicit Phase(int num_executors);
+    void Add(int executor, uint64_t ns) {
+      busy_ns[static_cast<size_t>(executor)].fetch_add(
+          ns, std::memory_order_relaxed);
+    }
+    uint64_t MaxNanos() const;
+    void Reset();
+
+    std::vector<std::atomic<uint64_t>> busy_ns;
+  };
+
  private:
+  /// The innermost phase this thread has open for this context; falls back
+  /// to the root accumulator (charges outside any phase, never folded).
+  Phase* CurrentPhase() const;
+
   ClusterConfig config_;
   Metrics metrics_;
-  int next_node_id_ = 0;
+  std::atomic<int> next_node_id_{0};
 
-  // Per-executor busy nanoseconds for the current phase, plus a stack for
-  // nested phases (a shuffle materialized lazily inside an action).
-  std::vector<double> executor_ns_;
-  std::vector<std::vector<double>> phase_stack_;
+  std::unique_ptr<Phase> root_phase_;
+  std::unique_ptr<TaskScheduler> scheduler_;  ///< Lazily created pool.
 };
 
 }  // namespace rdfspark::spark

@@ -1,36 +1,133 @@
 #ifndef RDFSPARK_SPARK_METRICS_H_
 #define RDFSPARK_SPARK_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace rdfspark::spark {
 
+/// A counter with value semantics and relaxed-atomic updates. Partition
+/// tasks run concurrently on the executor pool, so every counter the
+/// compute lambdas touch must tolerate unsynchronized increments; copies
+/// (metric snapshots, deltas) read a plain value. Relaxed ordering is
+/// sufficient: counters are independent tallies, and the scheduler's
+/// join barrier orders them against readers.
+class Counter {
+ public:
+  constexpr Counter() noexcept = default;
+  Counter(uint64_t v) noexcept : v_(v) {}
+  Counter(const Counter& o) noexcept : v_(o.value()) {}
+  Counter& operator=(const Counter& o) noexcept {
+    v_.store(o.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  Counter& operator=(uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator uint64_t() const noexcept { return value(); }
+  uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  Counter& operator+=(uint64_t d) noexcept {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+  Counter& operator-=(uint64_t d) noexcept {
+    v_.fetch_sub(d, std::memory_order_relaxed);
+    return *this;
+  }
+  Counter& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  uint64_t operator++(int) noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Simulated time held as integer nanoseconds so that accumulation is
+/// associative and commutative: the total is bit-identical no matter in
+/// which order concurrent phases fold their maxima in. Reads convert to
+/// milliseconds (the unit every report uses).
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  SimTime(double ms) noexcept : ns_(NanosFromMs(ms)) {}
+  SimTime(const SimTime& o) noexcept : ns_(o.nanos()) {}
+  SimTime& operator=(const SimTime& o) noexcept {
+    ns_.store(o.nanos(), std::memory_order_relaxed);
+    return *this;
+  }
+  SimTime& operator=(double ms) noexcept {
+    ns_.store(NanosFromMs(ms), std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator double() const noexcept { return ms(); }
+  double ms() const noexcept { return static_cast<double>(nanos()) / 1e6; }
+  uint64_t nanos() const noexcept {
+    return ns_.load(std::memory_order_relaxed);
+  }
+
+  void AddNanos(uint64_t d) noexcept {
+    ns_.fetch_add(d, std::memory_order_relaxed);
+  }
+  SimTime& operator+=(const SimTime& o) noexcept {
+    AddNanos(o.nanos());
+    return *this;
+  }
+  SimTime& operator+=(double delta_ms) noexcept {
+    AddNanos(NanosFromMs(delta_ms));
+    return *this;
+  }
+  friend SimTime operator-(const SimTime& a, const SimTime& b) noexcept {
+    SimTime d;
+    uint64_t an = a.nanos(), bn = b.nanos();
+    d.ns_.store(an > bn ? an - bn : 0, std::memory_order_relaxed);
+    return d;
+  }
+
+  static uint64_t NanosFromMs(double ms) noexcept {
+    return ms <= 0 ? 0 : static_cast<uint64_t>(ms * 1e6 + 0.5);
+  }
+
+ private:
+  std::atomic<uint64_t> ns_{0};
+};
+
 /// Execution counters accumulated by the cluster simulator. Everything the
 /// assessment benchmarks report (shuffle volume, locality, comparisons,
 /// supersteps, simulated wall time) comes out of this struct; engines obtain
-/// deltas by snapshotting before/after a query.
+/// deltas by snapshotting before/after a query. Fields are relaxed atomics
+/// (see Counter) because partition tasks update them concurrently.
 struct Metrics {
-  uint64_t jobs = 0;    ///< Actions executed.
-  uint64_t stages = 0;  ///< Stages (shuffle boundaries + result stages).
-  uint64_t tasks = 0;   ///< Per-partition tasks launched.
+  Counter jobs;    ///< Actions executed.
+  Counter stages;  ///< Stages (shuffle boundaries + result stages).
+  Counter tasks;   ///< Per-partition tasks launched.
 
-  uint64_t shuffle_records = 0;  ///< Records written through shuffles.
-  uint64_t shuffle_bytes = 0;    ///< Estimated bytes written through shuffles.
-  uint64_t remote_shuffle_bytes = 0;  ///< Subset crossing executor boundaries.
+  Counter shuffle_records;  ///< Records written through shuffles.
+  Counter shuffle_bytes;    ///< Estimated bytes written through shuffles.
+  Counter remote_shuffle_bytes;  ///< Subset crossing executor boundaries.
 
-  uint64_t local_read_records = 0;   ///< Partition reads served locally.
-  uint64_t remote_read_records = 0;  ///< Partition reads from other executors.
+  Counter local_read_records;   ///< Partition reads served locally.
+  Counter remote_read_records;  ///< Partition reads from other executors.
 
-  uint64_t broadcast_bytes = 0;  ///< Bytes replicated to every executor.
+  Counter broadcast_bytes;  ///< Bytes replicated to every executor.
 
-  uint64_t join_comparisons = 0;  ///< Candidate pairs examined by joins.
-  uint64_t records_processed = 0;  ///< Records flowing through operators.
+  Counter join_comparisons;   ///< Candidate pairs examined by joins.
+  Counter records_processed;  ///< Records flowing through operators.
 
-  uint64_t messages = 0;    ///< Graph messages sent (aggregateMessages).
-  uint64_t supersteps = 0;  ///< Pregel/fixpoint iterations.
+  Counter messages;    ///< Graph messages sent (aggregateMessages).
+  Counter supersteps;  ///< Pregel/fixpoint iterations.
 
-  double simulated_ms = 0.0;  ///< Critical-path time under the cost model.
+  SimTime simulated_ms;  ///< Critical-path time under the cost model.
 
   Metrics operator-(const Metrics& rhs) const;
   Metrics& operator+=(const Metrics& rhs);

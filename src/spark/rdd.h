@@ -2,10 +2,12 @@
 #define RDFSPARK_SPARK_RDD_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -51,6 +53,11 @@ class RddNodeBase {
   virtual void EvictPartition(int partition) = 0;
   virtual bool IsPartitionCached(int partition) const = 0;
 
+  /// Computes (and caches) one partition without exposing the element type.
+  /// Actions use this to materialize shuffle dependencies from the driver
+  /// before fanning partition tasks out to the executor pool.
+  virtual void ComputePartition(int partition) = 0;
+
  private:
   int id_;
   std::string name_;
@@ -73,24 +80,55 @@ class RddNode : public RddNodeBase {
           ComputeFn compute)
       : RddNodeBase(id, std::move(name), num_partitions, is_shuffle),
         compute_(std::move(compute)),
-        cache_(static_cast<size_t>(num_partitions)) {}
+        cache_(static_cast<size_t>(num_partitions)),
+        locks_(std::make_unique<std::mutex[]>(
+            static_cast<size_t>(std::max(num_partitions, 1)))) {}
 
+  /// Thread-safe compute-or-get: concurrent tasks may need the same parent
+  /// partition (shared lineage, Union of the same RDD), so each partition
+  /// slot is guarded by its own mutex. The lock is held while `compute_`
+  /// runs; lock acquisition only ever follows lineage edges child->parent
+  /// (a DAG), so no cycle — and no deadlock — is possible.
   std::shared_ptr<const std::vector<T>> GetPartition(int p) {
+    std::lock_guard<std::mutex> lock(locks_[p]);
     if (!cache_[p]) {
       cache_[p] = std::make_shared<std::vector<T>>(compute_(p));
     }
     return cache_[p];
   }
 
-  void EvictPartition(int partition) override { cache_[partition].reset(); }
+  void EvictPartition(int partition) override {
+    std::lock_guard<std::mutex> lock(locks_[partition]);
+    cache_[partition].reset();
+  }
   bool IsPartitionCached(int partition) const override {
+    std::lock_guard<std::mutex> lock(locks_[partition]);
     return cache_[partition] != nullptr;
   }
+  void ComputePartition(int partition) override { GetPartition(partition); }
 
  private:
   ComputeFn compute_;
   std::vector<std::shared_ptr<std::vector<T>>> cache_;
+  mutable std::unique_ptr<std::mutex[]> locks_;  ///< One per partition.
 };
+
+/// Materializes every shuffle in `node`'s lineage, deepest first, by
+/// computing one partition of each shuffle node from the calling (driver)
+/// thread. A shuffle computes all of its buckets on first touch, so after
+/// this walk the per-partition tasks an action fans out never trigger a
+/// nested materialization from a pool worker — the shuffle map side itself
+/// runs on the pool instead of serially inside whichever task got there
+/// first.
+inline void MaterializeShuffleDeps(RddNodeBase* node) {
+  std::unordered_set<int> visited;
+  std::function<void(RddNodeBase*)> visit = [&](RddNodeBase* n) {
+    if (!visited.insert(n->id()).second) return;
+    for (const auto& parent : n->parents()) visit(parent.get());
+    if (n->is_shuffle() && n->num_partitions() > 0) n->ComputePartition(0);
+  };
+  visit(node);
+}
 
 template <typename T>
 class Rdd;
@@ -305,16 +343,18 @@ class Rdd {
                                      parent->num_partitions()) +
                                  1,
                                  0);
+    MaterializeShuffleDeps(parent.get());
     sc->RecordJob();
     sc->BeginPhase();
-    for (int p = 0; p < parent->num_partitions(); ++p) {
+    sc->RunParallel(parent->num_partitions(), [&](int p) {
       auto part = parent->GetPartition(p);
       sc->ChargeTask(p, part->size(), 0);
       offsets[static_cast<size_t>(p) + 1] =
-          offsets[static_cast<size_t>(p)] +
           static_cast<int64_t>(part->size());
-    }
+    });
     sc->EndPhase();
+    // Sizes became offsets by prefix sum (serial: offsets chain by index).
+    for (size_t p = 1; p < offsets.size(); ++p) offsets[p] += offsets[p - 1];
     auto shared_offsets =
         std::make_shared<const std::vector<int64_t>>(std::move(offsets));
     auto compute = [sc, parent, shared_offsets](int p) {
@@ -376,7 +416,16 @@ class Rdd {
         sc->ChargeTask(p, 0, 0);
       }
       std::vector<std::pair<T, U>> out;
-      out.reserve(left->size() * right->size());
+      // left*right overflows size_t for adversarial partition sizes and, even
+      // short of overflow, a single up-front reservation of the full product
+      // can exhaust memory before one row is produced. Clamp the hint; the
+      // vector grows geometrically past it when the product really is large.
+      constexpr size_t kMaxReserve = size_t{1} << 16;
+      size_t ls = left->size();
+      size_t rs = right->size();
+      size_t est = (ls == 0 || rs == 0) ? 0
+                   : (ls > kMaxReserve / rs ? kMaxReserve : ls * rs);
+      out.reserve(est);
       for (const T& x : *left) {
         for (const U& y : *right) out.emplace_back(x, y);
       }
@@ -433,12 +482,24 @@ class Rdd {
     auto parent = node_;
     auto state = std::make_shared<ShuffleState>(n);
     auto compute = [sc, parent, state, key_fn, ascending, n](int p) {
+      std::unique_lock<std::mutex> lock(state->mu);
       if (!state->materialized) {
-        // Sample keys to pick range boundaries, then bucket.
-        std::vector<K> keys;
-        for (int q = 0; q < parent->num_partitions(); ++q) {
+        // One phase covers both the key sampling pass and the map side.
+        sc->BeginPhase();
+        // Sample keys to pick range boundaries, then bucket. Parent
+        // partitions are scanned on the pool; per-partition key slices
+        // concatenate in partition order so bounds are deterministic.
+        int np = parent->num_partitions();
+        std::vector<std::vector<K>> keys_by_part(static_cast<size_t>(np));
+        sc->RunParallel(np, [&](int q) {
           auto in = parent->GetPartition(q);
-          for (const T& x : *in) keys.push_back(key_fn(x));
+          auto& slice = keys_by_part[static_cast<size_t>(q)];
+          slice.reserve(in->size());
+          for (const T& x : *in) slice.push_back(key_fn(x));
+        });
+        std::vector<K> keys;
+        for (auto& slice : keys_by_part) {
+          for (K& k : slice) keys.push_back(std::move(k));
         }
         std::sort(keys.begin(), keys.end());
         if (!ascending) std::reverse(keys.begin(), keys.end());
@@ -457,8 +518,10 @@ class Rdd {
           }
           return lo;
         };
-        MaterializeShuffle<T>(sc, parent.get(), state.get(), target);
+        MaterializeShuffleInPhase<T>(sc, parent.get(), state.get(), target);
+        sc->EndPhase();
       }
+      lock.unlock();
       auto out = state->template TakeBucket<T>(sc, p);
       std::sort(out.begin(), out.end(), [&](const T& a, const T& b) {
         return ascending ? key_fn(a) < key_fn(b) : key_fn(b) < key_fn(a);
@@ -704,33 +767,54 @@ class Rdd {
   // Actions.
   // ---------------------------------------------------------------------
 
-  /// Materializes every partition on the driver.
+  /// Materializes every partition on the driver. Partition tasks run
+  /// concurrently on the executor pool; each writes its own output slot and
+  /// the merge walks slots in partition-index order, so the result — and
+  /// every metric — is identical to the serial path.
   std::vector<T> Collect() const {
+    MaterializeShuffleDeps(node_.get());
     sc_->RecordJob();
     sc_->BeginPhase();
-    std::vector<T> out;
-    for (int p = 0; p < node_->num_partitions(); ++p) {
-      auto part = node_->GetPartition(p);
+    int np = node_->num_partitions();
+    std::vector<std::shared_ptr<const std::vector<T>>> parts(
+        static_cast<size_t>(np));
+    auto* node = node_.get();
+    auto* sc = sc_;
+    sc_->RunParallel(np, [node, sc, &parts](int p) {
+      auto part = node->GetPartition(p);
       uint64_t bytes = 0;
       for (const T& x : *part) bytes += EstimateSize(x);
-      sc_->ChargeTask(p, part->size(), bytes);  // results travel to driver
+      sc->ChargeTask(p, part->size(), bytes);  // results travel to driver
+      parts[static_cast<size_t>(p)] = std::move(part);
+    });
+    sc_->EndPhase();
+    size_t total = 0;
+    for (const auto& part : parts) total += part->size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (const auto& part : parts) {
       out.insert(out.end(), part->begin(), part->end());
     }
-    sc_->EndPhase();
     return out;
   }
 
   /// Number of elements.
   uint64_t Count() const {
+    MaterializeShuffleDeps(node_.get());
     sc_->RecordJob();
     sc_->BeginPhase();
-    uint64_t n = 0;
-    for (int p = 0; p < node_->num_partitions(); ++p) {
-      auto part = node_->GetPartition(p);
-      sc_->ChargeTask(p, part->size(), 0);
-      n += part->size();
-    }
+    int np = node_->num_partitions();
+    std::vector<uint64_t> sizes(static_cast<size_t>(np), 0);
+    auto* node = node_.get();
+    auto* sc = sc_;
+    sc_->RunParallel(np, [node, sc, &sizes](int p) {
+      auto part = node->GetPartition(p);
+      sc->ChargeTask(p, part->size(), 0);
+      sizes[static_cast<size_t>(p)] = part->size();
+    });
     sc_->EndPhase();
+    uint64_t n = 0;
+    for (uint64_t s : sizes) n += s;
     return n;
   }
 
@@ -812,12 +896,18 @@ class Rdd {
 
   struct ShuffleState {
     explicit ShuffleState(int n)
-        : materialized(false), buckets_void(static_cast<size_t>(n)) {}
-    bool materialized;
+        : buckets_void(static_cast<size_t>(n)),
+          remote_bytes_per_target(static_cast<size_t>(n), 0) {}
+
+    /// Serializes materialization: the first task to need a bucket runs the
+    /// whole map side under this lock; later tasks block, then read. All
+    /// fields are immutable once `materialized` is set (readers observe the
+    /// writes through the same mutex).
+    std::mutex mu;
+    bool materialized = false;
     // Type-erased bucket storage: each slot holds a shared_ptr<vector<T>>.
     std::vector<std::shared_ptr<void>> buckets_void;
-    std::vector<uint64_t> remote_bytes_per_target =
-        std::vector<uint64_t>(buckets_void.size(), 0);
+    std::vector<uint64_t> remote_bytes_per_target;
 
     template <typename U>
     std::vector<U> TakeBucket(SparkContext* sc, int p) {
@@ -839,11 +929,15 @@ class Rdd {
     auto parent = node_;
     auto state = std::make_shared<ShuffleState>(n);
     auto compute = [sc, parent, state, hash_fn, n](int p) {
-      if (!state->materialized) {
-        auto target = [&](const T& x) {
-          return static_cast<int>(hash_fn(x) % static_cast<uint64_t>(n));
-        };
-        MaterializeShuffle<T>(sc, parent.get(), state.get(), target);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->materialized) {
+          auto target = [&](const T& x) {
+            // uint64 hash modulo a positive count: provably in [0, n).
+            return static_cast<int>(hash_fn(x) % static_cast<uint64_t>(n));
+          };
+          MaterializeShuffle<T>(sc, parent.get(), state.get(), target);
+        }
       }
       return state->template TakeBucket<T>(sc, p);
     };
@@ -851,40 +945,82 @@ class Rdd {
                                    std::move(info)));
   }
 
-  /// Runs the map side of a shuffle: computes every parent partition,
-  /// buckets records with `target`, and charges shuffle metrics.
+  /// Runs the map side of a shuffle inside its own cost phase. Caller must
+  /// hold `state->mu` and have checked `state->materialized`.
   template <typename U, typename Parent, typename TargetFn>
   static void MaterializeShuffle(SparkContext* sc, Parent* parent,
                                  ShuffleState* state, TargetFn target) {
     sc->BeginPhase();
+    MaterializeShuffleInPhase<U>(sc, parent, state, target);
+    sc->EndPhase();
+  }
+
+  /// The shuffle map side proper: computes parent partitions on the
+  /// executor pool, buckets records with `target`, and charges shuffle
+  /// metrics. Each map task writes into its own per-source staging area;
+  /// buckets are then merged in source-partition order, so bucket contents
+  /// are byte-identical to the serial path no matter how tasks interleave.
+  template <typename U, typename Parent, typename TargetFn>
+  static void MaterializeShuffleInPhase(SparkContext* sc, Parent* parent,
+                                        ShuffleState* state, TargetFn target) {
     int n = static_cast<int>(state->buckets_void.size());
-    std::vector<std::shared_ptr<std::vector<U>>> buckets;
-    buckets.reserve(n);
-    for (int b = 0; b < n; ++b) {
-      buckets.push_back(std::make_shared<std::vector<U>>());
-    }
-    for (int q = 0; q < parent->num_partitions(); ++q) {
+    int np = parent->num_partitions();
+    std::vector<std::vector<std::vector<U>>> staged(
+        static_cast<size_t>(np));
+    std::vector<std::vector<uint64_t>> staged_remote(
+        static_cast<size_t>(np));
+    sc->RunParallel(np, [&](int q) {
       auto in = parent->GetPartition(q);
       sc->ChargeTask(q, in->size(), 0);
       int src_exec = sc->ExecutorOf(q);
+      auto& buckets = staged[static_cast<size_t>(q)];
+      auto& remote = staged_remote[static_cast<size_t>(q)];
+      buckets.resize(static_cast<size_t>(n));
+      remote.assign(static_cast<size_t>(n), 0);
+      uint64_t records = 0, bytes_total = 0, remote_bytes = 0;
+      uint64_t local_reads = 0, remote_reads = 0;
       for (const U& x : *in) {
         int t = target(x);
+        assert(t >= 0 && t < n && "bucket index out of range");
         uint64_t bytes = EstimateSize(x);
-        ++sc->metrics().shuffle_records;
-        sc->metrics().shuffle_bytes += bytes;
+        ++records;
+        bytes_total += bytes;
         if (sc->ExecutorOf(t) != src_exec) {
-          sc->metrics().remote_shuffle_bytes += bytes;
-          ++sc->metrics().remote_read_records;
-          state->remote_bytes_per_target[t] += bytes;
+          remote_bytes += bytes;
+          ++remote_reads;
+          remote[static_cast<size_t>(t)] += bytes;
         } else {
-          ++sc->metrics().local_read_records;
+          ++local_reads;
         }
-        buckets[t]->push_back(x);
+        buckets[static_cast<size_t>(t)].push_back(x);
+      }
+      sc->metrics().shuffle_records += records;
+      sc->metrics().shuffle_bytes += bytes_total;
+      sc->metrics().remote_shuffle_bytes += remote_bytes;
+      sc->metrics().remote_read_records += remote_reads;
+      sc->metrics().local_read_records += local_reads;
+    });
+    for (int b = 0; b < n; ++b) {
+      size_t total = 0;
+      for (int q = 0; q < np; ++q) {
+        total += staged[static_cast<size_t>(q)][static_cast<size_t>(b)]
+                     .size();
+      }
+      auto merged = std::make_shared<std::vector<U>>();
+      merged->reserve(total);
+      for (int q = 0; q < np; ++q) {
+        auto& part = staged[static_cast<size_t>(q)][static_cast<size_t>(b)];
+        for (U& x : part) merged->push_back(std::move(x));
+      }
+      state->buckets_void[static_cast<size_t>(b)] = merged;
+    }
+    for (int q = 0; q < np; ++q) {
+      for (int t = 0; t < n; ++t) {
+        state->remote_bytes_per_target[static_cast<size_t>(t)] +=
+            staged_remote[static_cast<size_t>(q)][static_cast<size_t>(t)];
       }
     }
-    for (int b = 0; b < n; ++b) state->buckets_void[b] = buckets[b];
     state->materialized = true;
-    sc->EndPhase();
   }
 
  private:

@@ -1,0 +1,95 @@
+#include "spark/scheduler.h"
+
+namespace rdfspark::spark {
+
+namespace {
+thread_local bool t_in_worker = false;
+}  // namespace
+
+bool TaskScheduler::InWorkerThread() { return t_in_worker; }
+
+TaskScheduler::TaskScheduler(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  threads_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool TaskScheduler::RunOneTask(std::unique_lock<std::mutex>& lock,
+                               uint64_t seq) {
+  if (batch_seq_ != seq || batch_fn_ == nullptr ||
+      next_index_ >= batch_count_) {
+    return false;
+  }
+  int index = next_index_++;
+  const std::function<void(int)>* fn = batch_fn_;
+  lock.unlock();
+  try {
+    (*fn)(index);
+  } catch (...) {
+    lock.lock();
+    if (!first_error_) first_error_ = std::current_exception();
+    if (--unfinished_ == 0) done_cv_.notify_all();
+    return true;
+  }
+  lock.lock();
+  if (--unfinished_ == 0) done_cv_.notify_all();
+  return true;
+}
+
+void TaskScheduler::WorkerLoop() {
+  t_in_worker = true;
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || batch_seq_ != seen; });
+    if (stop_) return;
+    seen = batch_seq_;
+    while (RunOneTask(lock, seen)) {
+    }
+  }
+}
+
+void TaskScheduler::ParallelFor(int count,
+                                const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  // One batch at a time; a second driver thread queues here until the
+  // current batch retires.
+  done_cv_.wait(lock, [&] { return batch_fn_ == nullptr; });
+  batch_fn_ = &fn;
+  batch_count_ = count;
+  next_index_ = 0;
+  unfinished_ = count;
+  uint64_t seq = ++batch_seq_;
+  work_cv_.notify_all();
+  // The caller works the batch too. While it does, it counts as a worker:
+  // a task it runs may itself hit a nested RunParallel (e.g. a lazily
+  // materialized shuffle), and that nested call must run inline — waiting
+  // for this batch to retire would deadlock on the caller's own task.
+  bool was_worker = t_in_worker;
+  t_in_worker = true;
+  while (RunOneTask(lock, seq)) {
+  }
+  t_in_worker = was_worker;
+  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
+  batch_fn_ = nullptr;
+  std::exception_ptr err = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  // Wake any driver thread queued on batch_fn_ == nullptr.
+  done_cv_.notify_all();
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace rdfspark::spark

@@ -1,0 +1,69 @@
+#ifndef RDFSPARK_SPARK_SCHEDULER_H_
+#define RDFSPARK_SPARK_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdfspark::spark {
+
+/// Fixed-size executor thread pool that runs per-partition tasks
+/// concurrently — the physical counterpart of the simulated executors.
+/// One pool per SparkContext, sized by ClusterConfig::num_executors, so a
+/// "4 executor" cluster really computes at most 4 partitions at a time and
+/// wall-clock numbers track the simulated stage model instead of being the
+/// serial sum of all tasks.
+///
+/// Scheduling model: one batch (parallel-for) at a time. Task indices are
+/// handed out under the pool mutex, so a worker can never run a task of a
+/// batch it did not observe; the closure runs outside the lock. The calling
+/// thread participates in the batch instead of idling.
+class TaskScheduler {
+ public:
+  explicit TaskScheduler(int num_threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Runs fn(0), ..., fn(count - 1) across the pool and blocks until every
+  /// task finished. The first exception thrown by a task is rethrown here
+  /// after the batch drains. Must not be called from a pool worker thread
+  /// (callers detect that with InWorkerThread() and run inline instead).
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// True when the calling thread is a pool worker (of any TaskScheduler).
+  static bool InWorkerThread();
+
+ private:
+  void WorkerLoop();
+  /// Hands out and runs one task of batch `seq`. Returns false when that
+  /// batch has no more tasks to grab. `lock` is held on entry and exit,
+  /// released while the task body runs.
+  bool RunOneTask(std::unique_lock<std::mutex>& lock, uint64_t seq);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< New batch published / shutdown.
+  std::condition_variable done_cv_;  ///< Batch fully drained.
+
+  // Batch state, all guarded by mu_.
+  uint64_t batch_seq_ = 0;
+  int batch_count_ = 0;
+  int next_index_ = 0;
+  int unfinished_ = 0;
+  const std::function<void(int)>* batch_fn_ = nullptr;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace rdfspark::spark
+
+#endif  // RDFSPARK_SPARK_SCHEDULER_H_

@@ -140,9 +140,11 @@ DataFrame DataFrame::SelectExprs(
   Schema out_schema{fields};
 
   sc->BeginPhase();
-  std::vector<RecordBatch> batches;
-  for (size_t p = 0; p < state_->batches.size(); ++p) {
-    const RecordBatch& in = state_->batches[p];
+  // Partition tasks run concurrently; each writes its own pre-sized slot.
+  std::vector<RecordBatch> batches(state_->batches.size(),
+                                   MakeBatch(out_schema));
+  sc->RunParallel(static_cast<int>(state_->batches.size()), [&](int p) {
+    const RecordBatch& in = state_->batches[static_cast<size_t>(p)];
     RecordBatch out = MakeBatch(out_schema);
     for (size_t i = 0; i < in.num_rows; ++i) {
       Row row = in.GetRow(i);
@@ -153,9 +155,9 @@ DataFrame DataFrame::SelectExprs(
       }
       out.AppendRow(projected);
     }
-    sc->ChargeTask(static_cast<int>(p), in.num_rows, 0);
-    batches.push_back(std::move(out));
-  }
+    sc->ChargeTask(p, in.num_rows, 0);
+    batches[static_cast<size_t>(p)] = std::move(out);
+  });
   sc->EndPhase();
   // Projection preserves partition placement but may drop partition keys;
   // conservatively keep the partitioner only for pure renames of all its
@@ -178,17 +180,18 @@ DataFrame DataFrame::Rename(const std::vector<std::string>& names) const {
 DataFrame DataFrame::Filter(const Expr& predicate) const {
   SparkContext* sc = state_->sc;
   sc->BeginPhase();
-  std::vector<RecordBatch> batches;
-  for (size_t p = 0; p < state_->batches.size(); ++p) {
-    const RecordBatch& in = state_->batches[p];
+  std::vector<RecordBatch> batches(state_->batches.size(),
+                                   MakeBatch(state_->schema));
+  sc->RunParallel(static_cast<int>(state_->batches.size()), [&](int p) {
+    const RecordBatch& in = state_->batches[static_cast<size_t>(p)];
     RecordBatch out = MakeBatch(state_->schema);
     for (size_t i = 0; i < in.num_rows; ++i) {
       Row row = in.GetRow(i);
       if (predicate.EvalPredicate(row, state_->schema)) out.AppendRow(row);
     }
-    sc->ChargeTask(static_cast<int>(p), in.num_rows, 0);
-    batches.push_back(std::move(out));
-  }
+    sc->ChargeTask(p, in.num_rows, 0);
+    batches[static_cast<size_t>(p)] = std::move(out);
+  });
   sc->EndPhase();
   return Make(sc, state_->schema, std::move(batches), state_->partitioner);
 }
@@ -199,31 +202,57 @@ std::vector<RecordBatch> DataFrame::ShuffleRows(const Schema& out_schema,
                                                 KeyFn key_of) const {
   SparkContext* sc = state_->sc;
   sc->BeginPhase();
+  size_t np = state_->batches.size();
+  // Map side runs concurrently: each source partition stages its rows per
+  // target in its own slot; the merge below walks sources in partition
+  // order, so bucket row order matches the serial path exactly.
+  std::vector<std::vector<std::vector<Row>>> staged(np);
+  std::vector<std::vector<uint64_t>> staged_remote(np);
+  sc->RunParallel(static_cast<int>(np), [&](int p) {
+    const RecordBatch& in = state_->batches[static_cast<size_t>(p)];
+    sc->ChargeTask(p, in.num_rows, 0);
+    int src_exec = sc->ExecutorOf(p);
+    auto& rows = staged[static_cast<size_t>(p)];
+    rows.resize(static_cast<size_t>(num_partitions));
+    auto& remote = staged_remote[static_cast<size_t>(p)];
+    remote.assign(static_cast<size_t>(num_partitions), 0);
+    uint64_t shuffle_records = 0, shuffle_bytes = 0;
+    uint64_t remote_shuffle_bytes = 0, remote_reads = 0, local_reads = 0;
+    for (size_t i = 0; i < in.num_rows; ++i) {
+      Row row = in.GetRow(i);
+      int target = static_cast<int>(key_of(row) %
+                                    static_cast<uint64_t>(num_partitions));
+      uint64_t bytes = EstimateSize(row);
+      ++shuffle_records;
+      shuffle_bytes += bytes;
+      if (sc->ExecutorOf(target) != src_exec) {
+        remote_shuffle_bytes += bytes;
+        ++remote_reads;
+        remote[static_cast<size_t>(target)] += bytes;
+      } else {
+        ++local_reads;
+      }
+      rows[static_cast<size_t>(target)].push_back(std::move(row));
+    }
+    sc->metrics().shuffle_records += shuffle_records;
+    sc->metrics().shuffle_bytes += shuffle_bytes;
+    sc->metrics().remote_shuffle_bytes += remote_shuffle_bytes;
+    sc->metrics().remote_read_records += remote_reads;
+    sc->metrics().local_read_records += local_reads;
+  });
   std::vector<RecordBatch> buckets;
   buckets.reserve(static_cast<size_t>(num_partitions));
   for (int i = 0; i < num_partitions; ++i) {
     buckets.push_back(MakeBatch(out_schema));
   }
   std::vector<uint64_t> remote_bytes(static_cast<size_t>(num_partitions), 0);
-  for (size_t p = 0; p < state_->batches.size(); ++p) {
-    const RecordBatch& in = state_->batches[p];
-    sc->ChargeTask(static_cast<int>(p), in.num_rows, 0);
-    int src_exec = sc->ExecutorOf(static_cast<int>(p));
-    for (size_t i = 0; i < in.num_rows; ++i) {
-      Row row = in.GetRow(i);
-      int target = static_cast<int>(key_of(row) %
-                                    static_cast<uint64_t>(num_partitions));
-      uint64_t bytes = EstimateSize(row);
-      ++sc->metrics().shuffle_records;
-      sc->metrics().shuffle_bytes += bytes;
-      if (sc->ExecutorOf(target) != src_exec) {
-        sc->metrics().remote_shuffle_bytes += bytes;
-        ++sc->metrics().remote_read_records;
-        remote_bytes[static_cast<size_t>(target)] += bytes;
-      } else {
-        ++sc->metrics().local_read_records;
+  for (size_t p = 0; p < np; ++p) {
+    for (int t = 0; t < num_partitions; ++t) {
+      for (const Row& row : staged[p][static_cast<size_t>(t)]) {
+        buckets[static_cast<size_t>(t)].AppendRow(row);
       }
-      buckets[static_cast<size_t>(target)].AppendRow(row);
+      remote_bytes[static_cast<size_t>(t)] +=
+          staged_remote[p][static_cast<size_t>(t)];
     }
   }
   for (int t = 0; t < num_partitions; ++t) {
@@ -341,18 +370,22 @@ DataFrame DataFrame::BroadcastJoin(
   }
 
   sc->BeginPhase();
-  std::vector<RecordBatch> batches;
-  for (size_t p = 0; p < state_->batches.size(); ++p) {
-    const RecordBatch& in = state_->batches[p];
+  // The build table is read-only from here on; probe tasks share it and
+  // each writes its own output slot.
+  std::vector<RecordBatch> batches(state_->batches.size(),
+                                   MakeBatch(out_schema));
+  sc->RunParallel(static_cast<int>(state_->batches.size()), [&](int p) {
+    const RecordBatch& in = state_->batches[static_cast<size_t>(p)];
     RecordBatch out = MakeBatch(out_schema);
+    uint64_t comparisons = 0;
     for (size_t i = 0; i < in.num_rows; ++i) {
       Row row = in.GetRow(i);
       Row key;
       for (int c : lcols) key.push_back(row[static_cast<size_t>(c)]);
-      ++sc->metrics().join_comparisons;
+      ++comparisons;
       auto it = RowHasNullKey(key) ? build.end() : build.find(key);
       if (it != build.end()) {
-        sc->metrics().join_comparisons += it->second.size() - 1;
+        comparisons += it->second.size() - 1;
         for (const Row& rrow : it->second) {
           Row combined = row;
           for (int c : right_keep) {
@@ -366,9 +399,10 @@ DataFrame DataFrame::BroadcastJoin(
         out.AppendRow(combined);
       }
     }
-    sc->ChargeTask(static_cast<int>(p), in.num_rows, 0);
-    batches.push_back(std::move(out));
-  }
+    sc->metrics().join_comparisons += comparisons;
+    sc->ChargeTask(p, in.num_rows, 0);
+    batches[static_cast<size_t>(p)] = std::move(out);
+  });
   sc->EndPhase();
   return Make(sc, std::move(out_schema), std::move(batches),
               state_->partitioner);
@@ -411,8 +445,11 @@ DataFrame DataFrame::ShuffleHashJoin(
   Schema out_schema{fields};
 
   sc->BeginPhase();
-  std::vector<RecordBatch> batches;
-  for (int p = 0; p < left_part.num_partitions(); ++p) {
+  // Each task builds and probes its own partition pair — no shared state
+  // beyond the (atomic) metric counters.
+  std::vector<RecordBatch> batches(
+      static_cast<size_t>(left_part.num_partitions()), MakeBatch(out_schema));
+  sc->RunParallel(left_part.num_partitions(), [&](int p) {
     const RecordBatch& lb =
         left_part.state_->batches[static_cast<size_t>(p)];
     const RecordBatch& rb =
@@ -426,14 +463,15 @@ DataFrame DataFrame::ShuffleHashJoin(
       build[std::move(key)].push_back(std::move(row));
     }
     RecordBatch out = MakeBatch(out_schema);
+    uint64_t comparisons = 0;
     for (size_t i = 0; i < lb.num_rows; ++i) {
       Row row = lb.GetRow(i);
       Row key;
       for (int c : lcols) key.push_back(row[static_cast<size_t>(c)]);
-      ++sc->metrics().join_comparisons;
+      ++comparisons;
       auto it = RowHasNullKey(key) ? build.end() : build.find(key);
       if (it != build.end()) {
-        sc->metrics().join_comparisons += it->second.size() - 1;
+        comparisons += it->second.size() - 1;
         for (const Row& rrow : it->second) {
           Row combined = row;
           for (int c : right_keep) {
@@ -447,9 +485,10 @@ DataFrame DataFrame::ShuffleHashJoin(
         out.AppendRow(combined);
       }
     }
+    sc->metrics().join_comparisons += comparisons;
     sc->ChargeTask(p, lb.num_rows + rb.num_rows, 0);
-    batches.push_back(std::move(out));
-  }
+    batches[static_cast<size_t>(p)] = std::move(out);
+  });
   sc->EndPhase();
   return Make(sc, std::move(out_schema), std::move(batches),
               PartitionerInfo{DfPartitionKind(lnames),
@@ -463,33 +502,36 @@ DataFrame DataFrame::CrossJoin(const DataFrame& right) const {
   Schema out_schema{fields};
 
   sc->BeginPhase();
-  std::vector<RecordBatch> batches;
-  int out_p = 0;
-  for (size_t lp = 0; lp < state_->batches.size(); ++lp) {
-    for (size_t rp = 0; rp < right.state_->batches.size(); ++rp) {
-      const RecordBatch& lb = state_->batches[lp];
-      const RecordBatch& rb = right.state_->batches[rp];
-      RecordBatch out = MakeBatch(out_schema);
-      sc->metrics().join_comparisons += lb.num_rows * rb.num_rows;
-      uint64_t remote = 0;
-      if (sc->ExecutorOf(out_p) != sc->ExecutorOf(static_cast<int>(rp))) {
-        remote = rb.MemoryBytes();
-        sc->metrics().remote_read_records += rb.num_rows;
-      }
-      for (size_t i = 0; i < lb.num_rows; ++i) {
-        Row lrow = lb.GetRow(i);
-        for (size_t j = 0; j < rb.num_rows; ++j) {
-          Row combined = lrow;
-          Row rrow = rb.GetRow(j);
-          combined.insert(combined.end(), rrow.begin(), rrow.end());
-          out.AppendRow(combined);
-        }
-      }
-      sc->ChargeTask(out_p, lb.num_rows * rb.num_rows, remote);
-      batches.push_back(std::move(out));
-      ++out_p;
+  // Output partition o pairs left partition o / rn with right partition
+  // o % rn — the same enumeration order as the serial nested loops.
+  int rn = static_cast<int>(right.state_->batches.size());
+  int total = static_cast<int>(state_->batches.size()) * rn;
+  std::vector<RecordBatch> batches(static_cast<size_t>(total),
+                                   MakeBatch(out_schema));
+  sc->RunParallel(total, [&](int out_p) {
+    int lp = out_p / rn;
+    int rp = out_p % rn;
+    const RecordBatch& lb = state_->batches[static_cast<size_t>(lp)];
+    const RecordBatch& rb = right.state_->batches[static_cast<size_t>(rp)];
+    RecordBatch out = MakeBatch(out_schema);
+    sc->metrics().join_comparisons += lb.num_rows * rb.num_rows;
+    uint64_t remote = 0;
+    if (sc->ExecutorOf(out_p) != sc->ExecutorOf(rp)) {
+      remote = rb.MemoryBytes();
+      sc->metrics().remote_read_records += rb.num_rows;
     }
-  }
+    for (size_t i = 0; i < lb.num_rows; ++i) {
+      Row lrow = lb.GetRow(i);
+      for (size_t j = 0; j < rb.num_rows; ++j) {
+        Row combined = lrow;
+        Row rrow = rb.GetRow(j);
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        out.AppendRow(combined);
+      }
+    }
+    sc->ChargeTask(out_p, lb.num_rows * rb.num_rows, remote);
+    batches[static_cast<size_t>(out_p)] = std::move(out);
+  });
   sc->EndPhase();
   return Make(sc, std::move(out_schema), std::move(batches), std::nullopt);
 }
@@ -508,8 +550,9 @@ DataFrame DataFrame::Distinct() const {
         return HashRowKey(row);
       });
   sc->BeginPhase();
-  std::vector<RecordBatch> batches;
-  for (int p = 0; p < n; ++p) {
+  std::vector<RecordBatch> batches(static_cast<size_t>(n),
+                                   MakeBatch(state_->schema));
+  sc->RunParallel(n, [&](int p) {
     const RecordBatch& in = buckets[static_cast<size_t>(p)];
     RecordBatch out = MakeBatch(state_->schema);
     std::unordered_set<Row, RowHasher> seen;
@@ -518,8 +561,8 @@ DataFrame DataFrame::Distinct() const {
       if (seen.insert(row).second) out.AppendRow(row);
     }
     sc->ChargeTask(p, in.num_rows, 0);
-    batches.push_back(std::move(out));
-  }
+    batches[static_cast<size_t>(p)] = std::move(out);
+  });
   sc->EndPhase();
   return Make(sc, state_->schema, std::move(batches), std::nullopt);
 }
@@ -612,8 +655,9 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
   };
 
   sc->BeginPhase();
-  std::vector<RecordBatch> batches;
-  for (int p = 0; p < n; ++p) {
+  std::vector<RecordBatch> batches(static_cast<size_t>(n),
+                                   MakeBatch(out_schema));
+  sc->RunParallel(n, [&](int p) {
     const RecordBatch& in = buckets[static_cast<size_t>(p)];
     std::unordered_map<Row, std::vector<Acc>, RowHasher> groups;
     for (size_t i = 0; i < in.num_rows; ++i) {
@@ -680,8 +724,8 @@ DataFrame DataFrame::GroupByAgg(const std::vector<std::string>& keys,
       out.AppendRow(row);
     }
     sc->ChargeTask(p, in.num_rows, 0);
-    batches.push_back(std::move(out));
-  }
+    batches[static_cast<size_t>(p)] = std::move(out);
+  });
   sc->EndPhase();
   return Make(sc, std::move(out_schema), std::move(batches), std::nullopt);
 }
@@ -690,13 +734,24 @@ std::vector<Row> DataFrame::Collect() const {
   SparkContext* sc = state_->sc;
   sc->RecordJob();
   sc->BeginPhase();
-  std::vector<Row> rows;
-  for (size_t p = 0; p < state_->batches.size(); ++p) {
-    const RecordBatch& b = state_->batches[p];
-    sc->ChargeTask(static_cast<int>(p), b.num_rows, b.MemoryBytes());
-    for (size_t i = 0; i < b.num_rows; ++i) rows.push_back(b.GetRow(i));
-  }
+  size_t np = state_->batches.size();
+  // Scan tasks run concurrently; the merge walks slots in partition order.
+  std::vector<std::vector<Row>> parts(np);
+  sc->RunParallel(static_cast<int>(np), [&](int p) {
+    const RecordBatch& b = state_->batches[static_cast<size_t>(p)];
+    sc->ChargeTask(p, b.num_rows, b.MemoryBytes());
+    auto& slot = parts[static_cast<size_t>(p)];
+    slot.reserve(b.num_rows);
+    for (size_t i = 0; i < b.num_rows; ++i) slot.push_back(b.GetRow(i));
+  });
   sc->EndPhase();
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<Row> rows;
+  rows.reserve(total);
+  for (auto& part : parts) {
+    for (auto& row : part) rows.push_back(std::move(row));
+  }
   return rows;
 }
 
@@ -704,12 +759,16 @@ uint64_t DataFrame::Count() const {
   SparkContext* sc = state_->sc;
   sc->RecordJob();
   sc->BeginPhase();
-  uint64_t n = 0;
-  for (size_t p = 0; p < state_->batches.size(); ++p) {
-    sc->ChargeTask(static_cast<int>(p), state_->batches[p].num_rows, 0);
-    n += state_->batches[p].num_rows;
-  }
+  size_t np = state_->batches.size();
+  std::vector<uint64_t> sizes(np, 0);
+  sc->RunParallel(static_cast<int>(np), [&](int p) {
+    const RecordBatch& b = state_->batches[static_cast<size_t>(p)];
+    sc->ChargeTask(p, b.num_rows, 0);
+    sizes[static_cast<size_t>(p)] = b.num_rows;
+  });
   sc->EndPhase();
+  uint64_t n = 0;
+  for (uint64_t s : sizes) n += s;
   return n;
 }
 

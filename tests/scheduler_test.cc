@@ -1,0 +1,252 @@
+// Executor-pool scheduler tests: the pool must run every task exactly once,
+// propagate failures, and — the core contract of the parallel substrate —
+// produce results and metrics (including a bit-identical simulated_ms) that
+// match the serial reference path for any thread interleaving.
+
+#include "spark/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spark/context.h"
+#include "spark/rdd.h"
+#include "spark/sql/dataframe.h"
+
+namespace rdfspark::spark {
+namespace {
+
+TEST(TaskSchedulerTest, RunsEveryIndexExactlyOnce) {
+  TaskScheduler pool(4);
+  constexpr int kCount = 500;
+  std::vector<std::atomic<int>> hits(kCount);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kCount, [&](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(TaskSchedulerTest, ReusableAcrossBatches) {
+  TaskScheduler pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(10, [&](int) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(TaskSchedulerTest, PropagatesTaskException) {
+  TaskScheduler pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(32,
+                       [&](int i) {
+                         ++ran;
+                         if (i == 7) throw std::runtime_error("task 7 died");
+                       }),
+      std::runtime_error);
+  // The batch drains fully even when one task throws.
+  EXPECT_EQ(ran.load(), 32);
+  // And the pool is still usable afterwards.
+  std::atomic<int> again{0};
+  pool.ParallelFor(8, [&](int) { ++again; });
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(TaskSchedulerTest, TasksSeeWorkerFlag) {
+  EXPECT_FALSE(TaskScheduler::InWorkerThread());
+  TaskScheduler pool(2);
+  std::atomic<int> flagged{0};
+  pool.ParallelFor(16, [&](int) {
+    if (TaskScheduler::InWorkerThread()) ++flagged;
+  });
+  // Every task runs under the flag — including those the caller ran itself.
+  EXPECT_EQ(flagged.load(), 16);
+  // The caller's flag is restored once the batch retires.
+  EXPECT_FALSE(TaskScheduler::InWorkerThread());
+}
+
+TEST(RunParallelTest, NestedCallsRunInline) {
+  ClusterConfig cfg;
+  cfg.num_executors = 4;
+  SparkContext sc(cfg);
+  std::atomic<int> inner_total{0};
+  sc.RunParallel(4, [&](int) {
+    // A nested RunParallel from inside a task must not re-enter the pool's
+    // batch machinery (that would deadlock); it runs inline.
+    sc.RunParallel(4, [&](int) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 16);
+}
+
+// --- Phase accounting -----------------------------------------------------
+
+ClusterConfig FourExecutors(int executor_threads = 0) {
+  ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.default_parallelism = 8;
+  cfg.executor_threads = executor_threads;
+  return cfg;
+}
+
+TEST(PhaseAccountingTest, NestedPhasesFoldExactCharges) {
+  // Default cost model: 100us task overhead, 50ns/record, 10ns/byte.
+  SparkContext sc(FourExecutors());
+  sc.BeginPhase();
+  sc.ChargeTask(0, 100, 0);  // executor 0: 100000 + 5000 = 105000 ns
+  sc.BeginPhase();
+  sc.ChargeTask(1, 200, 50);  // executor 1: 100000 + 10000 + 500 = 110500 ns
+  sc.EndPhase();              // folds max = 110500 ns
+  sc.ChargeCompute(0, 100);   // executor 0: + 5000 -> 110000 ns
+  sc.EndPhase();              // folds max = 110000 ns
+  EXPECT_DOUBLE_EQ(sc.metrics().simulated_ms, 0.2205);
+  EXPECT_EQ(static_cast<uint64_t>(sc.metrics().stages), 2u);
+  EXPECT_EQ(static_cast<uint64_t>(sc.metrics().tasks), 2u);
+  EXPECT_EQ(static_cast<uint64_t>(sc.metrics().records_processed), 400u);
+}
+
+TEST(PhaseAccountingTest, ParallelChargesLandInSubmittersPhase) {
+  SparkContext sc(FourExecutors());
+  sc.BeginPhase();
+  sc.RunParallel(8, [&](int p) { sc.ChargeTask(p, 100, 0); });
+  sc.EndPhase();
+  // 8 tasks round-robin over 4 executors: 2 per executor, 105000 ns each.
+  EXPECT_DOUBLE_EQ(sc.metrics().simulated_ms, 0.21);
+  EXPECT_EQ(static_cast<uint64_t>(sc.metrics().tasks), 8u);
+}
+
+// --- Serial vs parallel equivalence ---------------------------------------
+
+/// A pipeline exercising narrow chains, a shuffle (ReduceByKey), a sort and
+/// actions, returning (collected result, metrics snapshot).
+std::pair<std::vector<std::pair<int, int>>, Metrics> RunRddPipeline(
+    int executor_threads) {
+  SparkContext sc(FourExecutors(executor_threads));
+  std::vector<int> data;
+  for (int i = 0; i < 5000; ++i) data.push_back(i);
+  auto pairs = Parallelize(&sc, data, 16)
+                   .Map([](int x) { return std::make_pair(x % 97, x); })
+                   .Filter([](const std::pair<int, int>& kv) {
+                     return kv.second % 3 != 0;
+                   })
+                   .ReduceByKey([](int a, int b) { return a + b; });
+  auto sorted = pairs.SortBy(
+      [](const std::pair<int, int>& kv) { return kv.first; }, true, 8);
+  auto out = sorted.Collect();
+  (void)pairs.Count();
+  return {std::move(out), sc.metrics()};
+}
+
+TEST(ParallelEquivalenceTest, RddPipelineMatchesSerialBitForBit) {
+  auto [serial_out, serial_m] = RunRddPipeline(/*executor_threads=*/1);
+  auto [parallel_out, parallel_m] = RunRddPipeline(/*executor_threads=*/0);
+
+  EXPECT_EQ(serial_out, parallel_out);
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.jobs),
+            static_cast<uint64_t>(parallel_m.jobs));
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.stages),
+            static_cast<uint64_t>(parallel_m.stages));
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.tasks),
+            static_cast<uint64_t>(parallel_m.tasks));
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.records_processed),
+            static_cast<uint64_t>(parallel_m.records_processed));
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.shuffle_records),
+            static_cast<uint64_t>(parallel_m.shuffle_records));
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.shuffle_bytes),
+            static_cast<uint64_t>(parallel_m.shuffle_bytes));
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.remote_shuffle_bytes),
+            static_cast<uint64_t>(parallel_m.remote_shuffle_bytes));
+  // Bit-for-bit: integer-nanosecond accounting makes the fold order
+  // irrelevant, so this is an exact equality, not a tolerance check.
+  EXPECT_EQ(serial_m.simulated_ms.nanos(), parallel_m.simulated_ms.nanos());
+}
+
+TEST(ParallelEquivalenceTest, SimulatedMsIsDeterministicAcrossRuns) {
+  auto [out0, m0] = RunRddPipeline(/*executor_threads=*/0);
+  for (int run = 1; run < 5; ++run) {
+    auto [out, m] = RunRddPipeline(/*executor_threads=*/0);
+    EXPECT_EQ(out, out0);
+    EXPECT_EQ(m.simulated_ms.nanos(), m0.simulated_ms.nanos());
+    EXPECT_EQ(static_cast<uint64_t>(m.tasks),
+              static_cast<uint64_t>(m0.tasks));
+  }
+}
+
+/// Stress: many small partitions hammering the pool, repeated to shake out
+/// interleavings. Results and metrics must match the serial path every time.
+TEST(ParallelEquivalenceTest, StressManySmallPartitions) {
+  auto run = [](int executor_threads) {
+    SparkContext sc(FourExecutors(executor_threads));
+    std::vector<int> data;
+    for (int i = 0; i < 2000; ++i) data.push_back(i);
+    auto rdd = Parallelize(&sc, data, 64).Map([](int x) { return x * 2; });
+    auto collected = rdd.Collect();
+    uint64_t count = rdd.Count();
+    return std::make_tuple(std::move(collected), count,
+                           static_cast<uint64_t>(sc.metrics().tasks),
+                           sc.metrics().simulated_ms.nanos());
+  };
+  auto expected = run(1);
+  for (int rep = 0; rep < 10; ++rep) {
+    EXPECT_EQ(run(0), expected) << "rep " << rep;
+  }
+}
+
+std::pair<std::vector<sql::Row>, Metrics> RunDataFramePipeline(
+    int executor_threads) {
+  SparkContext sc(FourExecutors(executor_threads));
+  sql::Schema schema{{sql::Field{"id", sql::DataType::kInt64},
+                      sql::Field{"grp", sql::DataType::kString}}};
+  std::vector<sql::Row> rows;
+  for (int i = 0; i < 1000; ++i) {
+    rows.push_back({int64_t{i}, std::string(i % 7 ? "odd" : "seven")});
+  }
+  auto df = sql::DataFrame::FromRows(&sc, schema, rows, 8);
+  auto filtered = df.Filter(sql::Col("id") < sql::Lit(int64_t{900}));
+  auto joined = filtered.Join(df.Rename({"id2", "grp2"}),
+                              {{"grp", "grp2"}}, sql::JoinType::kInner,
+                              sql::JoinStrategy::kShuffleHash);
+  auto grouped = joined.GroupByAgg(
+      {"grp"}, {sql::AggSpec{sql::AggOp::kCount, "", "n"}});
+  auto out = grouped.Sort({{"grp", true}}).Collect();
+  (void)filtered.Distinct().Count();
+  return {std::move(out), sc.metrics()};
+}
+
+TEST(ParallelEquivalenceTest, DataFramePipelineMatchesSerial) {
+  auto [serial_out, serial_m] = RunDataFramePipeline(/*executor_threads=*/1);
+  auto [parallel_out, parallel_m] = RunDataFramePipeline(/*executor_threads=*/0);
+  ASSERT_EQ(serial_out.size(), parallel_out.size());
+  for (size_t i = 0; i < serial_out.size(); ++i) {
+    EXPECT_EQ(serial_out[i], parallel_out[i]) << "row " << i;
+  }
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.tasks),
+            static_cast<uint64_t>(parallel_m.tasks));
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.shuffle_records),
+            static_cast<uint64_t>(parallel_m.shuffle_records));
+  EXPECT_EQ(static_cast<uint64_t>(serial_m.join_comparisons),
+            static_cast<uint64_t>(parallel_m.join_comparisons));
+  EXPECT_EQ(serial_m.simulated_ms.nanos(), parallel_m.simulated_ms.nanos());
+}
+
+// --- Seed-bug regressions -------------------------------------------------
+
+TEST(CartesianTest, HugePartitionsDoNotOverflowReserve) {
+  // Two single-partition RDDs whose size product would previously be passed
+  // straight to vector::reserve. With modest sizes this still verifies the
+  // clamped-estimate path produces the full product.
+  SparkContext sc(FourExecutors(1));
+  std::vector<int> a(300), b(300);
+  auto left = Parallelize(&sc, a, 1);
+  auto right = Parallelize(&sc, b, 1);
+  EXPECT_EQ(left.Cartesian(right).Count(), 90000u);
+}
+
+}  // namespace
+}  // namespace rdfspark::spark
