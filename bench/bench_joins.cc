@@ -6,10 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
 #include "spark/sql/dataframe.h"
+#include "systems/common.h"
 #include "systems/hybrid.h"
 
 namespace rdfspark::bench {
@@ -101,6 +104,35 @@ void StrategyComparisonOnBgp() {
     opts.mode = mode;
     systems::HybridEngine engine(&sc, opts);
     if (!engine.Load(store).ok()) continue;
+    // Plan-shape guard: the EXPLAIN tree must show the join strategy the
+    // mode is named after.
+    auto plan = engine.ExplainText(query);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "A3b: EXPLAIN failed for %s: %s\n",
+                   systems::HybridModeName(mode),
+                   plan.status().ToString().c_str());
+      std::abort();
+    }
+    bool shape_ok = false;
+    switch (mode) {
+      case systems::HybridMode::kSparkSqlNaive:
+        shape_ok = plan->find("CartesianProduct") != std::string::npos &&
+                   plan->find("PartitionedHashJoin") == std::string::npos;
+        break;
+      case systems::HybridMode::kRddPartitioned:
+        shape_ok = plan->find("PartitionedHashJoin") != std::string::npos;
+        break;
+      case systems::HybridMode::kDataFrameAuto:
+      case systems::HybridMode::kHybrid:
+        shape_ok = plan->find("BroadcastJoin") != std::string::npos ||
+                   plan->find("PartitionedHashJoin") != std::string::npos;
+        break;
+    }
+    if (!shape_ok) {
+      std::fprintf(stderr, "A3b: unexpected plan shape for %s:\n%s",
+                   systems::HybridModeName(mode), plan->c_str());
+      std::abort();
+    }
     QueryRun run = RunQuery(&engine, query);
     PrintRow({systems::HybridModeName(mode), Fmt(run.rows), Fmt(run.wall_ms),
               Fmt(run.delta.simulated_ms), Fmt(run.delta.shuffle_records),
@@ -112,6 +144,40 @@ void StrategyComparisonOnBgp() {
       "\nCheck: the naive SQL translation pays Cartesian-product\n"
       "comparisons; the RDD mode shuffles every join; the hybrid plan\n"
       "shuffles least by exploiting the subject partitioning.\n\n");
+}
+
+// Joins key rows through VarSchema::IndexOf on every row extension, so the
+// lookup must stay O(1); a linear probe over a wide (64-var) schema costs
+// hundreds of ns per call and regresses every engine at once.
+void VarSchemaIndexOfMicroAssert() {
+  systems::VarSchema schema;
+  std::vector<std::string> names;
+  for (int i = 0; i < 64; ++i) {
+    names.push_back("?v" + std::to_string(i));
+    schema.Add(names.back());
+  }
+  constexpr int kIters = 200000;
+  int64_t acc = 0;
+  for (int i = 0; i < 1000; ++i) {  // warm-up
+    acc += schema.IndexOf(names[static_cast<size_t>(i & 63)]);
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    acc += schema.IndexOf(names[static_cast<size_t>(i & 63)]);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  benchmark::DoNotOptimize(acc);
+  double ns_per_op =
+      std::chrono::duration<double, std::nano>(elapsed).count() / kIters;
+  std::printf("VarSchema::IndexOf on a 64-var schema: %.1f ns/op\n\n",
+              ns_per_op);
+  if (ns_per_op > 200.0) {
+    std::fprintf(stderr,
+                 "VarSchema::IndexOf regressed to %.1f ns/op (> 200 ns): "
+                 "lookup is no longer O(1)\n",
+                 ns_per_op);
+    std::abort();
+  }
 }
 
 void BM_JoinStrategy(benchmark::State& state) {
@@ -140,6 +206,7 @@ BENCHMARK(BM_JoinStrategy)
 }  // namespace rdfspark::bench
 
 int main(int argc, char** argv) {
+  rdfspark::bench::VarSchemaIndexOfMicroAssert();
   rdfspark::bench::SizeRatioSweep();
   rdfspark::bench::StrategyComparisonOnBgp();
   benchmark::Initialize(&argc, argv);

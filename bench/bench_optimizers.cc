@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
 
 #include "bench_util.h"
 #include "systems/graphframes_engine.h"
@@ -27,6 +30,29 @@ std::string WorstFirstQuery() {
          "  ?x ub:headOf ?d .\n"
          "  ?d ub:subOrganizationOf ?u .\n"
          "}\n";
+}
+
+// First PatternScan line of an EXPLAIN tree. Plans print pre-order, so for
+// the left-deep trees these engines build, the first scan printed is the
+// pattern the optimizer chose to evaluate first.
+std::string FirstScanLine(const std::string& plan) {
+  std::istringstream in(plan);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("PatternScan") != std::string::npos) return line;
+  }
+  return "";
+}
+
+std::string MustExplain(systems::RdfQueryEngine* engine,
+                        const std::string& query, const char* label) {
+  auto plan = engine->ExplainText(query);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "A7: EXPLAIN failed for %s: %s\n", label,
+                 plan.status().ToString().c_str());
+    std::abort();
+  }
+  return *plan;
 }
 
 void AblationTable() {
@@ -60,6 +86,19 @@ void AblationTable() {
     spark::SparkContext sc(DefaultCluster());
     systems::SparqlgxEngine engine(&sc);
     if (engine.Load(store).ok()) {
+      // Plan-shape guard: with statistics on, the reordering must demote the
+      // worst-first `name` pattern — the first scan in the plan has to be a
+      // more selective one.
+      std::string plan =
+          MustExplain(&engine, query, "SPARQLGX / stats reordering");
+      std::string first = FirstScanLine(plan);
+      if (first.empty() || first.find("name") != std::string::npos) {
+        std::fprintf(stderr,
+                     "A7: SPARQLGX stats reordering did not demote the "
+                     "worst-first pattern; plan:\n%s",
+                     plan.c_str());
+        std::abort();
+      }
       report("SPARQLGX / stats reordering", &engine);
     }
   }
@@ -75,7 +114,18 @@ void AblationTable() {
     systems::S2rdfEngine::Options on;
     on.selectivity_threshold = 0.5;
     systems::S2rdfEngine engine(&sc, on);
-    if (engine.Load(store).ok()) report("S2RDF / ExtVP (SF<=0.5)", &engine);
+    if (engine.Load(store).ok()) {
+      // Plan-shape guard: with ExtVP enabled the plan must actually read
+      // extvp_* tables, not plain VP ones.
+      std::string plan = MustExplain(&engine, query, "S2RDF / ExtVP");
+      if (plan.find("extvp_") == std::string::npos) {
+        std::fprintf(stderr,
+                     "A7: S2RDF ExtVP plan reads no extvp_ table; plan:\n%s",
+                     plan.c_str());
+        std::abort();
+      }
+      report("S2RDF / ExtVP (SF<=0.5)", &engine);
+    }
   }
   {
     spark::SparkContext sc(DefaultCluster());

@@ -5,7 +5,10 @@
 //   sparql>                                   (blank line executes)
 //
 // Engines: haqwa sparqlgx s2rdf hybrid s2x graphxsm sparkql graphframes
-// sparkrdf (default: s2rdf). Dot-commands: .engines .metrics .stats .quit
+// sparkrdf (default: s2rdf).
+// Dot-commands: .engines .metrics .stats .explain .quit
+// `.explain` prints the engine's physical plan (EXPLAIN) for the query
+// currently buffered at the prompt, without executing it.
 
 #include <cstdio>
 #include <fstream>
@@ -158,6 +161,18 @@ int main(int argc, char** argv) {
       std::printf(
           "haqwa sparqlgx s2rdf hybrid s2x graphxsm sparkql graphframes "
           "sparkrdf\n");
+    } else if (trimmed == ".explain") {
+      if (TrimWhitespace(pending).empty()) {
+        std::printf(
+            "usage: type a query first (don't run it), then .explain\n");
+      } else {
+        auto explained = engine->ExplainText(pending);
+        if (explained.ok()) {
+          std::printf("%s", explained->c_str());
+        } else {
+          std::printf("error: %s\n", explained.status().ToString().c_str());
+        }
+      }
     } else if (trimmed == ".metrics") {
       std::printf("%s\n", sc.metrics().ToString().c_str());
     } else if (trimmed == ".stats") {

@@ -116,31 +116,4 @@ std::vector<SubjectGroup> GroupBySubject(
   return groups;
 }
 
-std::vector<sparql::TriplePattern> OrderConnected(
-    std::vector<sparql::TriplePattern> bgp, size_t first) {
-  if (bgp.empty()) return bgp;
-  std::vector<sparql::TriplePattern> out;
-  std::vector<bool> used(bgp.size(), false);
-  VarSchema seen;
-  auto take = [&](size_t i) {
-    used[i] = true;
-    for (const auto& v : bgp[i].Variables()) seen.Add(v);
-    out.push_back(bgp[i]);
-  };
-  take(std::min(first, bgp.size() - 1));
-  while (out.size() < bgp.size()) {
-    int next = -1;
-    for (size_t i = 0; i < bgp.size(); ++i) {
-      if (used[i]) continue;
-      if (!SharedVars(bgp[i], seen).empty()) {
-        next = static_cast<int>(i);
-        break;
-      }
-      if (next < 0) next = static_cast<int>(i);  // fallback: disconnected
-    }
-    take(static_cast<size_t>(next));
-  }
-  return out;
-}
-
 }  // namespace rdfspark::systems

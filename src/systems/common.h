@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -29,25 +30,27 @@ EncodedPattern EncodePattern(const rdf::Dictionary& dict,
                              const sparql::TriplePattern& pattern);
 
 /// Mutable variable schema used while composing distributed joins.
+/// IndexOf is O(1): a side map mirrors the ordered variable list, so wide
+/// schemas (star queries, synthetic variables) don't pay a linear probe per
+/// row extension.
 class VarSchema {
  public:
   const std::vector<std::string>& vars() const { return vars_; }
   int IndexOf(const std::string& name) const {
-    for (size_t i = 0; i < vars_.size(); ++i) {
-      if (vars_[i] == name) return static_cast<int>(i);
-    }
-    return -1;
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
   }
   /// Adds if missing; returns the index either way.
   int Add(const std::string& name) {
-    int idx = IndexOf(name);
-    if (idx >= 0) return idx;
-    vars_.push_back(name);
-    return static_cast<int>(vars_.size()) - 1;
+    auto [it, inserted] =
+        index_.emplace(name, static_cast<int>(vars_.size()));
+    if (inserted) vars_.push_back(name);
+    return it->second;
   }
 
  private:
   std::vector<std::string> vars_;
+  std::unordered_map<std::string, int> index_;
 };
 
 /// A partial solution row, aligned with a VarSchema.
@@ -71,11 +74,6 @@ std::vector<std::string> SharedVars(const sparql::TriplePattern& pattern,
 /// Packs rows into a BindingTable.
 sparql::BindingTable ToBindingTable(const VarSchema& schema,
                                     std::vector<IdRow> rows);
-
-/// Orders BGP patterns greedily so each one (when possible) shares a
-/// variable with the already-ordered prefix, starting from `first`.
-std::vector<sparql::TriplePattern> OrderConnected(
-    std::vector<sparql::TriplePattern> bgp, size_t first);
 
 /// Element-wise merge of two rows over the same schema; nullopt when a
 /// variable is bound to different values.

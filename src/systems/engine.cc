@@ -44,6 +44,24 @@ Result<sparql::BindingTable> RdfQueryEngine::ExecuteText(
   return Execute(query);
 }
 
+Result<std::string> RdfQueryEngine::ExplainText(std::string_view) {
+  return Status::Unsupported(traits().name + ": EXPLAIN not supported");
+}
+
+Result<std::string> BgpEngineBase::ExplainText(std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  // EXPLAIN covers the top-level basic graph pattern (the distributed part
+  // of the query; FILTER/OPTIONAL/UNION and modifiers run driver-side).
+  RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(query.where.bgp));
+  return plan::Explain(*root);
+}
+
+Result<sparql::BindingTable> BgpEngineBase::EvaluateBgp(
+    const std::vector<sparql::TriplePattern>& bgp) {
+  RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(bgp));
+  return plan::PlanExecutor(sc_).Run(*root);
+}
+
 Result<sparql::BindingTable> BgpEngineBase::EvaluateGroup(
     const sparql::GroupPattern& group) {
   RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table,

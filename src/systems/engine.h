@@ -11,6 +11,7 @@
 #include "spark/context.h"
 #include "sparql/ast.h"
 #include "sparql/binding.h"
+#include "systems/plan/plan.h"
 
 namespace rdfspark::systems {
 
@@ -82,6 +83,12 @@ class RdfQueryEngine {
   /// Parses and executes SPARQL text.
   Result<sparql::BindingTable> ExecuteText(std::string_view text);
 
+  /// EXPLAIN: parses `text` and returns the deterministic physical plan
+  /// tree its basic graph pattern would execute with, without running it.
+  /// Engines that do not plan through the shared physical algebra return
+  /// Unsupported.
+  virtual Result<std::string> ExplainText(std::string_view text);
+
   spark::SparkContext* context() const { return sc_; }
 
  protected:
@@ -93,18 +100,29 @@ class RdfQueryEngine {
 /// Shared skeleton for engines that evaluate BGPs in a distributed fashion
 /// and (when their fragment allows) run the remaining operators with the
 /// "Spark API" driver-side, as the surveyed systems do. Subclasses provide
-/// EvaluateBgp(); Execute() handles fragment checking, group structure
+/// PlanBgp() — their documented planning strategy expressed in the shared
+/// physical algebra; Execute() plans, hands the plan to the shared
+/// PlanExecutor, and handles fragment checking, group structure
 /// (FILTER/OPTIONAL/UNION) and solution modifiers.
 class BgpEngineBase : public RdfQueryEngine {
  public:
   Result<sparql::BindingTable> Execute(const sparql::Query& query) override;
 
+  Result<std::string> ExplainText(std::string_view text) override;
+
  protected:
   explicit BgpEngineBase(spark::SparkContext* sc) : RdfQueryEngine(sc) {}
 
-  /// Distributed evaluation of one basic graph pattern.
-  virtual Result<sparql::BindingTable> EvaluateBgp(
+  /// Builds this system's physical plan for one basic graph pattern.
+  /// Planning must be pure: no Spark actions, no metrics charged — the
+  /// same call backs both execution and EXPLAIN.
+  virtual Result<plan::PlanPtr> PlanBgp(
       const std::vector<sparql::TriplePattern>& bgp) = 0;
+
+  /// Distributed evaluation of one basic graph pattern: plan, then run
+  /// through the shared executor.
+  Result<sparql::BindingTable> EvaluateBgp(
+      const std::vector<sparql::TriplePattern>& bgp);
 
   /// Dictionary of the loaded dataset (for filters/modifiers).
   virtual const rdf::Dictionary& dictionary() const = 0;

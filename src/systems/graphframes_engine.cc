@@ -1,7 +1,9 @@
 #include "systems/graphframes_engine.h"
 
 #include <algorithm>
+#include <any>
 #include <chrono>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -70,10 +72,12 @@ Result<LoadStats> GraphFramesEngine::Load(const rdf::TripleStore& store) {
   return stats;
 }
 
-Result<sparql::BindingTable> GraphFramesEngine::EvaluateBgp(
+Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) return Status::Internal("Load() not called");
-  if (bgp.empty()) return sparql::BindingTable::Unit();
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
+  }
   const rdf::Dictionary& dict = store_->dictionary();
 
   // Sub-query ordering: non-descending predicate frequency, kept connected.
@@ -118,14 +122,15 @@ Result<sparql::BindingTable> GraphFramesEngine::EvaluateBgp(
   }
 
   // Local search space pruning: drop triples whose predicate is absent
-  // from the BGP (only when all predicates are bound).
-  GraphFrame graph = graph_;
+  // from the BGP (only when all predicates are bound). The filter expression
+  // is built here; the actual FilterEdges runs in the root exec.
   bool all_bound_predicates = true;
   for (const auto& tp : ordered) {
     all_bound_predicates &= !tp.p.is_variable();
   }
-  if (options_.enable_pruning && all_bound_predicates) {
-    Expr keep;
+  bool do_prune = options_.enable_pruning && all_bound_predicates;
+  Expr keep;
+  if (do_prune) {
     for (const auto& tp : ordered) {
       auto id = dict.Lookup(tp.p.term());
       Expr eq = Col("rel") ==
@@ -133,7 +138,6 @@ Result<sparql::BindingTable> GraphFramesEngine::EvaluateBgp(
                                        : int64_t{-1}));
       keep = keep.valid() ? (keep || eq) : eq;
     }
-    graph = graph.FilterEdges(keep);
   }
 
   // Motif construction: variables map to motif names; constants get fresh
@@ -175,6 +179,8 @@ Result<sparql::BindingTable> GraphFramesEngine::EvaluateBgp(
     return name;
   };
 
+  plan::PlanPtr root;
+  std::unordered_set<std::string> motif_names_seen;
   for (size_t i = 0; i < ordered.size(); ++i) {
     const auto& tp = ordered[i];
     std::unordered_set<std::string> taken;
@@ -182,8 +188,36 @@ Result<sparql::BindingTable> GraphFramesEngine::EvaluateBgp(
     taken.insert(s_name);
     std::string o_name = vertex_name(tp.o, taken);
     std::string e_name = "e" + std::to_string(i);
+    std::string element = "(" + s_name + ")-[" + e_name + "]->(" + o_name +
+                          ")";
     if (!motif.empty()) motif += "; ";
-    motif += "(" + s_name + ")-[" + e_name + "]->(" + o_name + ")";
+    motif += element;
+    // Descriptive plan node per motif element; the matching itself is
+    // monolithic (FindMotif in the root exec).
+    auto leaf = plan::MakeScan(
+        plan::NodeKind::kPatternScan, plan::AccessPath::kGraphTraversal,
+        element + " " + tp.ToString() + (do_prune ? " (pruned)" : ""),
+        frequency(tp), nullptr);
+    if (root == nullptr) {
+      root = std::move(leaf);
+    } else {
+      std::vector<std::string> shared_names;
+      if (motif_names_seen.count(s_name)) shared_names.push_back(s_name);
+      if (motif_names_seen.count(o_name)) shared_names.push_back(o_name);
+      if (shared_names.empty()) {
+        root = plan::MakeBinary(plan::NodeKind::kCartesianProduct,
+                                "disconnected motif", std::move(root),
+                                std::move(leaf), nullptr);
+      } else {
+        std::string join_detail = "on";
+        for (const auto& name : shared_names) join_detail += " " + name;
+        root = plan::MakeBinary(plan::NodeKind::kPartitionedHashJoin,
+                                join_detail, std::move(root), std::move(leaf),
+                                nullptr);
+      }
+    }
+    motif_names_seen.insert(s_name);
+    motif_names_seen.insert(o_name);
     if (tp.p.is_variable()) {
       const std::string column = e_name + ".rel";
       auto it = var_name.find(tp.p.var());
@@ -204,32 +238,44 @@ Result<sparql::BindingTable> GraphFramesEngine::EvaluateBgp(
     }
   }
 
-  RDFSPARK_ASSIGN_OR_RETURN(DataFrame result,
-                            graph.FindMotif(motif, motif_options));
-  for (const Expr& f : post_filters) result = result.Filter(f);
-
-  // Project variable columns and convert ids.
-  std::vector<std::string> vars;
-  std::vector<int> cols;
+  std::string project_detail;
   for (const auto& [var, column] : var_column) {
-    int idx = result.schema().Index(column);
-    if (idx < 0) continue;
-    vars.push_back(var);
-    cols.push_back(idx);
+    project_detail += (project_detail.empty() ? "?" : " ?") + var;
   }
-  sparql::BindingTable table(vars);
-  for (const auto& row : result.Collect()) {
-    IdRow out;
-    out.reserve(cols.size());
-    for (int c : cols) {
-      const sql::Value& v = row[static_cast<size_t>(c)];
-      out.push_back(sql::IsNull(v)
-                        ? sparql::kUnbound
-                        : static_cast<rdf::TermId>(std::get<int64_t>(v)));
-    }
-    table.AddRow(std::move(out));
-  }
-  return table;
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, project_detail, std::move(root),
+      [this, do_prune, keep, motif, motif_options, post_filters, var_column](
+          std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
+        GraphFrame graph = graph_;
+        if (do_prune) graph = graph.FilterEdges(keep);
+        RDFSPARK_ASSIGN_OR_RETURN(DataFrame result,
+                                  graph.FindMotif(motif, motif_options));
+        for (const Expr& f : post_filters) result = result.Filter(f);
+
+        // Project variable columns and convert ids.
+        std::vector<std::string> vars;
+        std::vector<int> cols;
+        for (const auto& [var, column] : var_column) {
+          int idx = result.schema().Index(column);
+          if (idx < 0) continue;
+          vars.push_back(var);
+          cols.push_back(idx);
+        }
+        sparql::BindingTable table(vars);
+        for (const auto& row : result.Collect()) {
+          IdRow out;
+          out.reserve(cols.size());
+          for (int c : cols) {
+            const sql::Value& v = row[static_cast<size_t>(c)];
+            out.push_back(
+                sql::IsNull(v)
+                    ? sparql::kUnbound
+                    : static_cast<rdf::TermId>(std::get<int64_t>(v)));
+          }
+          table.AddRow(std::move(out));
+        }
+        return plan::PlanPayload(std::move(table));
+      });
 }
 
 }  // namespace rdfspark::systems

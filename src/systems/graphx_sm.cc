@@ -1,6 +1,10 @@
 #include "systems/graphx_sm.h"
 
+#include <any>
 #include <chrono>
+#include <memory>
+
+#include "systems/plan/planner_utils.h"
 
 namespace rdfspark::systems {
 
@@ -39,6 +43,7 @@ GraphxSmEngine::GraphxSmEngine(spark::SparkContext* sc, Options options)
 Result<LoadStats> GraphxSmEngine::Load(const rdf::TripleStore& store) {
   auto start = std::chrono::steady_clock::now();
   store_ = &store;
+  stats_ = store.ComputeStatistics();
   int n = options_.num_partitions > 0 ? options_.num_partitions
                                       : sc_->config().default_parallelism;
   std::vector<Edge<rdf::TermId>> edges;
@@ -67,31 +72,45 @@ Result<LoadStats> GraphxSmEngine::Load(const rdf::TripleStore& store) {
   return stats;
 }
 
-Result<sparql::BindingTable> GraphxSmEngine::EvaluateBgp(
+namespace {
+
+Mt ConcatMt(const Mt& a, const Mt& b) {
+  Mt out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) return Status::Internal("Load() not called");
-  if (bgp.empty()) return sparql::BindingTable::Unit();
-
-  VarSchema schema;
-  for (const auto& tp : bgp) {
-    for (const auto& v : tp.Variables()) schema.Add(v);
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
   }
-  size_t width = schema.vars().size();
-  auto schema_copy = std::make_shared<const VarSchema>(schema);
 
-  std::vector<sparql::TriplePattern> ordered = OrderConnected(bgp, 0);
+  auto schema = std::make_shared<VarSchema>();
+  for (const auto& tp : bgp) {
+    for (const auto& v : tp.Variables()) schema->Add(v);
+  }
+  size_t width = schema->vars().size();
 
-  // Frontier: MT tables keyed by the vertex the partial paths end at.
-  Rdd<std::pair<VertexId, Mt>> frontier;
+  std::vector<sparql::TriplePattern> ordered = plan::OrderConnected(bgp, 0);
+
+  auto pattern_est = [this](const sparql::TriplePattern& tp) -> uint64_t {
+    if (tp.p.is_variable()) return stats_.num_triples;
+    auto id = store_->dictionary().Lookup(tp.p.term());
+    if (!id.ok()) return 0;
+    auto it = stats_.predicate_count.find(*id);
+    return it == stats_.predicate_count.end() ? 0 : it->second;
+  };
+
+  // Frontier payload: MT tables keyed by the vertex the partial paths end
+  // at. The plan below threads it through one node per pattern.
+  plan::PlanPtr root;
   std::string anchor;  // variable whose value keys the frontier ("" = none)
   VarSchema bound;
   bool initialized = false;
-
-  auto concat = [](const Mt& a, const Mt& b) {
-    Mt out = a;
-    out.insert(out.end(), b.begin(), b.end());
-    return out;
-  };
 
   for (const auto& tp : ordered) {
     auto ep = std::make_shared<const EncodedPattern>(
@@ -107,29 +126,39 @@ Result<sparql::BindingTable> GraphxSmEngine::EvaluateBgp(
         exists = store_->Contains(
             rdf::EncodedTriple{*ep->ids.s, *ep->ids.p, *ep->ids.o});
       }
-      if (!exists) return sparql::BindingTable(schema.vars());
+      if (!exists) {
+        return plan::ConstantResultPlan(
+            sparql::BindingTable(schema->vars()), "constant pattern absent");
+      }
       continue;
     }
 
     if (!initialized) {
       // First pattern: seed the MT tables from the raw edge matches.
       bool anchor_at_dst = !ovar.empty();
-      auto seeded = graph_.edges().FlatMap(
-          [ep, pattern, schema_copy, width,
-           anchor_at_dst](const Edge<rdf::TermId>& e) {
-            std::vector<std::pair<VertexId, Mt>> out;
-            rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src), e.attr,
-                                 static_cast<rdf::TermId>(e.dst)};
-            if (MatchesConstants(*ep, t)) {
-              IdRow row(width, sparql::kUnbound);
-              if (ExtendRow(*pattern, t, *schema_copy, &row)) {
-                out.emplace_back(anchor_at_dst ? e.dst : e.src,
-                                 Mt{std::move(row)});
-              }
-            }
-            return out;
+      root = plan::MakeScan(
+          plan::NodeKind::kPatternScan, plan::AccessPath::kGraphTraversal,
+          tp.ToString() + " (seed)", pattern_est(tp),
+          [this, ep, pattern, schema, width, anchor_at_dst](
+              std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
+            auto seeded = graph_.edges().FlatMap(
+                [ep, pattern, schema, width,
+                 anchor_at_dst](const Edge<rdf::TermId>& e) {
+                  std::vector<std::pair<VertexId, Mt>> out;
+                  rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src),
+                                       e.attr,
+                                       static_cast<rdf::TermId>(e.dst)};
+                  if (MatchesConstants(*ep, t)) {
+                    IdRow row(width, sparql::kUnbound);
+                    if (ExtendRow(*pattern, t, *schema, &row)) {
+                      out.emplace_back(anchor_at_dst ? e.dst : e.src,
+                                       Mt{std::move(row)});
+                    }
+                  }
+                  return out;
+                });
+            return plan::PlanPayload(seeded.ReduceByKey(ConcatMt));
           });
-      frontier = seeded.ReduceByKey(concat);
       anchor = anchor_at_dst ? ovar : svar;
       initialized = true;
       for (const auto& v : tp.Variables()) bound.Add(v);
@@ -156,99 +185,149 @@ Result<sparql::BindingTable> GraphxSmEngine::EvaluateBgp(
       need.clear();
     }
 
+    int reanchor_idx = -1;
     if (!need.empty() && need != anchor) {
-      int idx = schema.IndexOf(need);
-      frontier = frontier
-                     .FlatMap([idx](const std::pair<VertexId, Mt>& kv) {
-                       std::vector<std::pair<VertexId, Mt>> out;
-                       for (const IdRow& row : kv.second) {
-                         out.emplace_back(static_cast<VertexId>(
-                                              row[static_cast<size_t>(idx)]),
-                                          Mt{row});
-                       }
-                       return out;
-                     })
-                     .ReduceByKey(concat);
+      reanchor_idx = schema->IndexOf(need);
       anchor = need;
     }
 
     if (need.empty()) {
       // Disconnected pattern: standalone matches, cartesian merge.
-      auto rows = graph_.edges().FlatMap(
-          [ep, pattern, schema_copy, width](const Edge<rdf::TermId>& e) {
-            std::vector<IdRow> out;
-            rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src), e.attr,
-                                 static_cast<rdf::TermId>(e.dst)};
-            if (MatchesConstants(*ep, t)) {
-              IdRow row(width, sparql::kUnbound);
-              if (ExtendRow(*pattern, t, *schema_copy, &row)) {
-                out.push_back(std::move(row));
-              }
-            }
-            return out;
+      plan::PlanPtr leaf = plan::MakeScan(
+          plan::NodeKind::kPatternScan, plan::AccessPath::kGraphTraversal,
+          tp.ToString(), pattern_est(tp),
+          [this, ep, pattern, schema, width](std::vector<plan::PlanPayload>)
+              -> Result<plan::PlanPayload> {
+            return plan::PlanPayload(graph_.edges().FlatMap(
+                [ep, pattern, schema, width](const Edge<rdf::TermId>& e) {
+                  std::vector<IdRow> out;
+                  rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src),
+                                       e.attr,
+                                       static_cast<rdf::TermId>(e.dst)};
+                  if (MatchesConstants(*ep, t)) {
+                    IdRow row(width, sparql::kUnbound);
+                    if (ExtendRow(*pattern, t, *schema, &row)) {
+                      out.push_back(std::move(row));
+                    }
+                  }
+                  return out;
+                }));
           });
-      auto crossed = frontier.Cartesian(rows).FlatMap(
-          [](const std::pair<std::pair<VertexId, Mt>, IdRow>& ab) {
-            std::vector<std::pair<VertexId, Mt>> out;
-            Mt merged_rows;
-            for (const IdRow& row : ab.first.second) {
-              auto merged = MergeRows(row, ab.second);
-              if (merged) merged_rows.push_back(std::move(*merged));
-            }
-            if (!merged_rows.empty()) {
-              out.emplace_back(ab.first.first, std::move(merged_rows));
-            }
-            return out;
+      root = plan::MakeBinary(
+          plan::NodeKind::kCartesianProduct, "merge match-tracks",
+          std::move(root), std::move(leaf),
+          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+            auto frontier = std::any_cast<Rdd<std::pair<VertexId, Mt>>>(
+                std::move(in[0]));
+            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+            auto crossed = frontier.Cartesian(rows).FlatMap(
+                [](const std::pair<std::pair<VertexId, Mt>, IdRow>& ab) {
+                  std::vector<std::pair<VertexId, Mt>> out;
+                  Mt merged_rows;
+                  for (const IdRow& row : ab.first.second) {
+                    auto merged = MergeRows(row, ab.second);
+                    if (merged) merged_rows.push_back(std::move(*merged));
+                  }
+                  if (!merged_rows.empty()) {
+                    out.emplace_back(ab.first.first, std::move(merged_rows));
+                  }
+                  return out;
+                });
+            return plan::PlanPayload(crossed.ReduceByKey(ConcatMt));
           });
-      frontier = crossed.ReduceByKey(concat);
       for (const auto& v : tp.Variables()) bound.Add(v);
       continue;
     }
 
-    // Install MT tables at the anchor vertices and run one
-    // AggregateMessages round along matching edges.
-    auto installed = graph_.OuterJoinVertices(
-        frontier, [](VertexId, const rdf::TermId& term,
-                     const std::optional<Mt>& table) {
-          return VAttr(term, table ? *table : Mt{});
+    // One AggregateMessages round: install MT tables at the anchor
+    // vertices, forward extended rows along matching edges.
+    std::string detail =
+        std::string("aggregateMessages ") + (forward ? "forward" : "backward");
+    if (reanchor_idx >= 0) detail += " (re-anchor ?" + need + ")";
+    plan::PlanPtr leaf = plan::MakeScan(
+        plan::NodeKind::kPatternScan, plan::AccessPath::kGraphTraversal,
+        tp.ToString(), pattern_est(tp), nullptr);
+    root = plan::MakeBinary(
+        plan::NodeKind::kPartitionedHashJoin, detail, std::move(root),
+        std::move(leaf),
+        [this, ep, pattern, schema, forward, reanchor_idx](
+            std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+          auto frontier = std::any_cast<Rdd<std::pair<VertexId, Mt>>>(
+              std::move(in[0]));
+          if (reanchor_idx >= 0) {
+            int idx = reanchor_idx;
+            frontier = frontier
+                           .FlatMap([idx](const std::pair<VertexId, Mt>& kv) {
+                             std::vector<std::pair<VertexId, Mt>> out;
+                             for (const IdRow& row : kv.second) {
+                               out.emplace_back(
+                                   static_cast<VertexId>(
+                                       row[static_cast<size_t>(idx)]),
+                                   Mt{row});
+                             }
+                             return out;
+                           })
+                           .ReduceByKey(ConcatMt);
+          }
+          auto installed = graph_.OuterJoinVertices(
+              frontier, [](VertexId, const rdf::TermId& term,
+                           const std::optional<Mt>& table) {
+                return VAttr(term, table ? *table : Mt{});
+              });
+          auto msgs = installed.AggregateMessages<Mt>(
+              [ep, pattern, schema, forward](
+                  const EdgeTriplet<VAttr, rdf::TermId>& t) {
+                std::vector<std::pair<VertexId, Mt>> out;
+                const Mt& source_table =
+                    forward ? t.src_attr.second : t.dst_attr.second;
+                if (source_table.empty()) return out;
+                rdf::EncodedTriple triple{static_cast<rdf::TermId>(t.src),
+                                          t.attr,
+                                          static_cast<rdf::TermId>(t.dst)};
+                if (!MatchesConstants(*ep, triple)) return out;
+                Mt extended;
+                for (const IdRow& row : source_table) {
+                  IdRow e = row;
+                  if (ExtendRow(*pattern, triple, *schema, &e)) {
+                    extended.push_back(std::move(e));
+                  }
+                }
+                if (!extended.empty()) {
+                  out.emplace_back(forward ? t.dst : t.src,
+                                   std::move(extended));
+                }
+                return out;
+              },
+              ConcatMt);
+          return plan::PlanPayload(msgs);
         });
-    auto msgs = installed.AggregateMessages<Mt>(
-        [ep, pattern, schema_copy, forward](
-            const EdgeTriplet<VAttr, rdf::TermId>& t) {
-          std::vector<std::pair<VertexId, Mt>> out;
-          const Mt& source_table =
-              forward ? t.src_attr.second : t.dst_attr.second;
-          if (source_table.empty()) return out;
-          rdf::EncodedTriple triple{static_cast<rdf::TermId>(t.src), t.attr,
-                                    static_cast<rdf::TermId>(t.dst)};
-          if (!MatchesConstants(*ep, triple)) return out;
-          Mt extended;
-          for (const IdRow& row : source_table) {
-            IdRow e = row;
-            if (ExtendRow(*pattern, triple, *schema_copy, &e)) {
-              extended.push_back(std::move(e));
-            }
-          }
-          if (!extended.empty()) {
-            out.emplace_back(forward ? t.dst : t.src, std::move(extended));
-          }
-          return out;
-        },
-        concat);
-    frontier = msgs;
     anchor = forward ? ovar : svar;  // may be "" when the far end is const
     for (const auto& v : tp.Variables()) bound.Add(v);
   }
 
-  std::vector<IdRow> rows;
-  if (initialized) {
-    for (auto& [v, table] : frontier.Collect()) {
-      for (auto& row : table) rows.push_back(std::move(row));
-    }
-  } else {
+  if (!initialized) {
+    // Only constant patterns, all present: one all-unbound row.
+    std::vector<IdRow> rows;
     rows.push_back(IdRow(width, sparql::kUnbound));
+    return plan::ConstantResultPlan(ToBindingTable(*schema, std::move(rows)),
+                                    "constant-only BGP");
   }
-  return ToBindingTable(schema, std::move(rows));
+
+  std::string project_detail;
+  for (const auto& v : schema->vars()) {
+    project_detail += (project_detail.empty() ? "?" : " ?") + v;
+  }
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, project_detail, std::move(root),
+      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        auto frontier =
+            std::any_cast<Rdd<std::pair<VertexId, Mt>>>(std::move(in[0]));
+        std::vector<IdRow> rows;
+        for (auto& [v, table] : frontier.Collect()) {
+          for (auto& row : table) rows.push_back(std::move(row));
+        }
+        return plan::PlanPayload(ToBindingTable(*schema, std::move(rows)));
+      });
 }
 
 }  // namespace rdfspark::systems

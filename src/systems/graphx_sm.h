@@ -36,7 +36,7 @@ class GraphxSmEngine : public BgpEngineBase {
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
 
  protected:
-  Result<sparql::BindingTable> EvaluateBgp(
+  Result<plan::PlanPtr> PlanBgp(
       const std::vector<sparql::TriplePattern>& bgp) override;
   const rdf::Dictionary& dictionary() const override {
     return store_->dictionary();
@@ -46,6 +46,7 @@ class GraphxSmEngine : public BgpEngineBase {
   EngineTraits traits_;
   Options options_;
   const rdf::TripleStore* store_ = nullptr;
+  rdf::DatasetStatistics stats_;
   spark::graphx::Graph<rdf::TermId, rdf::TermId> graph_;
 };
 

@@ -1,6 +1,9 @@
 #include "systems/haqwa.h"
 
+#include <algorithm>
+#include <any>
 #include <chrono>
+#include <memory>
 
 #include "sparql/parser.h"
 
@@ -201,22 +204,27 @@ uint64_t HaqwaEngine::GroupCost(const SubjectGroup& group) const {
   return best;
 }
 
-Result<sparql::BindingTable> HaqwaEngine::EvaluateBgp(
+Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) return Status::Internal("HAQWA: Load() not called");
-  if (bgp.empty()) return sparql::BindingTable::Unit();
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
+  }
 
   // Fixed schema over all BGP variables.
-  VarSchema schema;
+  auto schema = std::make_shared<VarSchema>();
   for (const auto& tp : bgp) {
-    for (const auto& v : tp.Variables()) schema.Add(v);
+    for (const auto& v : tp.Variables()) schema->Add(v);
   }
 
   // Decompose into locally evaluable sub-queries (subject stars).
   std::vector<SubjectGroup> groups =
       GroupBySubject(bgp, store_->dictionary());
   for (const auto& g : groups) {
-    if (g.impossible) return sparql::BindingTable(schema.vars());
+    if (g.impossible) {
+      return plan::ConstantResultPlan(sparql::BindingTable(schema->vars()),
+                                      "impossible pattern");
+    }
   }
   // Seed: cheapest group (transfer-cost proxy).
   std::sort(groups.begin(), groups.end(),
@@ -224,8 +232,24 @@ Result<sparql::BindingTable> HaqwaEngine::EvaluateBgp(
               return GroupCost(a) < GroupCost(b);
             });
 
-  // Evaluate the seed.
-  Rdd<KeyedRow> current = EvaluateStarLocal(groups[0], schema);
+  // One locally-evaluable subject star; rows stay on their partition.
+  auto star_leaf = [&](const SubjectGroup& group) {
+    auto g = std::make_shared<const SubjectGroup>(group);
+    std::string detail =
+        (group.subject_var.empty() ? "[const]" : "?" + group.subject_var) +
+        " (" + std::to_string(group.patterns.size()) +
+        (group.patterns.size() == 1 ? " pattern)" : " patterns)");
+    return plan::MakeScan(
+        plan::NodeKind::kLocalStarMatch, plan::AccessPath::kSubjectStar,
+        detail, GroupCost(group),
+        [this, g, schema](std::vector<plan::PlanPayload>)
+            -> Result<plan::PlanPayload> {
+          return plan::PlanPayload(EvaluateStarLocal(*g, *schema));
+        });
+  };
+
+  // Plan the seed.
+  plan::PlanPtr root = star_leaf(groups[0]);
   std::string current_key_var = groups[0].subject_var;  // may be empty
 
   std::vector<bool> done(groups.size(), false);
@@ -296,31 +320,46 @@ Result<sparql::BindingTable> HaqwaEngine::EvaluateBgp(
         }
       }
       if (replica_key) {
-        const auto& replica = replicas_.at(*replica_key);
-        auto pattern = std::make_shared<const sparql::TriplePattern>(
-            group.patterns[0]);
-        auto ep = std::make_shared<const EncodedPattern>(
-            EncodePattern(store_->dictionary(), *pattern));
-        auto schema_copy = std::make_shared<const VarSchema>(schema);
-        auto joined = current.Join(replica);  // co-partitioned: no shuffle
-        current = joined.FlatMap(
-            [pattern, ep, schema_copy](
-                const std::pair<rdf::TermId,
-                                std::pair<IdRow, rdf::EncodedTriple>>& kv) {
-              std::vector<KeyedRow> out;
-              if (MatchesConstants(*ep, kv.second.second)) {
-                IdRow row = kv.second.first;
-                if (ExtendRow(*pattern, kv.second.second, *schema_copy,
-                              &row)) {
-                  out.emplace_back(kv.first, std::move(row));
-                }
+        auto g = std::make_shared<const SubjectGroup>(group);
+        auto key = *replica_key;
+        plan::PlanPtr right = plan::MakeScan(
+            plan::NodeKind::kPatternScan, plan::AccessPath::kReplica,
+            group.patterns[0].ToString(), plan::kNoEstimate, nullptr);
+        root = plan::MakeBinary(
+            plan::NodeKind::kPartitionedHashJoin,
+            "on ?" + link_var + " via replica (local)", std::move(root),
+            std::move(right),
+            [this, g, schema, key](std::vector<plan::PlanPayload> in)
+                -> Result<plan::PlanPayload> {
+              auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+              const auto& replica = replicas_.at(key);
+              auto pattern = std::make_shared<const sparql::TriplePattern>(
+                  g->patterns[0]);
+              auto ep = std::make_shared<const EncodedPattern>(
+                  EncodePattern(store_->dictionary(), *pattern));
+              auto joined =
+                  current.Join(replica);  // co-partitioned: no shuffle
+              auto next = joined.FlatMap(
+                  [pattern, ep, schema](
+                      const std::pair<
+                          rdf::TermId,
+                          std::pair<IdRow, rdf::EncodedTriple>>& kv) {
+                    std::vector<KeyedRow> out;
+                    if (MatchesConstants(*ep, kv.second.second)) {
+                      IdRow row = kv.second.first;
+                      if (ExtendRow(*pattern, kv.second.second, *schema,
+                                    &row)) {
+                        out.emplace_back(kv.first, std::move(row));
+                      }
+                    }
+                    return out;
+                  });
+              // Key variable unchanged (still the link source's subject).
+              if (!options_.semantic_partitioning) {
+                next = next.AssumePartitioner(subject_partitioner_);
               }
-              return out;
+              return plan::PlanPayload(std::move(next));
             });
-        // Key variable unchanged (still the link source's subject).
-        if (!options_.semantic_partitioning) {
-          current = current.AssumePartitioner(subject_partitioner_);
-        }
         for (const auto& tp : group.patterns) {
           for (const auto& v : tp.Variables()) bound.Add(v);
         }
@@ -336,30 +375,45 @@ Result<sparql::BindingTable> HaqwaEngine::EvaluateBgp(
         group.patterns[0].o.var() == link_var) {
       auto pb = store_->dictionary().Lookup(group.patterns[0].p.term());
       if (pb.ok() && object_replicas_.count(*pb)) {
-        const auto& replica = object_replicas_.at(*pb);
-        auto pattern = std::make_shared<const sparql::TriplePattern>(
-            group.patterns[0]);
-        auto ep = std::make_shared<const EncodedPattern>(
-            EncodePattern(store_->dictionary(), *pattern));
-        auto schema_copy = std::make_shared<const VarSchema>(schema);
-        auto joined = current.Join(replica);  // co-partitioned: no shuffle
-        current = joined.FlatMap(
-            [pattern, ep, schema_copy](
-                const std::pair<rdf::TermId,
-                                std::pair<IdRow, rdf::EncodedTriple>>& kv) {
-              std::vector<KeyedRow> out;
-              if (MatchesConstants(*ep, kv.second.second)) {
-                IdRow row = kv.second.first;
-                if (ExtendRow(*pattern, kv.second.second, *schema_copy,
-                              &row)) {
-                  out.emplace_back(kv.first, std::move(row));
-                }
+        auto g = std::make_shared<const SubjectGroup>(group);
+        rdf::TermId pb_id = *pb;
+        plan::PlanPtr right = plan::MakeScan(
+            plan::NodeKind::kPatternScan, plan::AccessPath::kReplica,
+            group.patterns[0].ToString(), plan::kNoEstimate, nullptr);
+        root = plan::MakeBinary(
+            plan::NodeKind::kPartitionedHashJoin,
+            "on ?" + link_var + " via object-replica (local)",
+            std::move(root), std::move(right),
+            [this, g, schema, pb_id](std::vector<plan::PlanPayload> in)
+                -> Result<plan::PlanPayload> {
+              auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+              const auto& replica = object_replicas_.at(pb_id);
+              auto pattern = std::make_shared<const sparql::TriplePattern>(
+                  g->patterns[0]);
+              auto ep = std::make_shared<const EncodedPattern>(
+                  EncodePattern(store_->dictionary(), *pattern));
+              auto joined =
+                  current.Join(replica);  // co-partitioned: no shuffle
+              auto next = joined.FlatMap(
+                  [pattern, ep, schema](
+                      const std::pair<
+                          rdf::TermId,
+                          std::pair<IdRow, rdf::EncodedTriple>>& kv) {
+                    std::vector<KeyedRow> out;
+                    if (MatchesConstants(*ep, kv.second.second)) {
+                      IdRow row = kv.second.first;
+                      if (ExtendRow(*pattern, kv.second.second, *schema,
+                                    &row)) {
+                        out.emplace_back(kv.first, std::move(row));
+                      }
+                    }
+                    return out;
+                  });
+              if (!options_.semantic_partitioning) {
+                next = next.AssumePartitioner(subject_partitioner_);
               }
-              return out;
+              return plan::PlanPayload(std::move(next));
             });
-        if (!options_.semantic_partitioning) {
-          current = current.AssumePartitioner(subject_partitioner_);
-        }
         for (const auto& tp : group.patterns) {
           for (const auto& v : tp.Variables()) bound.Add(v);
         }
@@ -367,50 +421,73 @@ Result<sparql::BindingTable> HaqwaEngine::EvaluateBgp(
       }
     }
 
-    Rdd<KeyedRow> group_rows = EvaluateStarLocal(group, schema);
+    plan::PlanPtr group_leaf = star_leaf(group);
 
     if (link_var.empty()) {
       // Cartesian of two keyed row sets.
-      auto pairs = current.Cartesian(group_rows);
-      current = pairs.FlatMap(
-          [](const std::pair<KeyedRow, KeyedRow>& ab) {
-            std::vector<KeyedRow> out;
-            auto merged = MergeRows(ab.first.second, ab.second.second);
-            if (merged) out.emplace_back(ab.first.first, std::move(*merged));
-            return out;
+      root = plan::MakeBinary(
+          plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
+          std::move(group_leaf),
+          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+            auto group_rows = std::any_cast<Rdd<KeyedRow>>(std::move(in[1]));
+            auto pairs = current.Cartesian(group_rows);
+            return plan::PlanPayload(pairs.FlatMap(
+                [](const std::pair<KeyedRow, KeyedRow>& ab) {
+                  std::vector<KeyedRow> out;
+                  auto merged = MergeRows(ab.first.second, ab.second.second);
+                  if (merged) {
+                    out.emplace_back(ab.first.first, std::move(*merged));
+                  }
+                  return out;
+                }));
           });
       current_key_var.clear();
     } else {
-      int link_idx = schema.IndexOf(link_var);
-      // Re-key current rows by the link variable.
-      auto rekeyed_current =
-          current.Map([link_idx](const KeyedRow& kv) {
-            return KeyedRow(kv.second[static_cast<size_t>(link_idx)],
-                            kv.second);
-          });
-      if (current_key_var == link_var && !options_.semantic_partitioning) {
-        // Hash placement is a pure function of the key, so re-keyed rows
-        // keep their placement claim. Semantic placement is a function of
-        // the *subject entity*, not of arbitrary key values — no claim.
-        rekeyed_current = rekeyed_current.AssumePartitioner(
-            subject_partitioner_);
-      }
-      Rdd<KeyedRow> rekeyed_group;
-      if (link_var == group.subject_var) {
-        rekeyed_group = group_rows;  // already keyed & partitioned by subject
-      } else {
-        rekeyed_group = group_rows.Map([link_idx](const KeyedRow& kv) {
-          return KeyedRow(kv.second[static_cast<size_t>(link_idx)],
-                          kv.second);
-        });
-      }
-      auto joined = rekeyed_current.Join(rekeyed_group);
-      current = joined.FlatMap(
-          [](const std::pair<rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
-            std::vector<KeyedRow> out;
-            auto merged = MergeRows(kv.second.first, kv.second.second);
-            if (merged) out.emplace_back(kv.first, std::move(*merged));
-            return out;
+      int link_idx = schema->IndexOf(link_var);
+      // Hash placement is a pure function of the key, so rows re-keyed by
+      // their current key variable keep their placement claim. Semantic
+      // placement is a function of the *subject entity*, not of arbitrary
+      // key values — no claim.
+      bool keep_claim =
+          current_key_var == link_var && !options_.semantic_partitioning;
+      bool group_keyed_by_link = link_var == group.subject_var;
+      root = plan::MakeBinary(
+          plan::NodeKind::kPartitionedHashJoin,
+          "on ?" + link_var + (keep_claim ? "" : " (re-key)"),
+          std::move(root), std::move(group_leaf),
+          [this, link_idx, keep_claim, group_keyed_by_link](
+              std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+            auto group_rows = std::any_cast<Rdd<KeyedRow>>(std::move(in[1]));
+            // Re-key current rows by the link variable.
+            auto rekeyed_current = current.Map([link_idx](const KeyedRow& kv) {
+              return KeyedRow(kv.second[static_cast<size_t>(link_idx)],
+                              kv.second);
+            });
+            if (keep_claim) {
+              rekeyed_current =
+                  rekeyed_current.AssumePartitioner(subject_partitioner_);
+            }
+            Rdd<KeyedRow> rekeyed_group;
+            if (group_keyed_by_link) {
+              rekeyed_group =
+                  group_rows;  // already keyed & partitioned by subject
+            } else {
+              rekeyed_group = group_rows.Map([link_idx](const KeyedRow& kv) {
+                return KeyedRow(kv.second[static_cast<size_t>(link_idx)],
+                                kv.second);
+              });
+            }
+            auto joined = rekeyed_current.Join(rekeyed_group);
+            return plan::PlanPayload(joined.FlatMap(
+                [](const std::pair<rdf::TermId,
+                                   std::pair<IdRow, IdRow>>& kv) {
+                  std::vector<KeyedRow> out;
+                  auto merged = MergeRows(kv.second.first, kv.second.second);
+                  if (merged) out.emplace_back(kv.first, std::move(*merged));
+                  return out;
+                }));
           });
       current_key_var = link_var;
     }
@@ -419,9 +496,18 @@ Result<sparql::BindingTable> HaqwaEngine::EvaluateBgp(
     }
   }
 
-  std::vector<IdRow> rows;
-  for (auto& kv : current.Collect()) rows.push_back(std::move(kv.second));
-  return ToBindingTable(schema, std::move(rows));
+  std::string project_detail;
+  for (const auto& v : schema->vars()) {
+    project_detail += (project_detail.empty() ? "?" : " ?") + v;
+  }
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, project_detail, std::move(root),
+      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+        std::vector<IdRow> rows;
+        for (auto& kv : current.Collect()) rows.push_back(std::move(kv.second));
+        return plan::PlanPayload(ToBindingTable(*schema, std::move(rows)));
+      });
 }
 
 }  // namespace rdfspark::systems

@@ -51,7 +51,7 @@ class HaqwaEngine : public BgpEngineBase {
   }
 
  protected:
-  Result<sparql::BindingTable> EvaluateBgp(
+  Result<plan::PlanPtr> PlanBgp(
       const std::vector<sparql::TriplePattern>& bgp) override;
   const rdf::Dictionary& dictionary() const override {
     return store_->dictionary();

@@ -1,7 +1,11 @@
 #include "systems/hybrid.h"
 
 #include <algorithm>
+#include <any>
 #include <chrono>
+#include <memory>
+
+#include "systems/plan/planner_utils.h"
 
 namespace rdfspark::systems {
 
@@ -228,189 +232,321 @@ sparql::BindingTable HybridEngine::DfToBindings(const DataFrame& df) const {
   return table;
 }
 
-Result<sparql::BindingTable> HybridEngine::EvaluateSqlNaive(
+namespace {
+
+/// Shared-variable list between a pattern and the variables bound so far,
+/// plus the running variable footprint — used by the DataFrame planners to
+/// predict join shapes without touching data.
+std::string JoinDetail(const std::vector<std::string>& shared) {
+  std::string detail;
+  for (const auto& v : shared) detail += (detail.empty() ? "on ?" : " ?") + v;
+  return detail;
+}
+
+/// Variables of the final result in DataFrame column order (first
+/// appearance across patterns, s/p/o within a pattern).
+std::string VarListDetail(const std::vector<sparql::TriplePattern>& patterns) {
+  VarSchema vars;
+  for (const auto& tp : patterns) {
+    for (const auto& v : tp.Variables()) vars.Add(v);
+  }
+  std::string detail;
+  for (const auto& v : vars.vars()) detail += (detail.empty() ? "?" : " ?") + v;
+  return detail;
+}
+
+/// Column::MemoryBytes charges 9 bytes per int64 cell (value + null mask);
+/// the planner mirrors that to predict DataFrame sizes from row estimates.
+uint64_t EstimatedDfBytes(uint64_t rows, const sparql::TriplePattern& tp) {
+  VarSchema vars;
+  for (const auto& v : tp.Variables()) vars.Add(v);
+  uint64_t cols = std::max<uint64_t>(1, vars.vars().size());
+  return rows * cols * 9;
+}
+
+}  // namespace
+
+Result<plan::PlanPtr> HybridEngine::PlanSqlNaive(
     const std::vector<sparql::TriplePattern>& bgp) {
   // Catalyst translation pitfall: joins between patterns carry no usable
   // equi-keys, so every step is a Cartesian product filtered afterwards.
-  DataFrame result;
-  for (size_t i = 0; i < bgp.size(); ++i) {
-    RDFSPARK_ASSIGN_OR_RETURN(DataFrame step,
-                              PatternDf(bgp[i], /*subject_partitioned=*/false));
-    if (!result.valid()) {
-      result = step;
-      continue;
-    }
-    // Rename shared columns, cross join, filter equalities, drop.
-    std::vector<std::string> shared;
-    for (const auto& f : step.schema().fields()) {
-      if (result.schema().Index(f.name) >= 0) shared.push_back(f.name);
-    }
-    std::vector<std::string> names;
-    for (const auto& f : step.schema().fields()) {
-      bool is_shared =
-          std::find(shared.begin(), shared.end(), f.name) != shared.end();
-      names.push_back(is_shared ? "__d_" + f.name : f.name);
-    }
-    DataFrame crossed = result.CrossJoin(step.Rename(names));
-    Expr condition;
-    for (const auto& c : shared) {
-      Expr eq = Col(c) == Col("__d_" + c);
-      condition = condition.valid() ? (condition && eq) : eq;
-    }
-    if (condition.valid()) crossed = crossed.Filter(condition);
-    std::vector<std::string> keep;
-    for (const auto& f : crossed.schema().fields()) {
-      if (f.name.rfind("__d_", 0) != 0) keep.push_back(f.name);
-    }
-    result = crossed.Select(keep);
-  }
-  return DfToBindings(result);
-}
-
-Result<sparql::BindingTable> HybridEngine::EvaluateRdd(
-    const std::vector<sparql::TriplePattern>& bgp) {
-  // Input order, partitioned joins only, full scan per pattern.
-  VarSchema schema;
-  for (const auto& tp : bgp) {
-    for (const auto& v : tp.Variables()) schema.Add(v);
-  }
-  size_t width = schema.vars().size();
-
-  auto pattern_rows = [&](const sparql::TriplePattern& tp) {
-    auto ep = std::make_shared<const EncodedPattern>(
-        EncodePattern(store_->dictionary(), tp));
-    auto pattern = std::make_shared<const sparql::TriplePattern>(tp);
-    auto schema_copy = std::make_shared<const VarSchema>(schema);
-    return rdd_by_subject_.FlatMap(
-        [ep, pattern, schema_copy, width](const KeyedTriple& kv) {
-          std::vector<IdRow> out;
-          if (MatchesConstants(*ep, kv.second)) {
-            IdRow row(width, sparql::kUnbound);
-            if (ExtendRow(*pattern, kv.second, *schema_copy, &row)) {
-              out.push_back(std::move(row));
-            }
-          }
-          return out;
+  auto scan = [this](const sparql::TriplePattern& tp) {
+    return plan::MakeScan(
+        plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
+        tp.ToString(), PatternCardinality(tp),
+        [this, tp](std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
+          RDFSPARK_ASSIGN_OR_RETURN(
+              DataFrame step, PatternDf(tp, /*subject_partitioned=*/false));
+          return plan::PlanPayload(std::move(step));
         });
   };
 
-  auto current = pattern_rows(bgp[0]);
+  plan::PlanPtr root = scan(bgp[0]);
+  for (size_t i = 1; i < bgp.size(); ++i) {
+    root = plan::MakeBinary(
+        plan::NodeKind::kCartesianProduct, "cross-join + filter",
+        std::move(root), scan(bgp[i]),
+        [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+          auto result = std::any_cast<DataFrame>(std::move(in[0]));
+          auto step = std::any_cast<DataFrame>(std::move(in[1]));
+          // Rename shared columns, cross join, filter equalities, drop.
+          std::vector<std::string> shared;
+          for (const auto& f : step.schema().fields()) {
+            if (result.schema().Index(f.name) >= 0) shared.push_back(f.name);
+          }
+          std::vector<std::string> names;
+          for (const auto& f : step.schema().fields()) {
+            bool is_shared =
+                std::find(shared.begin(), shared.end(), f.name) != shared.end();
+            names.push_back(is_shared ? "__d_" + f.name : f.name);
+          }
+          DataFrame crossed = result.CrossJoin(step.Rename(names));
+          Expr condition;
+          for (const auto& c : shared) {
+            Expr eq = Col(c) == Col("__d_" + c);
+            condition = condition.valid() ? (condition && eq) : eq;
+          }
+          if (condition.valid()) crossed = crossed.Filter(condition);
+          std::vector<std::string> keep;
+          for (const auto& f : crossed.schema().fields()) {
+            if (f.name.rfind("__d_", 0) != 0) keep.push_back(f.name);
+          }
+          return plan::PlanPayload(crossed.Select(keep));
+        });
+  }
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, VarListDetail(bgp), std::move(root),
+      [this](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        auto result = std::any_cast<DataFrame>(std::move(in[0]));
+        return plan::PlanPayload(DfToBindings(result));
+      });
+}
+
+Result<plan::PlanPtr> HybridEngine::PlanRdd(
+    const std::vector<sparql::TriplePattern>& bgp) {
+  // Input order, partitioned joins only, full scan per pattern.
+  auto schema = std::make_shared<VarSchema>();
+  for (const auto& tp : bgp) {
+    for (const auto& v : tp.Variables()) schema->Add(v);
+  }
+  size_t width = schema->vars().size();
+
+  auto scan = [this, schema, width](const sparql::TriplePattern& tp) {
+    return plan::MakeScan(
+        plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
+        tp.ToString(), PatternCardinality(tp),
+        [this, schema, width, tp](std::vector<plan::PlanPayload>)
+            -> Result<plan::PlanPayload> {
+          auto ep = std::make_shared<const EncodedPattern>(
+              EncodePattern(store_->dictionary(), tp));
+          auto pattern = std::make_shared<const sparql::TriplePattern>(tp);
+          return plan::PlanPayload(rdd_by_subject_.FlatMap(
+              [ep, pattern, schema, width](const KeyedTriple& kv) {
+                std::vector<IdRow> out;
+                if (MatchesConstants(*ep, kv.second)) {
+                  IdRow row(width, sparql::kUnbound);
+                  if (ExtendRow(*pattern, kv.second, *schema, &row)) {
+                    out.push_back(std::move(row));
+                  }
+                }
+                return out;
+              }));
+        });
+  };
+
+  plan::PlanPtr root = scan(bgp[0]);
   VarSchema bound;
   for (const auto& v : bgp[0].Variables()) bound.Add(v);
   for (size_t i = 1; i < bgp.size(); ++i) {
-    auto rows = pattern_rows(bgp[i]);
     auto shared = SharedVars(bgp[i], bound);
     if (shared.empty()) {
-      current = current.Cartesian(rows).FlatMap(
-          [](const std::pair<IdRow, IdRow>& ab) {
-            std::vector<IdRow> out;
-            auto merged = MergeRows(ab.first, ab.second);
-            if (merged) out.push_back(std::move(*merged));
-            return out;
+      root = plan::MakeBinary(
+          plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
+          scan(bgp[i]),
+          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<spark::Rdd<IdRow>>(std::move(in[0]));
+            auto rows = std::any_cast<spark::Rdd<IdRow>>(std::move(in[1]));
+            return plan::PlanPayload(current.Cartesian(rows).FlatMap(
+                [](const std::pair<IdRow, IdRow>& ab) {
+                  std::vector<IdRow> out;
+                  auto merged = MergeRows(ab.first, ab.second);
+                  if (merged) out.push_back(std::move(*merged));
+                  return out;
+                }));
           });
     } else {
-      int key_idx = schema.IndexOf(shared[0]);
-      auto key_by = [key_idx](const IdRow& row) {
-        return std::pair<rdf::TermId, IdRow>(
-            row[static_cast<size_t>(key_idx)], row);
-      };
-      current = current.Map(key_by)
-                    .Join(rows.Map(key_by))
-                    .FlatMap([](const std::pair<rdf::TermId,
-                                                std::pair<IdRow, IdRow>>& kv) {
+      int key_idx = schema->IndexOf(shared[0]);
+      root = plan::MakeBinary(
+          plan::NodeKind::kPartitionedHashJoin, JoinDetail({shared[0]}),
+          std::move(root), scan(bgp[i]),
+          [key_idx](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<spark::Rdd<IdRow>>(std::move(in[0]));
+            auto rows = std::any_cast<spark::Rdd<IdRow>>(std::move(in[1]));
+            auto key_by = [key_idx](const IdRow& row) {
+              return std::pair<rdf::TermId, IdRow>(
+                  row[static_cast<size_t>(key_idx)], row);
+            };
+            return plan::PlanPayload(
+                current.Map(key_by).Join(rows.Map(key_by))
+                    .FlatMap([](const std::pair<
+                                 rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
                       std::vector<IdRow> out;
                       auto merged =
                           MergeRows(kv.second.first, kv.second.second);
                       if (merged) out.push_back(std::move(*merged));
                       return out;
-                    });
+                    }));
+          });
     }
     for (const auto& v : bgp[i].Variables()) bound.Add(v);
   }
-  return ToBindingTable(schema, current.Collect());
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, VarListDetail(bgp), std::move(root),
+      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        auto current = std::any_cast<spark::Rdd<IdRow>>(std::move(in[0]));
+        return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
+      });
 }
 
-Result<sparql::BindingTable> HybridEngine::EvaluateDataFrame(
+Result<plan::PlanPtr> HybridEngine::PlanDataFrame(
     const std::vector<sparql::TriplePattern>& bgp) {
   // Input order, auto (size-threshold broadcast) joins, no partitioning
-  // awareness.
-  DataFrame result;
-  for (const auto& tp : bgp) {
-    RDFSPARK_ASSIGN_OR_RETURN(DataFrame step,
-                              PatternDf(tp, /*subject_partitioned=*/false));
-    result = result.valid()
-                 ? JoinOnSharedVars(result, step, JoinStrategy::kAuto)
-                 : step;
+  // awareness. The node kind is the planner's stats-based prediction of
+  // what the auto strategy will pick; the executor defers to the runtime
+  // size check, exactly as before.
+  auto scan = [this](const sparql::TriplePattern& tp) {
+    return plan::MakeScan(
+        plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
+        tp.ToString(), PatternCardinality(tp),
+        [this, tp](std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
+          RDFSPARK_ASSIGN_OR_RETURN(
+              DataFrame step, PatternDf(tp, /*subject_partitioned=*/false));
+          return plan::PlanPayload(std::move(step));
+        });
+  };
+
+  plan::PlanPtr root = scan(bgp[0]);
+  VarSchema bound;
+  for (const auto& v : bgp[0].Variables()) bound.Add(v);
+  for (size_t i = 1; i < bgp.size(); ++i) {
+    const auto& tp = bgp[i];
+    auto shared = SharedVars(tp, bound);
+    uint64_t step_bytes = EstimatedDfBytes(PatternCardinality(tp), tp);
+    plan::NodeKind kind =
+        shared.empty() ? plan::NodeKind::kCartesianProduct
+        : step_bytes <= sc_->config().broadcast_threshold_bytes
+            ? plan::NodeKind::kBroadcastJoin
+            : plan::NodeKind::kPartitionedHashJoin;
+    root = plan::MakeBinary(
+        kind, JoinDetail(shared), std::move(root), scan(tp),
+        [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+          auto result = std::any_cast<DataFrame>(std::move(in[0]));
+          auto step = std::any_cast<DataFrame>(std::move(in[1]));
+          return plan::PlanPayload(
+              JoinOnSharedVars(result, step, JoinStrategy::kAuto));
+        });
+    for (const auto& v : tp.Variables()) bound.Add(v);
   }
-  return DfToBindings(result);
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, VarListDetail(bgp), std::move(root),
+      [this](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        auto result = std::any_cast<DataFrame>(std::move(in[0]));
+        return plan::PlanPayload(DfToBindings(result));
+      });
 }
 
-Result<sparql::BindingTable> HybridEngine::EvaluateHybrid(
+Result<plan::PlanPtr> HybridEngine::PlanHybrid(
     const std::vector<sparql::TriplePattern>& bgp) {
   // Greedy stats-based order; subject-partitioned pattern tables so
   // subject-subject joins run co-partitioned; broadcast when a side is
-  // small enough.
-  std::vector<size_t> order(bgp.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return PatternCardinality(bgp[a]) < PatternCardinality(bgp[b]);
-  });
-  // Keep the order connected.
-  std::vector<size_t> connected;
-  std::vector<bool> used(bgp.size(), false);
-  VarSchema seen;
-  auto take = [&](size_t i) {
-    used[i] = true;
-    for (const auto& v : bgp[i].Variables()) seen.Add(v);
-    connected.push_back(i);
-  };
-  take(order[0]);
-  while (connected.size() < bgp.size()) {
-    int next = -1;
-    for (size_t k = 0; k < order.size(); ++k) {
-      size_t i = order[k];
-      if (used[i]) continue;
-      if (!SharedVars(bgp[i], seen).empty()) {
-        next = static_cast<int>(i);
-        break;
-      }
-      if (next < 0) next = static_cast<int>(i);
-    }
-    take(static_cast<size_t>(next));
-  }
+  // small enough. The planner predicts the broadcast-vs-partitioned choice
+  // from cardinality statistics; the executor keeps the runtime
+  // EstimatedBytes decision so behaviour is bit-identical.
+  std::vector<size_t> connected = plan::SortedConnectedOrder(
+      bgp,
+      [this](const sparql::TriplePattern& tp) {
+        return PatternCardinality(tp);
+      });
 
-  DataFrame result;
-  for (size_t i : connected) {
-    RDFSPARK_ASSIGN_OR_RETURN(DataFrame step,
-                              PatternDf(bgp[i], /*subject_partitioned=*/true));
-    if (!result.valid()) {
-      result = step;
-      continue;
-    }
-    JoinStrategy strategy =
-        step.EstimatedBytes() <= sc_->config().broadcast_threshold_bytes ||
-                result.EstimatedBytes() <=
-                    sc_->config().broadcast_threshold_bytes
-            ? JoinStrategy::kAuto  // auto picks the broadcast side
-            : JoinStrategy::kShuffleHash;
-    result = JoinOnSharedVars(result, step, strategy);
+  auto scan = [this](const sparql::TriplePattern& tp) {
+    return plan::MakeScan(
+        plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
+        tp.ToString(), PatternCardinality(tp),
+        [this, tp](std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
+          RDFSPARK_ASSIGN_OR_RETURN(
+              DataFrame step, PatternDf(tp, /*subject_partitioned=*/true));
+          return plan::PlanPayload(std::move(step));
+        });
+  };
+
+  std::vector<sparql::TriplePattern> ordered;
+  for (size_t i : connected) ordered.push_back(bgp[i]);
+
+  plan::PlanPtr root = scan(ordered[0]);
+  VarSchema bound;
+  for (const auto& v : ordered[0].Variables()) bound.Add(v);
+  uint64_t result_est = PatternCardinality(ordered[0]);
+  uint64_t result_cols =
+      std::max<uint64_t>(1, ordered[0].Variables().size());
+  for (size_t i = 1; i < ordered.size(); ++i) {
+    const auto& tp = ordered[i];
+    auto shared = SharedVars(tp, bound);
+    uint64_t step_est = PatternCardinality(tp);
+    uint64_t threshold = sc_->config().broadcast_threshold_bytes;
+    bool small_side =
+        EstimatedDfBytes(step_est, tp) <= threshold ||
+        result_est * result_cols * 9 <= threshold;
+    plan::NodeKind kind = shared.empty()
+                              ? plan::NodeKind::kCartesianProduct
+                          : small_side ? plan::NodeKind::kBroadcastJoin
+                                       : plan::NodeKind::kPartitionedHashJoin;
+    plan::PlanPtr node = plan::MakeBinary(
+        kind, JoinDetail(shared), std::move(root), scan(tp),
+        [this](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+          auto result = std::any_cast<DataFrame>(std::move(in[0]));
+          auto step = std::any_cast<DataFrame>(std::move(in[1]));
+          JoinStrategy strategy =
+              step.EstimatedBytes() <=
+                          sc_->config().broadcast_threshold_bytes ||
+                      result.EstimatedBytes() <=
+                          sc_->config().broadcast_threshold_bytes
+                  ? JoinStrategy::kAuto  // auto picks the broadcast side
+                  : JoinStrategy::kShuffleHash;
+          return plan::PlanPayload(JoinOnSharedVars(result, step, strategy));
+        });
+    // Running estimate: an equi-join keeps at most the smaller side's
+    // rows; a cross product multiplies.
+    result_est = shared.empty() ? result_est * step_est
+                                : std::min(result_est, step_est);
+    for (const auto& v : tp.Variables()) bound.Add(v);
+    result_cols = std::max<uint64_t>(1, bound.vars().size());
+    node->est_cardinality = result_est;
+    root = std::move(node);
   }
-  return DfToBindings(result);
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, VarListDetail(ordered), std::move(root),
+      [this](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        auto result = std::any_cast<DataFrame>(std::move(in[0]));
+        return plan::PlanPayload(DfToBindings(result));
+      });
 }
 
-Result<sparql::BindingTable> HybridEngine::EvaluateBgp(
+Result<plan::PlanPtr> HybridEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) return Status::Internal("Load() not called");
-  if (bgp.empty()) return sparql::BindingTable::Unit();
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
+  }
   switch (options_.mode) {
     case HybridMode::kSparkSqlNaive:
-      return EvaluateSqlNaive(bgp);
+      return PlanSqlNaive(bgp);
     case HybridMode::kRddPartitioned:
-      return EvaluateRdd(bgp);
+      return PlanRdd(bgp);
     case HybridMode::kDataFrameAuto:
-      return EvaluateDataFrame(bgp);
+      return PlanDataFrame(bgp);
     case HybridMode::kHybrid:
-      return EvaluateHybrid(bgp);
+      return PlanHybrid(bgp);
   }
   return Status::Internal("unknown mode");
 }

@@ -54,7 +54,7 @@ class HybridEngine : public BgpEngineBase {
   HybridMode mode() const { return options_.mode; }
 
  protected:
-  Result<sparql::BindingTable> EvaluateBgp(
+  Result<plan::PlanPtr> PlanBgp(
       const std::vector<sparql::TriplePattern>& bgp) override;
   const rdf::Dictionary& dictionary() const override {
     return store_->dictionary();
@@ -69,13 +69,12 @@ class HybridEngine : public BgpEngineBase {
   Result<spark::sql::DataFrame> PatternDf(const sparql::TriplePattern& tp,
                                           bool subject_partitioned) const;
 
-  Result<sparql::BindingTable> EvaluateSqlNaive(
+  Result<plan::PlanPtr> PlanSqlNaive(
       const std::vector<sparql::TriplePattern>& bgp);
-  Result<sparql::BindingTable> EvaluateRdd(
+  Result<plan::PlanPtr> PlanRdd(const std::vector<sparql::TriplePattern>& bgp);
+  Result<plan::PlanPtr> PlanDataFrame(
       const std::vector<sparql::TriplePattern>& bgp);
-  Result<sparql::BindingTable> EvaluateDataFrame(
-      const std::vector<sparql::TriplePattern>& bgp);
-  Result<sparql::BindingTable> EvaluateHybrid(
+  Result<plan::PlanPtr> PlanHybrid(
       const std::vector<sparql::TriplePattern>& bgp);
 
   /// Rows of a result DataFrame (v_<var> columns) as a binding table.

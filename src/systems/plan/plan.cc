@@ -1,0 +1,144 @@
+#include "systems/plan/plan.h"
+
+namespace rdfspark::systems::plan {
+
+const char* NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kPatternScan:
+      return "PatternScan";
+    case NodeKind::kPartitionedHashJoin:
+      return "PartitionedHashJoin";
+    case NodeKind::kBroadcastJoin:
+      return "BroadcastJoin";
+    case NodeKind::kCartesianProduct:
+      return "CartesianProduct";
+    case NodeKind::kLocalStarMatch:
+      return "LocalStarMatch";
+    case NodeKind::kFilter:
+      return "Filter";
+    case NodeKind::kProject:
+      return "Project";
+  }
+  return "unknown";
+}
+
+const char* AccessPathName(AccessPath a) {
+  switch (a) {
+    case AccessPath::kNone:
+      return "";
+    case AccessPath::kFullScan:
+      return "full-scan";
+    case AccessPath::kVpTable:
+      return "vp";
+    case AccessPath::kExtVpTable:
+      return "extvp";
+    case AccessPath::kSubjectStar:
+      return "subject-star";
+    case AccessPath::kGraphTraversal:
+      return "graph";
+    case AccessPath::kClassIndex:
+      return "class-index";
+    case AccessPath::kReplica:
+      return "replica";
+  }
+  return "";
+}
+
+PlanPtr MakeScan(NodeKind kind, AccessPath access, std::string detail,
+                 uint64_t est, ExecFn exec) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->access_path = access;
+  node->detail = std::move(detail);
+  node->est_cardinality = est;
+  node->exec = std::move(exec);
+  return node;
+}
+
+PlanPtr MakeUnary(NodeKind kind, std::string detail, PlanPtr child,
+                  ExecFn exec) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->detail = std::move(detail);
+  node->children.push_back(std::move(child));
+  node->exec = std::move(exec);
+  return node;
+}
+
+PlanPtr MakeBinary(NodeKind kind, std::string detail, PlanPtr left,
+                   PlanPtr right, ExecFn exec) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->detail = std::move(detail);
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  node->exec = std::move(exec);
+  return node;
+}
+
+PlanPtr ConstantResultPlan(sparql::BindingTable table, std::string detail) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = NodeKind::kProject;
+  node->detail = std::move(detail);
+  node->est_cardinality = table.num_rows();
+  auto shared = std::make_shared<sparql::BindingTable>(std::move(table));
+  node->exec = [shared](std::vector<PlanPayload>) -> Result<PlanPayload> {
+    return PlanPayload(*shared);
+  };
+  return node;
+}
+
+namespace {
+
+void ExplainNode(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(NodeKindName(node.kind));
+  std::string bracket = AccessPathName(node.access_path);
+  if (!node.detail.empty()) {
+    if (!bracket.empty()) bracket += " ";
+    bracket += node.detail;
+  }
+  if (!bracket.empty()) {
+    out->append(" [");
+    out->append(bracket);
+    out->append("]");
+  }
+  out->append(" (est=");
+  out->append(node.est_cardinality == kNoEstimate
+                  ? std::string("?")
+                  : std::to_string(node.est_cardinality));
+  out->append(")\n");
+  for (const auto& child : node.children) {
+    ExplainNode(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Explain(const PlanNode& root) {
+  std::string out;
+  ExplainNode(root, 0, &out);
+  return out;
+}
+
+Result<PlanPayload> PlanExecutor::RunNode(const PlanNode& node) {
+  std::vector<PlanPayload> inputs;
+  inputs.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    RDFSPARK_ASSIGN_OR_RETURN(PlanPayload payload, RunNode(*child));
+    inputs.push_back(std::move(payload));
+  }
+  if (!node.exec) return PlanPayload{};
+  return node.exec(std::move(inputs));
+}
+
+Result<sparql::BindingTable> PlanExecutor::Run(const PlanNode& root) {
+  RDFSPARK_ASSIGN_OR_RETURN(PlanPayload out, RunNode(root));
+  auto* table = std::any_cast<sparql::BindingTable>(&out);
+  if (table == nullptr) {
+    return Status::Internal("plan root did not produce a binding table");
+  }
+  return std::move(*table);
+}
+
+}  // namespace rdfspark::systems::plan

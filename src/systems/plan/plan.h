@@ -1,0 +1,111 @@
+#ifndef RDFSPARK_SYSTEMS_PLAN_PLAN_H_
+#define RDFSPARK_SYSTEMS_PLAN_PLAN_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "spark/context.h"
+#include "sparql/binding.h"
+
+namespace rdfspark::systems::plan {
+
+/// Physical operators shared by all nine reproduced systems. Each engine's
+/// planner maps its documented evaluation strategy onto this algebra so plan
+/// shapes (Cartesian fallbacks, broadcast vs partitioned joins, local star
+/// matching) become assertable program output instead of implicit code paths.
+enum class NodeKind {
+  kPatternScan,          // produce the matches of one triple pattern
+  kPartitionedHashJoin,  // shuffle/co-partitioned equi-join
+  kBroadcastJoin,        // small side replicated to every executor
+  kCartesianProduct,     // no shared variable (or deliberate fallback)
+  kLocalStarMatch,       // subject-star fragment matched within a partition
+  kFilter,               // row-level predicate (driver- or executor-side)
+  kProject,              // final projection / conversion to a BindingTable
+};
+
+const char* NodeKindName(NodeKind k);
+
+/// How a PatternScan reaches its data (Table II's storage dimension).
+enum class AccessPath {
+  kNone,            // not a scan, or not applicable
+  kFullScan,        // whole triple relation
+  kVpTable,         // vertical-partitioning table of one predicate
+  kExtVpTable,      // semi-join reduced ExtVP sub-table
+  kSubjectStar,     // subject-hash fragment, matched locally
+  kGraphTraversal,  // edge/vertex traversal over a graph abstraction
+  kClassIndex,      // class-based index file (MESG CR/RC/CRC levels)
+  kReplica,         // workload-aware replicated join result
+};
+
+const char* AccessPathName(AccessPath a);
+
+/// est_cardinality value meaning "the planner has no estimate".
+inline constexpr uint64_t kNoEstimate = std::numeric_limits<uint64_t>::max();
+
+struct PlanNode;
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Intermediate results flowing between plan operators. Engines use their
+/// native representation (an Rdd, a DataFrame, driver-side rows); only the
+/// root is required to produce a sparql::BindingTable.
+using PlanPayload = std::any;
+
+/// Executes one operator given its children's payloads (post-order). A null
+/// exec marks a descriptive node: monolithic back-ends (Spark SQL's Catalyst,
+/// GraphFrames' motif matcher) run the whole tree in the root's exec, and the
+/// inner nodes document the plan the back-end will follow.
+using ExecFn = std::function<Result<PlanPayload>(std::vector<PlanPayload>)>;
+
+/// One node of a physical plan: what the operator is (for EXPLAIN and the
+/// plan-shape assertions) plus how to run it (for the shared executor).
+struct PlanNode {
+  NodeKind kind = NodeKind::kProject;
+  AccessPath access_path = AccessPath::kNone;
+  std::string detail;                     // operator-specific annotation
+  uint64_t est_cardinality = kNoEstimate; // planner's output-row estimate
+  std::vector<PlanPtr> children;
+  ExecFn exec;
+};
+
+/// Builders (children evaluated left to right by the executor).
+PlanPtr MakeScan(NodeKind kind, AccessPath access, std::string detail,
+                 uint64_t est, ExecFn exec);
+PlanPtr MakeUnary(NodeKind kind, std::string detail, PlanPtr child,
+                  ExecFn exec);
+PlanPtr MakeBinary(NodeKind kind, std::string detail, PlanPtr left,
+                   PlanPtr right, ExecFn exec);
+
+/// A leaf Project returning a fixed table — the planner proved the answer
+/// (unit table for empty BGPs, empty table for impossible constants).
+PlanPtr ConstantResultPlan(sparql::BindingTable table, std::string detail);
+
+/// Deterministic indented plan tree. Format contract (see DESIGN.md):
+///   <Kind> [<access> <detail>] (est=<n>|?)
+/// with two-space indentation per level; the bracket is omitted when both
+/// access path and detail are empty; est prints "?" for kNoEstimate.
+std::string Explain(const PlanNode& root);
+
+/// Shared executor: post-order walk, each node's exec fed its children's
+/// payloads; the root payload must be a sparql::BindingTable.
+class PlanExecutor {
+ public:
+  explicit PlanExecutor(spark::SparkContext* sc) : sc_(sc) {}
+
+  Result<sparql::BindingTable> Run(const PlanNode& root);
+
+ private:
+  Result<PlanPayload> RunNode(const PlanNode& node);
+
+  spark::SparkContext* sc_;
+};
+
+}  // namespace rdfspark::systems::plan
+
+#endif  // RDFSPARK_SYSTEMS_PLAN_PLAN_H_

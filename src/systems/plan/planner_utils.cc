@@ -1,0 +1,100 @@
+#include "systems/plan/planner_utils.h"
+
+#include <algorithm>
+
+namespace rdfspark::systems::plan {
+
+std::vector<sparql::TriplePattern> OrderConnected(
+    std::vector<sparql::TriplePattern> bgp, size_t first) {
+  if (bgp.empty()) return bgp;
+  std::vector<sparql::TriplePattern> out;
+  std::vector<bool> used(bgp.size(), false);
+  VarSchema seen;
+  auto take = [&](size_t i) {
+    used[i] = true;
+    for (const auto& v : bgp[i].Variables()) seen.Add(v);
+    out.push_back(bgp[i]);
+  };
+  take(std::min(first, bgp.size() - 1));
+  while (out.size() < bgp.size()) {
+    int next = -1;
+    for (size_t i = 0; i < bgp.size(); ++i) {
+      if (used[i]) continue;
+      if (!SharedVars(bgp[i], seen).empty()) {
+        next = static_cast<int>(i);
+        break;
+      }
+      if (next < 0) next = static_cast<int>(i);  // fallback: disconnected
+    }
+    take(static_cast<size_t>(next));
+  }
+  return out;
+}
+
+std::vector<sparql::TriplePattern> GreedyConnectedOrder(
+    const std::vector<sparql::TriplePattern>& bgp, const PatternCost& cost) {
+  if (bgp.empty()) return bgp;
+  std::vector<sparql::TriplePattern> result;
+  std::vector<bool> used(bgp.size(), false);
+  VarSchema seen;
+  size_t first = 0;
+  for (size_t i = 1; i < bgp.size(); ++i) {
+    if (cost(bgp[i]) < cost(bgp[first])) first = i;
+  }
+  auto take = [&](size_t i) {
+    used[i] = true;
+    for (const auto& v : bgp[i].Variables()) seen.Add(v);
+    result.push_back(bgp[i]);
+  };
+  take(first);
+  while (result.size() < bgp.size()) {
+    int best = -1;
+    bool best_connected = false;
+    for (size_t i = 0; i < bgp.size(); ++i) {
+      if (used[i]) continue;
+      bool connected = !SharedVars(bgp[i], seen).empty();
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected &&
+           cost(bgp[i]) < cost(bgp[static_cast<size_t>(best)]))) {
+        best = static_cast<int>(i);
+        best_connected = connected;
+      }
+    }
+    take(static_cast<size_t>(best));
+  }
+  return result;
+}
+
+std::vector<size_t> SortedConnectedOrder(
+    const std::vector<sparql::TriplePattern>& bgp, const PatternCost& cost) {
+  std::vector<size_t> order(bgp.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return cost(bgp[a]) < cost(bgp[b]); });
+  std::vector<size_t> connected;
+  if (bgp.empty()) return connected;
+  std::vector<bool> used(bgp.size(), false);
+  VarSchema seen;
+  auto take = [&](size_t i) {
+    used[i] = true;
+    for (const auto& v : bgp[i].Variables()) seen.Add(v);
+    connected.push_back(i);
+  };
+  take(order[0]);
+  while (connected.size() < bgp.size()) {
+    int next = -1;
+    for (size_t k = 0; k < order.size(); ++k) {
+      size_t i = order[k];
+      if (used[i]) continue;
+      if (!SharedVars(bgp[i], seen).empty()) {
+        next = static_cast<int>(i);
+        break;
+      }
+      if (next < 0) next = static_cast<int>(i);
+    }
+    take(static_cast<size_t>(next));
+  }
+  return connected;
+}
+
+}  // namespace rdfspark::systems::plan

@@ -1,0 +1,37 @@
+#ifndef RDFSPARK_SYSTEMS_PLAN_PLANNER_UTILS_H_
+#define RDFSPARK_SYSTEMS_PLAN_PLANNER_UTILS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "systems/common.h"
+
+namespace rdfspark::systems::plan {
+
+/// Cost of one triple pattern under a system's statistics (estimated rows).
+using PatternCost = std::function<uint64_t(const sparql::TriplePattern&)>;
+
+/// Orders BGP patterns greedily so each one (when possible) shares a
+/// variable with the already-ordered prefix, starting from `first`.
+std::vector<sparql::TriplePattern> OrderConnected(
+    std::vector<sparql::TriplePattern> bgp, size_t first);
+
+/// The greedy cost-based order SPARQLGX and GF-SPARQL document: start at the
+/// globally cheapest pattern (earliest minimum), then repeatedly pick the
+/// unused pattern preferring (a) connectivity to the chosen prefix and
+/// (b) lowest cost, ties resolved by input position.
+std::vector<sparql::TriplePattern> GreedyConnectedOrder(
+    const std::vector<sparql::TriplePattern>& bgp, const PatternCost& cost);
+
+/// The SPARQL-GPP hybrid order: sort pattern indices by ascending cost
+/// (std::sort — deliberately matching the engine's historical tie behaviour)
+/// and then walk the sorted list keeping the sequence connected. Returns
+/// indices into `bgp`.
+std::vector<size_t> SortedConnectedOrder(
+    const std::vector<sparql::TriplePattern>& bgp, const PatternCost& cost);
+
+}  // namespace rdfspark::systems::plan
+
+#endif  // RDFSPARK_SYSTEMS_PLAN_PLANNER_UTILS_H_

@@ -191,7 +191,7 @@ S2rdfEngine::TableInfo S2rdfEngine::ChooseTable(
   return best;
 }
 
-Result<std::string> S2rdfEngine::TranslateBgpToSql(
+Result<S2rdfEngine::SqlParts> S2rdfEngine::BuildSqlParts(
     const std::vector<sparql::TriplePattern>& bgp) const {
   if (bgp.empty()) return Status::InvalidArgument("empty BGP");
   const rdf::Dictionary& dict = store_->dictionary();
@@ -206,12 +206,7 @@ Result<std::string> S2rdfEngine::TranslateBgpToSql(
     return ChooseTable(bgp, a).rows < ChooseTable(bgp, b).rows;
   });
 
-  // Column of a variable: first (alias, column) binding it.
-  std::unordered_map<std::string, std::string> var_column;
-  std::vector<std::string> var_order;
-  std::string from_clause;
-  std::vector<std::string> where;
-
+  SqlParts parts;
   for (size_t k = 0; k < order.size(); ++k) {
     size_t i = order[k];
     const auto& tp = bgp[i];
@@ -219,7 +214,8 @@ Result<std::string> S2rdfEngine::TranslateBgpToSql(
     if (table.name.empty()) {
       // Unknown constant: an always-false condition keeps the query valid.
       table.name = "triples";
-      where.push_back("t" + std::to_string(k) + ".s = -1");
+      table.rows = table_rows_.at("triples");
+      parts.where.push_back("t" + std::to_string(k) + ".s = -1");
     }
     std::string alias = "t" + std::to_string(k);
     std::vector<std::string> on;
@@ -228,17 +224,18 @@ Result<std::string> S2rdfEngine::TranslateBgpToSql(
                            const std::string& column) {
       std::string qualified = alias + "." + column;
       if (slot.is_variable()) {
-        auto it = var_column.find(slot.var());
-        if (it == var_column.end()) {
-          var_column.emplace(slot.var(), qualified);
-          var_order.push_back(slot.var());
+        auto it = parts.var_column.find(slot.var());
+        if (it == parts.var_column.end()) {
+          parts.var_column.emplace(slot.var(), qualified);
+          parts.var_order.push_back(slot.var());
         } else {
-          (k == 0 ? where : on).push_back(qualified + " = " + it->second);
+          (k == 0 ? parts.where : on).push_back(qualified + " = " +
+                                                it->second);
         }
       } else {
         auto id = dict.Lookup(slot.term());
         std::string value = id.ok() ? std::to_string(*id) : "-1";
-        (k == 0 ? where : on).push_back(qualified + " = " + value);
+        (k == 0 ? parts.where : on).push_back(qualified + " = " + value);
       }
     };
     handle_slot(tp.s, "s");
@@ -248,71 +245,130 @@ Result<std::string> S2rdfEngine::TranslateBgpToSql(
       } else {
         auto id = dict.Lookup(tp.p.term());
         std::string value = id.ok() ? std::to_string(*id) : "-1";
-        (k == 0 ? where : on).push_back(alias + ".p = " + value);
+        (k == 0 ? parts.where : on).push_back(alias + ".p = " + value);
       }
     }
     handle_slot(tp.o, "o");
 
+    parts.steps.push_back(
+        SqlParts::Step{table.name, alias, table.rows, std::move(on)});
+  }
+  return parts;
+}
+
+Result<std::string> S2rdfEngine::TranslateBgpToSql(
+    const std::vector<sparql::TriplePattern>& bgp) const {
+  RDFSPARK_ASSIGN_OR_RETURN(SqlParts parts, BuildSqlParts(bgp));
+
+  std::string from_clause;
+  for (size_t k = 0; k < parts.steps.size(); ++k) {
+    const auto& step = parts.steps[k];
     if (k == 0) {
-      from_clause = table.name + " " + alias;
+      from_clause = step.table + " " + step.alias;
     } else {
-      std::string cond = on.empty() ? "1 = 1" : "";
-      for (size_t c = 0; c < on.size(); ++c) {
+      std::string cond = step.on.empty() ? "1 = 1" : "";
+      for (size_t c = 0; c < step.on.size(); ++c) {
         if (c) cond += " AND ";
-        cond += on[c];
+        cond += step.on[c];
       }
-      from_clause += " JOIN " + table.name + " " + alias + " ON " + cond;
+      from_clause += " JOIN " + step.table + " " + step.alias + " ON " + cond;
     }
   }
 
   std::string select = "SELECT ";
-  for (size_t v = 0; v < var_order.size(); ++v) {
+  for (size_t v = 0; v < parts.var_order.size(); ++v) {
     if (v) select += ", ";
-    select += var_column[var_order[v]] + " AS v_" + var_order[v];
+    select += parts.var_column[parts.var_order[v]] + " AS v_" +
+              parts.var_order[v];
   }
-  if (var_order.empty()) select += "1 AS one";
+  if (parts.var_order.empty()) select += "1 AS one";
   std::string sql = select + " FROM " + from_clause;
-  if (!where.empty()) {
+  if (!parts.where.empty()) {
     sql += " WHERE ";
-    for (size_t c = 0; c < where.size(); ++c) {
+    for (size_t c = 0; c < parts.where.size(); ++c) {
       if (c) sql += " AND ";
-      sql += where[c];
+      sql += parts.where[c];
     }
   }
   return sql;
 }
 
-Result<sparql::BindingTable> S2rdfEngine::EvaluateBgp(
+Result<plan::PlanPtr> S2rdfEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) return Status::Internal("S2RDF: Load() not called");
-  if (bgp.empty()) return sparql::BindingTable::Unit();
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
+  }
 
+  RDFSPARK_ASSIGN_OR_RETURN(SqlParts parts, BuildSqlParts(bgp));
   RDFSPARK_ASSIGN_OR_RETURN(std::string sql_text, TranslateBgpToSql(bgp));
-  RDFSPARK_ASSIGN_OR_RETURN(sql::DataFrame result, session_->Sql(sql_text));
 
-  // Convert v_<var> columns back to a binding table.
-  std::vector<std::string> vars;
-  std::vector<int> cols;
-  for (size_t i = 0; i < result.schema().num_fields(); ++i) {
-    const std::string& name = result.schema().field(i).name;
-    if (name.rfind("v_", 0) == 0) {
-      vars.push_back(name.substr(2));
-      cols.push_back(static_cast<int>(i));
+  // The Spark SQL layer executes the translated query as one unit, so the
+  // scan/join nodes below are descriptive (no exec); the root Project runs
+  // the captured SQL and converts the v_<var> columns back to bindings.
+  auto access = [](const std::string& table) {
+    if (table.rfind("extvp_", 0) == 0) return plan::AccessPath::kExtVpTable;
+    if (table.rfind("vp_", 0) == 0) return plan::AccessPath::kVpTable;
+    return plan::AccessPath::kFullScan;
+  };
+  auto leaf = [&](const SqlParts::Step& step) {
+    return plan::MakeScan(plan::NodeKind::kPatternScan, access(step.table),
+                          step.table + " " + step.alias, step.rows, nullptr);
+  };
+
+  plan::PlanPtr root = leaf(parts.steps[0]);
+  for (size_t k = 1; k < parts.steps.size(); ++k) {
+    const auto& step = parts.steps[k];
+    std::string cond;
+    for (size_t c = 0; c < step.on.size(); ++c) {
+      if (c) cond += " AND ";
+      cond += step.on[c];
     }
+    root = step.on.empty()
+               ? plan::MakeBinary(plan::NodeKind::kCartesianProduct, "1 = 1",
+                                  std::move(root), leaf(step), nullptr)
+               : plan::MakeBinary(plan::NodeKind::kPartitionedHashJoin,
+                                  "on " + cond, std::move(root), leaf(step),
+                                  nullptr);
   }
-  sparql::BindingTable table(vars);
-  for (const auto& row : result.Collect()) {
-    IdRow out;
-    out.reserve(cols.size());
-    for (int c : cols) {
-      const sql::Value& v = row[static_cast<size_t>(c)];
-      out.push_back(sql::IsNull(v)
-                        ? sparql::kUnbound
-                        : static_cast<rdf::TermId>(std::get<int64_t>(v)));
-    }
-    table.AddRow(std::move(out));
+
+  std::string project_detail;
+  for (const auto& v : parts.var_order) {
+    project_detail += (project_detail.empty() ? "?" : " ?") + v;
   }
-  return table;
+  if (project_detail.empty()) project_detail = "1 AS one";
+
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, project_detail, std::move(root),
+      [this, sql_text](std::vector<plan::PlanPayload>)
+          -> Result<plan::PlanPayload> {
+        RDFSPARK_ASSIGN_OR_RETURN(sql::DataFrame result,
+                                  session_->Sql(sql_text));
+        // Convert v_<var> columns back to a binding table.
+        std::vector<std::string> vars;
+        std::vector<int> cols;
+        for (size_t i = 0; i < result.schema().num_fields(); ++i) {
+          const std::string& name = result.schema().field(i).name;
+          if (name.rfind("v_", 0) == 0) {
+            vars.push_back(name.substr(2));
+            cols.push_back(static_cast<int>(i));
+          }
+        }
+        sparql::BindingTable table(vars);
+        for (const auto& row : result.Collect()) {
+          IdRow out;
+          out.reserve(cols.size());
+          for (int c : cols) {
+            const sql::Value& v = row[static_cast<size_t>(c)];
+            out.push_back(
+                sql::IsNull(v)
+                    ? sparql::kUnbound
+                    : static_cast<rdf::TermId>(std::get<int64_t>(v)));
+          }
+          table.AddRow(std::move(out));
+        }
+        return plan::PlanPayload(std::move(table));
+      });
 }
 
 }  // namespace rdfspark::systems

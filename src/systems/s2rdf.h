@@ -48,7 +48,7 @@ class S2rdfEngine : public BgpEngineBase {
   uint64_t extvp_rows() const { return extvp_rows_; }
 
  protected:
-  Result<sparql::BindingTable> EvaluateBgp(
+  Result<plan::PlanPtr> PlanBgp(
       const std::vector<sparql::TriplePattern>& bgp) override;
   const rdf::Dictionary& dictionary() const override {
     return store_->dictionary();
@@ -59,6 +59,25 @@ class S2rdfEngine : public BgpEngineBase {
     std::string name;
     uint64_t rows = 0;
   };
+
+  /// Structured form of the SQL translation: one step per (ordered)
+  /// pattern with its table, alias and join conditions. Both the emitted
+  /// SQL text and the physical plan tree are assembled from this.
+  struct SqlParts {
+    struct Step {
+      std::string table;
+      std::string alias;
+      uint64_t rows = 0;
+      std::vector<std::string> on;  // join conditions (empty for step 0)
+    };
+    std::vector<Step> steps;
+    std::vector<std::string> where;
+    std::vector<std::string> var_order;
+    std::unordered_map<std::string, std::string> var_column;
+  };
+
+  Result<SqlParts> BuildSqlParts(
+      const std::vector<sparql::TriplePattern>& bgp) const;
 
   /// Best table for pattern `i` given its correlations within the BGP.
   TableInfo ChooseTable(const std::vector<sparql::TriplePattern>& bgp,

@@ -1,6 +1,9 @@
 #include "systems/s2x.h"
 
+#include <any>
 #include <chrono>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -31,6 +34,7 @@ S2xEngine::S2xEngine(spark::SparkContext* sc, Options options)
 Result<LoadStats> S2xEngine::Load(const rdf::TripleStore& store) {
   auto start = std::chrono::steady_clock::now();
   store_ = &store;
+  stats_ = store.ComputeStatistics();
   int n = options_.num_partitions > 0 ? options_.num_partitions
                                       : sc_->config().default_parallelism;
   std::vector<Edge<rdf::TermId>> edges;
@@ -71,119 +75,169 @@ struct PatternMatches {
   std::vector<std::pair<rdf::TermId, rdf::TermId>> endpoints;  // (s, o)
 };
 
+/// Deferred graph-parallel matching state, shared by all scan nodes of one
+/// plan: the first scan executed runs the per-pattern matching and the
+/// candidate-validation fixpoint for the whole BGP (Steps 1 and 2), later
+/// scans just pick up their pruned match sets.
+struct MatchState {
+  bool ready = false;
+  std::vector<PatternMatches> matches;
+};
+
 }  // namespace
 
-Result<sparql::BindingTable> S2xEngine::EvaluateBgp(
+Result<plan::PlanPtr> S2xEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) return Status::Internal("S2X: Load() not called");
-  if (bgp.empty()) return sparql::BindingTable::Unit();
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
+  }
 
-  VarSchema schema;
+  auto schema = std::make_shared<VarSchema>();
   for (const auto& tp : bgp) {
-    for (const auto& v : tp.Variables()) schema.Add(v);
+    for (const auto& v : tp.Variables()) schema->Add(v);
   }
-  size_t width = schema.vars().size();
+  size_t width = schema->vars().size();
+  auto bgp_copy =
+      std::make_shared<const std::vector<sparql::TriplePattern>>(bgp);
+  auto state = std::make_shared<MatchState>();
 
-  // Step 1: match every triple pattern independently against all edges
-  // (graph-parallel over the triplets view).
-  std::vector<PatternMatches> matches(bgp.size());
-  for (size_t i = 0; i < bgp.size(); ++i) {
-    auto ep = std::make_shared<const EncodedPattern>(
-        EncodePattern(store_->dictionary(), bgp[i]));
-    auto pattern = std::make_shared<const sparql::TriplePattern>(bgp[i]);
-    auto schema_copy = std::make_shared<const VarSchema>(schema);
-    using MatchTuple = std::tuple<rdf::TermId, rdf::TermId, IdRow>;
-    auto rdd = graph_.edges().FlatMap(
-        [ep, pattern, schema_copy, width](const Edge<rdf::TermId>& e) {
-          std::vector<MatchTuple> out;
-          rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src), e.attr,
-                               static_cast<rdf::TermId>(e.dst)};
-          if (MatchesConstants(*ep, t)) {
-            IdRow row(width, sparql::kUnbound);
-            if (ExtendRow(*pattern, t, *schema_copy, &row)) {
-              out.emplace_back(t.s, t.o, std::move(row));
-            }
-          }
-          return out;
-        });
-    for (auto& [s, o, row] : rdd.Collect()) {
-      matches[i].endpoints.emplace_back(s, o);
-      matches[i].rows.push_back(std::move(row));
-    }
-  }
+  // Steps 1 + 2, run once on first scan execution.
+  auto ensure_matched = std::make_shared<std::function<void()>>(
+      [this, state, bgp_copy, schema, width]() {
+        if (state->ready) return;
+        state->ready = true;
+        const auto& bgp = *bgp_copy;
 
-  // Step 2: iterative validation of match candidates. A vertex stays a
-  // candidate for variable x only if every pattern mentioning x retains a
-  // match with this vertex in x's position; matches whose endpoint lost
-  // candidacy are discarded. Messages = surviving matches per round.
-  std::unordered_map<std::string, std::unordered_set<rdf::TermId>> cand;
-  auto var_of = [](const sparql::PatternTerm& t) -> const std::string* {
-    return t.is_variable() ? &t.var() : nullptr;
-  };
-  // Initial local match sets.
-  for (size_t i = 0; i < bgp.size(); ++i) {
-    const std::string* sv = var_of(bgp[i].s);
-    const std::string* ov = var_of(bgp[i].o);
-    for (const auto& [s, o] : matches[i].endpoints) {
-      if (sv) cand[*sv].insert(s);
-      if (ov) cand[*ov].insert(o);
-    }
-  }
-  last_iterations_ = 0;
-  bool changed = true;
-  while (changed && last_iterations_ < options_.max_iterations) {
-    changed = false;
-    ++last_iterations_;
-    ++sc_->metrics().supersteps;
-    // Filter matches by current candidates; rebuild candidate sets.
-    std::unordered_map<std::string, std::unordered_set<rdf::TermId>> next;
-    std::unordered_map<std::string, bool> initialized;
-    for (size_t i = 0; i < bgp.size(); ++i) {
-      const std::string* sv = var_of(bgp[i].s);
-      const std::string* ov = var_of(bgp[i].o);
-      std::vector<IdRow> kept_rows;
-      std::vector<std::pair<rdf::TermId, rdf::TermId>> kept_eps;
-      std::unordered_set<rdf::TermId> s_here, o_here;
-      for (size_t m = 0; m < matches[i].endpoints.size(); ++m) {
-        auto [s, o] = matches[i].endpoints[m];
-        if (sv && !cand[*sv].count(s)) continue;
-        if (ov && !cand[*ov].count(o)) continue;
-        kept_rows.push_back(matches[i].rows[m]);
-        kept_eps.emplace_back(s, o);
-        if (sv) s_here.insert(s);
-        if (ov) o_here.insert(o);
-        ++sc_->metrics().messages;  // local match sent to neighbors
-      }
-      if (kept_rows.size() != matches[i].rows.size()) changed = true;
-      matches[i].rows = std::move(kept_rows);
-      matches[i].endpoints = std::move(kept_eps);
-      // Candidates for a variable: intersection over patterns using it.
-      auto merge = [&](const std::string& var,
-                       std::unordered_set<rdf::TermId>& here) {
-        if (!initialized[var]) {
-          next[var] = std::move(here);
-          initialized[var] = true;
-        } else {
-          std::unordered_set<rdf::TermId> inter;
-          for (rdf::TermId v : next[var]) {
-            if (here.count(v)) inter.insert(v);
+        // Step 1: match every triple pattern independently against all
+        // edges (graph-parallel over the triplets view).
+        auto& matches = state->matches;
+        matches.resize(bgp.size());
+        for (size_t i = 0; i < bgp.size(); ++i) {
+          auto ep = std::make_shared<const EncodedPattern>(
+              EncodePattern(store_->dictionary(), bgp[i]));
+          auto pattern =
+              std::make_shared<const sparql::TriplePattern>(bgp[i]);
+          using MatchTuple = std::tuple<rdf::TermId, rdf::TermId, IdRow>;
+          auto rdd = graph_.edges().FlatMap(
+              [ep, pattern, schema, width](const Edge<rdf::TermId>& e) {
+                std::vector<MatchTuple> out;
+                rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src), e.attr,
+                                     static_cast<rdf::TermId>(e.dst)};
+                if (MatchesConstants(*ep, t)) {
+                  IdRow row(width, sparql::kUnbound);
+                  if (ExtendRow(*pattern, t, *schema, &row)) {
+                    out.emplace_back(t.s, t.o, std::move(row));
+                  }
+                }
+                return out;
+              });
+          for (auto& [s, o, row] : rdd.Collect()) {
+            matches[i].endpoints.emplace_back(s, o);
+            matches[i].rows.push_back(std::move(row));
           }
-          next[var] = std::move(inter);
         }
-      };
-      if (sv) merge(*sv, s_here);
-      if (ov) merge(*ov, o_here);
-    }
-    for (auto& [var, set] : next) {
-      if (set.size() != cand[var].size()) changed = true;
-    }
-    cand = std::move(next);
-  }
+
+        // Step 2: iterative validation of match candidates. A vertex stays
+        // a candidate for variable x only if every pattern mentioning x
+        // retains a match with this vertex in x's position; matches whose
+        // endpoint lost candidacy are discarded. Messages = surviving
+        // matches per round.
+        std::unordered_map<std::string, std::unordered_set<rdf::TermId>>
+            cand;
+        auto var_of =
+            [](const sparql::PatternTerm& t) -> const std::string* {
+          return t.is_variable() ? &t.var() : nullptr;
+        };
+        // Initial local match sets.
+        for (size_t i = 0; i < bgp.size(); ++i) {
+          const std::string* sv = var_of(bgp[i].s);
+          const std::string* ov = var_of(bgp[i].o);
+          for (const auto& [s, o] : matches[i].endpoints) {
+            if (sv) cand[*sv].insert(s);
+            if (ov) cand[*ov].insert(o);
+          }
+        }
+        last_iterations_ = 0;
+        bool changed = true;
+        while (changed && last_iterations_ < options_.max_iterations) {
+          changed = false;
+          ++last_iterations_;
+          ++sc_->metrics().supersteps;
+          // Filter matches by current candidates; rebuild candidate sets.
+          std::unordered_map<std::string, std::unordered_set<rdf::TermId>>
+              next;
+          std::unordered_map<std::string, bool> initialized;
+          for (size_t i = 0; i < bgp.size(); ++i) {
+            const std::string* sv = var_of(bgp[i].s);
+            const std::string* ov = var_of(bgp[i].o);
+            std::vector<IdRow> kept_rows;
+            std::vector<std::pair<rdf::TermId, rdf::TermId>> kept_eps;
+            std::unordered_set<rdf::TermId> s_here, o_here;
+            for (size_t m = 0; m < matches[i].endpoints.size(); ++m) {
+              auto [s, o] = matches[i].endpoints[m];
+              if (sv && !cand[*sv].count(s)) continue;
+              if (ov && !cand[*ov].count(o)) continue;
+              kept_rows.push_back(matches[i].rows[m]);
+              kept_eps.emplace_back(s, o);
+              if (sv) s_here.insert(s);
+              if (ov) o_here.insert(o);
+              ++sc_->metrics().messages;  // local match sent to neighbors
+            }
+            if (kept_rows.size() != matches[i].rows.size()) changed = true;
+            matches[i].rows = std::move(kept_rows);
+            matches[i].endpoints = std::move(kept_eps);
+            // Candidates for a variable: intersection over patterns using
+            // it.
+            auto merge = [&](const std::string& var,
+                             std::unordered_set<rdf::TermId>& here) {
+              if (!initialized[var]) {
+                next[var] = std::move(here);
+                initialized[var] = true;
+              } else {
+                std::unordered_set<rdf::TermId> inter;
+                for (rdf::TermId v : next[var]) {
+                  if (here.count(v)) inter.insert(v);
+                }
+                next[var] = std::move(inter);
+              }
+            };
+            if (sv) merge(*sv, s_here);
+            if (ov) merge(*ov, o_here);
+          }
+          for (auto& [var, set] : next) {
+            if (set.size() != cand[var].size()) changed = true;
+          }
+          cand = std::move(next);
+        }
+      });
+
+  auto pattern_est = [this](const sparql::TriplePattern& tp) -> uint64_t {
+    if (tp.p.is_variable()) return stats_.num_triples;
+    auto id = store_->dictionary().Lookup(tp.p.term());
+    if (!id.ok()) return 0;
+    auto it = stats_.predicate_count.find(*id);
+    return it == stats_.predicate_count.end() ? 0 : it->second;
+  };
+
+  // Scan node for pattern i: the validated (pruned) match set, parallelized
+  // for the data-parallel assembly joins.
+  auto scan = [&](size_t i) {
+    return plan::MakeScan(
+        plan::NodeKind::kPatternScan, plan::AccessPath::kGraphTraversal,
+        bgp[i].ToString() + " (pruned)", pattern_est(bgp[i]),
+        [this, state, ensure_matched, i](std::vector<plan::PlanPayload>)
+            -> Result<plan::PlanPayload> {
+          (*ensure_matched)();
+          return plan::PlanPayload(
+              Parallelize(sc_, std::move(state->matches[i].rows),
+                          sc_->config().default_parallelism));
+        });
+  };
 
   // Step 3: assemble the final output from the per-pattern subgraphs with
   // data-parallel joins.
-  Rdd<IdRow> current = Parallelize(sc_, std::move(matches[0].rows),
-                                   sc_->config().default_parallelism);
+  plan::PlanPtr root = scan(0);
   VarSchema bound;
   for (const auto& v : bgp[0].Variables()) bound.Add(v);
   std::vector<bool> done(bgp.size(), false);
@@ -201,37 +255,60 @@ Result<sparql::BindingTable> S2xEngine::EvaluateBgp(
     }
     size_t i = static_cast<size_t>(next_i);
     done[i] = true;
-    auto rows = Parallelize(sc_, std::move(matches[i].rows),
-                            sc_->config().default_parallelism);
     auto shared = SharedVars(bgp[i], bound);
     if (shared.empty()) {
-      current = current.Cartesian(rows).FlatMap(
-          [](const std::pair<IdRow, IdRow>& ab) {
-            std::vector<IdRow> out;
-            auto merged = MergeRows(ab.first, ab.second);
-            if (merged) out.push_back(std::move(*merged));
-            return out;
+      root = plan::MakeBinary(
+          plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
+          scan(i),
+          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+            return plan::PlanPayload(current.Cartesian(rows).FlatMap(
+                [](const std::pair<IdRow, IdRow>& ab) {
+                  std::vector<IdRow> out;
+                  auto merged = MergeRows(ab.first, ab.second);
+                  if (merged) out.push_back(std::move(*merged));
+                  return out;
+                }));
           });
     } else {
-      int key_idx = schema.IndexOf(shared[0]);
-      auto key_by = [key_idx](const IdRow& row) {
-        return std::pair<rdf::TermId, IdRow>(
-            row[static_cast<size_t>(key_idx)], row);
-      };
-      current = current.Map(key_by)
-                    .Join(rows.Map(key_by))
-                    .FlatMap([](const std::pair<rdf::TermId,
-                                                std::pair<IdRow, IdRow>>& kv) {
+      int key_idx = schema->IndexOf(shared[0]);
+      root = plan::MakeBinary(
+          plan::NodeKind::kPartitionedHashJoin, "on ?" + shared[0],
+          std::move(root), scan(i),
+          [key_idx](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+            auto key_by = [key_idx](const IdRow& row) {
+              return std::pair<rdf::TermId, IdRow>(
+                  row[static_cast<size_t>(key_idx)], row);
+            };
+            return plan::PlanPayload(
+                current.Map(key_by).Join(rows.Map(key_by))
+                    .FlatMap([](const std::pair<
+                                 rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
                       std::vector<IdRow> out;
                       auto merged =
                           MergeRows(kv.second.first, kv.second.second);
                       if (merged) out.push_back(std::move(*merged));
                       return out;
-                    });
+                    }));
+          });
     }
     for (const auto& v : bgp[i].Variables()) bound.Add(v);
   }
-  return ToBindingTable(schema, current.Collect());
+
+  std::string project_detail;
+  for (const auto& v : schema->vars()) {
+    project_detail += (project_detail.empty() ? "?" : " ?") + v;
+  }
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, project_detail, std::move(root),
+      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+        return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
+      });
 }
 
 }  // namespace rdfspark::systems

@@ -38,7 +38,7 @@ class S2xEngine : public BgpEngineBase {
   int last_iterations() const { return last_iterations_; }
 
  protected:
-  Result<sparql::BindingTable> EvaluateBgp(
+  Result<plan::PlanPtr> PlanBgp(
       const std::vector<sparql::TriplePattern>& bgp) override;
   const rdf::Dictionary& dictionary() const override {
     return store_->dictionary();
@@ -48,6 +48,7 @@ class S2xEngine : public BgpEngineBase {
   EngineTraits traits_;
   Options options_;
   const rdf::TripleStore* store_ = nullptr;
+  rdf::DatasetStatistics stats_;
   spark::graphx::Graph<rdf::TermId, rdf::TermId> graph_;
   int last_iterations_ = 0;
 };

@@ -1,8 +1,11 @@
 #include "systems/sparkql.h"
 
 #include <algorithm>
+#include <any>
 #include <chrono>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 
 namespace rdfspark::systems {
@@ -48,6 +51,7 @@ SparkqlEngine::SparkqlEngine(spark::SparkContext* sc, Options options)
 Result<LoadStats> SparkqlEngine::Load(const rdf::TripleStore& store) {
   auto start = std::chrono::steady_clock::now();
   store_ = &store;
+  stats_ = store.ComputeStatistics();
   int n = options_.num_partitions > 0 ? options_.num_partitions
                                       : sc_->config().default_parallelism;
 
@@ -113,11 +117,25 @@ Result<LoadStats> SparkqlEngine::Load(const rdf::TripleStore& store) {
   return stats;
 }
 
-Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
+Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) return Status::Internal("Load() not called");
-  if (bgp.empty()) return sparql::BindingTable::Unit();
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
+  }
   const rdf::Dictionary& dict = store_->dictionary();
+
+  auto pattern_est = [this](const sparql::TriplePattern& tp) -> uint64_t {
+    if (tp.p.is_variable()) return stats_.num_triples;
+    auto id = store_->dictionary().Lookup(tp.p.term());
+    if (!id.ok()) return 0;
+    auto it = stats_.predicate_count.find(*id);
+    return it == stats_.predicate_count.end() ? 0 : it->second;
+  };
+  auto predicate_est = [this](rdf::TermId p) -> uint64_t {
+    auto it = stats_.predicate_count.find(p);
+    return it == stats_.predicate_count.end() ? 0 : it->second;
+  };
 
   // Rewrite: constant subjects/objects of object-property patterns become
   // synthetic variables with forced bindings, so the plan tree is purely
@@ -185,17 +203,19 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
     for (const auto& tp : bgp) {
       for (const auto& v : tp.Variables()) all.Add(v);
     }
-    return sparql::BindingTable(all.vars());
+    return plan::ConstantResultPlan(sparql::BindingTable(all.vars()),
+                                    "impossible pattern");
   }
 
   if (any_pvar) {
     // Generic fallback over "virtual triples" (edges + node properties).
-    VarSchema all;
+    // The virtual-triple RDD is built once here (lazily) and shared by all
+    // scan execs, preserving the original single lineage.
+    auto all_schema = std::make_shared<VarSchema>();
     for (const auto& tp : bgp) {
-      for (const auto& v : tp.Variables()) all.Add(v);
+      for (const auto& v : tp.Variables()) all_schema->Add(v);
     }
-    size_t width = all.vars().size();
-    auto schema_copy = std::make_shared<const VarSchema>(all);
+    size_t width = all_schema->vars().size();
     bool has_type = has_type_predicate_;
     rdf::TermId type_pred = type_predicate_;
     auto virtual_triples =
@@ -221,58 +241,92 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
                   }
                   return out;
                 }));
-    Rdd<IdRow> current;
-    VarSchema bound;
-    for (size_t i = 0; i < bgp.size(); ++i) {
+
+    auto scan = [&](const sparql::TriplePattern& tp) {
       auto ep = std::make_shared<const EncodedPattern>(
-          EncodePattern(dict, bgp[i]));
-      auto pattern = std::make_shared<const sparql::TriplePattern>(bgp[i]);
-      auto rows = virtual_triples.FlatMap(
-          [ep, pattern, schema_copy, width](const rdf::EncodedTriple& t) {
-            std::vector<IdRow> out;
-            if (MatchesConstants(*ep, t)) {
-              IdRow row(width, sparql::kUnbound);
-              if (ExtendRow(*pattern, t, *schema_copy, &row)) {
-                out.push_back(std::move(row));
-              }
-            }
-            return out;
+          EncodePattern(dict, tp));
+      auto pattern = std::make_shared<const sparql::TriplePattern>(tp);
+      return plan::MakeScan(
+          plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
+          tp.ToString() + " (virtual triples)", pattern_est(tp),
+          [virtual_triples, ep, pattern, all_schema, width](
+              std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
+            return plan::PlanPayload(virtual_triples.FlatMap(
+                [ep, pattern, all_schema,
+                 width](const rdf::EncodedTriple& t) {
+                  std::vector<IdRow> out;
+                  if (MatchesConstants(*ep, t)) {
+                    IdRow row(width, sparql::kUnbound);
+                    if (ExtendRow(*pattern, t, *all_schema, &row)) {
+                      out.push_back(std::move(row));
+                    }
+                  }
+                  return out;
+                }));
           });
-      if (i == 0) {
-        current = rows;
+    };
+
+    plan::PlanPtr root = scan(bgp[0]);
+    VarSchema bound;
+    for (const auto& v : bgp[0].Variables()) bound.Add(v);
+    for (size_t i = 1; i < bgp.size(); ++i) {
+      auto shared = SharedVars(bgp[i], bound);
+      if (shared.empty()) {
+        root = plan::MakeBinary(
+            plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
+            scan(bgp[i]),
+            [](std::vector<plan::PlanPayload> in)
+                -> Result<plan::PlanPayload> {
+              auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+              auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+              return plan::PlanPayload(current.Cartesian(rows).FlatMap(
+                  [](const std::pair<IdRow, IdRow>& ab) {
+                    std::vector<IdRow> out;
+                    auto merged = MergeRows(ab.first, ab.second);
+                    if (merged) out.push_back(std::move(*merged));
+                    return out;
+                  }));
+            });
       } else {
-        auto shared = SharedVars(bgp[i], bound);
-        if (shared.empty()) {
-          current = current.Cartesian(rows).FlatMap(
-              [](const std::pair<IdRow, IdRow>& ab) {
-                std::vector<IdRow> out;
-                auto merged = MergeRows(ab.first, ab.second);
-                if (merged) out.push_back(std::move(*merged));
-                return out;
-              });
-        } else {
-          int key_idx = all.IndexOf(shared[0]);
-          auto key_by = [key_idx](const IdRow& row) {
-            return std::pair<rdf::TermId, IdRow>(
-                row[static_cast<size_t>(key_idx)], row);
-          };
-          current =
-              current.Map(key_by)
-                  .Join(rows.Map(key_by))
-                  .FlatMap(
-                      [](const std::pair<rdf::TermId,
-                                         std::pair<IdRow, IdRow>>& kv) {
-                        std::vector<IdRow> out;
-                        auto merged =
-                            MergeRows(kv.second.first, kv.second.second);
-                        if (merged) out.push_back(std::move(*merged));
-                        return out;
-                      });
-        }
+        int key_idx = all_schema->IndexOf(shared[0]);
+        root = plan::MakeBinary(
+            plan::NodeKind::kPartitionedHashJoin, "on ?" + shared[0],
+            std::move(root), scan(bgp[i]),
+            [key_idx](std::vector<plan::PlanPayload> in)
+                -> Result<plan::PlanPayload> {
+              auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+              auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+              auto key_by = [key_idx](const IdRow& row) {
+                return std::pair<rdf::TermId, IdRow>(
+                    row[static_cast<size_t>(key_idx)], row);
+              };
+              return plan::PlanPayload(
+                  current.Map(key_by).Join(rows.Map(key_by))
+                      .FlatMap(
+                          [](const std::pair<
+                              rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
+                            std::vector<IdRow> out;
+                            auto merged = MergeRows(kv.second.first,
+                                                    kv.second.second);
+                            if (merged) out.push_back(std::move(*merged));
+                            return out;
+                          }));
+            });
       }
       for (const auto& v : bgp[i].Variables()) bound.Add(v);
     }
-    return ToBindingTable(all, current.Collect());
+    std::string project_detail;
+    for (const auto& v : all_schema->vars()) {
+      project_detail += (project_detail.empty() ? "?" : " ?") + v;
+    }
+    return plan::MakeUnary(
+        plan::NodeKind::kProject, project_detail, std::move(root),
+        [all_schema](std::vector<plan::PlanPayload> in)
+            -> Result<plan::PlanPayload> {
+          auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+          return plan::PlanPayload(
+              ToBindingTable(*all_schema, current.Collect()));
+        });
   }
 
   size_t width = schema.vars().size();
@@ -296,7 +350,7 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
 
   // Local candidate tables: vertices satisfying the variable's node-local
   // patterns, with literal/class variables bound.
-  auto candidates = [&](const std::string& var) -> Rdd<std::pair<VertexId, Mt>> {
+  auto candidates = [&](const std::string& var) -> plan::PlanPtr {
     auto patterns = std::make_shared<const std::vector<sparql::TriplePattern>>(
         local.count(var) ? local.at(var)
                          : std::vector<sparql::TriplePattern>{});
@@ -309,7 +363,7 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
     int var_idx = schema.IndexOf(var);
     bool has_type = has_type_predicate_;
     rdf::TermId type_pred = type_predicate_;
-    return graph_.vertices().FlatMap(
+    auto match_vertex =
         [patterns, encoded, schema_copy, width, var_idx, force, has_type,
          type_pred](const std::pair<VertexId, SparkqlNode>& kv) {
           std::vector<std::pair<VertexId, Mt>> out;
@@ -351,6 +405,15 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
           }
           out.emplace_back(kv.first, std::move(rows));
           return out;
+        };
+    return plan::MakeScan(
+        plan::NodeKind::kLocalStarMatch, plan::AccessPath::kSubjectStar,
+        "?" + var + " (" + std::to_string(patterns->size()) +
+            " local patterns)",
+        force ? 1 : plan::kNoEstimate,
+        [this, match_vertex](std::vector<plan::PlanPayload>)
+            -> Result<plan::PlanPayload> {
+          return plan::PlanPayload(graph_.vertices().FlatMap(match_vertex));
         });
   };
 
@@ -362,15 +425,14 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
     ++degree[e.dst_var];
   }
   std::vector<bool> pattern_used(edge_patterns.size(), false);
-  std::vector<IdRow> final_rows;
 
-  // Evaluate one connected component rooted at `root`; returns per-vertex
-  // tables for the component. Recursion over the BFS tree.
+  // Plan one connected component rooted at `root`; its exec produces the
+  // per-vertex tables for the component. Recursion over the BFS tree.
   std::unordered_map<std::string, bool> var_done;
-  std::function<Rdd<std::pair<VertexId, Mt>>(const std::string&)> eval_var =
-      [&](const std::string& var) -> Rdd<std::pair<VertexId, Mt>> {
+  std::function<plan::PlanPtr(const std::string&)> plan_var =
+      [&](const std::string& var) -> plan::PlanPtr {
     var_done[var] = true;
-    auto table = candidates(var);
+    plan::PlanPtr node = candidates(var);
     for (size_t i = 0; i < edge_patterns.size(); ++i) {
       if (pattern_used[i]) continue;
       const auto& e = edge_patterns[i];
@@ -386,50 +448,62 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
         continue;
       }
       pattern_used[i] = true;
-      auto child_table = eval_var(child);
-      // Ship child tables to the parent along the pattern's edges.
-      auto installed = graph_.OuterJoinVertices(
-          child_table, [](VertexId, const SparkqlNode& node,
-                          const std::optional<Mt>& t) {
-            return std::pair<SparkqlNode, Mt>(node, t ? *t : Mt{});
-          });
+      auto child_plan = plan_var(child);
       rdf::TermId pid = e.predicate;
-      auto msgs = installed.AggregateMessages<Mt>(
-          [pid, forward](
-              const EdgeTriplet<std::pair<SparkqlNode, Mt>, rdf::TermId>&
-                  t) {
-            std::vector<std::pair<VertexId, Mt>> out;
-            if (t.attr != pid) return out;
-            // forward: parent=src receives from child=dst.
-            const Mt& source =
-                forward ? t.dst_attr.second : t.src_attr.second;
-            if (source.empty()) return out;
-            out.emplace_back(forward ? t.src : t.dst, source);
-            return out;
-          },
-          ConcatMt);
-      // Combine: per-vertex product of current rows and child rows.
-      table = table.Join(msgs).MapValues(
-          [](const std::pair<Mt, Mt>& ab) {
-            Mt merged;
-            for (const IdRow& a : ab.first) {
-              for (const IdRow& b : ab.second) {
-                auto m = MergeRows(a, b);
-                if (m) merged.push_back(std::move(*m));
-              }
-            }
-            return merged;
+      node = plan::MakeBinary(
+          plan::NodeKind::kPartitionedHashJoin,
+          "vertex-message " + e.source.ToString(), std::move(node),
+          std::move(child_plan),
+          [this, pid, forward](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto table = std::any_cast<Rdd<std::pair<VertexId, Mt>>>(
+                std::move(in[0]));
+            auto child_table = std::any_cast<Rdd<std::pair<VertexId, Mt>>>(
+                std::move(in[1]));
+            // Ship child tables to the parent along the pattern's edges.
+            auto installed = graph_.OuterJoinVertices(
+                child_table, [](VertexId, const SparkqlNode& node,
+                                const std::optional<Mt>& t) {
+                  return std::pair<SparkqlNode, Mt>(node, t ? *t : Mt{});
+                });
+            auto msgs = installed.AggregateMessages<Mt>(
+                [pid, forward](
+                    const EdgeTriplet<std::pair<SparkqlNode, Mt>,
+                                      rdf::TermId>& t) {
+                  std::vector<std::pair<VertexId, Mt>> out;
+                  if (t.attr != pid) return out;
+                  // forward: parent=src receives from child=dst.
+                  const Mt& source =
+                      forward ? t.dst_attr.second : t.src_attr.second;
+                  if (source.empty()) return out;
+                  out.emplace_back(forward ? t.src : t.dst, source);
+                  return out;
+                },
+                ConcatMt);
+            // Combine: per-vertex product of current rows and child rows.
+            table = table.Join(msgs).MapValues(
+                [](const std::pair<Mt, Mt>& ab) {
+                  Mt merged;
+                  for (const IdRow& a : ab.first) {
+                    for (const IdRow& b : ab.second) {
+                      auto m = MergeRows(a, b);
+                      if (m) merged.push_back(std::move(*m));
+                    }
+                  }
+                  return merged;
+                });
+            table = table.Filter([](const std::pair<VertexId, Mt>& kv) {
+              return !kv.second.empty();
+            });
+            return plan::PlanPayload(std::move(table));
           });
-      table = table.Filter([](const std::pair<VertexId, Mt>& kv) {
-        return !kv.second.empty();
-      });
+      node->est_cardinality = predicate_est(pid);
     }
-    return table;
+    return node;
   };
 
   // Components in decreasing connectivity order.
-  Rdd<IdRow> current;
-  bool have_current = false;
+  plan::PlanPtr current;
   while (true) {
     std::string root;
     int best_degree = -1;
@@ -442,25 +516,39 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
       }
     }
     if (root.empty()) break;
-    auto table = eval_var(root);
-    auto rows = table.FlatMap([](const std::pair<VertexId, Mt>& kv) {
-      return kv.second;
-    });
-    if (!have_current) {
-      current = rows;
-      have_current = true;
+    auto component = plan::MakeUnary(
+        plan::NodeKind::kProject, "flatten ?" + root + " tables",
+        plan_var(root),
+        [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+          auto table =
+              std::any_cast<Rdd<std::pair<VertexId, Mt>>>(std::move(in[0]));
+          return plan::PlanPayload(
+              table.FlatMap([](const std::pair<VertexId, Mt>& kv) {
+                return kv.second;
+              }));
+        });
+    if (current == nullptr) {
+      current = std::move(component);
     } else {
-      current = current.Cartesian(rows).FlatMap(
-          [](const std::pair<IdRow, IdRow>& ab) {
-            std::vector<IdRow> out;
-            auto merged = MergeRows(ab.first, ab.second);
-            if (merged) out.push_back(std::move(*merged));
-            return out;
+      current = plan::MakeBinary(
+          plan::NodeKind::kCartesianProduct, "merge-rows",
+          std::move(current), std::move(component),
+          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+            auto a = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+            auto b = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+            return plan::PlanPayload(a.Cartesian(b).FlatMap(
+                [](const std::pair<IdRow, IdRow>& ab) {
+                  std::vector<IdRow> out;
+                  auto merged = MergeRows(ab.first, ab.second);
+                  if (merged) out.push_back(std::move(*merged));
+                  return out;
+                }));
           });
     }
   }
-  if (!have_current) {
-    return sparql::BindingTable(schema.vars());
+  if (current == nullptr) {
+    return plan::ConstantResultPlan(sparql::BindingTable(schema.vars()),
+                                    "empty plan");
   }
 
   // Closing (non-tree) patterns: verify edge existence.
@@ -470,38 +558,62 @@ Result<sparql::BindingTable> SparkqlEngine::EvaluateBgp(
     int a_idx = schema.IndexOf(e.src_var);
     int b_idx = schema.IndexOf(e.dst_var);
     rdf::TermId pid = e.predicate;
-    auto pairs = graph_.edges().FlatMap(
-        [pid](const Edge<rdf::TermId>& edge) {
-          std::vector<std::pair<std::pair<rdf::TermId, rdf::TermId>, bool>>
-              out;
-          if (edge.attr == pid) {
-            out.emplace_back(
-                std::make_pair(static_cast<rdf::TermId>(edge.src),
-                               static_cast<rdf::TermId>(edge.dst)),
-                true);
-          }
-          return out;
-        });
-    auto keyed = current.Map([a_idx, b_idx](const IdRow& row) {
-      return std::pair<std::pair<rdf::TermId, rdf::TermId>, IdRow>(
-          std::make_pair(row[static_cast<size_t>(a_idx)],
-                         row[static_cast<size_t>(b_idx)]),
-          row);
-    });
-    current = keyed.Join(pairs.Distinct())
-                  .Map([](const std::pair<std::pair<rdf::TermId, rdf::TermId>,
-                                          std::pair<IdRow, bool>>& kv) {
+    current = plan::MakeUnary(
+        plan::NodeKind::kFilter, "edge exists " + e.source.ToString(),
+        std::move(current),
+        [this, a_idx, b_idx, pid](std::vector<plan::PlanPayload> in)
+            -> Result<plan::PlanPayload> {
+          auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+          auto pairs = graph_.edges().FlatMap(
+              [pid](const Edge<rdf::TermId>& edge) {
+                std::vector<
+                    std::pair<std::pair<rdf::TermId, rdf::TermId>, bool>>
+                    out;
+                if (edge.attr == pid) {
+                  out.emplace_back(
+                      std::make_pair(static_cast<rdf::TermId>(edge.src),
+                                     static_cast<rdf::TermId>(edge.dst)),
+                      true);
+                }
+                return out;
+              });
+          auto keyed = rows.Map([a_idx, b_idx](const IdRow& row) {
+            return std::pair<std::pair<rdf::TermId, rdf::TermId>, IdRow>(
+                std::make_pair(row[static_cast<size_t>(a_idx)],
+                               row[static_cast<size_t>(b_idx)]),
+                row);
+          });
+          return plan::PlanPayload(
+              keyed.Join(pairs.Distinct())
+                  .Map([](const std::pair<
+                           std::pair<rdf::TermId, rdf::TermId>,
+                           std::pair<IdRow, bool>>& kv) {
                     return kv.second.first;
-                  });
+                  }));
+        });
   }
 
   // Strip synthetic variables by projecting onto the real schema.
-  VarSchema real;
-  for (const auto& tp : bgp) {
-    for (const auto& v : tp.Variables()) real.Add(v);
+  auto real_vars = std::make_shared<std::vector<std::string>>();
+  {
+    VarSchema real;
+    for (const auto& tp : bgp) {
+      for (const auto& v : tp.Variables()) real.Add(v);
+    }
+    *real_vars = real.vars();
   }
-  auto table = ToBindingTable(schema, current.Collect());
-  return Project(table, real.vars());
+  std::string project_detail;
+  for (const auto& v : *real_vars) {
+    project_detail += (project_detail.empty() ? "?" : " ?") + v;
+  }
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, project_detail, std::move(current),
+      [schema_copy, real_vars](std::vector<plan::PlanPayload> in)
+          -> Result<plan::PlanPayload> {
+        auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+        auto table = ToBindingTable(*schema_copy, rows.Collect());
+        return plan::PlanPayload(Project(table, *real_vars));
+      });
 }
 
 }  // namespace rdfspark::systems

@@ -50,7 +50,7 @@ class SparkqlEngine : public BgpEngineBase {
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
 
  protected:
-  Result<sparql::BindingTable> EvaluateBgp(
+  Result<plan::PlanPtr> PlanBgp(
       const std::vector<sparql::TriplePattern>& bgp) override;
   const rdf::Dictionary& dictionary() const override {
     return store_->dictionary();
@@ -60,6 +60,7 @@ class SparkqlEngine : public BgpEngineBase {
   EngineTraits traits_;
   Options options_;
   const rdf::TripleStore* store_ = nullptr;
+  rdf::DatasetStatistics stats_;
   spark::graphx::Graph<SparkqlNode, rdf::TermId> graph_;
   std::unordered_set<rdf::TermId> data_predicates_;
   rdf::TermId type_predicate_ = ~0ull;

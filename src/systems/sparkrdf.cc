@@ -1,7 +1,10 @@
 #include "systems/sparkrdf.h"
 
 #include <algorithm>
+#include <any>
 #include <chrono>
+#include <memory>
+#include <optional>
 
 namespace rdfspark::systems {
 
@@ -136,10 +139,12 @@ const SparkRdfEngine::TripleList* SparkRdfEngine::SelectFile(
   return it == relation_index_.end() ? &kEmpty : &it->second;
 }
 
-Result<sparql::BindingTable> SparkRdfEngine::EvaluateBgp(
+Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) return Status::Internal("Load() not called");
-  if (bgp.empty()) return sparql::BindingTable::Unit();
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
+  }
   const rdf::Dictionary& dict = store_->dictionary();
 
   VarSchema schema;
@@ -161,7 +166,10 @@ Result<sparql::BindingTable> SparkRdfEngine::EvaluateBgp(
                            tp.p.term().lexical() == rdf::kRdfType;
       if (is_type_const) {
         auto cid = dict.Lookup(tp.o.term());
-        if (!cid.ok()) return sparql::BindingTable(schema.vars());
+        if (!cid.ok()) {
+          return plan::ConstantResultPlan(sparql::BindingTable(schema.vars()),
+                                          "unknown class");
+        }
         // Keep only the first class constraint per variable; further type
         // patterns stay as normal patterns.
         if (!var_class.count(tp.s.var())) {
@@ -202,33 +210,62 @@ Result<sparql::BindingTable> SparkRdfEngine::EvaluateBgp(
   using KeyedRow = std::pair<rdf::TermId, IdRow>;
   spark::PartitionerInfo part_info{"hash-sbj", num_partitions_, 0};
 
-  // RDSG generation: load a file on demand, pre-partitioned on the join
-  // variable's value.
-  auto load_pattern = [&](const sparql::TriplePattern& tp,
-                          const std::string& key_var) -> Rdd<KeyedRow> {
+  // Names the MESG file SelectFile picks for a pattern, for EXPLAIN.
+  auto file_access = [&](const sparql::TriplePattern& tp)
+      -> std::pair<plan::AccessPath, std::string> {
+    if (tp.p.is_variable()) {
+      return {plan::AccessPath::kFullScan, "all triples"};
+    }
+    auto pid = dict.Lookup(tp.p.term());
+    if (!pid.ok()) return {plan::AccessPath::kFullScan, "missing predicate"};
+    bool is_type = has_type_predicate_ && *pid == type_predicate_;
+    bool s_cls = false;
+    bool o_cls = false;
+    if (options_.enable_class_indexes && !is_type) {
+      s_cls = tp.s.is_variable() && var_class.count(tp.s.var()) > 0;
+      o_cls = tp.o.is_variable() && var_class.count(tp.o.var()) > 0;
+    }
+    if (s_cls && o_cls) return {plan::AccessPath::kClassIndex, "crc file"};
+    if (s_cls) return {plan::AccessPath::kClassIndex, "cr file"};
+    if (o_cls) return {plan::AccessPath::kClassIndex, "rc file"};
+    return {plan::AccessPath::kVpTable, "relation file"};
+  };
+
+  // RDSG generation: a scan leaf loads its file on demand in the exec,
+  // pre-partitioned on the join variable's value.
+  auto scan_pattern = [&](const sparql::TriplePattern& tp,
+                          const std::string& key_var) -> plan::PlanPtr {
     const TripleList* file = SelectFile(tp, var_class);
+    auto [access, file_kind] = file_access(tp);
     auto ep = std::make_shared<const EncodedPattern>(EncodePattern(dict, tp));
     auto pattern = std::make_shared<const sparql::TriplePattern>(tp);
     int key_idx = schema.IndexOf(key_var);
-    auto rows =
-        Parallelize(sc_, *file, num_partitions_)
-            .FlatMap([ep, pattern, schema_copy, width,
-                      key_idx](const rdf::EncodedTriple& t) {
-              std::vector<KeyedRow> out;
-              if (MatchesConstants(*ep, t)) {
-                IdRow row(width, sparql::kUnbound);
-                if (ExtendRow(*pattern, t, *schema_copy, &row)) {
-                  rdf::TermId key = row[static_cast<size_t>(key_idx)];
-                  out.emplace_back(key, std::move(row));
-                }
-              }
-              return out;
-            });
-    return rows.PartitionByKey(num_partitions_, "hash-sbj");
+    return plan::MakeScan(
+        plan::NodeKind::kPatternScan, access,
+        tp.ToString() + " (" + file_kind + ", partition on ?" + key_var + ")",
+        file->size(),
+        [this, file, ep, pattern, schema_copy, width, key_idx](
+            std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
+          auto rows =
+              Parallelize(sc_, *file, num_partitions_)
+                  .FlatMap([ep, pattern, schema_copy, width,
+                            key_idx](const rdf::EncodedTriple& t) {
+                    std::vector<KeyedRow> out;
+                    if (MatchesConstants(*ep, t)) {
+                      IdRow row(width, sparql::kUnbound);
+                      if (ExtendRow(*pattern, t, *schema_copy, &row)) {
+                        rdf::TermId key = row[static_cast<size_t>(key_idx)];
+                        out.emplace_back(key, std::move(row));
+                      }
+                    }
+                    return out;
+                  });
+          return plan::PlanPayload(
+              rows.PartitionByKey(num_partitions_, "hash-sbj"));
+        });
   };
 
-  Rdd<KeyedRow> current;
-  bool have_current = false;
+  plan::PlanPtr current;
   std::string current_key;
   std::vector<bool> done(work.size(), false);
   VarSchema bound;
@@ -253,96 +290,167 @@ Result<sparql::BindingTable> SparkRdfEngine::EvaluateBgp(
 
     for (size_t i : mine) {
       done[i] = true;
-      auto rows = load_pattern(work[i], x);
-      if (!have_current) {
-        current = rows;
-        have_current = true;
+      auto leaf = scan_pattern(work[i], x);
+      if (current == nullptr) {
+        current = std::move(leaf);
         current_key = x;
       } else {
-        if (current_key != x) {
-          int idx = schema.IndexOf(x);
+        if (current_key != x && bound.IndexOf(x) < 0) {
           // Rows missing x (disconnected component boundary) go through a
           // cartesian merge instead.
-          if (bound.IndexOf(x) < 0) {
-            auto crossed = current.Cartesian(rows).FlatMap(
-                [](const std::pair<KeyedRow, KeyedRow>& ab) {
-                  std::vector<KeyedRow> out;
-                  auto merged = MergeRows(ab.first.second, ab.second.second);
-                  if (merged) {
-                    out.emplace_back(ab.second.first, std::move(*merged));
-                  }
-                  return out;
-                });
-            current = crossed.PartitionByKey(num_partitions_, "hash-sbj");
-            current_key = x;
-            for (const auto& v : work[i].Variables()) bound.Add(v);
-            continue;
-          }
-          current = current
-                        .Map([idx](const KeyedRow& kv) {
-                          return KeyedRow(
-                              kv.second[static_cast<size_t>(idx)], kv.second);
-                        })
-                        .PartitionByKey(num_partitions_, "hash-sbj");
+          current = plan::MakeBinary(
+              plan::NodeKind::kCartesianProduct,
+              "merge-rows (re-partition on ?" + x + ")", std::move(current),
+              std::move(leaf),
+              [this](std::vector<plan::PlanPayload> in)
+                  -> Result<plan::PlanPayload> {
+                auto cur = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+                auto rows = std::any_cast<Rdd<KeyedRow>>(std::move(in[1]));
+                auto crossed = cur.Cartesian(rows).FlatMap(
+                    [](const std::pair<KeyedRow, KeyedRow>& ab) {
+                      std::vector<KeyedRow> out;
+                      auto merged =
+                          MergeRows(ab.first.second, ab.second.second);
+                      if (merged) {
+                        out.emplace_back(ab.second.first, std::move(*merged));
+                      }
+                      return out;
+                    });
+                return plan::PlanPayload(
+                    crossed.PartitionByKey(num_partitions_, "hash-sbj"));
+              });
           current_key = x;
+          for (const auto& v : work[i].Variables()) bound.Add(v);
+          continue;
         }
-        // Co-partitioned join on x (no shuffle after the pre-partition).
-        current = current.Join(rows).FlatMap(
-            [](const std::pair<rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
-              std::vector<KeyedRow> out;
-              auto merged = MergeRows(kv.second.first, kv.second.second);
-              if (merged) out.emplace_back(kv.first, std::move(*merged));
-              return out;
+        bool need_rekey = current_key != x;
+        int idx = schema.IndexOf(x);
+        current = plan::MakeBinary(
+            plan::NodeKind::kPartitionedHashJoin,
+            "on ?" + x +
+                (need_rekey ? " (re-partition)" : " (co-partitioned)"),
+            std::move(current), std::move(leaf),
+            [this, need_rekey, idx, part_info](
+                std::vector<plan::PlanPayload> in)
+                -> Result<plan::PlanPayload> {
+              auto cur = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+              auto rows = std::any_cast<Rdd<KeyedRow>>(std::move(in[1]));
+              if (need_rekey) {
+                cur = cur.Map([idx](const KeyedRow& kv) {
+                           return KeyedRow(
+                               kv.second[static_cast<size_t>(idx)],
+                               kv.second);
+                         })
+                          .PartitionByKey(num_partitions_, "hash-sbj");
+              }
+              // Co-partitioned join on x (no shuffle after the
+              // pre-partition).
+              auto joined = cur.Join(rows).FlatMap(
+                  [](const std::pair<rdf::TermId,
+                                     std::pair<IdRow, IdRow>>& kv) {
+                    std::vector<KeyedRow> out;
+                    auto merged = MergeRows(kv.second.first, kv.second.second);
+                    if (merged) out.emplace_back(kv.first, std::move(*merged));
+                    return out;
+                  });
+              return plan::PlanPayload(joined.AssumePartitioner(part_info));
             });
-        current = current.AssumePartitioner(part_info);
+        current_key = x;
       }
       for (const auto& v : work[i].Variables()) bound.Add(v);
     }
   }
 
+  // Bridge from the distributed join phase to the driver-side class
+  // constraint phase.
+  plan::PlanPtr rows_plan;
+  if (current != nullptr) {
+    rows_plan = plan::MakeUnary(
+        plan::NodeKind::kProject, "collect matched rows", std::move(current),
+        [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+          auto cur = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+          std::vector<IdRow> out;
+          for (auto& kv : cur.Collect()) out.push_back(std::move(kv.second));
+          return plan::PlanPayload(std::move(out));
+        });
+  } else {
+    rows_plan = plan::MakeScan(
+        plan::NodeKind::kPatternScan, plan::AccessPath::kNone,
+        "unit row (all patterns class-eliminated)", 1,
+        [width](std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
+          return plan::PlanPayload(
+              std::vector<IdRow>{IdRow(width, sparql::kUnbound)});
+        });
+  }
+
   // Class constraints for variables bound by other patterns.
-  std::vector<IdRow> rows = have_current
-                                ? [&] {
-                                    std::vector<IdRow> out;
-                                    for (auto& kv : current.Collect()) {
-                                      out.push_back(std::move(kv.second));
-                                    }
-                                    return out;
-                                  }()
-                                : std::vector<IdRow>{IdRow(
-                                      width, sparql::kUnbound)};
   for (const auto& [var, cls] : var_class) {
     auto it = class_index_.find(cls);
     int idx = schema.IndexOf(var);
     if (idx < 0) continue;
+    const std::unordered_set<rdf::TermId>* instances =
+        it == class_index_.end() ? nullptr : &it->second;
+    auto cname = dict.DecodeString(cls);
+    std::string cls_name = cname.ok() ? *cname : "#" + std::to_string(cls);
     bool class_only =
         std::find(class_only_vars.begin(), class_only_vars.end(), var) !=
         class_only_vars.end();
     if (class_only) {
       // Bind from the class index (cartesian with current rows).
-      std::vector<IdRow> expanded;
-      if (it != class_index_.end()) {
-        for (const IdRow& row : rows) {
-          for (rdf::TermId instance : it->second) {
-            IdRow e = row;
-            e[static_cast<size_t>(idx)] = instance;
-            expanded.push_back(std::move(e));
-          }
-        }
-      }
-      rows = std::move(expanded);
+      auto index_leaf = plan::MakeScan(
+          plan::NodeKind::kPatternScan, plan::AccessPath::kClassIndex,
+          "instances of " + cls_name,
+          instances == nullptr ? 0 : instances->size(), nullptr);
+      rows_plan = plan::MakeBinary(
+          plan::NodeKind::kCartesianProduct, "bind ?" + var,
+          std::move(rows_plan), std::move(index_leaf),
+          [instances, idx](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto rows = std::any_cast<std::vector<IdRow>>(std::move(in[0]));
+            std::vector<IdRow> expanded;
+            if (instances != nullptr) {
+              for (const IdRow& row : rows) {
+                for (rdf::TermId instance : *instances) {
+                  IdRow e = row;
+                  e[static_cast<size_t>(idx)] = instance;
+                  expanded.push_back(std::move(e));
+                }
+              }
+            }
+            return plan::PlanPayload(std::move(expanded));
+          });
     } else {
-      std::vector<IdRow> kept;
-      for (IdRow& row : rows) {
-        rdf::TermId value = row[static_cast<size_t>(idx)];
-        if (it != class_index_.end() && it->second.count(value)) {
-          kept.push_back(std::move(row));
-        }
-      }
-      rows = std::move(kept);
+      rows_plan = plan::MakeUnary(
+          plan::NodeKind::kFilter,
+          "?" + var + " is-a " + cls_name + " (class index)",
+          std::move(rows_plan),
+          [instances, idx](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto rows = std::any_cast<std::vector<IdRow>>(std::move(in[0]));
+            std::vector<IdRow> kept;
+            for (IdRow& row : rows) {
+              rdf::TermId value = row[static_cast<size_t>(idx)];
+              if (instances != nullptr && instances->count(value)) {
+                kept.push_back(std::move(row));
+              }
+            }
+            return plan::PlanPayload(std::move(kept));
+          });
     }
   }
-  return ToBindingTable(schema, std::move(rows));
+
+  std::string project_detail;
+  for (const auto& v : schema.vars()) {
+    project_detail += (project_detail.empty() ? "?" : " ?") + v;
+  }
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, project_detail, std::move(rows_plan),
+      [schema_copy](std::vector<plan::PlanPayload> in)
+          -> Result<plan::PlanPayload> {
+        auto rows = std::any_cast<std::vector<IdRow>>(std::move(in[0]));
+        return plan::PlanPayload(
+            ToBindingTable(*schema_copy, std::move(rows)));
+      });
 }
 
 }  // namespace rdfspark::systems

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+
+#include "systems/plan/planner_utils.h"
 
 namespace rdfspark::systems {
 
@@ -126,98 +129,109 @@ spark::Rdd<IdRow> SparqlgxEngine::PatternRows(
   return all_triples_.FlatMap(expand);
 }
 
-Result<sparql::BindingTable> SparqlgxEngine::EvaluateBgp(
+Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   if (store_ == nullptr) {
     return Status::Internal("SPARQLGX: Load() not called");
   }
-  if (bgp.empty()) return sparql::BindingTable::Unit();
+  if (bgp.empty()) {
+    return plan::ConstantResultPlan(sparql::BindingTable::Unit(), "unit");
+  }
 
-  VarSchema schema;
+  auto schema = std::make_shared<VarSchema>();
   for (const auto& tp : bgp) {
-    for (const auto& v : tp.Variables()) schema.Add(v);
+    for (const auto& v : tp.Variables()) schema->Add(v);
   }
 
   // Optimization: reorder the join sequence by ascending selectivity,
   // keeping the sequence connected.
   std::vector<sparql::TriplePattern> ordered = bgp;
   if (options_.enable_statistics_reordering) {
-    std::vector<size_t> indices(bgp.size());
-    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-    size_t first = 0;
-    for (size_t i = 1; i < bgp.size(); ++i) {
-      if (PatternSelectivity(bgp[i]) < PatternSelectivity(bgp[first])) {
-        first = i;
-      }
-    }
-    // Greedy connected order, preferring cheap patterns.
-    std::vector<sparql::TriplePattern> result;
-    std::vector<bool> used(bgp.size(), false);
-    VarSchema seen;
-    auto take = [&](size_t i) {
-      used[i] = true;
-      for (const auto& v : bgp[i].Variables()) seen.Add(v);
-      result.push_back(bgp[i]);
-    };
-    take(first);
-    while (result.size() < bgp.size()) {
-      int best = -1;
-      bool best_connected = false;
-      for (size_t i = 0; i < bgp.size(); ++i) {
-        if (used[i]) continue;
-        bool connected = !SharedVars(bgp[i], seen).empty();
-        if (best < 0 || (connected && !best_connected) ||
-            (connected == best_connected &&
-             PatternSelectivity(bgp[i]) <
-                 PatternSelectivity(bgp[static_cast<size_t>(best)]))) {
-          best = static_cast<int>(i);
-          best_connected = connected;
-        }
-      }
-      take(static_cast<size_t>(best));
-    }
-    ordered = std::move(result);
+    ordered = plan::GreedyConnectedOrder(
+        bgp,
+        [this](const sparql::TriplePattern& tp) {
+          return PatternSelectivity(tp);
+        });
   }
+
+  // Leaves: a bounded predicate reads only its vertical partition; a
+  // predicate variable falls back to the full triple scan.
+  auto scan = [this, schema](const sparql::TriplePattern& tp) {
+    plan::AccessPath access = tp.p.is_variable()
+                                  ? plan::AccessPath::kFullScan
+                                  : plan::AccessPath::kVpTable;
+    return plan::MakeScan(
+        plan::NodeKind::kPatternScan, access, tp.ToString(),
+        PatternSelectivity(tp),
+        [this, schema, tp](std::vector<plan::PlanPayload>)
+            -> Result<plan::PlanPayload> {
+          return plan::PlanPayload(PatternRows(tp, *schema));
+        });
+  };
 
   // Sequential translation: each pattern's rows joined with the
   // accumulated result via keyBy on a common variable.
-  Rdd<IdRow> current = PatternRows(ordered[0], schema);
+  plan::PlanPtr root = scan(ordered[0]);
   VarSchema bound;
   for (const auto& v : ordered[0].Variables()) bound.Add(v);
 
   for (size_t i = 1; i < ordered.size(); ++i) {
     const auto& tp = ordered[i];
-    Rdd<IdRow> rows = PatternRows(tp, schema);
     auto shared = SharedVars(tp, bound);
     if (shared.empty()) {
       // "If no common variable is found the cross product is computed."
-      auto pairs = current.Cartesian(rows);
-      current = pairs.FlatMap(
-          [](const std::pair<IdRow, IdRow>& ab) {
-            std::vector<IdRow> out;
-            auto merged = MergeRows(ab.first, ab.second);
-            if (merged) out.push_back(std::move(*merged));
-            return out;
+      root = plan::MakeBinary(
+          plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
+          scan(tp),
+          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+            return plan::PlanPayload(current.Cartesian(rows).FlatMap(
+                [](const std::pair<IdRow, IdRow>& ab) {
+                  std::vector<IdRow> out;
+                  auto merged = MergeRows(ab.first, ab.second);
+                  if (merged) out.push_back(std::move(*merged));
+                  return out;
+                }));
           });
     } else {
-      int key_idx = schema.IndexOf(shared[0]);
-      auto key_by = [key_idx](const IdRow& row) {
-        return std::pair<rdf::TermId, IdRow>(
-            row[static_cast<size_t>(key_idx)], row);
-      };
-      auto joined = current.Map(key_by).Join(rows.Map(key_by));
-      current = joined.FlatMap(
-          [](const std::pair<rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
-            std::vector<IdRow> out;
-            auto merged = MergeRows(kv.second.first, kv.second.second);
-            if (merged) out.push_back(std::move(*merged));
-            return out;
+      int key_idx = schema->IndexOf(shared[0]);
+      root = plan::MakeBinary(
+          plan::NodeKind::kPartitionedHashJoin, "on ?" + shared[0],
+          std::move(root), scan(tp),
+          [key_idx](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+            auto key_by = [key_idx](const IdRow& row) {
+              return std::pair<rdf::TermId, IdRow>(
+                  row[static_cast<size_t>(key_idx)], row);
+            };
+            return plan::PlanPayload(
+                current.Map(key_by).Join(rows.Map(key_by))
+                    .FlatMap([](const std::pair<
+                                 rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
+                      std::vector<IdRow> out;
+                      auto merged =
+                          MergeRows(kv.second.first, kv.second.second);
+                      if (merged) out.push_back(std::move(*merged));
+                      return out;
+                    }));
           });
     }
     for (const auto& v : tp.Variables()) bound.Add(v);
   }
 
-  return ToBindingTable(schema, current.Collect());
+  std::string vars_detail;
+  for (const auto& v : schema->vars()) {
+    vars_detail += (vars_detail.empty() ? "?" : " ?") + v;
+  }
+  return plan::MakeUnary(
+      plan::NodeKind::kProject, vars_detail, std::move(root),
+      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+        return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
+      });
 }
 
 }  // namespace rdfspark::systems

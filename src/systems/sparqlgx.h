@@ -38,7 +38,7 @@ class SparqlgxEngine : public BgpEngineBase {
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
 
  protected:
-  Result<sparql::BindingTable> EvaluateBgp(
+  Result<plan::PlanPtr> PlanBgp(
       const std::vector<sparql::TriplePattern>& bgp) override;
   const rdf::Dictionary& dictionary() const override {
     return store_->dictionary();

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "rdf/generator.h"
 #include "rdf/store.h"
@@ -238,6 +242,226 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<EngineFactory>& info) {
       return info.param.name;
     });
+
+// ---------------------------------------------------------------------------
+// Behaviour-preservation guard for the physical-plan layer: every engine's
+// results and query-time metrics must match values captured before the
+// EvaluateBgp -> PlanBgp/PlanExecutor refactor. Regenerate the table with
+//   RDFSPARK_PRINT_GOLDEN=1 ./engines_test
+//     --gtest_filter='*MatchesPreRefactorGoldens*'   (one line)
+// ---------------------------------------------------------------------------
+
+/// One captured execution: order-insensitive result hash plus the metric
+/// counters most sensitive to join strategy and ordering changes.
+struct GoldenRun {
+  const char* engine;
+  const char* query;
+  uint64_t result_hash;
+  uint64_t shuffle_records;
+  uint64_t join_comparisons;
+  uint64_t broadcast_bytes;
+};
+
+/// FNV-1a over the decoded rows in sorted canonical form.
+uint64_t HashDecoded(const sparql::BindingTable& table,
+                     const rdf::Dictionary& dict) {
+  std::vector<std::string> rows;
+  for (const auto& decoded : table.Decode(dict)) {
+    std::string row;
+    for (const auto& [var, term] : decoded) {
+      row += var;
+      row += '=';
+      row += term;
+      row += ';';
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ull;
+  };
+  for (const auto& row : rows) {
+    for (char c : row) mix(static_cast<unsigned char>(c));
+    mix(0xff);
+  }
+  return h;
+}
+
+const std::vector<GoldenRun>& GoldenRuns() {
+  static const std::vector<GoldenRun>* runs = new std::vector<GoldenRun>{
+      // RDFSPARK_GOLDEN_TABLE_BEGIN
+      {"HAQWA", "star3", 0x6e4f46cd4067675bull, 0ull, 0ull, 0ull},
+      {"HAQWA", "star5", 0x6ff92254b5451753ull, 0ull, 0ull, 0ull},
+      {"HAQWA", "linear3", 0x59711d0770b5f4d2ull, 42ull, 29ull, 0ull},
+      {"HAQWA", "snowflake", 0x4dcb0d81391cebb0ull, 42ull, 29ull, 0ull},
+      {"HAQWA", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"HAQWA", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 115ull, 0ull},
+      {"HAQWA_workload", "star3", 0x6e4f46cd4067675bull, 0ull, 0ull, 0ull},
+      {"HAQWA_workload", "star5", 0x6ff92254b5451753ull, 0ull, 0ull, 0ull},
+      {"HAQWA_workload", "linear3", 0x59711d0770b5f4d2ull, 27ull, 29ull, 0ull},
+      {"HAQWA_workload", "snowflake", 0x4dcb0d81391cebb0ull, 42ull, 29ull, 0ull},
+      {"HAQWA_workload", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"HAQWA_workload", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 115ull, 0ull},
+      {"SPARQLGX", "star3", 0x6e4f46cd4067675bull, 163ull, 24ull, 0ull},
+      {"SPARQLGX", "star5", 0x6ff92254b5451753ull, 221ull, 58ull, 0ull},
+      {"SPARQLGX", "linear3", 0x59711d0770b5f4d2ull, 42ull, 29ull, 0ull},
+      {"SPARQLGX", "snowflake", 0x4dcb0d81391cebb0ull, 292ull, 75ull, 0ull},
+      {"SPARQLGX", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"SPARQLGX", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 115ull, 0ull},
+      {"SPARQLGX_nostats", "star3", 0x6e4f46cd4067675bull, 163ull, 24ull, 0ull},
+      {"SPARQLGX_nostats", "star5", 0x6ff92254b5451753ull, 216ull, 53ull, 0ull},
+      {"SPARQLGX_nostats", "linear3", 0x59711d0770b5f4d2ull, 45ull, 30ull, 0ull},
+      {"SPARQLGX_nostats", "snowflake", 0x4dcb0d81391cebb0ull, 292ull, 75ull, 0ull},
+      {"SPARQLGX_nostats", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"SPARQLGX_nostats", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 142ull, 0ull},
+      {"S2RDF", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 1296ull},
+      {"S2RDF", "star5", 0x6ff92254b5451753ull, 0ull, 53ull, 2862ull},
+      {"S2RDF", "linear3", 0x59711d0770b5f4d2ull, 0ull, 29ull, 1458ull},
+      {"S2RDF", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 75ull, 2970ull},
+      {"S2RDF", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"S2RDF", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 115ull, 5616ull},
+      {"S2RDF_noextvp", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 7506ull},
+      {"S2RDF_noextvp", "star5", 0x6ff92254b5451753ull, 0ull, 58ull, 9072ull},
+      {"S2RDF_noextvp", "linear3", 0x59711d0770b5f4d2ull, 0ull, 29ull, 1458ull},
+      {"S2RDF_noextvp", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 74ull, 12366ull},
+      {"S2RDF_noextvp", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"S2RDF_noextvp", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 115ull, 5616ull},
+      {"S2RDF_sf1", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 1296ull},
+      {"S2RDF_sf1", "star5", 0x6ff92254b5451753ull, 0ull, 53ull, 2862ull},
+      {"S2RDF_sf1", "linear3", 0x59711d0770b5f4d2ull, 0ull, 25ull, 1350ull},
+      {"S2RDF_sf1", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 75ull, 2862ull},
+      {"S2RDF_sf1", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"S2RDF_sf1", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 115ull, 5616ull},
+      {"Hybrid_SparkSQL_naive", "star3", 0x6e4f46cd4067675bull, 0ull, 1668ull, 0ull},
+      {"Hybrid_SparkSQL_naive", "star5", 0x6ff92254b5451753ull, 0ull, 2016ull, 0ull},
+      {"Hybrid_SparkSQL_naive", "linear3", 0x59711d0770b5f4d2ull, 0ull, 225ull, 0ull},
+      {"Hybrid_SparkSQL_naive", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 3255ull, 0ull},
+      {"Hybrid_SparkSQL_naive", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"Hybrid_SparkSQL_naive", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 1768ull, 0ull},
+      {"Hybrid_RDD_partitioned", "star3", 0x6e4f46cd4067675bull, 163ull, 24ull, 0ull},
+      {"Hybrid_RDD_partitioned", "star5", 0x6ff92254b5451753ull, 216ull, 53ull, 0ull},
+      {"Hybrid_RDD_partitioned", "linear3", 0x59711d0770b5f4d2ull, 45ull, 30ull, 0ull},
+      {"Hybrid_RDD_partitioned", "snowflake", 0x4dcb0d81391cebb0ull, 292ull, 75ull, 0ull},
+      {"Hybrid_RDD_partitioned", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"Hybrid_RDD_partitioned", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 142ull, 0ull},
+      {"Hybrid_DataFrame_broadcast", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 7506ull},
+      {"Hybrid_DataFrame_broadcast", "star5", 0x6ff92254b5451753ull, 0ull, 53ull, 9072ull},
+      {"Hybrid_DataFrame_broadcast", "linear3", 0x59711d0770b5f4d2ull, 0ull, 30ull, 810ull},
+      {"Hybrid_DataFrame_broadcast", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 75ull, 11718ull},
+      {"Hybrid_DataFrame_broadcast", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"Hybrid_DataFrame_broadcast", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 142ull, 918ull},
+      {"Hybrid_Hybrid", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 7506ull},
+      {"Hybrid_Hybrid", "star5", 0x6ff92254b5451753ull, 0ull, 58ull, 9072ull},
+      {"Hybrid_Hybrid", "linear3", 0x59711d0770b5f4d2ull, 0ull, 29ull, 1458ull},
+      {"Hybrid_Hybrid", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 75ull, 11718ull},
+      {"Hybrid_Hybrid", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"Hybrid_Hybrid", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 115ull, 5616ull},
+      {"S2X", "star3", 0x6e4f46cd4067675bull, 48ull, 24ull, 0ull},
+      {"S2X", "star5", 0x6ff92254b5451753ull, 101ull, 53ull, 0ull},
+      {"S2X", "linear3", 0x59711d0770b5f4d2ull, 43ull, 30ull, 0ull},
+      {"S2X", "snowflake", 0x4dcb0d81391cebb0ull, 128ull, 75ull, 0ull},
+      {"S2X", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"S2X", "object_object", 0x2f8d36d8fb7af6d4ull, 94ull, 115ull, 0ull},
+      {"GraphX_SM", "star3", 0x6e4f46cd4067675bull, 3639ull, 2806ull, 0ull},
+      {"GraphX_SM", "star5", 0x6ff92254b5451753ull, 7270ull, 5612ull, 0ull},
+      {"GraphX_SM", "linear3", 0x59711d0770b5f4d2ull, 3610ull, 2806ull, 0ull},
+      {"GraphX_SM", "snowflake", 0x4dcb0d81391cebb0ull, 9056ull, 7015ull, 0ull},
+      {"GraphX_SM", "constant_object", 0x29fef2979fd98f3cull, 6ull, 0ull, 0ull},
+      {"GraphX_SM", "object_object", 0x2f8d36d8fb7af6d4ull, 1844ull, 1403ull, 0ull},
+      {"Sparkql", "star3", 0x6e4f46cd4067675bull, 1117ull, 828ull, 0ull},
+      {"Sparkql", "star5", 0x6ff92254b5451753ull, 3357ull, 2109ull, 0ull},
+      {"Sparkql", "linear3", 0x59711d0770b5f4d2ull, 3468ull, 2357ull, 0ull},
+      {"Sparkql", "snowflake", 0x4dcb0d81391cebb0ull, 4489ull, 3046ull, 0ull},
+      {"Sparkql", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"Sparkql", "object_object", 0x2f8d36d8fb7af6d4ull, 2368ull, 1534ull, 0ull},
+      {"GraphFrames", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 11259ull},
+      {"GraphFrames", "star5", 0x6ff92254b5451753ull, 0ull, 58ull, 13608ull},
+      {"GraphFrames", "linear3", 0x59711d0770b5f4d2ull, 0ull, 29ull, 2187ull},
+      {"GraphFrames", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 74ull, 27621ull},
+      {"GraphFrames", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"GraphFrames", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 115ull, 8424ull},
+      {"GraphFrames_unopt", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 11259ull},
+      {"GraphFrames_unopt", "star5", 0x6ff92254b5451753ull, 0ull, 53ull, 13608ull},
+      {"GraphFrames_unopt", "linear3", 0x59711d0770b5f4d2ull, 0ull, 30ull, 1215ull},
+      {"GraphFrames_unopt", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 75ull, 17577ull},
+      {"GraphFrames_unopt", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"GraphFrames_unopt", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 142ull, 1377ull},
+      {"SparkRDF", "star3", 0x6e4f46cd4067675bull, 175ull, 1668ull, 0ull},
+      {"SparkRDF", "star5", 0x6ff92254b5451753ull, 238ull, 2651ull, 0ull},
+      {"SparkRDF", "linear3", 0x59711d0770b5f4d2ull, 48ull, 192ull, 0ull},
+      {"SparkRDF", "snowflake", 0x4dcb0d81391cebb0ull, 550ull, 2277ull, 0ull},
+      {"SparkRDF", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
+      {"SparkRDF", "object_object", 0x2f8d36d8fb7af6d4ull, 236ull, 1768ull, 0ull},
+      {"SparkRDF_noclass", "star3", 0x6e4f46cd4067675bull, 175ull, 1668ull, 0ull},
+      {"SparkRDF_noclass", "star5", 0x6ff92254b5451753ull, 238ull, 2651ull, 0ull},
+      {"SparkRDF_noclass", "linear3", 0x59711d0770b5f4d2ull, 48ull, 192ull, 0ull},
+      {"SparkRDF_noclass", "snowflake", 0x4dcb0d81391cebb0ull, 2410ull, 93207ull, 0ull},
+      {"SparkRDF_noclass", "constant_object", 0x29fef2979fd98f3cull, 6ull, 0ull, 0ull},
+      {"SparkRDF_noclass", "object_object", 0x2f8d36d8fb7af6d4ull, 236ull, 1768ull, 0ull},
+      // RDFSPARK_GOLDEN_TABLE_END
+  };
+  return *runs;
+}
+
+TEST(PlanRefactorEquivalenceTest, MatchesPreRefactorGoldens) {
+  const std::vector<const char*> kLabels = {
+      "star3",           "star5",         "linear3",
+      "snowflake",       "constant_object", "object_object"};
+  const rdf::TripleStore& store = Dataset();
+  const bool print = std::getenv("RDFSPARK_PRINT_GOLDEN") != nullptr;
+  if (!print && GoldenRuns().empty()) {
+    GTEST_SKIP() << "golden table not captured yet";
+  }
+
+  std::vector<TestQuery> queries = TestQueries();
+  for (const auto& factory : Factories()) {
+    SparkContext sc(SmallCluster());
+    auto engine = factory.make(&sc);
+    ASSERT_TRUE(engine->Load(store).ok()) << factory.name;
+    for (const char* label : kLabels) {
+      auto it = std::find_if(
+          queries.begin(), queries.end(),
+          [label](const TestQuery& q) { return std::string(q.label) == label; });
+      ASSERT_NE(it, queries.end()) << label;
+      auto query = sparql::ParseQuery(it->text);
+      ASSERT_TRUE(query.ok()) << label;
+      auto before = sc.metrics();
+      auto result = engine->Execute(*query);
+      auto delta = sc.metrics() - before;
+      ASSERT_TRUE(result.ok())
+          << factory.name << " / " << label << ": "
+          << result.status().ToString();
+      uint64_t hash = HashDecoded(*result, store.dictionary());
+      if (print) {
+        std::printf(
+            "      {\"%s\", \"%s\", 0x%016llxull, %lluull, %lluull, "
+            "%lluull},\n",
+            factory.name.c_str(), label,
+            static_cast<unsigned long long>(hash),
+            static_cast<unsigned long long>(delta.shuffle_records),
+            static_cast<unsigned long long>(delta.join_comparisons),
+            static_cast<unsigned long long>(delta.broadcast_bytes));
+        continue;
+      }
+      auto golden = std::find_if(
+          GoldenRuns().begin(), GoldenRuns().end(),
+          [&](const GoldenRun& g) {
+            return factory.name == g.engine && std::string(label) == g.query;
+          });
+      ASSERT_NE(golden, GoldenRuns().end())
+          << "no golden for " << factory.name << " / " << label;
+      EXPECT_EQ(hash, golden->result_hash) << factory.name << " / " << label;
+      EXPECT_EQ(delta.shuffle_records, golden->shuffle_records)
+          << factory.name << " / " << label;
+      EXPECT_EQ(delta.join_comparisons, golden->join_comparisons)
+          << factory.name << " / " << label;
+      EXPECT_EQ(delta.broadcast_bytes, golden->broadcast_bytes)
+          << factory.name << " / " << label;
+    }
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Engine-specific behaviour.
