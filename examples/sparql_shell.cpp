@@ -6,9 +6,11 @@
 //
 // Engines: haqwa sparqlgx s2rdf hybrid s2x graphxsm sparkql graphframes
 // sparkrdf (default: s2rdf).
-// Dot-commands: .engines .metrics .stats .explain .quit
+// Dot-commands: .engines .metrics .stats .explain .lint .quit
 // `.explain` prints the engine's physical plan (EXPLAIN) for the query
 // currently buffered at the prompt, without executing it.
+// `.lint` runs the static plan verifier over that plan and prints its
+// diagnostics (ERROR/WARN/INFO with rule ids), also without executing.
 
 #include <cstdio>
 #include <fstream>
@@ -148,7 +150,9 @@ int main(int argc, char** argv) {
   std::printf("%zu triples loaded into %s (%.1f ms, %llu stored records)\n",
               store.size(), engine->traits().name.c_str(), load->wall_ms,
               static_cast<unsigned long long>(load->stored_records));
-  std::printf("enter a SPARQL query, blank line to run; .quit to exit\n");
+  std::printf(
+      "enter a SPARQL query, blank line to run; .explain/.lint to inspect "
+      "the buffered query; .quit to exit\n");
 
   std::string pending;
   std::string line;
@@ -171,6 +175,17 @@ int main(int argc, char** argv) {
           std::printf("%s", explained->c_str());
         } else {
           std::printf("error: %s\n", explained.status().ToString().c_str());
+        }
+      }
+    } else if (trimmed == ".lint") {
+      if (TrimWhitespace(pending).empty()) {
+        std::printf("usage: type a query first (don't run it), then .lint\n");
+      } else {
+        auto linted = engine->LintText(pending);
+        if (linted.ok()) {
+          std::printf("%s", linted->c_str());
+        } else {
+          std::printf("error: %s\n", linted.status().ToString().c_str());
         }
       }
     } else if (trimmed == ".metrics") {

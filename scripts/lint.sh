@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# clang-tidy over all library sources (src/), using the checks pinned in
+# .clang-tidy. Skips gracefully when clang-tidy is not installed (the dev
+# container ships only gcc); CI installs it and runs this same script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "lint: $TIDY not found; skipping (install clang-tidy to run locally)"
+  exit 0
+fi
+
+echo "=== lint: $($TIDY --version | head -n1) ==="
+cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+# All translation units under src/, from the compile database itself so the
+# list never drifts from the build.
+mapfile -t sources < <(python3 - <<'EOF'
+import json
+for entry in json.load(open("build-lint/compile_commands.json")):
+    f = entry["file"]
+    if "/src/" in f:
+        print(f)
+EOF
+)
+
+echo "lint: ${#sources[@]} files"
+"$TIDY" -p build-lint --quiet "${sources[@]}"
+echo "lint: OK"

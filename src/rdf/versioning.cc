@@ -24,7 +24,7 @@ Result<int> VersionedStore::Commit(const Delta& delta) {
   for (const Triple& t : delta.removed) {
     EncodedTriple full{dict_.Encode(t.subject), dict_.Encode(t.predicate),
                        dict_.Encode(t.object)};
-    if (!current.count(full)) {
+    if (!current.contains(full)) {
       return Status::InvalidArgument("cannot remove absent triple: " +
                                      t.ToNTriples());
     }
@@ -100,10 +100,10 @@ Result<Delta> VersionedStore::DeltaBetween(int from, int to) const {
     return Triple{*dict_.Decode(t.s), *dict_.Decode(t.p), *dict_.Decode(t.o)};
   };
   for (const auto& t : b) {
-    if (!a.count(t)) out.added.push_back(decode(t));
+    if (!a.contains(t)) out.added.push_back(decode(t));
   }
   for (const auto& t : a) {
-    if (!b.count(t)) out.removed.push_back(decode(t));
+    if (!b.contains(t)) out.removed.push_back(decode(t));
   }
   return out;
 }

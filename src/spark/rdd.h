@@ -755,7 +755,7 @@ class Rdd {
       for (const auto& kv : *r) keys.insert(kv.first);
       std::vector<T> out;
       for (const auto& kv : *l) {
-        if (!keys.count(kv.first)) out.push_back(kv);
+        if (!keys.contains(kv.first)) out.push_back(kv);
       }
       return out;
     };

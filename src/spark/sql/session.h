@@ -25,7 +25,7 @@ class SqlSession {
     catalog_[name] = std::move(df);
   }
   bool HasTable(const std::string& name) const {
-    return catalog_.count(name) > 0;
+    return catalog_.contains(name);
   }
   Result<DataFrame> Table(const std::string& name) const;
   const Catalog& catalog() const { return catalog_; }

@@ -80,7 +80,7 @@ BgpShape ClassifyBgp(const std::vector<TriplePattern>& bgp) {
       for (const auto& [name, use] : uses) {
         std::set<size_t> all = use.subject_of;
         all.insert(use.object_of.begin(), use.object_of.end());
-        if (!all.count(cur)) continue;
+        if (!all.contains(cur)) continue;
         for (size_t j : all) {
           if (component[j] < 0) {
             component[j] = num_components;

@@ -1,5 +1,7 @@
 #include "systems/engine.h"
 
+#include <cstdlib>
+
 #include "sparql/eval.h"
 #include "sparql/parser.h"
 #include "systems/graphframes_engine.h"
@@ -48,6 +50,15 @@ Result<std::string> RdfQueryEngine::ExplainText(std::string_view) {
   return Status::Unsupported(traits().name + ": EXPLAIN not supported");
 }
 
+Result<std::string> RdfQueryEngine::LintText(std::string_view) {
+  return Status::Unsupported(traits().name + ": LINT not supported");
+}
+
+BgpEngineBase::BgpEngineBase(spark::SparkContext* sc) : RdfQueryEngine(sc) {
+  const char* env = std::getenv("RDFSPARK_VERIFY_PLANS");
+  debug_check_plans_ = env != nullptr && env[0] != '\0';
+}
+
 Result<std::string> BgpEngineBase::ExplainText(std::string_view text) {
   RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
   // EXPLAIN covers the top-level basic graph pattern (the distributed part
@@ -56,9 +67,33 @@ Result<std::string> BgpEngineBase::ExplainText(std::string_view text) {
   return plan::Explain(*root);
 }
 
+Result<std::vector<plan::Diagnostic>> BgpEngineBase::LintQuery(
+    std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(query.where.bgp));
+  return plan::VerifyPlan(*root, VerifyProfile());
+}
+
+Result<std::string> BgpEngineBase::LintText(std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(std::vector<plan::Diagnostic> diags,
+                            LintQuery(text));
+  if (diags.empty()) return std::string("no findings\n");
+  return plan::FormatDiagnostics(diags);
+}
+
+plan::EngineProfile BgpEngineBase::VerifyProfile() const {
+  plan::EngineProfile profile;
+  profile.engine_name = traits().name;
+  return profile;
+}
+
 Result<sparql::BindingTable> BgpEngineBase::EvaluateBgp(
     const std::vector<sparql::TriplePattern>& bgp) {
   RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(bgp));
+  if (debug_check_plans_) {
+    Status verified = plan::VerifyForExecution(*root, VerifyProfile());
+    if (!verified.ok()) return verified;
+  }
   return plan::PlanExecutor(sc_).Run(*root);
 }
 

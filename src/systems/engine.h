@@ -12,6 +12,7 @@
 #include "sparql/ast.h"
 #include "sparql/binding.h"
 #include "systems/plan/plan.h"
+#include "systems/plan/verifier.h"
 
 namespace rdfspark::systems {
 
@@ -89,6 +90,12 @@ class RdfQueryEngine {
   /// Unsupported.
   virtual Result<std::string> ExplainText(std::string_view text);
 
+  /// LINT: parses `text`, plans its basic graph pattern, and returns the
+  /// static verifier's findings one per line ("no findings\n" for a clean
+  /// plan) without executing anything. Unsupported for engines that do not
+  /// plan through the shared algebra.
+  virtual Result<std::string> LintText(std::string_view text);
+
   spark::SparkContext* context() const { return sc_; }
 
  protected:
@@ -110,8 +117,27 @@ class BgpEngineBase : public RdfQueryEngine {
 
   Result<std::string> ExplainText(std::string_view text) override;
 
+  Result<std::string> LintText(std::string_view text) override;
+
+  /// Typed verifier findings for `text`'s basic graph pattern. Pure, like
+  /// EXPLAIN: the plan is built but never executed.
+  Result<std::vector<plan::Diagnostic>> LintQuery(std::string_view text);
+
+  /// The storage/layout facts the static verifier checks plans against
+  /// (Table II's partitioning column as booleans + broadcast threshold).
+  /// The base profile claims nothing, so unannotated engines verify
+  /// vacuously; each engine overrides with its documented layout.
+  virtual plan::EngineProfile VerifyProfile() const;
+
+  /// Debug-check mode: when enabled, EvaluateBgp verifies every plan before
+  /// the executor touches Spark state, and any ERROR-level finding fails
+  /// the query with an InvalidArgument status. Defaults to the
+  /// RDFSPARK_VERIFY_PLANS environment variable (set and non-empty).
+  void set_debug_check_plans(bool enabled) { debug_check_plans_ = enabled; }
+  bool debug_check_plans() const { return debug_check_plans_; }
+
  protected:
-  explicit BgpEngineBase(spark::SparkContext* sc) : RdfQueryEngine(sc) {}
+  explicit BgpEngineBase(spark::SparkContext* sc);
 
   /// Builds this system's physical plan for one basic graph pattern.
   /// Planning must be pure: no Spark actions, no metrics charged — the
@@ -129,6 +155,9 @@ class BgpEngineBase : public RdfQueryEngine {
 
   Result<sparql::BindingTable> EvaluateGroup(
       const sparql::GroupPattern& group);
+
+ private:
+  bool debug_check_plans_ = false;
 };
 
 /// All nine engines, constructed against `sc`. Order matches Table II rows.

@@ -150,6 +150,10 @@ Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
   GraphFrame::MotifOptions motif_options;
   std::string motif;
 
+  // Reverse of var_name for motif vertex names: lets join nodes report
+  // their keys as SPARQL variables rather than motif names.
+  std::unordered_map<std::string, std::string> name_var;
+
   auto fresh = [&]() { return "m" + std::to_string(name_counter++); };
   auto vertex_name = [&](const sparql::PatternTerm& t,
                          const std::unordered_set<std::string>& taken)
@@ -159,10 +163,11 @@ Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
       if (it == var_name.end()) {
         std::string name = fresh();
         var_name.emplace(t.var(), name);
+        name_var.emplace(name, t.var());
         var_column.emplace_back(t.var(), name);
         return name;
       }
-      if (!taken.count(it->second)) return it->second;
+      if (!taken.contains(it->second)) return it->second;
       // Same variable twice in one pattern: alias + equality filter.
       std::string alias = fresh();
       post_filters.push_back(Col(alias) == Col(it->second));
@@ -198,12 +203,14 @@ Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
         plan::NodeKind::kPatternScan, plan::AccessPath::kGraphTraversal,
         element + " " + tp.ToString() + (do_prune ? " (pruned)" : ""),
         frequency(tp), nullptr);
+    leaf->out_vars = tp.Variables();
+    if (tp.s.is_variable()) leaf->subject_var = tp.s.var();
     if (root == nullptr) {
       root = std::move(leaf);
     } else {
       std::vector<std::string> shared_names;
-      if (motif_names_seen.count(s_name)) shared_names.push_back(s_name);
-      if (motif_names_seen.count(o_name)) shared_names.push_back(o_name);
+      if (motif_names_seen.contains(s_name)) shared_names.push_back(s_name);
+      if (motif_names_seen.contains(o_name)) shared_names.push_back(o_name);
       if (shared_names.empty()) {
         root = plan::MakeBinary(plan::NodeKind::kCartesianProduct,
                                 "disconnected motif", std::move(root),
@@ -214,6 +221,12 @@ Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
         root = plan::MakeBinary(plan::NodeKind::kPartitionedHashJoin,
                                 join_detail, std::move(root), std::move(leaf),
                                 nullptr);
+        // Shared motif names always stand for variables (constants get a
+        // fresh name per occurrence), so every name resolves.
+        for (const auto& name : shared_names) {
+          auto it = name_var.find(name);
+          if (it != name_var.end()) root->key_vars.push_back(it->second);
+        }
       }
     }
     motif_names_seen.insert(s_name);
@@ -239,10 +252,12 @@ Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
   }
 
   std::string project_detail;
+  std::vector<std::string> project_vars;
   for (const auto& [var, column] : var_column) {
     project_detail += (project_detail.empty() ? "?" : " ?") + var;
+    project_vars.push_back(var);
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(root),
       [this, do_prune, keep, motif, motif_options, post_filters, var_column](
           std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
@@ -276,6 +291,8 @@ Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
         }
         return plan::PlanPayload(std::move(table));
       });
+  project->key_vars = std::move(project_vars);
+  return project;
 }
 
 }  // namespace rdfspark::systems

@@ -159,6 +159,8 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
                 });
             return plan::PlanPayload(seeded.ReduceByKey(ConcatMt));
           });
+      root->out_vars = tp.Variables();
+      root->subject_var = svar;
       anchor = anchor_at_dst ? ovar : svar;
       initialized = true;
       for (const auto& v : tp.Variables()) bound.Add(v);
@@ -213,6 +215,8 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
                   return out;
                 }));
           });
+      leaf->out_vars = tp.Variables();
+      leaf->subject_var = svar;
       root = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "merge match-tracks",
           std::move(root), std::move(leaf),
@@ -247,6 +251,8 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
     plan::PlanPtr leaf = plan::MakeScan(
         plan::NodeKind::kPatternScan, plan::AccessPath::kGraphTraversal,
         tp.ToString(), pattern_est(tp), nullptr);
+    leaf->out_vars = tp.Variables();
+    leaf->subject_var = svar;
     root = plan::MakeBinary(
         plan::NodeKind::kPartitionedHashJoin, detail, std::move(root),
         std::move(leaf),
@@ -301,6 +307,7 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
               ConcatMt);
           return plan::PlanPayload(msgs);
         });
+    root->key_vars = {need};
     anchor = forward ? ovar : svar;  // may be "" when the far end is const
     for (const auto& v : tp.Variables()) bound.Add(v);
   }
@@ -317,7 +324,7 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
   for (const auto& v : schema->vars()) {
     project_detail += (project_detail.empty() ? "?" : " ?") + v;
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(root),
       [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
         auto frontier =
@@ -328,6 +335,8 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
         }
         return plan::PlanPayload(ToBindingTable(*schema, std::move(rows)));
       });
+  project->key_vars = schema->vars();
+  return project;
 }
 
 }  // namespace rdfspark::systems

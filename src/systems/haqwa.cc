@@ -82,7 +82,7 @@ Result<LoadStats> HaqwaEngine::Load(const rdf::TripleStore& store) {
     }
   }
   for (const auto& [pa, pb] : links) {
-    if (replicas_.count({pa, pb})) continue;
+    if (replicas_.contains({pa, pb})) continue;
     rdf::TermId pa_id = pa;
     rdf::TermId pb_id = pb;
     // A-triples keyed by object; B-triples keyed by subject.
@@ -112,7 +112,7 @@ Result<LoadStats> HaqwaEngine::Load(const rdf::TripleStore& store) {
     replicas_.emplace(std::make_pair(pa, pb), replica);
 
     // Object-keyed replica of the link source, for seeds at the target end.
-    if (!object_replicas_.count(pa)) {
+    if (!object_replicas_.contains(pa)) {
       auto by_object =
           by_subject_
               .Filter([pa_id](const KeyedTriple& kv) {
@@ -239,13 +239,20 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
         (group.subject_var.empty() ? "[const]" : "?" + group.subject_var) +
         " (" + std::to_string(group.patterns.size()) +
         (group.patterns.size() == 1 ? " pattern)" : " patterns)");
-    return plan::MakeScan(
+    auto leaf = plan::MakeScan(
         plan::NodeKind::kLocalStarMatch, plan::AccessPath::kSubjectStar,
         detail, GroupCost(group),
         [this, g, schema](std::vector<plan::PlanPayload>)
             -> Result<plan::PlanPayload> {
           return plan::PlanPayload(EvaluateStarLocal(*g, *schema));
         });
+    VarSchema group_vars;
+    for (const auto& tp : group.patterns) {
+      for (const auto& v : tp.Variables()) group_vars.Add(v);
+    }
+    leaf->out_vars = group_vars.vars();
+    leaf->subject_var = group.subject_var;
+    return leaf;
   };
 
   // Plan the seed.
@@ -313,7 +320,7 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
             !tp.p.is_variable()) {
           auto pa = store_->dictionary().Lookup(tp.p.term());
           auto pb = store_->dictionary().Lookup(group.patterns[0].p.term());
-          if (pa.ok() && pb.ok() && replicas_.count({*pa, *pb})) {
+          if (pa.ok() && pb.ok() && replicas_.contains({*pa, *pb})) {
             replica_key = std::make_pair(*pa, *pb);
           }
           break;
@@ -325,6 +332,8 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
         plan::PlanPtr right = plan::MakeScan(
             plan::NodeKind::kPatternScan, plan::AccessPath::kReplica,
             group.patterns[0].ToString(), plan::kNoEstimate, nullptr);
+        right->out_vars = group.patterns[0].Variables();
+        right->subject_var = group.subject_var;
         root = plan::MakeBinary(
             plan::NodeKind::kPartitionedHashJoin,
             "on ?" + link_var + " via replica (local)", std::move(root),
@@ -360,6 +369,8 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
               }
               return plan::PlanPayload(std::move(next));
             });
+        root->key_vars = {link_var};
+        root->partition_local = true;  // replica co-partitioned at load time
         for (const auto& tp : group.patterns) {
           for (const auto& v : tp.Variables()) bound.Add(v);
         }
@@ -374,12 +385,14 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
         group.patterns[0].o.is_variable() &&
         group.patterns[0].o.var() == link_var) {
       auto pb = store_->dictionary().Lookup(group.patterns[0].p.term());
-      if (pb.ok() && object_replicas_.count(*pb)) {
+      if (pb.ok() && object_replicas_.contains(*pb)) {
         auto g = std::make_shared<const SubjectGroup>(group);
         rdf::TermId pb_id = *pb;
         plan::PlanPtr right = plan::MakeScan(
             plan::NodeKind::kPatternScan, plan::AccessPath::kReplica,
             group.patterns[0].ToString(), plan::kNoEstimate, nullptr);
+        right->out_vars = group.patterns[0].Variables();
+        right->subject_var = group.subject_var;
         root = plan::MakeBinary(
             plan::NodeKind::kPartitionedHashJoin,
             "on ?" + link_var + " via object-replica (local)",
@@ -414,6 +427,8 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
               }
               return plan::PlanPayload(std::move(next));
             });
+        root->key_vars = {link_var};
+        root->partition_local = true;  // object replica is co-partitioned
         for (const auto& tp : group.patterns) {
           for (const auto& v : tp.Variables()) bound.Add(v);
         }
@@ -489,6 +504,8 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
                   return out;
                 }));
           });
+      root->key_vars = {link_var};
+      root->partition_local = keep_claim && group_keyed_by_link;
       current_key_var = link_var;
     }
     for (const auto& tp : group.patterns) {
@@ -500,7 +517,7 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
   for (const auto& v : schema->vars()) {
     project_detail += (project_detail.empty() ? "?" : " ?") + v;
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(root),
       [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
         auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
@@ -508,6 +525,18 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
         for (auto& kv : current.Collect()) rows.push_back(std::move(kv.second));
         return plan::PlanPayload(ToBindingTable(*schema, std::move(rows)));
       });
+  project->key_vars = schema->vars();
+  return project;
+}
+
+plan::EngineProfile HaqwaEngine::VerifyProfile() const {
+  plan::EngineProfile profile;
+  profile.engine_name = traits_.name;
+  // Both fragmentation modes place a subject's whole star on one partition
+  // (hash of the subject, or the subject's class partition).
+  profile.subject_partitioned = true;
+  profile.star_local_layout = true;
+  return profile;
 }
 
 }  // namespace rdfspark::systems

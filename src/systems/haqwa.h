@@ -41,6 +41,7 @@ class HaqwaEngine : public BgpEngineBase {
 
   const EngineTraits& traits() const override { return traits_; }
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
+  plan::EngineProfile VerifyProfile() const override;
 
   /// Number of replicated triples created by workload-aware allocation.
   uint64_t replicated_triples() const { return replicated_triples_; }

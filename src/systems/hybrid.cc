@@ -264,6 +264,22 @@ uint64_t EstimatedDfBytes(uint64_t rows, const sparql::TriplePattern& tp) {
   return rows * cols * 9;
 }
 
+/// Result variables in first-appearance order (the Project's columns).
+std::vector<std::string> AllVars(
+    const std::vector<sparql::TriplePattern>& patterns) {
+  VarSchema vars;
+  for (const auto& tp : patterns) {
+    for (const auto& v : tp.Variables()) vars.Add(v);
+  }
+  return vars.vars();
+}
+
+/// Verifier schema facts for a pattern-scan leaf.
+void AnnotateScan(const sparql::TriplePattern& tp, plan::PlanNode* node) {
+  node->out_vars = tp.Variables();
+  if (tp.s.is_variable()) node->subject_var = tp.s.var();
+}
+
 }  // namespace
 
 Result<plan::PlanPtr> HybridEngine::PlanSqlNaive(
@@ -271,7 +287,7 @@ Result<plan::PlanPtr> HybridEngine::PlanSqlNaive(
   // Catalyst translation pitfall: joins between patterns carry no usable
   // equi-keys, so every step is a Cartesian product filtered afterwards.
   auto scan = [this](const sparql::TriplePattern& tp) {
-    return plan::MakeScan(
+    auto node = plan::MakeScan(
         plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
         tp.ToString(), PatternCardinality(tp),
         [this, tp](std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
@@ -279,6 +295,8 @@ Result<plan::PlanPtr> HybridEngine::PlanSqlNaive(
               DataFrame step, PatternDf(tp, /*subject_partitioned=*/false));
           return plan::PlanPayload(std::move(step));
         });
+    AnnotateScan(tp, node.get());
+    return node;
   };
 
   plan::PlanPtr root = scan(bgp[0]);
@@ -314,12 +332,14 @@ Result<plan::PlanPtr> HybridEngine::PlanSqlNaive(
           return plan::PlanPayload(crossed.Select(keep));
         });
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, VarListDetail(bgp), std::move(root),
       [this](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
         auto result = std::any_cast<DataFrame>(std::move(in[0]));
         return plan::PlanPayload(DfToBindings(result));
       });
+  project->key_vars = AllVars(bgp);
+  return project;
 }
 
 Result<plan::PlanPtr> HybridEngine::PlanRdd(
@@ -332,7 +352,7 @@ Result<plan::PlanPtr> HybridEngine::PlanRdd(
   size_t width = schema->vars().size();
 
   auto scan = [this, schema, width](const sparql::TriplePattern& tp) {
-    return plan::MakeScan(
+    auto node = plan::MakeScan(
         plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
         tp.ToString(), PatternCardinality(tp),
         [this, schema, width, tp](std::vector<plan::PlanPayload>)
@@ -352,6 +372,8 @@ Result<plan::PlanPtr> HybridEngine::PlanRdd(
                 return out;
               }));
         });
+    AnnotateScan(tp, node.get());
+    return node;
   };
 
   plan::PlanPtr root = scan(bgp[0]);
@@ -398,15 +420,18 @@ Result<plan::PlanPtr> HybridEngine::PlanRdd(
                       return out;
                     }));
           });
+      root->key_vars = {shared[0]};
     }
     for (const auto& v : bgp[i].Variables()) bound.Add(v);
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, VarListDetail(bgp), std::move(root),
       [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
         auto current = std::any_cast<spark::Rdd<IdRow>>(std::move(in[0]));
         return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
       });
+  project->key_vars = schema->vars();
+  return project;
 }
 
 Result<plan::PlanPtr> HybridEngine::PlanDataFrame(
@@ -416,7 +441,7 @@ Result<plan::PlanPtr> HybridEngine::PlanDataFrame(
   // what the auto strategy will pick; the executor defers to the runtime
   // size check, exactly as before.
   auto scan = [this](const sparql::TriplePattern& tp) {
-    return plan::MakeScan(
+    auto node = plan::MakeScan(
         plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
         tp.ToString(), PatternCardinality(tp),
         [this, tp](std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
@@ -424,6 +449,8 @@ Result<plan::PlanPtr> HybridEngine::PlanDataFrame(
               DataFrame step, PatternDf(tp, /*subject_partitioned=*/false));
           return plan::PlanPayload(std::move(step));
         });
+    AnnotateScan(tp, node.get());
+    return node;
   };
 
   plan::PlanPtr root = scan(bgp[0]);
@@ -446,14 +473,17 @@ Result<plan::PlanPtr> HybridEngine::PlanDataFrame(
           return plan::PlanPayload(
               JoinOnSharedVars(result, step, JoinStrategy::kAuto));
         });
+    root->key_vars = shared;
     for (const auto& v : tp.Variables()) bound.Add(v);
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, VarListDetail(bgp), std::move(root),
       [this](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
         auto result = std::any_cast<DataFrame>(std::move(in[0]));
         return plan::PlanPayload(DfToBindings(result));
       });
+  project->key_vars = AllVars(bgp);
+  return project;
 }
 
 Result<plan::PlanPtr> HybridEngine::PlanHybrid(
@@ -470,7 +500,7 @@ Result<plan::PlanPtr> HybridEngine::PlanHybrid(
       });
 
   auto scan = [this](const sparql::TriplePattern& tp) {
-    return plan::MakeScan(
+    auto node = plan::MakeScan(
         plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
         tp.ToString(), PatternCardinality(tp),
         [this, tp](std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
@@ -478,6 +508,8 @@ Result<plan::PlanPtr> HybridEngine::PlanHybrid(
               DataFrame step, PatternDf(tp, /*subject_partitioned=*/true));
           return plan::PlanPayload(std::move(step));
         });
+    AnnotateScan(tp, node.get());
+    return node;
   };
 
   std::vector<sparql::TriplePattern> ordered;
@@ -515,6 +547,12 @@ Result<plan::PlanPtr> HybridEngine::PlanHybrid(
                   : JoinStrategy::kShuffleHash;
           return plan::PlanPayload(JoinOnSharedVars(result, step, strategy));
         });
+    node->key_vars = shared;
+    // A single-key join on the step's subject runs over the subject-hash
+    // placement both pattern tables were loaded with.
+    node->partition_local = kind == plan::NodeKind::kPartitionedHashJoin &&
+                            shared.size() == 1 && tp.s.is_variable() &&
+                            tp.s.var() == shared[0];
     // Running estimate: an equi-join keeps at most the smaller side's
     // rows; a cross product multiplies.
     result_est = shared.empty() ? result_est * step_est
@@ -524,12 +562,36 @@ Result<plan::PlanPtr> HybridEngine::PlanHybrid(
     node->est_cardinality = result_est;
     root = std::move(node);
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, VarListDetail(ordered), std::move(root),
       [this](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
         auto result = std::any_cast<DataFrame>(std::move(in[0]));
         return plan::PlanPayload(DfToBindings(result));
       });
+  project->key_vars = AllVars(ordered);
+  return project;
+}
+
+plan::EngineProfile HybridEngine::VerifyProfile() const {
+  plan::EngineProfile profile;
+  profile.engine_name = traits_.name;
+  switch (options_.mode) {
+    case HybridMode::kSparkSqlNaive:
+      break;  // plain DataFrames, no broadcast, no placement claims
+    case HybridMode::kRddPartitioned:
+      profile.subject_partitioned = true;
+      break;
+    case HybridMode::kDataFrameAuto:
+      profile.broadcast_threshold_bytes =
+          sc_->config().broadcast_threshold_bytes;
+      break;
+    case HybridMode::kHybrid:
+      profile.subject_partitioned = true;
+      profile.broadcast_threshold_bytes =
+          sc_->config().broadcast_threshold_bytes;
+      break;
+  }
+  return profile;
 }
 
 Result<plan::PlanPtr> HybridEngine::PlanBgp(

@@ -50,6 +50,7 @@ class HybridEngine : public BgpEngineBase {
 
   const EngineTraits& traits() const override { return traits_; }
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
+  plan::EngineProfile VerifyProfile() const override;
 
   HybridMode mode() const { return options_.mode; }
 

@@ -1,0 +1,49 @@
+#include "systems/plan/diagnostics.h"
+
+namespace rdfspark::systems::plan {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarn:
+      return "WARN";
+    case Severity::kError:
+      return "ERROR";
+  }
+  return "unknown";
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::string out = SeverityName(d.severity);
+  out += " [";
+  out += d.rule;
+  out += "] at ";
+  out += d.node_path;
+  out += ": ";
+  out += d.message;
+  if (!d.hint.empty()) {
+    out += " (hint: ";
+    out += d.hint;
+    out += ")";
+  }
+  return out;
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const auto& d : diags) {
+    out += FormatDiagnostic(d);
+    out += "\n";
+  }
+  return out;
+}
+
+bool HasError(const std::vector<Diagnostic>& diags) {
+  for (const auto& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+}  // namespace rdfspark::systems::plan

@@ -81,6 +81,7 @@ PlanPtr ConstantResultPlan(sparql::BindingTable table, std::string detail) {
   node->kind = NodeKind::kProject;
   node->detail = std::move(detail);
   node->est_cardinality = table.num_rows();
+  node->out_vars = table.vars();
   auto shared = std::make_shared<sparql::BindingTable>(std::move(table));
   node->exec = [shared](std::vector<PlanPayload>) -> Result<PlanPayload> {
     return PlanPayload(*shared);

@@ -65,11 +65,24 @@ using ExecFn = std::function<Result<PlanPayload>(std::vector<PlanPayload>)>;
 
 /// One node of a physical plan: what the operator is (for EXPLAIN and the
 /// plan-shape assertions) plus how to run it (for the shared executor).
+///
+/// The schema annotations (out_vars / key_vars / subject_var /
+/// partition_local) feed the static verifier (verifier.h); they are not part
+/// of the EXPLAIN text contract. out_vars lists the variables this node
+/// itself binds (scans and constant-result leaves); a subtree's full output
+/// schema is the union over the subtree. key_vars lists the variables the
+/// operator consumes: equi-join keys, Filter predicate variables, Project
+/// output columns. An empty key_vars means "no requirement declared", so
+/// unannotated plans verify vacuously.
 struct PlanNode {
   NodeKind kind = NodeKind::kProject;
   AccessPath access_path = AccessPath::kNone;
   std::string detail;                     // operator-specific annotation
   uint64_t est_cardinality = kNoEstimate; // planner's output-row estimate
+  std::vector<std::string> out_vars;      // variables bound by this node
+  std::vector<std::string> key_vars;      // variables consumed by this node
+  std::string subject_var;  // scan's subject variable (empty if constant)
+  bool partition_local = false;  // join provably avoids a shuffle
   std::vector<PlanPtr> children;
   ExecFn exec;
 };

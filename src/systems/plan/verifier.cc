@@ -1,0 +1,251 @@
+#include "systems/plan/verifier.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdfspark::systems::plan {
+
+namespace {
+
+/// Per-int64-cell storage estimate, matching the DataFrame size model the
+/// broadcast planner itself uses (Column::MemoryBytes ~ 9 bytes/value).
+constexpr uint64_t kBytesPerCell = 9;
+
+/// Facts about a subtree gathered on the way up the recursion.
+struct SubtreeInfo {
+  std::set<std::string> produced;  // union of out_vars over the subtree
+  int scan_leaves = 0;             // PatternScan/LocalStarMatch leaves
+  /// Non-empty iff every scan leaf below binds its subject to this one
+  /// variable — the subtree matches a same-subject star.
+  std::string uniform_subject;
+};
+
+bool IsScanLeaf(const PlanNode& node) {
+  return node.children.empty() && (node.kind == NodeKind::kPatternScan ||
+                                   node.kind == NodeKind::kLocalStarMatch);
+}
+
+std::string JoinVars(const std::set<std::string>& vars) {
+  std::string out;
+  for (const auto& v : vars) {
+    if (!out.empty()) out += " ";
+    out += "?" + v;
+  }
+  return out;
+}
+
+/// Estimated materialized size of a subtree's output, or kNoEstimate when
+/// the planner gave no row estimate.
+uint64_t EstimatedBytes(const PlanNode& node, const SubtreeInfo& info) {
+  if (node.est_cardinality == kNoEstimate) return kNoEstimate;
+  uint64_t width = std::max<uint64_t>(1, info.produced.size());
+  return node.est_cardinality * width * kBytesPerCell;
+}
+
+class Verifier {
+ public:
+  Verifier(const EngineProfile& profile, int total_scan_leaves)
+      : profile_(profile), total_scan_leaves_(total_scan_leaves) {}
+
+  SubtreeInfo Visit(const PlanNode& node, const std::string& path) {
+    CheckNode(node, path);
+    SubtreeInfo info;
+    if (IsScanLeaf(node)) {
+      info.scan_leaves = 1;
+      info.uniform_subject = node.subject_var;
+    }
+    std::vector<SubtreeInfo> child_infos;
+    child_infos.reserve(node.children.size());
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      child_infos.push_back(
+          Visit(*node.children[i], path + "." + std::to_string(i)));
+    }
+    CheckWithChildren(node, path, child_infos);
+    for (auto& child : child_infos) {
+      info.scan_leaves += child.scan_leaves;
+      info.produced.insert(child.produced.begin(), child.produced.end());
+    }
+    info.produced.insert(node.out_vars.begin(), node.out_vars.end());
+    info.uniform_subject = MergeUniformSubject(node, child_infos);
+    return info;
+  }
+
+  std::vector<Diagnostic> TakeDiagnostics() { return std::move(diags_); }
+
+ private:
+  void Report(Severity severity, const char* rule, const PlanNode& node,
+              const std::string& path, std::string message,
+              std::string hint) {
+    Diagnostic d;
+    d.severity = severity;
+    d.rule = rule;
+    d.node_path = path + " " + NodeKindName(node.kind);
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    diags_.push_back(std::move(d));
+  }
+
+  /// Checks needing only the node itself (emitted before child findings so
+  /// the output reads in pre-order).
+  void CheckNode(const PlanNode& node, const std::string& path) {
+    if (node.kind == NodeKind::kCartesianProduct && total_scan_leaves_ >= 2) {
+      Report(Severity::kWarn, "CP001", node, path,
+             "Cartesian product in a multi-pattern BGP — the result grows "
+             "as the product of both sides",
+             "reorder patterns so consecutive joins share a variable, or "
+             "pre-filter the smaller side");
+    }
+    if (node.kind == NodeKind::kLocalStarMatch &&
+        !profile_.star_local_layout) {
+      Report(Severity::kError, "ST001", node, path,
+             "LocalStarMatch on engine '" + profile_.engine_name +
+                 "' whose storage layout does not co-locate subject stars — "
+                 "star fragments split across partitions would drop matches",
+             "subject-hash partition the data (HAQWA fragmentation) or "
+             "evaluate the star with distributed joins");
+    }
+    if (profile_.vertical_partitioned && node.kind == NodeKind::kPatternScan &&
+        node.access_path == AccessPath::kFullScan) {
+      Report(Severity::kWarn, "VP001", node, path,
+             "unbounded-predicate scan on a vertically partitioned store — "
+             "every predicate table must be read and unioned",
+             "bind the predicate, or route the pattern to an engine that "
+             "keeps a single triple relation");
+    }
+  }
+
+  /// Checks needing the children's schemas.
+  void CheckWithChildren(const PlanNode& node, const std::string& path,
+                         const std::vector<SubtreeInfo>& children) {
+    std::set<std::string> available;
+    for (const auto& child : children) {
+      available.insert(child.produced.begin(), child.produced.end());
+    }
+    // SC001: every consumed variable must come from a descendant. Leaves
+    // with key_vars have nothing below them by construction, so the rule
+    // only applies to interior nodes.
+    if (!node.children.empty()) {
+      std::set<std::string> missing;
+      for (const auto& key : node.key_vars) {
+        if (!available.contains(key)) missing.insert(key);
+      }
+      if (!missing.empty()) {
+        Report(Severity::kError, "SC001", node, path,
+               "consumes " + JoinVars(missing) +
+                   " which no descendant produces",
+               "the planner must scan a pattern binding the variable below "
+               "this operator");
+      }
+    }
+    bool equi_join = node.kind == NodeKind::kPartitionedHashJoin ||
+                     node.kind == NodeKind::kBroadcastJoin;
+    // SC002: an equi-join that declares no key over two disjoint non-empty
+    // schemas silently degenerates to a Cartesian product.
+    if (equi_join && children.size() == 2 && node.key_vars.empty() &&
+        !children[0].produced.empty() && !children[1].produced.empty()) {
+      std::set<std::string> shared;
+      std::set_intersection(
+          children[0].produced.begin(), children[0].produced.end(),
+          children[1].produced.begin(), children[1].produced.end(),
+          std::inserter(shared, shared.begin()));
+      if (shared.empty()) {
+        Report(Severity::kError, "SC002", node, path,
+               "equi-join between disjoint schemas {" +
+                   JoinVars(children[0].produced) + "} and {" +
+                   JoinVars(children[1].produced) + "} with no join key",
+               "make the fallback explicit with a CartesianProduct node, or "
+               "fix the join order so the sides share a variable");
+      }
+    }
+    // BC001: the broadcast build side (the smaller estimated input) must fit
+    // under the engine's threshold; estimates of kNoEstimate are skipped.
+    if (node.kind == NodeKind::kBroadcastJoin && children.size() == 2 &&
+        profile_.broadcast_threshold_bytes > 0) {
+      uint64_t build_bytes = kNoEstimate;
+      for (size_t i = 0; i < children.size(); ++i) {
+        uint64_t bytes = EstimatedBytes(*node.children[i], children[i]);
+        if (bytes < build_bytes) build_bytes = bytes;
+      }
+      if (build_bytes != kNoEstimate &&
+          build_bytes > profile_.broadcast_threshold_bytes) {
+        Report(Severity::kWarn, "BC001", node, path,
+               "broadcast build side estimated at " +
+                   std::to_string(build_bytes) + " bytes exceeds the " +
+                   std::to_string(profile_.broadcast_threshold_bytes) +
+                   "-byte threshold — every executor would copy it",
+               "use a partitioned hash join, or tighten the build side's "
+               "selectivity before broadcasting");
+      }
+    }
+    // ST001 (missed locality): a same-subject star evaluated by shuffle
+    // joins although the engine already partitions by subject.
+    if (node.kind == NodeKind::kPartitionedHashJoin &&
+        profile_.subject_partitioned && !node.partition_local &&
+        node.key_vars.size() == 1 && children.size() == 2 &&
+        children[0].uniform_subject == node.key_vars[0] &&
+        children[1].uniform_subject == node.key_vars[0]) {
+      Report(Severity::kInfo, "ST001", node, path,
+             "same-subject star joined on ?" + node.key_vars[0] +
+                 " via a shuffle although '" + profile_.engine_name +
+                 "' partitions by subject — the join could be "
+                 "partition-local",
+             "match the star within partitions (LocalStarMatch) or mark the "
+             "join co-partitioned");
+    }
+  }
+
+  /// A subtree matches a same-subject star when every scan leaf below binds
+  /// its subject to the same variable.
+  static std::string MergeUniformSubject(
+      const PlanNode& node, const std::vector<SubtreeInfo>& children) {
+    if (IsScanLeaf(node)) return node.subject_var;
+    std::string subject;
+    for (const auto& child : children) {
+      if (child.scan_leaves == 0) continue;
+      if (child.uniform_subject.empty()) return "";
+      if (subject.empty()) {
+        subject = child.uniform_subject;
+      } else if (subject != child.uniform_subject) {
+        return "";
+      }
+    }
+    return subject;
+  }
+
+  const EngineProfile& profile_;
+  const int total_scan_leaves_;
+  std::vector<Diagnostic> diags_;
+};
+
+int CountScanLeaves(const PlanNode& node) {
+  if (IsScanLeaf(node)) return 1;
+  int count = 0;
+  for (const auto& child : node.children) count += CountScanLeaves(*child);
+  return count;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> VerifyPlan(const PlanNode& root,
+                                   const EngineProfile& profile) {
+  Verifier verifier(profile, CountScanLeaves(root));
+  verifier.Visit(root, "0");
+  return verifier.TakeDiagnostics();
+}
+
+Status VerifyForExecution(const PlanNode& root,
+                          const EngineProfile& profile) {
+  std::vector<Diagnostic> errors;
+  for (auto& d : VerifyPlan(root, profile)) {
+    if (d.severity == Severity::kError) errors.push_back(std::move(d));
+  }
+  if (errors.empty()) return Status::OK();
+  std::string message = "plan verification failed:\n";
+  message += FormatDiagnostics(errors);
+  return Status::InvalidArgument(message);
+}
+
+}  // namespace rdfspark::systems::plan

@@ -1,0 +1,54 @@
+#ifndef RDFSPARK_SYSTEMS_PLAN_VERIFIER_H_
+#define RDFSPARK_SYSTEMS_PLAN_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "systems/plan/diagnostics.h"
+#include "systems/plan/plan.h"
+
+namespace rdfspark::systems::plan {
+
+/// The storage/layout facts the verifier needs about the engine that built a
+/// plan — Table II's partitioning column reduced to checkable booleans. Each
+/// engine exposes its profile via BgpEngineBase::VerifyProfile().
+struct EngineProfile {
+  std::string engine_name;
+  /// Triples are hash-partitioned by subject, so same-subject work is
+  /// partition-local (HAQWA fragmentation, SparkRDF pre-partitioning).
+  bool subject_partitioned = false;
+  /// Storage is split per predicate (SPARQLGX VP, S2RDF VP/ExtVP): a scan
+  /// with an unbounded predicate must union every predicate table.
+  bool vertical_partitioned = false;
+  /// The layout co-locates a subject's whole star (subject-hash fragments,
+  /// Spar(k)ql's node model), making LocalStarMatch sound.
+  bool star_local_layout = false;
+  /// Build-side size ceiling for broadcast joins; 0 means the engine never
+  /// broadcasts (BC001 is skipped).
+  uint64_t broadcast_threshold_bytes = 0;
+};
+
+/// Static analysis over a physical plan. Pure: touches no Spark state,
+/// charges no metrics. Rule catalog (see DESIGN.md for the paper claim each
+/// rule encodes):
+///   SC001 ERROR  consumed variable not produced by any descendant
+///   SC002 ERROR  equi-join with no key over two non-empty disjoint schemas
+///   CP001 WARN   CartesianProduct inside a multi-pattern BGP
+///   BC001 WARN   broadcast build side above the engine's size threshold
+///   ST001 ERROR  LocalStarMatch without a star-local storage layout
+///   ST001 INFO   same-subject star shuffled on a subject-partitioned engine
+///   VP001 WARN   unbounded-predicate full scan on vertical partitioning
+/// Findings come back in deterministic tree order (node-local checks as the
+/// walk descends, schema checks as it returns).
+std::vector<Diagnostic> VerifyPlan(const PlanNode& root,
+                                   const EngineProfile& profile);
+
+/// Debug-check gate: formats every ERROR-level finding into a failed Status
+/// (kInvalidArgument); OK when the plan has no errors.
+Status VerifyForExecution(const PlanNode& root, const EngineProfile& profile);
+
+}  // namespace rdfspark::systems::plan
+
+#endif  // RDFSPARK_SYSTEMS_PLAN_VERIFIER_H_

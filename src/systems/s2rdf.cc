@@ -103,7 +103,7 @@ Result<LoadStats> S2rdfEngine::Load(const rdf::TripleStore& store) {
       for (const auto& [s, o] : rows) {
         rdf::TermId key = key_on_subject ? static_cast<rdf::TermId>(s)
                                          : static_cast<rdf::TermId>(o);
-        if (keep.count(key)) kept.push_back(sql::Row{s, o});
+        if (keep.contains(key)) kept.push_back(sql::Row{s, o});
       }
       double sf = rows.empty()
                       ? 0.0
@@ -219,6 +219,8 @@ Result<S2rdfEngine::SqlParts> S2rdfEngine::BuildSqlParts(
     }
     std::string alias = "t" + std::to_string(k);
     std::vector<std::string> on;
+    std::vector<std::string> new_vars;
+    std::vector<std::string> on_vars;
 
     auto handle_slot = [&](const sparql::PatternTerm& slot,
                            const std::string& column) {
@@ -228,9 +230,11 @@ Result<S2rdfEngine::SqlParts> S2rdfEngine::BuildSqlParts(
         if (it == parts.var_column.end()) {
           parts.var_column.emplace(slot.var(), qualified);
           parts.var_order.push_back(slot.var());
+          new_vars.push_back(slot.var());
         } else {
           (k == 0 ? parts.where : on).push_back(qualified + " = " +
                                                 it->second);
+          if (k > 0) on_vars.push_back(slot.var());
         }
       } else {
         auto id = dict.Lookup(slot.term());
@@ -250,8 +254,10 @@ Result<S2rdfEngine::SqlParts> S2rdfEngine::BuildSqlParts(
     }
     handle_slot(tp.o, "o");
 
-    parts.steps.push_back(
-        SqlParts::Step{table.name, alias, table.rows, std::move(on)});
+    parts.steps.push_back(SqlParts::Step{
+        table.name, alias, table.rows, std::move(on), std::move(new_vars),
+        std::move(on_vars),
+        tp.s.is_variable() ? tp.s.var() : std::string()});
   }
   return parts;
 }
@@ -312,8 +318,12 @@ Result<plan::PlanPtr> S2rdfEngine::PlanBgp(
     return plan::AccessPath::kFullScan;
   };
   auto leaf = [&](const SqlParts::Step& step) {
-    return plan::MakeScan(plan::NodeKind::kPatternScan, access(step.table),
-                          step.table + " " + step.alias, step.rows, nullptr);
+    auto node =
+        plan::MakeScan(plan::NodeKind::kPatternScan, access(step.table),
+                       step.table + " " + step.alias, step.rows, nullptr);
+    node->out_vars = step.new_vars;
+    node->subject_var = step.subject_var;
+    return node;
   };
 
   plan::PlanPtr root = leaf(parts.steps[0]);
@@ -330,6 +340,7 @@ Result<plan::PlanPtr> S2rdfEngine::PlanBgp(
                : plan::MakeBinary(plan::NodeKind::kPartitionedHashJoin,
                                   "on " + cond, std::move(root), leaf(step),
                                   nullptr);
+    root->key_vars = step.on_vars;
   }
 
   std::string project_detail;
@@ -338,7 +349,7 @@ Result<plan::PlanPtr> S2rdfEngine::PlanBgp(
   }
   if (project_detail.empty()) project_detail = "1 AS one";
 
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(root),
       [this, sql_text](std::vector<plan::PlanPayload>)
           -> Result<plan::PlanPayload> {
@@ -369,6 +380,15 @@ Result<plan::PlanPtr> S2rdfEngine::PlanBgp(
         }
         return plan::PlanPayload(std::move(table));
       });
+  project->key_vars = parts.var_order;
+  return project;
+}
+
+plan::EngineProfile S2rdfEngine::VerifyProfile() const {
+  plan::EngineProfile profile;
+  profile.engine_name = traits_.name;
+  profile.vertical_partitioned = true;
+  return profile;
 }
 
 }  // namespace rdfspark::systems

@@ -38,6 +38,7 @@ class S2rdfEngine : public BgpEngineBase {
 
   const EngineTraits& traits() const override { return traits_; }
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
+  plan::EngineProfile VerifyProfile() const override;
 
   /// The SQL emitted for a BGP (exposed for tests and the EXPLAIN example).
   Result<std::string> TranslateBgpToSql(
@@ -69,6 +70,12 @@ class S2rdfEngine : public BgpEngineBase {
       std::string alias;
       uint64_t rows = 0;
       std::vector<std::string> on;  // join conditions (empty for step 0)
+      /// Schema facts for the plan verifier: variables first bound by this
+      /// step's table, variables the ON conditions equate, and the
+      /// pattern's subject variable (empty when the subject is a constant).
+      std::vector<std::string> new_vars;
+      std::vector<std::string> on_vars;
+      std::string subject_var;
     };
     std::vector<Step> steps;
     std::vector<std::string> where;

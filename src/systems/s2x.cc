@@ -176,8 +176,8 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
             std::unordered_set<rdf::TermId> s_here, o_here;
             for (size_t m = 0; m < matches[i].endpoints.size(); ++m) {
               auto [s, o] = matches[i].endpoints[m];
-              if (sv && !cand[*sv].count(s)) continue;
-              if (ov && !cand[*ov].count(o)) continue;
+              if (sv && !cand[*sv].contains(s)) continue;
+              if (ov && !cand[*ov].contains(o)) continue;
               kept_rows.push_back(matches[i].rows[m]);
               kept_eps.emplace_back(s, o);
               if (sv) s_here.insert(s);
@@ -197,7 +197,7 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
               } else {
                 std::unordered_set<rdf::TermId> inter;
                 for (rdf::TermId v : next[var]) {
-                  if (here.count(v)) inter.insert(v);
+                  if (here.contains(v)) inter.insert(v);
                 }
                 next[var] = std::move(inter);
               }
@@ -223,7 +223,7 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
   // Scan node for pattern i: the validated (pruned) match set, parallelized
   // for the data-parallel assembly joins.
   auto scan = [&](size_t i) {
-    return plan::MakeScan(
+    auto node = plan::MakeScan(
         plan::NodeKind::kPatternScan, plan::AccessPath::kGraphTraversal,
         bgp[i].ToString() + " (pruned)", pattern_est(bgp[i]),
         [this, state, ensure_matched, i](std::vector<plan::PlanPayload>)
@@ -233,6 +233,9 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
               Parallelize(sc_, std::move(state->matches[i].rows),
                           sc_->config().default_parallelism));
         });
+    node->out_vars = bgp[i].Variables();
+    if (bgp[i].s.is_variable()) node->subject_var = bgp[i].s.var();
+    return node;
   };
 
   // Step 3: assemble the final output from the per-pattern subgraphs with
@@ -295,6 +298,7 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
                       return out;
                     }));
           });
+      root->key_vars = {shared[0]};
     }
     for (const auto& v : bgp[i].Variables()) bound.Add(v);
   }
@@ -303,12 +307,14 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
   for (const auto& v : schema->vars()) {
     project_detail += (project_detail.empty() ? "?" : " ?") + v;
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(root),
       [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
         auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
         return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
       });
+  project->key_vars = schema->vars();
+  return project;
 }
 
 }  // namespace rdfspark::systems

@@ -54,7 +54,7 @@ int SemanticPartitioner::PartitionOfSubject(rdf::TermId subject) const {
 }
 
 int SemanticPartitioner::PartitionsSpannedByClass(rdf::TermId cls) const {
-  return class_partition_.count(cls) ? 1 : num_partitions_;
+  return class_partition_.contains(cls) ? 1 : num_partitions_;
 }
 
 double SemanticPartitioner::Skew(const rdf::TripleStore& store) const {

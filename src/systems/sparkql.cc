@@ -48,6 +48,15 @@ SparkqlEngine::SparkqlEngine(spark::SparkContext* sc, Options options)
       "vertex programs with sub-result tables";
 }
 
+plan::EngineProfile SparkqlEngine::VerifyProfile() const {
+  plan::EngineProfile profile;
+  profile.engine_name = traits_.name;
+  // The node model stores data properties and rdf:type inside the vertex,
+  // so LocalStarMatch over node-local patterns never shuffles.
+  profile.star_local_layout = true;
+  return profile;
+}
+
 Result<LoadStats> SparkqlEngine::Load(const rdf::TripleStore& store) {
   auto start = std::chrono::steady_clock::now();
   store_ = &store;
@@ -91,7 +100,7 @@ Result<LoadStats> SparkqlEngine::Load(const rdf::TripleStore& store) {
     if (has_type_predicate_ && t.p == type_predicate_) {
       node_of(t.s).types.push_back(t.o);
       node_of(t.o);  // classes are nodes too (type queries bind them)
-    } else if (data_predicates_.count(t.p)) {
+    } else if (data_predicates_.contains(t.p)) {
       node_of(t.s).data_properties.emplace_back(t.p, t.o);
     } else {
       edges.push_back(Edge<rdf::TermId>{static_cast<VertexId>(t.s),
@@ -180,7 +189,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
         continue;
       }
       bool is_type = has_type_predicate_ && *pid == type_predicate_;
-      bool is_data = data_predicates_.count(*pid) > 0;
+      bool is_data = data_predicates_.contains(*pid);
       if (is_type || is_data) {
         // Node-local: subject may still be constant.
         sparql::TriplePattern p = tp;
@@ -246,7 +255,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
       auto ep = std::make_shared<const EncodedPattern>(
           EncodePattern(dict, tp));
       auto pattern = std::make_shared<const sparql::TriplePattern>(tp);
-      return plan::MakeScan(
+      auto node = plan::MakeScan(
           plan::NodeKind::kPatternScan, plan::AccessPath::kFullScan,
           tp.ToString() + " (virtual triples)", pattern_est(tp),
           [virtual_triples, ep, pattern, all_schema, width](
@@ -264,6 +273,9 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
                   return out;
                 }));
           });
+      node->out_vars = tp.Variables();
+      if (tp.s.is_variable()) node->subject_var = tp.s.var();
+      return node;
     };
 
     plan::PlanPtr root = scan(bgp[0]);
@@ -312,6 +324,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
                             return out;
                           }));
             });
+        root->key_vars = {shared[0]};
       }
       for (const auto& v : bgp[i].Variables()) bound.Add(v);
     }
@@ -319,7 +332,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
     for (const auto& v : all_schema->vars()) {
       project_detail += (project_detail.empty() ? "?" : " ?") + v;
     }
-    return plan::MakeUnary(
+    auto project = plan::MakeUnary(
         plan::NodeKind::kProject, project_detail, std::move(root),
         [all_schema](std::vector<plan::PlanPayload> in)
             -> Result<plan::PlanPayload> {
@@ -327,6 +340,8 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
           return plan::PlanPayload(
               ToBindingTable(*all_schema, current.Collect()));
         });
+    project->key_vars = all_schema->vars();
+    return project;
   }
 
   size_t width = schema.vars().size();
@@ -352,7 +367,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
   // patterns, with literal/class variables bound.
   auto candidates = [&](const std::string& var) -> plan::PlanPtr {
     auto patterns = std::make_shared<const std::vector<sparql::TriplePattern>>(
-        local.count(var) ? local.at(var)
+        local.contains(var) ? local.at(var)
                          : std::vector<sparql::TriplePattern>{});
     // Encode constants of the local patterns.
     auto encoded = std::make_shared<std::vector<EncodedPattern>>();
@@ -406,7 +421,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
           out.emplace_back(kv.first, std::move(rows));
           return out;
         };
-    return plan::MakeScan(
+    auto node = plan::MakeScan(
         plan::NodeKind::kLocalStarMatch, plan::AccessPath::kSubjectStar,
         "?" + var + " (" + std::to_string(patterns->size()) +
             " local patterns)",
@@ -415,6 +430,14 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
             -> Result<plan::PlanPayload> {
           return plan::PlanPayload(graph_.vertices().FlatMap(match_vertex));
         });
+    VarSchema leaf_vars;
+    leaf_vars.Add(var);
+    for (const auto& p : *patterns) {
+      for (const auto& v : p.Variables()) leaf_vars.Add(v);
+    }
+    node->out_vars = leaf_vars.vars();
+    node->subject_var = var;
+    return node;
   };
 
   // Build the BFS plan tree over edge patterns, rooted at the most
@@ -498,6 +521,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
             return plan::PlanPayload(std::move(table));
           });
       node->est_cardinality = predicate_est(pid);
+      node->key_vars = {e.src_var, e.dst_var};
     }
     return node;
   };
@@ -509,7 +533,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
     int best_degree = -1;
     for (const auto& v : all_vars) {
       if (var_done[v]) continue;
-      int d = degree.count(v) ? degree[v] : 0;
+      int d = degree.contains(v) ? degree[v] : 0;
       if (d > best_degree) {
         best_degree = d;
         root = v;
@@ -591,6 +615,8 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
                     return kv.second.first;
                   }));
         });
+    current->key_vars = {e.src_var};
+    if (e.dst_var != e.src_var) current->key_vars.push_back(e.dst_var);
   }
 
   // Strip synthetic variables by projecting onto the real schema.
@@ -606,7 +632,7 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
   for (const auto& v : *real_vars) {
     project_detail += (project_detail.empty() ? "?" : " ?") + v;
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(current),
       [schema_copy, real_vars](std::vector<plan::PlanPayload> in)
           -> Result<plan::PlanPayload> {
@@ -614,6 +640,8 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
         auto table = ToBindingTable(*schema_copy, rows.Collect());
         return plan::PlanPayload(Project(table, *real_vars));
       });
+  project->key_vars = *real_vars;
+  return project;
 }
 
 }  // namespace rdfspark::systems

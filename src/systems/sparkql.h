@@ -48,6 +48,7 @@ class SparkqlEngine : public BgpEngineBase {
 
   const EngineTraits& traits() const override { return traits_; }
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
+  plan::EngineProfile VerifyProfile() const override;
 
  protected:
   Result<plan::PlanPtr> PlanBgp(

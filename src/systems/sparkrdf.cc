@@ -28,6 +28,15 @@ SparkRdfEngine::SparkRdfEngine(spark::SparkContext* sc, Options options)
       "communication";
 }
 
+plan::EngineProfile SparkRdfEngine::VerifyProfile() const {
+  plan::EngineProfile profile;
+  profile.engine_name = traits_.name;
+  // RDSGs are dynamically pre-partitioned on the current join variable
+  // (subject hash at load); co-partitioned joins mark partition_local.
+  profile.subject_partitioned = true;
+  return profile;
+}
+
 Result<LoadStats> SparkRdfEngine::Load(const rdf::TripleStore& store) {
   auto start = std::chrono::steady_clock::now();
   store_ = &store;
@@ -172,7 +181,7 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
         }
         // Keep only the first class constraint per variable; further type
         // patterns stay as normal patterns.
-        if (!var_class.count(tp.s.var())) {
+        if (!var_class.contains(tp.s.var())) {
           var_class[tp.s.var()] = *cid;
           continue;
         }
@@ -222,8 +231,8 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
     bool s_cls = false;
     bool o_cls = false;
     if (options_.enable_class_indexes && !is_type) {
-      s_cls = tp.s.is_variable() && var_class.count(tp.s.var()) > 0;
-      o_cls = tp.o.is_variable() && var_class.count(tp.o.var()) > 0;
+      s_cls = tp.s.is_variable() && var_class.contains(tp.s.var());
+      o_cls = tp.o.is_variable() && var_class.contains(tp.o.var());
     }
     if (s_cls && o_cls) return {plan::AccessPath::kClassIndex, "crc file"};
     if (s_cls) return {plan::AccessPath::kClassIndex, "cr file"};
@@ -240,7 +249,7 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
     auto ep = std::make_shared<const EncodedPattern>(EncodePattern(dict, tp));
     auto pattern = std::make_shared<const sparql::TriplePattern>(tp);
     int key_idx = schema.IndexOf(key_var);
-    return plan::MakeScan(
+    auto node = plan::MakeScan(
         plan::NodeKind::kPatternScan, access,
         tp.ToString() + " (" + file_kind + ", partition on ?" + key_var + ")",
         file->size(),
@@ -263,6 +272,9 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
           return plan::PlanPayload(
               rows.PartitionByKey(num_partitions_, "hash-sbj"));
         });
+    node->out_vars = tp.Variables();
+    if (tp.s.is_variable()) node->subject_var = tp.s.var();
+    return node;
   };
 
   plan::PlanPtr current;
@@ -355,6 +367,10 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
                   });
               return plan::PlanPayload(joined.AssumePartitioner(part_info));
             });
+        current->key_vars = {x};
+        // The fresh leaf is pre-partitioned on x; without a re-key the
+        // accumulated side already is too, so the join never shuffles.
+        current->partition_local = !need_rekey;
         current_key = x;
       }
       for (const auto& v : work[i].Variables()) bound.Add(v);
@@ -401,6 +417,8 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
           plan::NodeKind::kPatternScan, plan::AccessPath::kClassIndex,
           "instances of " + cls_name,
           instances == nullptr ? 0 : instances->size(), nullptr);
+      index_leaf->out_vars = {var};
+      index_leaf->subject_var = var;
       rows_plan = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "bind ?" + var,
           std::move(rows_plan), std::move(index_leaf),
@@ -436,6 +454,7 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
             }
             return plan::PlanPayload(std::move(kept));
           });
+      rows_plan->key_vars = {var};
     }
   }
 
@@ -443,7 +462,7 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
   for (const auto& v : schema.vars()) {
     project_detail += (project_detail.empty() ? "?" : " ?") + v;
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(rows_plan),
       [schema_copy](std::vector<plan::PlanPayload> in)
           -> Result<plan::PlanPayload> {
@@ -451,6 +470,8 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
         return plan::PlanPayload(
             ToBindingTable(*schema_copy, std::move(rows)));
       });
+  project->key_vars = schema.vars();
+  return project;
 }
 
 }  // namespace rdfspark::systems

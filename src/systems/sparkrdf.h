@@ -42,6 +42,7 @@ class SparkRdfEngine : public BgpEngineBase {
 
   const EngineTraits& traits() const override { return traits_; }
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
+  plan::EngineProfile VerifyProfile() const override;
 
  protected:
   Result<plan::PlanPtr> PlanBgp(

@@ -160,13 +160,16 @@ Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
     plan::AccessPath access = tp.p.is_variable()
                                   ? plan::AccessPath::kFullScan
                                   : plan::AccessPath::kVpTable;
-    return plan::MakeScan(
+    auto leaf = plan::MakeScan(
         plan::NodeKind::kPatternScan, access, tp.ToString(),
         PatternSelectivity(tp),
         [this, schema, tp](std::vector<plan::PlanPayload>)
             -> Result<plan::PlanPayload> {
           return plan::PlanPayload(PatternRows(tp, *schema));
         });
+    leaf->out_vars = tp.Variables();
+    if (tp.s.is_variable()) leaf->subject_var = tp.s.var();
+    return leaf;
   };
 
   // Sequential translation: each pattern's rows joined with the
@@ -218,6 +221,7 @@ Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
                       return out;
                     }));
           });
+      root->key_vars = {shared[0]};
     }
     for (const auto& v : tp.Variables()) bound.Add(v);
   }
@@ -226,12 +230,21 @@ Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
   for (const auto& v : schema->vars()) {
     vars_detail += (vars_detail.empty() ? "?" : " ?") + v;
   }
-  return plan::MakeUnary(
+  auto project = plan::MakeUnary(
       plan::NodeKind::kProject, vars_detail, std::move(root),
       [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
         auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
         return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
       });
+  project->key_vars = schema->vars();
+  return project;
+}
+
+plan::EngineProfile SparqlgxEngine::VerifyProfile() const {
+  plan::EngineProfile profile;
+  profile.engine_name = traits_.name;
+  profile.vertical_partitioned = true;
+  return profile;
 }
 
 }  // namespace rdfspark::systems
