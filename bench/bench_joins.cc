@@ -45,6 +45,7 @@ void SizeRatioSweep() {
   PrintRule(widths);
 
   const int kLargeRows = 20000;
+  BenchJson json("joins");
   for (int small_rows : {10, 100, 1000, 5000, 20000}) {
     double sim_ms[2];
     double wall_ms[2];
@@ -68,6 +69,11 @@ void SizeRatioSweep() {
       sim_ms[strat] = delta.simulated_ms;
       net_bytes[strat] =
           delta.remote_shuffle_bytes + delta.broadcast_bytes;
+      std::string label = std::to_string(small_rows) + "/" +
+                          (strat == 0 ? "broadcast" : "shuffle");
+      json.Add(label, "result_rows", static_cast<double>(result_rows));
+      json.Add(label, "wall_ms", wall_ms[strat]);
+      json.AddMetrics(label, delta);
     }
     std::string winner = sim_ms[0] < sim_ms[1] ? "broadcast" : "shuffle";
     PrintRow({Fmt(uint64_t(small_rows)), Fmt(result_rows),
@@ -80,6 +86,7 @@ void SizeRatioSweep() {
   std::printf(
       "\nCheck: broadcast wins while the small side is small; as it grows\n"
       "the replicated volume overtakes the two-sided shuffle (crossover).\n\n");
+  json.Write();
 }
 
 void StrategyComparisonOnBgp() {

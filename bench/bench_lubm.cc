@@ -56,6 +56,7 @@ void LubmTable() {
   std::printf("\n%s\n", std::string(26 + 7 * queries.size(), '-').c_str());
 
   spark::SparkContext sc(DefaultCluster());
+  BenchJson json("lubm");
   auto engines = systems::MakeAllEngines(&sc);
   for (auto& engine : engines) {
     if (!engine->Load(store).ok()) continue;
@@ -71,10 +72,16 @@ void LubmTable() {
       } else {
         std::printf("%7.2f", run.delta.simulated_ms.ms());
       }
+      std::string label =
+          engine->traits().name + "/" + queries[q].first;
+      json.Add(label, "rows", static_cast<double>(run.rows));
+      json.Add(label, "wall_ms", run.wall_ms);
+      json.AddMetrics(label, run.delta);
     }
     std::printf("  | total %.2f sim ms%s\n", total_ms,
                 all_match ? "" : "  (MISMATCH!)");
   }
+  json.Write();
   std::printf(
       "\nCells are simulated milliseconds; row counts all matched the\n"
       "reference unless marked. Shape check: the subsumption-heavy scans\n"

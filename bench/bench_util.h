@@ -3,11 +3,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "rdf/generator.h"
 #include "rdf/store.h"
 #include "spark/context.h"
@@ -104,6 +108,82 @@ inline QueryRun RunQuery(systems::RdfQueryEngine* engine,
   run.rows = result->num_rows();
   return run;
 }
+
+/// Machine-readable benchmark output. The human tables above are for eyes;
+/// this collects the same numbers as (label, metric, value) triples and
+/// writes them to $RDFSPARK_BENCH_JSON_DIR/BENCH_<name>.json when that
+/// environment variable points at a directory (CI sets it; interactive
+/// runs that leave it unset write nothing). Values are emitted with %.10g,
+/// so counters survive round-tripping exactly.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& label, const std::string& metric,
+           double value) {
+    RowFor(label)->values.emplace_back(metric, value);
+  }
+
+  /// Flattens a metrics delta (counters, simulated time, histogram
+  /// summaries incl. partition skew) under `label`.
+  void AddMetrics(const std::string& label, const spark::Metrics& delta) {
+    Row* row = RowFor(label);
+    delta.ForEachNumericField(
+        [row](const std::string& metric, double value) {
+          row->values.emplace_back(metric, value);
+        });
+  }
+
+  /// Writes BENCH_<name>.json if requested; returns whether a file was
+  /// written. Call once, after the tables are printed.
+  bool Write() const {
+    const char* dir = std::getenv("RDFSPARK_BENCH_JSON_DIR");
+    if (dir == nullptr || dir[0] == '\0') return false;
+    std::string json = "{\n  \"benchmark\": \"" + JsonEscape(name_) +
+                       "\",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      json += "    {\"label\": \"" + JsonEscape(rows_[i].label) +
+              "\", \"metrics\": {";
+      for (size_t v = 0; v < rows_[i].values.size(); ++v) {
+        if (v > 0) json += ", ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.10g",
+                      rows_[i].values[v].second);
+        json += "\"" + JsonEscape(rows_[i].values[v].first) + "\": " + buf;
+      }
+      json += i + 1 < rows_.size() ? "}},\n" : "}}\n";
+    }
+    json += "  ]\n}\n";
+    std::string path =
+        std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << json;
+    std::fprintf(stderr, "BenchJson: wrote %s (%zu rows)\n", path.c_str(),
+                 rows_.size());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  Row* RowFor(const std::string& label) {
+    for (auto& row : rows_) {
+      if (row.label == label) return &row;
+    }
+    rows_.push_back(Row{label, {}});
+    return &rows_.back();
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace rdfspark::bench
 

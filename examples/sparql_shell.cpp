@@ -6,11 +6,19 @@
 //
 // Engines: haqwa sparqlgx s2rdf hybrid s2x graphxsm sparkql graphframes
 // sparkrdf (default: s2rdf).
-// Dot-commands: .engines .metrics .stats .explain .lint .quit
+// Dot-commands: .engines .metrics .stats .explain .lint .analyze
+// .profile .trace .quit
 // `.explain` prints the engine's physical plan (EXPLAIN) for the query
 // currently buffered at the prompt, without executing it.
 // `.lint` runs the static plan verifier over that plan and prints its
 // diagnostics (ERROR/WARN/INFO with rule ids), also without executing.
+// `.analyze` *executes* the buffered query with per-operator actuals
+// collection and prints EXPLAIN ANALYZE (estimated vs actual rows,
+// estimate error, per-node runtime counters).
+// `.profile` prints the tracer's compact text timeline of everything run
+// so far (enable with `.trace on` first).
+// `.trace on|off|<file.json>` toggles runtime tracing or exports the
+// collected spans as Chrome chrome://tracing JSON to <file.json>.
 
 #include <cstdio>
 #include <fstream>
@@ -151,8 +159,9 @@ int main(int argc, char** argv) {
               store.size(), engine->traits().name.c_str(), load->wall_ms,
               static_cast<unsigned long long>(load->stored_records));
   std::printf(
-      "enter a SPARQL query, blank line to run; .explain/.lint to inspect "
-      "the buffered query; .quit to exit\n");
+      "enter a SPARQL query, blank line to run; .explain/.lint/.analyze to "
+      "inspect the buffered query; .trace on + .profile for timelines; "
+      ".quit to exit\n");
 
   std::string pending;
   std::string line;
@@ -187,6 +196,41 @@ int main(int argc, char** argv) {
         } else {
           std::printf("error: %s\n", linted.status().ToString().c_str());
         }
+      }
+    } else if (trimmed == ".analyze") {
+      if (TrimWhitespace(pending).empty()) {
+        std::printf(
+            "usage: type a query first (don't run it), then .analyze\n");
+      } else {
+        auto analyzed = engine->ExplainAnalyzeText(pending);
+        if (analyzed.ok()) {
+          std::printf("%s", analyzed->c_str());
+        } else {
+          std::printf("error: %s\n", analyzed.status().ToString().c_str());
+        }
+      }
+    } else if (trimmed == ".profile") {
+      if (sc.tracer().event_count() == 0) {
+        std::printf("no spans recorded; `.trace on` then run a query\n");
+      } else {
+        std::printf("%s", sc.tracer().ToTimelineText().c_str());
+      }
+    } else if (trimmed == ".trace on") {
+      sc.tracer().set_enabled(true);
+      std::printf("tracing enabled\n");
+    } else if (trimmed == ".trace off") {
+      sc.tracer().set_enabled(false);
+      std::printf("tracing disabled (%zu spans buffered)\n",
+                  sc.tracer().event_count());
+    } else if (trimmed.rfind(".trace ", 0) == 0) {
+      std::string path(TrimWhitespace(trimmed.substr(7)));
+      std::ofstream out(path);
+      if (!out) {
+        std::printf("cannot write %s\n", path.c_str());
+      } else {
+        out << sc.tracer().ToChromeTraceJson();
+        std::printf("wrote %zu spans to %s (open in chrome://tracing)\n",
+                    sc.tracer().event_count(), path.c_str());
       }
     } else if (trimmed == ".metrics") {
       std::printf("%s\n", sc.metrics().ToString().c_str());

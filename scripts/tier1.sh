@@ -14,12 +14,13 @@ echo
 echo "=== tier 1: ThreadSanitizer (scheduler/rdd/dataframe/engines/plans) ==="
 cmake -B build-tsan -S . -DRDFSPARK_TSAN=ON >/dev/null
 cmake --build build-tsan -j --target scheduler_test rdd_test dataframe_test \
-  engines_test plan_explain_test
+  engines_test plan_explain_test tracing_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/scheduler_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/rdd_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dataframe_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engines_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/plan_explain_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/tracing_test
 
 echo
 echo "tier 1: OK"

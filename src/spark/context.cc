@@ -69,43 +69,153 @@ SparkContext::Phase* SparkContext::CurrentPhase() const {
 }
 
 void SparkContext::BeginPhase() {
-  t_phase_frames.push_back({this, new Phase(config_.num_executors), true});
+  Phase* phase = new Phase(config_.num_executors);
+  phase->start_ns = metrics_.simulated_ms.nanos();
+  t_phase_frames.push_back({this, phase, true});
 }
 
 void SparkContext::EndPhase() {
   auto& frames = t_phase_frames;
+  uint64_t start_ns = 0;
+  uint64_t max_ns = 0;
   if (!frames.empty() && frames.back().ctx == this && frames.back().owned) {
     Phase* phase = frames.back().phase;
     frames.pop_back();
-    metrics_.simulated_ms.AddNanos(phase->MaxNanos());
+    start_ns = phase->start_ns;
+    max_ns = phase->MaxNanos();
+    metrics_.simulated_ms.AddNanos(max_ns);
     delete phase;
   } else {
     // Unmatched EndPhase: fold whatever accumulated outside phases and
     // reset it (the seed's behaviour for an empty phase stack).
-    metrics_.simulated_ms.AddNanos(root_phase_->MaxNanos());
+    start_ns = root_phase_->start_ns;
+    max_ns = root_phase_->MaxNanos();
+    metrics_.simulated_ms.AddNanos(max_ns);
     root_phase_->Reset();
+    root_phase_->start_ns = metrics_.simulated_ms.nanos();
   }
-  ++metrics_.stages;
+  uint64_t stage = ++metrics_.stages;
+  if (tracer_.enabled()) {
+    tracer_.Record(SpanKind::kStage, "stage#" + std::to_string(stage),
+                   start_ns, max_ns, /*lane=*/-1);
+  }
 }
 
 void SparkContext::ChargeCompute(int partition, uint64_t records) {
   metrics_.records_processed += records;
-  CurrentPhase()->Add(
-      ExecutorOf(partition),
-      static_cast<uint64_t>(
-          config_.cost.cpu_ns_per_record * static_cast<double>(records) +
-          0.5));
+  uint64_t ns = static_cast<uint64_t>(
+      config_.cost.cpu_ns_per_record * static_cast<double>(records) + 0.5);
+  CurrentPhase()->Add(ExecutorOf(partition), ns);
+  if (auto op = CurrentOpStats()) {
+    op->records_in += records;
+    op->busy_ns += ns;
+  }
 }
 
 void SparkContext::ChargeTask(int partition, uint64_t records,
                               uint64_t remote_bytes) {
   ++metrics_.tasks;
   metrics_.records_processed += records;
-  double ns = config_.cost.task_overhead_us * 1e3;
-  ns += config_.cost.cpu_ns_per_record * static_cast<double>(records);
-  ns += config_.cost.net_ns_per_byte * static_cast<double>(remote_bytes);
-  CurrentPhase()->Add(ExecutorOf(partition),
-                      static_cast<uint64_t>(ns + 0.5));
+  double cost = config_.cost.task_overhead_us * 1e3;
+  cost += config_.cost.cpu_ns_per_record * static_cast<double>(records);
+  cost += config_.cost.net_ns_per_byte * static_cast<double>(remote_bytes);
+  uint64_t ns = static_cast<uint64_t>(cost + 0.5);
+  Phase* phase = CurrentPhase();
+  int executor = ExecutorOf(partition);
+  uint64_t busy_before = phase->Add(executor, ns);
+  metrics_.task_duration_ns.Record(ns);
+  metrics_.task_records.Record(records);
+  if (auto op = CurrentOpStats()) {
+    ++op->tasks;
+    op->records_in += records;
+    op->busy_ns += ns;
+  }
+  if (tracer_.enabled()) {
+    tracer_.Record(SpanKind::kTask,
+                   "task p" + std::to_string(partition),
+                   phase->start_ns + busy_before, ns, executor, records,
+                   remote_bytes);
+  }
+}
+
+void SparkContext::RecordJob() {
+  uint64_t job = ++metrics_.jobs;
+  if (tracer_.enabled()) {
+    tracer_.Record(SpanKind::kJob, "job#" + std::to_string(job),
+                   metrics_.simulated_ms.nanos(), 0, /*lane=*/-1);
+  }
+}
+
+void SparkContext::ChargeJoinComparisons(uint64_t comparisons) {
+  metrics_.join_comparisons += comparisons;
+  if (auto op = CurrentOpStats()) op->join_comparisons += comparisons;
+}
+
+void SparkContext::ChargeShuffleWrite(int partition, uint64_t records,
+                                      uint64_t bytes, uint64_t remote_bytes,
+                                      uint64_t local_reads,
+                                      uint64_t remote_reads) {
+  metrics_.shuffle_records += records;
+  metrics_.shuffle_bytes += bytes;
+  metrics_.remote_shuffle_bytes += remote_bytes;
+  metrics_.local_read_records += local_reads;
+  metrics_.remote_read_records += remote_reads;
+  if (auto op = CurrentOpStats()) {
+    op->shuffle_records += records;
+    op->shuffle_bytes += bytes;
+    op->remote_shuffle_bytes += remote_bytes;
+    op->local_read_records += local_reads;
+    op->remote_read_records += remote_reads;
+  }
+  if (tracer_.enabled()) {
+    Phase* phase = CurrentPhase();
+    int executor = ExecutorOf(partition);
+    tracer_.Record(SpanKind::kShuffleWrite,
+                   "shuffle p" + std::to_string(partition),
+                   phase->start_ns + phase->Busy(executor), 0, executor,
+                   records, bytes);
+  }
+}
+
+void SparkContext::ChargeLocalReads(uint64_t records) {
+  metrics_.local_read_records += records;
+  if (auto op = CurrentOpStats()) op->local_read_records += records;
+}
+
+void SparkContext::ChargeRemoteReads(uint64_t records) {
+  metrics_.remote_read_records += records;
+  if (auto op = CurrentOpStats()) op->remote_read_records += records;
+}
+
+void SparkContext::RecordSuperstep(const char* label) {
+  uint64_t step = ++metrics_.supersteps;
+  if (tracer_.enabled()) {
+    tracer_.Record(SpanKind::kSuperstep,
+                   std::string(label) + "#" + std::to_string(step),
+                   metrics_.simulated_ms.nanos(), 0, /*lane=*/-1);
+  }
+}
+
+void SparkContext::RecordMessages(uint64_t count) {
+  metrics_.messages += count;
+}
+
+void SparkContext::ChargeBroadcastBytes(uint64_t bytes) {
+  uint64_t replicated =
+      bytes * static_cast<uint64_t>(
+                  config_.num_executors > 1 ? config_.num_executors - 1 : 0);
+  metrics_.broadcast_bytes += replicated;
+  if (auto op = CurrentOpStats()) op->broadcast_bytes += replicated;
+  if (config_.num_executors > 1) {
+    uint64_t ns = static_cast<uint64_t>(
+        config_.cost.net_ns_per_byte * static_cast<double>(bytes) + 0.5);
+    if (tracer_.enabled()) {
+      tracer_.Record(SpanKind::kBroadcast, "broadcast",
+                     metrics_.simulated_ms.nanos(), ns, /*lane=*/-1, 0,
+                     bytes);
+    }
+    metrics_.simulated_ms.AddNanos(ns);
+  }
 }
 
 void SparkContext::RunParallel(int count,
@@ -119,13 +229,16 @@ void SparkContext::RunParallel(int count,
   }
   if (!scheduler_) scheduler_ = std::make_unique<TaskScheduler>(threads);
   Phase* phase = CurrentPhase();
-  scheduler_->ParallelFor(count, [this, phase, &fn](int i) {
-    // Propagate the submitting thread's phase so task charges land in the
-    // action's phase; popped even if fn throws.
+  std::shared_ptr<OpStats> op = CurrentOpStats();
+  scheduler_->ParallelFor(count, [this, phase, &op, &fn](int i) {
+    // Propagate the submitting thread's phase and operator scope so task
+    // charges land in the action's phase and on the operator that issued
+    // the action; popped even if fn throws.
     t_phase_frames.push_back({this, phase, false});
     struct FramePopper {
       ~FramePopper() { t_phase_frames.pop_back(); }
     } popper;
+    OpScopeGuard op_scope(op);
     fn(i);
   });
 }

@@ -11,6 +11,7 @@
 
 #include "spark/metrics.h"
 #include "spark/size_estimator.h"
+#include "spark/tracing.h"
 
 namespace rdfspark::spark {
 
@@ -89,6 +90,11 @@ class SparkContext {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
 
+  /// Span recorder for this cluster (disabled by default; enabling it is
+  /// the only switch — all instrumentation sites check `enabled()`).
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
   /// Executor owning partition `partition` (round-robin placement).
   /// Partition ids are non-negative by construction (hash-derived bucket
   /// indices are reduced modulo a positive count before they get here);
@@ -116,7 +122,35 @@ class SparkContext {
   void ChargeTask(int partition, uint64_t records, uint64_t remote_bytes);
 
   /// Records an action execution (one job).
-  void RecordJob() { ++metrics_.jobs; }
+  void RecordJob();
+
+  // Centralized metric charge points. The RDD/DataFrame/GraphX layers call
+  // these instead of poking `metrics()` fields directly so that every
+  // charge reaches all three sinks consistently: the global Metrics, the
+  // innermost operator scope (EXPLAIN ANALYZE actuals), and — where a span
+  // is meaningful — the tracer. Keep new instrumentation going through
+  // here; direct field writes bypass per-operator attribution.
+
+  /// Charges `comparisons` candidate pairs examined by a join.
+  void ChargeJoinComparisons(uint64_t comparisons);
+
+  /// Records the map-side write of one source partition into a shuffle:
+  /// `records`/`bytes` written in total, `remote_bytes` of which cross
+  /// executor boundaries, plus the reader-side locality split
+  /// (`local_reads`/`remote_reads` records).
+  void ChargeShuffleWrite(int partition, uint64_t records, uint64_t bytes,
+                          uint64_t remote_bytes, uint64_t local_reads,
+                          uint64_t remote_reads);
+
+  /// Charges partition reads served locally / from other executors.
+  void ChargeLocalReads(uint64_t records);
+  void ChargeRemoteReads(uint64_t records);
+
+  /// Records one Pregel/fixpoint iteration (emits a superstep span).
+  void RecordSuperstep(const char* label = "superstep");
+
+  /// Records `count` graph messages sent by aggregateMessages.
+  void RecordMessages(uint64_t count);
 
   /// Runs fn(0..count-1) on the executor pool, blocking until all tasks
   /// finish. Falls back to an inline serial loop when the pool is disabled
@@ -128,16 +162,7 @@ class SparkContext {
   /// Accounts the volume and time of replicating `bytes` to every executor
   /// (tree distribution: every executor receives the payload once, in
   /// parallel, so the time cost is one network transfer).
-  void ChargeBroadcastBytes(uint64_t bytes) {
-    metrics_.broadcast_bytes +=
-        bytes * static_cast<uint64_t>(config_.num_executors > 1
-                                          ? config_.num_executors - 1
-                                          : 0);
-    if (config_.num_executors > 1) {
-      metrics_.simulated_ms.AddNanos(static_cast<uint64_t>(
-          config_.cost.net_ns_per_byte * static_cast<double>(bytes) + 0.5));
-    }
-  }
+  void ChargeBroadcastBytes(uint64_t bytes);
 
   /// Wraps `value` into a Broadcast, charging replication traffic.
   template <typename T>
@@ -151,14 +176,24 @@ class SparkContext {
   /// so totals are interleaving-independent).
   struct Phase {
     explicit Phase(int num_executors);
-    void Add(int executor, uint64_t ns) {
-      busy_ns[static_cast<size_t>(executor)].fetch_add(
+    /// Adds `ns` to the executor's busy time; returns the executor's busy
+    /// time *before* the add — the task's start offset within the phase,
+    /// which is what the tracer plots task spans at.
+    uint64_t Add(int executor, uint64_t ns) {
+      return busy_ns[static_cast<size_t>(executor)].fetch_add(
           ns, std::memory_order_relaxed);
+    }
+    uint64_t Busy(int executor) const {
+      return busy_ns[static_cast<size_t>(executor)].load(
+          std::memory_order_relaxed);
     }
     uint64_t MaxNanos() const;
     void Reset();
 
     std::vector<std::atomic<uint64_t>> busy_ns;
+    /// Simulated-time origin of the phase (simulated_ms when it began);
+    /// task spans plot at start_ns + per-executor busy offset.
+    uint64_t start_ns = 0;
   };
 
  private:
@@ -168,6 +203,7 @@ class SparkContext {
 
   ClusterConfig config_;
   Metrics metrics_;
+  Tracer tracer_;
   std::atomic<int> next_node_id_{0};
 
   std::unique_ptr<Phase> root_phase_;

@@ -211,11 +211,11 @@ class Graph {
   Rdd<std::pair<VertexId, M>> AggregateMessages(SendFn send,
                                                 MergeFn merge) const {
     SparkContext* sc = context();
-    ++sc->metrics().supersteps;  // one graph-parallel round
+    sc->RecordSuperstep();  // one graph-parallel round
     auto messages = Triplets().FlatMap(
         [send, sc](const EdgeTriplet<VD, ED>& t) {
           std::vector<std::pair<VertexId, M>> out = send(t);
-          sc->metrics().messages += out.size();
+          sc->RecordMessages(out.size());
           return out;
         });
     return messages.ReduceByKey(merge);

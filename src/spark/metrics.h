@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace rdfspark::spark {
@@ -48,8 +49,85 @@ class Counter {
     return v_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Raises the stored value to at least `v` (relaxed CAS loop). Used by
+  /// Histogram for running maxima; commutative, so still deterministic
+  /// across interleavings.
+  void UpdateMax(uint64_t v) noexcept {
+    uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::atomic<uint64_t> v_{0};
+};
+
+/// Power-of-two-bucketed distribution of uint64 samples with exact count,
+/// sum and max. Bucket i holds samples whose bit width is i (bucket 0 is
+/// the value 0), so bucketing needs no configuration and recording is a
+/// couple of relaxed increments — safe from concurrent partition tasks and
+/// interleaving-independent like every other metric.
+///
+/// Deltas: count, sum and buckets subtract exactly; the running max cannot
+/// be windowed, so operator- keeps the lhs max (documented: max is
+/// since-construction). Benches snapshot fresh contexts, where the two
+/// notions coincide.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Record(uint64_t v) noexcept {
+    ++buckets_[BucketOf(v)];
+    ++count_;
+    sum_ += v;
+    max_.UpdateMax(v);
+  }
+
+  uint64_t count() const noexcept { return count_; }
+  uint64_t sum() const noexcept { return sum_; }
+  uint64_t max_value() const noexcept { return max_; }
+  uint64_t bucket(int i) const noexcept { return buckets_[i]; }
+
+  double Mean() const noexcept {
+    uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// Ratio max / mean (1.0 = perfectly balanced); 0 when empty. With task
+  /// record counts as samples this is the partition-skew ratio.
+  double SkewVsMean() const noexcept {
+    double mean = Mean();
+    return mean == 0.0 ? 0.0 : static_cast<double>(max_value()) / mean;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile sample (q in
+  /// [0,1]); an over-approximation within 2x, exact at the top (the last
+  /// occupied bucket's bound is clamped to the true max). 0 when empty.
+  uint64_t QuantileUpperBound(double q) const noexcept;
+
+  Histogram& operator+=(const Histogram& rhs) noexcept;
+  /// Bucketwise difference; max is kept from *this (see class comment).
+  Histogram operator-(const Histogram& rhs) const noexcept;
+
+  /// One-line summary: count / mean / p50 / p95 / max / skew.
+  std::string ToString() const;
+
+  static int BucketOf(uint64_t v) noexcept {
+    int b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+ private:
+  Counter buckets_[kBuckets];
+  Counter count_;
+  Counter sum_;
+  Counter max_;
 };
 
 /// Simulated time held as integer nanoseconds so that accumulation is
@@ -102,6 +180,33 @@ class SimTime {
   std::atomic<uint64_t> ns_{0};
 };
 
+/// Field lists for Metrics, X-macro style. operator-/operator+=/ToString/
+/// ForEachNumericField and the field-coverage test in tests/metrics_test.cc
+/// all expand these, so a counter added here is automatically covered by
+/// snapshots, deltas, dumps and machine-readable exports — and a counter
+/// added to the struct but not to a list trips the sizeof static_assert in
+/// metrics.cc. Append new fields to the matching list.
+#define RDFSPARK_METRICS_COUNTER_FIELDS(X) \
+  X(jobs)                                  \
+  X(stages)                                \
+  X(tasks)                                 \
+  X(shuffle_records)                       \
+  X(shuffle_bytes)                         \
+  X(remote_shuffle_bytes)                  \
+  X(local_read_records)                    \
+  X(remote_read_records)                   \
+  X(broadcast_bytes)                       \
+  X(join_comparisons)                      \
+  X(records_processed)                     \
+  X(messages)                              \
+  X(supersteps)
+
+#define RDFSPARK_METRICS_SIMTIME_FIELDS(X) X(simulated_ms)
+
+#define RDFSPARK_METRICS_HISTOGRAM_FIELDS(X) \
+  X(task_duration_ns)                        \
+  X(task_records)
+
 /// Execution counters accumulated by the cluster simulator. Everything the
 /// assessment benchmarks report (shuffle volume, locality, comparisons,
 /// supersteps, simulated wall time) comes out of this struct; engines obtain
@@ -129,11 +234,20 @@ struct Metrics {
 
   SimTime simulated_ms;  ///< Critical-path time under the cost model.
 
+  Histogram task_duration_ns;  ///< Distribution of per-task busy ns.
+  Histogram task_records;      ///< Records per task (skew = max/mean).
+
   Metrics operator-(const Metrics& rhs) const;
   Metrics& operator+=(const Metrics& rhs);
 
   /// Multi-line human-readable dump.
   std::string ToString() const;
+
+  /// Invokes fn(name, value) for every scalar the machine-readable surfaces
+  /// export: each counter, simulated_ms (in ms), and summary statistics of
+  /// each histogram.
+  void ForEachNumericField(
+      const std::function<void(const std::string&, double)>& fn) const;
 };
 
 /// Cost model translating simulator events into simulated milliseconds.

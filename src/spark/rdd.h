@@ -80,6 +80,7 @@ class RddNode : public RddNodeBase {
           ComputeFn compute)
       : RddNodeBase(id, std::move(name), num_partitions, is_shuffle),
         compute_(std::move(compute)),
+        op_scope_(CurrentOpStats()),
         cache_(static_cast<size_t>(num_partitions)),
         locks_(std::make_unique<std::mutex[]>(
             static_cast<size_t>(std::max(num_partitions, 1)))) {}
@@ -92,6 +93,11 @@ class RddNode : public RddNodeBase {
   std::shared_ptr<const std::vector<T>> GetPartition(int p) {
     std::lock_guard<std::mutex> lock(locks_[p]);
     if (!cache_[p]) {
+      // Reinstall the operator scope captured when this node was built:
+      // RDDs are lazy, so by the time compute_ runs the plan executor may
+      // be inside a different operator — charges still belong to the one
+      // that created the lineage (Spark's withScope).
+      OpScopeGuard scope(op_scope_);
       cache_[p] = std::make_shared<std::vector<T>>(compute_(p));
     }
     return cache_[p];
@@ -107,8 +113,24 @@ class RddNode : public RddNodeBase {
   }
   void ComputePartition(int partition) override { GetPartition(partition); }
 
+  /// Total records across currently cached partitions. The EXPLAIN ANALYZE
+  /// row-count probe: after a plan ran, every partition an operator's RDD
+  /// produced is cached, and reading cache sizes charges nothing.
+  uint64_t CachedRecords() const {
+    uint64_t total = 0;
+    for (int p = 0; p < num_partitions(); ++p) {
+      std::lock_guard<std::mutex> lock(locks_[p]);
+      if (cache_[static_cast<size_t>(p)]) {
+        total += cache_[static_cast<size_t>(p)]->size();
+      }
+    }
+    return total;
+  }
+
  private:
   ComputeFn compute_;
+  /// Operator scope active when the node was created (null outside plans).
+  std::shared_ptr<OpStats> op_scope_;
   std::vector<std::shared_ptr<std::vector<T>>> cache_;
   mutable std::unique_ptr<std::mutex[]> locks_;  ///< One per partition.
 };
@@ -407,12 +429,12 @@ class Rdd {
       uint64_t right_bytes = 0;
       for (const U& u : *right) right_bytes += EstimateSize(u);
       bool remote = sc->ExecutorOf(p) != sc->ExecutorOf(j);
-      sc->metrics().join_comparisons += left->size() * right->size();
+      sc->ChargeJoinComparisons(left->size() * right->size());
       if (remote) {
-        sc->metrics().remote_read_records += right->size();
+        sc->ChargeRemoteReads(right->size());
         sc->ChargeTask(p, 0, right_bytes);
       } else {
-        sc->metrics().local_read_records += right->size();
+        sc->ChargeLocalReads(right->size());
         sc->ChargeTask(p, 0, 0);
       }
       std::vector<std::pair<T, U>> out;
@@ -718,16 +740,18 @@ class Rdd {
       auto in = parent->GetPartition(p);
       sc->ChargeCompute(p, in->size());
       std::vector<Out> out;
+      uint64_t comparisons = 0;
       for (const auto& kv : *in) {
         auto it = bc.value().find(kv.first);
-        ++sc->metrics().join_comparisons;
+        ++comparisons;
         if (it != bc.value().end()) {
-          sc->metrics().join_comparisons += it->second.size() - 1;
+          comparisons += it->second.size() - 1;
           for (const W& w : it->second) {
             out.emplace_back(kv.first, std::pair<V, W>(kv.second, w));
           }
         }
       }
+      sc->ChargeJoinComparisons(comparisons);
       return out;
     };
     return Rdd<Out>(sc_, MakeNode<Out>(sc_, parent, "BroadcastHashJoin",
@@ -994,11 +1018,8 @@ class Rdd {
         }
         buckets[static_cast<size_t>(t)].push_back(x);
       }
-      sc->metrics().shuffle_records += records;
-      sc->metrics().shuffle_bytes += bytes_total;
-      sc->metrics().remote_shuffle_bytes += remote_bytes;
-      sc->metrics().remote_read_records += remote_reads;
-      sc->metrics().local_read_records += local_reads;
+      sc->ChargeShuffleWrite(q, records, bytes_total, remote_bytes,
+                             local_reads, remote_reads);
     });
     for (int b = 0; b < n; ++b) {
       size_t total = 0;
@@ -1053,11 +1074,12 @@ class Rdd {
       std::unordered_map<K, std::vector<W>, ValueHasher> build;
       for (const auto& kv : *r) build[kv.first].push_back(kv.second);
       std::vector<Out> out;
+      uint64_t comparisons = 0;
       for (const auto& kv : *l) {
         auto it = build.find(kv.first);
-        ++sc->metrics().join_comparisons;
+        ++comparisons;
         if (it != build.end()) {
-          sc->metrics().join_comparisons += it->second.size() - 1;
+          comparisons += it->second.size() - 1;
           for (const W& w : it->second) {
             if constexpr (kKind == JoinKind::kInner) {
               out.emplace_back(kv.first, std::pair<V, W>(kv.second, w));
@@ -1071,6 +1093,7 @@ class Rdd {
                                          kv.second, std::nullopt));
         }
       }
+      sc->ChargeJoinComparisons(comparisons);
       return out;
     };
     auto node = MakeNode<Out>(sc_, ln,

@@ -234,11 +234,8 @@ std::vector<RecordBatch> DataFrame::ShuffleRows(const Schema& out_schema,
       }
       rows[static_cast<size_t>(target)].push_back(std::move(row));
     }
-    sc->metrics().shuffle_records += shuffle_records;
-    sc->metrics().shuffle_bytes += shuffle_bytes;
-    sc->metrics().remote_shuffle_bytes += remote_shuffle_bytes;
-    sc->metrics().remote_read_records += remote_reads;
-    sc->metrics().local_read_records += local_reads;
+    sc->ChargeShuffleWrite(p, shuffle_records, shuffle_bytes,
+                           remote_shuffle_bytes, local_reads, remote_reads);
   });
   std::vector<RecordBatch> buckets;
   buckets.reserve(static_cast<size_t>(num_partitions));
@@ -399,7 +396,7 @@ DataFrame DataFrame::BroadcastJoin(
         out.AppendRow(combined);
       }
     }
-    sc->metrics().join_comparisons += comparisons;
+    sc->ChargeJoinComparisons(comparisons);
     sc->ChargeTask(p, in.num_rows, 0);
     batches[static_cast<size_t>(p)] = std::move(out);
   });
@@ -485,7 +482,7 @@ DataFrame DataFrame::ShuffleHashJoin(
         out.AppendRow(combined);
       }
     }
-    sc->metrics().join_comparisons += comparisons;
+    sc->ChargeJoinComparisons(comparisons);
     sc->ChargeTask(p, lb.num_rows + rb.num_rows, 0);
     batches[static_cast<size_t>(p)] = std::move(out);
   });
@@ -514,11 +511,11 @@ DataFrame DataFrame::CrossJoin(const DataFrame& right) const {
     const RecordBatch& lb = state_->batches[static_cast<size_t>(lp)];
     const RecordBatch& rb = right.state_->batches[static_cast<size_t>(rp)];
     RecordBatch out = MakeBatch(out_schema);
-    sc->metrics().join_comparisons += lb.num_rows * rb.num_rows;
+    sc->ChargeJoinComparisons(lb.num_rows * rb.num_rows);
     uint64_t remote = 0;
     if (sc->ExecutorOf(out_p) != sc->ExecutorOf(rp)) {
       remote = rb.MemoryBytes();
-      sc->metrics().remote_read_records += rb.num_rows;
+      sc->ChargeRemoteReads(rb.num_rows);
     }
     for (size_t i = 0; i < lb.num_rows; ++i) {
       Row lrow = lb.GetRow(i);
@@ -576,9 +573,8 @@ DataFrame DataFrame::Sort(
   for (size_t p = 0; p < state_->batches.size(); ++p) {
     const RecordBatch& in = state_->batches[p];
     uint64_t bytes = in.MemoryBytes();
-    sc->metrics().shuffle_records += in.num_rows;
-    sc->metrics().shuffle_bytes += bytes;
-    sc->metrics().remote_shuffle_bytes += bytes;
+    sc->ChargeShuffleWrite(static_cast<int>(p), in.num_rows, bytes, bytes,
+                           0, 0);
     sc->ChargeTask(static_cast<int>(p), in.num_rows, bytes);
     for (size_t i = 0; i < in.num_rows; ++i) rows.push_back(in.GetRow(i));
   }

@@ -4,6 +4,7 @@
 
 #include "sparql/eval.h"
 #include "sparql/parser.h"
+#include "systems/plan/analyze.h"
 #include "systems/graphframes_engine.h"
 #include "systems/graphx_sm.h"
 #include "systems/haqwa.h"
@@ -54,6 +55,11 @@ Result<std::string> RdfQueryEngine::LintText(std::string_view) {
   return Status::Unsupported(traits().name + ": LINT not supported");
 }
 
+Result<std::string> RdfQueryEngine::ExplainAnalyzeText(std::string_view) {
+  return Status::Unsupported(traits().name +
+                             ": EXPLAIN ANALYZE not supported");
+}
+
 BgpEngineBase::BgpEngineBase(spark::SparkContext* sc) : RdfQueryEngine(sc) {
   const char* env = std::getenv("RDFSPARK_VERIFY_PLANS");
   debug_check_plans_ = env != nullptr && env[0] != '\0';
@@ -79,6 +85,22 @@ Result<std::string> BgpEngineBase::LintText(std::string_view text) {
                             LintQuery(text));
   if (diags.empty()) return std::string("no findings\n");
   return plan::FormatDiagnostics(diags);
+}
+
+Result<plan::PlanPtr> BgpEngineBase::ExecuteAnalyzed(std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  // Like EXPLAIN, the analyzed run covers the top-level basic graph
+  // pattern — the distributed part whose actuals are worth attributing.
+  RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(query.where.bgp));
+  plan::PlanExecutor executor(sc_, /*collect_actuals=*/true);
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table, executor.Run(*root));
+  (void)table;  // Results are discarded; the annotated plan is the output.
+  return root;
+}
+
+Result<std::string> BgpEngineBase::ExplainAnalyzeText(std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, ExecuteAnalyzed(text));
+  return plan::ExplainAnalyze(*root);
 }
 
 plan::EngineProfile BgpEngineBase::VerifyProfile() const {

@@ -96,6 +96,16 @@ class RdfQueryEngine {
   /// plan through the shared algebra.
   virtual Result<std::string> LintText(std::string_view text);
 
+  /// EXPLAIN ANALYZE: parses `text`, plans its basic graph pattern, and
+  /// *executes* the plan with per-operator actuals collection, returning
+  /// the plan tree annotated with estimated vs actual cardinalities, an
+  /// estimate-error column and per-node runtime counters (see
+  /// plan::ExplainAnalyze for the format). Charges metrics like a normal
+  /// execution; the annotated numbers are bit-identical regardless of
+  /// executor threading. Unsupported for engines that do not plan through
+  /// the shared algebra.
+  virtual Result<std::string> ExplainAnalyzeText(std::string_view text);
+
   spark::SparkContext* context() const { return sc_; }
 
  protected:
@@ -119,9 +129,18 @@ class BgpEngineBase : public RdfQueryEngine {
 
   Result<std::string> LintText(std::string_view text) override;
 
+  Result<std::string> ExplainAnalyzeText(std::string_view text) override;
+
   /// Typed verifier findings for `text`'s basic graph pattern. Pure, like
   /// EXPLAIN: the plan is built but never executed.
   Result<std::vector<plan::Diagnostic>> LintQuery(std::string_view text);
+
+  /// Plans and executes `text`'s basic graph pattern with actuals
+  /// collection, returning the analyzed plan: every node carries an
+  /// OpStats (node->actuals) with its runtime counters and output rows.
+  /// The machine-readable side of ExplainAnalyzeText (tools/query_profile
+  /// aggregates these instead of re-parsing the rendered text).
+  Result<plan::PlanPtr> ExecuteAnalyzed(std::string_view text);
 
   /// The storage/layout facts the static verifier checks plans against
   /// (Table II's partitioning column as booleans + broadcast threshold).

@@ -1,0 +1,126 @@
+#include "systems/plan/analyze.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/string_util.h"
+#include "spark/sql/dataframe.h"
+#include "systems/common.h"
+
+namespace rdfspark::systems::plan {
+
+namespace {
+
+// Row counters for the payload representations shared by several engines.
+// Engines with TU-local payload types register their own (see analyze.h).
+const RddPayloadRowCounterRegistration<IdRow> kIdRowRdd;
+const RddPayloadRowCounterRegistration<std::pair<rdf::TermId, IdRow>>
+    kKeyedRowRdd;
+// Graph engines (GraphX-SM, Sparkql) carry per-vertex match tables:
+// (VertexId, vector of rows).
+const RddPayloadRowCounterRegistration<std::pair<int64_t, std::vector<IdRow>>>
+    kVertexMatchRdd;
+
+struct DriverPayloadRegistration {
+  DriverPayloadRegistration() {
+    // Driver-side row blocks (SparkRDF's intermediate results).
+    RegisterPayloadRowCounter(
+        [](const PlanPayload& payload) -> std::optional<uint64_t> {
+          const auto* rows = std::any_cast<std::vector<IdRow>>(&payload);
+          if (rows == nullptr) return std::nullopt;
+          return rows->size();
+        });
+    // DataFrames are eager; NumRows just sums batch sizes.
+    RegisterPayloadRowCounter(
+        [](const PlanPayload& payload) -> std::optional<uint64_t> {
+          const auto* df = std::any_cast<spark::sql::DataFrame>(&payload);
+          if (df == nullptr || !df->valid()) return std::nullopt;
+          return df->NumRows();
+        });
+  }
+};
+const DriverPayloadRegistration kDriverPayloads;
+
+std::string EstimateError(const PlanNode& node) {
+  if (node.actuals == nullptr || !node.actuals->rows_known ||
+      node.est_cardinality == kNoEstimate) {
+    return "-";
+  }
+  uint64_t act = node.actuals->rows_out;
+  if (node.est_cardinality == 0) return act == 0 ? "1.00x" : "inf";
+  return FormatDouble(static_cast<double>(act) /
+                          static_cast<double>(node.est_cardinality),
+                      2) +
+         "x";
+}
+
+void RenderNode(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(NodeKindName(node.kind));
+  std::string bracket = AccessPathName(node.access_path);
+  if (!node.detail.empty()) {
+    if (!bracket.empty()) bracket += " ";
+    bracket += node.detail;
+  }
+  if (!bracket.empty()) {
+    out->append(" [");
+    out->append(bracket);
+    out->append("]");
+  }
+  out->append(" (est=");
+  out->append(node.est_cardinality == kNoEstimate
+                  ? std::string("?")
+                  : std::to_string(node.est_cardinality));
+  if (node.actuals != nullptr) {
+    const spark::OpStats& a = *node.actuals;
+    out->append(" act=");
+    out->append(a.rows_known ? std::to_string(a.rows_out)
+                             : std::string("?"));
+    out->append(" err=");
+    out->append(EstimateError(node));
+    out->append(")");
+    auto emit = [out](const std::string& part) {
+      out->append(" ");
+      out->append(part);
+    };
+    if (a.join_comparisons > 0) {
+      emit("cmp=" + std::to_string(a.join_comparisons.value()));
+    }
+    if (a.shuffle_records > 0 || a.shuffle_bytes > 0) {
+      emit("shuf=" + std::to_string(a.shuffle_records.value()) + "/" +
+           std::to_string(a.shuffle_bytes.value()) + "B");
+    }
+    if (a.remote_shuffle_bytes > 0) {
+      emit("rmt=" + std::to_string(a.remote_shuffle_bytes.value()) + "B");
+    }
+    if (a.broadcast_bytes > 0) {
+      emit("bcast=" + std::to_string(a.broadcast_bytes.value()) + "B");
+    }
+    if (a.local_read_records > 0 || a.remote_read_records > 0) {
+      emit("reads=L" + std::to_string(a.local_read_records.value()) + "/R" +
+           std::to_string(a.remote_read_records.value()));
+    }
+    if (a.tasks > 0) emit("tasks=" + std::to_string(a.tasks.value()));
+    if (a.busy_ns > 0) {
+      emit("busy=" +
+           FormatDouble(static_cast<double>(a.busy_ns.value()) / 1e6, 3) +
+           "ms");
+    }
+  } else {
+    out->append(")");
+  }
+  out->append("\n");
+  for (const auto& child : node.children) {
+    RenderNode(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainAnalyze(const PlanNode& root) {
+  std::string out;
+  RenderNode(root, 0, &out);
+  return out;
+}
+
+}  // namespace rdfspark::systems::plan

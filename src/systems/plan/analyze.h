@@ -1,0 +1,57 @@
+#ifndef RDFSPARK_SYSTEMS_PLAN_ANALYZE_H_
+#define RDFSPARK_SYSTEMS_PLAN_ANALYZE_H_
+
+#include <optional>
+#include <string>
+
+#include "spark/rdd.h"
+#include "systems/plan/plan.h"
+
+namespace rdfspark::systems::plan {
+
+/// Renders a plan tree that was executed with actuals collection
+/// (PlanExecutor(sc, /*collect_actuals=*/true)) as EXPLAIN ANALYZE text.
+/// Per-node format, indented two spaces per level like Explain():
+///
+///   <Kind> [<access> <detail>] (est=<n>|? act=<rows>|? err=<r>x|-)
+///       cmp=<n> shuf=<records>/<bytes>B rmt=<bytes>B bcast=<bytes>B
+///       reads=L<n>/R<n> tasks=<n> busy=<ms>ms
+///
+/// (one line per node; wrapped here for readability). `err` is the
+/// estimate-error ratio actual/estimated — >1 under-, <1 over-estimate —
+/// printed with two decimals, "inf" when est=0 but rows materialized, and
+/// "-" when either side is unknown. Counter groups are omitted when zero,
+/// so cheap nodes stay one short line. Nodes never executed (descriptive
+/// inner nodes under a monolithic root still get charged-through scopes,
+/// but un-analyzed trees entirely) render est-only, matching Explain.
+///
+/// All numbers are bit-identical between executor_threads=1 and N: they
+/// are sums over the same multiset of charges (see OpStats).
+std::string ExplainAnalyze(const PlanNode& root);
+
+/// Registers a row counter for payloads of type spark::Rdd<T>: rows out is
+/// the sum of the RDD's cached partition sizes (every partition an
+/// analyzed run needed is cached by the time counting happens; reading
+/// sizes charges nothing). Engines whose payload element types are
+/// translation-unit-local instantiate this in their own TU:
+///
+///   namespace { const plan::RddPayloadRowCounterRegistration<MyRow> reg; }
+///
+/// Common payload types (IdRow rows, keyed rows, DataFrame, driver-side
+/// vectors) are registered centrally in analyze.cc.
+template <typename T>
+class RddPayloadRowCounterRegistration {
+ public:
+  RddPayloadRowCounterRegistration() {
+    RegisterPayloadRowCounter(
+        [](const PlanPayload& payload) -> std::optional<uint64_t> {
+          const auto* rdd = std::any_cast<spark::Rdd<T>>(&payload);
+          if (rdd == nullptr || !rdd->valid()) return std::nullopt;
+          return rdd->node()->CachedRecords();
+        });
+  }
+};
+
+}  // namespace rdfspark::systems::plan
+
+#endif  // RDFSPARK_SYSTEMS_PLAN_ANALYZE_H_

@@ -1,5 +1,7 @@
 #include "systems/plan/plan.h"
 
+#include <mutex>
+
 namespace rdfspark::systems::plan {
 
 const char* NodeKindName(NodeKind k) {
@@ -122,6 +124,37 @@ std::string Explain(const PlanNode& root) {
   return out;
 }
 
+namespace {
+
+std::vector<PayloadRowCounter>& PayloadRowCounters() {
+  static auto* counters = new std::vector<PayloadRowCounter>();
+  return *counters;
+}
+
+std::mutex& PayloadRowCountersMutex() {
+  static auto* mu = new std::mutex();
+  return *mu;
+}
+
+}  // namespace
+
+void RegisterPayloadRowCounter(PayloadRowCounter counter) {
+  std::lock_guard<std::mutex> lock(PayloadRowCountersMutex());
+  PayloadRowCounters().push_back(std::move(counter));
+}
+
+std::optional<uint64_t> CountPayloadRows(const PlanPayload& payload) {
+  if (!payload.has_value()) return std::nullopt;
+  if (const auto* table = std::any_cast<sparql::BindingTable>(&payload)) {
+    return table->num_rows();
+  }
+  std::lock_guard<std::mutex> lock(PayloadRowCountersMutex());
+  for (const auto& counter : PayloadRowCounters()) {
+    if (auto rows = counter(payload)) return rows;
+  }
+  return std::nullopt;
+}
+
 Result<PlanPayload> PlanExecutor::RunNode(const PlanNode& node) {
   std::vector<PlanPayload> inputs;
   inputs.reserve(node.children.size());
@@ -129,16 +162,37 @@ Result<PlanPayload> PlanExecutor::RunNode(const PlanNode& node) {
     RDFSPARK_ASSIGN_OR_RETURN(PlanPayload payload, RunNode(*child));
     inputs.push_back(std::move(payload));
   }
-  if (!node.exec) return PlanPayload{};
-  return node.exec(std::move(inputs));
+  std::shared_ptr<spark::OpStats> stats;
+  if (collect_actuals_) {
+    stats = std::make_shared<spark::OpStats>();
+    node.actuals = stats;
+  }
+  Result<PlanPayload> out = PlanPayload{};
+  {
+    spark::OpScopeGuard scope(stats);
+    if (node.exec) out = node.exec(std::move(inputs));
+  }
+  if (collect_actuals_ && out.ok()) analyzed_.emplace_back(&node, *out);
+  return out;
 }
 
 Result<sparql::BindingTable> PlanExecutor::Run(const PlanNode& root) {
+  analyzed_.clear();
   RDFSPARK_ASSIGN_OR_RETURN(PlanPayload out, RunNode(root));
   auto* table = std::any_cast<sparql::BindingTable>(&out);
   if (table == nullptr) {
     return Status::Internal("plan root did not produce a binding table");
   }
+  // Count rows only now: lazy payloads (RDDs) have materialized everything
+  // they ever will by the time the root collected, so cached partition
+  // sizes are the operator's true output cardinality.
+  for (auto& [node, payload] : analyzed_) {
+    if (auto rows = CountPayloadRows(payload)) {
+      node->actuals->rows_out = *rows;
+      node->actuals->rows_known = true;
+    }
+  }
+  analyzed_.clear();
   return std::move(*table);
 }
 

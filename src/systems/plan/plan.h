@@ -6,6 +6,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -85,6 +86,12 @@ struct PlanNode {
   bool partition_local = false;  // join provably avoids a shuffle
   std::vector<PlanPtr> children;
   ExecFn exec;
+
+  /// Runtime actuals of the last analyzed execution (EXPLAIN ANALYZE):
+  /// attached by PlanExecutor when collect_actuals is on, null otherwise.
+  /// Mutable because attaching observations does not change what the plan
+  /// *is* — executors run `const PlanNode&` trees.
+  mutable std::shared_ptr<spark::OpStats> actuals;
 };
 
 /// Builders (children evaluated left to right by the executor).
@@ -105,11 +112,36 @@ PlanPtr ConstantResultPlan(sparql::BindingTable table, std::string detail);
 /// access path and detail are empty; est prints "?" for kNoEstimate.
 std::string Explain(const PlanNode& root);
 
+/// Counts the rows inside an engine-native payload, or nullopt when the
+/// payload is not the counter's type. Registered counters let the analyzing
+/// executor read every operator's output cardinality after a run without
+/// the plan layer knowing the engines' intermediate representations (some
+/// of which are translation-unit-local). Registration happens from static
+/// initializers (see analyze.h); duplicates are harmless.
+using PayloadRowCounter =
+    std::function<std::optional<uint64_t>(const PlanPayload&)>;
+
+void RegisterPayloadRowCounter(PayloadRowCounter counter);
+
+/// Tries every registered counter (BindingTable is built in); nullopt when
+/// no counter recognizes the payload — the node renders "act=?".
+std::optional<uint64_t> CountPayloadRows(const PlanPayload& payload);
+
 /// Shared executor: post-order walk, each node's exec fed its children's
 /// payloads; the root payload must be a sparql::BindingTable.
+///
+/// With `collect_actuals` on, the executor attaches a fresh OpStats to
+/// every node, opens it as the operator scope around the node's exec (so
+/// all substrate charges — including lazily deferred RDD computation, via
+/// the scope captured at RddNode construction — attribute to the right
+/// operator), retains each node's payload until the run completes, and
+/// then fills rows_out from the registered payload counters. Actuals are
+/// sums of the same charge set regardless of executor threading, so they
+/// are bit-identical between executor_threads=1 and N.
 class PlanExecutor {
  public:
-  explicit PlanExecutor(spark::SparkContext* sc) : sc_(sc) {}
+  explicit PlanExecutor(spark::SparkContext* sc, bool collect_actuals = false)
+      : sc_(sc), collect_actuals_(collect_actuals) {}
 
   Result<sparql::BindingTable> Run(const PlanNode& root);
 
@@ -117,6 +149,10 @@ class PlanExecutor {
   Result<PlanPayload> RunNode(const PlanNode& node);
 
   spark::SparkContext* sc_;
+  bool collect_actuals_;
+  /// Nodes in completion order with their payload, kept alive so row
+  /// counting after the run sees every operator's output.
+  std::vector<std::pair<const PlanNode*, PlanPayload>> analyzed_;
 };
 
 }  // namespace rdfspark::systems::plan

@@ -163,7 +163,7 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
         while (changed && last_iterations_ < options_.max_iterations) {
           changed = false;
           ++last_iterations_;
-          ++sc_->metrics().supersteps;
+          sc_->RecordSuperstep();
           // Filter matches by current candidates; rebuild candidate sets.
           std::unordered_map<std::string, std::unordered_set<rdf::TermId>>
               next;
@@ -182,7 +182,7 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
               kept_eps.emplace_back(s, o);
               if (sv) s_here.insert(s);
               if (ov) o_here.insert(o);
-              ++sc_->metrics().messages;  // local match sent to neighbors
+              sc_->RecordMessages(1);  // local match sent to neighbors
             }
             if (kept_rows.size() != matches[i].rows.size()) changed = true;
             matches[i].rows = std::move(kept_rows);

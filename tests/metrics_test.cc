@@ -1,0 +1,183 @@
+// Metrics field-coverage and histogram tests.
+//
+// The field-coverage tests expand the same RDFSPARK_METRICS_*_FIELDS
+// X-macro lists the Metrics operators are generated from, so a counter
+// added to the struct and the lists is automatically covered here — and a
+// counter added to the struct but NOT to the lists fails the sizeof
+// static_assert in metrics.cc before any test runs. Either way, a new
+// field cannot silently vanish from snapshots/deltas/dumps again.
+
+#include "spark/metrics.h"
+
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace rdfspark::spark {
+namespace {
+
+TEST(MetricsCoverage, OperatorMinusCoversEveryCounterField) {
+  Metrics after;
+  Metrics before;
+  uint64_t i = 0;
+  // after = 1000 + k, before = k  =>  every field's delta must be 1000.
+#define RDFSPARK_SET(name) \
+  ++i;                     \
+  after.name = 1000 + i;   \
+  before.name = i;
+  RDFSPARK_METRICS_COUNTER_FIELDS(RDFSPARK_SET)
+#undef RDFSPARK_SET
+  Metrics delta = after - before;
+#define RDFSPARK_CHECK(name) \
+  EXPECT_EQ(delta.name.value(), 1000u) << "operator- dropped field " #name;
+  RDFSPARK_METRICS_COUNTER_FIELDS(RDFSPARK_CHECK)
+#undef RDFSPARK_CHECK
+}
+
+TEST(MetricsCoverage, OperatorPlusEqualsCoversEveryCounterField) {
+  Metrics acc;
+  Metrics rhs;
+  uint64_t i = 0;
+#define RDFSPARK_SET(name) \
+  ++i;                     \
+  acc.name = i;            \
+  rhs.name = 10 * i;
+  RDFSPARK_METRICS_COUNTER_FIELDS(RDFSPARK_SET)
+#undef RDFSPARK_SET
+  acc += rhs;
+  i = 0;
+#define RDFSPARK_CHECK(name) \
+  ++i;                       \
+  EXPECT_EQ(acc.name.value(), 11 * i) << "operator+= dropped field " #name;
+  RDFSPARK_METRICS_COUNTER_FIELDS(RDFSPARK_CHECK)
+#undef RDFSPARK_CHECK
+}
+
+TEST(MetricsCoverage, SimTimeAndHistogramsCoveredBySnapshotDelta) {
+  Metrics after;
+  Metrics before;
+  after.simulated_ms = 8.0;
+  before.simulated_ms = 3.0;
+  after.task_duration_ns.Record(100);
+  after.task_duration_ns.Record(300);
+  after.task_records.Record(7);
+  Metrics delta = after - before;
+  EXPECT_DOUBLE_EQ(delta.simulated_ms.ms(), 5.0);
+  EXPECT_EQ(delta.task_duration_ns.count(), 2u);
+  EXPECT_EQ(delta.task_duration_ns.sum(), 400u);
+  EXPECT_EQ(delta.task_records.count(), 1u);
+
+  Metrics acc;
+  acc += after;
+  EXPECT_DOUBLE_EQ(acc.simulated_ms.ms(), 8.0);
+  EXPECT_EQ(acc.task_duration_ns.count(), 2u);
+  EXPECT_EQ(acc.task_records.sum(), 7u);
+}
+
+TEST(MetricsCoverage, ToStringMentionsEveryCounterValue) {
+  Metrics m;
+  // Distinct, searchable values: 4242 + k never collides with formatting
+  // artifacts of the other fields.
+  uint64_t i = 0;
+#define RDFSPARK_SET(name) \
+  ++i;                     \
+  m.name = 424200 + i;
+  RDFSPARK_METRICS_COUNTER_FIELDS(RDFSPARK_SET)
+#undef RDFSPARK_SET
+  // Byte-valued fields print through FormatBytes ("414.26 KiB"), so check
+  // those by field name instead of value.
+  std::set<std::string> byte_fields = {"shuffle_bytes", "remote_shuffle_bytes",
+                                       "broadcast_bytes"};
+  std::string text = m.ToString();
+  i = 0;
+#define RDFSPARK_CHECK(name)                                              \
+  ++i;                                                                    \
+  if (byte_fields.count(#name) == 0) {                                    \
+    EXPECT_NE(text.find(std::to_string(424200 + i)), std::string::npos)   \
+        << "ToString() does not include field " #name " (value "          \
+        << (424200 + i) << "):\n"                                         \
+        << text;                                                          \
+  }
+  RDFSPARK_METRICS_COUNTER_FIELDS(RDFSPARK_CHECK)
+#undef RDFSPARK_CHECK
+  EXPECT_NE(text.find("bytes="), std::string::npos);
+  EXPECT_NE(text.find("task_duration_ns:"), std::string::npos);
+  EXPECT_NE(text.find("task_records:"), std::string::npos);
+  EXPECT_NE(text.find("simulated_ms="), std::string::npos);
+}
+
+TEST(MetricsCoverage, ForEachNumericFieldEmitsEveryCounterOnce) {
+  Metrics m;
+  std::set<std::string> names;
+  m.ForEachNumericField(
+      [&](const std::string& name, double) { names.insert(name); });
+#define RDFSPARK_CHECK(name) \
+  EXPECT_EQ(names.count(#name), 1u) << "missing field " #name;
+  RDFSPARK_METRICS_COUNTER_FIELDS(RDFSPARK_CHECK)
+#undef RDFSPARK_CHECK
+  EXPECT_EQ(names.count("simulated_ms"), 1u);
+  EXPECT_EQ(names.count("task_records.skew_vs_mean"), 1u);
+  EXPECT_EQ(names.count("task_duration_ns.p95_upper"), 1u);
+}
+
+TEST(Histogram, BucketsCountSumMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.SkewVsMean(), 0.0);
+
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.max_value(), 1000u);
+  EXPECT_EQ(h.bucket(Histogram::BucketOf(0)), 1u);   // 0 -> bucket 0
+  EXPECT_EQ(h.bucket(Histogram::BucketOf(1)), 1u);   // 1 -> bucket 1
+  EXPECT_EQ(h.bucket(Histogram::BucketOf(5)), 1u);   // 4..7 -> bucket 3
+  EXPECT_EQ(Histogram::BucketOf(5), 3);
+  EXPECT_EQ(Histogram::BucketOf(1000), 10);  // 512..1023
+  EXPECT_DOUBLE_EQ(h.Mean(), 1006.0 / 4.0);
+}
+
+TEST(Histogram, QuantileUpperBoundsAreBucketBounds) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10);  // bucket 4 (8..15)
+  h.Record(100000);                           // the outlier
+  EXPECT_EQ(h.QuantileUpperBound(0.5), 15u);
+  EXPECT_EQ(h.QuantileUpperBound(0.95), 15u);
+  // The top quantile lands in the outlier's bucket, clamped to true max.
+  EXPECT_EQ(h.QuantileUpperBound(1.0), 100000u);
+  EXPECT_GT(h.SkewVsMean(), 90.0);
+}
+
+TEST(Histogram, DeltaSubtractsBucketsAndKeepsMax) {
+  Histogram before;
+  before.Record(4);
+  Histogram after = before;  // copyable via Counter value semantics
+  after.Record(4);
+  after.Record(64);
+  Histogram delta = after - before;
+  EXPECT_EQ(delta.count(), 2u);
+  EXPECT_EQ(delta.sum(), 68u);
+  EXPECT_EQ(delta.bucket(Histogram::BucketOf(4)), 1u);
+  EXPECT_EQ(delta.bucket(Histogram::BucketOf(64)), 1u);
+  // Max is since-construction by contract.
+  EXPECT_EQ(delta.max_value(), 64u);
+}
+
+TEST(Histogram, SkewRatioDetectsImbalance) {
+  Histogram balanced;
+  for (int i = 0; i < 8; ++i) balanced.Record(100);
+  EXPECT_DOUBLE_EQ(balanced.SkewVsMean(), 1.0);
+
+  Histogram skewed;
+  for (int i = 0; i < 7; ++i) skewed.Record(10);
+  skewed.Record(930);
+  EXPECT_DOUBLE_EQ(skewed.SkewVsMean(), 930.0 / 125.0);
+}
+
+}  // namespace
+}  // namespace rdfspark::spark

@@ -1,0 +1,186 @@
+// Tracer tests: span taxonomy and nesting over a real shuffle pipeline,
+// per-thread buffer merge determinism (exercised under TSan by tier1),
+// byte-identical serial exports, and Chrome-trace JSON well-formedness
+// (parsed back with the strict validator in common/json.h).
+
+#include "spark/tracing.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/json.h"
+#include "gtest/gtest.h"
+#include "spark/context.h"
+#include "spark/rdd.h"
+
+namespace rdfspark::spark {
+namespace {
+
+std::vector<std::pair<int64_t, int64_t>> TestPairs(int n) {
+  std::vector<std::pair<int64_t, int64_t>> data;
+  data.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) data.emplace_back(i % 7, i);
+  return data;
+}
+
+/// One shuffle (ReduceByKey) plus one action, traced.
+std::vector<std::pair<int64_t, int64_t>> RunPipeline(SparkContext* sc) {
+  auto rdd = Parallelize(sc, TestPairs(64), 4);
+  auto reduced =
+      rdd.ReduceByKey([](int64_t a, int64_t b) { return a + b; });
+  return reduced.Collect();
+}
+
+ClusterConfig TestCluster(int executor_threads) {
+  ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.default_parallelism = 4;
+  cfg.executor_threads = executor_threads;
+  return cfg;
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  SparkContext sc(TestCluster(1));
+  ASSERT_FALSE(sc.tracer().enabled());
+  RunPipeline(&sc);
+  EXPECT_EQ(sc.tracer().event_count(), 0u);
+}
+
+TEST(Tracer, SpanTaxonomyAndNesting) {
+  SparkContext sc(TestCluster(1));
+  sc.tracer().set_enabled(true);
+  RunPipeline(&sc);
+
+  std::vector<TraceEvent> events = sc.tracer().Merged();
+  ASSERT_FALSE(events.empty());
+  std::map<SpanKind, int> by_kind;
+  for (const auto& e : events) ++by_kind[e.kind];
+  EXPECT_GE(by_kind[SpanKind::kJob], 1) << "action should record a job";
+  EXPECT_GE(by_kind[SpanKind::kStage], 2)
+      << "shuffle + result stage expected";
+  EXPECT_GE(by_kind[SpanKind::kTask], 8)
+      << "4 map + 4 reduce tasks expected";
+  EXPECT_GE(by_kind[SpanKind::kShuffleWrite], 4);
+
+  // Nesting: every task span lies inside some stage span, and stage spans
+  // sit on the driver lane while tasks sit on executor lanes.
+  for (const auto& task : events) {
+    if (task.kind != SpanKind::kTask) continue;
+    EXPECT_GE(task.lane, 0);
+    bool contained = false;
+    for (const auto& stage : events) {
+      if (stage.kind != SpanKind::kStage) continue;
+      EXPECT_EQ(stage.lane, -1);
+      if (task.ts_ns >= stage.ts_ns &&
+          task.ts_ns + task.dur_ns <= stage.ts_ns + stage.dur_ns) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "task span [" << task.ts_ns << ", +"
+                           << task.dur_ns << "] outside every stage span";
+  }
+}
+
+TEST(Tracer, SerialExportIsByteDeterministic) {
+  std::string first;
+  std::string second;
+  for (std::string* out : {&first, &second}) {
+    SparkContext sc(TestCluster(1));
+    sc.tracer().set_enabled(true);
+    RunPipeline(&sc);
+    *out = sc.tracer().ToChromeTraceJson();
+  }
+  EXPECT_EQ(first, second);
+}
+
+/// The multiset of (kind, name, lane, dur, records, bytes) is charge-set
+/// determined, so it must not depend on executor threading; only task
+/// start offsets may differ under the pool. This is the thread-buffer
+/// merge determinism test tier1 runs under TSan.
+TEST(Tracer, ThreadBufferMergeMatchesSerialEventMultiset) {
+  using Key =
+      std::tuple<SpanKind, std::string, int, uint64_t, uint64_t, uint64_t>;
+  auto multiset_of = [](SparkContext* sc) {
+    std::vector<Key> keys;
+    for (const auto& e : sc->tracer().Merged()) {
+      keys.emplace_back(e.kind, e.name, e.lane, e.dur_ns, e.records,
+                        e.bytes);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+
+  SparkContext serial(TestCluster(1));
+  serial.tracer().set_enabled(true);
+  auto serial_rows = RunPipeline(&serial);
+
+  SparkContext pooled(TestCluster(8));
+  pooled.tracer().set_enabled(true);
+  auto pooled_rows = RunPipeline(&pooled);
+
+  EXPECT_EQ(serial_rows, pooled_rows);
+  EXPECT_EQ(multiset_of(&serial), multiset_of(&pooled));
+}
+
+TEST(Tracer, ChromeTraceJsonParsesBack) {
+  SparkContext sc(TestCluster(8));
+  sc.tracer().set_enabled(true);
+  RunPipeline(&sc);
+
+  std::string json = sc.tracer().ToChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(ValidateJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"driver\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"stage\""), std::string::npos);
+}
+
+TEST(Tracer, TimelineTextListsEveryEvent) {
+  SparkContext sc(TestCluster(1));
+  sc.tracer().set_enabled(true);
+  RunPipeline(&sc);
+  std::string text = sc.tracer().ToTimelineText();
+  size_t lines = static_cast<size_t>(
+      std::count(text.begin(), text.end(), '\n'));
+  // Header (2 lines) + one line per event.
+  EXPECT_EQ(lines, sc.tracer().event_count() + 2);
+  EXPECT_NE(text.find("stage#"), std::string::npos);
+  sc.tracer().Clear();
+  EXPECT_EQ(sc.tracer().event_count(), 0u);
+}
+
+TEST(Tracer, ConcurrentDirectRecordsAllArrive) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.Record(SpanKind::kTask, "t", static_cast<uint64_t>(i), 1,
+                      t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.event_count(),
+            static_cast<size_t>(kThreads * kPerThread));
+  // Merged() yields a totally ordered, thread-count-independent sequence.
+  auto merged = tracer.Merged();
+  ASSERT_EQ(merged.size(), static_cast<size_t>(kThreads * kPerThread));
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].ts_ns, merged[i].ts_ns);
+  }
+}
+
+}  // namespace
+}  // namespace rdfspark::spark
