@@ -6,12 +6,18 @@
 //
 // Engines: haqwa sparqlgx s2rdf hybrid s2x graphxsm sparkql graphframes
 // sparkrdf (default: s2rdf).
-// Dot-commands: .engines .metrics .stats .explain .lint .analyze
-// .profile .trace .quit
+// Dot-commands: .engines .metrics .stats .explain .lint .lineage
+// .analyze .profile .trace .quit
 // `.explain` prints the engine's physical plan (EXPLAIN) for the query
 // currently buffered at the prompt, without executing it.
-// `.lint` runs the static plan verifier over that plan and prints its
-// diagnostics (ERROR/WARN/INFO with rule ids), also without executing.
+// `.lint` runs the two-tier static lint over the buffered query — the
+// query analyzer (QA rules, pure AST) plus the plan verifier (SC/CP/BC/
+// ST/VP rules) — and prints merged diagnostics (ERROR/WARN/INFO with
+// rule ids), without executing.
+// `.lineage` *executes* the buffered query's BGP, snapshots the RDD
+// lineage DAG it built, and prints the lineage analyzer's findings
+// (LN rules: uncached reuse, redundant shuffle, deep shuffle chains)
+// followed by a Graphviz DOT export of the DAG.
 // `.analyze` *executes* the buffered query with per-operator actuals
 // collection and prints EXPLAIN ANALYZE (estimated vs actual rows,
 // estimate error, per-node runtime counters).
@@ -159,9 +165,9 @@ int main(int argc, char** argv) {
               store.size(), engine->traits().name.c_str(), load->wall_ms,
               static_cast<unsigned long long>(load->stored_records));
   std::printf(
-      "enter a SPARQL query, blank line to run; .explain/.lint/.analyze to "
-      "inspect the buffered query; .trace on + .profile for timelines; "
-      ".quit to exit\n");
+      "enter a SPARQL query, blank line to run; .explain/.lint/.lineage/"
+      ".analyze to inspect the buffered query; .trace on + .profile for "
+      "timelines; .quit to exit\n");
 
   std::string pending;
   std::string line;
@@ -196,6 +202,21 @@ int main(int argc, char** argv) {
         } else {
           std::printf("error: %s\n", linted.status().ToString().c_str());
         }
+      }
+    } else if (trimmed == ".lineage") {
+      if (TrimWhitespace(pending).empty()) {
+        std::printf(
+            "usage: type a query first (don't run it), then .lineage\n");
+      } else if (auto* bgp_engine =
+                     dynamic_cast<systems::BgpEngineBase*>(engine.get())) {
+        auto lineage = bgp_engine->LineageText(pending);
+        if (lineage.ok()) {
+          std::printf("%s", lineage->c_str());
+        } else {
+          std::printf("error: %s\n", lineage.status().ToString().c_str());
+        }
+      } else {
+        std::printf("error: engine does not expose RDD lineage\n");
       }
     } else if (trimmed == ".analyze") {
       if (TrimWhitespace(pending).empty()) {

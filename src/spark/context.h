@@ -29,6 +29,13 @@ struct ClusterConfig {
   /// DataFrame joins broadcast the smaller side when its estimated size is
   /// below this threshold (Spark's spark.sql.autoBroadcastJoinThreshold).
   uint64_t broadcast_threshold_bytes = 10ull << 20;
+  /// When true (the default) every RDD retains its computed partitions, as
+  /// the simulator always has (iterative engines depend on it). When false
+  /// the cluster reproduces Spark's real default: only RDDs marked with
+  /// Cache() retain partitions, and lineage shared by several consumers is
+  /// recomputed per consumer — the behaviour the lineage analyzer's LN001
+  /// rule flags and the recompute-validation tests measure.
+  bool retain_uncached_rdds = true;
   CostModel cost;
 };
 

@@ -21,8 +21,11 @@
 
 namespace rdfspark::spark {
 
-/// Type-erased lineage node. Holds everything the DAG visualizer and the
-/// failure-injection tests need without knowing the element type.
+/// Type-erased lineage node. Holds everything the DAG visualizer, the
+/// lineage analyzer (spark/lineage.h) and the failure-injection tests need
+/// without knowing the element type: parent edges, the narrow/wide
+/// dependency kind (is_shuffle), the partitioner identity and the cached
+/// flag.
 class RddNodeBase {
  public:
   RddNodeBase(int id, std::string name, int num_partitions, bool is_shuffle)
@@ -48,6 +51,25 @@ class RddNodeBase {
   }
   void set_partitioner(PartitionerInfo info) { partitioner_ = std::move(info); }
 
+  /// Whether computed partitions are retained (Spark's persist bit). True
+  /// by default — the simulator historically persists everything — unless
+  /// the owning context was configured with retain_uncached_rdds = false,
+  /// in which case only nodes explicitly marked via Rdd::Cache() retain.
+  /// Atomic so Uncache() may race pooled partition tasks (TSan-covered).
+  bool cached() const { return cached_.load(std::memory_order_acquire); }
+  void SetCached(bool cached) {
+    cached_.store(cached, std::memory_order_release);
+  }
+
+  /// Clears the cached flag and drops every retained partition. Safe to
+  /// call concurrently with actions: partitions compute under per-slot
+  /// locks, and a task that re-reads an evicted slot recomputes it from
+  /// lineage (the same contract as EvictPartition failure injection).
+  void Uncache() {
+    SetCached(false);
+    DropRetained();
+  }
+
   /// Drops the cached data of one partition (failure injection); the next
   /// read recomputes it from lineage.
   virtual void EvictPartition(int partition) = 0;
@@ -58,19 +80,25 @@ class RddNodeBase {
   /// before fanning partition tasks out to the executor pool.
   virtual void ComputePartition(int partition) = 0;
 
+ protected:
+  /// Drops every retained partition (Uncache's type-erased half).
+  virtual void DropRetained() = 0;
+
  private:
   int id_;
   std::string name_;
   int num_partitions_;
   bool is_shuffle_;
+  std::atomic<bool> cached_{true};
   std::vector<std::shared_ptr<RddNodeBase>> parents_;
   std::optional<PartitionerInfo> partitioner_;
 };
 
 /// Concrete lineage node for element type T. Partitions are computed on
-/// demand by `compute` and retained (the simulator persists everything so
-/// iterative engines behave; `EvictPartition` restores the recompute path for
-/// fault-tolerance tests).
+/// demand by `compute` and retained while the cached flag holds (every RDD
+/// by default, so iterative engines behave; only Cache()d ones when the
+/// context runs with retain_uncached_rdds = false). `EvictPartition`
+/// restores the recompute path for fault-tolerance tests.
 template <typename T>
 class RddNode : public RddNodeBase {
  public:
@@ -89,18 +117,21 @@ class RddNode : public RddNodeBase {
   /// partition (shared lineage, Union of the same RDD), so each partition
   /// slot is guarded by its own mutex. The lock is held while `compute_`
   /// runs; lock acquisition only ever follows lineage edges child->parent
-  /// (a DAG), so no cycle — and no deadlock — is possible.
+  /// (a DAG), so no cycle — and no deadlock — is possible. The computed
+  /// vector is retained in the slot only while `cached()` holds — a
+  /// transient node (retain_uncached_rdds = false, no Cache()) recomputes
+  /// for every consumer, which is what LN001 statically predicts.
   std::shared_ptr<const std::vector<T>> GetPartition(int p) {
     std::lock_guard<std::mutex> lock(locks_[p]);
-    if (!cache_[p]) {
-      // Reinstall the operator scope captured when this node was built:
-      // RDDs are lazy, so by the time compute_ runs the plan executor may
-      // be inside a different operator — charges still belong to the one
-      // that created the lineage (Spark's withScope).
-      OpScopeGuard scope(op_scope_);
-      cache_[p] = std::make_shared<std::vector<T>>(compute_(p));
-    }
-    return cache_[p];
+    if (cache_[p]) return cache_[p];
+    // Reinstall the operator scope captured when this node was built:
+    // RDDs are lazy, so by the time compute_ runs the plan executor may
+    // be inside a different operator — charges still belong to the one
+    // that created the lineage (Spark's withScope).
+    OpScopeGuard scope(op_scope_);
+    auto data = std::make_shared<std::vector<T>>(compute_(p));
+    if (cached()) cache_[p] = data;
+    return data;
   }
 
   void EvictPartition(int partition) override {
@@ -125,6 +156,14 @@ class RddNode : public RddNodeBase {
       }
     }
     return total;
+  }
+
+ protected:
+  void DropRetained() override {
+    for (int p = 0; p < num_partitions(); ++p) {
+      std::lock_guard<std::mutex> lock(locks_[p]);
+      cache_[static_cast<size_t>(p)].reset();
+    }
   }
 
  private:
@@ -886,10 +925,21 @@ class Rdd {
     return total;
   }
 
-  /// Marks the RDD persisted. The simulator retains computed partitions for
-  /// every RDD already, so this is documentation of intent (as in the
-  /// surveyed engines' pseudo-code); Evict still works for fault injection.
-  Rdd<T> Cache() const { return *this; }
+  /// Marks the RDD persisted (Spark's cache/persist). Under the default
+  /// configuration every RDD retains its partitions anyway, so this is
+  /// documentation of intent; with retain_uncached_rdds = false it is the
+  /// only way a node keeps computed partitions for later consumers.
+  Rdd<T> Cache() const {
+    node_->SetCached(true);
+    return *this;
+  }
+
+  /// Clears the persisted mark and drops retained partitions (Spark's
+  /// unpersist). Later reads recompute from lineage.
+  Rdd<T> Uncache() const {
+    node_->Uncache();
+    return *this;
+  }
 
   /// Declares that this RDD is partitioned per `info` without shuffling.
   /// For use by operators that provably preserve key placement (e.g. a
@@ -1122,6 +1172,7 @@ class Rdd {
     auto node = std::make_shared<RddNode<U>>(sc->NextNodeId(), name,
                                              num_partitions, is_shuffle,
                                              std::move(compute));
+    node->SetCached(sc->config().retain_uncached_rdds);
     node->AddParent(parent);
     if (info) node->set_partitioner(std::move(*info));
     return node;
@@ -1163,6 +1214,7 @@ Rdd<T> Parallelize(SparkContext* sc, std::vector<T> data, int num_partitions) {
   };
   auto node = std::make_shared<RddNode<T>>(sc->NextNodeId(), "Parallelize", n,
                                            false, compute);
+  node->SetCached(sc->config().retain_uncached_rdds);
   return Rdd<T>(sc, node);
 }
 

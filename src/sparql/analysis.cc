@@ -1,0 +1,533 @@
+#include "sparql/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace rdfspark::sparql {
+
+using systems::plan::Diagnostic;
+using systems::plan::Severity;
+
+namespace {
+
+Diagnostic Make(Severity severity, const char* rule, std::string path,
+                std::string message, std::string hint) {
+  Diagnostic d;
+  d.severity = severity;
+  d.rule = rule;
+  d.node_path = std::move(path);
+  d.message = std::move(message);
+  d.hint = std::move(hint);
+  return d;
+}
+
+void AddPatternVars(const TriplePattern& t,
+                    std::map<std::string, int>* counts) {
+  if (t.s.is_variable()) ++(*counts)[t.s.var()];
+  if (t.p.is_variable()) ++(*counts)[t.p.var()];
+  if (t.o.is_variable()) ++(*counts)[t.o.var()];
+}
+
+/// Occurrence counts of variables in *pattern positions* across the whole
+/// subtree (filters don't bind, so they are excluded here).
+void CollectPatternVarCounts(const GroupPattern& g,
+                             std::map<std::string, int>* counts) {
+  for (const auto& t : g.bgp) AddPatternVars(t, counts);
+  for (const auto& opt : g.optionals) CollectPatternVarCounts(opt, counts);
+  for (const auto& alts : g.unions) {
+    for (const auto& alt : alts) CollectPatternVarCounts(alt, counts);
+  }
+}
+
+void CollectFilterVars(const GroupPattern& g, std::set<std::string>* out) {
+  std::vector<std::string> vars;
+  for (const auto& f : g.filters) f->CollectVariables(&vars);
+  out->insert(vars.begin(), vars.end());
+  for (const auto& opt : g.optionals) CollectFilterVars(opt, out);
+  for (const auto& alts : g.unions) {
+    for (const auto& alt : alts) CollectFilterVars(alt, out);
+  }
+}
+
+/// Flattens the top-level AND chain of a filter into conjuncts.
+void FlattenConjuncts(const std::shared_ptr<FilterExpr>& e,
+                      std::vector<const FilterExpr*>* out) {
+  if (e == nullptr) return;
+  if (e->op == ExprOp::kAnd) {
+    for (const auto& c : e->children) FlattenConjuncts(c, out);
+    return;
+  }
+  out->push_back(e.get());
+}
+
+/// Variables referenced as comparison operands (kVar, not kBound) within
+/// `e`. `definite` records whether the reference sits on a pure AND path
+/// from the conjunct root — if so, an error there makes the whole filter
+/// false; under OR/NOT it may be masked.
+void CollectComparisonVars(const FilterExpr& e, bool definite,
+                           std::map<std::string, bool>* out) {
+  switch (e.op) {
+    case ExprOp::kVar: {
+      auto it = out->find(e.var);
+      if (it == out->end()) {
+        (*out)[e.var] = definite;
+      } else {
+        it->second = it->second || definite;
+      }
+      return;
+    }
+    case ExprOp::kBound:
+    case ExprOp::kLiteral:
+      return;
+    case ExprOp::kOr:
+    case ExprOp::kNot:
+      for (const auto& c : e.children) CollectComparisonVars(*c, false, out);
+      return;
+    default:
+      for (const auto& c : e.children) {
+        CollectComparisonVars(*c, definite, out);
+      }
+      return;
+  }
+}
+
+/// Numeric-aware literal equality ("1" vs "1.0" are the same value).
+bool LiteralsEqual(const rdf::Term& a, const rdf::Term& b) {
+  auto na = a.AsNumber();
+  auto nb = b.AsNumber();
+  if (na.ok() && nb.ok()) return *na == *nb;
+  return a == b;
+}
+
+/// One var-vs-literal constraint harvested from a conjunct.
+struct Constraint {
+  ExprOp op;  // kEq/kNe/kLt/kLe/kGt/kGe, normalized to "var OP literal".
+  rdf::Term literal;
+  int filter_index;  // which FILTER of the group it came from
+};
+
+ExprOp FlipComparison(ExprOp op) {
+  switch (op) {
+    case ExprOp::kLt: return ExprOp::kGt;
+    case ExprOp::kLe: return ExprOp::kGe;
+    case ExprOp::kGt: return ExprOp::kLt;
+    case ExprOp::kGe: return ExprOp::kLe;
+    default: return op;  // kEq/kNe are symmetric
+  }
+}
+
+bool IsComparison(ExprOp op) {
+  return op == ExprOp::kEq || op == ExprOp::kNe || op == ExprOp::kLt ||
+         op == ExprOp::kLe || op == ExprOp::kGt || op == ExprOp::kGe;
+}
+
+/// Evaluates a literal-vs-literal comparison if statically decidable.
+std::optional<bool> EvalConstComparison(ExprOp op, const rdf::Term& a,
+                                        const rdf::Term& b) {
+  auto na = a.AsNumber();
+  auto nb = b.AsNumber();
+  int cmp;
+  if (na.ok() && nb.ok()) {
+    cmp = *na < *nb ? -1 : (*na > *nb ? 1 : 0);
+  } else if (op == ExprOp::kEq || op == ExprOp::kNe) {
+    std::string sa = a.ToNTriples();
+    std::string sb = b.ToNTriples();
+    cmp = sa < sb ? -1 : (sa > sb ? 1 : 0);
+  } else {
+    return std::nullopt;  // ordering of non-numeric literals: runtime rules
+  }
+  switch (op) {
+    case ExprOp::kEq: return cmp == 0;
+    case ExprOp::kNe: return cmp != 0;
+    case ExprOp::kLt: return cmp < 0;
+    case ExprOp::kLe: return cmp <= 0;
+    case ExprOp::kGt: return cmp > 0;
+    case ExprOp::kGe: return cmp >= 0;
+    default: return std::nullopt;
+  }
+}
+
+/// Checks one variable's accumulated conjunct constraints for emptiness.
+/// Returns a human-readable reason when no value can satisfy all of them.
+std::optional<std::string> FindContradiction(
+    const std::string& var, const std::vector<Constraint>& cs) {
+  // Equality pairs: two different required values, or required == forbidden.
+  for (size_t i = 0; i < cs.size(); ++i) {
+    if (cs[i].op != ExprOp::kEq) continue;
+    for (size_t j = 0; j < cs.size(); ++j) {
+      if (i == j) continue;
+      if (cs[j].op == ExprOp::kEq &&
+          !LiteralsEqual(cs[i].literal, cs[j].literal)) {
+        return "?" + var + " = " + cs[i].literal.ToNTriples() + " and ?" +
+               var + " = " + cs[j].literal.ToNTriples() +
+               " cannot both hold";
+      }
+      if (cs[j].op == ExprOp::kNe &&
+          LiteralsEqual(cs[i].literal, cs[j].literal)) {
+        return "?" + var + " = " + cs[i].literal.ToNTriples() +
+               " contradicts ?" + var +
+               " != " + cs[j].literal.ToNTriples();
+      }
+    }
+  }
+  // Numeric interval: intersect lower/upper bounds and equalities.
+  double lower = -HUGE_VAL, upper = HUGE_VAL;
+  bool lower_strict = false, upper_strict = false, any_bound = false;
+  for (const auto& c : cs) {
+    auto n = c.literal.AsNumber();
+    if (!n.ok()) continue;
+    switch (c.op) {
+      case ExprOp::kGt:
+      case ExprOp::kGe:
+        if (*n > lower || (*n == lower && c.op == ExprOp::kGt)) {
+          lower = *n;
+          lower_strict = c.op == ExprOp::kGt;
+        }
+        any_bound = true;
+        break;
+      case ExprOp::kLt:
+      case ExprOp::kLe:
+        if (*n < upper || (*n == upper && c.op == ExprOp::kLt)) {
+          upper = *n;
+          upper_strict = c.op == ExprOp::kLt;
+        }
+        any_bound = true;
+        break;
+      case ExprOp::kEq:
+        // x = n is the interval [n, n].
+        if (*n > lower) {
+          lower = *n;
+          lower_strict = false;
+        }
+        if (*n < upper) {
+          upper = *n;
+          upper_strict = false;
+        }
+        any_bound = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (any_bound &&
+      (lower > upper || (lower == upper && (lower_strict || upper_strict)))) {
+    return "numeric constraints on ?" + var + " bound it below " +
+           std::to_string(upper) + " and above " + std::to_string(lower) +
+           " simultaneously";
+  }
+  return std::nullopt;
+}
+
+/// Shared traversal state for the per-group rules (QA002/QA003/QA004).
+struct GroupWalker {
+  const QueryAnalysisOptions* options;
+  const std::map<std::string, int>* total_counts;  // whole-query pattern vars
+  std::vector<Diagnostic>* qa002;
+  std::vector<Diagnostic>* qa003;
+  std::vector<Diagnostic>* qa004;
+  std::vector<Diagnostic>* qa005;
+
+  /// `top_level` is true only for the conjunctive spine of the WHERE clause
+  /// (the root group): a contradiction there empties the whole result, so
+  /// QA002 reports ERROR; inside OPTIONAL/UNION branches it only empties
+  /// the branch, so WARN.
+  void Walk(const GroupPattern& g, const std::string& path, bool top_level,
+            std::set<std::string> mandatory) {
+    CheckFilters(g, path, top_level);
+    CheckComponents(g, path);
+    CheckPredicates(g, path);
+
+    // QA003 needs the mandatory (certainly-bound) vars of the ancestors:
+    // the BGPs of every enclosing group, but not sibling optionals/unions.
+    for (const auto& t : g.bgp) {
+      std::map<std::string, int> vars;
+      AddPatternVars(t, &vars);
+      for (const auto& [v, n] : vars) mandatory.insert(v);
+    }
+    for (size_t i = 0; i < g.optionals.size(); ++i) {
+      std::string opath = path + ".optional[" + std::to_string(i) + "]";
+      CheckWellDesigned(g.optionals[i], opath, mandatory);
+      Walk(g.optionals[i], opath, false, mandatory);
+    }
+    for (size_t i = 0; i < g.unions.size(); ++i) {
+      for (size_t j = 0; j < g.unions[i].size(); ++j) {
+        std::string upath = path + ".union[" + std::to_string(i) + "][" +
+                            std::to_string(j) + "]";
+        Walk(g.unions[i][j], upath, false, mandatory);
+      }
+    }
+  }
+
+  // QA002 — unsatisfiable / vacuous filters of this group.
+  void CheckFilters(const GroupPattern& g, const std::string& path,
+                    bool top_level) {
+    if (g.filters.empty()) return;
+    std::map<std::string, int> bound_here;
+    CollectPatternVarCounts(g, &bound_here);
+
+    std::map<std::string, std::vector<Constraint>> constraints;
+    for (size_t fi = 0; fi < g.filters.size(); ++fi) {
+      std::string fpath = path + ".filter[" + std::to_string(fi) + "]";
+      std::vector<const FilterExpr*> conjuncts;
+      FlattenConjuncts(g.filters[fi], &conjuncts);
+      for (const FilterExpr* c : conjuncts) {
+        // Constant-false conjunct.
+        if (IsComparison(c->op) && c->children.size() == 2 &&
+            c->children[0]->op == ExprOp::kLiteral &&
+            c->children[1]->op == ExprOp::kLiteral) {
+          auto value = EvalConstComparison(c->op, c->children[0]->literal,
+                                           c->children[1]->literal);
+          if (value.has_value() && !*value) {
+            qa002->push_back(Make(
+                top_level ? Severity::kError : Severity::kWarn, "QA002",
+                fpath, "filter conjunct compares constants and is false",
+                "remove the filter or fix the constants"));
+          }
+        }
+        // Var-vs-literal constraint (either operand order).
+        if (IsComparison(c->op) && c->children.size() == 2) {
+          const FilterExpr* lhs = c->children[0].get();
+          const FilterExpr* rhs = c->children[1].get();
+          if (lhs->op == ExprOp::kVar && rhs->op == ExprOp::kLiteral) {
+            constraints[lhs->var].push_back(
+                {c->op, rhs->literal, static_cast<int>(fi)});
+          } else if (lhs->op == ExprOp::kLiteral &&
+                     rhs->op == ExprOp::kVar) {
+            constraints[rhs->var].push_back(
+                {FlipComparison(c->op), lhs->literal, static_cast<int>(fi)});
+          }
+        }
+        // References to variables no pattern in this group binds: the
+        // comparison evaluates to error, which SPARQL treats as false.
+        std::map<std::string, bool> refs;
+        CollectComparisonVars(*c, true, &refs);
+        for (const auto& [v, definite] : refs) {
+          if (bound_here.contains(v)) continue;
+          bool hard = top_level && definite;
+          qa002->push_back(Make(
+              hard ? Severity::kError : Severity::kWarn, "QA002", fpath,
+              std::string("filter compares ?") + v +
+                  ", which no pattern in this group binds; the comparison "
+                  "errors and the conjunct " +
+                  (definite ? "eliminates every row"
+                            : "can never contribute"),
+              "bind ?" + v + " in the group or guard with BOUND(?" + v +
+                  ")"));
+        }
+      }
+    }
+    for (const auto& [v, cs] : constraints) {
+      auto reason = FindContradiction(v, cs);
+      if (reason.has_value()) {
+        qa002->push_back(Make(top_level ? Severity::kError : Severity::kWarn,
+                              "QA002", path,
+                              "filters are unsatisfiable: " + *reason,
+                              "no binding of ?" + v +
+                                  " can pass; drop or correct one "
+                                  "constraint"));
+      }
+    }
+  }
+
+  // QA003 — non-well-designed OPTIONAL (Pérez et al.'s criterion): a
+  // variable of the optional that the mandatory ancestors do not bind but
+  // that occurs elsewhere in the query makes the result depend on
+  // evaluation order.
+  void CheckWellDesigned(const GroupPattern& opt, const std::string& path,
+                         const std::set<std::string>& mandatory) {
+    std::map<std::string, int> inside;
+    CollectPatternVarCounts(opt, &inside);
+    for (const auto& [v, count] : inside) {
+      if (mandatory.contains(v)) continue;
+      auto total = total_counts->find(v);
+      if (total != total_counts->end() && total->second > count) {
+        qa003->push_back(
+            Make(Severity::kWarn, "QA003", path,
+                 "optional uses ?" + v +
+                     ", which its mandatory scope does not bind but other "
+                     "parts of the query do; the pattern is not "
+                     "well-designed and results depend on evaluation order",
+                 "bind ?" + v +
+                     " in the outer BGP or rename it inside the optional"));
+      }
+    }
+  }
+
+  // QA004 — disconnected components of one group's BGP.
+  void CheckComponents(const GroupPattern& g, const std::string& path) {
+    size_t n = g.bgp.size();
+    if (n < 2) return;
+    std::vector<size_t> root(n);
+    for (size_t i = 0; i < n; ++i) root[i] = i;
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (root[x] != x) {
+        root[x] = root[root[x]];
+        x = root[x];
+      }
+      return x;
+    };
+    std::map<std::string, size_t> first_user;
+    for (size_t i = 0; i < n; ++i) {
+      std::map<std::string, int> vars;
+      AddPatternVars(g.bgp[i], &vars);
+      for (const auto& [v, count] : vars) {
+        auto it = first_user.find(v);
+        if (it == first_user.end()) {
+          first_user[v] = i;
+        } else {
+          root[find(i)] = find(it->second);
+        }
+      }
+    }
+    std::set<size_t> components;
+    for (size_t i = 0; i < n; ++i) components.insert(find(i));
+    if (components.size() >= 2) {
+      qa004->push_back(
+          Make(Severity::kWarn, "QA004", path,
+               std::to_string(components.size()) +
+                   " groups of patterns share no variable; every engine "
+                   "joins them as a cartesian product",
+               "connect the components through a shared variable or split "
+               "the query"));
+    }
+  }
+
+  // QA005 — unbounded predicate on a vertically-partitioned layout.
+  void CheckPredicates(const GroupPattern& g, const std::string& path) {
+    if (!options->vertical_partitioned) return;
+    for (size_t i = 0; i < g.bgp.size(); ++i) {
+      if (!g.bgp[i].p.is_variable()) continue;
+      qa005->push_back(Make(
+          Severity::kWarn, "QA005",
+          path + ".bgp[" + std::to_string(i) + "]",
+          "predicate variable ?" + g.bgp[i].p.var() +
+              " on a vertically-partitioned store unions a scan of every "
+              "predicate table",
+          "bind the predicate, or use an engine with a triples-table "
+          "layout"));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Diagnostic> AnalyzeQuery(const Query& query,
+                                     const QueryAnalysisOptions& options) {
+  std::vector<Diagnostic> out;
+
+  std::map<std::string, int> bound;
+  CollectPatternVarCounts(query.where, &bound);
+
+  // ---- QA001: projection soundness + dead variables.
+  for (const auto& v : query.select_vars) {
+    if (!bound.contains(v)) {
+      out.push_back(Make(Severity::kError, "QA001", "select",
+                         "projected variable ?" + v +
+                             " is never bound by any pattern; the column "
+                             "can only be unbound",
+                         "bind ?" + v + " in the WHERE clause or drop it "
+                                        "from SELECT"));
+    }
+  }
+  for (const auto& agg : query.aggregates) {
+    if (!agg.var.empty() && !bound.contains(agg.var)) {
+      out.push_back(Make(Severity::kError, "QA001", "select",
+                         std::string(AggregateOpName(agg.op)) + "(?" +
+                             agg.var + ") aggregates a variable never "
+                                       "bound by any pattern",
+                         "bind ?" + agg.var + " or aggregate over *"));
+    }
+  }
+  for (const auto& v : query.group_by) {
+    if (!bound.contains(v)) {
+      out.push_back(Make(Severity::kError, "QA001", "group by",
+                         "grouping key ?" + v +
+                             " is never bound by any pattern",
+                         "bind ?" + v + " in the WHERE clause"));
+    }
+  }
+  // Pattern variables plus aggregate aliases (ORDER BY ?cnt is legitimate).
+  std::set<std::string> order_names;
+  for (const auto& [v, n] : bound) order_names.insert(v);
+  for (const auto& agg : query.aggregates) order_names.insert(agg.alias);
+  for (const auto& key : query.order_by) {
+    if (!order_names.contains(key.var)) {
+      out.push_back(Make(Severity::kWarn, "QA001", "order by",
+                         "sort key ?" + key.var +
+                             " is never bound; the ordering is vacuous",
+                         "bind ?" + key.var + " or remove the sort key"));
+    }
+  }
+  for (const auto& t : query.construct_template) {
+    std::map<std::string, int> tvars;
+    AddPatternVars(t, &tvars);
+    for (const auto& [v, n] : tvars) {
+      if (!bound.contains(v)) {
+        out.push_back(Make(Severity::kError, "QA001", "construct",
+                           "template variable ?" + v +
+                               " is never bound; every instantiation of "
+                               "this template is skipped",
+                           "bind ?" + v + " in the WHERE clause"));
+      }
+    }
+  }
+  for (const auto& target : query.describe_targets) {
+    if (target.is_variable() && !bound.contains(target.var())) {
+      out.push_back(Make(Severity::kError, "QA001", "describe",
+                         "described variable ?" + target.var() +
+                             " is never bound by any pattern",
+                         "bind ?" + target.var() + " in the WHERE clause"));
+    }
+  }
+  // Dead variables: bound exactly once and used nowhere — the position is
+  // effectively a wildcard. Only meaningful under an explicit projection
+  // ('*' uses everything; ASK has no projection to be absent from).
+  bool explicit_projection = !query.select_vars.empty() ||
+                             query.IsAggregate() ||
+                             query.form == QueryForm::kConstruct;
+  if (explicit_projection) {
+    std::set<std::string> used(query.select_vars.begin(),
+                               query.select_vars.end());
+    for (const auto& agg : query.aggregates) {
+      if (!agg.var.empty()) used.insert(agg.var);
+    }
+    used.insert(query.group_by.begin(), query.group_by.end());
+    for (const auto& key : query.order_by) used.insert(key.var);
+    CollectFilterVars(query.where, &used);
+    for (const auto& t : query.construct_template) {
+      std::map<std::string, int> tvars;
+      AddPatternVars(t, &tvars);
+      for (const auto& [v, n] : tvars) used.insert(v);
+    }
+    for (const auto& target : query.describe_targets) {
+      if (target.is_variable()) used.insert(target.var());
+    }
+    for (const auto& [v, count] : bound) {
+      if (count == 1 && !used.contains(v)) {
+        out.push_back(Make(Severity::kInfo, "QA001", "where",
+                           "?" + v +
+                               " is bound once and never used; the "
+                               "position acts as a wildcard",
+                           "project ?" + v + " if it is meant to be a "
+                                             "result, or ignore"));
+      }
+    }
+  }
+
+  // ---- QA002..QA005 walk the group tree.
+  std::vector<Diagnostic> qa002, qa003, qa004, qa005;
+  GroupWalker walker{&options, &bound, &qa002, &qa003, &qa004, &qa005};
+  walker.Walk(query.where, "where", true, {});
+  for (auto* block : {&qa002, &qa003, &qa004, &qa005}) {
+    for (auto& d : *block) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace rdfspark::sparql

@@ -1,0 +1,48 @@
+#ifndef RDFSPARK_SPARQL_ANALYSIS_H_
+#define RDFSPARK_SPARQL_ANALYSIS_H_
+
+#include <vector>
+
+#include "sparql/ast.h"
+#include "systems/plan/diagnostics.h"
+
+namespace rdfspark::sparql {
+
+/// Engine-independent knobs for the query analyzer. The defaults describe
+/// no engine in particular; engines pass their own storage traits so rules
+/// that only matter for a given layout (QA005) fire selectively.
+struct QueryAnalysisOptions {
+  /// The target engine stores triples vertically partitioned by predicate
+  /// (Table II: SPARQLGX, S2RDF, S2X-style layouts). An unbounded-predicate
+  /// pattern then scans every predicate table.
+  bool vertical_partitioned = false;
+};
+
+/// Tier A of the dataflow lint: pure rules over the parsed AST, before any
+/// planning. Stable ids in the shared Diagnostic format:
+///   QA001  projected-but-never-bound variables (ERROR: the result column
+///          can only be unbound) and bound-once never-used variables (INFO:
+///          the position acts as a wildcard).
+///   QA002  statically unsatisfiable FILTERs: contradictory equality /
+///          range constraints, constant-false comparisons, and comparisons
+///          over variables never bound in the filter's group (ERROR when
+///          the contradiction is a top-level conjunct, WARN when it could
+///          be masked by OR/NOT or an enclosing optional).
+///   QA003  non-well-designed OPTIONAL: an optional uses a variable that is
+///          not bound by its mandatory ancestors but appears elsewhere in
+///          the query, so the result depends on evaluation order (WARN).
+///   QA004  disconnected BGP components within one group: no shared
+///          variable connects the patterns, forcing a cross product in
+///          every engine — the pre-plan cousin of CP001 (WARN).
+///   QA005  unbounded-predicate pattern on a vertically-partitioned engine:
+///          the scan unions all predicate tables (WARN; only with
+///          options.vertical_partitioned).
+///
+/// Findings are emitted in rule order then document order — deterministic
+/// for identical input.
+std::vector<systems::plan::Diagnostic> AnalyzeQuery(
+    const Query& query, const QueryAnalysisOptions& options = {});
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_ANALYSIS_H_

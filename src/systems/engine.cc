@@ -63,6 +63,45 @@ Result<std::string> RdfQueryEngine::ExplainAnalyzeText(std::string_view) {
 BgpEngineBase::BgpEngineBase(spark::SparkContext* sc) : RdfQueryEngine(sc) {
   const char* env = std::getenv("RDFSPARK_VERIFY_PLANS");
   debug_check_plans_ = env != nullptr && env[0] != '\0';
+  const char* qenv = std::getenv("RDFSPARK_VERIFY_QUERIES");
+  debug_check_queries_ = qenv != nullptr && qenv[0] != '\0';
+}
+
+sparql::QueryAnalysisOptions BgpEngineBase::AnalysisOptions() const {
+  sparql::QueryAnalysisOptions options;
+  options.vertical_partitioned = VerifyProfile().vertical_partitioned;
+  return options;
+}
+
+Result<std::vector<plan::Diagnostic>> BgpEngineBase::AnalyzeQueryText(
+    std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  return sparql::AnalyzeQuery(query, AnalysisOptions());
+}
+
+Result<spark::LineageGraph> BgpEngineBase::CaptureLineage(
+    std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(query.where.bgp));
+  plan::PlanExecutor executor(sc_, /*collect_actuals=*/true);
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table, executor.Run(*root));
+  (void)table;  // The lineage snapshot is the output.
+  std::vector<const spark::RddNodeBase*> roots;
+  roots.reserve(executor.lineage_roots().size());
+  for (const auto& node : executor.lineage_roots()) {
+    roots.push_back(node.get());
+  }
+  return spark::LineageGraph::Capture(roots);
+}
+
+Result<std::string> BgpEngineBase::LineageText(std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(spark::LineageGraph graph, CaptureLineage(text));
+  if (graph.nodes().empty()) {
+    return std::string(
+        "no RDD-backed lineage (engine executes through another "
+        "abstraction)\n");
+  }
+  return plan::RenderDiagnostics(graph.Analyze()) + graph.ToDot();
 }
 
 Result<std::string> BgpEngineBase::ExplainText(std::string_view text) {
@@ -81,10 +120,15 @@ Result<std::vector<plan::Diagnostic>> BgpEngineBase::LintQuery(
 }
 
 Result<std::string> BgpEngineBase::LintText(std::string_view text) {
+  // Both lint tiers over the same text: query analysis (QA rules) first,
+  // then the plan verifier (SC/CP/BC/ST/VP rules); one severity-sorted
+  // rendering.
   RDFSPARK_ASSIGN_OR_RETURN(std::vector<plan::Diagnostic> diags,
+                            AnalyzeQueryText(text));
+  RDFSPARK_ASSIGN_OR_RETURN(std::vector<plan::Diagnostic> plan_diags,
                             LintQuery(text));
-  if (diags.empty()) return std::string("no findings\n");
-  return plan::FormatDiagnostics(diags);
+  for (auto& d : plan_diags) diags.push_back(std::move(d));
+  return plan::RenderDiagnostics(std::move(diags));
 }
 
 Result<plan::PlanPtr> BgpEngineBase::ExecuteAnalyzed(std::string_view text) {
@@ -157,6 +201,14 @@ Result<sparql::BindingTable> BgpEngineBase::Execute(
         traits().name +
         " supports the BGP fragment only (no FILTER/OPTIONAL/UNION/"
         "aggregates)");
+  }
+  if (debug_check_queries_) {
+    std::vector<plan::Diagnostic> errors =
+        plan::ErrorsOnly(sparql::AnalyzeQuery(query, AnalysisOptions()));
+    if (!errors.empty()) {
+      return Status::InvalidArgument("query analysis failed:\n" +
+                                     plan::FormatDiagnostics(errors));
+    }
   }
   RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table,
                             EvaluateGroup(query.where));

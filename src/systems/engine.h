@@ -9,6 +9,8 @@
 #include "common/status.h"
 #include "rdf/store.h"
 #include "spark/context.h"
+#include "spark/lineage.h"
+#include "sparql/analysis.h"
 #include "sparql/ast.h"
 #include "sparql/binding.h"
 #include "systems/plan/plan.h"
@@ -135,6 +137,24 @@ class BgpEngineBase : public RdfQueryEngine {
   /// EXPLAIN: the plan is built but never executed.
   Result<std::vector<plan::Diagnostic>> LintQuery(std::string_view text);
 
+  /// Tier A of the dataflow lint: query-level findings (QA rules, see
+  /// sparql/analysis.h) for `text`, with this engine's storage layout
+  /// feeding the layout-sensitive rules. Pure: nothing is planned or
+  /// executed. LintText renders this tier together with LintQuery's
+  /// plan-tier findings.
+  Result<std::vector<plan::Diagnostic>> AnalyzeQueryText(
+      std::string_view text);
+
+  /// Tier B of the dataflow lint: plans and *executes* `text`'s basic
+  /// graph pattern with actuals collection, then snapshots the RDD lineage
+  /// DAG the run built. Engines whose payloads are not RDD-backed
+  /// (DataFrames, driver-side rows) produce an empty graph.
+  Result<spark::LineageGraph> CaptureLineage(std::string_view text);
+
+  /// `.lineage` rendering: the lineage analyzer's findings (LN rules)
+  /// followed by the DOT export of the captured graph.
+  Result<std::string> LineageText(std::string_view text);
+
   /// Plans and executes `text`'s basic graph pattern with actuals
   /// collection, returning the analyzed plan: every node carries an
   /// OpStats (node->actuals) with its runtime counters and output rows.
@@ -154,6 +174,13 @@ class BgpEngineBase : public RdfQueryEngine {
   /// RDFSPARK_VERIFY_PLANS environment variable (set and non-empty).
   void set_debug_check_plans(bool enabled) { debug_check_plans_ = enabled; }
   bool debug_check_plans() const { return debug_check_plans_; }
+
+  /// Query-admission gate: when enabled, Execute runs the query analyzer
+  /// (Tier A) first and any ERROR-level QA finding fails the query with an
+  /// InvalidArgument status before planning or execution. Defaults to the
+  /// RDFSPARK_VERIFY_QUERIES environment variable (set and non-empty).
+  void set_debug_check_queries(bool enabled) { debug_check_queries_ = enabled; }
+  bool debug_check_queries() const { return debug_check_queries_; }
 
  protected:
   explicit BgpEngineBase(spark::SparkContext* sc);
@@ -176,7 +203,11 @@ class BgpEngineBase : public RdfQueryEngine {
       const sparql::GroupPattern& group);
 
  private:
+  /// The QueryAnalysisOptions this engine's storage layout implies.
+  sparql::QueryAnalysisOptions AnalysisOptions() const;
+
   bool debug_check_plans_ = false;
+  bool debug_check_queries_ = false;
 };
 
 /// All nine engines, constructed against `sc`. Order matches Table II rows.

@@ -32,8 +32,10 @@ std::string ExplainAnalyze(const PlanNode& root);
 /// Registers a row counter for payloads of type spark::Rdd<T>: rows out is
 /// the sum of the RDD's cached partition sizes (every partition an
 /// analyzed run needed is cached by the time counting happens; reading
-/// sizes charges nothing). Engines whose payload element types are
-/// translation-unit-local instantiate this in their own TU:
+/// sizes charges nothing). Also registers the matching lineage probe, so
+/// any payload type the analyzer can count is one the lineage analyzer can
+/// snapshot. Engines whose payload element types are translation-unit-local
+/// instantiate this in their own TU:
 ///
 ///   namespace { const plan::RddPayloadRowCounterRegistration<MyRow> reg; }
 ///
@@ -48,6 +50,12 @@ class RddPayloadRowCounterRegistration {
           const auto* rdd = std::any_cast<spark::Rdd<T>>(&payload);
           if (rdd == nullptr || !rdd->valid()) return std::nullopt;
           return rdd->node()->CachedRecords();
+        });
+    RegisterPayloadLineageProbe(
+        [](const PlanPayload& payload) -> std::shared_ptr<spark::RddNodeBase> {
+          const auto* rdd = std::any_cast<spark::Rdd<T>>(&payload);
+          if (rdd == nullptr || !rdd->valid()) return nullptr;
+          return rdd->node();
         });
   }
 };

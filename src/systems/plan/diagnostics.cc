@@ -1,5 +1,7 @@
 #include "systems/plan/diagnostics.h"
 
+#include <algorithm>
+
 namespace rdfspark::systems::plan {
 
 const char* SeverityName(Severity s) {
@@ -44,6 +46,35 @@ bool HasError(const std::vector<Diagnostic>& diags) {
     if (d.severity == Severity::kError) return true;
   }
   return false;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     if (a.rule != b.rule) return a.rule < b.rule;
+                     if (a.node_path != b.node_path) {
+                       return a.node_path < b.node_path;
+                     }
+                     return a.message < b.message;
+                   });
+}
+
+std::string RenderDiagnostics(std::vector<Diagnostic> diags) {
+  if (diags.empty()) return "no findings\n";
+  SortDiagnostics(&diags);
+  return FormatDiagnostics(diags);
+}
+
+std::vector<Diagnostic> ErrorsOnly(const std::vector<Diagnostic>& diags) {
+  std::vector<Diagnostic> errors;
+  for (const auto& d : diags) {
+    if (d.severity == Severity::kError) errors.push_back(d);
+  }
+  return errors;
 }
 
 }  // namespace rdfspark::systems::plan

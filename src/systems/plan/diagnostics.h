@@ -35,6 +35,18 @@ std::string FormatDiagnostics(const std::vector<Diagnostic>& diags);
 
 bool HasError(const std::vector<Diagnostic>& diags);
 
+/// Orders findings most-severe first, then by rule id, node path and
+/// message. Stable, so equal findings keep their emission order.
+void SortDiagnostics(std::vector<Diagnostic>* diags);
+
+/// The one rendering shared by every lint surface (`.lint`, plan_lint,
+/// dataflow_lint): severity-sorted FormatDiagnostic lines, or the literal
+/// "no findings\n" when the list is empty.
+std::string RenderDiagnostics(std::vector<Diagnostic> diags);
+
+/// Just the ERROR-level findings, in input order.
+std::vector<Diagnostic> ErrorsOnly(const std::vector<Diagnostic>& diags);
+
 }  // namespace rdfspark::systems::plan
 
 #endif  // RDFSPARK_SYSTEMS_PLAN_DIAGNOSTICS_H_

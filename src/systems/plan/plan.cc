@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "spark/rdd.h"
+
 namespace rdfspark::systems::plan {
 
 const char* NodeKindName(NodeKind k) {
@@ -143,6 +145,30 @@ void RegisterPayloadRowCounter(PayloadRowCounter counter) {
   PayloadRowCounters().push_back(std::move(counter));
 }
 
+namespace {
+
+std::vector<PayloadLineageProbe>& PayloadLineageProbes() {
+  static auto* probes = new std::vector<PayloadLineageProbe>();
+  return *probes;
+}
+
+}  // namespace
+
+void RegisterPayloadLineageProbe(PayloadLineageProbe probe) {
+  std::lock_guard<std::mutex> lock(PayloadRowCountersMutex());
+  PayloadLineageProbes().push_back(std::move(probe));
+}
+
+std::shared_ptr<spark::RddNodeBase> ProbePayloadLineage(
+    const PlanPayload& payload) {
+  if (!payload.has_value()) return nullptr;
+  std::lock_guard<std::mutex> lock(PayloadRowCountersMutex());
+  for (const auto& probe : PayloadLineageProbes()) {
+    if (auto node = probe(payload)) return node;
+  }
+  return nullptr;
+}
+
 std::optional<uint64_t> CountPayloadRows(const PlanPayload& payload) {
   if (!payload.has_value()) return std::nullopt;
   if (const auto* table = std::any_cast<sparql::BindingTable>(&payload)) {
@@ -178,6 +204,7 @@ Result<PlanPayload> PlanExecutor::RunNode(const PlanNode& node) {
 
 Result<sparql::BindingTable> PlanExecutor::Run(const PlanNode& root) {
   analyzed_.clear();
+  lineage_roots_.clear();
   RDFSPARK_ASSIGN_OR_RETURN(PlanPayload out, RunNode(root));
   auto* table = std::any_cast<sparql::BindingTable>(&out);
   if (table == nullptr) {
@@ -190,6 +217,15 @@ Result<sparql::BindingTable> PlanExecutor::Run(const PlanNode& root) {
     if (auto rows = CountPayloadRows(payload)) {
       node->actuals->rows_out = *rows;
       node->actuals->rows_known = true;
+    }
+    // Harvest RDD-backed payloads for the lineage analyzer before the
+    // payloads are released; the shared_ptr keeps the DAG alive.
+    if (auto lineage = ProbePayloadLineage(payload)) {
+      bool seen = false;
+      for (const auto& existing : lineage_roots_) {
+        seen = seen || existing->id() == lineage->id();
+      }
+      if (!seen) lineage_roots_.push_back(std::move(lineage));
     }
   }
   analyzed_.clear();

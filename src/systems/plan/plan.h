@@ -15,6 +15,10 @@
 #include "spark/context.h"
 #include "sparql/binding.h"
 
+namespace rdfspark::spark {
+class RddNodeBase;
+}  // namespace rdfspark::spark
+
 namespace rdfspark::systems::plan {
 
 /// Physical operators shared by all nine reproduced systems. Each engine's
@@ -127,6 +131,19 @@ void RegisterPayloadRowCounter(PayloadRowCounter counter);
 /// no counter recognizes the payload — the node renders "act=?".
 std::optional<uint64_t> CountPayloadRows(const PlanPayload& payload);
 
+/// Extracts the RDD lineage node backing an engine-native payload, or null
+/// when the payload is not RDD-backed (DataFrames, driver-side rows). Like
+/// the row counters, probes are registered from static initializers (see
+/// analyze.h) so the plan layer stays ignorant of engine element types.
+using PayloadLineageProbe =
+    std::function<std::shared_ptr<spark::RddNodeBase>(const PlanPayload&)>;
+
+void RegisterPayloadLineageProbe(PayloadLineageProbe probe);
+
+/// Tries every registered probe; null when none recognizes the payload.
+std::shared_ptr<spark::RddNodeBase> ProbePayloadLineage(
+    const PlanPayload& payload);
+
 /// Shared executor: post-order walk, each node's exec fed its children's
 /// payloads; the root payload must be a sparql::BindingTable.
 ///
@@ -145,6 +162,15 @@ class PlanExecutor {
 
   Result<sparql::BindingTable> Run(const PlanNode& root);
 
+  /// RDD lineage nodes of the operators the last analyzed Run executed, in
+  /// completion order, deduplicated (the lineage-tier analyzer snapshots a
+  /// LineageGraph from these). Filled only with collect_actuals; shared
+  /// ownership keeps the DAG alive after payloads are released.
+  const std::vector<std::shared_ptr<spark::RddNodeBase>>& lineage_roots()
+      const {
+    return lineage_roots_;
+  }
+
  private:
   Result<PlanPayload> RunNode(const PlanNode& node);
 
@@ -153,6 +179,7 @@ class PlanExecutor {
   /// Nodes in completion order with their payload, kept alive so row
   /// counting after the run sees every operator's output.
   std::vector<std::pair<const PlanNode*, PlanPayload>> analyzed_;
+  std::vector<std::shared_ptr<spark::RddNodeBase>> lineage_roots_;
 };
 
 }  // namespace rdfspark::systems::plan

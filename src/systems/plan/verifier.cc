@@ -238,10 +238,7 @@ std::vector<Diagnostic> VerifyPlan(const PlanNode& root,
 
 Status VerifyForExecution(const PlanNode& root,
                           const EngineProfile& profile) {
-  std::vector<Diagnostic> errors;
-  for (auto& d : VerifyPlan(root, profile)) {
-    if (d.severity == Severity::kError) errors.push_back(std::move(d));
-  }
+  std::vector<Diagnostic> errors = ErrorsOnly(VerifyPlan(root, profile));
   if (errors.empty()) return Status::OK();
   std::string message = "plan verification failed:\n";
   message += FormatDiagnostics(errors);

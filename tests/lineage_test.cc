@@ -1,0 +1,331 @@
+#include "spark/lineage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spark/rdd.h"
+#include "systems/plan/diagnostics.h"
+
+namespace rdfspark::spark {
+namespace {
+
+using systems::plan::Diagnostic;
+using systems::plan::Severity;
+
+ClusterConfig SmallCluster() {
+  ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.default_parallelism = 8;
+  return cfg;
+}
+
+/// Spark-faithful storage: only Cache()d RDDs retain their partitions, so
+/// shared lineage really recomputes — LN001's runtime truth.
+ClusterConfig TransientCluster() {
+  ClusterConfig cfg = SmallCluster();
+  cfg.retain_uncached_rdds = false;
+  return cfg;
+}
+
+std::vector<int> Ints(int n) {
+  std::vector<int> v(n);
+  for (int i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+std::vector<std::pair<int, int>> Pairs(int n) {
+  std::vector<std::pair<int, int>> v;
+  for (int i = 0; i < n; ++i) v.emplace_back(i % 7, i);
+  return v;
+}
+
+int CountRule(const std::vector<Diagnostic>& ds, const std::string& rule) {
+  int n = 0;
+  for (const auto& d : ds) n += d.rule == rule;
+  return n;
+}
+
+const Diagnostic* FindRule(const std::vector<Diagnostic>& ds,
+                           const std::string& rule) {
+  for (const auto& d : ds) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------------- capture
+
+TEST(LineageGraphTest, CaptureSnapshotsTopology) {
+  SparkContext sc(SmallCluster());
+  auto base = Parallelize(&sc, Pairs(40), 4);
+  auto shuffled = base.PartitionByKey(4);
+  auto mapped = shuffled.Map([](const std::pair<int, int>& kv) { return kv; });
+
+  auto graph = LineageGraph::Capture(mapped.node().get());
+  ASSERT_EQ(graph.nodes().size(), 3u);
+  for (size_t i = 1; i < graph.nodes().size(); ++i) {
+    EXPECT_LT(graph.nodes()[i - 1].id, graph.nodes()[i].id);
+  }
+  EXPECT_EQ(graph.ShuffleCount(), 1);
+
+  const auto* source = graph.Find(base.node()->id());
+  const auto* wide = graph.Find(shuffled.node()->id());
+  const auto* sink = graph.Find(mapped.node()->id());
+  ASSERT_NE(source, nullptr);
+  ASSERT_NE(wide, nullptr);
+  ASSERT_NE(sink, nullptr);
+  EXPECT_FALSE(source->is_shuffle);
+  EXPECT_TRUE(wide->is_shuffle);
+  ASSERT_TRUE(wide->partitioner.has_value());
+  EXPECT_EQ(wide->partitioner->kind, "hash");
+  EXPECT_EQ(source->children, std::vector<int>{wide->id});
+  EXPECT_EQ(wide->parents, std::vector<int>{source->id});
+  EXPECT_EQ(sink->parents, std::vector<int>{wide->id});
+  EXPECT_TRUE(sink->children.empty());
+  EXPECT_EQ(graph.Find(999999), nullptr);
+}
+
+TEST(LineageGraphTest, SharedSubLineageCapturedOnce) {
+  SparkContext sc(SmallCluster());
+  auto base = Parallelize(&sc, Ints(20), 4);
+  auto left = base.Map([](const int& x) { return x + 1; });
+  auto right = base.Filter([](const int& x) { return x > 5; });
+
+  auto graph = LineageGraph::Capture(
+      {left.node().get(), right.node().get()});
+  EXPECT_EQ(graph.nodes().size(), 3u);
+  const auto* shared = graph.Find(base.node()->id());
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->children.size(), 2u);
+}
+
+TEST(LineageGraphTest, CaptureIsDeterministic) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Pairs(30), 4).PartitionByKey(4).Filter(
+      [](const std::pair<int, int>& kv) { return kv.second % 2 == 0; });
+  auto first = LineageGraph::Capture(rdd.node().get());
+  auto second = LineageGraph::Capture(rdd.node().get());
+  EXPECT_EQ(first.ToDot(), second.ToDot());
+  EXPECT_EQ(first.Analyze().size(), second.Analyze().size());
+}
+
+// --------------------------------------------------------------- LN001
+
+TEST(LineageGraphTest, Ln001FlagsSharedUncachedLineage) {
+  SparkContext sc(TransientCluster());
+  auto base = Parallelize(&sc, Ints(40), 4).Map([](const int& x) {
+    return x + 1;
+  });
+  auto evens = base.Filter([](const int& x) { return x % 2 == 0; });
+  auto odds = base.Filter([](const int& x) { return x % 2 == 1; });
+
+  auto graph =
+      LineageGraph::Capture({evens.node().get(), odds.node().get()});
+  auto findings = graph.Analyze();
+  ASSERT_EQ(CountRule(findings, "LN001"), 1);
+  const auto* d = FindRule(findings, "LN001");
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->message.find("feeds 2 consumers"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->hint.find("Cache()"), std::string::npos);
+}
+
+TEST(LineageGraphTest, Ln001SilentWhenSharedNodeIsCached) {
+  SparkContext sc(TransientCluster());
+  auto base = Parallelize(&sc, Ints(40), 4)
+                  .Map([](const int& x) { return x + 1; })
+                  .Cache();
+  auto evens = base.Filter([](const int& x) { return x % 2 == 0; });
+  auto odds = base.Filter([](const int& x) { return x % 2 == 1; });
+
+  auto graph =
+      LineageGraph::Capture({evens.node().get(), odds.node().get()});
+  EXPECT_EQ(CountRule(graph.Analyze(), "LN001"), 0);
+}
+
+TEST(LineageGraphTest, Ln001SilentUnderDefaultRetention) {
+  // The default simulator config retains every partition, so nothing
+  // recomputes and the rule must stay quiet.
+  SparkContext sc(SmallCluster());
+  auto base = Parallelize(&sc, Ints(40), 4).Map([](const int& x) {
+    return x + 1;
+  });
+  auto evens = base.Filter([](const int& x) { return x % 2 == 0; });
+  auto odds = base.Filter([](const int& x) { return x % 2 == 1; });
+
+  auto graph =
+      LineageGraph::Capture({evens.node().get(), odds.node().get()});
+  EXPECT_EQ(CountRule(graph.Analyze(), "LN001"), 0);
+}
+
+TEST(LineageGraphTest, Ln001ExemptsSharedShuffleNodes) {
+  // Shuffle outputs persist in the shuffle state (like Spark's shuffle
+  // files) regardless of caching, so a shared wide node recomputes nothing.
+  SparkContext sc(TransientCluster());
+  auto part = Parallelize(&sc, Pairs(40), 4).PartitionByKey(4);
+  auto left = part.Filter(
+      [](const std::pair<int, int>& kv) { return kv.first < 3; });
+  auto right = part.Filter(
+      [](const std::pair<int, int>& kv) { return kv.first >= 3; });
+
+  auto graph =
+      LineageGraph::Capture({left.node().get(), right.node().get()});
+  EXPECT_EQ(CountRule(graph.Analyze(), "LN001"), 0);
+}
+
+TEST(LineageGraphTest, Ln001MatchesRealRecompute) {
+  // End-to-end: the finding predicts recompute, the counters observe it,
+  // and Cache() removes both.
+  auto run = [](bool cache) {
+    SparkContext sc(TransientCluster());
+    auto computes = std::make_shared<std::atomic<int>>(0);
+    auto base = Parallelize(&sc, Ints(40), 4).Map([computes](const int& x) {
+      computes->fetch_add(1);
+      return x + 1;
+    });
+    if (cache) base = base.Cache();
+    auto evens = base.Filter([](const int& x) { return x % 2 == 0; });
+    auto odds = base.Filter([](const int& x) { return x % 2 == 1; });
+    EXPECT_EQ(evens.Count() + odds.Count(), 40u);
+    auto graph =
+        LineageGraph::Capture({evens.node().get(), odds.node().get()});
+    return std::pair<int, int>(computes->load(),
+                               CountRule(graph.Analyze(), "LN001"));
+  };
+
+  auto [uncached_computes, uncached_findings] = run(false);
+  EXPECT_EQ(uncached_computes, 80);  // once per consumer
+  EXPECT_EQ(uncached_findings, 1);
+
+  auto [cached_computes, cached_findings] = run(true);
+  EXPECT_EQ(cached_computes, 40);  // computed once, served from cache
+  EXPECT_EQ(cached_findings, 0);
+}
+
+// --------------------------------------------------------------- LN002
+
+TEST(LineageGraphTest, Ln002FlagsShuffleOverCoPartitionedInput) {
+  SparkContext sc(SmallCluster());
+  // PartitionByKey sets the partitioner, Filter preserves it, and
+  // GroupByKey shuffles again with the identical partitioner: the exchange
+  // moves nothing that is not already in place.
+  auto grouped = Parallelize(&sc, Pairs(40), 4)
+                     .PartitionByKey(4)
+                     .Filter([](const std::pair<int, int>& kv) {
+                       return kv.second % 2 == 0;
+                     })
+                     .GroupByKey(4);
+
+  auto graph = LineageGraph::Capture(grouped.node().get());
+  auto findings = graph.Analyze();
+  ASSERT_EQ(CountRule(findings, "LN002"), 1);
+  const auto* d = FindRule(findings, "LN002");
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->message.find("hash/4"), std::string::npos) << d->message;
+}
+
+TEST(LineageGraphTest, Ln002SilentWhenInputIsNotPartitioned) {
+  SparkContext sc(SmallCluster());
+  auto grouped = Parallelize(&sc, Pairs(40), 4).GroupByKey(4);
+  auto graph = LineageGraph::Capture(grouped.node().get());
+  EXPECT_EQ(CountRule(graph.Analyze(), "LN002"), 0);
+}
+
+TEST(LineageGraphTest, Ln002SilentWhenPartitionerDiffers) {
+  SparkContext sc(SmallCluster());
+  // Partitioned four ways, regrouped five ways: a genuine re-exchange.
+  auto grouped =
+      Parallelize(&sc, Pairs(40), 4).PartitionByKey(4).GroupByKey(5);
+  auto graph = LineageGraph::Capture(grouped.node().get());
+  EXPECT_EQ(CountRule(graph.Analyze(), "LN002"), 0);
+}
+
+// --------------------------------------------------------------- LN003
+
+TEST(LineageGraphTest, Ln003FlagsDeepShuffleChains) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Pairs(40), 4)
+                 .PartitionByKey(4)
+                 .PartitionByKey(5)
+                 .PartitionByKey(4)
+                 .PartitionByKey(5);
+  auto graph = LineageGraph::Capture(rdd.node().get());
+  EXPECT_EQ(graph.MaxShuffleDepth(), 4);
+  auto findings = graph.Analyze();
+  ASSERT_EQ(CountRule(findings, "LN003"), 1);
+  const auto* d = FindRule(findings, "LN003");
+  EXPECT_EQ(d->severity, Severity::kInfo);
+  EXPECT_NE(d->message.find("4 shuffles"), std::string::npos) << d->message;
+}
+
+TEST(LineageGraphTest, Ln003SilentForShallowChains) {
+  SparkContext sc(SmallCluster());
+  auto rdd =
+      Parallelize(&sc, Pairs(40), 4).PartitionByKey(4).PartitionByKey(5);
+  auto graph = LineageGraph::Capture(rdd.node().get());
+  EXPECT_EQ(graph.MaxShuffleDepth(), 2);
+  EXPECT_EQ(CountRule(graph.Analyze(), "LN003"), 0);
+}
+
+// ----------------------------------------------------------------- DOT
+
+TEST(LineageGraphTest, DotExportShowsStructure) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Pairs(30), 4).Cache().PartitionByKey(4);
+  auto dot = LineageGraph::Capture(rdd.node().get()).ToDot();
+  EXPECT_NE(dot.find("digraph lineage"), std::string::npos);
+  EXPECT_NE(dot.find("Parallelize"), std::string::npos);
+  EXPECT_NE(dot.find("PartitionByKey"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);  // wide node
+  EXPECT_NE(dot.find("label=\"shuffle\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgrey"), std::string::npos);  // cached
+}
+
+TEST(LineageGraphTest, EmptyGraphAnalyzesClean) {
+  LineageGraph graph = LineageGraph::Capture(
+      std::vector<const RddNodeBase*>{});
+  EXPECT_TRUE(graph.nodes().empty());
+  EXPECT_TRUE(graph.Analyze().empty());
+  EXPECT_EQ(graph.ShuffleCount(), 0);
+  EXPECT_EQ(graph.MaxShuffleDepth(), 0);
+  EXPECT_NE(graph.ToDot().find("digraph lineage"), std::string::npos);
+}
+
+// ------------------------------------------------ transient retention
+
+TEST(TransientRetentionTest, ResultsMatchDefaultRetention) {
+  auto run = [](const ClusterConfig& cfg) {
+    SparkContext sc(cfg);
+    auto rdd = Parallelize(&sc, Pairs(50), 4)
+                   .ReduceByKey([](int a, int b) { return a + b; });
+    auto got = rdd.Collect();
+    std::sort(got.begin(), got.end());
+    return got;
+  };
+  EXPECT_EQ(run(SmallCluster()), run(TransientCluster()));
+}
+
+TEST(TransientRetentionTest, UncacheDropsRetainedPartitions) {
+  SparkContext sc(SmallCluster());
+  auto rdd = Parallelize(&sc, Ints(40), 4).Map([](const int& x) {
+    return x * 2;
+  });
+  EXPECT_EQ(rdd.Count(), 40u);
+  EXPECT_TRUE(rdd.node()->IsPartitionCached(0));
+  rdd.Uncache();
+  EXPECT_FALSE(rdd.node()->cached());
+  for (int p = 0; p < 4; ++p) EXPECT_FALSE(rdd.node()->IsPartitionCached(p));
+  // Lineage recomputes transparently — and caches again after re-enabling.
+  rdd.Cache();
+  EXPECT_EQ(rdd.Count(), 40u);
+  EXPECT_TRUE(rdd.node()->IsPartitionCached(0));
+}
+
+}  // namespace
+}  // namespace rdfspark::spark

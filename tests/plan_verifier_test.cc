@@ -352,6 +352,90 @@ TEST(PlanVerifierEnginesTest, DebugCheckModeExecutesAllShapes) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Dataflow-lint tiers over the full corpus (star/linear/snowflake/complex):
+// the query analyzer and the lineage analyzer must both be ERROR-free for
+// every engine variant, and their output must not depend on which context
+// ran the query.
+
+TEST(DataflowLintEnginesTest, QueryAnalyzerErrorFreeOverCorpus) {
+  for (const auto& factory : Factories()) {
+    SparkContext sc(SmallCluster());
+    auto engine = factory.make(&sc);
+    ASSERT_TRUE(engine->Load(Dataset()).ok()) << factory.name;
+    for (const auto& [shape, text] : rdf::LubmQueryMix()) {
+      auto findings = engine->AnalyzeQueryText(text);
+      ASSERT_TRUE(findings.ok())
+          << factory.name << "/" << rdf::QueryShapeName(shape);
+      EXPECT_FALSE(plan::HasError(*findings))
+          << factory.name << "/" << rdf::QueryShapeName(shape) << ":\n"
+          << plan::FormatDiagnostics(*findings);
+    }
+  }
+}
+
+TEST(DataflowLintEnginesTest, LineageAnalyzerErrorFreeOverCorpus) {
+  for (const auto& factory : Factories()) {
+    SparkContext sc(SmallCluster());
+    auto engine = factory.make(&sc);
+    ASSERT_TRUE(engine->Load(Dataset()).ok()) << factory.name;
+    for (const auto& [shape, text] : rdf::LubmQueryMix()) {
+      auto graph = engine->CaptureLineage(text);
+      ASSERT_TRUE(graph.ok())
+          << factory.name << "/" << rdf::QueryShapeName(shape) << ": "
+          << graph.status().ToString();
+      EXPECT_FALSE(plan::HasError(graph->Analyze()))
+          << factory.name << "/" << rdf::QueryShapeName(shape) << ":\n"
+          << plan::FormatDiagnostics(graph->Analyze());
+    }
+  }
+}
+
+TEST(DataflowLintEnginesTest, LineageCaptureDeterministicAcrossContexts) {
+  // Node ids are assigned on the driver during plan build/execution, so two
+  // fresh contexts running the same query produce byte-identical DOT — the
+  // determinism dataflow_lint's CI diff relies on.
+  const std::string text = rdf::LubmShapeQuery(rdf::QueryShape::kSnowflake);
+  auto capture = [&](int threads) {
+    ClusterConfig cfg = SmallCluster();
+    cfg.executor_threads = threads;
+    SparkContext sc(cfg);
+    SparqlgxEngine engine(&sc);
+    EXPECT_TRUE(engine.Load(Dataset()).ok());
+    auto graph = engine.CaptureLineage(text);
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    return graph->ToDot();
+  };
+  std::string serial = capture(0);
+  EXPECT_EQ(serial, capture(0));
+  EXPECT_EQ(serial, capture(3));
+}
+
+TEST(DataflowLintEnginesTest, QueryGateRejectsErrorQueriesBeforeExecution) {
+  SparkContext sc(SmallCluster());
+  S2rdfEngine engine(&sc);
+  ASSERT_TRUE(engine.Load(Dataset()).ok());
+  engine.set_debug_check_queries(true);
+
+  auto bad = sparql::ParseQuery(
+      "SELECT ?ghost WHERE { ?s <http://p> ?o }");
+  ASSERT_TRUE(bad.ok());
+  auto rejected = engine.Execute(*bad);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("QA001"), std::string::npos);
+
+  // WARN/INFO-level findings must not block execution.
+  auto good = sparql::ParseQuery(
+      rdf::LubmShapeQuery(rdf::QueryShape::kStar, 3));
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(engine.Execute(*good).ok());
+
+  // Gate off: the same query executes (the ghost column is simply unbound).
+  engine.set_debug_check_queries(false);
+  EXPECT_TRUE(engine.Execute(*bad).ok());
+}
+
 TEST(PlanVerifierEnginesTest, DebugCheckRejectsBrokenPlansBeforeExecution) {
   // VerifyForExecution is what EvaluateBgp consults in debug-check mode;
   // an ERROR-level finding must map to kInvalidArgument before any Spark

@@ -1,0 +1,345 @@
+#include "sparql/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sparql/parser.h"
+
+namespace rdfspark::sparql {
+namespace {
+
+using systems::plan::Diagnostic;
+using systems::plan::Severity;
+
+std::vector<Diagnostic> Analyze(const std::string& text,
+                                QueryAnalysisOptions options = {}) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString() << " for: " << text;
+  return AnalyzeQuery(*q, options);
+}
+
+int CountRule(const std::vector<Diagnostic>& ds, const std::string& rule) {
+  int n = 0;
+  for (const auto& d : ds) n += d.rule == rule;
+  return n;
+}
+
+const Diagnostic* FindRule(const std::vector<Diagnostic>& ds,
+                           const std::string& rule) {
+  for (const auto& d : ds) {
+    if (d.rule == rule) return &d;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------- QA001
+
+TEST(Qa001Test, ProjectedNeverBoundIsError) {
+  auto ds = Analyze("SELECT ?ghost WHERE { ?s <http://p> ?o }");
+  const auto* d = FindRule(ds, "QA001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->node_path, "select");
+  EXPECT_NE(d->message.find("?ghost"), std::string::npos);
+}
+
+TEST(Qa001Test, ProjectedBoundIsClean) {
+  auto ds = Analyze("SELECT ?s WHERE { ?s <http://p> ?o . "
+                    "?s <http://q> ?o }");
+  EXPECT_EQ(CountRule(ds, "QA001"), 0);
+}
+
+TEST(Qa001Test, SingleUseUnprojectedVarIsInfo) {
+  auto ds = Analyze("SELECT ?s WHERE { ?s <http://p> ?o }");
+  const auto* d = FindRule(ds, "QA001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kInfo);
+  EXPECT_EQ(d->node_path, "where");
+  EXPECT_NE(d->message.find("?o"), std::string::npos);
+}
+
+TEST(Qa001Test, SelectStarUsesEverything) {
+  // '*' projects every variable; nothing is dead and nothing is missing.
+  auto ds = Analyze("SELECT * WHERE { ?s <http://p> ?o }");
+  EXPECT_EQ(CountRule(ds, "QA001"), 0);
+}
+
+TEST(Qa001Test, FilterUseKeepsVariableAlive) {
+  auto ds = Analyze("SELECT ?s WHERE { ?s <http://age> ?a . "
+                    "FILTER (?a > 3) }");
+  EXPECT_EQ(CountRule(ds, "QA001"), 0);
+}
+
+TEST(Qa001Test, UnboundOrderKeyIsWarn) {
+  auto ds = Analyze("SELECT ?s WHERE { ?s <http://p> ?s } ORDER BY ?nope");
+  const auto* d = FindRule(ds, "QA001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_EQ(d->node_path, "order by");
+}
+
+TEST(Qa001Test, AggregateAliasIsAValidOrderKey) {
+  auto ds = Analyze(
+      "SELECT ?s (COUNT(?o) AS ?cnt) WHERE { ?s <http://p> ?o } "
+      "GROUP BY ?s ORDER BY ?cnt");
+  EXPECT_EQ(CountRule(ds, "QA001"), 0);
+}
+
+TEST(Qa001Test, UnboundGroupKeyIsError) {
+  auto ds = Analyze(
+      "SELECT (COUNT(?o) AS ?cnt) WHERE { ?s <http://p> ?o } "
+      "GROUP BY ?nothing");
+  const auto* d = FindRule(ds, "QA001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->node_path, "group by");
+}
+
+TEST(Qa001Test, ConstructTemplateVarNeverBoundIsError) {
+  auto ds = Analyze(
+      "CONSTRUCT { ?s <http://made> ?ghost } WHERE { ?s <http://p> ?o }");
+  bool found = false;
+  for (const auto& d : ds) {
+    if (d.rule == "QA001" && d.node_path == "construct") {
+      found = true;
+      EXPECT_EQ(d.severity, Severity::kError);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------- QA002
+
+TEST(Qa002Test, ContradictoryEqualitiesAreError) {
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://age> ?a . "
+      "FILTER (?a = 3 && ?a = 5) }");
+  const auto* d = FindRule(ds, "QA002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("unsatisfiable"), std::string::npos);
+}
+
+TEST(Qa002Test, EmptyNumericIntervalIsError) {
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://age> ?a . "
+      "FILTER (?a > 10) FILTER (?a < 5) }");
+  const auto* d = FindRule(ds, "QA002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(Qa002Test, FlippedOperandOrderStillDetected) {
+  // "5 > ?a" normalizes to "?a < 5", contradicting "?a > 10".
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://age> ?a . "
+      "FILTER (?a > 10 && 5 > ?a) }");
+  EXPECT_EQ(CountRule(ds, "QA002"), 1);
+}
+
+TEST(Qa002Test, SatisfiableRangeIsClean) {
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://age> ?a . "
+      "FILTER (?a > 3 && ?a < 9) }");
+  EXPECT_EQ(CountRule(ds, "QA002"), 0);
+}
+
+TEST(Qa002Test, TouchingClosedBoundsAreSatisfiable) {
+  // ?a >= 5 && ?a <= 5 admits exactly 5 — not a contradiction.
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://age> ?a . "
+      "FILTER (?a >= 5 && ?a <= 5) }");
+  EXPECT_EQ(CountRule(ds, "QA002"), 0);
+}
+
+TEST(Qa002Test, TouchingStrictBoundIsContradiction) {
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://age> ?a . "
+      "FILTER (?a > 5 && ?a <= 5) }");
+  EXPECT_EQ(CountRule(ds, "QA002"), 1);
+}
+
+TEST(Qa002Test, UnboundFilterVarAtTopLevelIsError) {
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://p> ?o . FILTER (?nope > 3) }");
+  const auto* d = FindRule(ds, "QA002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("?nope"), std::string::npos);
+}
+
+TEST(Qa002Test, UnboundFilterVarUnderOrIsWarn) {
+  // The error can be masked by the other disjunct, so only WARN.
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://age> ?a . "
+      "FILTER (?a > 3 || ?nope > 3) }");
+  const auto* d = FindRule(ds, "QA002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarn);
+}
+
+TEST(Qa002Test, BoundGuardIsNotAComparisonRef) {
+  // BOUND(?m) is defined for unbound variables — the idiomatic negation
+  // pattern must stay clean.
+  auto ds = Analyze(
+      "SELECT ?x WHERE { ?x <http://knows> ?y . "
+      "OPTIONAL { ?x <http://mail> ?m } FILTER (!BOUND(?m)) }");
+  EXPECT_EQ(CountRule(ds, "QA002"), 0);
+}
+
+TEST(Qa002Test, ContradictionInsideOptionalIsWarn) {
+  auto ds = Analyze(
+      "SELECT ?x WHERE { ?x <http://knows> ?y . "
+      "OPTIONAL { ?x <http://age> ?a . FILTER (?a = 3 && ?a = 5) } }");
+  const auto* d = FindRule(ds, "QA002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->node_path.find("optional"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- QA003
+
+TEST(Qa003Test, OptionalSharingOnlyWithSiblingOptionalIsWarn) {
+  // ?m is not bound by the mandatory part, but the second optional also
+  // uses it: the classic non-well-designed pattern.
+  auto ds = Analyze(
+      "SELECT ?x WHERE { ?x <http://knows> ?y . "
+      "OPTIONAL { ?x <http://mail> ?m } "
+      "OPTIONAL { ?y <http://mail> ?m } }");
+  EXPECT_EQ(CountRule(ds, "QA003"), 2);
+  const auto* d = FindRule(ds, "QA003");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->message.find("well-designed"), std::string::npos);
+}
+
+TEST(Qa003Test, OptionalOverMandatoryVarsIsClean) {
+  auto ds = Analyze(
+      "SELECT ?x WHERE { ?x <http://knows> ?y . "
+      "OPTIONAL { ?x <http://mail> ?m } }");
+  EXPECT_EQ(CountRule(ds, "QA003"), 0);
+}
+
+TEST(Qa003Test, NestedOptionalSeesAncestorBindings) {
+  // The inner optional's ?y is bound by the outer optional's BGP, which is
+  // part of its mandatory scope — well-designed.
+  auto ds = Analyze(
+      "SELECT ?x WHERE { ?x <http://knows> ?y . "
+      "OPTIONAL { ?y <http://dept> ?d . "
+      "OPTIONAL { ?d <http://head> ?h } } }");
+  EXPECT_EQ(CountRule(ds, "QA003"), 0);
+}
+
+// ---------------------------------------------------------------- QA004
+
+TEST(Qa004Test, DisconnectedPatternsAreWarn) {
+  auto ds = Analyze(
+      "SELECT ?a ?c WHERE { ?a <http://p> ?b . ?c <http://q> ?d }");
+  const auto* d = FindRule(ds, "QA004");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->message.find("cartesian"), std::string::npos);
+}
+
+TEST(Qa004Test, ChainedPatternsAreConnected) {
+  auto ds = Analyze(
+      "SELECT ?a WHERE { ?a <http://p> ?b . ?b <http://q> ?c . "
+      "?c <http://r> ?d }");
+  EXPECT_EQ(CountRule(ds, "QA004"), 0);
+}
+
+TEST(Qa004Test, ThreeComponentsReported) {
+  auto ds = Analyze(
+      "SELECT ?a ?b ?c WHERE { ?a <http://p> ?x . ?b <http://q> ?y . "
+      "?c <http://r> ?z }");
+  const auto* d = FindRule(ds, "QA004");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("3 groups"), std::string::npos);
+}
+
+TEST(Qa004Test, GroundPatternsFormTheirOwnComponent) {
+  // A fully ground pattern shares no variable with anything by definition.
+  auto ds = Analyze(
+      "SELECT ?a WHERE { ?a <http://p> ?b . "
+      "<http://s> <http://q> <http://o> }");
+  EXPECT_EQ(CountRule(ds, "QA004"), 1);
+}
+
+// ---------------------------------------------------------------- QA005
+
+TEST(Qa005Test, PredicateVariableFiresOnlyOnVpLayouts) {
+  const std::string text = "SELECT ?s ?p WHERE { ?s ?p <http://o> }";
+  QueryAnalysisOptions vp;
+  vp.vertical_partitioned = true;
+  auto on_vp = Analyze(text, vp);
+  const auto* d = FindRule(on_vp, "QA005");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->node_path.find("bgp[0]"), std::string::npos);
+
+  auto on_triples = Analyze(text);  // default layout: rule is silent
+  EXPECT_EQ(CountRule(on_triples, "QA005"), 0);
+}
+
+TEST(Qa005Test, BoundPredicatesAreCleanOnVp) {
+  QueryAnalysisOptions vp;
+  vp.vertical_partitioned = true;
+  auto ds = Analyze("SELECT ?s WHERE { ?s <http://p> ?o }", vp);
+  EXPECT_EQ(CountRule(ds, "QA005"), 0);
+}
+
+// ------------------------------------------------- corner cases & misc
+
+TEST(QueryAnalysisTest, CleanQueryHasNoFindings) {
+  auto ds = Analyze(
+      "SELECT ?x ?y WHERE { ?x <http://advisor> ?y . "
+      "?y <http://worksFor> ?x }");
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(QueryAnalysisTest, FindingsAreDeterministic) {
+  const std::string text =
+      "SELECT ?ghost WHERE { ?a <http://p> ?b . ?c <http://q> ?d . "
+      "FILTER (?e > 1) }";
+  auto first = Analyze(text);
+  auto second = Analyze(text);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].rule, second[i].rule);
+    EXPECT_EQ(first[i].node_path, second[i].node_path);
+    EXPECT_EQ(first[i].message, second[i].message);
+  }
+}
+
+TEST(QueryAnalysisTest, EmptyWhereClauseParsesAndAnalyzes) {
+  auto q = ParseQuery("ASK { }");
+  if (!q.ok()) return;  // parser may reject empty groups; both are fine
+  auto ds = AnalyzeQuery(*q, {});
+  for (const auto& d : ds) EXPECT_NE(d.severity, Severity::kError);
+}
+
+TEST(QueryAnalysisTest, DuplicateTriplePatternsStayConnected) {
+  // Duplicated patterns share all their variables; no QA004, and the
+  // variables are multi-use so no dead-variable INFO either.
+  auto ds = Analyze(
+      "SELECT ?s WHERE { ?s <http://p> ?o . ?s <http://p> ?o }");
+  EXPECT_EQ(CountRule(ds, "QA004"), 0);
+  EXPECT_EQ(CountRule(ds, "QA001"), 0);
+}
+
+TEST(QueryAnalysisTest, UnionBranchesAnalyzedIndependently) {
+  // The contradiction sits in one union branch: WARN, not ERROR, and the
+  // path names the branch.
+  auto ds = Analyze(
+      "SELECT ?x WHERE { { ?x <http://age> ?a . "
+      "FILTER (?a = 1 && ?a = 2) } UNION { ?x <http://name> ?n } }");
+  const auto* d = FindRule(ds, "QA002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarn);
+  EXPECT_NE(d->node_path.find("union"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdfspark::sparql

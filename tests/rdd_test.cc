@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <string>
+#include <thread>
 
 namespace rdfspark::spark {
 namespace {
@@ -459,6 +461,34 @@ TEST(LineageTest, EvictedPartitionRecomputesSameData) {
   EXPECT_FALSE(rdd.node()->IsPartitionCached(1));
   auto second = rdd.Collect();
   EXPECT_EQ(first, second);
+}
+
+TEST(LineageTest, UncacheRacingPooledActionIsSafe) {
+  // Uncache() flips the persist flag and drops retained partitions while
+  // pooled tasks may be mid-GetPartition; results must stay correct and
+  // the accesses race-free (this test runs under TSan in tier 1).
+  ClusterConfig cfg = SmallCluster();
+  cfg.executor_threads = 4;
+  SparkContext sc(cfg);
+  auto rdd = Parallelize(&sc, Ints(400), 8).Map([](const int& x) {
+    return x * 2;
+  });
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      rdd.Uncache();
+      rdd.Cache();
+    }
+  });
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(rdd.Count(), 400u);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  toggler.join();
+  rdd.Cache();
+  auto got = rdd.Collect();
+  ASSERT_EQ(got.size(), 400u);
+  EXPECT_EQ(got[7], 14);
 }
 
 TEST(LineageTest, EvictionAfterShuffleRecomputesFromBuckets) {

@@ -153,7 +153,7 @@ int main() {
   struct Detail {
     std::string engine;
     std::string shape;
-    systems::plan::Diagnostic diagnostic;
+    std::vector<systems::plan::Diagnostic> findings;
   };
   std::vector<Detail> details;
   bool any_error = false;
@@ -177,9 +177,9 @@ int main() {
         continue;
       }
       cells.push_back(Summarize(*findings));
-      for (const auto& d : *findings) {
-        any_error |= d.severity == systems::plan::Severity::kError;
-        details.push_back(Detail{factory.name, shape.label, d});
+      any_error |= systems::plan::HasError(*findings);
+      if (!findings->empty()) {
+        details.push_back(Detail{factory.name, shape.label, *findings});
       }
     }
     std::printf("%-22s %-14s %-14s %-14s\n", factory.name.c_str(),
@@ -189,8 +189,15 @@ int main() {
   if (!details.empty()) {
     std::printf("\nfindings:\n");
     for (const auto& d : details) {
-      std::printf("  %s / %s: %s\n", d.engine.c_str(), d.shape.c_str(),
-                  systems::plan::FormatDiagnostic(d.diagnostic).c_str());
+      // Shared severity-sorted rendering, one prefixed line per finding.
+      std::string rendered = systems::plan::RenderDiagnostics(d.findings);
+      size_t start = 0;
+      while (start < rendered.size()) {
+        size_t end = rendered.find('\n', start);
+        std::printf("  %s / %s: %s\n", d.engine.c_str(), d.shape.c_str(),
+                    rendered.substr(start, end - start).c_str());
+        start = end + 1;
+      }
     }
   }
   std::printf("\nrules: SC001/SC002 schema soundness, CP001 cartesian "
