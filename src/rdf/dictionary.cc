@@ -1,8 +1,13 @@
 #include "rdf/dictionary.h"
 
+#include <cassert>
+
 namespace rdfspark::rdf {
 
 TermId Dictionary::Encode(const Term& term) {
+  assert(!frozen() &&
+         "Dictionary::Encode on a frozen (serving) dictionary — query-time "
+         "paths must use the const Lookup/Decode API");
   std::string key = term.ToNTriples();
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;

@@ -1,6 +1,7 @@
 #ifndef RDFSPARK_RDF_DICTIONARY_H_
 #define RDFSPARK_RDF_DICTIONARY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -16,6 +17,16 @@ namespace rdfspark::rdf {
 /// integer side (HAQWA makes this an explicit design point: encoding string
 /// values to integers "minimizes data volume and makes processing more
 /// efficient").
+///
+/// Thread-safety contract: Encode mutates the tables and must stay on the
+/// single-threaded load path. Every query-time path (Lookup / Decode /
+/// DecodeString) is const and safe to call from any number of threads as
+/// long as no Encode runs concurrently. The serving layer enforces that
+/// split by calling Freeze() when a dataset goes live: a frozen dictionary
+/// asserts (debug builds) on any further Encode, so a query path that
+/// accidentally reaches the mutating API fails fast instead of racing.
+/// Unknown constants never need Encode at query time — they resolve to
+/// NotFound via Lookup, which pattern encoding turns into impossible=true.
 class Dictionary {
  public:
   Dictionary() = default;
@@ -24,10 +35,22 @@ class Dictionary {
   // deep copies.
   Dictionary(const Dictionary&) = delete;
   Dictionary& operator=(const Dictionary&) = delete;
-  Dictionary(Dictionary&&) = default;
-  Dictionary& operator=(Dictionary&&) = default;
+  Dictionary(Dictionary&& o) noexcept
+      : index_(std::move(o.index_)),
+        terms_(std::move(o.terms_)),
+        string_bytes_(o.string_bytes_),
+        frozen_(o.frozen_.load(std::memory_order_relaxed)) {}
+  Dictionary& operator=(Dictionary&& o) noexcept {
+    index_ = std::move(o.index_);
+    terms_ = std::move(o.terms_);
+    string_bytes_ = o.string_bytes_;
+    frozen_.store(o.frozen_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Returns the id for `term`, assigning a fresh one on first sight.
+  /// Must not be called on a frozen dictionary (asserted in debug builds).
   TermId Encode(const Term& term);
 
   /// Encodes a whole triple.
@@ -42,6 +65,13 @@ class Dictionary {
   /// Decodes to the canonical N-Triples string.
   Result<std::string> DecodeString(TermId id) const;
 
+  /// Marks the dictionary read-only: any later Encode is a programming
+  /// error (debug-asserted). Monotonic and thread-safe; const because it
+  /// narrows the allowed API without changing observable content — the
+  /// serving layer freezes the (const) dataset it is handed.
+  void Freeze() const { frozen_.store(true, std::memory_order_release); }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
   size_t size() const { return terms_.size(); }
 
   /// Total bytes of the string side (what encoding saves per record).
@@ -51,6 +81,7 @@ class Dictionary {
   std::unordered_map<std::string, TermId> index_;
   std::vector<Term> terms_;
   uint64_t string_bytes_ = 0;
+  mutable std::atomic<bool> frozen_{false};
 };
 
 }  // namespace rdfspark::rdf

@@ -1,0 +1,397 @@
+#include "serving/query_server.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "spark/tracing.h"
+#include "sparql/parser.h"
+#include "sparql/serialize.h"
+#include "systems/plan/diagnostics.h"
+
+namespace rdfspark::serving {
+
+namespace {
+
+bool EnvFlag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0';
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+QueryServer::Options::Options()
+    : verify_queries(EnvFlag("RDFSPARK_VERIFY_QUERIES")),
+      verify_plans(EnvFlag("RDFSPARK_VERIFY_PLANS")) {}
+
+const RequestResult& QueryServer::Ticket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+QueryServer::QueryServer(spark::SparkContext* sc, Options options)
+    : sc_(sc), options_(options), cache_(options.plan_cache_capacity) {
+  if (options_.worker_threads < 1) options_.worker_threads = 1;
+  for (const auto& factory : systems::AllEngineVariantFactories()) {
+    if (!options_.variants.empty()) {
+      bool wanted = false;
+      for (const auto& name : options_.variants) {
+        wanted |= name == factory.name;
+      }
+      if (!wanted) continue;
+    }
+    auto engine = factory.make(sc_);
+    // The server runs the admission gate itself (once per request, before
+    // the cache lookup), so the engines' internal per-Execute gate would
+    // only duplicate the analysis.
+    engine->set_debug_check_queries(false);
+    engine->set_debug_check_plans(options_.verify_plans);
+    engines_.emplace(factory.name, std::move(engine));
+  }
+  workers_.reserve(static_cast<size_t>(options_.worker_threads));
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  // Fail whatever was still queued, so no ticket waits forever.
+  std::vector<Request> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, tenant] : tenants_) {
+      while (!tenant->queue.empty()) {
+        orphans.push_back(std::move(tenant->queue.front()));
+        tenant->queue.pop_front();
+      }
+    }
+    queued_ = 0;
+  }
+  for (auto& request : orphans) {
+    RequestResult result;
+    result.status = Status::Unsupported("server shut down");
+    result.rejected = true;
+    Finish(request, std::move(result));
+  }
+}
+
+Status QueryServer::AttachDataset(const rdf::TripleStore& store) {
+  // Exclusive: wait out in-flight requests, block new ones while loading.
+  std::unique_lock<std::shared_mutex> dataset_lock(dataset_mu_);
+  // Query paths must never mutate the dictionary once tenants can reach
+  // it; a frozen dictionary turns any such bug into a debug assert instead
+  // of a data race (see rdf/dictionary.h).
+  store.dictionary().Freeze();
+  for (auto& [name, engine] : engines_) {
+    auto loaded = engine->Load(store);
+    if (!loaded.ok()) {
+      return Status::Internal(name + ": dataset load failed: " +
+                              loaded.status().ToString());
+    }
+  }
+  store_ = &store;
+  uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  cache_.InvalidateExcept(epoch);
+  return Status::OK();
+}
+
+int QueryServer::OpenSession(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.find(tenant) == tenants_.end()) {
+    tenants_.emplace(tenant, std::make_unique<TenantState>());
+    tenant_order_.push_back(tenant);
+  }
+  sessions_.push_back(SessionInfo{tenant});
+  return static_cast<int>(sessions_.size()) - 1;
+}
+
+std::shared_ptr<QueryServer::Ticket> QueryServer::Submit(
+    int session_id, const std::string& variant, std::string query_text) {
+  auto ticket = std::make_shared<Ticket>();
+  Request request;
+  request.ticket = ticket;
+  request.variant = variant;
+  request.text = std::move(query_text);
+  request.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session_id < 0 ||
+        static_cast<size_t>(session_id) >= sessions_.size()) {
+      RequestResult result;
+      result.status = Status::InvalidArgument(
+          "unknown session id " + std::to_string(session_id));
+      result.rejected = true;
+      std::lock_guard<std::mutex> ticket_lock(ticket->mu_);
+      ticket->result_ = std::move(result);
+      ticket->done_ = true;
+      ticket->cv_.notify_all();
+      return ticket;
+    }
+    request.session_id = session_id;
+    request.tenant = sessions_[static_cast<size_t>(session_id)].tenant;
+    request.sequence = next_sequence_++;
+    TenantState& tenant = *tenants_.at(request.tenant);
+    ++tenant.stats.submitted;
+    if (stopping_) {
+      RequestResult result;
+      result.status = Status::Unsupported("server shut down");
+      result.rejected = true;
+      std::lock_guard<std::mutex> ticket_lock(ticket->mu_);
+      ticket->result_ = std::move(result);
+      ticket->done_ = true;
+      ticket->cv_.notify_all();
+      return ticket;
+    }
+    tenant.queue.push_back(std::move(request));
+    ++queued_;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+RequestResult QueryServer::Execute(int session_id, const std::string& variant,
+                                   std::string query_text) {
+  return Submit(session_id, variant, std::move(query_text))->Wait();
+}
+
+std::vector<std::string> QueryServer::variant_names() const {
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const auto& [name, engine] : engines_) names.push_back(name);
+  return names;
+}
+
+std::vector<QueryServer::VariantInfo> QueryServer::variants() const {
+  std::vector<VariantInfo> out;
+  out.reserve(engines_.size());
+  for (const auto& [name, engine] : engines_) {
+    out.push_back(VariantInfo{name, engine->traits().fragment});
+  }
+  return out;
+}
+
+TenantStats QueryServer::tenant_stats(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return TenantStats{};
+  return it->second->stats;
+}
+
+std::vector<std::string> QueryServer::tenant_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tenant_order_;
+}
+
+void QueryServer::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+    if (stopping_) return;
+    // Fair dispatch: scan tenants round-robin from the cursor, take the
+    // head of the first non-empty queue, and advance the cursor past that
+    // tenant so a bursty tenant cannot monopolize the workers.
+    Request request;
+    bool found = false;
+    size_t n = tenant_order_.size();
+    for (size_t i = 0; i < n; ++i) {
+      size_t slot = (rr_next_ + i) % n;
+      TenantState& tenant = *tenants_.at(tenant_order_[slot]);
+      if (tenant.queue.empty()) continue;
+      request = std::move(tenant.queue.front());
+      tenant.queue.pop_front();
+      --queued_;
+      rr_next_ = (slot + 1) % n;
+      found = true;
+      break;
+    }
+    if (!found) continue;  // Raced another worker; re-wait.
+    lock.unlock();
+    RequestResult result;
+    {
+      // Shared with other workers; exclusive against AttachDataset.
+      std::shared_lock<std::shared_mutex> dataset_lock(dataset_mu_);
+      result = Process(request);
+    }
+    Finish(request, std::move(result));
+    lock.lock();
+  }
+}
+
+RequestResult QueryServer::Process(const Request& request) {
+  RequestResult result;
+  result.tenant = request.tenant;
+  result.variant = request.variant;
+  result.sequence = request.sequence;
+
+  auto engine_it = engines_.find(request.variant);
+  if (engine_it == engines_.end()) {
+    result.status = Status::InvalidArgument("unknown engine variant: " +
+                                            request.variant);
+    result.rejected = true;
+    return result;
+  }
+  systems::BgpEngineBase* engine = engine_it->second.get();
+  if (store_ == nullptr) {
+    result.status = Status::Internal("no dataset attached");
+    result.rejected = true;
+    return result;
+  }
+
+  auto parsed = sparql::ParseQuery(request.text);
+  if (!parsed.ok()) {
+    result.status = parsed.status();
+    result.rejected = true;
+    return result;
+  }
+  const sparql::Query& query = *parsed;
+
+  // Admission: Tier A analysis once per request, before any planning.
+  if (options_.verify_queries) {
+    std::vector<systems::plan::Diagnostic> errors =
+        systems::plan::ErrorsOnly(engine->AnalyzeParsedQuery(query));
+    if (!errors.empty()) {
+      result.status = Status::InvalidArgument(
+          "admission rejected:\n" +
+          systems::plan::FormatDiagnostics(errors));
+      result.rejected = true;
+      return result;
+    }
+  }
+
+  // Per-request operator scope: every charge made while this thread (and
+  // the pool tasks it spawns) executes the query is attributed to this
+  // request, which is what makes the per-tenant execution counters clean
+  // under concurrency.
+  auto op = std::make_shared<spark::OpStats>();
+  sparql::BindingTable table;
+  {
+    spark::OpScopeGuard scope(op);
+    uint64_t epoch = dataset_epoch();
+    std::shared_ptr<const systems::plan::PlanNode> plan;
+    bool cacheable = engine->ReusablePlans();
+    std::string normalized;
+    if (cacheable) {
+      normalized = sparql::ToSparql(query);
+      plan = cache_.Get(request.variant, normalized, epoch);
+    }
+    if (plan != nullptr) {
+      result.cache_hit = true;
+      auto executed = engine->ExecutePlanned(query, *plan);
+      if (!executed.ok()) {
+        result.status = executed.status();
+        return result;
+      }
+      table = std::move(executed).value();
+    } else if (cacheable) {
+      auto planned = engine->PlanQuery(query);
+      if (planned.ok()) {
+        std::shared_ptr<const systems::plan::PlanNode> fresh(
+            std::move(planned).value());
+        cache_.Put(request.variant, normalized, epoch, fresh);
+        auto executed = engine->ExecutePlanned(query, *fresh);
+        if (!executed.ok()) {
+          result.status = executed.status();
+          return result;
+        }
+        table = std::move(executed).value();
+      } else if (planned.status().code() == StatusCode::kUnsupported) {
+        // Outside the cacheable fragment (group patterns, aggregates):
+        // the ordinary Execute path handles it.
+        result.cache_bypass = true;
+        cache_.RecordBypass();
+        auto executed = engine->Execute(query);
+        if (!executed.ok()) {
+          result.status = executed.status();
+          return result;
+        }
+        table = std::move(executed).value();
+      } else {
+        // Planning itself failed (including plan-verifier rejections).
+        result.status = planned.status();
+        return result;
+      }
+    } else {
+      // Single-use-plan engine (S2X): never cache, execute directly.
+      result.cache_bypass = true;
+      cache_.RecordBypass();
+      auto executed = engine->Execute(query);
+      if (!executed.ok()) {
+        result.status = executed.status();
+        return result;
+      }
+      table = std::move(executed).value();
+    }
+  }
+
+  result.table = std::move(table);
+  result.status = Status::OK();
+
+  // Accumulate the request's operator-scope counters into its tenant.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TenantStats& stats = tenants_.at(request.tenant)->stats;
+    stats.records_processed += op->records_in.value();
+    stats.tasks += op->tasks.value();
+    stats.shuffle_records += op->shuffle_records.value();
+    stats.join_comparisons += op->join_comparisons.value();
+  }
+  return result;
+}
+
+void QueryServer::Finish(const Request& request, RequestResult result) {
+  result.latency_ms = ElapsedMs(request.enqueued);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(request.tenant);
+    if (it != tenants_.end()) {
+      TenantStats& stats = it->second->stats;
+      if (result.rejected) {
+        ++stats.rejected;
+      } else if (result.status.ok()) {
+        ++stats.completed;
+        stats.rows_returned += result.table.num_rows();
+      } else {
+        ++stats.failed;
+      }
+      if (result.cache_hit) ++stats.cache_hits;
+      if (result.cache_bypass) ++stats.cache_bypasses;
+      stats.latency_ns.Record(
+          static_cast<uint64_t>(result.latency_ms * 1e6));
+    }
+  }
+  // One span per served request on the driver lane, in the same stream as
+  // the job/stage/task spans the execution itself recorded.
+  if (sc_->tracer().enabled()) {
+    sc_->tracer().Record(
+        spark::SpanKind::kJob,
+        "serve " + request.tenant + "#" + std::to_string(request.sequence) +
+            " " + request.variant,
+        sc_->metrics().simulated_ms.nanos(), 0, /*lane=*/-1,
+        result.table.num_rows());
+  }
+  std::shared_ptr<Ticket> ticket = request.ticket;
+  {
+    std::lock_guard<std::mutex> ticket_lock(ticket->mu_);
+    ticket->result_ = std::move(result);
+    ticket->done_ = true;
+  }
+  ticket->cv_.notify_all();
+}
+
+}  // namespace rdfspark::serving

@@ -1,0 +1,222 @@
+#ifndef RDFSPARK_SERVING_QUERY_SERVER_H_
+#define RDFSPARK_SERVING_QUERY_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/store.h"
+#include "serving/plan_cache.h"
+#include "spark/context.h"
+#include "spark/metrics.h"
+#include "sparql/binding.h"
+#include "systems/engine.h"
+
+namespace rdfspark::serving {
+
+/// Outcome of one served request.
+struct RequestResult {
+  Status status;  ///< OK, or the parse/admission/execution error.
+  sparql::BindingTable table;
+  bool cache_hit = false;     ///< Executed a plan another request built.
+  bool cache_bypass = false;  ///< Ran outside the plan cache entirely.
+  bool rejected = false;      ///< Failed admission (never planned/executed).
+  double latency_ms = 0.0;    ///< Wall-clock queue + execution latency.
+  std::string tenant;
+  std::string variant;
+  uint64_t sequence = 0;  ///< Server-wide admission order of this request.
+};
+
+/// Per-tenant serving counters; snapshot taken under the server's stats
+/// lock, so the totals are mutually consistent.
+struct TenantStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;  ///< Finished OK (admission + execution).
+  uint64_t rejected = 0;   ///< Failed the admission gate or parse.
+  uint64_t failed = 0;     ///< Admitted but failed during execution.
+  uint64_t rows_returned = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_bypasses = 0;
+  // Execution-side counters, attributed per request through the operator
+  // scope mechanism (OpStats), so concurrent tenants do not contaminate
+  // each other the way the global Metrics totals do.
+  uint64_t records_processed = 0;
+  uint64_t tasks = 0;
+  uint64_t shuffle_records = 0;
+  uint64_t join_comparisons = 0;
+  spark::Histogram latency_ns;  ///< Wall-clock request latency.
+};
+
+/// Concurrent multi-tenant SPARQL front end over the reproduced engines.
+///
+/// One server owns one instance of each requested engine variant, all bound
+/// to the caller's SparkContext (one simulated cluster shared by every
+/// tenant, as a real Spark deployment would share its executors). Requests
+/// enter per-tenant FIFO queues; a pool of driver threads dispatches them
+/// round-robin across tenants, so one tenant's burst cannot starve the
+/// others — and underneath, the TaskScheduler interleaves the partition
+/// tasks of in-flight queries the same way (see spark/scheduler.h).
+///
+/// Request path: parse → admission (Tier A query analysis, ERROR findings
+/// reject before anything is planned) → plan-cache lookup keyed by
+/// (variant, normalized query, dataset epoch) → execute. Cacheable plans
+/// are verified once at insert (when verify_plans is on) and shared by
+/// concurrent executions; non-cacheable shapes and single-use-plan engines
+/// (S2X) fall through to the engine's ordinary Execute path.
+///
+/// AttachDataset freezes the dataset's dictionary (query paths are
+/// read-only from then on; see rdf/dictionary.h), loads every engine, and
+/// bumps the dataset epoch, which both re-keys and actively invalidates
+/// the plan cache — a reload can never serve a stale plan.
+///
+/// Determinism: the binding tables a query produces are bit-identical
+/// whether the server runs one worker or many (the scheduler's invariance
+/// property extended to the serving layer); only queue latency and the
+/// shared global Metrics depend on concurrency.
+class QueryServer {
+ public:
+  struct Options {
+    /// Engine variant names to serve (see AllEngineVariantFactories());
+    /// empty = all twelve.
+    std::vector<std::string> variants;
+    /// Driver threads executing requests. 1 = the serial reference server
+    /// the bit-identity tests compare against.
+    int worker_threads = 4;
+    size_t plan_cache_capacity = 256;
+    /// Admission gate: run Tier A query analysis per request and reject on
+    /// ERROR findings. Defaults to the RDFSPARK_VERIFY_QUERIES environment
+    /// variable (set and non-empty), like the engines' own gate — which
+    /// the server takes over, so analysis runs once per request, not twice.
+    bool verify_queries;
+    /// Verify cacheable plans before first execution (and every uncached
+    /// execution, via the engines' gate). Defaults to RDFSPARK_VERIFY_PLANS.
+    bool verify_plans;
+
+    Options();
+  };
+
+  /// Ticket for an in-flight request; Wait() blocks until it completes.
+  class Ticket {
+   public:
+    const RequestResult& Wait();
+
+   private:
+    friend class QueryServer;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool done_ = false;
+    RequestResult result_;
+  };
+
+  QueryServer(spark::SparkContext* sc, Options options = Options());
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Loads `store` into every engine, freezes its dictionary, bumps the
+  /// dataset epoch and invalidates the plan cache. Blocks until in-flight
+  /// requests drain; `store` must outlive the server. May be called again
+  /// to hot-swap the dataset.
+  Status AttachDataset(const rdf::TripleStore& store);
+
+  uint64_t dataset_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Opens a session for `tenant` (tenants are created on first use).
+  /// Returns the session id for Submit.
+  int OpenSession(const std::string& tenant);
+
+  /// Enqueues a request on the session's tenant queue. The ticket resolves
+  /// when a worker finishes the request.
+  std::shared_ptr<Ticket> Submit(int session_id, const std::string& variant,
+                                 std::string query_text);
+
+  /// Submit + Wait.
+  RequestResult Execute(int session_id, const std::string& variant,
+                        std::string query_text);
+
+  /// Names of the variants this server actually serves.
+  std::vector<std::string> variant_names() const;
+
+  /// Name plus supported SPARQL fragment of each served variant, so
+  /// clients (serve_bench) can build workloads every variant can answer.
+  struct VariantInfo {
+    std::string name;
+    systems::SparqlFragment fragment;
+  };
+  std::vector<VariantInfo> variants() const;
+
+  TenantStats tenant_stats(const std::string& tenant) const;
+  std::vector<std::string> tenant_names() const;
+  PlanCacheStats plan_cache_stats() const { return cache_.stats(); }
+
+  /// Stops accepting work and joins the workers (pending requests fail
+  /// with Unsupported("server shut down")). Idempotent; the destructor
+  /// calls it.
+  void Shutdown();
+
+ private:
+  struct Request {
+    int session_id = 0;
+    std::string tenant;
+    std::string variant;
+    std::string text;
+    uint64_t sequence = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    std::shared_ptr<Ticket> ticket;
+  };
+
+  struct TenantState {
+    TenantStats stats;
+    std::deque<Request> queue;
+  };
+
+  struct SessionInfo {
+    std::string tenant;
+  };
+
+  void WorkerLoop();
+  /// Runs the full request path on the calling worker thread.
+  RequestResult Process(const Request& request);
+  void Finish(const Request& request, RequestResult result);
+
+  spark::SparkContext* sc_;
+  Options options_;
+  PlanCache cache_;
+
+  /// Serving order of tenant queues (insertion order; stable round-robin).
+  std::vector<std::string> tenant_order_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+  std::vector<SessionInfo> sessions_;
+  size_t rr_next_ = 0;       ///< Round-robin cursor into tenant_order_.
+  uint64_t next_sequence_ = 0;
+  int queued_ = 0;           ///< Requests waiting in any tenant queue.
+  bool stopping_ = false;
+  mutable std::mutex mu_;    ///< Guards all queue/session/stats state.
+  std::condition_variable work_cv_;
+
+  /// Workers hold this shared while executing; AttachDataset takes it
+  /// exclusively so a reload never overlaps a running query.
+  std::shared_mutex dataset_mu_;
+  const rdf::TripleStore* store_ = nullptr;
+  std::atomic<uint64_t> epoch_{0};
+
+  std::map<std::string, std::unique_ptr<systems::BgpEngineBase>> engines_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rdfspark::serving
+
+#endif  // RDFSPARK_SERVING_QUERY_SERVER_H_

@@ -227,7 +227,9 @@ void SparkContext::RunParallel(int count,
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
-  if (!scheduler_) scheduler_ = std::make_unique<TaskScheduler>(threads);
+  std::call_once(scheduler_once_, [this, threads] {
+    scheduler_ = std::make_unique<TaskScheduler>(threads);
+  });
   Phase* phase = CurrentPhase();
   std::shared_ptr<OpStats> op = CurrentOpStats();
   scheduler_->ParallelFor(count, [this, phase, &op, &fn](int i) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -214,6 +215,10 @@ class SparkContext {
   std::atomic<int> next_node_id_{0};
 
   std::unique_ptr<Phase> root_phase_;
+  std::once_flag scheduler_once_;  ///< Guards the lazy pool creation:
+                                   ///< concurrent driver threads (the
+                                   ///< serving layer) may race to the
+                                   ///< first RunParallel.
   std::unique_ptr<TaskScheduler> scheduler_;  ///< Lazily created pool.
 };
 

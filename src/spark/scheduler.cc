@@ -1,5 +1,7 @@
 #include "spark/scheduler.h"
 
+#include <algorithm>
+
 namespace rdfspark::spark {
 
 namespace {
@@ -25,37 +27,50 @@ TaskScheduler::~TaskScheduler() {
   for (auto& t : threads_) t.join();
 }
 
-bool TaskScheduler::RunOneTask(std::unique_lock<std::mutex>& lock,
-                               uint64_t seq) {
-  if (batch_seq_ != seq || batch_fn_ == nullptr ||
-      next_index_ >= batch_count_) {
-    return false;
+TaskScheduler::Batch* TaskScheduler::NextBatchWithWork() {
+  if (batches_.empty()) return nullptr;
+  // Start the scan at the round-robin cursor so consecutive grabs rotate
+  // across batches: with B live batches, each gets every B-th task slot —
+  // a small query's partitions interleave with a big one's instead of
+  // queueing behind them.
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    size_t idx = (rr_next_ + i) % batches_.size();
+    if (batches_[idx]->next_index < batches_[idx]->count) {
+      rr_next_ = (idx + 1) % batches_.size();
+      return batches_[idx];
+    }
   }
-  int index = next_index_++;
-  const std::function<void(int)>* fn = batch_fn_;
+  return nullptr;
+}
+
+bool TaskScheduler::RunOneTaskOf(Batch* batch,
+                                 std::unique_lock<std::mutex>& lock) {
+  if (batch->next_index >= batch->count) return false;
+  int index = batch->next_index++;
+  --pending_tasks_;
+  const std::function<void(int)>* fn = batch->fn;
   lock.unlock();
   try {
     (*fn)(index);
   } catch (...) {
     lock.lock();
-    if (!first_error_) first_error_ = std::current_exception();
-    if (--unfinished_ == 0) done_cv_.notify_all();
+    if (!batch->first_error) batch->first_error = std::current_exception();
+    if (--batch->unfinished == 0) done_cv_.notify_all();
     return true;
   }
   lock.lock();
-  if (--unfinished_ == 0) done_cv_.notify_all();
+  if (--batch->unfinished == 0) done_cv_.notify_all();
   return true;
 }
 
 void TaskScheduler::WorkerLoop() {
   t_in_worker = true;
-  uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || batch_seq_ != seen; });
+    work_cv_.wait(lock, [&] { return stop_ || pending_tasks_ > 0; });
     if (stop_) return;
-    seen = batch_seq_;
-    while (RunOneTask(lock, seen)) {
+    while (Batch* batch = NextBatchWithWork()) {
+      RunOneTaskOf(batch, lock);
     }
   }
 }
@@ -63,32 +78,30 @@ void TaskScheduler::WorkerLoop() {
 void TaskScheduler::ParallelFor(int count,
                                 const std::function<void(int)>& fn) {
   if (count <= 0) return;
+  Batch batch;
+  batch.count = count;
+  batch.unfinished = count;
+  batch.fn = &fn;
   std::unique_lock<std::mutex> lock(mu_);
-  // One batch at a time; a second driver thread queues here until the
-  // current batch retires.
-  done_cv_.wait(lock, [&] { return batch_fn_ == nullptr; });
-  batch_fn_ = &fn;
-  batch_count_ = count;
-  next_index_ = 0;
-  unfinished_ = count;
-  uint64_t seq = ++batch_seq_;
+  batches_.push_back(&batch);
+  pending_tasks_ += count;
   work_cv_.notify_all();
-  // The caller works the batch too. While it does, it counts as a worker:
+  // The caller works its own batch. While it does, it counts as a worker:
   // a task it runs may itself hit a nested RunParallel (e.g. a lazily
   // materialized shuffle), and that nested call must run inline — waiting
-  // for this batch to retire would deadlock on the caller's own task.
+  // for this batch to retire would deadlock on the caller's own task. The
+  // caller stays on its own batch (it never steals another driver's
+  // tasks), so a request's latency is not inflated by co-tenant work.
   bool was_worker = t_in_worker;
   t_in_worker = true;
-  while (RunOneTask(lock, seq)) {
+  while (RunOneTaskOf(&batch, lock)) {
   }
   t_in_worker = was_worker;
-  done_cv_.wait(lock, [&] { return unfinished_ == 0; });
-  batch_fn_ = nullptr;
-  std::exception_ptr err = first_error_;
-  first_error_ = nullptr;
+  done_cv_.wait(lock, [&] { return batch.unfinished == 0; });
+  batches_.erase(std::find(batches_.begin(), batches_.end(), &batch));
+  if (rr_next_ >= batches_.size()) rr_next_ = 0;
+  std::exception_ptr err = batch.first_error;
   lock.unlock();
-  // Wake any driver thread queued on batch_fn_ == nullptr.
-  done_cv_.notify_all();
   if (err) std::rethrow_exception(err);
 }
 

@@ -18,10 +18,15 @@ namespace rdfspark::spark {
 /// wall-clock numbers track the simulated stage model instead of being the
 /// serial sum of all tasks.
 ///
-/// Scheduling model: one batch (parallel-for) at a time. Task indices are
-/// handed out under the pool mutex, so a worker can never run a task of a
-/// batch it did not observe; the closure runs outside the lock. The calling
-/// thread participates in the batch instead of idling.
+/// Scheduling model: any number of batches (parallel-fors) may be in
+/// flight at once — one per driver thread, which is how the serving layer
+/// runs many queries concurrently on one cluster. Task indices are handed
+/// out under the pool mutex; pool workers round-robin across the live
+/// batches so no in-flight query starves behind a long one (fair
+/// interleaving at partition-task granularity). The closure runs outside
+/// the lock. The calling thread participates in its own batch instead of
+/// idling, which keeps the latency of a small query bounded by its own
+/// work even when the pool is saturated by other batches.
 class TaskScheduler {
  public:
   explicit TaskScheduler(int num_threads);
@@ -31,9 +36,11 @@ class TaskScheduler {
   TaskScheduler& operator=(const TaskScheduler&) = delete;
 
   /// Runs fn(0), ..., fn(count - 1) across the pool and blocks until every
-  /// task finished. The first exception thrown by a task is rethrown here
-  /// after the batch drains. Must not be called from a pool worker thread
-  /// (callers detect that with InWorkerThread() and run inline instead).
+  /// task finished. The first exception thrown by one of this batch's
+  /// tasks is rethrown here after the batch drains; concurrent batches
+  /// fail independently. Safe to call from several driver threads at once.
+  /// Must not be called from a pool worker thread (callers detect that
+  /// with InWorkerThread() and run inline instead).
   void ParallelFor(int count, const std::function<void(int)>& fn);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
@@ -42,23 +49,33 @@ class TaskScheduler {
   static bool InWorkerThread();
 
  private:
+  /// One in-flight ParallelFor. Owned by the stack frame of the call;
+  /// registered in `batches_` only while tasks remain to hand out or run.
+  struct Batch {
+    int count = 0;
+    int next_index = 0;  ///< Next task to hand out.
+    int unfinished = 0;  ///< Tasks handed out or pending, not yet retired.
+    const std::function<void(int)>* fn = nullptr;
+    std::exception_ptr first_error;
+  };
+
   void WorkerLoop();
-  /// Hands out and runs one task of batch `seq`. Returns false when that
-  /// batch has no more tasks to grab. `lock` is held on entry and exit,
-  /// released while the task body runs.
-  bool RunOneTask(std::unique_lock<std::mutex>& lock, uint64_t seq);
+  /// Hands out and runs one task of `batch`. Returns false when the batch
+  /// has no task left to grab. `lock` is held on entry and exit, released
+  /// while the task body runs.
+  bool RunOneTaskOf(Batch* batch, std::unique_lock<std::mutex>& lock);
+  /// The next batch with tasks to hand out, rotating fairly across the
+  /// live batches; null when none has work. Called under the mutex.
+  Batch* NextBatchWithWork();
 
   std::mutex mu_;
-  std::condition_variable work_cv_;  ///< New batch published / shutdown.
-  std::condition_variable done_cv_;  ///< Batch fully drained.
+  std::condition_variable work_cv_;  ///< Tasks published / shutdown.
+  std::condition_variable done_cv_;  ///< Some batch fully drained.
 
-  // Batch state, all guarded by mu_.
-  uint64_t batch_seq_ = 0;
-  int batch_count_ = 0;
-  int next_index_ = 0;
-  int unfinished_ = 0;
-  const std::function<void(int)>* batch_fn_ = nullptr;
-  std::exception_ptr first_error_;
+  // All guarded by mu_.
+  std::vector<Batch*> batches_;  ///< Live batches, registration order.
+  size_t rr_next_ = 0;           ///< Round-robin cursor into batches_.
+  int pending_tasks_ = 0;        ///< Tasks not yet handed out, all batches.
   bool stop_ = false;
 
   std::vector<std::thread> threads_;

@@ -131,6 +131,42 @@ Result<std::string> BgpEngineBase::LintText(std::string_view text) {
   return plan::RenderDiagnostics(std::move(diags));
 }
 
+std::vector<plan::Diagnostic> BgpEngineBase::AnalyzeParsedQuery(
+    const sparql::Query& query) const {
+  return sparql::AnalyzeQuery(query, AnalysisOptions());
+}
+
+Result<plan::PlanPtr> BgpEngineBase::PlanQuery(const sparql::Query& query) {
+  if (query.form != sparql::QueryForm::kSelect &&
+      query.form != sparql::QueryForm::kAsk) {
+    return Status::Unsupported(
+        "only SELECT/ASK queries plan through PlanQuery");
+  }
+  if (!query.where.IsPlainBgp() || query.IsAggregate()) {
+    return Status::Unsupported(
+        "group patterns and aggregates evaluate recursively; no single "
+        "cacheable plan");
+  }
+  RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(query.where.bgp));
+  if (debug_check_plans_) {
+    Status verified = plan::VerifyForExecution(*root, VerifyProfile());
+    if (!verified.ok()) return verified;
+  }
+  return root;
+}
+
+Result<sparql::BindingTable> BgpEngineBase::ExecutePlanned(
+    const sparql::Query& query, const plan::PlanNode& root) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table,
+                            plan::PlanExecutor(sc_).Run(root));
+  if (query.form == sparql::QueryForm::kAsk) {
+    sparql::BindingTable out;
+    if (table.num_rows() > 0) out.AddRow({});
+    return out;
+  }
+  return ApplyModifiers(query, std::move(table), dictionary());
+}
+
 Result<plan::PlanPtr> BgpEngineBase::ExecuteAnalyzed(std::string_view text) {
   RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
   // Like EXPLAIN, the analyzed run covers the top-level basic graph
@@ -285,6 +321,49 @@ std::vector<std::unique_ptr<RdfQueryEngine>> MakeAllEngines(
   engines.push_back(std::make_unique<GraphFramesEngine>(sc));  // [4]
   engines.push_back(std::make_unique<SparkRdfEngine>(sc));    // [5]
   return engines;
+}
+
+std::vector<EngineVariantFactory> AllEngineVariantFactories() {
+  using spark::SparkContext;
+  std::vector<EngineVariantFactory> out;
+  out.push_back({"HAQWA", [](SparkContext* sc) {
+                   return std::make_unique<HaqwaEngine>(sc);
+                 }});
+  out.push_back({"SPARQLGX", [](SparkContext* sc) {
+                   return std::make_unique<SparqlgxEngine>(sc);
+                 }});
+  out.push_back({"S2RDF", [](SparkContext* sc) {
+                   return std::make_unique<S2rdfEngine>(sc);
+                 }});
+  for (auto mode :
+       {HybridMode::kSparkSqlNaive, HybridMode::kRddPartitioned,
+        HybridMode::kDataFrameAuto, HybridMode::kHybrid}) {
+    std::string name = std::string("Hybrid_") + HybridModeName(mode);
+    for (char& c : name) {
+      if (c == '-') c = '_';
+    }
+    out.push_back({name, [mode](SparkContext* sc) {
+                     HybridEngine::Options opts;
+                     opts.mode = mode;
+                     return std::make_unique<HybridEngine>(sc, opts);
+                   }});
+  }
+  out.push_back({"S2X", [](SparkContext* sc) {
+                   return std::make_unique<S2xEngine>(sc);
+                 }});
+  out.push_back({"GraphX_SM", [](SparkContext* sc) {
+                   return std::make_unique<GraphxSmEngine>(sc);
+                 }});
+  out.push_back({"Sparkql", [](SparkContext* sc) {
+                   return std::make_unique<SparkqlEngine>(sc);
+                 }});
+  out.push_back({"GraphFrames", [](SparkContext* sc) {
+                   return std::make_unique<GraphFramesEngine>(sc);
+                 }});
+  out.push_back({"SparkRDF", [](SparkContext* sc) {
+                   return std::make_unique<SparkRdfEngine>(sc);
+                 }});
+  return out;
 }
 
 }  // namespace rdfspark::systems

@@ -1,6 +1,7 @@
 #ifndef RDFSPARK_SYSTEMS_ENGINE_H_
 #define RDFSPARK_SYSTEMS_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -145,6 +146,34 @@ class BgpEngineBase : public RdfQueryEngine {
   Result<std::vector<plan::Diagnostic>> AnalyzeQueryText(
       std::string_view text);
 
+  /// Tier A analysis on an already-parsed query — what the admission gate
+  /// inside Execute runs. The serving layer calls this once per request
+  /// instead of re-parsing the text.
+  std::vector<plan::Diagnostic> AnalyzeParsedQuery(
+      const sparql::Query& query) const;
+
+  /// Pure planning entry point for the serving plan cache: plans the
+  /// query's basic graph pattern without executing anything. Only plain-BGP
+  /// non-aggregate SELECT/ASK queries are plannable this way (groups with
+  /// FILTER/OPTIONAL/UNION evaluate recursively and have no single
+  /// cacheable plan) — anything else returns Unsupported and the caller
+  /// falls through to Execute. When debug_check_plans() is on, the plan is
+  /// verified here, once, instead of on every cached execution.
+  Result<plan::PlanPtr> PlanQuery(const sparql::Query& query);
+
+  /// Executes a plan previously built by PlanQuery for `query`, then runs
+  /// the driver-side tail exactly like Execute (ASK collapse, solution
+  /// modifiers). With ReusablePlans() true the same plan may be executed
+  /// repeatedly and from concurrent threads: execution reads the plan tree
+  /// and charges metrics but never mutates the nodes.
+  Result<sparql::BindingTable> ExecutePlanned(const sparql::Query& query,
+                                              const plan::PlanNode& root);
+
+  /// Whether plans built by PlanQuery survive execution and may be re-run
+  /// (the plan-cache contract). S2X overrides to false: its plans consume
+  /// shared match state on first execution.
+  virtual bool ReusablePlans() const { return true; }
+
   /// Tier B of the dataflow lint: plans and *executes* `text`'s basic
   /// graph pattern with actuals collection, then snapshots the RDD lineage
   /// DAG the run built. Engines whose payloads are not RDD-backed
@@ -214,6 +243,19 @@ class BgpEngineBase : public RdfQueryEngine {
 /// Callers own the engines; each needs Load() before use.
 std::vector<std::unique_ptr<RdfQueryEngine>> MakeAllEngines(
     spark::SparkContext* sc);
+
+/// One constructible engine variant: the nine Table II systems with the
+/// Hybrid engine expanded into its four studied modes — the 12 columns the
+/// whole-matrix tools (plan_lint, dataflow_lint, query_profile) and the
+/// serving layer all iterate over. Names are identifier-safe ('-' in
+/// Hybrid mode names becomes '_').
+struct EngineVariantFactory {
+  std::string name;
+  std::function<std::unique_ptr<BgpEngineBase>(spark::SparkContext*)> make;
+};
+
+/// The canonical 12-variant list, in Table II row order.
+std::vector<EngineVariantFactory> AllEngineVariantFactories();
 
 /// Runs a CONSTRUCT query through `engine` (distributed pattern matching,
 /// driver-side template instantiation against `store`'s dictionary).

@@ -64,6 +64,10 @@ Result<LoadStats> HaqwaEngine::Load(const rdf::TripleStore& store) {
   // (?x pA ?y)(?y pB ?z) in a frequent query, replicate the pB triples to
   // the partition of the pA subject that reaches them.
   replicated_triples_ = 0;
+  // Replicas are guarded by contains() below, so a reload must clear them
+  // or the second Load keeps replicas built from the previous store.
+  replicas_.clear();
+  object_replicas_.clear();
   std::vector<std::pair<rdf::TermId, rdf::TermId>> links;
   for (const auto& text : options_.frequent_queries) {
     auto query = sparql::ParseQuery(text);

@@ -42,6 +42,10 @@ Result<LoadStats> S2rdfEngine::Load(const rdf::TripleStore& store) {
   auto start = std::chrono::steady_clock::now();
   store_ = &store;
   session_ = std::make_unique<sql::SqlSession>(sc_);
+  // The session catalog above is rebuilt from scratch, so the row-count
+  // shadow map must be too — stale ExtVP entries would otherwise make the
+  // planner pick tables the fresh catalog doesn't have.
+  table_rows_.clear();
   int n = options_.num_partitions > 0 ? options_.num_partitions
                                       : sc_->config().default_parallelism;
 

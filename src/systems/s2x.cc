@@ -158,11 +158,11 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
             if (ov) cand[*ov].insert(o);
           }
         }
-        last_iterations_ = 0;
+        int iterations = 0;
         bool changed = true;
-        while (changed && last_iterations_ < options_.max_iterations) {
+        while (changed && iterations < options_.max_iterations) {
           changed = false;
-          ++last_iterations_;
+          ++iterations;
           sc_->RecordSuperstep();
           // Filter matches by current candidates; rebuild candidate sets.
           std::unordered_map<std::string, std::unordered_set<rdf::TermId>>
@@ -210,6 +210,7 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
           }
           cand = std::move(next);
         }
+        last_iterations_.store(iterations, std::memory_order_relaxed);
       });
 
   auto pattern_est = [this](const sparql::TriplePattern& tp) -> uint64_t {

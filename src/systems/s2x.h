@@ -1,6 +1,7 @@
 #ifndef RDFSPARK_SYSTEMS_S2X_H_
 #define RDFSPARK_SYSTEMS_S2X_H_
 
+#include <atomic>
 #include <vector>
 
 #include "spark/graphx/graph.h"
@@ -34,8 +35,17 @@ class S2xEngine : public BgpEngineBase {
   const EngineTraits& traits() const override { return traits_; }
   Result<LoadStats> Load(const rdf::TripleStore& store) override;
 
-  /// Validation rounds of the last BGP evaluation.
-  int last_iterations() const { return last_iterations_; }
+  /// Validation rounds of the last BGP evaluation. With concurrent
+  /// queries on one engine this reports whichever evaluation wrote last.
+  int last_iterations() const {
+    return last_iterations_.load(std::memory_order_relaxed);
+  }
+
+  /// S2X plans defer the whole-BGP matching fixpoint into a shared
+  /// MatchState that the first executed scan fills and the assembly joins
+  /// consume (match rows are moved out) — a plan is good for exactly one
+  /// execution, so the serving plan cache must not reuse it.
+  bool ReusablePlans() const override { return false; }
 
  protected:
   Result<plan::PlanPtr> PlanBgp(
@@ -50,7 +60,10 @@ class S2xEngine : public BgpEngineBase {
   const rdf::TripleStore* store_ = nullptr;
   rdf::DatasetStatistics stats_;
   spark::graphx::Graph<rdf::TermId, rdf::TermId> graph_;
-  int last_iterations_ = 0;
+  /// Written by the matching fixpoint inside plan execution; atomic so
+  /// concurrent queries on one shared engine (the serving layer) do not
+  /// race the counter.
+  std::atomic<int> last_iterations_{0};
 };
 
 }  // namespace rdfspark::systems

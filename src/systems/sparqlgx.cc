@@ -35,7 +35,11 @@ Result<LoadStats> SparqlgxEngine::Load(const rdf::TripleStore& store) {
                         ? options_.num_partitions
                         : sc_->config().default_parallelism;
 
-  // Vertical partitioning: one (s, o) dataset per predicate.
+  // Vertical partitioning: one (s, o) dataset per predicate. A reload
+  // (dataset hot-swap) must drop every previous predicate dataset:
+  // emplace below is a no-op for surviving keys, and predicates absent
+  // from the new store would otherwise keep serving the old triples.
+  vp_.clear();
   std::unordered_map<rdf::TermId, std::vector<SoPair>> buckets;
   for (const auto& t : store.triples()) {
     buckets[t.p].emplace_back(t.s, t.o);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -70,6 +71,72 @@ TEST(TaskSchedulerTest, TasksSeeWorkerFlag) {
   EXPECT_EQ(flagged.load(), 16);
   // The caller's flag is restored once the batch retires.
   EXPECT_FALSE(TaskScheduler::InWorkerThread());
+}
+
+TEST(TaskSchedulerTest, ConcurrentBatchesRunEveryTaskOnce) {
+  // Several driver threads (the serving layer's workers) share one pool;
+  // the multi-batch scheduler must run every task of every batch exactly
+  // once, whatever the interleaving.
+  TaskScheduler pool(4);
+  constexpr int kDrivers = 8;
+  constexpr int kCount = 200;
+  std::vector<std::atomic<int>> hits(kDrivers * kCount);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&, d] {
+      pool.ParallelFor(kCount, [&, d](int i) {
+        ++hits[static_cast<size_t>(d * kCount + i)];
+      });
+    });
+  }
+  for (auto& t : drivers) t.join();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(TaskSchedulerTest, ExceptionIsolatedToItsOwnBatch) {
+  // A throwing batch must not poison batches submitted by other drivers.
+  TaskScheduler pool(4);
+  std::atomic<int> good{0};
+  std::thread bad([&] {
+    EXPECT_THROW(pool.ParallelFor(64,
+                                  [&](int i) {
+                                    if (i == 13) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                  }),
+                 std::runtime_error);
+  });
+  std::thread fine([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(32, [&](int) { ++good; });
+    }
+  });
+  bad.join();
+  fine.join();
+  EXPECT_EQ(good.load(), 640);
+}
+
+TEST(RunParallelTest, ConcurrentDriversShareOneLazyPool) {
+  // Concurrent first-use of RunParallel races the lazy scheduler creation;
+  // the once-guard must yield exactly one pool and lose no tasks.
+  ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.executor_threads = 4;
+  SparkContext sc(cfg);
+  std::atomic<int> total{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 6; ++d) {
+    drivers.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        sc.RunParallel(25, [&](int) { ++total; });
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(total.load(), 6 * 10 * 25);
 }
 
 TEST(RunParallelTest, NestedCallsRunInline) {

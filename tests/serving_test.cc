@@ -1,0 +1,395 @@
+// Serving-layer tests: the concurrent multi-tenant QueryServer must produce
+// binding tables bit-identical to the serial reference server for every
+// engine variant and query shape, account plan-cache hits/misses/bypasses
+// exactly, reject inadmissible queries before planning, and never serve a
+// stale plan across a dataset reload. The concurrent cases double as the
+// TSan targets for the serving path (see scripts/tier1.sh).
+
+#include "serving/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "spark/context.h"
+#include "systems/engine.h"
+
+namespace rdfspark::serving {
+namespace {
+
+/// One small LUBM university — large enough that every query shape has
+/// rows, small enough that 12 engines load it quickly.
+rdf::TripleStore SmallLubm(uint64_t seed = 42, int departments = 3) {
+  rdf::LubmConfig cfg;
+  cfg.num_universities = 1;
+  cfg.departments_per_university = departments;
+  cfg.professors_per_department = 4;
+  cfg.students_per_department = 20;
+  cfg.courses_per_department = 5;
+  cfg.seed = seed;
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(cfg));
+  store.Dedupe();
+  return store;
+}
+
+QueryServer::Options QuietOptions(int workers) {
+  QueryServer::Options options;
+  options.worker_threads = workers;
+  // The admission/verification gates are covered by their own tests; keep
+  // the result-identity tests independent of the environment.
+  options.verify_queries = false;
+  options.verify_plans = false;
+  return options;
+}
+
+/// Order-insensitive canonical outcome of one request.
+struct Outcome {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  std::vector<std::map<std::string, std::string>> rows;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+Outcome Canon(const RequestResult& result, const rdf::Dictionary& dict) {
+  Outcome out;
+  out.ok = result.status.ok();
+  out.code = result.status.code();
+  if (out.ok) {
+    out.rows = result.table.Decode(dict);
+    std::sort(out.rows.begin(), out.rows.end());
+  }
+  return out;
+}
+
+TEST(QueryServerTest, ConcurrentResultsMatchSerialReference) {
+  rdf::TripleStore store = SmallLubm();
+  std::vector<std::pair<rdf::QueryShape, std::string>> mix =
+      rdf::LubmQueryMix();
+
+  // Serial reference: a one-worker server over its own cluster.
+  spark::SparkContext serial_sc;
+  QueryServer serial(&serial_sc, QuietOptions(1));
+  ASSERT_TRUE(serial.AttachDataset(store).ok());
+  int ref_session = serial.OpenSession("ref");
+  std::map<std::pair<std::string, std::string>, Outcome> reference;
+  for (const auto& variant : serial.variant_names()) {
+    for (const auto& [shape, text] : mix) {
+      reference[{variant, text}] =
+          Canon(serial.Execute(ref_session, variant, text),
+                store.dictionary());
+    }
+  }
+  // The mix must contain shapes every variant answers (engines whose
+  // fragment excludes FILTER return Unsupported for the complex shape;
+  // both servers must agree on that too).
+  size_t ok_count = 0;
+  for (const auto& [key, outcome] : reference) ok_count += outcome.ok;
+  ASSERT_GT(ok_count, reference.size() / 2);
+
+  // Concurrent server: 8 workers, 4 tenants, every tenant submits the
+  // whole variant x shape matrix at once.
+  spark::SparkContext sc;
+  QueryServer server(&sc, QuietOptions(8));
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  constexpr int kTenants = 4;
+  std::vector<int> sessions;
+  for (int t = 0; t < kTenants; ++t) {
+    sessions.push_back(server.OpenSession("tenant" + std::to_string(t)));
+  }
+  struct Pending {
+    std::string variant;
+    std::string text;
+    std::shared_ptr<QueryServer::Ticket> ticket;
+  };
+  std::vector<Pending> pending;
+  for (int t = 0; t < kTenants; ++t) {
+    for (const auto& variant : server.variant_names()) {
+      for (const auto& [shape, text] : mix) {
+        pending.push_back(
+            {variant, text,
+             server.Submit(sessions[static_cast<size_t>(t)], variant, text)});
+      }
+    }
+  }
+  for (auto& p : pending) {
+    Outcome got = Canon(p.ticket->Wait(), store.dictionary());
+    const Outcome& want = reference.at({p.variant, p.text});
+    EXPECT_EQ(got, want) << p.variant << " diverged from the serial "
+                         << "reference on: " << p.text;
+  }
+
+  // Every tenant's ledger adds up.
+  for (int t = 0; t < kTenants; ++t) {
+    TenantStats stats = server.tenant_stats("tenant" + std::to_string(t));
+    EXPECT_EQ(stats.submitted,
+              server.variant_names().size() * mix.size());
+    EXPECT_EQ(stats.submitted,
+              stats.completed + stats.rejected + stats.failed);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.latency_ns.count(), stats.submitted);
+  }
+}
+
+TEST(QueryServerTest, PlanCacheHitMissAccounting) {
+  rdf::TripleStore store = SmallLubm();
+  spark::SparkContext sc;
+  QueryServer server(&sc, QuietOptions(2));
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  int session = server.OpenSession("acct");
+  std::string query = rdf::LubmShapeQuery(rdf::QueryShape::kStar, 3);
+
+  RequestResult first = server.Execute(session, "SPARQLGX", query);
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_FALSE(first.cache_hit);
+  PlanCacheStats stats = server.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  RequestResult second = server.Execute(session, "SPARQLGX", query);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+
+  // Text that differs only in layout normalizes onto the same entry.
+  std::string spaced;
+  for (char c : query) {
+    spaced += c;
+    if (c == ' ') spaced += ' ';
+  }
+  RequestResult third = server.Execute(session, "SPARQLGX", spaced);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_TRUE(third.cache_hit);
+
+  stats = server.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // A different variant plans its own entry: the key includes the engine.
+  RequestResult other = server.Execute(session, "HAQWA", query);
+  ASSERT_TRUE(other.status.ok());
+  EXPECT_FALSE(other.cache_hit);
+  stats = server.plan_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+
+  // Cached and uncached executions return identical tables.
+  EXPECT_EQ(Canon(first, store.dictionary()),
+            Canon(second, store.dictionary()));
+  EXPECT_EQ(Canon(first, store.dictionary()),
+            Canon(third, store.dictionary()));
+
+  TenantStats tenant = server.tenant_stats("acct");
+  EXPECT_EQ(tenant.cache_hits, 2u);
+}
+
+TEST(QueryServerTest, ReloadNeverServesStalePlan) {
+  // The second dataset is structurally different (fewer departments), so
+  // the star query provably has a different answer set — LUBM's entity
+  // layout is deterministic and a seed change alone would not move it.
+  rdf::TripleStore first = SmallLubm(/*seed=*/42, /*departments=*/3);
+  rdf::TripleStore second = SmallLubm(/*seed=*/7, /*departments=*/2);
+  std::string query = rdf::LubmShapeQuery(rdf::QueryShape::kStar, 3);
+
+  spark::SparkContext sc;
+  QueryServer server(&sc, QuietOptions(2));
+  ASSERT_TRUE(server.AttachDataset(first).ok());
+  uint64_t epoch_before = server.dataset_epoch();
+  int session = server.OpenSession("reload");
+
+  // Warm the cache against the first dataset.
+  RequestResult warm = server.Execute(session, "SPARQLGX", query);
+  ASSERT_TRUE(warm.status.ok());
+  ASSERT_TRUE(server.Execute(session, "SPARQLGX", query).cache_hit);
+
+  // Hot-swap the dataset: epoch bumps, cached plans die.
+  ASSERT_TRUE(server.AttachDataset(second).ok());
+  EXPECT_EQ(server.dataset_epoch(), epoch_before + 1);
+  PlanCacheStats stats = server.plan_cache_stats();
+  EXPECT_GE(stats.invalidations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+
+  // The same text re-plans against the new dataset...
+  RequestResult fresh = server.Execute(session, "SPARQLGX", query);
+  ASSERT_TRUE(fresh.status.ok());
+  EXPECT_FALSE(fresh.cache_hit);
+
+  // ...and its rows match an engine loaded with the new dataset only —
+  // the regression a stale plan (old dictionary ids) would break.
+  spark::SparkContext ref_sc;
+  std::unique_ptr<systems::BgpEngineBase> ref;
+  for (auto& factory : systems::AllEngineVariantFactories()) {
+    if (factory.name == "SPARQLGX") ref = factory.make(&ref_sc);
+  }
+  ASSERT_NE(ref, nullptr);
+  ASSERT_TRUE(ref->Load(second).ok());
+  auto expected = ref->ExecuteText(query);
+  ASSERT_TRUE(expected.ok());
+  auto expected_rows = expected->Decode(second.dictionary());
+  std::sort(expected_rows.begin(), expected_rows.end());
+  EXPECT_EQ(Canon(fresh, second.dictionary()).rows, expected_rows);
+  // And differ from the first dataset's answer (different seed, different
+  // individuals), so the comparison above is not vacuous.
+  EXPECT_NE(Canon(fresh, second.dictionary()).rows,
+            Canon(warm, first.dictionary()).rows);
+}
+
+TEST(QueryServerTest, AdmissionRejectsBeforePlanning) {
+  rdf::TripleStore store = SmallLubm();
+  spark::SparkContext sc;
+  QueryServer::Options options = QuietOptions(2);
+  options.verify_queries = true;  // The admission gate under test.
+  QueryServer server(&sc, options);
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  int session = server.OpenSession("gate");
+
+  // QA001: projected variable that no pattern binds — ERROR, rejected.
+  RequestResult bad =
+      server.Execute(session, "HAQWA", "SELECT ?x WHERE { ?s ?p ?o }");
+  EXPECT_FALSE(bad.status.ok());
+  EXPECT_TRUE(bad.rejected);
+  EXPECT_EQ(bad.status.code(), StatusCode::kInvalidArgument);
+
+  // Unparseable text is rejected too (never reaches an engine).
+  RequestResult garbage = server.Execute(session, "HAQWA", "NOT SPARQL AT");
+  EXPECT_FALSE(garbage.status.ok());
+  EXPECT_TRUE(garbage.rejected);
+
+  // Admissible queries still flow.
+  RequestResult good = server.Execute(
+      session, "HAQWA", rdf::LubmShapeQuery(rdf::QueryShape::kStar, 3));
+  EXPECT_TRUE(good.status.ok()) << good.status.ToString();
+
+  TenantStats stats = server.tenant_stats("gate");
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.completed, 1u);
+  // Rejected requests never planned anything: no cache traffic for them.
+  PlanCacheStats cache = server.plan_cache_stats();
+  EXPECT_EQ(cache.hits + cache.misses + cache.bypasses, 1u);
+}
+
+TEST(QueryServerTest, UnknownVariantAndSessionAreRejected) {
+  rdf::TripleStore store = SmallLubm();
+  spark::SparkContext sc;
+  QueryServer server(&sc, QuietOptions(1));
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  int session = server.OpenSession("edge");
+
+  RequestResult no_engine =
+      server.Execute(session, "NoSuchEngine", "SELECT ?s WHERE { ?s ?p ?o }");
+  EXPECT_FALSE(no_engine.status.ok());
+  EXPECT_TRUE(no_engine.rejected);
+
+  RequestResult no_session =
+      server.Execute(999, "HAQWA", "SELECT ?s WHERE { ?s ?p ?o }");
+  EXPECT_FALSE(no_session.status.ok());
+  EXPECT_EQ(no_session.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServerTest, FrozenDictionaryServesUnknownConstantsConcurrently) {
+  rdf::TripleStore store = SmallLubm();
+  spark::SparkContext sc;
+  QueryServer server(&sc, QuietOptions(8));
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  // AttachDataset froze the dictionary: query paths are read-only now.
+  EXPECT_TRUE(store.dictionary().frozen());
+  size_t terms_before = store.dictionary().size();
+
+  // A constant no dataset term matches must resolve to the empty table —
+  // via const Lookup, never via Encode — on every variant, concurrently.
+  std::string unknown =
+      "SELECT ?s WHERE { ?s <http://example.org/noSuchPredicate> ?o }";
+  constexpr int kTenants = 4;
+  std::vector<std::shared_ptr<QueryServer::Ticket>> tickets;
+  for (int t = 0; t < kTenants; ++t) {
+    int session = server.OpenSession("frozen" + std::to_string(t));
+    for (const auto& variant : server.variant_names()) {
+      tickets.push_back(server.Submit(session, variant, unknown));
+    }
+  }
+  for (auto& ticket : tickets) {
+    const RequestResult& result = ticket->Wait();
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_EQ(result.table.num_rows(), 0u);
+  }
+  // No query-time path grew the dictionary.
+  EXPECT_EQ(store.dictionary().size(), terms_before);
+}
+
+TEST(QueryServerTest, S2xPlansBypassTheCache) {
+  rdf::TripleStore store = SmallLubm();
+  spark::SparkContext sc;
+  QueryServer::Options options = QuietOptions(2);
+  options.variants = {"S2X"};
+  QueryServer server(&sc, options);
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  ASSERT_EQ(server.variant_names(), std::vector<std::string>{"S2X"});
+  int session = server.OpenSession("s2x");
+  std::string query = rdf::LubmShapeQuery(rdf::QueryShape::kStar, 3);
+
+  // S2X plans are single-use (the matching fixpoint's state is consumed by
+  // the first execution), so every request must bypass — and still return
+  // the same rows each time.
+  Outcome first;
+  for (int i = 0; i < 3; ++i) {
+    RequestResult result = server.Execute(session, "S2X", query);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_FALSE(result.cache_hit);
+    EXPECT_TRUE(result.cache_bypass);
+    Outcome outcome = Canon(result, store.dictionary());
+    if (i == 0) {
+      first = outcome;
+      EXPECT_FALSE(first.rows.empty());
+    } else {
+      EXPECT_EQ(outcome, first);
+    }
+  }
+  PlanCacheStats stats = server.plan_cache_stats();
+  EXPECT_EQ(stats.bypasses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(PlanCacheTest, LruEvictionAtCapacity) {
+  PlanCache cache(/*capacity=*/2);
+  auto plan = [] {
+    return std::shared_ptr<const systems::plan::PlanNode>(
+        new systems::plan::PlanNode());
+  };
+  cache.Put("e", "q1", 1, plan());
+  cache.Put("e", "q2", 1, plan());
+  EXPECT_NE(cache.Get("e", "q1", 1), nullptr);  // q1 now most recent.
+  cache.Put("e", "q3", 1, plan());              // Evicts q2.
+  EXPECT_EQ(cache.Get("e", "q2", 1), nullptr);
+  EXPECT_NE(cache.Get("e", "q1", 1), nullptr);
+  EXPECT_NE(cache.Get("e", "q3", 1), nullptr);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(PlanCacheTest, EpochIsPartOfTheKey) {
+  PlanCache cache(8);
+  auto plan = std::shared_ptr<const systems::plan::PlanNode>(
+      new systems::plan::PlanNode());
+  cache.Put("e", "q", 1, plan);
+  EXPECT_NE(cache.Get("e", "q", 1), nullptr);
+  EXPECT_EQ(cache.Get("e", "q", 2), nullptr);  // New epoch never matches.
+  cache.InvalidateExcept(2);
+  EXPECT_EQ(cache.Get("e", "q", 1), nullptr);  // Old entry is gone too.
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+}  // namespace
+}  // namespace rdfspark::serving

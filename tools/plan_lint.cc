@@ -13,9 +13,7 @@
 // exit 0), so the tool doubles as a CI gate over the planners.
 
 #include <cstdio>
-#include <functional>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,16 +21,7 @@
 #include "rdf/store.h"
 #include "spark/context.h"
 #include "systems/engine.h"
-#include "systems/graphframes_engine.h"
-#include "systems/graphx_sm.h"
-#include "systems/haqwa.h"
-#include "systems/hybrid.h"
 #include "systems/plan/diagnostics.h"
-#include "systems/s2rdf.h"
-#include "systems/s2x.h"
-#include "systems/sparkql.h"
-#include "systems/sparkrdf.h"
-#include "systems/sparqlgx.h"
 
 namespace {
 
@@ -57,57 +46,6 @@ rdf::TripleStore MakeDataset() {
   store.AddAll(rdf::GenerateLubm(cfg));
   store.Dedupe();
   return store;
-}
-
-struct EngineFactory {
-  std::string name;
-  std::function<std::unique_ptr<systems::BgpEngineBase>(spark::SparkContext*)>
-      make;
-};
-
-std::vector<EngineFactory> Factories() {
-  using spark::SparkContext;
-  std::vector<EngineFactory> out;
-  out.push_back({"HAQWA", [](SparkContext* sc) {
-                   return std::make_unique<systems::HaqwaEngine>(sc);
-                 }});
-  out.push_back({"SPARQLGX", [](SparkContext* sc) {
-                   return std::make_unique<systems::SparqlgxEngine>(sc);
-                 }});
-  out.push_back({"S2RDF", [](SparkContext* sc) {
-                   return std::make_unique<systems::S2rdfEngine>(sc);
-                 }});
-  for (auto mode :
-       {systems::HybridMode::kSparkSqlNaive,
-        systems::HybridMode::kRddPartitioned,
-        systems::HybridMode::kDataFrameAuto, systems::HybridMode::kHybrid}) {
-    std::string name =
-        std::string("Hybrid_") + systems::HybridModeName(mode);
-    for (char& c : name) {
-      if (c == '-') c = '_';
-    }
-    out.push_back({name, [mode](SparkContext* sc) {
-                     systems::HybridEngine::Options opts;
-                     opts.mode = mode;
-                     return std::make_unique<systems::HybridEngine>(sc, opts);
-                   }});
-  }
-  out.push_back({"S2X", [](SparkContext* sc) {
-                   return std::make_unique<systems::S2xEngine>(sc);
-                 }});
-  out.push_back({"GraphX_SM", [](SparkContext* sc) {
-                   return std::make_unique<systems::GraphxSmEngine>(sc);
-                 }});
-  out.push_back({"Sparkql", [](SparkContext* sc) {
-                   return std::make_unique<systems::SparkqlEngine>(sc);
-                 }});
-  out.push_back({"GraphFrames", [](SparkContext* sc) {
-                   return std::make_unique<systems::GraphFramesEngine>(sc);
-                 }});
-  out.push_back({"SparkRDF", [](SparkContext* sc) {
-                   return std::make_unique<systems::SparkRdfEngine>(sc);
-                 }});
-  return out;
 }
 
 /// Compact cell: "RULE:SEVxCOUNT" terms joined by spaces, "ok" when clean.
@@ -158,7 +96,9 @@ int main() {
   std::vector<Detail> details;
   bool any_error = false;
 
-  for (const auto& factory : Factories()) {
+  // The canonical 12-variant list shared with the other whole-matrix tools
+  // and the serving layer.
+  for (const auto& factory : systems::AllEngineVariantFactories()) {
     spark::SparkContext sc(SmallCluster());
     auto engine = factory.make(&sc);
     auto loaded = engine->Load(store);

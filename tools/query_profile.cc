@@ -25,18 +25,10 @@
 #include "common/json.h"
 #include "rdf/generator.h"
 #include "rdf/store.h"
+#include "systems/s2rdf.h"
 #include "spark/context.h"
 #include "systems/engine.h"
-#include "systems/graphframes_engine.h"
-#include "systems/graphx_sm.h"
-#include "systems/haqwa.h"
-#include "systems/hybrid.h"
 #include "systems/plan/plan.h"
-#include "systems/s2rdf.h"
-#include "systems/s2x.h"
-#include "systems/sparkql.h"
-#include "systems/sparkrdf.h"
-#include "systems/sparqlgx.h"
 
 namespace {
 
@@ -62,57 +54,6 @@ rdf::TripleStore MakeDataset() {
   store.AddAll(rdf::GenerateLubm(cfg));
   store.Dedupe();
   return store;
-}
-
-struct EngineFactory {
-  std::string name;
-  std::function<std::unique_ptr<systems::BgpEngineBase>(spark::SparkContext*)>
-      make;
-};
-
-std::vector<EngineFactory> Factories() {
-  using spark::SparkContext;
-  std::vector<EngineFactory> out;
-  out.push_back({"HAQWA", [](SparkContext* sc) {
-                   return std::make_unique<systems::HaqwaEngine>(sc);
-                 }});
-  out.push_back({"SPARQLGX", [](SparkContext* sc) {
-                   return std::make_unique<systems::SparqlgxEngine>(sc);
-                 }});
-  out.push_back({"S2RDF", [](SparkContext* sc) {
-                   return std::make_unique<systems::S2rdfEngine>(sc);
-                 }});
-  for (auto mode :
-       {systems::HybridMode::kSparkSqlNaive,
-        systems::HybridMode::kRddPartitioned,
-        systems::HybridMode::kDataFrameAuto, systems::HybridMode::kHybrid}) {
-    std::string name =
-        std::string("Hybrid_") + systems::HybridModeName(mode);
-    for (char& c : name) {
-      if (c == '-') c = '_';
-    }
-    out.push_back({name, [mode](SparkContext* sc) {
-                     systems::HybridEngine::Options opts;
-                     opts.mode = mode;
-                     return std::make_unique<systems::HybridEngine>(sc, opts);
-                   }});
-  }
-  out.push_back({"S2X", [](SparkContext* sc) {
-                   return std::make_unique<systems::S2xEngine>(sc);
-                 }});
-  out.push_back({"GraphX_SM", [](SparkContext* sc) {
-                   return std::make_unique<systems::GraphxSmEngine>(sc);
-                 }});
-  out.push_back({"Sparkql", [](SparkContext* sc) {
-                   return std::make_unique<systems::SparkqlEngine>(sc);
-                 }});
-  out.push_back({"GraphFrames", [](SparkContext* sc) {
-                   return std::make_unique<systems::GraphFramesEngine>(sc);
-                 }});
-  out.push_back({"SparkRDF", [](SparkContext* sc) {
-                   return std::make_unique<systems::SparkRdfEngine>(sc);
-                 }});
-  return out;
 }
 
 struct ShapeQuery {
@@ -177,8 +118,8 @@ void AppendPlanNodes(const systems::plan::PlanNode& node, int depth,
   }
 }
 
-Profile RunOne(const EngineFactory& factory, const ShapeQuery& shape,
-               const rdf::TripleStore& store) {
+Profile RunOne(const systems::EngineVariantFactory& factory,
+               const ShapeQuery& shape, const rdf::TripleStore& store) {
   Profile p;
   p.engine = factory.name;
   p.shape = shape.label;
@@ -300,7 +241,7 @@ int main(int argc, char** argv) {
   rdf::TripleStore store = MakeDataset();
   std::vector<Profile> profiles;
   bool any_error = false;
-  for (const auto& factory : Factories()) {
+  for (const auto& factory : systems::AllEngineVariantFactories()) {
     for (const auto& shape : Shapes()) {
       profiles.push_back(RunOne(factory, shape, store));
       any_error |= !profiles.back().ok;
