@@ -38,9 +38,10 @@ void SizeRatioSweep() {
   std::printf(
       "A3: broadcast vs partitioned join across |small|/|large| ratios\n"
       "(|large| = 20000 rows, broadcast threshold = 64 KiB)\n\n");
-  std::vector<int> widths = {12, 12, 20, 20, 20, 20};
+  std::vector<int> widths = {12, 12, 20, 20, 18, 16, 20, 20};
   PrintRow({"small_rows", "result", "broadcast: net_KiB", "shuffle: net_KiB",
-            "wall_ms (b/s)", "winner (sim_ms b/s)"},
+            "shuf_KiB (b/s)", "cmp (b/s)", "wall_ms (b/s)",
+            "winner (sim_ms b/s)"},
            widths);
   PrintRule(widths);
 
@@ -50,6 +51,8 @@ void SizeRatioSweep() {
     double sim_ms[2];
     double wall_ms[2];
     uint64_t net_bytes[2];
+    uint64_t shuf_bytes[2];
+    uint64_t comparisons[2];
     uint64_t result_rows = 0;
     for (int strat = 0; strat < 2; ++strat) {
       spark::ClusterConfig cfg = DefaultCluster();
@@ -69,6 +72,8 @@ void SizeRatioSweep() {
       sim_ms[strat] = delta.simulated_ms;
       net_bytes[strat] =
           delta.remote_shuffle_bytes + delta.broadcast_bytes;
+      shuf_bytes[strat] = delta.shuffle_bytes;
+      comparisons[strat] = delta.join_comparisons;
       std::string label = std::to_string(small_rows) + "/" +
                           (strat == 0 ? "broadcast" : "shuffle");
       json.Add(label, "result_rows", static_cast<double>(result_rows));
@@ -79,6 +84,9 @@ void SizeRatioSweep() {
     PrintRow({Fmt(uint64_t(small_rows)), Fmt(result_rows),
               Fmt(double(net_bytes[0]) / 1024.0),
               Fmt(double(net_bytes[1]) / 1024.0),
+              Fmt(double(shuf_bytes[0]) / 1024.0) + "/" +
+                  Fmt(double(shuf_bytes[1]) / 1024.0),
+              Fmt(comparisons[0]) + "/" + Fmt(comparisons[1]),
               Fmt(wall_ms[0]) + "/" + Fmt(wall_ms[1]),
               winner + " (" + Fmt(sim_ms[0]) + "/" + Fmt(sim_ms[1]) + ")"},
              widths);
@@ -95,9 +103,9 @@ void StrategyComparisonOnBgp() {
   rdf::TripleStore store = MakeLubmStore(2);
   const std::string query = rdf::LubmShapeQuery(rdf::QueryShape::kLinear, 3);
 
-  std::vector<int> widths = {24, 8, 11, 11, 14, 16, 14};
+  std::vector<int> widths = {24, 8, 11, 11, 14, 13, 16, 14};
   PrintRow({"Strategy", "rows", "wall_ms", "sim_ms", "shuffle_rec",
-            "broadcast_KiB", "comparisons"},
+            "shuffle_KiB", "broadcast_KiB", "comparisons"},
            widths);
   PrintRule(widths);
   for (auto mode :
@@ -143,6 +151,7 @@ void StrategyComparisonOnBgp() {
     QueryRun run = RunQuery(&engine, query);
     PrintRow({systems::HybridModeName(mode), Fmt(run.rows), Fmt(run.wall_ms),
               Fmt(run.delta.simulated_ms), Fmt(run.delta.shuffle_records),
+              Fmt(double(run.delta.shuffle_bytes) / 1024.0),
               Fmt(double(run.delta.broadcast_bytes) / 1024.0),
               Fmt(run.delta.join_comparisons)},
              widths);

@@ -62,10 +62,14 @@ void LubmTable() {
     if (!engine->Load(store).ok()) continue;
     std::printf("%-26s", engine->traits().name.c_str());
     double total_ms = 0;
+    uint64_t total_cmp = 0;
+    uint64_t total_shuffle_bytes = 0;
     bool all_match = true;
     for (size_t q = 0; q < queries.size(); ++q) {
       QueryRun run = RunQuery(engine.get(), queries[q].second);
       total_ms += run.delta.simulated_ms;
+      total_cmp += run.delta.join_comparisons;
+      total_shuffle_bytes += run.delta.shuffle_bytes;
       if (!run.ok || run.rows != expected_rows[q]) {
         all_match = false;
         std::printf("%7s", "ERR");
@@ -78,7 +82,9 @@ void LubmTable() {
       json.Add(label, "wall_ms", run.wall_ms);
       json.AddMetrics(label, run.delta);
     }
-    std::printf("  | total %.2f sim ms%s\n", total_ms,
+    std::printf("  | total %.2f sim ms, cmp=%llu, shuf=%.1f KiB%s\n",
+                total_ms, static_cast<unsigned long long>(total_cmp),
+                static_cast<double>(total_shuffle_bytes) / 1024.0,
                 all_match ? "" : "  (MISMATCH!)");
   }
   json.Write();

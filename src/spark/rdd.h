@@ -282,9 +282,13 @@ class Rdd {
   }
 
   /// Applies `f` to each whole partition: f(partition_index, const
-  /// std::vector<T>&) -> std::vector<U>.
+  /// std::vector<T>&) -> std::vector<U>. Batch kernels that keep rows on
+  /// their key's partition pass the parent's `info` through; default is a
+  /// partitioner-destroying transform, as in Spark.
   template <typename F>
-  auto MapPartitionsWithIndex(F f) const
+  auto MapPartitionsWithIndex(F f,
+                              std::optional<PartitionerInfo> info =
+                                  std::nullopt) const
       -> Rdd<typename std::invoke_result_t<F, int,
                                            const std::vector<T>&>::value_type> {
     using U =
@@ -298,7 +302,34 @@ class Rdd {
       return f(p, *in);
     };
     return MakeChild<U>("MapPartitions", node_->num_partitions(), false,
-                        compute, std::nullopt);
+                        compute, std::move(info));
+  }
+
+  /// Zips co-partitioned RDDs partition-by-partition:
+  /// f(partition_index, const std::vector<T>&, const std::vector<U>&) ->
+  /// std::vector<V>. Narrow on both sides — the batch-join kernels use this
+  /// to probe a co-partitioned build side without a shuffle.
+  template <typename U, typename F>
+  auto ZipPartitions(const Rdd<U>& other, F f,
+                     std::optional<PartitionerInfo> info = std::nullopt) const
+      -> Rdd<typename std::invoke_result_t<
+          F, int, const std::vector<T>&,
+          const std::vector<U>&>::value_type> {
+    using V = typename std::invoke_result_t<F, int, const std::vector<T>&,
+                                            const std::vector<U>&>::value_type;
+    auto* sc = sc_;
+    auto left = node_;
+    auto right = other.node();
+    auto compute = [sc, left, right, f](int p) {
+      auto l = left->GetPartition(p);
+      auto r = right->GetPartition(p);
+      sc->ChargeCompute(p, l->size() + r->size());
+      return f(p, *l, *r);
+    };
+    auto child = MakeChild<V>("ZipPartitions", node_->num_partitions(), false,
+                              compute, std::move(info));
+    child.node()->AddParent(right);
+    return child;
   }
 
   /// Pairs every element with key `f(x)`.

@@ -2,6 +2,7 @@
 #define RDFSPARK_SPARK_SIZE_ESTIMATOR_H_
 
 #include <array>
+#include <concepts>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -37,6 +38,11 @@ template <typename T>
 uint64_t EstimateSize(const std::optional<T>& o);
 template <typename K, typename V, typename H, typename E, typename A>
 uint64_t EstimateSize(const std::unordered_map<K, V, H, E, A>& m);
+template <typename T>
+  requires requires(const T& t) {
+    { t.EstimatedByteSize() } -> std::convertible_to<uint64_t>;
+  }
+uint64_t EstimateSize(const T& t);
 
 inline uint64_t EstimateSize(const std::string& s) {
   return 16 + s.size();  // header + payload
@@ -84,6 +90,18 @@ uint64_t EstimateSize(const std::unordered_map<K, V, H, E, A>& m) {
   uint64_t total = 48;  // table header
   for (const auto& [k, v] : m) total += 8 + EstimateSize(k) + EstimateSize(v);
   return total;
+}
+
+/// Types that know their own flat footprint (e.g. sparql::IdTable, whose
+/// rows are fixed-width runs in one buffer) report it directly — shuffles
+/// then charge `width * sizeof(TermId)` per row instead of a per-vector
+/// object header.
+template <typename T>
+  requires requires(const T& t) {
+    { t.EstimatedByteSize() } -> std::convertible_to<uint64_t>;
+  }
+uint64_t EstimateSize(const T& t) {
+  return t.EstimatedByteSize();
 }
 
 }  // namespace rdfspark::spark

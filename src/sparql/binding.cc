@@ -3,23 +3,15 @@
 #include <algorithm>
 #include <sstream>
 #include <unordered_map>
-#include <unordered_set>
 
-#include "spark/value_hash.h"
+#include "common/hash.h"
 
 namespace rdfspark::sparql {
 
 BindingTable BindingTable::Unit() {
   BindingTable t;
-  t.rows_.push_back({});
+  t.rows_.AppendRowFilled(kUnbound);  // width 0: one empty row
   return t;
-}
-
-int BindingTable::VarIndex(const std::string& var) const {
-  for (size_t i = 0; i < vars_.size(); ++i) {
-    if (vars_[i] == var) return static_cast<int>(i);
-  }
-  return -1;
 }
 
 rdf::TermId BindingTable::AddComputedTerm(rdf::Term term) {
@@ -49,7 +41,7 @@ std::vector<std::map<std::string, std::string>> BindingTable::Decode(
     const rdf::Dictionary& dict) const {
   std::vector<std::map<std::string, std::string>> out;
   out.reserve(rows_.size());
-  for (const auto& row : rows_) {
+  for (IdSpan row : rows_) {
     std::map<std::string, std::string> m;
     for (size_t i = 0; i < vars_.size(); ++i) {
       if (row[i] == kUnbound) continue;
@@ -70,7 +62,7 @@ std::string BindingTable::ToString(const rdf::Dictionary& dict,
   }
   os << "\n";
   size_t shown = 0;
-  for (const auto& row : rows_) {
+  for (IdSpan row : rows_) {
     if (shown++ >= max_rows) {
       os << "... (" << rows_.size() << " rows total)\n";
       break;
@@ -113,12 +105,44 @@ JoinPlan PlanJoin(const BindingTable& a, const BindingTable& b) {
   return plan;
 }
 
-std::vector<rdf::TermId> JoinKeyOf(const std::vector<rdf::TermId>& row,
-                                   const std::vector<int>& cols) {
-  std::vector<rdf::TermId> key;
-  key.reserve(cols.size());
-  for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
-  return key;
+/// Deterministic hash of the key cells of one row — the same fold
+/// spark::HashValue applies to a materialized key vector, computed in
+/// place over the flat buffer.
+uint64_t KeyHashOf(IdSpan row, const std::vector<int>& cols, bool* unbound) {
+  uint64_t h = 0xabcdef0123456789ULL;
+  *unbound = false;
+  for (int c : cols) {
+    rdf::TermId v = row[static_cast<size_t>(c)];
+    if (v == kUnbound) *unbound = true;
+    h = CombineHash64(h, MixHash64(v));
+  }
+  return h;
+}
+
+bool KeysEqual(IdSpan arow, const std::vector<int>& a_cols, IdSpan brow,
+               const std::vector<int>& b_cols) {
+  for (size_t k = 0; k < a_cols.size(); ++k) {
+    if (arow[static_cast<size_t>(a_cols[k])] !=
+        brow[static_cast<size_t>(b_cols[k])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Hash-bucket build side: b row indices grouped by key-cell hash, probed
+/// with cell-equality verification (collisions filtered at probe time).
+using BuildIndex = std::unordered_map<uint64_t, std::vector<size_t>>;
+
+BuildIndex BuildOnB(const BindingTable& b, const std::vector<int>& b_cols) {
+  BuildIndex build;
+  for (size_t r = 0; r < b.rows().size(); ++r) {
+    bool unbound = false;
+    uint64_t h = KeyHashOf(b.rows()[r], b_cols, &unbound);
+    if (unbound) continue;
+    build[h].push_back(r);
+  }
+  return build;
 }
 
 }  // namespace
@@ -132,37 +156,35 @@ BindingTable HashJoin(const BindingTable& a, const BindingTable& b) {
     a_cols.push_back(ai);
     b_cols.push_back(bi);
   }
-  // Build on b.
-  std::unordered_map<std::vector<rdf::TermId>, std::vector<size_t>,
-                     spark::ValueHasher>
-      build;
-  for (size_t r = 0; r < b.rows().size(); ++r) {
-    auto key = JoinKeyOf(b.rows()[r], b_cols);
-    if (std::find(key.begin(), key.end(), kUnbound) != key.end()) continue;
-    build[std::move(key)].push_back(r);
-  }
-  for (const auto& arow : a.rows()) {
-    auto key = JoinKeyOf(arow, a_cols);
-    if (!a_cols.empty() &&
-        std::find(key.begin(), key.end(), kUnbound) != key.end()) {
-      continue;
-    }
-    auto it = build.find(key);
-    if (it == build.end() && !a_cols.empty()) continue;
-    if (a_cols.empty()) {
-      // Cross product.
-      for (const auto& brow : b.rows()) {
-        auto row = arow;
-        for (int c : plan.b_new) row.push_back(brow[static_cast<size_t>(c)]);
-        out.AddRow(std::move(row));
-      }
-    } else {
-      for (size_t r : it->second) {
-        auto row = arow;
-        for (int c : plan.b_new) {
-          row.push_back(b.rows()[r][static_cast<size_t>(c)]);
+  if (a_cols.empty()) {
+    // Cross product: left-major, b rows in order.
+    for (IdSpan arow : a.rows()) {
+      for (IdSpan brow : b.rows()) {
+        rdf::TermId* cells = out.mutable_rows()->AppendRowUninitialized();
+        std::copy(arow.begin(), arow.end(), cells);
+        rdf::TermId* tail = cells + arow.size();
+        for (size_t k = 0; k < plan.b_new.size(); ++k) {
+          tail[k] = brow[static_cast<size_t>(plan.b_new[k])];
         }
-        out.AddRow(std::move(row));
+      }
+    }
+    return out;
+  }
+  BuildIndex build = BuildOnB(b, b_cols);
+  for (IdSpan arow : a.rows()) {
+    bool unbound = false;
+    uint64_t h = KeyHashOf(arow, a_cols, &unbound);
+    if (unbound) continue;
+    auto it = build.find(h);
+    if (it == build.end()) continue;
+    for (size_t r : it->second) {
+      IdSpan brow = b.rows()[r];
+      if (!KeysEqual(arow, a_cols, brow, b_cols)) continue;
+      rdf::TermId* cells = out.mutable_rows()->AppendRowUninitialized();
+      std::copy(arow.begin(), arow.end(), cells);
+      rdf::TermId* tail = cells + arow.size();
+      for (size_t k = 0; k < plan.b_new.size(); ++k) {
+        tail[k] = brow[static_cast<size_t>(plan.b_new[k])];
       }
     }
   }
@@ -178,42 +200,47 @@ BindingTable LeftJoin(const BindingTable& a, const BindingTable& b) {
     a_cols.push_back(ai);
     b_cols.push_back(bi);
   }
-  std::unordered_map<std::vector<rdf::TermId>, std::vector<size_t>,
-                     spark::ValueHasher>
-      build;
-  for (size_t r = 0; r < b.rows().size(); ++r) {
-    auto key = JoinKeyOf(b.rows()[r], b_cols);
-    if (std::find(key.begin(), key.end(), kUnbound) != key.end()) continue;
-    build[std::move(key)].push_back(r);
-  }
-  std::vector<size_t> all_b_rows(b.rows().size());
-  for (size_t r = 0; r < all_b_rows.size(); ++r) all_b_rows[r] = r;
-  for (const auto& arow : a.rows()) {
-    auto key = JoinKeyOf(arow, a_cols);
-    bool key_ok = std::find(key.begin(), key.end(), kUnbound) == key.end();
-    const std::vector<size_t>* matches = nullptr;
-    if (key_ok) {
+  BuildIndex build;
+  if (!a_cols.empty()) build = BuildOnB(b, b_cols);
+
+  auto emit_padded = [&](IdSpan arow) {
+    rdf::TermId* cells = out.mutable_rows()->AppendRowUninitialized();
+    std::copy(arow.begin(), arow.end(), cells);
+    std::fill(cells + arow.size(), cells + out.vars().size(), kUnbound);
+  };
+  auto emit_matched = [&](IdSpan arow, IdSpan brow) {
+    rdf::TermId* cells = out.mutable_rows()->AppendRowUninitialized();
+    std::copy(arow.begin(), arow.end(), cells);
+    rdf::TermId* tail = cells + arow.size();
+    for (size_t k = 0; k < plan.b_new.size(); ++k) {
+      tail[k] = brow[static_cast<size_t>(plan.b_new[k])];
+    }
+  };
+
+  for (IdSpan arow : a.rows()) {
+    bool unbound = false;
+    uint64_t h = KeyHashOf(arow, a_cols, &unbound);
+    bool matched = false;
+    if (!unbound) {
       if (a_cols.empty()) {
         // No shared vars: every b row matches (cross), unless b is empty.
-        if (!b.rows().empty()) matches = &all_b_rows;
-      } else {
-        auto it = build.find(key);
-        if (it != build.end()) matches = &it->second;
-      }
-    }
-    if (matches == nullptr) {
-      auto row = arow;
-      for (size_t i = 0; i < plan.b_new.size(); ++i) row.push_back(kUnbound);
-      out.AddRow(std::move(row));
-    } else {
-      for (size_t r : *matches) {
-        auto row = arow;
-        for (int c : plan.b_new) {
-          row.push_back(b.rows()[r][static_cast<size_t>(c)]);
+        for (IdSpan brow : b.rows()) {
+          emit_matched(arow, brow);
+          matched = true;
         }
-        out.AddRow(std::move(row));
+      } else {
+        auto it = build.find(h);
+        if (it != build.end()) {
+          for (size_t r : it->second) {
+            IdSpan brow = b.rows()[r];
+            if (!KeysEqual(arow, a_cols, brow, b_cols)) continue;
+            emit_matched(arow, brow);
+            matched = true;
+          }
+        }
       }
     }
+    if (!matched) emit_padded(arow);
   }
   return out;
 }
@@ -229,12 +256,12 @@ BindingTable UnionTables(const BindingTable& a, const BindingTable& b) {
   auto add_all = [&](const BindingTable& t) {
     std::vector<int> mapping(vars.size(), -1);
     for (size_t i = 0; i < vars.size(); ++i) mapping[i] = t.VarIndex(vars[i]);
-    for (const auto& row : t.rows()) {
-      std::vector<rdf::TermId> r(vars.size(), kUnbound);
+    for (IdSpan row : t.rows()) {
+      rdf::TermId* cells = out.mutable_rows()->AppendRowUninitialized();
       for (size_t i = 0; i < vars.size(); ++i) {
-        if (mapping[i] >= 0) r[i] = row[static_cast<size_t>(mapping[i])];
+        cells[i] = mapping[i] >= 0 ? row[static_cast<size_t>(mapping[i])]
+                                   : kUnbound;
       }
-      out.AddRow(std::move(r));
     }
   };
   add_all(a);
@@ -248,23 +275,19 @@ BindingTable Project(const BindingTable& table,
   std::vector<int> mapping;
   mapping.reserve(vars.size());
   for (const auto& v : vars) mapping.push_back(table.VarIndex(v));
-  for (const auto& row : table.rows()) {
-    std::vector<rdf::TermId> r;
-    r.reserve(vars.size());
-    for (int m : mapping) {
-      r.push_back(m >= 0 ? row[static_cast<size_t>(m)] : kUnbound);
+  for (IdSpan row : table.rows()) {
+    rdf::TermId* cells = out.mutable_rows()->AppendRowUninitialized();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      cells[i] =
+          mapping[i] >= 0 ? row[static_cast<size_t>(mapping[i])] : kUnbound;
     }
-    out.AddRow(std::move(r));
   }
   return CopyComputedTerms(table, std::move(out));
 }
 
 BindingTable Distinct(const BindingTable& table) {
-  BindingTable out(table.vars());
-  std::unordered_set<std::vector<rdf::TermId>, spark::ValueHasher> seen;
-  for (const auto& row : table.rows()) {
-    if (seen.insert(row).second) out.AddRow(row);
-  }
+  BindingTable out(table.vars(),
+                   table.rows().PermutedByRows(table.rows().DistinctRowIndices()));
   return CopyComputedTerms(table, std::move(out));
 }
 
@@ -323,28 +346,27 @@ BindingTable OrderBy(const BindingTable& table,
     for (size_t k = 0; k < keys.size(); ++k) {
       if (cols[k] < 0) continue;
       SortKey a = MakeSortKey(
-          table, table.rows()[x][static_cast<size_t>(cols[k])], dict);
+          table, table.rows().cell(x, static_cast<size_t>(cols[k])), dict);
       SortKey b = MakeSortKey(
-          table, table.rows()[y][static_cast<size_t>(cols[k])], dict);
+          table, table.rows().cell(y, static_cast<size_t>(cols[k])), dict);
       if (a == b) continue;
       bool less = a < b;
       return keys[k].ascending ? less : !less;
     }
     return false;
   });
-  BindingTable out(table.vars());
-  for (size_t i : order) out.AddRow(table.rows()[i]);
+  BindingTable out(table.vars(), table.rows().PermutedByRows(order));
   return CopyComputedTerms(table, std::move(out));
 }
 
 BindingTable Slice(const BindingTable& table, int64_t offset, int64_t limit) {
-  BindingTable out(table.vars());
   int64_t n = static_cast<int64_t>(table.rows().size());
   int64_t begin = std::min(std::max<int64_t>(offset, 0), n);
   int64_t end = limit < 0 ? n : std::min(begin + limit, n);
-  for (int64_t i = begin; i < end; ++i) {
-    out.AddRow(table.rows()[static_cast<size_t>(i)]);
-  }
+  std::vector<size_t> order;
+  order.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) order.push_back(static_cast<size_t>(i));
+  BindingTable out(table.vars(), table.rows().PermutedByRows(order));
   return CopyComputedTerms(table, std::move(out));
 }
 
@@ -365,8 +387,7 @@ struct Operand {
 };
 
 Operand ResolveOperand(const FilterExpr& expr, const BindingTable& table,
-                       const std::vector<rdf::TermId>& row,
-                       const rdf::Dictionary& dict) {
+                       IdSpan row, const rdf::Dictionary& dict) {
   Operand out;
   if (expr.op == ExprOp::kLiteral) {
     out.term = expr.literal;
@@ -390,8 +411,7 @@ Operand ResolveOperand(const FilterExpr& expr, const BindingTable& table,
   return out;
 }
 
-Tri EvalExpr(const FilterExpr& expr, const BindingTable& table,
-             const std::vector<rdf::TermId>& row,
+Tri EvalExpr(const FilterExpr& expr, const BindingTable& table, IdSpan row,
              const rdf::Dictionary& dict) {
   switch (expr.op) {
     case ExprOp::kBound: {
@@ -463,8 +483,7 @@ Tri EvalExpr(const FilterExpr& expr, const BindingTable& table,
 
 }  // namespace
 
-bool EvalFilter(const FilterExpr& expr, const BindingTable& table,
-                const std::vector<rdf::TermId>& row,
+bool EvalFilter(const FilterExpr& expr, const BindingTable& table, IdSpan row,
                 const rdf::Dictionary& dict) {
   return EvalExpr(expr, table, row, dict) == Tri::kTrue;
 }
@@ -472,8 +491,8 @@ bool EvalFilter(const FilterExpr& expr, const BindingTable& table,
 BindingTable ApplyFilter(const BindingTable& table, const FilterExpr& expr,
                          const rdf::Dictionary& dict) {
   BindingTable out(table.vars());
-  for (const auto& row : table.rows()) {
-    if (EvalFilter(expr, table, row, dict)) out.AddRow(row);
+  for (IdSpan row : table.rows()) {
+    if (EvalFilter(expr, table, row, dict)) out.AddRowSpan(row);
   }
   return out;
 }

@@ -5,16 +5,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "rdf/dictionary.h"
 #include "sparql/ast.h"
+#include "sparql/id_table.h"
 
 namespace rdfspark::sparql {
-
-/// Sentinel for a variable left unbound by OPTIONAL / UNION padding.
-inline constexpr rdf::TermId kUnbound = ~0ull;
 
 /// Ids at or above this base index a table's own computed-term side store
 /// (aggregate results and other values that are not dataset terms).
@@ -22,25 +21,42 @@ inline constexpr rdf::TermId kComputedTermBase = 1ull << 48;
 
 /// A solution sequence: named variables and rows of term ids. This is the
 /// common output format of every engine and the reference evaluator, so
-/// results can be compared across systems.
+/// results can be compared across systems. Rows live in one flat IdTable
+/// whose width is fixed at construction to the variable count.
 class BindingTable {
  public:
   BindingTable() = default;
   explicit BindingTable(std::vector<std::string> vars)
-      : vars_(std::move(vars)) {}
+      : vars_(std::move(vars)), rows_(vars_.size()) {
+    BuildVarIndex();
+  }
+  /// Adopts pre-built flat rows (width must equal the variable count).
+  BindingTable(std::vector<std::string> vars, IdTable rows)
+      : vars_(std::move(vars)), rows_(std::move(rows)) {
+    BuildVarIndex();
+  }
 
   /// The unit table (no variables, one empty row) — join identity.
   static BindingTable Unit();
 
   const std::vector<std::string>& vars() const { return vars_; }
-  const std::vector<std::vector<rdf::TermId>>& rows() const { return rows_; }
-  std::vector<std::vector<rdf::TermId>>& mutable_rows() { return rows_; }
+  const IdTable& rows() const { return rows_; }
+  /// Direct access for batch kernels that fill rows in place.
+  IdTable* mutable_rows() { return &rows_; }
   size_t num_rows() const { return rows_.size(); }
 
-  /// Index of `var` or -1.
-  int VarIndex(const std::string& var) const;
+  /// Index of `var` or -1. O(1) via the index map built at construction.
+  int VarIndex(const std::string& var) const {
+    auto it = var_index_.find(var);
+    return it == var_index_.end() ? -1 : it->second;
+  }
 
-  void AddRow(std::vector<rdf::TermId> row) { rows_.push_back(std::move(row)); }
+  /// Appends a row; inputs narrower than the table are padded with
+  /// kUnbound.
+  void AddRow(const std::vector<rdf::TermId>& row) {
+    rows_.AppendRow(IdSpan(row));
+  }
+  void AddRowSpan(IdSpan row) { rows_.AppendRow(row); }
 
   /// Stores a computed term (e.g. an aggregate result) in the table's side
   /// store and returns its id (>= kComputedTermBase).
@@ -60,8 +76,15 @@ class BindingTable {
   std::string ToString(const rdf::Dictionary& dict, size_t max_rows = 20) const;
 
  private:
+  void BuildVarIndex() {
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      var_index_.emplace(vars_[i], static_cast<int>(i));
+    }
+  }
+
   std::vector<std::string> vars_;
-  std::vector<std::vector<rdf::TermId>> rows_;
+  IdTable rows_;
+  std::unordered_map<std::string, int> var_index_;
   /// Computed terms; shared so projections/slices keep them alive cheaply.
   std::shared_ptr<std::vector<rdf::Term>> computed_;
 
@@ -88,7 +111,8 @@ BindingTable UnionTables(const BindingTable& a, const BindingTable& b);
 BindingTable Project(const BindingTable& table,
                      const std::vector<std::string>& vars);
 
-/// Stable duplicate removal.
+/// Stable duplicate removal (sorted/deduped by row index over the flat
+/// buffer — no per-row key objects).
 BindingTable Distinct(const BindingTable& table);
 
 /// Sorts rows by the given keys; term order is (numeric value when both
@@ -102,8 +126,7 @@ BindingTable Slice(const BindingTable& table, int64_t offset, int64_t limit);
 
 /// Evaluates a FILTER expression on one row. SPARQL error semantics: any
 /// type error or unbound (non-BOUND) reference makes the row fail.
-bool EvalFilter(const FilterExpr& expr, const BindingTable& table,
-                const std::vector<rdf::TermId>& row,
+bool EvalFilter(const FilterExpr& expr, const BindingTable& table, IdSpan row,
                 const rdf::Dictionary& dict);
 
 /// Applies a filter to all rows.

@@ -72,7 +72,7 @@ BindingTable ReferenceEvaluator::ExtendWithPattern(
     }
     for (const auto& t : store_->Match(q)) {
       // Check intra-pattern variable repetition, e.g. ?x ?p ?x.
-      std::vector<rdf::TermId> extended = row;
+      std::vector<rdf::TermId> extended(row.begin(), row.end());
       extended.resize(vars.size(), kUnbound);
       bool ok = true;
       auto bind = [&](const PatternTerm& slot, rdf::TermId value) {

@@ -1,0 +1,84 @@
+#include "sparql/id_table.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace rdfspark::sparql {
+
+uint64_t IdTable::RowHash(size_t r) const {
+  // Same fold spark::HashValue uses for std::vector<TermId>, so hashing a
+  // row view agrees with hashing the materialized row.
+  uint64_t h = 0xabcdef0123456789ULL;
+  const rdf::TermId* cells = data_.data() + r * width_;
+  for (size_t c = 0; c < width_; ++c) {
+    h = CombineHash64(h, MixHash64(cells[c]));
+  }
+  return h;
+}
+
+bool IdTable::RowsEqual(size_t a, size_t b) const {
+  if (a == b) return true;
+  return std::memcmp(data_.data() + a * width_, data_.data() + b * width_,
+                     width_ * sizeof(rdf::TermId)) == 0;
+}
+
+std::vector<size_t> IdTable::DistinctRowIndices() const {
+  struct IndexHash {
+    const IdTable* table;
+    size_t operator()(size_t r) const {
+      return static_cast<size_t>(table->RowHash(r));
+    }
+  };
+  struct IndexEq {
+    const IdTable* table;
+    bool operator()(size_t a, size_t b) const { return table->RowsEqual(a, b); }
+  };
+  std::unordered_set<size_t, IndexHash, IndexEq> seen(
+      /*bucket_count=*/num_rows_ * 2 + 1, IndexHash{this}, IndexEq{this});
+  std::vector<size_t> out;
+  out.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    if (seen.insert(r).second) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<size_t> IdTable::LexicographicOrder() const {
+  std::vector<size_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    auto ra = row(a);
+    auto rb = row(b);
+    return std::lexicographical_compare(ra.begin(), ra.end(), rb.begin(),
+                                        rb.end());
+  });
+  return order;
+}
+
+IdTable IdTable::PermutedByRows(const std::vector<size_t>& order) const {
+  IdTable out(width_);
+  out.Reserve(order.size());
+  for (size_t r : order) out.AppendRowFrom(*this, r);
+  return out;
+}
+
+std::vector<IdTable> IdTable::SplitRows(int n) const {
+  std::vector<IdTable> out;
+  out.reserve(static_cast<size_t>(n));
+  size_t total = num_rows_;
+  for (int p = 0; p < n; ++p) {
+    size_t begin = total * static_cast<size_t>(p) / static_cast<size_t>(n);
+    size_t end = total * static_cast<size_t>(p + 1) / static_cast<size_t>(n);
+    IdTable slice(width_);
+    slice.Reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) slice.AppendRowFrom(*this, r);
+    out.push_back(std::move(slice));
+  }
+  return out;
+}
+
+}  // namespace rdfspark::sparql

@@ -1,0 +1,173 @@
+#ifndef RDFSPARK_SPARQL_ID_TABLE_H_
+#define RDFSPARK_SPARQL_ID_TABLE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+namespace rdfspark::sparql {
+
+/// Sentinel for a variable left unbound by OPTIONAL / UNION padding.
+inline constexpr rdf::TermId kUnbound = ~0ull;
+
+/// Read-only view of one row (or any contiguous run of term ids).
+using IdSpan = std::span<const rdf::TermId>;
+
+/// A flat, fixed-width row batch: one contiguous TermId buffer plus a
+/// column count. This is the data plane's core type — engine partitions,
+/// shuffles and BindingTable all carry IdTables, so a row costs
+/// `width * sizeof(TermId)` contiguous bytes instead of a separately
+/// heap-allocated std::vector per row.
+///
+/// Rows are exposed as cheap span views into the buffer; the sort/dedup
+/// API works on row indices over the flat storage, so DISTINCT and
+/// ORDER BY never materialize per-row objects. A width of 0 is legal
+/// (the unit table of ASK results): such rows occupy no buffer space but
+/// are still counted.
+class IdTable {
+ public:
+  IdTable() = default;
+  explicit IdTable(size_t width) : width_(width) {}
+  /// Adopts a pre-built flat buffer; data.size() must be a multiple of a
+  /// nonzero width.
+  IdTable(size_t width, std::vector<rdf::TermId> data)
+      : width_(width), num_rows_(width == 0 ? 0 : data.size() / width),
+        data_(std::move(data)) {
+    assert(width_ == 0 || data_.size() % width_ == 0);
+  }
+
+  size_t width() const { return width_; }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  IdSpan row(size_t r) const {
+    return IdSpan(data_.data() + r * width_, width_);
+  }
+  IdSpan operator[](size_t r) const { return row(r); }
+  rdf::TermId cell(size_t r, size_t c) const { return data_[r * width_ + c]; }
+  rdf::TermId* mutable_row(size_t r) { return data_.data() + r * width_; }
+
+  void Reserve(size_t rows) { data_.reserve(rows * width_); }
+  void Clear() {
+    data_.clear();
+    num_rows_ = 0;
+  }
+
+  /// Appends a row. Inputs narrower than the table are padded with `fill`
+  /// (schema growth); wider inputs are not allowed.
+  void AppendRow(IdSpan row, rdf::TermId fill = kUnbound) {
+    assert(row.size() <= width_);
+    data_.insert(data_.end(), row.begin(), row.end());
+    data_.resize(data_.size() + (width_ - row.size()), fill);
+    ++num_rows_;
+  }
+
+  /// Appends an uninitialized row and returns a pointer to its `width()`
+  /// cells (nullptr for width 0 — the row still counts).
+  rdf::TermId* AppendRowUninitialized() {
+    data_.resize(data_.size() + width_);
+    ++num_rows_;
+    return width_ == 0 ? nullptr : data_.data() + (num_rows_ - 1) * width_;
+  }
+
+  /// Appends one row filled with `fill`.
+  void AppendRowFilled(rdf::TermId fill) {
+    data_.resize(data_.size() + width_, fill);
+    ++num_rows_;
+  }
+
+  /// Drops the last row (build-then-validate kernels append a row in
+  /// place, then pop it when the merge turns out to conflict).
+  void PopRow() {
+    assert(num_rows_ > 0);
+    data_.resize(data_.size() - width_);
+    --num_rows_;
+  }
+
+  /// Appends row `r` of `other` (same width).
+  void AppendRowFrom(const IdTable& other, size_t r) {
+    assert(other.width_ == width_);
+    auto src = other.row(r);
+    data_.insert(data_.end(), src.begin(), src.end());
+    ++num_rows_;
+  }
+
+  /// Appends every row of `other` (same width) — one bulk buffer copy.
+  void AppendRowsFrom(const IdTable& other) {
+    assert(other.width_ == width_);
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+    num_rows_ += other.num_rows_;
+  }
+
+  /// Deterministic hash of one row's cells (platform-independent, same
+  /// mixing as spark::HashValue over the cell sequence).
+  uint64_t RowHash(size_t r) const;
+
+  bool RowsEqual(size_t a, size_t b) const;
+
+  /// Stable first-occurrence duplicate removal over full rows: returns the
+  /// surviving row indices in original order. Hashes rows in place over
+  /// the flat buffer — no per-row key objects.
+  std::vector<size_t> DistinctRowIndices() const;
+
+  /// Stable lexicographic sort order of row indices (cells compared as
+  /// raw ids). DISTINCT/ORDER BY-style operators sort indices, then
+  /// materialize once with PermutedByRows.
+  std::vector<size_t> LexicographicOrder() const;
+
+  /// New table with rows rearranged per `order` (indices into this table;
+  /// may select a subset).
+  IdTable PermutedByRows(const std::vector<size_t>& order) const;
+
+  /// Splits into `n` contiguous slices with the same boundaries
+  /// spark::Parallelize gives `size()` records — slice p covers rows
+  /// [size*p/n, size*(p+1)/n).
+  std::vector<IdTable> SplitRows(int n) const;
+
+  const std::vector<rdf::TermId>& data() const { return data_; }
+
+  /// Flat footprint: rows occupy one fixed-width run. The constant mirrors
+  /// the object-header charge other estimated types pay, once per batch
+  /// instead of once per row.
+  uint64_t EstimatedByteSize() const {
+    return 16 + data_.size() * sizeof(rdf::TermId);
+  }
+
+  bool operator==(const IdTable& other) const = default;
+
+  /// Row iteration (range-for yields IdSpan views).
+  class RowIterator {
+   public:
+    RowIterator(const IdTable* table, size_t row) : table_(table), row_(row) {}
+    IdSpan operator*() const { return table_->row(row_); }
+    RowIterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    bool operator!=(const RowIterator& other) const {
+      return row_ != other.row_;
+    }
+    bool operator==(const RowIterator& other) const {
+      return row_ == other.row_;
+    }
+
+   private:
+    const IdTable* table_;
+    size_t row_;
+  };
+  RowIterator begin() const { return RowIterator(this, 0); }
+  RowIterator end() const { return RowIterator(this, num_rows_); }
+
+ private:
+  size_t width_ = 0;
+  size_t num_rows_ = 0;
+  std::vector<rdf::TermId> data_;
+};
+
+}  // namespace rdfspark::sparql
+
+#endif  // RDFSPARK_SPARQL_ID_TABLE_H_

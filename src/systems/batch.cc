@@ -1,0 +1,309 @@
+#include "systems/batch.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "spark/value_hash.h"
+
+namespace rdfspark::systems {
+
+namespace {
+
+using rdf::TermId;
+using sparql::IdSpan;
+using sparql::IdTable;
+
+/// Per-key row buckets over one batch, insertion-ordered within a bucket so
+/// probes emit matches in build order (the order Rdd::Join produced them).
+std::unordered_map<TermId, std::vector<size_t>> BuildBuckets(
+    const IdTable& rows, int key_col) {
+  std::unordered_map<TermId, std::vector<size_t>> build;
+  build.reserve(rows.size() * 2 + 1);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    build[rows.cell(r, static_cast<size_t>(key_col))].push_back(r);
+  }
+  return build;
+}
+
+std::unordered_map<TermId, std::vector<size_t>> BuildKeyBuckets(
+    const std::vector<TermId>& keys) {
+  std::unordered_map<TermId, std::vector<size_t>> build;
+  build.reserve(keys.size() * 2 + 1);
+  for (size_t r = 0; r < keys.size(); ++r) build[keys[r]].push_back(r);
+  return build;
+}
+
+}  // namespace
+
+spark::Rdd<IdTable> ParallelizeBatch(spark::SparkContext* sc, IdTable rows,
+                                     int n) {
+  return spark::Parallelize(sc, rows.SplitRows(n), n);
+}
+
+spark::Rdd<IdTable> RepartitionBatches(const spark::Rdd<IdTable>& rdd,
+                                       int key_col, int n, size_t width,
+                                       const std::string& name,
+                                       spark::PartitionerInfo info) {
+  if (rdd.node()->partitioner() && *rdd.node()->partitioner() == info) {
+    return rdd;
+  }
+  auto split = rdd.MapPartitionsWithIndex(
+      [key_col, n, width](int, const std::vector<IdTable>& in) {
+        std::vector<std::pair<int, IdTable>> out;
+        std::vector<int> slot(static_cast<size_t>(n), -1);
+        for (const IdTable& batch : in) {
+          for (size_t r = 0; r < batch.size(); ++r) {
+            uint64_t h =
+                spark::HashValue(batch.cell(r, static_cast<size_t>(key_col)));
+            int t = static_cast<int>(h % static_cast<uint64_t>(n));
+            int& s = slot[static_cast<size_t>(t)];
+            if (s < 0) {
+              s = static_cast<int>(out.size());
+              out.emplace_back(t, IdTable(width));
+            }
+            out[static_cast<size_t>(s)].second.AppendRowFrom(batch, r);
+          }
+        }
+        return out;
+      });
+  auto shuffled = split.ShuffleBy(
+      [](const std::pair<int, IdTable>& kv) {
+        return static_cast<uint64_t>(kv.first);
+      },
+      n, name, info);
+  return shuffled.MapPartitionsWithIndex(
+      [width](int, const std::vector<std::pair<int, IdTable>>& in) {
+        IdTable merged(width);
+        for (const auto& kv : in) merged.AppendRowsFrom(kv.second);
+        return std::vector<IdTable>{std::move(merged)};
+      },
+      info);
+}
+
+spark::Rdd<KeyedBatch> RepartitionKeyed(const spark::Rdd<KeyedBatch>& rdd,
+                                        int n, size_t width,
+                                        const std::string& name,
+                                        spark::PartitionerInfo info) {
+  return RepartitionKeyedBy(
+      rdd, [](TermId key) { return spark::HashValue(key); }, n, width, name,
+      info);
+}
+
+spark::Rdd<KeyedBatch> RekeyBatches(const spark::Rdd<KeyedBatch>& rdd,
+                                    int key_col, size_t width) {
+  return rdd.Map([key_col, width](const KeyedBatch& batch) {
+    KeyedBatch out{{}, IdTable(width)};
+    out.keys.reserve(batch.rows.size());
+    for (size_t r = 0; r < batch.rows.size(); ++r) {
+      out.keys.push_back(batch.rows.cell(r, static_cast<size_t>(key_col)));
+    }
+    out.rows = batch.rows;
+    return out;
+  });
+}
+
+spark::Rdd<IdTable> JoinBatchesOn(spark::SparkContext* sc,
+                                  const spark::Rdd<IdTable>& left,
+                                  const spark::Rdd<IdTable>& right,
+                                  int key_col, size_t width) {
+  int n = std::max(left.node()->num_partitions(),
+                   right.node()->num_partitions());
+  bool copartitioned =
+      left.node()->partitioner() && right.node()->partitioner() &&
+      *left.node()->partitioner() == *right.node()->partitioner();
+  spark::PartitionerInfo info{"hash", n, 0};
+  auto l = copartitioned
+               ? left
+               : RepartitionBatches(left, key_col, n, width, "PartitionByKey",
+                                    info);
+  auto r = copartitioned
+               ? right
+               : RepartitionBatches(right, key_col, n, width, "PartitionByKey",
+                                    info);
+  // Engines historically merged join pairs through a claim-dropping FlatMap
+  // and re-asserted placement with AssumePartitioner; emit claimless output
+  // so downstream shuffle decisions match the per-element path exactly.
+  return l.ZipPartitions(
+      r,
+      [sc, key_col, width](int, const std::vector<IdTable>& lin,
+                           const std::vector<IdTable>& rin) {
+        IdTable out(width);
+        uint64_t comparisons = 0;
+        for (const IdTable& lb : lin) {
+          for (const IdTable& rb : rin) {
+            auto build = BuildBuckets(rb, key_col);
+            for (size_t i = 0; i < lb.size(); ++i) {
+              auto it = build.find(lb.cell(i, static_cast<size_t>(key_col)));
+              ++comparisons;
+              if (it == build.end()) continue;
+              comparisons += it->second.size() - 1;
+              for (size_t j : it->second) {
+                MergeRowsInto(lb.row(i), rb.row(j), &out);
+              }
+            }
+          }
+        }
+        sc->ChargeJoinComparisons(comparisons);
+        return std::vector<IdTable>{std::move(out)};
+      });
+}
+
+spark::Rdd<KeyedBatch> JoinKeyedBatches(spark::SparkContext* sc,
+                                        const spark::Rdd<KeyedBatch>& left,
+                                        const spark::Rdd<KeyedBatch>& right,
+                                        size_t width) {
+  int n = std::max(left.node()->num_partitions(),
+                   right.node()->num_partitions());
+  bool copartitioned =
+      left.node()->partitioner() && right.node()->partitioner() &&
+      *left.node()->partitioner() == *right.node()->partitioner();
+  spark::PartitionerInfo info{"hash", n, 0};
+  auto l = copartitioned
+               ? left
+               : RepartitionKeyed(left, n, width, "PartitionByKey", info);
+  auto r = copartitioned
+               ? right
+               : RepartitionKeyed(right, n, width, "PartitionByKey", info);
+  return l.ZipPartitions(
+      r,
+      [sc, width](int, const std::vector<KeyedBatch>& lin,
+                  const std::vector<KeyedBatch>& rin) {
+        KeyedBatch out{{}, IdTable(width)};
+        uint64_t comparisons = 0;
+        for (const KeyedBatch& lb : lin) {
+          for (const KeyedBatch& rb : rin) {
+            auto build = BuildKeyBuckets(rb.keys);
+            for (size_t i = 0; i < lb.rows.size(); ++i) {
+              auto it = build.find(lb.keys[i]);
+              ++comparisons;
+              if (it == build.end()) continue;
+              comparisons += it->second.size() - 1;
+              for (size_t j : it->second) {
+                if (MergeRowsInto(lb.rows.row(i), rb.rows.row(j),
+                                  &out.rows)) {
+                  out.keys.push_back(lb.keys[i]);
+                }
+              }
+            }
+          }
+        }
+        sc->ChargeJoinComparisons(comparisons);
+        return std::vector<KeyedBatch>{std::move(out)};
+      });
+}
+
+spark::Rdd<KeyedBatch> JoinKeyedWithTriples(
+    spark::SparkContext* sc, const spark::Rdd<KeyedBatch>& left,
+    const spark::Rdd<KeyedTriple>& right, const EncodedPattern& ep,
+    const VarSchema& schema, size_t width) {
+  int n = std::max(left.node()->num_partitions(),
+                   right.node()->num_partitions());
+  bool copartitioned =
+      left.node()->partitioner() && right.node()->partitioner() &&
+      *left.node()->partitioner() == *right.node()->partitioner();
+  spark::PartitionerInfo info{"hash", n, 0};
+  auto l = copartitioned
+               ? left
+               : RepartitionKeyed(left, n, width, "PartitionByKey", info);
+  auto r = copartitioned ? right : right.PartitionByKey(n);
+  return l.ZipPartitions(
+      r,
+      [sc, ep, schema, width](int, const std::vector<KeyedBatch>& lin,
+                              const std::vector<KeyedTriple>& rin) {
+        std::unordered_map<TermId, std::vector<size_t>> build;
+        build.reserve(rin.size() * 2 + 1);
+        for (size_t j = 0; j < rin.size(); ++j) {
+          build[rin[j].first].push_back(j);
+        }
+        KeyedBatch out{{}, IdTable(width)};
+        uint64_t comparisons = 0;
+        for (const KeyedBatch& lb : lin) {
+          for (size_t i = 0; i < lb.rows.size(); ++i) {
+            auto it = build.find(lb.keys[i]);
+            ++comparisons;
+            if (it == build.end()) continue;
+            comparisons += it->second.size() - 1;
+            for (size_t j : it->second) {
+              const rdf::EncodedTriple& triple = rin[j].second;
+              if (!MatchesConstants(ep, triple)) continue;
+              TermId* cells = out.rows.AppendRowUninitialized();
+              IdSpan base = lb.rows.row(i);
+              std::copy(base.begin(), base.end(), cells);
+              if (ExtendRowCells(ep.source, triple, schema, cells)) {
+                out.keys.push_back(lb.keys[i]);
+              } else {
+                out.rows.PopRow();
+              }
+            }
+          }
+        }
+        sc->ChargeJoinComparisons(comparisons);
+        return std::vector<KeyedBatch>{std::move(out)};
+      });
+}
+
+spark::Rdd<IdTable> CartesianMergeBatches(spark::SparkContext* sc,
+                                          const spark::Rdd<IdTable>& left,
+                                          const spark::Rdd<IdTable>& right,
+                                          size_t width) {
+  return left.Cartesian(right).MapPartitionsWithIndex(
+      [sc, width](int, const std::vector<std::pair<IdTable, IdTable>>& in) {
+        IdTable out(width);
+        for (const auto& ab : in) {
+          sc->ChargeJoinComparisons(ab.first.size() * ab.second.size());
+          for (size_t i = 0; i < ab.first.size(); ++i) {
+            for (size_t j = 0; j < ab.second.size(); ++j) {
+              MergeRowsInto(ab.first.row(i), ab.second.row(j), &out);
+            }
+          }
+        }
+        return std::vector<IdTable>{std::move(out)};
+      });
+}
+
+spark::Rdd<KeyedBatch> CartesianMergeKeyed(spark::SparkContext* sc,
+                                           const spark::Rdd<KeyedBatch>& left,
+                                           const spark::Rdd<KeyedBatch>& right,
+                                           bool keep_left_key, size_t width) {
+  return left.Cartesian(right).MapPartitionsWithIndex(
+      [sc, keep_left_key, width](
+          int, const std::vector<std::pair<KeyedBatch, KeyedBatch>>& in) {
+        KeyedBatch out{{}, IdTable(width)};
+        for (const auto& ab : in) {
+          sc->ChargeJoinComparisons(ab.first.rows.size() *
+                                    ab.second.rows.size());
+          for (size_t i = 0; i < ab.first.rows.size(); ++i) {
+            for (size_t j = 0; j < ab.second.rows.size(); ++j) {
+              if (MergeRowsInto(ab.first.rows.row(i), ab.second.rows.row(j),
+                                &out.rows)) {
+                out.keys.push_back(keep_left_key ? ab.first.keys[i]
+                                                 : ab.second.keys[j]);
+              }
+            }
+          }
+        }
+        return std::vector<KeyedBatch>{std::move(out)};
+      });
+}
+
+sparql::IdTable CollectRows(const spark::Rdd<IdTable>& rdd, size_t width) {
+  IdTable out(width);
+  for (const IdTable& batch : rdd.Collect()) {
+    if (batch.empty()) continue;
+    out.AppendRowsFrom(batch);
+  }
+  return out;
+}
+
+sparql::IdTable CollectKeyedRows(const spark::Rdd<KeyedBatch>& rdd,
+                                 size_t width) {
+  IdTable out(width);
+  for (const KeyedBatch& batch : rdd.Collect()) {
+    if (batch.rows.empty()) continue;
+    out.AppendRowsFrom(batch.rows);
+  }
+  return out;
+}
+
+}  // namespace rdfspark::systems

@@ -1,0 +1,161 @@
+#ifndef RDFSPARK_SYSTEMS_BATCH_H_
+#define RDFSPARK_SYSTEMS_BATCH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spark/rdd.h"
+#include "spark/value_hash.h"
+#include "sparql/id_table.h"
+#include "systems/common.h"
+
+namespace rdfspark::systems {
+
+/// Batch-at-a-time data plane: every RDD partition carries ONE IdTable
+/// (possibly empty) instead of one std::vector per row. Shuffles move
+/// fixed-width sub-batches, joins build/probe contiguous id memory, and
+/// row order is preserved exactly as the per-element path produced it:
+/// sub-batches merge in source-partition order, probes walk the left batch
+/// in row order, and matches emit in build order.
+
+/// A batch whose rows carry a routing key (e.g. HAQWA/SparkRDF subject
+/// keys, which are not always a row column — constant subjects). keys and
+/// rows are parallel: keys[i] routes rows.row(i).
+struct KeyedBatch {
+  std::vector<rdf::TermId> keys;
+  sparql::IdTable rows;
+
+  uint64_t EstimatedByteSize() const {
+    return 24 + keys.size() * sizeof(rdf::TermId) + rows.EstimatedByteSize();
+  }
+  bool operator==(const KeyedBatch& other) const = default;
+};
+
+/// A dictionary-encoded triple routed by one of its terms (subject for
+/// HAQWA fragments, join term for replicas). Stays element-wise: triples
+/// are the base data, not intermediate rows.
+using KeyedTriple = std::pair<rdf::TermId, rdf::EncodedTriple>;
+
+/// Distributes a driver-side table over `n` partitions (one batch each),
+/// with the same contiguous slice boundaries spark::Parallelize uses for
+/// `rows.size()` records.
+spark::Rdd<sparql::IdTable> ParallelizeBatch(spark::SparkContext* sc,
+                                             sparql::IdTable rows, int n);
+
+/// Hash-repartitions rows by column `key_col`: row i goes to partition
+/// HashValue(row[key_col]) % n — identical placement to keying the row and
+/// calling PartitionByKey. The resulting batches carry `info` as their
+/// partitioner claim; no-op when the input already claims `info`.
+spark::Rdd<sparql::IdTable> RepartitionBatches(
+    const spark::Rdd<sparql::IdTable>& rdd, int key_col, int n, size_t width,
+    const std::string& name, spark::PartitionerInfo info);
+
+/// Keyed repartition with a caller-chosen routing function over the
+/// side-car key (HAQWA's semantic partitioner routes by rdf:type class,
+/// not by hash). `target(key) % n` picks the partition.
+template <typename TargetFn>
+spark::Rdd<KeyedBatch> RepartitionKeyedBy(const spark::Rdd<KeyedBatch>& rdd,
+                                          TargetFn target, int n, size_t width,
+                                          const std::string& name,
+                                          spark::PartitionerInfo info) {
+  if (rdd.node()->partitioner() && *rdd.node()->partitioner() == info) {
+    return rdd;
+  }
+  auto split = rdd.MapPartitionsWithIndex(
+      [target, n, width](int, const std::vector<KeyedBatch>& in) {
+        std::vector<std::pair<int, KeyedBatch>> out;
+        std::vector<int> slot(static_cast<size_t>(n), -1);
+        for (const KeyedBatch& batch : in) {
+          for (size_t r = 0; r < batch.rows.size(); ++r) {
+            int t = static_cast<int>(target(batch.keys[r]) %
+                                     static_cast<uint64_t>(n));
+            int& s = slot[static_cast<size_t>(t)];
+            if (s < 0) {
+              s = static_cast<int>(out.size());
+              out.emplace_back(t,
+                               KeyedBatch{{}, sparql::IdTable(width)});
+            }
+            auto& sub = out[static_cast<size_t>(s)].second;
+            sub.keys.push_back(batch.keys[r]);
+            sub.rows.AppendRowFrom(batch.rows, r);
+          }
+        }
+        return out;
+      });
+  auto shuffled = split.ShuffleBy(
+      [](const std::pair<int, KeyedBatch>& kv) {
+        return static_cast<uint64_t>(kv.first);
+      },
+      n, name, info);
+  return shuffled.MapPartitionsWithIndex(
+      [width](int, const std::vector<std::pair<int, KeyedBatch>>& in) {
+        KeyedBatch merged{{}, sparql::IdTable(width)};
+        for (const auto& kv : in) {
+          merged.keys.insert(merged.keys.end(), kv.second.keys.begin(),
+                             kv.second.keys.end());
+          merged.rows.AppendRowsFrom(kv.second.rows);
+        }
+        return std::vector<KeyedBatch>{std::move(merged)};
+      },
+      info);
+}
+
+/// Hash-keyed repartition (the PartitionByKey analogue).
+spark::Rdd<KeyedBatch> RepartitionKeyed(const spark::Rdd<KeyedBatch>& rdd,
+                                        int n, size_t width,
+                                        const std::string& name,
+                                        spark::PartitionerInfo info);
+
+/// Recomputes every key from row column `key_col` (narrow; drops any
+/// partitioner claim — callers re-assert with AssumePartitioner when the
+/// placement proof holds).
+spark::Rdd<KeyedBatch> RekeyBatches(const spark::Rdd<KeyedBatch>& rdd,
+                                    int key_col, size_t width);
+
+/// Hash join of two batch RDDs on row column `key_col` (same schema on
+/// both sides), merging matched rows with MergeRowsInto. Mirrors
+/// Rdd::Join: co-partitioned inputs zip directly; otherwise both sides
+/// repartition to max(partitions); output claims {"hash", n, 0}.
+spark::Rdd<sparql::IdTable> JoinBatchesOn(
+    spark::SparkContext* sc, const spark::Rdd<sparql::IdTable>& left,
+    const spark::Rdd<sparql::IdTable>& right, int key_col, size_t width);
+
+/// Keyed-batch join on the side-car keys. Joined rows keep the probe key.
+spark::Rdd<KeyedBatch> JoinKeyedBatches(spark::SparkContext* sc,
+                                        const spark::Rdd<KeyedBatch>& left,
+                                        const spark::Rdd<KeyedBatch>& right,
+                                        size_t width);
+
+/// Joins a keyed-batch RDD against keyed triples (HAQWA replica fast
+/// path): each matched triple extends the row under `pattern`'s variable
+/// bindings after `ep`'s constant check; conflicting extensions drop.
+spark::Rdd<KeyedBatch> JoinKeyedWithTriples(
+    spark::SparkContext* sc, const spark::Rdd<KeyedBatch>& left,
+    const spark::Rdd<KeyedTriple>& right, const EncodedPattern& ep,
+    const VarSchema& schema, size_t width);
+
+/// Cartesian merge of two batch RDDs (ln*rn output partitions, one batch
+/// each), left-major within a partition pair.
+spark::Rdd<sparql::IdTable> CartesianMergeBatches(
+    spark::SparkContext* sc, const spark::Rdd<sparql::IdTable>& left,
+    const spark::Rdd<sparql::IdTable>& right, size_t width);
+
+/// Keyed cartesian merge; the surviving key is the left row's when
+/// `keep_left_key`, else the right row's.
+spark::Rdd<KeyedBatch> CartesianMergeKeyed(spark::SparkContext* sc,
+                                           const spark::Rdd<KeyedBatch>& left,
+                                           const spark::Rdd<KeyedBatch>& right,
+                                           bool keep_left_key, size_t width);
+
+/// Collects all batches into one driver-side table (partition order).
+sparql::IdTable CollectRows(const spark::Rdd<sparql::IdTable>& rdd,
+                            size_t width);
+
+/// Collects a keyed-batch RDD, dropping the keys.
+sparql::IdTable CollectKeyedRows(const spark::Rdd<KeyedBatch>& rdd,
+                                 size_t width);
+
+}  // namespace rdfspark::systems
+
+#endif  // RDFSPARK_SYSTEMS_BATCH_H_

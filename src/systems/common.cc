@@ -43,6 +43,24 @@ bool ExtendRow(const sparql::TriplePattern& pattern,
          bind(pattern.o, triple.o);
 }
 
+bool ExtendRowCells(const sparql::TriplePattern& pattern,
+                    const rdf::EncodedTriple& triple, const VarSchema& schema,
+                    rdf::TermId* cells) {
+  auto bind = [&](const sparql::PatternTerm& slot, rdf::TermId value) {
+    if (!slot.is_variable()) return true;
+    int idx = schema.IndexOf(slot.var());
+    if (idx < 0) return true;  // variable not tracked (projection later)
+    rdf::TermId& cell = cells[static_cast<size_t>(idx)];
+    if (cell == sparql::kUnbound) {
+      cell = value;
+      return true;
+    }
+    return cell == value;
+  };
+  return bind(pattern.s, triple.s) && bind(pattern.p, triple.p) &&
+         bind(pattern.o, triple.o);
+}
+
 bool MatchesConstants(const EncodedPattern& encoded,
                       const rdf::EncodedTriple& triple) {
   if (encoded.impossible) return false;
@@ -68,6 +86,29 @@ sparql::BindingTable ToBindingTable(const VarSchema& schema,
     table.AddRow(std::move(row));
   }
   return table;
+}
+
+sparql::BindingTable ToBindingTable(const VarSchema& schema,
+                                    sparql::IdTable rows) {
+  return sparql::BindingTable(schema.vars(), std::move(rows));
+}
+
+bool MergeRowsInto(sparql::IdSpan a, sparql::IdSpan b, sparql::IdTable* out) {
+  rdf::TermId* cells = out->AppendRowUninitialized();
+  size_t width = out->width();
+  for (size_t i = 0; i < width; ++i) {
+    cells[i] = i < a.size() ? a[i] : sparql::kUnbound;
+  }
+  for (size_t i = 0; i < b.size() && i < width; ++i) {
+    if (b[i] == sparql::kUnbound) continue;
+    if (cells[i] == sparql::kUnbound) {
+      cells[i] = b[i];
+    } else if (cells[i] != b[i]) {
+      out->PopRow();
+      return false;
+    }
+  }
+  return true;
 }
 
 std::optional<IdRow> MergeRows(const IdRow& a, const IdRow& b) {

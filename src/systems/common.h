@@ -63,6 +63,13 @@ bool ExtendRow(const sparql::TriplePattern& pattern,
                const rdf::EncodedTriple& triple, const VarSchema& schema,
                IdRow* row);
 
+/// Same extension over a raw fixed-width row (a freshly appended IdTable
+/// row whose cells are pre-filled with kUnbound). Batch kernels append a
+/// row in place, try the extension, and pop it on failure.
+bool ExtendRowCells(const sparql::TriplePattern& pattern,
+                    const rdf::EncodedTriple& triple, const VarSchema& schema,
+                    rdf::TermId* cells);
+
 /// True if `triple` matches the constant slots of `encoded`.
 bool MatchesConstants(const EncodedPattern& encoded,
                       const rdf::EncodedTriple& triple);
@@ -75,9 +82,19 @@ std::vector<std::string> SharedVars(const sparql::TriplePattern& pattern,
 sparql::BindingTable ToBindingTable(const VarSchema& schema,
                                     std::vector<IdRow> rows);
 
+/// Adopts an already-flat batch as a BindingTable (rows must be
+/// schema-width).
+sparql::BindingTable ToBindingTable(const VarSchema& schema,
+                                    sparql::IdTable rows);
+
 /// Element-wise merge of two rows over the same schema; nullopt when a
 /// variable is bound to different values.
 std::optional<IdRow> MergeRows(const IdRow& a, const IdRow& b);
+
+/// Batch form of MergeRows: appends the merge of `a` and `b` to `out`
+/// (width out->width(); shorter inputs read as kUnbound) and returns true,
+/// or leaves `out` unchanged and returns false on a binding conflict.
+bool MergeRowsInto(sparql::IdSpan a, sparql::IdSpan b, sparql::IdTable* out);
 
 /// A star fragment: patterns sharing one subject (variable or constant).
 struct SubjectGroup {

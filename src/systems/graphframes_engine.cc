@@ -277,17 +277,15 @@ Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
           cols.push_back(idx);
         }
         sparql::BindingTable table(vars);
+        sparql::IdTable* rows = table.mutable_rows();
         for (const auto& row : result.Collect()) {
-          IdRow out;
-          out.reserve(cols.size());
-          for (int c : cols) {
-            const sql::Value& v = row[static_cast<size_t>(c)];
-            out.push_back(
-                sql::IsNull(v)
-                    ? sparql::kUnbound
-                    : static_cast<rdf::TermId>(std::get<int64_t>(v)));
+          rdf::TermId* cells = rows->AppendRowUninitialized();
+          for (size_t i = 0; i < cols.size(); ++i) {
+            const sql::Value& v = row[static_cast<size_t>(cols[i])];
+            cells[i] = sql::IsNull(v) ? sparql::kUnbound
+                                      : static_cast<rdf::TermId>(
+                                            std::get<int64_t>(v));
           }
-          table.AddRow(std::move(out));
         }
         return plan::PlanPayload(std::move(table));
       });

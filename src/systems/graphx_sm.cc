@@ -16,8 +16,9 @@ using spark::graphx::VertexId;
 
 namespace {
 
-/// A Match Track table: partial binding rows ending at a vertex.
-using Mt = std::vector<IdRow>;
+/// A Match Track table: partial binding rows ending at a vertex, stored as
+/// one flat fixed-width batch.
+using Mt = sparql::IdTable;
 /// Vertex attribute during evaluation: the vertex's term + its MT table.
 using VAttr = std::pair<rdf::TermId, Mt>;
 
@@ -76,7 +77,7 @@ namespace {
 
 Mt ConcatMt(const Mt& a, const Mt& b) {
   Mt out = a;
-  out.insert(out.end(), b.begin(), b.end());
+  out.AppendRowsFrom(b);
   return out;
 }
 
@@ -151,8 +152,10 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
                   if (MatchesConstants(*ep, t)) {
                     IdRow row(width, sparql::kUnbound);
                     if (ExtendRow(*pattern, t, *schema, &row)) {
+                      Mt one(width);
+                      one.AppendRow(row);
                       out.emplace_back(anchor_at_dst ? e.dst : e.src,
-                                       Mt{std::move(row)});
+                                       std::move(one));
                     }
                   }
                   return out;
@@ -200,19 +203,22 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
           tp.ToString(), pattern_est(tp),
           [this, ep, pattern, schema, width](std::vector<plan::PlanPayload>)
               -> Result<plan::PlanPayload> {
-            return plan::PlanPayload(graph_.edges().FlatMap(
-                [ep, pattern, schema, width](const Edge<rdf::TermId>& e) {
-                  std::vector<IdRow> out;
-                  rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src),
-                                       e.attr,
-                                       static_cast<rdf::TermId>(e.dst)};
-                  if (MatchesConstants(*ep, t)) {
-                    IdRow row(width, sparql::kUnbound);
-                    if (ExtendRow(*pattern, t, *schema, &row)) {
-                      out.push_back(std::move(row));
+            return plan::PlanPayload(graph_.edges().MapPartitionsWithIndex(
+                [ep, pattern, schema, width](
+                    int, const std::vector<Edge<rdf::TermId>>& in) {
+                  sparql::IdTable out(width);
+                  for (const Edge<rdf::TermId>& e : in) {
+                    rdf::EncodedTriple t{static_cast<rdf::TermId>(e.src),
+                                         e.attr,
+                                         static_cast<rdf::TermId>(e.dst)};
+                    if (!MatchesConstants(*ep, t)) continue;
+                    rdf::TermId* cells = out.AppendRowUninitialized();
+                    std::fill(cells, cells + width, sparql::kUnbound);
+                    if (!ExtendRowCells(*pattern, t, *schema, cells)) {
+                      out.PopRow();
                     }
                   }
-                  return out;
+                  return std::vector<sparql::IdTable>{std::move(out)};
                 }));
           });
       leaf->out_vars = tp.Variables();
@@ -220,17 +226,29 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
       root = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "merge match-tracks",
           std::move(root), std::move(leaf),
-          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+          [this](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
             auto frontier = std::any_cast<Rdd<std::pair<VertexId, Mt>>>(
                 std::move(in[0]));
-            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
+            auto rows =
+                std::any_cast<Rdd<sparql::IdTable>>(std::move(in[1]));
+            auto* sc = sc_;
+            // Batch-major merge: the per-element path emitted one message
+            // per (frontier entry, standalone row) pair; concatenating over
+            // the batch's rows in order yields the same per-vertex sequence
+            // after ReduceByKey.
             auto crossed = frontier.Cartesian(rows).FlatMap(
-                [](const std::pair<std::pair<VertexId, Mt>, IdRow>& ab) {
+                [sc](const std::pair<std::pair<VertexId, Mt>,
+                                     sparql::IdTable>& ab) {
                   std::vector<std::pair<VertexId, Mt>> out;
-                  Mt merged_rows;
-                  for (const IdRow& row : ab.first.second) {
-                    auto merged = MergeRows(row, ab.second);
-                    if (merged) merged_rows.push_back(std::move(*merged));
+                  const Mt& table = ab.first.second;
+                  const sparql::IdTable& batch = ab.second;
+                  sc->ChargeJoinComparisons(table.size() * batch.size());
+                  Mt merged_rows(table.width());
+                  for (size_t j = 0; j < batch.size(); ++j) {
+                    for (size_t i = 0; i < table.size(); ++i) {
+                      MergeRowsInto(table.row(i), batch.row(j), &merged_rows);
+                    }
                   }
                   if (!merged_rows.empty()) {
                     out.emplace_back(ab.first.first, std::move(merged_rows));
@@ -265,11 +283,13 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
             frontier = frontier
                            .FlatMap([idx](const std::pair<VertexId, Mt>& kv) {
                              std::vector<std::pair<VertexId, Mt>> out;
-                             for (const IdRow& row : kv.second) {
+                             for (size_t r = 0; r < kv.second.size(); ++r) {
+                               Mt one(kv.second.width());
+                               one.AppendRowFrom(kv.second, r);
                                out.emplace_back(
-                                   static_cast<VertexId>(
-                                       row[static_cast<size_t>(idx)]),
-                                   Mt{row});
+                                   static_cast<VertexId>(kv.second.cell(
+                                       r, static_cast<size_t>(idx))),
+                                   std::move(one));
                              }
                              return out;
                            })
@@ -291,11 +311,13 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
                                           t.attr,
                                           static_cast<rdf::TermId>(t.dst)};
                 if (!MatchesConstants(*ep, triple)) return out;
-                Mt extended;
-                for (const IdRow& row : source_table) {
-                  IdRow e = row;
-                  if (ExtendRow(*pattern, triple, *schema, &e)) {
-                    extended.push_back(std::move(e));
+                Mt extended(source_table.width());
+                for (size_t r = 0; r < source_table.size(); ++r) {
+                  rdf::TermId* cells = extended.AppendRowUninitialized();
+                  sparql::IdSpan base = source_table.row(r);
+                  std::copy(base.begin(), base.end(), cells);
+                  if (!ExtendRowCells(*pattern, triple, *schema, cells)) {
+                    extended.PopRow();
                   }
                 }
                 if (!extended.empty()) {
@@ -314,8 +336,8 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
 
   if (!initialized) {
     // Only constant patterns, all present: one all-unbound row.
-    std::vector<IdRow> rows;
-    rows.push_back(IdRow(width, sparql::kUnbound));
+    sparql::IdTable rows(width);
+    rows.AppendRowFilled(sparql::kUnbound);
     return plan::ConstantResultPlan(ToBindingTable(*schema, std::move(rows)),
                                     "constant-only BGP");
   }
@@ -326,12 +348,14 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
   }
   auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(root),
-      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+      [schema, width](std::vector<plan::PlanPayload> in)
+          -> Result<plan::PlanPayload> {
         auto frontier =
             std::any_cast<Rdd<std::pair<VertexId, Mt>>>(std::move(in[0]));
-        std::vector<IdRow> rows;
+        sparql::IdTable rows(width);
         for (auto& [v, table] : frontier.Collect()) {
-          for (auto& row : table) rows.push_back(std::move(row));
+          if (table.empty()) continue;
+          rows.AppendRowsFrom(table);
         }
         return plan::PlanPayload(ToBindingTable(*schema, std::move(rows)));
       });

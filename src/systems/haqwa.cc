@@ -148,7 +148,7 @@ Result<LoadStats> HaqwaEngine::Load(const rdf::TripleStore& store) {
   return stats;
 }
 
-spark::Rdd<HaqwaEngine::KeyedRow> HaqwaEngine::EvaluateStarLocal(
+spark::Rdd<KeyedBatch> HaqwaEngine::EvaluateStarLocal(
     const SubjectGroup& group, const VarSchema& schema) const {
   // Encode the group's patterns once, outside the closure.
   auto encoded = std::make_shared<std::vector<EncodedPattern>>();
@@ -165,7 +165,7 @@ spark::Rdd<HaqwaEngine::KeyedRow> HaqwaEngine::EvaluateStarLocal(
                            spark::ValueHasher>
             by_subject;
         for (const auto& kv : part) by_subject[kv.first].push_back(kv.second);
-        std::vector<KeyedRow> out;
+        KeyedBatch out{{}, sparql::IdTable(width)};
         for (const auto& [subject, triples] : by_subject) {
           std::vector<IdRow> rows{IdRow(width, sparql::kUnbound)};
           for (const auto& ep : *encoded) {
@@ -182,9 +182,12 @@ spark::Rdd<HaqwaEngine::KeyedRow> HaqwaEngine::EvaluateStarLocal(
             rows = std::move(next);
             if (rows.empty()) break;
           }
-          for (auto& row : rows) out.emplace_back(subject, std::move(row));
+          for (const auto& row : rows) {
+            out.keys.push_back(subject);
+            out.rows.AppendRow(row);
+          }
         }
-        return out;
+        return std::vector<KeyedBatch>{std::move(out)};
       });
   // Per-partition star joins never move rows off the subject's partition.
   return rows.AssumePartitioner(subject_partitioner_);
@@ -220,6 +223,7 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
   for (const auto& tp : bgp) {
     for (const auto& v : tp.Variables()) schema->Add(v);
   }
+  size_t width = schema->vars().size();
 
   // Decompose into locally evaluable sub-queries (subject stars).
   std::vector<SubjectGroup> groups =
@@ -342,31 +346,15 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
             plan::NodeKind::kPartitionedHashJoin,
             "on ?" + link_var + " via replica (local)", std::move(root),
             std::move(right),
-            [this, g, schema, key](std::vector<plan::PlanPayload> in)
+            [this, g, schema, key, width](std::vector<plan::PlanPayload> in)
                 -> Result<plan::PlanPayload> {
-              auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+              auto current = std::any_cast<Rdd<KeyedBatch>>(std::move(in[0]));
               const auto& replica = replicas_.at(key);
-              auto pattern = std::make_shared<const sparql::TriplePattern>(
-                  g->patterns[0]);
-              auto ep = std::make_shared<const EncodedPattern>(
-                  EncodePattern(store_->dictionary(), *pattern));
-              auto joined =
-                  current.Join(replica);  // co-partitioned: no shuffle
-              auto next = joined.FlatMap(
-                  [pattern, ep, schema](
-                      const std::pair<
-                          rdf::TermId,
-                          std::pair<IdRow, rdf::EncodedTriple>>& kv) {
-                    std::vector<KeyedRow> out;
-                    if (MatchesConstants(*ep, kv.second.second)) {
-                      IdRow row = kv.second.first;
-                      if (ExtendRow(*pattern, kv.second.second, *schema,
-                                    &row)) {
-                        out.emplace_back(kv.first, std::move(row));
-                      }
-                    }
-                    return out;
-                  });
+              EncodedPattern ep =
+                  EncodePattern(store_->dictionary(), g->patterns[0]);
+              // Co-partitioned with the replica: no shuffle.
+              auto next = JoinKeyedWithTriples(sc_, current, replica, ep,
+                                               *schema, width);
               // Key variable unchanged (still the link source's subject).
               if (!options_.semantic_partitioning) {
                 next = next.AssumePartitioner(subject_partitioner_);
@@ -401,31 +389,15 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
             plan::NodeKind::kPartitionedHashJoin,
             "on ?" + link_var + " via object-replica (local)",
             std::move(root), std::move(right),
-            [this, g, schema, pb_id](std::vector<plan::PlanPayload> in)
+            [this, g, schema, pb_id, width](std::vector<plan::PlanPayload> in)
                 -> Result<plan::PlanPayload> {
-              auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
+              auto current = std::any_cast<Rdd<KeyedBatch>>(std::move(in[0]));
               const auto& replica = object_replicas_.at(pb_id);
-              auto pattern = std::make_shared<const sparql::TriplePattern>(
-                  g->patterns[0]);
-              auto ep = std::make_shared<const EncodedPattern>(
-                  EncodePattern(store_->dictionary(), *pattern));
-              auto joined =
-                  current.Join(replica);  // co-partitioned: no shuffle
-              auto next = joined.FlatMap(
-                  [pattern, ep, schema](
-                      const std::pair<
-                          rdf::TermId,
-                          std::pair<IdRow, rdf::EncodedTriple>>& kv) {
-                    std::vector<KeyedRow> out;
-                    if (MatchesConstants(*ep, kv.second.second)) {
-                      IdRow row = kv.second.first;
-                      if (ExtendRow(*pattern, kv.second.second, *schema,
-                                    &row)) {
-                        out.emplace_back(kv.first, std::move(row));
-                      }
-                    }
-                    return out;
-                  });
+              EncodedPattern ep =
+                  EncodePattern(store_->dictionary(), g->patterns[0]);
+              // Co-partitioned with the object replica: no shuffle.
+              auto next = JoinKeyedWithTriples(sc_, current, replica, ep,
+                                               *schema, width);
               if (!options_.semantic_partitioning) {
                 next = next.AssumePartitioner(subject_partitioner_);
               }
@@ -447,19 +419,14 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
       root = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
           std::move(group_leaf),
-          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-            auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
-            auto group_rows = std::any_cast<Rdd<KeyedRow>>(std::move(in[1]));
-            auto pairs = current.Cartesian(group_rows);
-            return plan::PlanPayload(pairs.FlatMap(
-                [](const std::pair<KeyedRow, KeyedRow>& ab) {
-                  std::vector<KeyedRow> out;
-                  auto merged = MergeRows(ab.first.second, ab.second.second);
-                  if (merged) {
-                    out.emplace_back(ab.first.first, std::move(*merged));
-                  }
-                  return out;
-                }));
+          [this, width](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto current = std::any_cast<Rdd<KeyedBatch>>(std::move(in[0]));
+            auto group_rows = std::any_cast<Rdd<KeyedBatch>>(std::move(in[1]));
+            // Merged rows keep the left (accumulated) key, like the
+            // per-element path did.
+            return plan::PlanPayload(CartesianMergeKeyed(
+                sc_, current, group_rows, /*keep_left_key=*/true, width));
           });
       current_key_var.clear();
     } else {
@@ -475,38 +442,25 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
           plan::NodeKind::kPartitionedHashJoin,
           "on ?" + link_var + (keep_claim ? "" : " (re-key)"),
           std::move(root), std::move(group_leaf),
-          [this, link_idx, keep_claim, group_keyed_by_link](
+          [this, link_idx, keep_claim, group_keyed_by_link, width](
               std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-            auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
-            auto group_rows = std::any_cast<Rdd<KeyedRow>>(std::move(in[1]));
+            auto current = std::any_cast<Rdd<KeyedBatch>>(std::move(in[0]));
+            auto group_rows = std::any_cast<Rdd<KeyedBatch>>(std::move(in[1]));
             // Re-key current rows by the link variable.
-            auto rekeyed_current = current.Map([link_idx](const KeyedRow& kv) {
-              return KeyedRow(kv.second[static_cast<size_t>(link_idx)],
-                              kv.second);
-            });
+            auto rekeyed_current = RekeyBatches(current, link_idx, width);
             if (keep_claim) {
               rekeyed_current =
                   rekeyed_current.AssumePartitioner(subject_partitioner_);
             }
-            Rdd<KeyedRow> rekeyed_group;
+            Rdd<KeyedBatch> rekeyed_group;
             if (group_keyed_by_link) {
               rekeyed_group =
                   group_rows;  // already keyed & partitioned by subject
             } else {
-              rekeyed_group = group_rows.Map([link_idx](const KeyedRow& kv) {
-                return KeyedRow(kv.second[static_cast<size_t>(link_idx)],
-                                kv.second);
-              });
+              rekeyed_group = RekeyBatches(group_rows, link_idx, width);
             }
-            auto joined = rekeyed_current.Join(rekeyed_group);
-            return plan::PlanPayload(joined.FlatMap(
-                [](const std::pair<rdf::TermId,
-                                   std::pair<IdRow, IdRow>>& kv) {
-                  std::vector<KeyedRow> out;
-                  auto merged = MergeRows(kv.second.first, kv.second.second);
-                  if (merged) out.emplace_back(kv.first, std::move(*merged));
-                  return out;
-                }));
+            return plan::PlanPayload(
+                JoinKeyedBatches(sc_, rekeyed_current, rekeyed_group, width));
           });
       root->key_vars = {link_var};
       root->partition_local = keep_claim && group_keyed_by_link;
@@ -523,11 +477,11 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
   }
   auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(root),
-      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-        auto current = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
-        std::vector<IdRow> rows;
-        for (auto& kv : current.Collect()) rows.push_back(std::move(kv.second));
-        return plan::PlanPayload(ToBindingTable(*schema, std::move(rows)));
+      [schema, width](std::vector<plan::PlanPayload> in)
+          -> Result<plan::PlanPayload> {
+        auto current = std::any_cast<Rdd<KeyedBatch>>(std::move(in[0]));
+        return plan::PlanPayload(
+            ToBindingTable(*schema, CollectKeyedRows(current, width)));
       });
   project->key_vars = schema->vars();
   return project;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "spark/rdd.h"
+#include "systems/batch.h"
 #include "systems/common.h"
 #include "systems/engine.h"
 #include "systems/semantic_partitioning.h"
@@ -59,13 +60,11 @@ class HaqwaEngine : public BgpEngineBase {
   }
 
  private:
-  using KeyedRow = std::pair<rdf::TermId, IdRow>;
-  using KeyedTriple = std::pair<rdf::TermId, rdf::EncodedTriple>;
-
-  /// Evaluates one subject group locally per partition; rows come out keyed
-  /// by the group's subject value, still subject-partitioned.
-  spark::Rdd<KeyedRow> EvaluateStarLocal(const SubjectGroup& group,
-                                         const VarSchema& schema) const;
+  /// Evaluates one subject group locally per partition; each partition's
+  /// matches come out as one keyed batch (keyed by the group's subject
+  /// value), still subject-partitioned.
+  spark::Rdd<KeyedBatch> EvaluateStarLocal(const SubjectGroup& group,
+                                           const VarSchema& schema) const;
 
   /// Cost proxy for seed selection: candidate count of the group's most
   /// selective pattern.

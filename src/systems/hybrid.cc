@@ -5,6 +5,7 @@
 #include <chrono>
 #include <memory>
 
+#include "systems/batch.h"
 #include "systems/plan/planner_utils.h"
 
 namespace rdfspark::systems {
@@ -218,16 +219,15 @@ sparql::BindingTable HybridEngine::DfToBindings(const DataFrame& df) const {
     }
   }
   sparql::BindingTable table(vars);
+  sparql::IdTable* rows = table.mutable_rows();
   for (const auto& row : df.Collect()) {
-    IdRow out;
-    out.reserve(cols.size());
-    for (int c : cols) {
-      const sql::Value& v = row[static_cast<size_t>(c)];
-      out.push_back(sql::IsNull(v)
-                        ? sparql::kUnbound
-                        : static_cast<rdf::TermId>(std::get<int64_t>(v)));
+    rdf::TermId* cells = rows->AppendRowUninitialized();
+    for (size_t i = 0; i < cols.size(); ++i) {
+      const sql::Value& v = row[static_cast<size_t>(cols[i])];
+      cells[i] = sql::IsNull(v)
+                     ? sparql::kUnbound
+                     : static_cast<rdf::TermId>(std::get<int64_t>(v));
     }
-    table.AddRow(std::move(out));
   }
   return table;
 }
@@ -360,16 +360,19 @@ Result<plan::PlanPtr> HybridEngine::PlanRdd(
           auto ep = std::make_shared<const EncodedPattern>(
               EncodePattern(store_->dictionary(), tp));
           auto pattern = std::make_shared<const sparql::TriplePattern>(tp);
-          return plan::PlanPayload(rdd_by_subject_.FlatMap(
-              [ep, pattern, schema, width](const KeyedTriple& kv) {
-                std::vector<IdRow> out;
-                if (MatchesConstants(*ep, kv.second)) {
-                  IdRow row(width, sparql::kUnbound);
-                  if (ExtendRow(*pattern, kv.second, *schema, &row)) {
-                    out.push_back(std::move(row));
+          return plan::PlanPayload(rdd_by_subject_.MapPartitionsWithIndex(
+              [ep, pattern, schema,
+               width](int, const std::vector<KeyedTriple>& in) {
+                sparql::IdTable out(width);
+                for (const KeyedTriple& kv : in) {
+                  if (!MatchesConstants(*ep, kv.second)) continue;
+                  rdf::TermId* cells = out.AppendRowUninitialized();
+                  std::fill(cells, cells + width, sparql::kUnbound);
+                  if (!ExtendRowCells(*pattern, kv.second, *schema, cells)) {
+                    out.PopRow();
                   }
                 }
-                return out;
+                return std::vector<sparql::IdTable>{std::move(out)};
               }));
         });
     AnnotateScan(tp, node.get());
@@ -385,40 +388,28 @@ Result<plan::PlanPtr> HybridEngine::PlanRdd(
       root = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
           scan(bgp[i]),
-          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-            auto current = std::any_cast<spark::Rdd<IdRow>>(std::move(in[0]));
-            auto rows = std::any_cast<spark::Rdd<IdRow>>(std::move(in[1]));
-            return plan::PlanPayload(current.Cartesian(rows).FlatMap(
-                [](const std::pair<IdRow, IdRow>& ab) {
-                  std::vector<IdRow> out;
-                  auto merged = MergeRows(ab.first, ab.second);
-                  if (merged) out.push_back(std::move(*merged));
-                  return out;
-                }));
+          [this, width](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto current =
+                std::any_cast<spark::Rdd<sparql::IdTable>>(std::move(in[0]));
+            auto rows =
+                std::any_cast<spark::Rdd<sparql::IdTable>>(std::move(in[1]));
+            return plan::PlanPayload(
+                CartesianMergeBatches(sc_, current, rows, width));
           });
     } else {
       int key_idx = schema->IndexOf(shared[0]);
       root = plan::MakeBinary(
           plan::NodeKind::kPartitionedHashJoin, JoinDetail({shared[0]}),
           std::move(root), scan(bgp[i]),
-          [key_idx](std::vector<plan::PlanPayload> in)
+          [this, key_idx, width](std::vector<plan::PlanPayload> in)
               -> Result<plan::PlanPayload> {
-            auto current = std::any_cast<spark::Rdd<IdRow>>(std::move(in[0]));
-            auto rows = std::any_cast<spark::Rdd<IdRow>>(std::move(in[1]));
-            auto key_by = [key_idx](const IdRow& row) {
-              return std::pair<rdf::TermId, IdRow>(
-                  row[static_cast<size_t>(key_idx)], row);
-            };
+            auto current =
+                std::any_cast<spark::Rdd<sparql::IdTable>>(std::move(in[0]));
+            auto rows =
+                std::any_cast<spark::Rdd<sparql::IdTable>>(std::move(in[1]));
             return plan::PlanPayload(
-                current.Map(key_by).Join(rows.Map(key_by))
-                    .FlatMap([](const std::pair<
-                                 rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
-                      std::vector<IdRow> out;
-                      auto merged =
-                          MergeRows(kv.second.first, kv.second.second);
-                      if (merged) out.push_back(std::move(*merged));
-                      return out;
-                    }));
+                JoinBatchesOn(sc_, current, rows, key_idx, width));
           });
       root->key_vars = {shared[0]};
     }
@@ -426,9 +417,12 @@ Result<plan::PlanPtr> HybridEngine::PlanRdd(
   }
   auto project = plan::MakeUnary(
       plan::NodeKind::kProject, VarListDetail(bgp), std::move(root),
-      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-        auto current = std::any_cast<spark::Rdd<IdRow>>(std::move(in[0]));
-        return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
+      [schema, width](std::vector<plan::PlanPayload> in)
+          -> Result<plan::PlanPayload> {
+        auto current =
+            std::any_cast<spark::Rdd<sparql::IdTable>>(std::move(in[0]));
+        return plan::PlanPayload(
+            ToBindingTable(*schema, CollectRows(current, width)));
       });
   project->key_vars = schema->vars();
   return project;

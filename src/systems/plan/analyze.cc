@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "spark/sql/dataframe.h"
+#include "systems/batch.h"
 #include "systems/common.h"
 
 namespace rdfspark::systems::plan {
@@ -13,20 +14,27 @@ namespace {
 
 // Row counters for the payload representations shared by several engines.
 // Engines with TU-local payload types register their own (see analyze.h).
-const RddPayloadRowCounterRegistration<IdRow> kIdRowRdd;
-const RddPayloadRowCounterRegistration<std::pair<rdf::TermId, IdRow>>
-    kKeyedRowRdd;
-// Graph engines (GraphX-SM, Sparkql) carry per-vertex match tables:
-// (VertexId, vector of rows).
-const RddPayloadRowCounterRegistration<std::pair<int64_t, std::vector<IdRow>>>
-    kVertexMatchRdd;
+// Batch payloads: one IdTable (or keyed batch / per-vertex table) per
+// partition element; rows out is the sum of batch sizes.
+const BatchPayloadRowCounterRegistration<sparql::IdTable,
+                                         uint64_t (*)(const sparql::IdTable&)>
+    kBatchRdd(+[](const sparql::IdTable& b) -> uint64_t { return b.size(); });
+const BatchPayloadRowCounterRegistration<KeyedBatch,
+                                         uint64_t (*)(const KeyedBatch&)>
+    kKeyedBatchRdd(
+        +[](const KeyedBatch& b) -> uint64_t { return b.rows.size(); });
+const BatchPayloadRowCounterRegistration<
+    std::pair<int64_t, sparql::IdTable>,
+    uint64_t (*)(const std::pair<int64_t, sparql::IdTable>&)>
+    kVertexBatchRdd(+[](const std::pair<int64_t, sparql::IdTable>& kv)
+                        -> uint64_t { return kv.second.size(); });
 
 struct DriverPayloadRegistration {
   DriverPayloadRegistration() {
-    // Driver-side row blocks (SparkRDF's intermediate results).
+    // Driver-side flat tables (SparkRDF's collected intermediates).
     RegisterPayloadRowCounter(
         [](const PlanPayload& payload) -> std::optional<uint64_t> {
-          const auto* rows = std::any_cast<std::vector<IdRow>>(&payload);
+          const auto* rows = std::any_cast<sparql::IdTable>(&payload);
           if (rows == nullptr) return std::nullopt;
           return rows->size();
         });

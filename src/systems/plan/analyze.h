@@ -60,6 +60,36 @@ class RddPayloadRowCounterRegistration {
   }
 };
 
+/// Batch-payload variant: partitions hold container elements (IdTable
+/// batches, keyed batches, per-vertex tables) whose row count is not the
+/// element count. `rows_of(element)` supplies rows-per-element; only cached
+/// partitions are read, so counting still charges nothing.
+template <typename T, typename RowsFn>
+class BatchPayloadRowCounterRegistration {
+ public:
+  explicit BatchPayloadRowCounterRegistration(RowsFn rows_of) {
+    RegisterPayloadRowCounter(
+        [rows_of](const PlanPayload& payload) -> std::optional<uint64_t> {
+          const auto* rdd = std::any_cast<spark::Rdd<T>>(&payload);
+          if (rdd == nullptr || !rdd->valid()) return std::nullopt;
+          auto node = rdd->node();
+          uint64_t total = 0;
+          for (int p = 0; p < node->num_partitions(); ++p) {
+            if (!node->IsPartitionCached(p)) continue;
+            auto part = node->GetPartition(p);
+            for (const T& x : *part) total += rows_of(x);
+          }
+          return total;
+        });
+    RegisterPayloadLineageProbe(
+        [](const PlanPayload& payload) -> std::shared_ptr<spark::RddNodeBase> {
+          const auto* rdd = std::any_cast<spark::Rdd<T>>(&payload);
+          if (rdd == nullptr || !rdd->valid()) return nullptr;
+          return rdd->node();
+        });
+  }
+};
+
 }  // namespace rdfspark::systems::plan
 
 #endif  // RDFSPARK_SYSTEMS_PLAN_ANALYZE_H_

@@ -1,5 +1,7 @@
 #include "systems/s2x.h"
 
+#include "systems/batch.h"
+
 #include <any>
 #include <chrono>
 #include <functional>
@@ -71,7 +73,7 @@ namespace {
 /// Per-pattern edge matches with variable bindings. Row schema is the BGP's
 /// VarSchema; subject/object values kept for candidate pruning.
 struct PatternMatches {
-  std::vector<IdRow> rows;
+  sparql::IdTable rows;
   std::vector<std::pair<rdf::TermId, rdf::TermId>> endpoints;  // (s, o)
 };
 
@@ -113,6 +115,7 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
         // edges (graph-parallel over the triplets view).
         auto& matches = state->matches;
         matches.resize(bgp.size());
+        for (auto& m : matches) m.rows = sparql::IdTable(width);
         for (size_t i = 0; i < bgp.size(); ++i) {
           auto ep = std::make_shared<const EncodedPattern>(
               EncodePattern(store_->dictionary(), bgp[i]));
@@ -134,7 +137,7 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
               });
           for (auto& [s, o, row] : rdd.Collect()) {
             matches[i].endpoints.emplace_back(s, o);
-            matches[i].rows.push_back(std::move(row));
+            matches[i].rows.AppendRow(row);
           }
         }
 
@@ -171,14 +174,14 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
           for (size_t i = 0; i < bgp.size(); ++i) {
             const std::string* sv = var_of(bgp[i].s);
             const std::string* ov = var_of(bgp[i].o);
-            std::vector<IdRow> kept_rows;
+            sparql::IdTable kept_rows(width);
             std::vector<std::pair<rdf::TermId, rdf::TermId>> kept_eps;
             std::unordered_set<rdf::TermId> s_here, o_here;
             for (size_t m = 0; m < matches[i].endpoints.size(); ++m) {
               auto [s, o] = matches[i].endpoints[m];
               if (sv && !cand[*sv].contains(s)) continue;
               if (ov && !cand[*ov].contains(o)) continue;
-              kept_rows.push_back(matches[i].rows[m]);
+              kept_rows.AppendRowFrom(matches[i].rows, m);
               kept_eps.emplace_back(s, o);
               if (sv) s_here.insert(s);
               if (ov) o_here.insert(o);
@@ -231,8 +234,8 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
             -> Result<plan::PlanPayload> {
           (*ensure_matched)();
           return plan::PlanPayload(
-              Parallelize(sc_, std::move(state->matches[i].rows),
-                          sc_->config().default_parallelism));
+              ParallelizeBatch(sc_, std::move(state->matches[i].rows),
+                               sc_->config().default_parallelism));
         });
     node->out_vars = bgp[i].Variables();
     if (bgp[i].s.is_variable()) node->subject_var = bgp[i].s.var();
@@ -264,40 +267,26 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
       root = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
           scan(i),
-          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-            auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
-            return plan::PlanPayload(current.Cartesian(rows).FlatMap(
-                [](const std::pair<IdRow, IdRow>& ab) {
-                  std::vector<IdRow> out;
-                  auto merged = MergeRows(ab.first, ab.second);
-                  if (merged) out.push_back(std::move(*merged));
-                  return out;
-                }));
+          [this, width](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto current =
+                std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+            auto rows = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[1]));
+            return plan::PlanPayload(
+                CartesianMergeBatches(sc_, current, rows, width));
           });
     } else {
       int key_idx = schema->IndexOf(shared[0]);
       root = plan::MakeBinary(
           plan::NodeKind::kPartitionedHashJoin, "on ?" + shared[0],
           std::move(root), scan(i),
-          [key_idx](std::vector<plan::PlanPayload> in)
+          [this, key_idx, width](std::vector<plan::PlanPayload> in)
               -> Result<plan::PlanPayload> {
-            auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
-            auto key_by = [key_idx](const IdRow& row) {
-              return std::pair<rdf::TermId, IdRow>(
-                  row[static_cast<size_t>(key_idx)], row);
-            };
+            auto current =
+                std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+            auto rows = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[1]));
             return plan::PlanPayload(
-                current.Map(key_by).Join(rows.Map(key_by))
-                    .FlatMap([](const std::pair<
-                                 rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
-                      std::vector<IdRow> out;
-                      auto merged =
-                          MergeRows(kv.second.first, kv.second.second);
-                      if (merged) out.push_back(std::move(*merged));
-                      return out;
-                    }));
+                JoinBatchesOn(sc_, current, rows, key_idx, width));
           });
       root->key_vars = {shared[0]};
     }
@@ -310,9 +299,11 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
   }
   auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(root),
-      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-        auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-        return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
+      [schema, width](std::vector<plan::PlanPayload> in)
+          -> Result<plan::PlanPayload> {
+        auto current = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+        return plan::PlanPayload(
+            ToBindingTable(*schema, CollectRows(current, width)));
       });
   project->key_vars = schema->vars();
   return project;

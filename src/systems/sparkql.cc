@@ -7,6 +7,9 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "systems/batch.h"
 
 namespace rdfspark::systems {
 
@@ -22,11 +25,12 @@ uint64_t EstimateSize(const SparkqlNode& n) {
 
 namespace {
 
-using Mt = std::vector<IdRow>;
+/// Per-vertex sub-result table, stored as one flat fixed-width batch.
+using Mt = sparql::IdTable;
 
 Mt ConcatMt(const Mt& a, const Mt& b) {
   Mt out = a;
-  out.insert(out.end(), b.begin(), b.end());
+  out.AppendRowsFrom(b);
   return out;
 }
 
@@ -260,17 +264,19 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
           tp.ToString() + " (virtual triples)", pattern_est(tp),
           [virtual_triples, ep, pattern, all_schema, width](
               std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
-            return plan::PlanPayload(virtual_triples.FlatMap(
-                [ep, pattern, all_schema,
-                 width](const rdf::EncodedTriple& t) {
-                  std::vector<IdRow> out;
-                  if (MatchesConstants(*ep, t)) {
-                    IdRow row(width, sparql::kUnbound);
-                    if (ExtendRow(*pattern, t, *all_schema, &row)) {
-                      out.push_back(std::move(row));
+            return plan::PlanPayload(virtual_triples.MapPartitionsWithIndex(
+                [ep, pattern, all_schema, width](
+                    int, const std::vector<rdf::EncodedTriple>& in) {
+                  sparql::IdTable out(width);
+                  for (const rdf::EncodedTriple& t : in) {
+                    if (!MatchesConstants(*ep, t)) continue;
+                    rdf::TermId* cells = out.AppendRowUninitialized();
+                    std::fill(cells, cells + width, sparql::kUnbound);
+                    if (!ExtendRowCells(*pattern, t, *all_schema, cells)) {
+                      out.PopRow();
                     }
                   }
-                  return out;
+                  return std::vector<sparql::IdTable>{std::move(out)};
                 }));
           });
       node->out_vars = tp.Variables();
@@ -287,42 +293,28 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
         root = plan::MakeBinary(
             plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
             scan(bgp[i]),
-            [](std::vector<plan::PlanPayload> in)
+            [this, width](std::vector<plan::PlanPayload> in)
                 -> Result<plan::PlanPayload> {
-              auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-              auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
-              return plan::PlanPayload(current.Cartesian(rows).FlatMap(
-                  [](const std::pair<IdRow, IdRow>& ab) {
-                    std::vector<IdRow> out;
-                    auto merged = MergeRows(ab.first, ab.second);
-                    if (merged) out.push_back(std::move(*merged));
-                    return out;
-                  }));
+              auto current =
+                  std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+              auto rows =
+                  std::any_cast<Rdd<sparql::IdTable>>(std::move(in[1]));
+              return plan::PlanPayload(
+                  CartesianMergeBatches(sc_, current, rows, width));
             });
       } else {
         int key_idx = all_schema->IndexOf(shared[0]);
         root = plan::MakeBinary(
             plan::NodeKind::kPartitionedHashJoin, "on ?" + shared[0],
             std::move(root), scan(bgp[i]),
-            [key_idx](std::vector<plan::PlanPayload> in)
+            [this, key_idx, width](std::vector<plan::PlanPayload> in)
                 -> Result<plan::PlanPayload> {
-              auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-              auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
-              auto key_by = [key_idx](const IdRow& row) {
-                return std::pair<rdf::TermId, IdRow>(
-                    row[static_cast<size_t>(key_idx)], row);
-              };
+              auto current =
+                  std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+              auto rows =
+                  std::any_cast<Rdd<sparql::IdTable>>(std::move(in[1]));
               return plan::PlanPayload(
-                  current.Map(key_by).Join(rows.Map(key_by))
-                      .FlatMap(
-                          [](const std::pair<
-                              rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
-                            std::vector<IdRow> out;
-                            auto merged = MergeRows(kv.second.first,
-                                                    kv.second.second);
-                            if (merged) out.push_back(std::move(*merged));
-                            return out;
-                          }));
+                  JoinBatchesOn(sc_, current, rows, key_idx, width));
             });
         root->key_vars = {shared[0]};
       }
@@ -334,11 +326,12 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
     }
     auto project = plan::MakeUnary(
         plan::NodeKind::kProject, project_detail, std::move(root),
-        [all_schema](std::vector<plan::PlanPayload> in)
+        [all_schema, width](std::vector<plan::PlanPayload> in)
             -> Result<plan::PlanPayload> {
-          auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+          auto current =
+              std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
           return plan::PlanPayload(
-              ToBindingTable(*all_schema, current.Collect()));
+              ToBindingTable(*all_schema, CollectRows(current, width)));
         });
     project->key_vars = all_schema->vars();
     return project;
@@ -386,12 +379,12 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
           if (force && node.term != *force) return out;
           IdRow base(width, sparql::kUnbound);
           if (var_idx >= 0) base[static_cast<size_t>(var_idx)] = node.term;
-          Mt rows{std::move(base)};
+          std::vector<IdRow> rows{std::move(base)};
           for (size_t i = 0; i < patterns->size(); ++i) {
             const auto& p = (*patterns)[i];
             const auto& ep = (*encoded)[i];
             if (ep.impossible) return out;
-            Mt next;
+            std::vector<IdRow> next;
             // Enumerate this node's matching property triples.
             std::vector<rdf::EncodedTriple> triples;
             bool is_type = has_type && ep.ids.p &&
@@ -418,7 +411,9 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
             rows = std::move(next);
             if (rows.empty()) return out;
           }
-          out.emplace_back(kv.first, std::move(rows));
+          Mt table(width);
+          for (const IdRow& row : rows) table.AppendRow(row);
+          out.emplace_back(kv.first, std::move(table));
           return out;
         };
     auto node = plan::MakeScan(
@@ -506,11 +501,11 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
             // Combine: per-vertex product of current rows and child rows.
             table = table.Join(msgs).MapValues(
                 [](const std::pair<Mt, Mt>& ab) {
-                  Mt merged;
-                  for (const IdRow& a : ab.first) {
-                    for (const IdRow& b : ab.second) {
-                      auto m = MergeRows(a, b);
-                      if (m) merged.push_back(std::move(*m));
+                  Mt merged(ab.first.width());
+                  for (size_t i = 0; i < ab.first.size(); ++i) {
+                    for (size_t j = 0; j < ab.second.size(); ++j) {
+                      MergeRowsInto(ab.first.row(i), ab.second.row(j),
+                                    &merged);
                     }
                   }
                   return merged;
@@ -543,12 +538,19 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
     auto component = plan::MakeUnary(
         plan::NodeKind::kProject, "flatten ?" + root + " tables",
         plan_var(root),
-        [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
+        [width](std::vector<plan::PlanPayload> in)
+            -> Result<plan::PlanPayload> {
           auto table =
               std::any_cast<Rdd<std::pair<VertexId, Mt>>>(std::move(in[0]));
-          return plan::PlanPayload(
-              table.FlatMap([](const std::pair<VertexId, Mt>& kv) {
-                return kv.second;
+          return plan::PlanPayload(table.MapPartitionsWithIndex(
+              [width](int,
+                      const std::vector<std::pair<VertexId, Mt>>& part) {
+                sparql::IdTable out(width);
+                for (const auto& kv : part) {
+                  if (kv.second.empty()) continue;
+                  out.AppendRowsFrom(kv.second);
+                }
+                return std::vector<sparql::IdTable>{std::move(out)};
               }));
         });
     if (current == nullptr) {
@@ -557,16 +559,11 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
       current = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "merge-rows",
           std::move(current), std::move(component),
-          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-            auto a = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-            auto b = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
-            return plan::PlanPayload(a.Cartesian(b).FlatMap(
-                [](const std::pair<IdRow, IdRow>& ab) {
-                  std::vector<IdRow> out;
-                  auto merged = MergeRows(ab.first, ab.second);
-                  if (merged) out.push_back(std::move(*merged));
-                  return out;
-                }));
+          [this, width](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto a = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+            auto b = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[1]));
+            return plan::PlanPayload(CartesianMergeBatches(sc_, a, b, width));
           });
     }
   }
@@ -585,14 +582,13 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
     current = plan::MakeUnary(
         plan::NodeKind::kFilter, "edge exists " + e.source.ToString(),
         std::move(current),
-        [this, a_idx, b_idx, pid](std::vector<plan::PlanPayload> in)
+        [this, a_idx, b_idx, pid, width](std::vector<plan::PlanPayload> in)
             -> Result<plan::PlanPayload> {
-          auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
+          using EdgeKey = std::pair<rdf::TermId, rdf::TermId>;
+          auto rows = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
           auto pairs = graph_.edges().FlatMap(
               [pid](const Edge<rdf::TermId>& edge) {
-                std::vector<
-                    std::pair<std::pair<rdf::TermId, rdf::TermId>, bool>>
-                    out;
+                std::vector<std::pair<EdgeKey, bool>> out;
                 if (edge.attr == pid) {
                   out.emplace_back(
                       std::make_pair(static_cast<rdf::TermId>(edge.src),
@@ -601,19 +597,73 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
                 }
                 return out;
               });
-          auto keyed = rows.Map([a_idx, b_idx](const IdRow& row) {
-            return std::pair<std::pair<rdf::TermId, rdf::TermId>, IdRow>(
-                std::make_pair(row[static_cast<size_t>(a_idx)],
-                               row[static_cast<size_t>(b_idx)]),
-                row);
-          });
-          return plan::PlanPayload(
-              keyed.Join(pairs.Distinct())
-                  .Map([](const std::pair<
-                           std::pair<rdf::TermId, rdf::TermId>,
-                           std::pair<IdRow, bool>>& kv) {
-                    return kv.second.first;
-                  }));
+          auto dist = pairs.Distinct();
+          // Semi-join against the distinct edge set, batch-at-a-time:
+          // rows route by the (src, dst) pair hash, the edge side by its
+          // key — the same placements the keyed Join produced.
+          int n = std::max(rows.node()->num_partitions(),
+                           dist.node()->num_partitions());
+          spark::PartitionerInfo info{"hash", n, 0};
+          auto split = rows.MapPartitionsWithIndex(
+              [a_idx, b_idx, n, width](
+                  int, const std::vector<sparql::IdTable>& batches) {
+                std::vector<std::pair<int, sparql::IdTable>> out;
+                std::vector<int> slot(static_cast<size_t>(n), -1);
+                for (const sparql::IdTable& batch : batches) {
+                  for (size_t r = 0; r < batch.size(); ++r) {
+                    EdgeKey key = std::make_pair(
+                        batch.cell(r, static_cast<size_t>(a_idx)),
+                        batch.cell(r, static_cast<size_t>(b_idx)));
+                    int t = static_cast<int>(spark::HashValue(key) %
+                                             static_cast<uint64_t>(n));
+                    int& s = slot[static_cast<size_t>(t)];
+                    if (s < 0) {
+                      s = static_cast<int>(out.size());
+                      out.emplace_back(t, sparql::IdTable(width));
+                    }
+                    out[static_cast<size_t>(s)].second.AppendRowFrom(batch,
+                                                                     r);
+                  }
+                }
+                return out;
+              });
+          auto shuffled = split.ShuffleBy(
+              [](const std::pair<int, sparql::IdTable>& kv) {
+                return static_cast<uint64_t>(kv.first);
+              },
+              n, "PartitionByKey", info);
+          auto merged = shuffled.MapPartitionsWithIndex(
+              [width](int,
+                      const std::vector<std::pair<int, sparql::IdTable>>&
+                          in_parts) {
+                sparql::IdTable out(width);
+                for (const auto& kv : in_parts) out.AppendRowsFrom(kv.second);
+                return std::vector<sparql::IdTable>{std::move(out)};
+              },
+              info);
+          auto* sc = sc_;
+          return plan::PlanPayload(merged.ZipPartitions(
+              dist.PartitionByKey(n),
+              [sc, a_idx, b_idx, width](
+                  int, const std::vector<sparql::IdTable>& batches,
+                  const std::vector<std::pair<EdgeKey, bool>>& edge_keys) {
+                std::unordered_set<EdgeKey, spark::ValueHasher> present;
+                present.reserve(edge_keys.size() * 2 + 1);
+                for (const auto& kv : edge_keys) present.insert(kv.first);
+                sparql::IdTable out(width);
+                uint64_t comparisons = 0;
+                for (const sparql::IdTable& batch : batches) {
+                  for (size_t r = 0; r < batch.size(); ++r) {
+                    ++comparisons;
+                    EdgeKey key = std::make_pair(
+                        batch.cell(r, static_cast<size_t>(a_idx)),
+                        batch.cell(r, static_cast<size_t>(b_idx)));
+                    if (present.contains(key)) out.AppendRowFrom(batch, r);
+                  }
+                }
+                sc->ChargeJoinComparisons(comparisons);
+                return std::vector<sparql::IdTable>{std::move(out)};
+              }));
         });
     current->key_vars = {e.src_var};
     if (e.dst_var != e.src_var) current->key_vars.push_back(e.dst_var);
@@ -634,10 +684,10 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
   }
   auto project = plan::MakeUnary(
       plan::NodeKind::kProject, project_detail, std::move(current),
-      [schema_copy, real_vars](std::vector<plan::PlanPayload> in)
+      [schema_copy, real_vars, width](std::vector<plan::PlanPayload> in)
           -> Result<plan::PlanPayload> {
-        auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-        auto table = ToBindingTable(*schema_copy, rows.Collect());
+        auto rows = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+        auto table = ToBindingTable(*schema_copy, CollectRows(rows, width));
         return plan::PlanPayload(Project(table, *real_vars));
       });
   project->key_vars = *real_vars;

@@ -6,6 +6,8 @@
 #include <memory>
 #include <optional>
 
+#include "systems/batch.h"
+
 namespace rdfspark::systems {
 
 using spark::Rdd;
@@ -216,7 +218,6 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
               });
   }
 
-  using KeyedRow = std::pair<rdf::TermId, IdRow>;
   spark::PartitionerInfo part_info{"hash-sbj", num_partitions_, 0};
 
   // Names the MESG file SelectFile picks for a pattern, for EXPLAIN.
@@ -253,24 +254,31 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
         plan::NodeKind::kPatternScan, access,
         tp.ToString() + " (" + file_kind + ", partition on ?" + key_var + ")",
         file->size(),
-        [this, file, ep, pattern, schema_copy, width, key_idx](
+        [this, file, ep, pattern, schema_copy, width, key_idx, part_info](
             std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
           auto rows =
               Parallelize(sc_, *file, num_partitions_)
-                  .FlatMap([ep, pattern, schema_copy, width,
-                            key_idx](const rdf::EncodedTriple& t) {
-                    std::vector<KeyedRow> out;
-                    if (MatchesConstants(*ep, t)) {
-                      IdRow row(width, sparql::kUnbound);
-                      if (ExtendRow(*pattern, t, *schema_copy, &row)) {
-                        rdf::TermId key = row[static_cast<size_t>(key_idx)];
-                        out.emplace_back(key, std::move(row));
-                      }
-                    }
-                    return out;
-                  });
-          return plan::PlanPayload(
-              rows.PartitionByKey(num_partitions_, "hash-sbj"));
+                  .MapPartitionsWithIndex(
+                      [ep, pattern, schema_copy, width, key_idx](
+                          int, const std::vector<rdf::EncodedTriple>& in) {
+                        KeyedBatch out{{}, sparql::IdTable(width)};
+                        for (const rdf::EncodedTriple& t : in) {
+                          if (!MatchesConstants(*ep, t)) continue;
+                          rdf::TermId* cells =
+                              out.rows.AppendRowUninitialized();
+                          std::fill(cells, cells + width, sparql::kUnbound);
+                          if (ExtendRowCells(*pattern, t, *schema_copy,
+                                             cells)) {
+                            out.keys.push_back(
+                                cells[static_cast<size_t>(key_idx)]);
+                          } else {
+                            out.rows.PopRow();
+                          }
+                        }
+                        return std::vector<KeyedBatch>{std::move(out)};
+                      });
+          return plan::PlanPayload(RepartitionKeyed(
+              rows, num_partitions_, width, "PartitionByKey", part_info));
         });
     node->out_vars = tp.Variables();
     if (tp.s.is_variable()) node->subject_var = tp.s.var();
@@ -314,22 +322,17 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
               plan::NodeKind::kCartesianProduct,
               "merge-rows (re-partition on ?" + x + ")", std::move(current),
               std::move(leaf),
-              [this](std::vector<plan::PlanPayload> in)
+              [this, width, part_info](std::vector<plan::PlanPayload> in)
                   -> Result<plan::PlanPayload> {
-                auto cur = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
-                auto rows = std::any_cast<Rdd<KeyedRow>>(std::move(in[1]));
-                auto crossed = cur.Cartesian(rows).FlatMap(
-                    [](const std::pair<KeyedRow, KeyedRow>& ab) {
-                      std::vector<KeyedRow> out;
-                      auto merged =
-                          MergeRows(ab.first.second, ab.second.second);
-                      if (merged) {
-                        out.emplace_back(ab.second.first, std::move(*merged));
-                      }
-                      return out;
-                    });
-                return plan::PlanPayload(
-                    crossed.PartitionByKey(num_partitions_, "hash-sbj"));
+                auto cur = std::any_cast<Rdd<KeyedBatch>>(std::move(in[0]));
+                auto rows = std::any_cast<Rdd<KeyedBatch>>(std::move(in[1]));
+                // The merged row adopts the fresh leaf's key (the new join
+                // variable), like the per-element path did.
+                auto crossed = CartesianMergeKeyed(
+                    sc_, cur, rows, /*keep_left_key=*/false, width);
+                return plan::PlanPayload(RepartitionKeyed(
+                    crossed, num_partitions_, width, "PartitionByKey",
+                    part_info));
               });
           current_key = x;
           for (const auto& v : work[i].Variables()) bound.Add(v);
@@ -342,29 +345,19 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
             "on ?" + x +
                 (need_rekey ? " (re-partition)" : " (co-partitioned)"),
             std::move(current), std::move(leaf),
-            [this, need_rekey, idx, part_info](
+            [this, need_rekey, idx, width, part_info](
                 std::vector<plan::PlanPayload> in)
                 -> Result<plan::PlanPayload> {
-              auto cur = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
-              auto rows = std::any_cast<Rdd<KeyedRow>>(std::move(in[1]));
+              auto cur = std::any_cast<Rdd<KeyedBatch>>(std::move(in[0]));
+              auto rows = std::any_cast<Rdd<KeyedBatch>>(std::move(in[1]));
               if (need_rekey) {
-                cur = cur.Map([idx](const KeyedRow& kv) {
-                           return KeyedRow(
-                               kv.second[static_cast<size_t>(idx)],
-                               kv.second);
-                         })
-                          .PartitionByKey(num_partitions_, "hash-sbj");
+                cur = RepartitionKeyed(RekeyBatches(cur, idx, width),
+                                       num_partitions_, width,
+                                       "PartitionByKey", part_info);
               }
               // Co-partitioned join on x (no shuffle after the
               // pre-partition).
-              auto joined = cur.Join(rows).FlatMap(
-                  [](const std::pair<rdf::TermId,
-                                     std::pair<IdRow, IdRow>>& kv) {
-                    std::vector<KeyedRow> out;
-                    auto merged = MergeRows(kv.second.first, kv.second.second);
-                    if (merged) out.emplace_back(kv.first, std::move(*merged));
-                    return out;
-                  });
+              auto joined = JoinKeyedBatches(sc_, cur, rows, width);
               return plan::PlanPayload(joined.AssumePartitioner(part_info));
             });
         current->key_vars = {x};
@@ -383,19 +376,19 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
   if (current != nullptr) {
     rows_plan = plan::MakeUnary(
         plan::NodeKind::kProject, "collect matched rows", std::move(current),
-        [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-          auto cur = std::any_cast<Rdd<KeyedRow>>(std::move(in[0]));
-          std::vector<IdRow> out;
-          for (auto& kv : cur.Collect()) out.push_back(std::move(kv.second));
-          return plan::PlanPayload(std::move(out));
+        [width](std::vector<plan::PlanPayload> in)
+            -> Result<plan::PlanPayload> {
+          auto cur = std::any_cast<Rdd<KeyedBatch>>(std::move(in[0]));
+          return plan::PlanPayload(CollectKeyedRows(cur, width));
         });
   } else {
     rows_plan = plan::MakeScan(
         plan::NodeKind::kPatternScan, plan::AccessPath::kNone,
         "unit row (all patterns class-eliminated)", 1,
         [width](std::vector<plan::PlanPayload>) -> Result<plan::PlanPayload> {
-          return plan::PlanPayload(
-              std::vector<IdRow>{IdRow(width, sparql::kUnbound)});
+          sparql::IdTable unit(width);
+          unit.AppendRowFilled(sparql::kUnbound);
+          return plan::PlanPayload(std::move(unit));
         });
   }
 
@@ -424,14 +417,15 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
           std::move(rows_plan), std::move(index_leaf),
           [instances, idx](std::vector<plan::PlanPayload> in)
               -> Result<plan::PlanPayload> {
-            auto rows = std::any_cast<std::vector<IdRow>>(std::move(in[0]));
-            std::vector<IdRow> expanded;
+            auto rows = std::any_cast<sparql::IdTable>(std::move(in[0]));
+            sparql::IdTable expanded(rows.width());
             if (instances != nullptr) {
-              for (const IdRow& row : rows) {
+              for (size_t r = 0; r < rows.size(); ++r) {
                 for (rdf::TermId instance : *instances) {
-                  IdRow e = row;
-                  e[static_cast<size_t>(idx)] = instance;
-                  expanded.push_back(std::move(e));
+                  rdf::TermId* cells = expanded.AppendRowUninitialized();
+                  sparql::IdSpan base = rows.row(r);
+                  std::copy(base.begin(), base.end(), cells);
+                  cells[static_cast<size_t>(idx)] = instance;
                 }
               }
             }
@@ -444,12 +438,12 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
           std::move(rows_plan),
           [instances, idx](std::vector<plan::PlanPayload> in)
               -> Result<plan::PlanPayload> {
-            auto rows = std::any_cast<std::vector<IdRow>>(std::move(in[0]));
-            std::vector<IdRow> kept;
-            for (IdRow& row : rows) {
-              rdf::TermId value = row[static_cast<size_t>(idx)];
+            auto rows = std::any_cast<sparql::IdTable>(std::move(in[0]));
+            sparql::IdTable kept(rows.width());
+            for (size_t r = 0; r < rows.size(); ++r) {
+              rdf::TermId value = rows.cell(r, static_cast<size_t>(idx));
               if (instances != nullptr && instances->count(value)) {
-                kept.push_back(std::move(row));
+                kept.AppendRowFrom(rows, r);
               }
             }
             return plan::PlanPayload(std::move(kept));
@@ -466,7 +460,7 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
       plan::NodeKind::kProject, project_detail, std::move(rows_plan),
       [schema_copy](std::vector<plan::PlanPayload> in)
           -> Result<plan::PlanPayload> {
-        auto rows = std::any_cast<std::vector<IdRow>>(std::move(in[0]));
+        auto rows = std::any_cast<sparql::IdTable>(std::move(in[0]));
         return plan::PlanPayload(
             ToBindingTable(*schema_copy, std::move(rows)));
       });

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 
+#include "systems/batch.h"
 #include "systems/plan/planner_utils.h"
 
 namespace rdfspark::systems {
@@ -95,7 +96,7 @@ uint64_t SparqlgxEngine::PatternSelectivity(
   return static_cast<uint64_t>(cardinality) + 1;
 }
 
-spark::Rdd<IdRow> SparqlgxEngine::PatternRows(
+spark::Rdd<sparql::IdTable> SparqlgxEngine::PatternRows(
     const sparql::TriplePattern& tp, const VarSchema& schema) const {
   auto ep = std::make_shared<const EncodedPattern>(
       EncodePattern(store_->dictionary(), tp));
@@ -103,34 +104,46 @@ spark::Rdd<IdRow> SparqlgxEngine::PatternRows(
   auto schema_copy = std::make_shared<const VarSchema>(schema);
   size_t width = schema.vars().size();
 
-  auto expand = [ep, pattern, schema_copy,
-                 width](const rdf::EncodedTriple& t) {
-    std::vector<IdRow> out;
-    if (MatchesConstants(*ep, t)) {
-      IdRow row(width, sparql::kUnbound);
-      if (ExtendRow(*pattern, t, *schema_copy, &row)) {
-        out.push_back(std::move(row));
-      }
-    }
-    return out;
+  // Expands one partition's matches into a single fixed-width batch: a row
+  // is appended pre-filled with kUnbound, extended in place, and popped
+  // when a repeated variable conflicts.
+  auto expand = [ep, pattern, schema_copy, width](sparql::IdTable* out,
+                                                  const rdf::EncodedTriple& t) {
+    if (!MatchesConstants(*ep, t)) return;
+    rdf::TermId* cells = out->AppendRowUninitialized();
+    std::fill(cells, cells + width, sparql::kUnbound);
+    if (!ExtendRowCells(*pattern, t, *schema_copy, cells)) out->PopRow();
   };
 
   if (!tp.p.is_variable()) {
     if (ep->impossible || !ep->ids.p) {
-      return Parallelize(sc_, std::vector<IdRow>{}, 1);
+      return Parallelize(sc_, std::vector<sparql::IdTable>{
+                                  sparql::IdTable(width)},
+                         1);
     }
     auto it = vp_.find(*ep->ids.p);
     if (it == vp_.end()) {
-      return Parallelize(sc_, std::vector<IdRow>{}, 1);
+      return Parallelize(sc_, std::vector<sparql::IdTable>{
+                                  sparql::IdTable(width)},
+                         1);
     }
     rdf::TermId pid = *ep->ids.p;
-    return it->second.FlatMap(
-        [expand, pid](const SoPair& so) {
-          return expand(rdf::EncodedTriple{so.first, pid, so.second});
+    return it->second.MapPartitionsWithIndex(
+        [expand, pid, width](int, const std::vector<SoPair>& in) {
+          sparql::IdTable out(width);
+          for (const SoPair& so : in) {
+            expand(&out, rdf::EncodedTriple{so.first, pid, so.second});
+          }
+          return std::vector<sparql::IdTable>{std::move(out)};
         });
   }
   // Predicate variable: scan everything.
-  return all_triples_.FlatMap(expand);
+  return all_triples_.MapPartitionsWithIndex(
+      [expand, width](int, const std::vector<rdf::EncodedTriple>& in) {
+        sparql::IdTable out(width);
+        for (const rdf::EncodedTriple& t : in) expand(&out, t);
+        return std::vector<sparql::IdTable>{std::move(out)};
+      });
 }
 
 Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
@@ -146,6 +159,7 @@ Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
   for (const auto& tp : bgp) {
     for (const auto& v : tp.Variables()) schema->Add(v);
   }
+  size_t width = schema->vars().size();
 
   // Optimization: reorder the join sequence by ascending selectivity,
   // keeping the sequence connected.
@@ -190,40 +204,26 @@ Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
       root = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "merge-rows", std::move(root),
           scan(tp),
-          [](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-            auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
-            return plan::PlanPayload(current.Cartesian(rows).FlatMap(
-                [](const std::pair<IdRow, IdRow>& ab) {
-                  std::vector<IdRow> out;
-                  auto merged = MergeRows(ab.first, ab.second);
-                  if (merged) out.push_back(std::move(*merged));
-                  return out;
-                }));
+          [this, width](std::vector<plan::PlanPayload> in)
+              -> Result<plan::PlanPayload> {
+            auto current =
+                std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+            auto rows = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[1]));
+            return plan::PlanPayload(
+                CartesianMergeBatches(sc_, current, rows, width));
           });
     } else {
       int key_idx = schema->IndexOf(shared[0]);
       root = plan::MakeBinary(
           plan::NodeKind::kPartitionedHashJoin, "on ?" + shared[0],
           std::move(root), scan(tp),
-          [key_idx](std::vector<plan::PlanPayload> in)
+          [this, key_idx, width](std::vector<plan::PlanPayload> in)
               -> Result<plan::PlanPayload> {
-            auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-            auto rows = std::any_cast<Rdd<IdRow>>(std::move(in[1]));
-            auto key_by = [key_idx](const IdRow& row) {
-              return std::pair<rdf::TermId, IdRow>(
-                  row[static_cast<size_t>(key_idx)], row);
-            };
+            auto current =
+                std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+            auto rows = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[1]));
             return plan::PlanPayload(
-                current.Map(key_by).Join(rows.Map(key_by))
-                    .FlatMap([](const std::pair<
-                                 rdf::TermId, std::pair<IdRow, IdRow>>& kv) {
-                      std::vector<IdRow> out;
-                      auto merged =
-                          MergeRows(kv.second.first, kv.second.second);
-                      if (merged) out.push_back(std::move(*merged));
-                      return out;
-                    }));
+                JoinBatchesOn(sc_, current, rows, key_idx, width));
           });
       root->key_vars = {shared[0]};
     }
@@ -236,9 +236,11 @@ Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
   }
   auto project = plan::MakeUnary(
       plan::NodeKind::kProject, vars_detail, std::move(root),
-      [schema](std::vector<plan::PlanPayload> in) -> Result<plan::PlanPayload> {
-        auto current = std::any_cast<Rdd<IdRow>>(std::move(in[0]));
-        return plan::PlanPayload(ToBindingTable(*schema, current.Collect()));
+      [schema, width](std::vector<plan::PlanPayload> in)
+          -> Result<plan::PlanPayload> {
+        auto current = std::any_cast<Rdd<sparql::IdTable>>(std::move(in[0]));
+        return plan::PlanPayload(
+            ToBindingTable(*schema, CollectRows(current, width)));
       });
   project->key_vars = schema->vars();
   return project;

@@ -51,9 +51,10 @@ class SparqlgxEngine : public BgpEngineBase {
   /// Estimated result size of a pattern (the reordering statistic).
   uint64_t PatternSelectivity(const sparql::TriplePattern& tp) const;
 
-  /// The candidate rows of one pattern as (vars..., rows) over `schema`.
-  spark::Rdd<IdRow> PatternRows(const sparql::TriplePattern& tp,
-                                const VarSchema& schema) const;
+  /// The candidate rows of one pattern as a batch RDD (one fixed-width
+  /// IdTable per partition) over `schema`.
+  spark::Rdd<sparql::IdTable> PatternRows(const sparql::TriplePattern& tp,
+                                          const VarSchema& schema) const;
 
   EngineTraits traits_;
   Options options_;

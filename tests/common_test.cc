@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "sparql/binding.h"
 
 namespace rdfspark {
 namespace {
@@ -155,6 +156,34 @@ TEST(RngTest, ShufflePermutes) {
   r.Shuffle(&v);
   std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
   EXPECT_EQ(a, b);
+}
+
+// The O(1) VarIndex map must agree with a linear scan of vars() on every
+// table shape the relational ops produce, or column lookups silently read
+// the wrong cells.
+void ExpectVarIndexConsistent(const sparql::BindingTable& table) {
+  for (size_t i = 0; i < table.vars().size(); ++i) {
+    EXPECT_EQ(table.VarIndex(table.vars()[i]), static_cast<int>(i))
+        << table.vars()[i];
+  }
+  EXPECT_EQ(table.VarIndex("no_such_variable"), -1);
+}
+
+TEST(BindingTableVarIndexTest, ConsistentAcrossTableShapes) {
+  sparql::BindingTable a({"s", "p", "o"});
+  a.AddRow({1, 2, 3});
+  a.AddRow({4, 5, 6});
+  ExpectVarIndexConsistent(a);
+
+  sparql::BindingTable b({"o", "x"});
+  b.AddRow({3, 9});
+  ExpectVarIndexConsistent(b);
+
+  ExpectVarIndexConsistent(sparql::HashJoin(a, b));
+  ExpectVarIndexConsistent(sparql::UnionTables(a, b));
+  ExpectVarIndexConsistent(sparql::Project(a, {"o", "s", "missing"}));
+  ExpectVarIndexConsistent(sparql::Distinct(a));
+  ExpectVarIndexConsistent(sparql::BindingTable::Unit());
 }
 
 }  // namespace

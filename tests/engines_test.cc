@@ -294,28 +294,28 @@ const std::vector<GoldenRun>& GoldenRuns() {
       // RDFSPARK_GOLDEN_TABLE_BEGIN
       {"HAQWA", "star3", 0x6e4f46cd4067675bull, 0ull, 0ull, 0ull},
       {"HAQWA", "star5", 0x6ff92254b5451753ull, 0ull, 0ull, 0ull},
-      {"HAQWA", "linear3", 0x59711d0770b5f4d2ull, 42ull, 29ull, 0ull},
-      {"HAQWA", "snowflake", 0x4dcb0d81391cebb0ull, 42ull, 29ull, 0ull},
+      {"HAQWA", "linear3", 0x59711d0770b5f4d2ull, 33ull, 29ull, 0ull},
+      {"HAQWA", "snowflake", 0x4dcb0d81391cebb0ull, 33ull, 29ull, 0ull},
       {"HAQWA", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
-      {"HAQWA", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 115ull, 0ull},
+      {"HAQWA", "object_object", 0x2f8d36d8fb7af6d4ull, 60ull, 115ull, 0ull},
       {"HAQWA_workload", "star3", 0x6e4f46cd4067675bull, 0ull, 0ull, 0ull},
       {"HAQWA_workload", "star5", 0x6ff92254b5451753ull, 0ull, 0ull, 0ull},
-      {"HAQWA_workload", "linear3", 0x59711d0770b5f4d2ull, 27ull, 29ull, 0ull},
-      {"HAQWA_workload", "snowflake", 0x4dcb0d81391cebb0ull, 42ull, 29ull, 0ull},
+      {"HAQWA_workload", "linear3", 0x59711d0770b5f4d2ull, 22ull, 29ull, 0ull},
+      {"HAQWA_workload", "snowflake", 0x4dcb0d81391cebb0ull, 33ull, 29ull, 0ull},
       {"HAQWA_workload", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
-      {"HAQWA_workload", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 115ull, 0ull},
-      {"SPARQLGX", "star3", 0x6e4f46cd4067675bull, 163ull, 24ull, 0ull},
-      {"SPARQLGX", "star5", 0x6ff92254b5451753ull, 221ull, 58ull, 0ull},
-      {"SPARQLGX", "linear3", 0x59711d0770b5f4d2ull, 42ull, 29ull, 0ull},
-      {"SPARQLGX", "snowflake", 0x4dcb0d81391cebb0ull, 292ull, 75ull, 0ull},
+      {"HAQWA_workload", "object_object", 0x2f8d36d8fb7af6d4ull, 60ull, 115ull, 0ull},
+      {"SPARQLGX", "star3", 0x6e4f46cd4067675bull, 8ull, 24ull, 0ull},
+      {"SPARQLGX", "star5", 0x6ff92254b5451753ull, 12ull, 58ull, 0ull},
+      {"SPARQLGX", "linear3", 0x59711d0770b5f4d2ull, 4ull, 29ull, 0ull},
+      {"SPARQLGX", "snowflake", 0x4dcb0d81391cebb0ull, 27ull, 75ull, 0ull},
       {"SPARQLGX", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
-      {"SPARQLGX", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 115ull, 0ull},
-      {"SPARQLGX_nostats", "star3", 0x6e4f46cd4067675bull, 163ull, 24ull, 0ull},
-      {"SPARQLGX_nostats", "star5", 0x6ff92254b5451753ull, 216ull, 53ull, 0ull},
-      {"SPARQLGX_nostats", "linear3", 0x59711d0770b5f4d2ull, 45ull, 30ull, 0ull},
-      {"SPARQLGX_nostats", "snowflake", 0x4dcb0d81391cebb0ull, 292ull, 75ull, 0ull},
+      {"SPARQLGX", "object_object", 0x2f8d36d8fb7af6d4ull, 6ull, 115ull, 0ull},
+      {"SPARQLGX_nostats", "star3", 0x6e4f46cd4067675bull, 10ull, 24ull, 0ull},
+      {"SPARQLGX_nostats", "star5", 0x6ff92254b5451753ull, 18ull, 53ull, 0ull},
+      {"SPARQLGX_nostats", "linear3", 0x59711d0770b5f4d2ull, 4ull, 30ull, 0ull},
+      {"SPARQLGX_nostats", "snowflake", 0x4dcb0d81391cebb0ull, 25ull, 75ull, 0ull},
       {"SPARQLGX_nostats", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
-      {"SPARQLGX_nostats", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 142ull, 0ull},
+      {"SPARQLGX_nostats", "object_object", 0x2f8d36d8fb7af6d4ull, 6ull, 142ull, 0ull},
       {"S2RDF", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 1296ull},
       {"S2RDF", "star5", 0x6ff92254b5451753ull, 0ull, 53ull, 2862ull},
       {"S2RDF", "linear3", 0x59711d0770b5f4d2ull, 0ull, 29ull, 1458ull},
@@ -340,12 +340,12 @@ const std::vector<GoldenRun>& GoldenRuns() {
       {"Hybrid_SparkSQL_naive", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 3255ull, 0ull},
       {"Hybrid_SparkSQL_naive", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
       {"Hybrid_SparkSQL_naive", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 1768ull, 0ull},
-      {"Hybrid_RDD_partitioned", "star3", 0x6e4f46cd4067675bull, 163ull, 24ull, 0ull},
-      {"Hybrid_RDD_partitioned", "star5", 0x6ff92254b5451753ull, 216ull, 53ull, 0ull},
-      {"Hybrid_RDD_partitioned", "linear3", 0x59711d0770b5f4d2ull, 45ull, 30ull, 0ull},
-      {"Hybrid_RDD_partitioned", "snowflake", 0x4dcb0d81391cebb0ull, 292ull, 75ull, 0ull},
+      {"Hybrid_RDD_partitioned", "star3", 0x6e4f46cd4067675bull, 26ull, 24ull, 0ull},
+      {"Hybrid_RDD_partitioned", "star5", 0x6ff92254b5451753ull, 50ull, 53ull, 0ull},
+      {"Hybrid_RDD_partitioned", "linear3", 0x59711d0770b5f4d2ull, 30ull, 30ull, 0ull},
+      {"Hybrid_RDD_partitioned", "snowflake", 0x4dcb0d81391cebb0ull, 73ull, 75ull, 0ull},
       {"Hybrid_RDD_partitioned", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
-      {"Hybrid_RDD_partitioned", "object_object", 0x2f8d36d8fb7af6d4ull, 121ull, 142ull, 0ull},
+      {"Hybrid_RDD_partitioned", "object_object", 0x2f8d36d8fb7af6d4ull, 60ull, 142ull, 0ull},
       {"Hybrid_DataFrame_broadcast", "star3", 0x6e4f46cd4067675bull, 0ull, 24ull, 7506ull},
       {"Hybrid_DataFrame_broadcast", "star5", 0x6ff92254b5451753ull, 0ull, 53ull, 9072ull},
       {"Hybrid_DataFrame_broadcast", "linear3", 0x59711d0770b5f4d2ull, 0ull, 30ull, 810ull},
@@ -358,12 +358,12 @@ const std::vector<GoldenRun>& GoldenRuns() {
       {"Hybrid_Hybrid", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 75ull, 11718ull},
       {"Hybrid_Hybrid", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
       {"Hybrid_Hybrid", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 115ull, 5616ull},
-      {"S2X", "star3", 0x6e4f46cd4067675bull, 48ull, 24ull, 0ull},
-      {"S2X", "star5", 0x6ff92254b5451753ull, 101ull, 53ull, 0ull},
-      {"S2X", "linear3", 0x59711d0770b5f4d2ull, 43ull, 30ull, 0ull},
-      {"S2X", "snowflake", 0x4dcb0d81391cebb0ull, 128ull, 75ull, 0ull},
+      {"S2X", "star3", 0x6e4f46cd4067675bull, 42ull, 24ull, 0ull},
+      {"S2X", "star5", 0x6ff92254b5451753ull, 80ull, 53ull, 0ull},
+      {"S2X", "linear3", 0x59711d0770b5f4d2ull, 36ull, 30ull, 0ull},
+      {"S2X", "snowflake", 0x4dcb0d81391cebb0ull, 103ull, 75ull, 0ull},
       {"S2X", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
-      {"S2X", "object_object", 0x2f8d36d8fb7af6d4ull, 94ull, 115ull, 0ull},
+      {"S2X", "object_object", 0x2f8d36d8fb7af6d4ull, 41ull, 115ull, 0ull},
       {"GraphX_SM", "star3", 0x6e4f46cd4067675bull, 3639ull, 2806ull, 0ull},
       {"GraphX_SM", "star5", 0x6ff92254b5451753ull, 7270ull, 5612ull, 0ull},
       {"GraphX_SM", "linear3", 0x59711d0770b5f4d2ull, 3610ull, 2806ull, 0ull},
@@ -388,18 +388,18 @@ const std::vector<GoldenRun>& GoldenRuns() {
       {"GraphFrames_unopt", "snowflake", 0x4dcb0d81391cebb0ull, 0ull, 75ull, 17577ull},
       {"GraphFrames_unopt", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
       {"GraphFrames_unopt", "object_object", 0x2f8d36d8fb7af6d4ull, 0ull, 142ull, 1377ull},
-      {"SparkRDF", "star3", 0x6e4f46cd4067675bull, 175ull, 1668ull, 0ull},
-      {"SparkRDF", "star5", 0x6ff92254b5451753ull, 238ull, 2651ull, 0ull},
-      {"SparkRDF", "linear3", 0x59711d0770b5f4d2ull, 48ull, 192ull, 0ull},
-      {"SparkRDF", "snowflake", 0x4dcb0d81391cebb0ull, 550ull, 2277ull, 0ull},
+      {"SparkRDF", "star3", 0x6e4f46cd4067675bull, 99ull, 1796ull, 0ull},
+      {"SparkRDF", "star5", 0x6ff92254b5451753ull, 142ull, 2907ull, 0ull},
+      {"SparkRDF", "linear3", 0x59711d0770b5f4d2ull, 39ull, 256ull, 0ull},
+      {"SparkRDF", "snowflake", 0x4dcb0d81391cebb0ull, 125ull, 2405ull, 0ull},
       {"SparkRDF", "constant_object", 0x29fef2979fd98f3cull, 0ull, 0ull, 0ull},
-      {"SparkRDF", "object_object", 0x2f8d36d8fb7af6d4ull, 236ull, 1768ull, 0ull},
-      {"SparkRDF_noclass", "star3", 0x6e4f46cd4067675bull, 175ull, 1668ull, 0ull},
-      {"SparkRDF_noclass", "star5", 0x6ff92254b5451753ull, 238ull, 2651ull, 0ull},
-      {"SparkRDF_noclass", "linear3", 0x59711d0770b5f4d2ull, 48ull, 192ull, 0ull},
-      {"SparkRDF_noclass", "snowflake", 0x4dcb0d81391cebb0ull, 2410ull, 93207ull, 0ull},
+      {"SparkRDF", "object_object", 0x2f8d36d8fb7af6d4ull, 100ull, 1832ull, 0ull},
+      {"SparkRDF_noclass", "star3", 0x6e4f46cd4067675bull, 99ull, 1796ull, 0ull},
+      {"SparkRDF_noclass", "star5", 0x6ff92254b5451753ull, 142ull, 2907ull, 0ull},
+      {"SparkRDF_noclass", "linear3", 0x59711d0770b5f4d2ull, 39ull, 256ull, 0ull},
+      {"SparkRDF_noclass", "snowflake", 0x4dcb0d81391cebb0ull, 145ull, 93335ull, 0ull},
       {"SparkRDF_noclass", "constant_object", 0x29fef2979fd98f3cull, 6ull, 0ull, 0ull},
-      {"SparkRDF_noclass", "object_object", 0x2f8d36d8fb7af6d4ull, 236ull, 1768ull, 0ull},
+      {"SparkRDF_noclass", "object_object", 0x2f8d36d8fb7af6d4ull, 100ull, 1832ull, 0ull},
       // RDFSPARK_GOLDEN_TABLE_END
   };
   return *runs;
@@ -458,6 +458,46 @@ TEST(PlanRefactorEquivalenceTest, MatchesPreRefactorGoldens) {
       EXPECT_EQ(delta.join_comparisons, golden->join_comparisons)
           << factory.name << " / " << label;
       EXPECT_EQ(delta.broadcast_bytes, golden->broadcast_bytes)
+          << factory.name << " / " << label;
+    }
+  }
+}
+
+/// The batch data plane must not depend on task interleaving: every engine
+/// variant produces the same rows in the same order whether the executor
+/// pool has one thread or eight. Compares the raw flat buffers (variables,
+/// width, cells), which is strictly stronger than the order-insensitive
+/// decoded hash.
+TEST(PlanRefactorEquivalenceTest, ResultsBitIdenticalAcrossThreading) {
+  const std::vector<const char*> kLabels = {"star3", "linear3", "snowflake",
+                                            "object_object"};
+  const rdf::TripleStore& store = Dataset();
+  std::vector<TestQuery> queries = TestQueries();
+  for (const auto& factory : Factories()) {
+    for (const char* label : kLabels) {
+      auto it = std::find_if(
+          queries.begin(), queries.end(),
+          [label](const TestQuery& q) { return std::string(q.label) == label; });
+      ASSERT_NE(it, queries.end()) << label;
+      auto query = sparql::ParseQuery(it->text);
+      ASSERT_TRUE(query.ok()) << label;
+      sparql::BindingTable serial;
+      sparql::BindingTable pooled;
+      for (auto [threads, out] :
+           {std::pair<int, sparql::BindingTable*>{1, &serial}, {8, &pooled}}) {
+        ClusterConfig cfg = SmallCluster();
+        cfg.executor_threads = threads;
+        SparkContext sc(cfg);
+        auto engine = factory.make(&sc);
+        ASSERT_TRUE(engine->Load(store).ok()) << factory.name;
+        auto result = engine->Execute(*query);
+        ASSERT_TRUE(result.ok()) << factory.name << " / " << label;
+        *out = std::move(*result);
+      }
+      EXPECT_EQ(serial.vars(), pooled.vars()) << factory.name << " / " << label;
+      EXPECT_EQ(serial.rows().width(), pooled.rows().width())
+          << factory.name << " / " << label;
+      EXPECT_EQ(serial.rows().data(), pooled.rows().data())
           << factory.name << " / " << label;
     }
   }

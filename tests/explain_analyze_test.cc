@@ -123,43 +123,43 @@ const std::map<std::string, std::string>& GoldenAnalyzes() {
 )PLAN"},
           {"HAQWA|chain",
            R"PLAN(Project [?v0 ?v1 ?v2 ?v3] (est=? act=15 err=-) tasks=8 busy=0.810ms
-  PartitionedHashJoin [on ?v1 (re-key)] (est=? act=15 err=-) cmp=17 shuf=27/1728B rmt=1216B reads=L8/R19 tasks=32 busy=3.218ms
-    PartitionedHashJoin [on ?v2] (est=? act=12 err=-) cmp=12 shuf=15/960B rmt=384B reads=L9/R6 tasks=32 busy=3.207ms
+  PartitionedHashJoin [on ?v1 (re-key)] (est=? act=15 err=-) cmp=17 shuf=22/2048B rmt=1464B reads=L6/R16 tasks=32 busy=3.220ms
+    PartitionedHashJoin [on ?v2] (est=? act=12 err=-) cmp=12 shuf=11/1084B rmt=460B reads=L6/R5 tasks=32 busy=3.209ms
       LocalStarMatch [subject-star ?v2 (1 pattern)] (est=3 act=3 err=1.00x) busy=0.030ms
       LocalStarMatch [subject-star ?v1 (1 pattern)] (est=12 act=12 err=1.00x) busy=0.030ms
     LocalStarMatch [subject-star ?v0 (1 pattern)] (est=15 act=15 err=1.00x) busy=0.030ms
 )PLAN"},
           {"HAQWA|snowflake",
-           R"PLAN(Project [?x ?dm ?p ?d ?pn ?u] (est=? act=15 err=-) tasks=8 busy=0.813ms
-  PartitionedHashJoin [on ?p (re-key)] (est=? act=15 err=-) cmp=17 shuf=27/2160B rmt=1520B reads=L8/R19 tasks=32 busy=3.221ms
-    PartitionedHashJoin [on ?d] (est=? act=12 err=-) cmp=12 shuf=15/1200B rmt=480B reads=L9/R6 tasks=32 busy=3.208ms
+           R"PLAN(Project [?x ?dm ?p ?d ?pn ?u] (est=? act=15 err=-) tasks=8 busy=0.812ms
+  PartitionedHashJoin [on ?p (re-key)] (est=? act=15 err=-) cmp=17 shuf=22/2480B rmt=1768B reads=L6/R16 tasks=32 busy=3.223ms
+    PartitionedHashJoin [on ?d] (est=? act=12 err=-) cmp=12 shuf=11/1324B rmt=556B reads=L6/R5 tasks=32 busy=3.210ms
       LocalStarMatch [subject-star ?d (1 pattern)] (est=3 act=3 err=1.00x) busy=0.030ms
       LocalStarMatch [subject-star ?p (2 patterns)] (est=12 act=12 err=1.00x) busy=0.030ms
     LocalStarMatch [subject-star ?x (3 patterns)] (est=15 act=15 err=1.00x) busy=0.030ms
 )PLAN"},
           {"SPARQLGX|star",
-           R"PLAN(Project [?x ?d ?n ?e] (est=? act=12 err=-) tasks=2 busy=0.207ms
-  PartitionedHashJoin [on ?x] (est=? act=12 err=-) cmp=12 shuf=139/8896B rmt=4352B reads=L71/R68 tasks=7 busy=0.772ms
-    PartitionedHashJoin [on ?x] (est=? act=12 err=-) cmp=12 shuf=24/1536B reads=L24/R0 tasks=4 busy=0.405ms
+           R"PLAN(Project [?x ?d ?n ?e] (est=? act=12 err=-) tasks=2 busy=0.204ms
+  PartitionedHashJoin [on ?x] (est=? act=12 err=-) cmp=12 shuf=6/4568B rmt=2236B reads=L3/R3 tasks=7 busy=0.724ms
+    PartitionedHashJoin [on ?x] (est=? act=12 err=-) cmp=12 shuf=2/808B reads=L2/R0 tasks=4 busy=0.401ms
       PatternScan [vp ?x <http://lubm.example.org/univ-bench.owl#worksFor> ?d .] (est=13 act=12 err=0.92x) busy=0.001ms
       PatternScan [vp ?x <http://lubm.example.org/univ-bench.owl#emailAddress> ?e .] (est=13 act=12 err=0.92x) busy=0.001ms
     PatternScan [vp ?x <http://lubm.example.org/univ-bench.owl#name> ?n .] (est=128 act=127 err=0.99x) busy=0.006ms
 )PLAN"},
           {"SPARQLGX|chain",
-           R"PLAN(Project [?v0 ?v1 ?v2 ?v3] (est=? act=15 err=-) tasks=1 busy=0.109ms
-  PartitionedHashJoin [on ?v1] (est=? act=15 err=-) cmp=17 shuf=27/1728B reads=L27/R0 tasks=4 busy=0.406ms
-    PartitionedHashJoin [on ?v2] (est=? act=12 err=-) cmp=12 shuf=15/960B reads=L15/R0 tasks=4 busy=0.404ms
+           R"PLAN(Project [?v0 ?v1 ?v2 ?v3] (est=? act=15 err=-) tasks=1 busy=0.105ms
+  PartitionedHashJoin [on ?v1] (est=? act=15 err=-) cmp=17 shuf=2/904B reads=L2/R0 tasks=4 busy=0.401ms
+    PartitionedHashJoin [on ?v2] (est=? act=12 err=-) cmp=12 shuf=2/520B reads=L2/R0 tasks=4 busy=0.401ms
       PatternScan [vp ?v2 <http://lubm.example.org/univ-bench.owl#subOrganizationOf> ?v3 .] (est=4 act=3 err=0.75x) busy=0.000ms
       PatternScan [vp ?v1 <http://lubm.example.org/univ-bench.owl#worksFor> ?v2 .] (est=13 act=12 err=0.92x) busy=0.001ms
     PatternScan [vp ?v0 <http://lubm.example.org/univ-bench.owl#advisor> ?v1 .] (est=16 act=15 err=0.94x) busy=0.001ms
 )PLAN"},
           {"SPARQLGX|snowflake",
-           R"PLAN(Project [?x ?dm ?p ?d ?pn ?u] (est=? act=15 err=-) tasks=2 busy=0.212ms
-  PartitionedHashJoin [on ?p] (est=? act=15 err=-) cmp=15 shuf=142/11360B rmt=5760B reads=L70/R72 tasks=8 busy=0.887ms
-    PartitionedHashJoin [on ?x] (est=? act=15 err=-) cmp=15 shuf=75/6000B rmt=3040B reads=L37/R38 tasks=7 busy=0.746ms
-      PartitionedHashJoin [on ?d] (est=? act=15 err=-) cmp=15 shuf=18/1440B rmt=240B reads=L15/R3 tasks=7 busy=0.707ms
-        PartitionedHashJoin [on ?p] (est=? act=15 err=-) cmp=15 shuf=27/2160B rmt=800B reads=L17/R10 tasks=7 busy=0.714ms
-          PartitionedHashJoin [on ?x] (est=? act=15 err=-) cmp=15 shuf=30/2400B rmt=1280B reads=L14/R16 tasks=7 busy=0.720ms
+           R"PLAN(Project [?x ?dm ?p ?d ?pn ?u] (est=? act=15 err=-) tasks=2 busy=0.208ms
+  PartitionedHashJoin [on ?p] (est=? act=15 err=-) cmp=15 shuf=8/6976B rmt=3536B reads=L4/R4 tasks=8 busy=0.837ms
+    PartitionedHashJoin [on ?x] (est=? act=15 err=-) cmp=15 shuf=4/3680B rmt=1864B reads=L2/R2 tasks=7 busy=0.720ms
+      PartitionedHashJoin [on ?d] (est=? act=15 err=-) cmp=15 shuf=3/924B rmt=164B reads=L2/R1 tasks=7 busy=0.702ms
+        PartitionedHashJoin [on ?p] (est=? act=15 err=-) cmp=15 shuf=6/1416B rmt=540B reads=L3/R3 tasks=7 busy=0.707ms
+          PartitionedHashJoin [on ?x] (est=? act=15 err=-) cmp=15 shuf=6/1560B rmt=828B reads=L3/R3 tasks=7 busy=0.710ms
             PatternScan [vp ?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://lubm.example.org/univ-bench.owl#GraduateStudent> .] (est=2 act=15 err=7.50x) busy=0.006ms
             PatternScan [vp ?x <http://lubm.example.org/univ-bench.owl#advisor> ?p .] (est=16 act=15 err=0.94x) busy=0.001ms
           PatternScan [vp ?p <http://lubm.example.org/univ-bench.owl#worksFor> ?d .] (est=13 act=12 err=0.92x) busy=0.001ms
