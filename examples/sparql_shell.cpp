@@ -10,10 +10,11 @@
 // .analyze .profile .trace .quit
 // `.explain` prints the engine's physical plan (EXPLAIN) for the query
 // currently buffered at the prompt, without executing it.
-// `.lint` runs the two-tier static lint over the buffered query — the
-// query analyzer (QA rules, pure AST) plus the plan verifier (SC/CP/BC/
-// ST/VP rules) — and prints merged diagnostics (ERROR/WARN/INFO with
-// rule ids), without executing.
+// `.lint` runs the static lint over the buffered query — the query
+// analyzer (QA rules, pure AST) plus the plan verifier (SC/CP/BC/ST/VP
+// rules), printed without executing — then executes once inside a
+// happens-before recorder window and appends the Tier C race &
+// determinism findings (RC/DT rules, see spark/hb.h).
 // `.lineage` *executes* the buffered query's BGP, snapshots the RDD
 // lineage DAG it built, and prints the lineage analyzer's findings
 // (LN rules: uncached reuse, redundant shuffle, deep shuffle chains)
@@ -201,6 +202,18 @@ int main(int argc, char** argv) {
           std::printf("%s", linted->c_str());
         } else {
           std::printf("error: %s\n", linted.status().ToString().c_str());
+        }
+        if (linted.ok()) {
+          if (auto* bgp_engine =
+                  dynamic_cast<systems::BgpEngineBase*>(engine.get())) {
+            auto raced = bgp_engine->RaceCheckText(pending);
+            if (raced.ok()) {
+              std::printf("tier C (happens-before):\n%s", raced->c_str());
+            } else {
+              std::printf("tier C error: %s\n",
+                          raced.status().ToString().c_str());
+            }
+          }
         }
       }
     } else if (trimmed == ".lineage") {

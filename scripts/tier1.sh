@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then a ThreadSanitizer pass
-# over the concurrency-sensitive suites (scheduler, rdd, dataframe, serving).
+# Tier-1 verification: full build + test suite, then the dedicated
+# ThreadSanitizer pass (scripts/tsan.sh) over the concurrency-sensitive
+# suites.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,17 +12,7 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j4
 
 echo
-echo "=== tier 1: ThreadSanitizer (scheduler/rdd/dataframe/engines/plans/serving) ==="
-cmake -B build-tsan -S . -DRDFSPARK_TSAN=ON >/dev/null
-cmake --build build-tsan -j --target scheduler_test rdd_test dataframe_test \
-  engines_test plan_explain_test tracing_test serving_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/scheduler_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/rdd_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dataframe_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/engines_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/plan_explain_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/tracing_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/serving_test
+./scripts/tsan.sh
 
 echo
 echo "tier 1: OK"

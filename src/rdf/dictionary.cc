@@ -2,12 +2,29 @@
 
 #include <cassert>
 
+#include "spark/hb.h"
+
 namespace rdfspark::rdf {
+
+namespace hb = spark::hb;
+
+int64_t Dictionary::HbId() const { return hb::StableId(&hb_id_); }
+
+void Dictionary::Freeze() const {
+  hb::RecordAccess(hb::DictionaryObject(HbId()), hb::Access::kAtomicWrite,
+                   "Dictionary::Freeze");
+  frozen_.store(true, std::memory_order_release);
+  // Publication barrier: everything Encoded before the freeze becomes
+  // visible to concurrent readers through this edge.
+  hb::Publish(hb::DictionaryObject(HbId()));
+}
 
 TermId Dictionary::Encode(const Term& term) {
   assert(!frozen() &&
          "Dictionary::Encode on a frozen (serving) dictionary — query-time "
          "paths must use the const Lookup/Decode API");
+  hb::RecordAccess(hb::DictionaryObject(HbId()), hb::Access::kWrite,
+                   "Dictionary::Encode");
   std::string key = term.ToNTriples();
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
@@ -24,6 +41,9 @@ EncodedTriple Dictionary::Encode(const Triple& triple) {
 }
 
 Result<TermId> Dictionary::Lookup(const Term& term) const {
+  hb::Consume(hb::DictionaryObject(HbId()));
+  hb::RecordAccess(hb::DictionaryObject(HbId()), hb::Access::kRead,
+                   "Dictionary::Lookup");
   auto it = index_.find(term.ToNTriples());
   if (it == index_.end()) {
     return Status::NotFound("term not in dictionary: " + term.ToNTriples());
@@ -32,6 +52,9 @@ Result<TermId> Dictionary::Lookup(const Term& term) const {
 }
 
 Result<Term> Dictionary::Decode(TermId id) const {
+  hb::Consume(hb::DictionaryObject(HbId()));
+  hb::RecordAccess(hb::DictionaryObject(HbId()), hb::Access::kRead,
+                   "Dictionary::Decode");
   if (id >= terms_.size()) {
     return Status::OutOfRange("term id " + std::to_string(id) +
                               " out of range");

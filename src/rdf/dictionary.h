@@ -39,13 +39,16 @@ class Dictionary {
       : index_(std::move(o.index_)),
         terms_(std::move(o.terms_)),
         string_bytes_(o.string_bytes_),
-        frozen_(o.frozen_.load(std::memory_order_relaxed)) {}
+        frozen_(o.frozen_.load(std::memory_order_relaxed)),
+        hb_id_(o.hb_id_.load(std::memory_order_relaxed)) {}
   Dictionary& operator=(Dictionary&& o) noexcept {
     index_ = std::move(o.index_);
     terms_ = std::move(o.terms_);
     string_bytes_ = o.string_bytes_;
     frozen_.store(o.frozen_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
+    hb_id_.store(o.hb_id_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
     return *this;
   }
 
@@ -68,8 +71,11 @@ class Dictionary {
   /// Marks the dictionary read-only: any later Encode is a programming
   /// error (debug-asserted). Monotonic and thread-safe; const because it
   /// narrows the allowed API without changing observable content — the
-  /// serving layer freezes the (const) dataset it is handed.
-  void Freeze() const { frozen_.store(true, std::memory_order_release); }
+  /// serving layer freezes the (const) dataset it is handed. Freeze is
+  /// also the dictionary's happens-before publication barrier: the Tier C
+  /// checker orders frozen lookups after every load-time Encode through
+  /// it, while an unfrozen dictionary shared across threads races (RC001).
+  void Freeze() const;
   bool frozen() const { return frozen_.load(std::memory_order_acquire); }
 
   size_t size() const { return terms_.size(); }
@@ -78,10 +84,15 @@ class Dictionary {
   uint64_t StringBytes() const { return string_bytes_; }
 
  private:
+  /// Stable Tier C identity of this instance (lazily assigned on first
+  /// instrumented access; moves carry the id with the tables).
+  int64_t HbId() const;
+
   std::unordered_map<std::string, TermId> index_;
   std::vector<Term> terms_;
   uint64_t string_bytes_ = 0;
   mutable std::atomic<bool> frozen_{false};
+  mutable std::atomic<int64_t> hb_id_{0};
 };
 
 }  // namespace rdfspark::rdf

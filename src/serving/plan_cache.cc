@@ -1,6 +1,12 @@
 #include "serving/plan_cache.h"
 
+#include "spark/hb.h"
+
 namespace rdfspark::serving {
+
+namespace hb = spark::hb;
+
+int64_t PlanCache::HbId() const { return hb::StableId(&hb_id_); }
 
 std::string PlanCache::MakeKey(const std::string& engine,
                                const std::string& normalized_query,
@@ -14,7 +20,10 @@ std::shared_ptr<const systems::plan::PlanNode> PlanCache::Get(
     const std::string& engine, const std::string& normalized_query,
     uint64_t epoch) {
   std::string key = MakeKey(engine, normalized_query, epoch);
-  std::lock_guard<std::mutex> lock(mu_);
+  hb::TrackedLock lock(mu_);
+  // Writes even on the lookup path: Get mutates the LRU list and counters.
+  hb::RecordAccess(hb::PlanCacheObject(HbId()), hb::Access::kWrite,
+                   "PlanCache::Get");
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -29,7 +38,9 @@ void PlanCache::Put(const std::string& engine,
                     const std::string& normalized_query, uint64_t epoch,
                     std::shared_ptr<const systems::plan::PlanNode> plan) {
   std::string key = MakeKey(engine, normalized_query, epoch);
-  std::lock_guard<std::mutex> lock(mu_);
+  hb::TrackedLock lock(mu_);
+  hb::RecordAccess(hb::PlanCacheObject(HbId()), hb::Access::kWrite,
+                   "PlanCache::Put");
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Two requests planned the same query concurrently; keep the first
@@ -48,12 +59,16 @@ void PlanCache::Put(const std::string& engine,
 }
 
 void PlanCache::RecordBypass() {
-  std::lock_guard<std::mutex> lock(mu_);
+  hb::TrackedLock lock(mu_);
+  hb::RecordAccess(hb::PlanCacheObject(HbId()), hb::Access::kWrite,
+                   "PlanCache::RecordBypass");
   ++stats_.bypasses;
 }
 
 void PlanCache::InvalidateExcept(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  hb::TrackedLock lock(mu_);
+  hb::RecordAccess(hb::PlanCacheObject(HbId()), hb::Access::kWrite,
+                   "PlanCache::InvalidateExcept");
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->epoch != epoch) {
       index_.erase(it->key);
@@ -67,7 +82,9 @@ void PlanCache::InvalidateExcept(uint64_t epoch) {
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  hb::TrackedLock lock(mu_);
+  hb::RecordAccess(hb::PlanCacheObject(HbId()), hb::Access::kRead,
+                   "PlanCache::stats");
   PlanCacheStats out = stats_;
   out.entries = lru_.size();
   return out;

@@ -1,6 +1,7 @@
 #ifndef RDFSPARK_SERVING_PLAN_CACHE_H_
 #define RDFSPARK_SERVING_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -79,12 +80,16 @@ class PlanCache {
                              const std::string& normalized_query,
                              uint64_t epoch);
 
+  /// Stable Tier C identity (lazily assigned on first instrumented access).
+  int64_t HbId() const;
+
   size_t capacity_;
   mutable std::mutex mu_;
   /// Front = most recently used.
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   PlanCacheStats stats_;
+  mutable std::atomic<int64_t> hb_id_{0};
 };
 
 }  // namespace rdfspark::serving

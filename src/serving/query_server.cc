@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "spark/hb.h"
 #include "spark/tracing.h"
 #include "sparql/parser.h"
 #include "sparql/serialize.h"
@@ -13,7 +14,9 @@ namespace rdfspark::serving {
 namespace {
 
 bool EnvFlag(const char* name) {
-  const char* env = std::getenv(name);
+  // Read at Options construction, on the owner's thread before any worker
+  // starts; the process never calls setenv, so the read cannot race.
+  const char* env = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   return env != nullptr && env[0] != '\0';
 }
 
@@ -27,7 +30,8 @@ double ElapsedMs(std::chrono::steady_clock::time_point since) {
 
 QueryServer::Options::Options()
     : verify_queries(EnvFlag("RDFSPARK_VERIFY_QUERIES")),
-      verify_plans(EnvFlag("RDFSPARK_VERIFY_PLANS")) {}
+      verify_plans(EnvFlag("RDFSPARK_VERIFY_PLANS")),
+      check_races(EnvFlag("RDFSPARK_CHECK_RACES")) {}
 
 const RequestResult& QueryServer::Ticket::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -38,6 +42,12 @@ const RequestResult& QueryServer::Ticket::Wait() {
 QueryServer::QueryServer(spark::SparkContext* sc, Options options)
     : sc_(sc), options_(options), cache_(options.plan_cache_capacity) {
   if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.check_races) {
+    // The server owns one Tier C window spanning its lifetime. Opened
+    // before any engine is constructed so dataset loading, cache fills and
+    // every request all land in the same window.
+    race_check_ = std::make_unique<spark::hb::ScopedRaceCheck>(true);
+  }
   for (const auto& factory : systems::AllEngineVariantFactories()) {
     if (!options_.variants.empty()) {
       bool wanted = false;
@@ -52,6 +62,9 @@ QueryServer::QueryServer(spark::SparkContext* sc, Options options)
     // only duplicate the analysis.
     engine->set_debug_check_queries(false);
     engine->set_debug_check_plans(options_.verify_plans);
+    // Same takeover for Tier C: the server owns the recorder window; an
+    // engine-level gate would reset it under concurrent requests.
+    engine->set_debug_check_races(false);
     engines_.emplace(factory.name, std::move(engine));
   }
   workers_.reserve(static_cast<size_t>(options_.worker_threads));
@@ -198,6 +211,11 @@ std::vector<std::string> QueryServer::tenant_names() const {
   return tenant_order_;
 }
 
+std::vector<systems::plan::Diagnostic> QueryServer::race_findings() const {
+  if (race_check_ == nullptr || !race_check_->owner()) return {};
+  return spark::hb::Recorder::Get().Analyze();
+}
+
 void QueryServer::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -226,6 +244,10 @@ void QueryServer::WorkerLoop() {
     {
       // Shared with other workers; exclusive against AttachDataset.
       std::shared_lock<std::shared_mutex> dataset_lock(dataset_mu_);
+      // Tier C: each request is its own logical root — two requests are
+      // ordered only by declared synchronization (locks, publication
+      // barriers), which is exactly what the checker verifies.
+      spark::hb::RootScope request_root;
       result = Process(request);
     }
     Finish(request, std::move(result));

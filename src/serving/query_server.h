@@ -18,9 +18,11 @@
 #include "rdf/store.h"
 #include "serving/plan_cache.h"
 #include "spark/context.h"
+#include "spark/hb.h"
 #include "spark/metrics.h"
 #include "sparql/binding.h"
 #include "systems/engine.h"
+#include "systems/plan/diagnostics.h"
 
 namespace rdfspark::serving {
 
@@ -101,6 +103,14 @@ class QueryServer {
     /// Verify cacheable plans before first execution (and every uncached
     /// execution, via the engines' gate). Defaults to RDFSPARK_VERIFY_PLANS.
     bool verify_plans;
+    /// Tier C gate: when on, the server owns one happens-before recorder
+    /// window for its whole lifetime. Each request executes as a fresh
+    /// logical root, so two requests are ordered only by the
+    /// synchronization the code declares (locks, publication barriers) —
+    /// exactly what race_findings() then verifies. Defaults to the
+    /// RDFSPARK_CHECK_RACES environment variable (set and non-empty);
+    /// the engines' own per-Execute gate is taken over like verify_queries.
+    bool check_races;
 
     Options();
   };
@@ -162,6 +172,12 @@ class QueryServer {
   std::vector<std::string> tenant_names() const;
   PlanCacheStats plan_cache_stats() const { return cache_.stats(); }
 
+  /// Tier C findings over everything recorded since the server opened its
+  /// window (empty when check_races is off). Non-destructive — the window
+  /// stays open; call at a quiescent point (after tickets resolved) for a
+  /// complete picture of the served workload.
+  std::vector<systems::plan::Diagnostic> race_findings() const;
+
   /// Stops accepting work and joins the workers (pending requests fail
   /// with Unsupported("server shut down")). Idempotent; the destructor
   /// calls it.
@@ -215,6 +231,10 @@ class QueryServer {
 
   std::map<std::string, std::unique_ptr<systems::BgpEngineBase>> engines_;
   std::vector<std::thread> workers_;
+
+  /// The server-owned Tier C window (null when check_races is off).
+  /// Destroyed after the workers join, so no instrumented work outlives it.
+  std::unique_ptr<spark::hb::ScopedRaceCheck> race_check_;
 };
 
 }  // namespace rdfspark::serving

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "spark/hb.h"
 #include "spark/metrics.h"
 #include "spark/size_estimator.h"
 #include "spark/tracing.h"
@@ -58,12 +59,21 @@ struct PartitionerInfo {
 template <typename T>
 class Broadcast {
  public:
-  explicit Broadcast(std::shared_ptr<const T> value)
-      : value_(std::move(value)) {}
-  const T& value() const { return *value_; }
+  explicit Broadcast(std::shared_ptr<const T> value, int64_t hb_id = 0)
+      : value_(std::move(value)), hb_id_(hb_id) {}
+  const T& value() const {
+    // Publication edge: reading the replicated value orders this task
+    // after MakeBroadcast's publish (per-thread deduped, so the hot join
+    // loop records one logical event, not one per probe).
+    hb::Consume(hb::BroadcastObject(hb_id_));
+    hb::RecordAccess(hb::BroadcastObject(hb_id_), hb::Access::kRead,
+                     "Broadcast::value");
+    return *value_;
+  }
 
  private:
   std::shared_ptr<const T> value_;
+  int64_t hb_id_ = 0;
 };
 
 /// Entry point to the simulated cluster: owns the configuration, the
@@ -176,8 +186,15 @@ class SparkContext {
   template <typename T>
   Broadcast<T> MakeBroadcast(T value) {
     ChargeBroadcastBytes(EstimateSize(value));
-    return Broadcast<T>(std::make_shared<const T>(std::move(value)));
+    int64_t hb_id = hb::AssignWindowId();
+    hb::RecordAccess(hb::BroadcastObject(hb_id), hb::Access::kWrite,
+                     "MakeBroadcast");
+    hb::Publish(hb::BroadcastObject(hb_id));
+    return Broadcast<T>(std::make_shared<const T>(std::move(value)), hb_id);
   }
+
+  /// Stable HB identity of this context (metrics counters, executor pool).
+  int64_t HbId() const { return hb::StableId(&hb_id_); }
 
   /// Per-phase accumulator: busy nanoseconds per executor. Tasks of one
   /// phase add concurrently (relaxed atomics — integer addition commutes,
@@ -213,6 +230,7 @@ class SparkContext {
   Metrics metrics_;
   Tracer tracer_;
   std::atomic<int> next_node_id_{0};
+  mutable std::atomic<int64_t> hb_id_{0};  ///< Lazily assigned stable id.
 
   std::unique_ptr<Phase> root_phase_;
   std::once_flag scheduler_once_;  ///< Guards the lazy pool creation:

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "spark/context.h"
+#include "spark/hb.h"
 #include "spark/size_estimator.h"
 #include "spark/value_hash.h"
 
@@ -55,10 +56,21 @@ class RddNodeBase {
   /// by default — the simulator historically persists everything — unless
   /// the owning context was configured with retain_uncached_rdds = false,
   /// in which case only nodes explicitly marked via Rdd::Cache() retain.
-  /// Atomic so Uncache() may race pooled partition tasks (TSan-covered).
-  bool cached() const { return cached_.load(std::memory_order_acquire); }
+  /// Atomic so Uncache() may race pooled partition tasks (TSan-covered;
+  /// the HB checker additionally proves the ordering logically — the
+  /// RDFSPARK_MUTATE_CACHED_PLAIN build downgrades this flag to a plain
+  /// bool, together with its access events, to validate that RC003 fires).
+  bool cached() const {
+    hb::RecordAccess(hb::CacheFlagObject(id_), kFlagRead, "cached");
+#ifdef RDFSPARK_MUTATE_CACHED_PLAIN
+    return cached_;
+#else
+    return cached_.load(std::memory_order_acquire);
+#endif
+  }
   void SetCached(bool cached) {
-    cached_.store(cached, std::memory_order_release);
+    hb::RecordAccess(hb::CacheFlagObject(id_), kFlagWrite, "SetCached");
+    StoreCached(cached);
   }
 
   /// Clears the cached flag and drops every retained partition. Safe to
@@ -66,7 +78,9 @@ class RddNodeBase {
   /// locks, and a task that re-reads an evicted slot recomputes it from
   /// lineage (the same contract as EvictPartition failure injection).
   void Uncache() {
-    SetCached(false);
+    hb::RecordAccess(hb::CacheFlagObject(id_), kFlagWrite, "Uncache",
+                     hb::kSiteEviction);
+    StoreCached(false);
     DropRetained();
   }
 
@@ -85,11 +99,33 @@ class RddNodeBase {
   virtual void DropRetained() = 0;
 
  private:
+#ifdef RDFSPARK_MUTATE_CACHED_PLAIN
+  /// MUTATION build: the flag is a plain bool and its accesses record as
+  /// plain reads/writes, so the checker sees the bug the build introduces.
+  static constexpr hb::Access kFlagRead = hb::Access::kRead;
+  static constexpr hb::Access kFlagWrite = hb::Access::kWrite;
+#else
+  static constexpr hb::Access kFlagRead = hb::Access::kAtomicRead;
+  static constexpr hb::Access kFlagWrite = hb::Access::kAtomicWrite;
+#endif
+
+  void StoreCached(bool cached) {
+#ifdef RDFSPARK_MUTATE_CACHED_PLAIN
+    cached_ = cached;
+#else
+    cached_.store(cached, std::memory_order_release);
+#endif
+  }
+
   int id_;
   std::string name_;
   int num_partitions_;
   bool is_shuffle_;
+#ifdef RDFSPARK_MUTATE_CACHED_PLAIN
+  bool cached_ = true;
+#else
   std::atomic<bool> cached_{true};
+#endif
   std::vector<std::shared_ptr<RddNodeBase>> parents_;
   std::optional<PartitionerInfo> partitioner_;
 };
@@ -122,8 +158,14 @@ class RddNode : public RddNodeBase {
   /// transient node (retain_uncached_rdds = false, no Cache()) recomputes
   /// for every consumer, which is what LN001 statically predicts.
   std::shared_ptr<const std::vector<T>> GetPartition(int p) {
-    std::lock_guard<std::mutex> lock(locks_[p]);
-    if (cache_[p]) return cache_[p];
+    RDFSPARK_SLOT_LOCK(locks_[p]);
+    if (cache_[p]) {
+      hb::RecordAccess(hb::CacheSlotObject(id(), p), hb::Access::kRead,
+                       "GetPartition");
+      return cache_[p];
+    }
+    hb::RecordAccess(hb::CacheSlotObject(id(), p), hb::Access::kWrite,
+                     "GetPartition.compute");
     // Reinstall the operator scope captured when this node was built:
     // RDDs are lazy, so by the time compute_ runs the plan executor may
     // be inside a different operator — charges still belong to the one
@@ -135,11 +177,15 @@ class RddNode : public RddNodeBase {
   }
 
   void EvictPartition(int partition) override {
-    std::lock_guard<std::mutex> lock(locks_[partition]);
+    RDFSPARK_SLOT_LOCK(locks_[partition]);
+    hb::RecordAccess(hb::CacheSlotObject(id(), partition), hb::Access::kWrite,
+                     "EvictPartition", hb::kSiteEviction);
     cache_[partition].reset();
   }
   bool IsPartitionCached(int partition) const override {
-    std::lock_guard<std::mutex> lock(locks_[partition]);
+    RDFSPARK_SLOT_LOCK(locks_[partition]);
+    hb::RecordAccess(hb::CacheSlotObject(id(), partition), hb::Access::kRead,
+                     "IsPartitionCached");
     return cache_[partition] != nullptr;
   }
   void ComputePartition(int partition) override { GetPartition(partition); }
@@ -150,7 +196,9 @@ class RddNode : public RddNodeBase {
   uint64_t CachedRecords() const {
     uint64_t total = 0;
     for (int p = 0; p < num_partitions(); ++p) {
-      std::lock_guard<std::mutex> lock(locks_[p]);
+      RDFSPARK_SLOT_LOCK(locks_[p]);
+      hb::RecordAccess(hb::CacheSlotObject(id(), p), hb::Access::kRead,
+                       "CachedRecords");
       if (cache_[static_cast<size_t>(p)]) {
         total += cache_[static_cast<size_t>(p)]->size();
       }
@@ -161,7 +209,9 @@ class RddNode : public RddNodeBase {
  protected:
   void DropRetained() override {
     for (int p = 0; p < num_partitions(); ++p) {
-      std::lock_guard<std::mutex> lock(locks_[p]);
+      RDFSPARK_SLOT_LOCK(locks_[p]);
+      hb::RecordAccess(hb::CacheSlotObject(id(), p), hb::Access::kWrite,
+                       "Uncache.drop", hb::kSiteEviction);
       cache_[static_cast<size_t>(p)].reset();
     }
   }
@@ -574,46 +624,47 @@ class Rdd {
     auto parent = node_;
     auto state = std::make_shared<ShuffleState>(n);
     auto compute = [sc, parent, state, key_fn, ascending, n](int p) {
-      std::unique_lock<std::mutex> lock(state->mu);
-      if (!state->materialized) {
-        // One phase covers both the key sampling pass and the map side.
-        sc->BeginPhase();
-        // Sample keys to pick range boundaries, then bucket. Parent
-        // partitions are scanned on the pool; per-partition key slices
-        // concatenate in partition order so bounds are deterministic.
-        int np = parent->num_partitions();
-        std::vector<std::vector<K>> keys_by_part(static_cast<size_t>(np));
-        sc->RunParallel(np, [&](int q) {
-          auto in = parent->GetPartition(q);
-          auto& slice = keys_by_part[static_cast<size_t>(q)];
-          slice.reserve(in->size());
-          for (const T& x : *in) slice.push_back(key_fn(x));
-        });
-        std::vector<K> keys;
-        for (auto& slice : keys_by_part) {
-          for (K& k : slice) keys.push_back(std::move(k));
-        }
-        std::sort(keys.begin(), keys.end());
-        if (!ascending) std::reverse(keys.begin(), keys.end());
-        std::vector<K> bounds;
-        for (int b = 1; b < n; ++b) {
-          if (!keys.empty()) {
-            bounds.push_back(keys[keys.size() * b / n]);
+      {
+        hb::TrackedLock lock(state->mu);
+        if (!state->materialized) {
+          // One phase covers both the key sampling pass and the map side.
+          sc->BeginPhase();
+          // Sample keys to pick range boundaries, then bucket. Parent
+          // partitions are scanned on the pool; per-partition key slices
+          // concatenate in partition order so bounds are deterministic.
+          int np = parent->num_partitions();
+          std::vector<std::vector<K>> keys_by_part(static_cast<size_t>(np));
+          sc->RunParallel(np, [&](int q) {
+            auto in = parent->GetPartition(q);
+            auto& slice = keys_by_part[static_cast<size_t>(q)];
+            slice.reserve(in->size());
+            for (const T& x : *in) slice.push_back(key_fn(x));
+          });
+          std::vector<K> keys;
+          for (auto& slice : keys_by_part) {
+            for (K& k : slice) keys.push_back(std::move(k));
           }
-        }
-        auto target = [&](const T& x) {
-          K k = key_fn(x);
-          int lo = 0;
-          for (size_t b = 0; b < bounds.size(); ++b) {
-            bool past = ascending ? (k > bounds[b]) : (k < bounds[b]);
-            if (past) lo = static_cast<int>(b) + 1;
+          std::sort(keys.begin(), keys.end());
+          if (!ascending) std::reverse(keys.begin(), keys.end());
+          std::vector<K> bounds;
+          for (int b = 1; b < n; ++b) {
+            if (!keys.empty()) {
+              bounds.push_back(keys[keys.size() * b / n]);
+            }
           }
-          return lo;
-        };
-        MaterializeShuffleInPhase<T>(sc, parent.get(), state.get(), target);
-        sc->EndPhase();
+          auto target = [&](const T& x) {
+            K k = key_fn(x);
+            int lo = 0;
+            for (size_t b = 0; b < bounds.size(); ++b) {
+              bool past = ascending ? (k > bounds[b]) : (k < bounds[b]);
+              if (past) lo = static_cast<int>(b) + 1;
+            }
+            return lo;
+          };
+          MaterializeShuffleInPhase<T>(sc, parent.get(), state.get(), target);
+          sc->EndPhase();
+        }
       }
-      lock.unlock();
       auto out = state->template TakeBucket<T>(sc, p);
       std::sort(out.begin(), out.end(), [&](const T& a, const T& b) {
         return ascending ? key_fn(a) < key_fn(b) : key_fn(b) < key_fn(a);
@@ -1013,9 +1064,15 @@ class Rdd {
     // Type-erased bucket storage: each slot holds a shared_ptr<vector<T>>.
     std::vector<std::shared_ptr<void>> buckets_void;
     std::vector<uint64_t> remote_bytes_per_target;
+    /// HB identity of this shuffle's materialization buffers (0 outside a
+    /// recording window). Publication point: MaterializeShuffleInPhase.
+    int64_t hb_id = hb::AssignWindowId();
 
     template <typename U>
     std::vector<U> TakeBucket(SparkContext* sc, int p) {
+      hb::Consume(hb::ShuffleObject(hb_id));
+      hb::RecordAccess(hb::ShuffleObject(hb_id), hb::Access::kRead,
+                       "ShuffleState::TakeBucket");
       auto ptr = std::static_pointer_cast<std::vector<U>>(buckets_void[p]);
       std::vector<U> out = ptr ? *ptr : std::vector<U>();
       sc->ChargeTask(p, out.size(), remote_bytes_per_target[p]);
@@ -1035,7 +1092,7 @@ class Rdd {
     auto state = std::make_shared<ShuffleState>(n);
     auto compute = [sc, parent, state, hash_fn, n](int p) {
       {
-        std::lock_guard<std::mutex> lock(state->mu);
+        hb::TrackedLock lock(state->mu);
         if (!state->materialized) {
           auto target = [&](const T& x) {
             // uint64 hash modulo a positive count: provably in [0, n).
@@ -1123,6 +1180,12 @@ class Rdd {
       }
     }
     state->materialized = true;
+    // Publication barrier: the merged buckets become visible to readers
+    // only through TakeBucket's Consume edge. A read path that skipped the
+    // barrier would surface as RC002 on this object.
+    hb::RecordAccess(hb::ShuffleObject(state->hb_id), hb::Access::kWrite,
+                     "MaterializeShuffle");
+    hb::Publish(hb::ShuffleObject(state->hb_id));
   }
 
  private:

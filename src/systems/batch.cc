@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "spark/hb.h"
 #include "spark/value_hash.h"
 
 namespace rdfspark::systems {
@@ -48,8 +49,13 @@ spark::Rdd<IdTable> RepartitionBatches(const spark::Rdd<IdTable>& rdd,
   if (rdd.node()->partitioner() && *rdd.node()->partitioner() == info) {
     return rdd;
   }
+  // Tier C identity of this repartition's cross-partition hand-off: split
+  // tasks write sub-batches into the target buffers, merge tasks read them.
+  // The ShuffleState publication barrier between the two stages is what
+  // orders the pairs — the checker validates that chain end to end.
+  const int64_t hb_id = spark::hb::AssignWindowId();
   auto split = rdd.MapPartitionsWithIndex(
-      [key_col, n, width](int, const std::vector<IdTable>& in) {
+      [key_col, n, width, hb_id](int, const std::vector<IdTable>& in) {
         std::vector<std::pair<int, IdTable>> out;
         std::vector<int> slot(static_cast<size_t>(n), -1);
         for (const IdTable& batch : in) {
@@ -65,6 +71,16 @@ spark::Rdd<IdTable> RepartitionBatches(const spark::Rdd<IdTable>& rdd,
             out[static_cast<size_t>(s)].second.AppendRowFrom(batch, r);
           }
         }
+        // Sibling split tasks append sub-batches for the same target
+        // partition; the append itself is serialized by the shuffle
+        // layer's bucket mutex (an atomic enqueue), so only the hand-off
+        // to the plain merge-side read below needs the publication
+        // barrier — that write→barrier→read chain is what Tier C checks.
+        for (const auto& kv : out) {
+          spark::hb::RecordAccess(spark::hb::BatchBufferObject(hb_id, kv.first),
+                                  spark::hb::Access::kAtomicWrite,
+                                  "RepartitionBatches.split");
+        }
         return out;
       });
   auto shuffled = split.ShuffleBy(
@@ -73,7 +89,10 @@ spark::Rdd<IdTable> RepartitionBatches(const spark::Rdd<IdTable>& rdd,
       },
       n, name, info);
   return shuffled.MapPartitionsWithIndex(
-      [width](int, const std::vector<std::pair<int, IdTable>>& in) {
+      [width, hb_id](int p, const std::vector<std::pair<int, IdTable>>& in) {
+        spark::hb::RecordAccess(spark::hb::BatchBufferObject(hb_id, p),
+                                spark::hb::Access::kRead,
+                                "RepartitionBatches.merge");
         IdTable merged(width);
         for (const auto& kv : in) merged.AppendRowsFrom(kv.second);
         return std::vector<IdTable>{std::move(merged)};

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "spark/hb.h"
 #include "sparql/eval.h"
 #include "sparql/parser.h"
 #include "systems/plan/analyze.h"
@@ -61,10 +62,16 @@ Result<std::string> RdfQueryEngine::ExplainAnalyzeText(std::string_view) {
 }
 
 BgpEngineBase::BgpEngineBase(spark::SparkContext* sc) : RdfQueryEngine(sc) {
+  // Engines are constructed on the driver before any pooled task can run,
+  // and nothing in this process calls setenv, so these reads cannot race.
+  // NOLINTBEGIN(concurrency-mt-unsafe)
   const char* env = std::getenv("RDFSPARK_VERIFY_PLANS");
   debug_check_plans_ = env != nullptr && env[0] != '\0';
   const char* qenv = std::getenv("RDFSPARK_VERIFY_QUERIES");
   debug_check_queries_ = qenv != nullptr && qenv[0] != '\0';
+  const char* renv = std::getenv("RDFSPARK_CHECK_RACES");
+  debug_check_races_ = renv != nullptr && renv[0] != '\0';
+  // NOLINTEND(concurrency-mt-unsafe)
 }
 
 sparql::QueryAnalysisOptions BgpEngineBase::AnalysisOptions() const {
@@ -129,6 +136,16 @@ Result<std::string> BgpEngineBase::LintText(std::string_view text) {
                             LintQuery(text));
   for (auto& d : plan_diags) diags.push_back(std::move(d));
   return plan::RenderDiagnostics(std::move(diags));
+}
+
+Result<std::string> BgpEngineBase::RaceCheckText(std::string_view text) {
+  spark::hb::ScopedRaceCheck window(/*active=*/true);
+  Result<sparql::BindingTable> executed = ExecuteText(text);
+  std::vector<plan::Diagnostic> findings =
+      window.owner() ? window.Finish()
+                     : spark::hb::Recorder::Get().Analyze();
+  if (!executed.ok()) return executed.status();
+  return plan::RenderDiagnostics(std::move(findings));
 }
 
 std::vector<plan::Diagnostic> BgpEngineBase::AnalyzeParsedQuery(
@@ -246,8 +263,20 @@ Result<sparql::BindingTable> BgpEngineBase::Execute(
                                      plan::FormatDiagnostics(errors));
     }
   }
+  // Tier C gate (RDFSPARK_CHECK_RACES): record every shared-object access
+  // this execution makes and fail on unordered conflicting pairs. When an
+  // outer window is active (serving layer, lint tool), owner() is false
+  // and the gate defers to it — mirroring the verify_queries takeover.
+  spark::hb::ScopedRaceCheck race_check(debug_check_races_);
   RDFSPARK_ASSIGN_OR_RETURN(sparql::BindingTable table,
                             EvaluateGroup(query.where));
+  if (race_check.owner()) {
+    std::vector<plan::Diagnostic> findings = race_check.Finish();
+    if (plan::HasError(findings)) {
+      return Status::InvalidArgument("race check failed:\n" +
+                                     plan::FormatDiagnostics(findings));
+    }
+  }
   if (query.form == sparql::QueryForm::kAsk) {
     sparql::BindingTable out;
     if (table.num_rows() > 0) out.AddRow({});

@@ -211,6 +211,22 @@ class BgpEngineBase : public RdfQueryEngine {
   void set_debug_check_queries(bool enabled) { debug_check_queries_ = enabled; }
   bool debug_check_queries() const { return debug_check_queries_; }
 
+  /// Tier C gate: when enabled, Execute runs inside a happens-before
+  /// recorder window (see spark/hb.h) and any ERROR-level RC/DT finding
+  /// fails the query with an InvalidArgument status after execution.
+  /// Defaults to the RDFSPARK_CHECK_RACES environment variable (set and
+  /// non-empty). Owner semantics: when an outer window is already active
+  /// (the serving layer or a lint tool holds the recorder), the per-Execute
+  /// gate defers to the owner instead of resetting shared state under it.
+  void set_debug_check_races(bool enabled) { debug_check_races_ = enabled; }
+  bool debug_check_races() const { return debug_check_races_; }
+
+  /// Tier C of the dataflow lint: executes `text` inside a fresh
+  /// happens-before recorder window and returns the RC/DT findings one per
+  /// line ("no findings\n" for a clean run). If an outer window is already
+  /// active its accumulated findings are rendered without disturbing it.
+  Result<std::string> RaceCheckText(std::string_view text);
+
  protected:
   explicit BgpEngineBase(spark::SparkContext* sc);
 
@@ -237,6 +253,7 @@ class BgpEngineBase : public RdfQueryEngine {
 
   bool debug_check_plans_ = false;
   bool debug_check_queries_ = false;
+  bool debug_check_races_ = false;
 };
 
 /// All nine engines, constructed against `sc`. Order matches Table II rows.

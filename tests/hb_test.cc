@@ -1,0 +1,393 @@
+// Tests for the Tier C happens-before race & determinism checker
+// (spark/hb.h). The scenarios build fork/join structure directly with the
+// RAII scopes, so every verdict here is a property of the declared
+// structure — none of these tests depend on which thread ran what.
+
+#include "spark/hb.h"
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "spark/context.h"
+#include "systems/plan/diagnostics.h"
+
+namespace rdfspark::spark::hb {
+namespace {
+
+using systems::plan::Diagnostic;
+using systems::plan::Severity;
+
+/// Runs `body` inside an owned recorder window and returns the findings.
+std::vector<Diagnostic> RunScenario(const std::function<void()>& body) {
+  ScopedRaceCheck window(/*active=*/true);
+  EXPECT_TRUE(window.owner()) << "another window is active";
+  body();
+  return window.Finish();
+}
+
+int CountRule(const std::vector<Diagnostic>& findings, const std::string& rule) {
+  int n = 0;
+  for (const auto& d : findings) {
+    if (d.rule == rule) ++n;
+  }
+  return n;
+}
+
+/// Order-insensitive fingerprint of a findings list.
+std::set<std::tuple<std::string, std::string, std::string>> Fingerprint(
+    const std::vector<Diagnostic>& findings) {
+  std::set<std::tuple<std::string, std::string, std::string>> out;
+  for (const auto& d : findings) out.insert({d.rule, d.node_path, d.message});
+  return out;
+}
+
+TEST(HbTest, SequentialAccessesOnOneThreadAreOrdered) {
+  auto findings = RunScenario([] {
+    ObjectId obj = DictionaryObject(9001);
+    RecordAccess(obj, Access::kWrite, "hb_test.seq_first");
+    RecordAccess(obj, Access::kRead, "hb_test.seq_second");
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HbTest, TaskOrderedAgainstForkAndJoin) {
+  // Driver write -> fork -> task write -> join -> driver read: every pair
+  // is connected through the batch structure.
+  auto findings = RunScenario([] {
+    ObjectId obj = DictionaryObject(9002);
+    RecordAccess(obj, Access::kWrite, "hb_test.before_fork");
+    {
+      BatchScope batch(1);
+      TaskScope task(batch, 0);
+      RecordAccess(obj, Access::kWrite, "hb_test.in_task");
+    }
+    RecordAccess(obj, Access::kRead, "hb_test.after_join");
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HbTest, SiblingTaskConflictFiresRC001) {
+  auto findings = RunScenario([] {
+    ObjectId obj = DictionaryObject(9003);
+    BatchScope batch(2);
+    {
+      TaskScope task(batch, 0);
+      RecordAccess(obj, Access::kWrite, "hb_test.sib_a");
+    }
+    {
+      TaskScope task(batch, 1);
+      RecordAccess(obj, Access::kWrite, "hb_test.sib_b");
+    }
+  });
+  ASSERT_EQ(CountRule(findings, "RC001"), 1);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+  EXPECT_EQ(findings[0].node_path, "dictionary#9003");
+}
+
+TEST(HbTest, CommonLockSuppressesTheRace) {
+  static std::mutex mu;
+  auto findings = RunScenario([] {
+    ObjectId obj = DictionaryObject(9004);
+    BatchScope batch(2);
+    {
+      TaskScope task(batch, 0);
+      TrackedLock lock(mu);
+      RecordAccess(obj, Access::kWrite, "hb_test.lock_a");
+    }
+    {
+      TaskScope task(batch, 1);
+      TrackedLock lock(mu);
+      RecordAccess(obj, Access::kWrite, "hb_test.lock_b");
+    }
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HbTest, DistinctLocksDoNotSuppress) {
+  static std::mutex mu_a;
+  static std::mutex mu_b;
+  auto findings = RunScenario([] {
+    ObjectId obj = DictionaryObject(9005);
+    BatchScope batch(2);
+    {
+      TaskScope task(batch, 0);
+      TrackedLock lock(mu_a);
+      RecordAccess(obj, Access::kWrite, "hb_test.lka");
+    }
+    {
+      TaskScope task(batch, 1);
+      TrackedLock lock(mu_b);
+      RecordAccess(obj, Access::kWrite, "hb_test.lkb");
+    }
+  });
+  EXPECT_EQ(CountRule(findings, "RC001"), 1);
+}
+
+TEST(HbTest, BothAtomicIsNeverAFinding) {
+  auto findings = RunScenario([] {
+    ObjectId obj = DictionaryObject(9006);
+    BatchScope batch(2);
+    {
+      TaskScope task(batch, 0);
+      RecordAccess(obj, Access::kAtomicWrite, "hb_test.at_a");
+    }
+    {
+      TaskScope task(batch, 1);
+      RecordAccess(obj, Access::kAtomicWrite, "hb_test.at_b");
+    }
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HbTest, PublishConsumeOrdersAcrossRoots) {
+  // Roots are mutually unordered by default; a publish/consume pair is the
+  // only edge connecting them here.
+  auto findings = RunScenario([] {
+    ObjectId obj = BroadcastObject(9007);
+    {
+      RootScope producer;
+      RecordAccess(obj, Access::kWrite, "hb_test.pub_write");
+      Publish(obj);
+    }
+    {
+      RootScope consumer;
+      Consume(obj);
+      RecordAccess(obj, Access::kRead, "hb_test.pub_read");
+    }
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HbTest, MissingBarrierOnPublicationObjectFiresRC002) {
+  auto findings = RunScenario([] {
+    ObjectId obj = ShuffleObject(9008);
+    {
+      RootScope producer;
+      RecordAccess(obj, Access::kWrite, "hb_test.nopub_write");
+    }
+    {
+      RootScope consumer;
+      Consume(obj);  // No-op: nothing was published.
+      RecordAccess(obj, Access::kRead, "hb_test.nopub_read");
+    }
+  });
+  ASSERT_EQ(CountRule(findings, "RC002"), 1);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+}
+
+TEST(HbTest, EvictionAgainstPooledReadFiresRC003) {
+  auto findings = RunScenario([] {
+    ObjectId slot = CacheSlotObject(9009, 0);
+    BatchScope batch(2);
+    {
+      TaskScope task(batch, 0);
+      RecordAccess(slot, Access::kWrite, "hb_test.evict", kSiteEviction);
+    }
+    {
+      TaskScope task(batch, 1);
+      RecordAccess(slot, Access::kRead, "hb_test.pooled_read");
+    }
+  });
+  ASSERT_EQ(CountRule(findings, "RC003"), 1);
+  EXPECT_EQ(CountRule(findings, "RC001"), 0);
+  EXPECT_EQ(findings[0].node_path, "rdd#9009.slot[0]");
+}
+
+TEST(HbTest, AccumulatorIgnoresLocksAndFiresDT001) {
+  // A lock orders neither task; it only makes the writes atomic. The final
+  // accumulator value still depends on completion order.
+  static std::mutex mu;
+  auto findings = RunScenario([] {
+    ObjectId acc = AccumulatorObject(9010);
+    BatchScope batch(2);
+    {
+      TaskScope task(batch, 0);
+      TrackedLock lock(mu);
+      RecordAccess(acc, Access::kWrite, "hb_test.acc_a");
+    }
+    {
+      TaskScope task(batch, 1);
+      TrackedLock lock(mu);
+      RecordAccess(acc, Access::kWrite, "hb_test.acc_b");
+    }
+  });
+  ASSERT_EQ(CountRule(findings, "DT001"), 1);
+  EXPECT_EQ(CountRule(findings, "RC001"), 0);
+  EXPECT_EQ(findings[0].severity, Severity::kError);
+}
+
+TEST(HbTest, CommutativeMergesNeverFire) {
+  auto findings = RunScenario([] {
+    ObjectId metrics = MetricsObject(9011);
+    BatchScope batch(4);
+    for (int i = 0; i < 4; ++i) {
+      TaskScope task(batch, i);
+      RecordMerge(metrics, "hb_test.counter_add", /*commutative=*/true);
+    }
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HbTest, NonCommutativeMergeFiresDT002) {
+  auto findings = RunScenario([] {
+    ObjectId obj = AccumulatorObject(9012);
+    BatchScope batch(2);
+    {
+      TaskScope task(batch, 0);
+      RecordMerge(obj, "hb_test.concat_a", /*commutative=*/false);
+    }
+    {
+      TaskScope task(batch, 1);
+      RecordMerge(obj, "hb_test.concat_b", /*commutative=*/false);
+    }
+  });
+  EXPECT_EQ(CountRule(findings, "DT002"), 1);
+}
+
+TEST(HbTest, UnorderedContainerIterationFiresDT003) {
+  auto findings = RunScenario([] {
+    ObjectId obj = ContainerObject(9013);
+    {
+      BatchScope batch(2);
+      {
+        TaskScope task(batch, 0);
+        RecordAccess(obj, Access::kWrite, "hb_test.insert_a");
+      }
+      {
+        TaskScope task(batch, 1);
+        RecordAccess(obj, Access::kWrite, "hb_test.insert_b");
+      }
+    }
+    RecordUnorderedIteration(obj, "hb_test.iterate");
+  });
+  ASSERT_EQ(CountRule(findings, "DT003"), 1);
+  EXPECT_EQ(findings[0].severity, Severity::kWarn);
+}
+
+TEST(HbTest, OrderedInsertsMakeIterationClean) {
+  auto findings = RunScenario([] {
+    ObjectId obj = ContainerObject(9014);
+    RecordAccess(obj, Access::kWrite, "hb_test.ins_seq_a");
+    RecordAccess(obj, Access::kWrite, "hb_test.ins_seq_b");
+    RecordUnorderedIteration(obj, "hb_test.iter_seq");
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HbTest, EventFreeBatchesContractAway) {
+  // The lazy-segment property the SparkSQL-style plans rely on: a million
+  // metric-only tasks must not materialize a million segments.
+  ScopedRaceCheck window(/*active=*/true);
+  ASSERT_TRUE(window.owner());
+  ObjectId metrics = MetricsObject(9015);
+  for (int b = 0; b < 1000; ++b) {
+    BatchScope batch(4);
+    for (int i = 0; i < 4; ++i) {
+      TaskScope task(batch, i);
+      RecordMerge(metrics, "hb_test.charge", /*commutative=*/true);
+    }
+  }
+  EXPECT_LT(Recorder::Get().SegmentCountForTest(), 8u);
+  EXPECT_LE(Recorder::Get().EventCountForTest(), 1u);
+  EXPECT_TRUE(window.Finish().empty());
+}
+
+TEST(HbTest, FrozenDictionaryLookupsAreOrdered) {
+  auto findings = RunScenario([] {
+    rdf::Dictionary dict;
+    auto id = dict.Encode(rdf::Term::Uri("http://example.org/frozen"));
+    dict.Freeze();
+    BatchScope batch(2);
+    for (int i = 0; i < 2; ++i) {
+      TaskScope task(batch, i);
+      EXPECT_TRUE(dict.Lookup(rdf::Term::Uri("http://example.org/frozen")).ok());
+      EXPECT_TRUE(dict.Decode(id).ok());
+    }
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(HbTest, UnfrozenEncodeRacingLookupFiresRC001) {
+  auto findings = RunScenario([] {
+    rdf::Dictionary dict;
+    dict.Encode(rdf::Term::Uri("http://example.org/seed"));
+    BatchScope batch(2);
+    {
+      TaskScope task(batch, 0);
+      dict.Encode(rdf::Term::Uri("http://example.org/late"));
+    }
+    {
+      TaskScope task(batch, 1);
+      (void)dict.Lookup(rdf::Term::Uri("http://example.org/seed"));
+    }
+  });
+  EXPECT_GE(CountRule(findings, "RC001"), 1);
+}
+
+TEST(HbTest, VerdictsIdenticalAcrossRepeatRuns) {
+  auto scenario = [] {
+    ObjectId obj = DictionaryObject(9016);
+    ObjectId slot = CacheSlotObject(9017, 3);
+    BatchScope batch(3);
+    {
+      TaskScope task(batch, 0);
+      RecordAccess(obj, Access::kWrite, "hb_test.rep_a");
+      RecordAccess(slot, Access::kWrite, "hb_test.rep_evict", kSiteEviction);
+    }
+    {
+      TaskScope task(batch, 1);
+      RecordAccess(obj, Access::kWrite, "hb_test.rep_b");
+      RecordAccess(slot, Access::kRead, "hb_test.rep_read");
+    }
+  };
+  auto first = RunScenario(scenario);
+  auto second = RunScenario(scenario);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].rule, second[i].rule);
+    EXPECT_EQ(first[i].node_path, second[i].node_path);
+    EXPECT_EQ(first[i].message, second[i].message);
+  }
+}
+
+// The runtime probe drives real RDD machinery. The clean tree must stay
+// silent and the verdicts must not depend on the executor pool size —
+// that is the whole point of a structural checker. (Skipped under the
+// mutation builds, where the probe is *supposed* to fire.)
+#if !defined(RDFSPARK_MUTATE_NO_SLOT_LOCK) && \
+    !defined(RDFSPARK_MUTATE_CACHED_PLAIN)
+
+std::vector<Diagnostic> RunProbe(int executor_threads) {
+  ClusterConfig config;
+  config.num_executors = 4;
+  config.executor_threads = executor_threads;
+  SparkContext sc(config);
+  ScopedRaceCheck window(/*active=*/true);
+  EXPECT_TRUE(window.owner());
+  RunRuntimeProbe(&sc);
+  return window.Finish();
+}
+
+TEST(HbTest, RuntimeProbeCleanOnUnmutatedTree) {
+  EXPECT_TRUE(RunProbe(/*executor_threads=*/1).empty());
+}
+
+TEST(HbTest, RuntimeProbeVerdictsIndependentOfThreadCount) {
+  auto serial = RunProbe(/*executor_threads=*/1);
+  auto pooled = RunProbe(/*executor_threads=*/4);
+  EXPECT_EQ(Fingerprint(serial), Fingerprint(pooled));
+}
+
+#endif  // !RDFSPARK_MUTATE_*
+
+}  // namespace
+}  // namespace rdfspark::spark::hb

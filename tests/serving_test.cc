@@ -379,6 +379,92 @@ TEST(PlanCacheTest, LruEvictionAtCapacity) {
   EXPECT_EQ(stats.entries, 2u);
 }
 
+// ---- Tier C: the server-owned happens-before window. ---------------------
+
+QueryServer::Options RaceCheckedOptions(int workers) {
+  QueryServer::Options options = QuietOptions(workers);
+  options.check_races = true;
+  return options;
+}
+
+std::string RenderFindings(std::vector<systems::plan::Diagnostic> findings) {
+  return systems::plan::FormatDiagnostics(findings);
+}
+
+TEST(QueryServerRaceTest, HotSwapRacingConcurrentFillsStaysSilent) {
+  // AttachDataset hot-swaps the dataset while earlier requests are still
+  // being admitted and the plan cache is filling concurrently. The
+  // dataset_mu_ writer lock + epoch bump is the declared synchronization;
+  // the HB checker must find the whole trace ordered.
+  rdf::TripleStore first = SmallLubm(/*seed=*/42, /*departments=*/3);
+  rdf::TripleStore second = SmallLubm(/*seed=*/7, /*departments=*/2);
+  std::vector<std::pair<rdf::QueryShape, std::string>> mix =
+      rdf::LubmQueryMix();
+
+  spark::SparkContext sc;
+  QueryServer server(&sc, RaceCheckedOptions(/*workers=*/4));
+  ASSERT_TRUE(server.AttachDataset(first).ok());
+  int session_a = server.OpenSession("swap-a");
+  int session_b = server.OpenSession("swap-b");
+
+  std::vector<std::shared_ptr<QueryServer::Ticket>> tickets;
+  auto submit_matrix = [&](int session) {
+    for (const auto& variant : server.variant_names()) {
+      for (const auto& [shape, text] : mix) {
+        tickets.push_back(server.Submit(session, variant, text));
+      }
+    }
+  };
+  // Burst one tenant's matrix, hot-swap mid-flight (AttachDataset drains
+  // in-flight work under the writer lock), then burst the other tenant
+  // against the new epoch so the cache refills concurrently.
+  submit_matrix(session_a);
+  ASSERT_TRUE(server.AttachDataset(second).ok());
+  uint64_t epoch_after_swap = server.dataset_epoch();
+  EXPECT_EQ(epoch_after_swap, 2u);
+  submit_matrix(session_b);
+  for (auto& ticket : tickets) ticket->Wait();
+
+  auto findings = server.race_findings();
+  EXPECT_TRUE(findings.empty()) << RenderFindings(findings);
+  server.Shutdown();
+}
+
+TEST(QueryServerRaceTest, FrozenDictionarySharedAcrossWorkersStaysSilent) {
+  // Every worker decodes terms through the one frozen dictionary while
+  // executing concurrently; Freeze's publication edge must order all of
+  // those reads after the load-time encodes, so the checker stays silent.
+  rdf::TripleStore store = SmallLubm();
+  std::vector<std::pair<rdf::QueryShape, std::string>> mix =
+      rdf::LubmQueryMix();
+
+  spark::SparkContext sc;
+  QueryServer server(&sc, RaceCheckedOptions(/*workers=*/8));
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  int session = server.OpenSession("dict");
+
+  std::vector<std::shared_ptr<QueryServer::Ticket>> tickets;
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& variant : server.variant_names()) {
+      for (const auto& [shape, text] : mix) {
+        tickets.push_back(server.Submit(session, variant, text));
+      }
+    }
+  }
+  size_t decoded_rows = 0;
+  for (auto& ticket : tickets) {
+    const RequestResult& result = ticket->Wait();
+    if (result.status.ok()) {
+      decoded_rows += result.table.Decode(store.dictionary()).size();
+    }
+  }
+  EXPECT_GT(decoded_rows, 0u);
+
+  auto findings = server.race_findings();
+  EXPECT_TRUE(findings.empty()) << RenderFindings(findings);
+  server.Shutdown();
+}
+
 TEST(PlanCacheTest, EpochIsPartOfTheKey) {
   PlanCache cache(8);
   auto plan = std::shared_ptr<const systems::plan::PlanNode>(

@@ -2,13 +2,23 @@
 //
 //   bench_gate --candidate=artifacts/BENCH_lubm.json \
 //              --baseline=bench/baselines/BENCH_lubm.json \
-//              [--metric=shuffle_bytes] [--max-regression=0.10]
+//              [--metric=shuffle_bytes] [--max-regression=0.10] \
+//              [--label=<row label>]
 //
 // Both files must pass the in-tree RFC 8259 validator. The gate then sums
 // `metric` across every row of each file and exits nonzero when the
 // candidate total exceeds baseline * (1 + max-regression). Totals (not
 // per-label values) are compared so benign label renames don't trip the
 // gate; a shuffle-volume regression big enough to matter moves the total.
+//
+// --label restricts the sum to the row(s) with that exact "label" value —
+// the serving gate compares the aggregate row's p99_ms only, because the
+// per-tenant percentile rows are noisy under worker interleaving while
+// the total is stable:
+//
+//   bench_gate --candidate=artifacts/BENCH_serving.json \
+//              --baseline=bench/baselines/BENCH_serving.json \
+//              --label=total --metric=p99_ms --max-regression=0.10
 //
 // Exit codes: 0 pass, 1 regression, 2 usage / unreadable / invalid JSON.
 
@@ -50,11 +60,45 @@ double SumMetric(const std::string& json, const std::string& metric,
   return total;
 }
 
+// Like SumMetric, but only inside rows whose "label" equals `label`. A row
+// window spans from its "label" key to the next "label" key (or EOF) —
+// sound because the BENCH_*.json writers emit "label" first in each row
+// and never nest rows.
+double SumLabeledMetric(const std::string& json, const std::string& metric,
+                        const std::string& label, size_t* occurrences) {
+  const std::string label_key = "\"label\":";
+  const std::string metric_needle = "\"" + metric + "\":";
+  double total = 0;
+  *occurrences = 0;
+  size_t pos = 0;
+  while ((pos = json.find(label_key, pos)) != std::string::npos) {
+    size_t value_start = pos + label_key.size();
+    size_t window_end = json.find(label_key, value_start);
+    if (window_end == std::string::npos) window_end = json.size();
+    // Match the label value: skip whitespace, expect "label".
+    size_t v = value_start;
+    while (v < json.size() && (json[v] == ' ' || json[v] == '\n')) ++v;
+    const std::string quoted = "\"" + label + "\"";
+    if (json.compare(v, quoted.size(), quoted) == 0) {
+      size_t m = value_start;
+      while ((m = json.find(metric_needle, m)) != std::string::npos &&
+             m < window_end) {
+        m += metric_needle.size();
+        total += std::strtod(json.c_str() + m, nullptr);
+        ++*occurrences;
+      }
+    }
+    pos = value_start;
+  }
+  return total;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string candidate_path, baseline_path;
   std::string metric = "shuffle_bytes";
+  std::string label;
   double max_regression = 0.10;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -64,6 +108,8 @@ int main(int argc, char** argv) {
       baseline_path = arg + 11;
     } else if (std::strncmp(arg, "--metric=", 9) == 0) {
       metric = arg + 9;
+    } else if (std::strncmp(arg, "--label=", 8) == 0) {
+      label = arg + 8;
     } else if (std::strncmp(arg, "--max-regression=", 17) == 0) {
       max_regression = std::strtod(arg + 17, nullptr);
     } else {
@@ -74,7 +120,8 @@ int main(int argc, char** argv) {
   if (candidate_path.empty() || baseline_path.empty()) {
     std::fprintf(stderr,
                  "usage: bench_gate --candidate=<json> --baseline=<json> "
-                 "[--metric=<name>] [--max-regression=<fraction>]\n");
+                 "[--metric=<name>] [--label=<row>] "
+                 "[--max-regression=<fraction>]\n");
     return 2;
   }
 
@@ -97,10 +144,14 @@ int main(int argc, char** argv) {
                    side.role, side.path->c_str(), error.c_str());
       return 2;
     }
-    side.total = SumMetric(side.text, metric, &side.rows);
+    side.total = label.empty()
+                     ? SumMetric(side.text, metric, &side.rows)
+                     : SumLabeledMetric(side.text, metric, label, &side.rows);
     if (side.rows == 0) {
-      std::fprintf(stderr, "bench_gate: %s %s has no \"%s\" entries\n",
-                   side.role, side.path->c_str(), metric.c_str());
+      std::fprintf(stderr, "bench_gate: %s %s has no \"%s\" entries%s%s\n",
+                   side.role, side.path->c_str(), metric.c_str(),
+                   label.empty() ? "" : " in rows labeled ",
+                   label.c_str());
       return 2;
     }
   }

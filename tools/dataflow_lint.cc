@@ -11,14 +11,24 @@
 //           the run built is snapshotted, and the lineage rules inspect it
 //           for recompute hazards, redundant shuffles and deep stage
 //           chains.
+//   Tier C  happens-before race & determinism analysis (RC/DT rules,
+//           spark/hb.h): every cell executes inside a recorder window;
+//           conflicting shared-object accesses that no declared
+//           synchronization orders are reported regardless of which
+//           interleaving actually ran. Two extra Tier C rows run after the
+//           matrix: a runtime probe exercising the canonical shared
+//           objects (cache slots, shuffle buffers, broadcast, uncache),
+//           and a concurrent serving workload over all twelve variants.
 //
 // Output is deterministic — byte-identical across runs and across
-// --threads settings (lineage node ids are assigned on the driver; no
+// --threads settings (lineage node ids are assigned on the driver; Tier C
+// verdicts depend on declared structure, not the schedule; no
 // timing-dependent value is printed) — so CI diffs two runs to prove it.
 //
-//   $ ./dataflow_lint              # matrix + per-finding detail
-//   $ ./dataflow_lint --json      # machine-readable findings (RFC 8259)
-//   $ ./dataflow_lint --threads=1 # executor pool width (0 = default pool)
+//   $ ./dataflow_lint                    # matrix + per-finding detail
+//   $ ./dataflow_lint --json            # machine-readable (RFC 8259)
+//   $ ./dataflow_lint --threads=1       # executor pool width (0 = default)
+//   $ ./dataflow_lint --serving-workers=1  # serving-row driver threads
 //
 // Exit status is 1 when any ERROR-level finding (or engine failure)
 // surfaces, so the tool doubles as a CI admission gate over the corpus.
@@ -32,7 +42,9 @@
 #include "common/json.h"
 #include "rdf/generator.h"
 #include "rdf/store.h"
+#include "serving/query_server.h"
 #include "spark/context.h"
+#include "spark/hb.h"
 #include "spark/lineage.h"
 #include "systems/engine.h"
 #include "systems/plan/diagnostics.h"
@@ -61,6 +73,7 @@ rdf::TripleStore MakeDataset() {
 struct Cell {
   std::vector<Diagnostic> query_findings;    // Tier A
   std::vector<Diagnostic> lineage_findings;  // Tier B
+  std::vector<Diagnostic> race_findings;     // Tier C
   int lineage_nodes = 0;
   int lineage_shuffles = 0;
   bool failed = false;
@@ -71,7 +84,8 @@ struct Cell {
 std::string Summarize(const Cell& cell) {
   if (cell.failed) return "error";
   std::map<std::string, std::map<char, int>> counts;
-  for (const auto* tier : {&cell.query_findings, &cell.lineage_findings}) {
+  for (const auto* tier :
+       {&cell.query_findings, &cell.lineage_findings, &cell.race_findings}) {
     for (const auto& d : *tier) {
       char sev = systems::plan::SeverityName(d.severity)[0];  // E/W/I
       ++counts[d.rule][sev];
@@ -105,18 +119,77 @@ void AppendJsonFindings(const char* tier, const std::vector<Diagnostic>& ds,
   }
 }
 
+/// Tier C probe row: RunRuntimeProbe inside its own recorder window.
+std::vector<Diagnostic> RunProbeRow(int threads) {
+  spark::ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.default_parallelism = 8;
+  cfg.executor_threads = threads;
+  spark::SparkContext sc(cfg);
+  spark::hb::ScopedRaceCheck window(/*active=*/true);
+  spark::hb::RunRuntimeProbe(&sc);
+  return window.Finish();
+}
+
+/// Tier C serving row: every variant serves the corpus concurrently from
+/// two tenants while the server owns one recorder window. Requests run as
+/// independent logical roots, so any cross-request sharing that isn't
+/// protected by declared synchronization (the plan-cache lock, the frozen
+/// dictionary's publication barrier, ...) surfaces here.
+std::vector<Diagnostic> RunServingRow(const rdf::TripleStore& store,
+                                      int threads, int serving_workers,
+                                      std::string* failure) {
+  spark::ClusterConfig cfg;
+  cfg.num_executors = 4;
+  cfg.default_parallelism = 8;
+  cfg.executor_threads = threads;
+  spark::SparkContext sc(cfg);
+  serving::QueryServer::Options opts;
+  opts.worker_threads = serving_workers;
+  opts.check_races = true;
+  // Pin the gates so output never depends on ambient RDFSPARK_VERIFY_*.
+  opts.verify_queries = false;
+  opts.verify_plans = false;
+  serving::QueryServer server(&sc, opts);
+  Status attached = server.AttachDataset(store);
+  if (!attached.ok()) {
+    *failure = attached.ToString();
+    return {};
+  }
+  int session_a = server.OpenSession("lint-a");
+  int session_b = server.OpenSession("lint-b");
+  auto corpus = rdf::LubmQueryMix();
+  std::vector<std::shared_ptr<serving::QueryServer::Ticket>> tickets;
+  size_t i = 0;
+  for (const auto& name : server.variant_names()) {
+    for (const auto& [shape, text] : corpus) {
+      int session = (i++ % 2 == 0) ? session_a : session_b;
+      tickets.push_back(server.Submit(session, name, text));
+    }
+  }
+  for (const auto& ticket : tickets) ticket->Wait();
+  std::vector<Diagnostic> findings = server.race_findings();
+  server.Shutdown();
+  return findings;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   int threads = 0;
+  int serving_workers = 3;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--serving-workers=", 18) == 0) {
+      serving_workers = std::atoi(argv[i] + 18);
     } else {
-      std::fprintf(stderr, "usage: %s [--json] [--threads=N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--threads=N] [--serving-workers=N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -144,8 +217,13 @@ int main(int argc, char** argv) {
         cell.failed = true;
         cell.failure = "load failed: " + loaded.status().ToString();
       } else {
-        auto query_findings = engine->AnalyzeQueryText(text);
+        auto query_findings = engine->AnalyzeQueryText(text);  // Pure.
+        // Tier C window per cell: the lineage run below is also the race
+        // checker's workload. Reset happens on the driver with no tasks in
+        // flight, which is the recorder's quiescence contract.
+        spark::hb::ScopedRaceCheck window(/*active=*/true);
         auto graph = engine->CaptureLineage(text);
+        cell.race_findings = window.Finish();
         if (!query_findings.ok()) {
           cell.failed = true;
           cell.failure = query_findings.status().ToString();
@@ -162,9 +240,35 @@ int main(int argc, char** argv) {
       any_error |= cell.failed;
       any_error |= systems::plan::HasError(cell.query_findings);
       any_error |= systems::plan::HasError(cell.lineage_findings);
+      any_error |= systems::plan::HasError(cell.race_findings);
       cells[e].push_back(std::move(cell));
     }
   }
+
+  // Tier C extra rows: the runtime probe and the serving workload.
+  std::vector<Diagnostic> probe_findings = RunProbeRow(threads);
+  std::string serving_failure;
+  std::vector<Diagnostic> serving_findings =
+      RunServingRow(store, threads, serving_workers, &serving_failure);
+  any_error |= systems::plan::HasError(probe_findings);
+  any_error |= systems::plan::HasError(serving_findings);
+  any_error |= !serving_failure.empty();
+
+  // Tier C totals across cells + probe + serving (deterministic: every
+  // contributing list is deduplicated and sorted by the analyzer).
+  int race_errors = 0;
+  int race_warnings = 0;
+  auto tally = [&race_errors, &race_warnings](const std::vector<Diagnostic>& ds) {
+    for (const auto& d : ds) {
+      if (d.severity == Severity::kError) ++race_errors;
+      if (d.severity == Severity::kWarn) ++race_warnings;
+    }
+  };
+  for (const auto& row : cells) {
+    for (const auto& cell : row) tally(cell.race_findings);
+  }
+  tally(probe_findings);
+  tally(serving_findings);
 
   if (json) {
     std::string out = "{\n  \"tool\": \"dataflow_lint\",\n  \"engines\": [";
@@ -188,11 +292,26 @@ int main(int argc, char** argv) {
         bool first = true;
         AppendJsonFindings("query", cell.query_findings, &first, &out);
         AppendJsonFindings("lineage", cell.lineage_findings, &first, &out);
+        AppendJsonFindings("race", cell.race_findings, &first, &out);
         out += first ? "]}" : "\n      ]}";
       }
       out += "\n    ]}";
     }
-    out += "\n  ],\n  \"has_error\": ";
+    out += "\n  ],\n  \"race_probe\": [";
+    bool first_probe = true;
+    AppendJsonFindings("race", probe_findings, &first_probe, &out);
+    out += first_probe ? "]" : "\n  ]";
+    out += ",\n  \"race_serving\": [";
+    bool first_serving = true;
+    AppendJsonFindings("race", serving_findings, &first_serving, &out);
+    out += first_serving ? "]" : "\n  ]";
+    if (!serving_failure.empty()) {
+      out += ",\n  \"race_serving_error\": \"" + JsonEscape(serving_failure) +
+             "\"";
+    }
+    out += ",\n  \"race_errors\": " + std::to_string(race_errors) +
+           ",\n  \"race_warnings\": " + std::to_string(race_warnings);
+    out += ",\n  \"has_error\": ";
     out += any_error ? "true" : "false";
     out += "\n}\n";
     std::string error;
@@ -234,6 +353,7 @@ int main(int argc, char** argv) {
       }
       std::vector<Diagnostic> all = cell.query_findings;
       for (const auto& d : cell.lineage_findings) all.push_back(d);
+      for (const auto& d : cell.race_findings) all.push_back(d);
       if (all.empty()) continue;
       systems::plan::SortDiagnostics(&all);
       if (!any_detail) std::printf("\nfindings:\n");
@@ -245,10 +365,31 @@ int main(int argc, char** argv) {
       }
     }
   }
+  std::printf("\ntier C (happens-before race & determinism check):\n");
+  std::printf("  runtime probe: %s\n",
+              probe_findings.empty() ? "ok" : "findings");
+  for (const auto& d : probe_findings) {
+    std::printf("    %s\n", systems::plan::FormatDiagnostic(d).c_str());
+  }
+  if (!serving_failure.empty()) {
+    std::printf("  serving workload: error: %s\n", serving_failure.c_str());
+  } else {
+    std::printf("  serving workload (12 variants x corpus, 2 tenants): %s\n",
+                serving_findings.empty() ? "ok" : "findings");
+    for (const auto& d : serving_findings) {
+      std::printf("    %s\n", systems::plan::FormatDiagnostic(d).c_str());
+    }
+  }
+  std::printf("tier C findings: %d error(s), %d warning(s)\n", race_errors,
+              race_warnings);
   std::printf(
       "\nrules: QA001 dead/unprojectable vars, QA002 unsatisfiable "
       "filters, QA003 non-well-designed OPTIONAL, QA004 disconnected BGP, "
       "QA005 unbounded predicate on VP; LN001 uncached reuse, LN002 "
-      "redundant shuffle, LN003 deep shuffle chain\n");
+      "redundant shuffle, LN003 deep shuffle chain; RC001 unsynchronized "
+      "conflicting access, RC002 publication without barrier, RC003 "
+      "eviction vs pooled access; DT001 completion-order-dependent "
+      "accumulator, DT002 non-commutative unordered merge, DT003 "
+      "unordered-container iteration at a result boundary\n");
   return any_error ? 1 : 0;
 }
