@@ -8,6 +8,8 @@
 // sparkrdf (default: s2rdf).
 // Dot-commands: .engines .metrics .stats .explain .lint .lineage
 // .analyze .profile .trace .quit
+// `.metrics prom` prints the same Metrics snapshot in Prometheus text
+// exposition format (what a scrape of the serving layer would see).
 // `.explain` prints the engine's physical plan (EXPLAIN) for the query
 // currently buffered at the prompt, without executing it.
 // `.lint` runs the static lint over the buffered query — the query
@@ -35,6 +37,7 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "obs/prometheus.h"
 #include "rdf/ntriples.h"
 #include "rdf/store.h"
 #include "spark/context.h"
@@ -268,6 +271,11 @@ int main(int argc, char** argv) {
       }
     } else if (trimmed == ".metrics") {
       std::printf("%s\n", sc.metrics().ToString().c_str());
+    } else if (trimmed == ".metrics prom") {
+      // Prometheus text exposition of the same snapshot (the serving
+      // layer's scrape format; see obs/prometheus.h).
+      std::printf("%s", obs::ExpositionForMetrics(sc.metrics(), "rdfspark_")
+                            .c_str());
     } else if (trimmed == ".stats") {
       auto stats = store.ComputeStatistics();
       std::printf(

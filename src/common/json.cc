@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace rdfspark {
 
@@ -44,17 +45,57 @@ std::string JsonEscape(std::string_view s) {
   return out;
 }
 
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->str
+                                                  : std::string(fallback);
+}
+
 namespace {
 
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    *out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    *out += static_cast<char>(0xC0 | (cp >> 6));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    *out += static_cast<char>(0xE0 | (cp >> 12));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    *out += static_cast<char>(0xF0 | (cp >> 18));
+    *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    *out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
 /// Recursive-descent cursor over the JSON grammar. Positions are byte
-/// offsets into the original text for error reporting.
+/// offsets into the original text for error reporting. One implementation
+/// backs both surfaces: with a null `out` the cursor only validates; with
+/// a JsonValue it also builds the tree (decoding string escapes).
 class JsonParser {
  public:
   explicit JsonParser(std::string_view text) : text_(text) {}
 
-  bool Parse(std::string* error) {
+  bool Parse(JsonValue* out, std::string* error) {
     SkipWs();
-    if (!ParseValue(0)) {
+    if (!ParseValue(0, out)) {
       if (error != nullptr) {
         *error = error_ + " at offset " + std::to_string(pos_);
       }
@@ -92,25 +133,35 @@ class JsonParser {
     return true;
   }
 
-  bool ParseValue(int depth) {
+  bool ParseValue(int depth, JsonValue* out) {
     if (depth > kMaxDepth) return Fail("nesting too deep");
     char c;
     if (!Peek(&c)) return Fail("unexpected end of input");
     switch (c) {
       case '{':
-        return ParseObject(depth);
+        return ParseObject(depth, out);
       case '[':
-        return ParseArray(depth);
+        return ParseArray(depth, out);
       case '"':
-        return ParseString();
+        if (out != nullptr) out->kind = JsonValue::Kind::kString;
+        return ParseString(out != nullptr ? &out->str : nullptr);
       case 't':
+        if (out != nullptr) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = true;
+        }
         return ParseLiteral("true");
       case 'f':
+        if (out != nullptr) {
+          out->kind = JsonValue::Kind::kBool;
+          out->boolean = false;
+        }
         return ParseLiteral("false");
       case 'n':
+        if (out != nullptr) out->kind = JsonValue::Kind::kNull;
         return ParseLiteral("null");
       default:
-        return ParseNumber();
+        return ParseNumber(out);
     }
   }
 
@@ -120,8 +171,9 @@ class JsonParser {
     return true;
   }
 
-  bool ParseObject(int depth) {
+  bool ParseObject(int depth, JsonValue* out) {
     ++pos_;  // '{'
+    if (out != nullptr) out->kind = JsonValue::Kind::kObject;
     SkipWs();
     char c;
     if (Peek(&c) && c == '}') {
@@ -131,12 +183,18 @@ class JsonParser {
     while (true) {
       SkipWs();
       if (!Peek(&c) || c != '"') return Fail("expected object key");
-      if (!ParseString()) return false;
+      std::string key;
+      if (!ParseString(out != nullptr ? &key : nullptr)) return false;
       SkipWs();
       if (!Peek(&c) || c != ':') return Fail("expected ':'");
       ++pos_;
       SkipWs();
-      if (!ParseValue(depth + 1)) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->members.emplace_back(std::move(key), JsonValue{});
+        slot = &out->members.back().second;
+      }
+      if (!ParseValue(depth + 1, slot)) return false;
       SkipWs();
       if (!Peek(&c)) return Fail("unterminated object");
       if (c == ',') {
@@ -151,8 +209,9 @@ class JsonParser {
     }
   }
 
-  bool ParseArray(int depth) {
+  bool ParseArray(int depth, JsonValue* out) {
     ++pos_;  // '['
+    if (out != nullptr) out->kind = JsonValue::Kind::kArray;
     SkipWs();
     char c;
     if (Peek(&c) && c == ']') {
@@ -161,7 +220,12 @@ class JsonParser {
     }
     while (true) {
       SkipWs();
-      if (!ParseValue(depth + 1)) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->items.emplace_back();
+        slot = &out->items.back();
+      }
+      if (!ParseValue(depth + 1, slot)) return false;
       SkipWs();
       if (!Peek(&c)) return Fail("unterminated array");
       if (c == ',') {
@@ -176,7 +240,27 @@ class JsonParser {
     }
   }
 
-  bool ParseString() {
+  bool ParseHex4(uint32_t* value) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h;
+      if (!Peek(&h) || std::isxdigit(static_cast<unsigned char>(h)) == 0) {
+        return Fail("bad \\u escape");
+      }
+      uint32_t digit;
+      if (h >= '0' && h <= '9') {
+        digit = static_cast<uint32_t>(h - '0');
+      } else {
+        digit = static_cast<uint32_t>((h | 0x20) - 'a') + 10;
+      }
+      v = (v << 4) | digit;
+      ++pos_;
+    }
+    *value = v;
+    return true;
+  }
+
+  bool ParseString(std::string* decoded) {
     ++pos_;  // opening '"'
     while (pos_ < text_.size()) {
       unsigned char c = static_cast<unsigned char>(text_[pos_]);
@@ -193,21 +277,47 @@ class JsonParser {
           case '"':
           case '\\':
           case '/':
+            ++pos_;
+            if (decoded != nullptr) *decoded += e;
+            break;
           case 'b':
           case 'f':
           case 'n':
           case 'r':
-          case 't':
+          case 't': {
             ++pos_;
+            if (decoded != nullptr) {
+              const char* plain = "\b\f\n\r\t";
+              const char* names = "bfnrt";
+              for (int i = 0; i < 5; ++i) {
+                if (names[i] == e) *decoded += plain[i];
+              }
+            }
             break;
+          }
           case 'u': {
             ++pos_;
-            for (int i = 0; i < 4; ++i) {
-              char h;
-              if (!Peek(&h) || std::isxdigit(static_cast<unsigned char>(h)) == 0) {
-                return Fail("bad \\u escape");
+            uint32_t cp;
+            if (!ParseHex4(&cp)) return false;
+            if (decoded != nullptr) {
+              if (cp >= 0xD800 && cp <= 0xDBFF &&
+                  text_.substr(pos_, 2) == "\\u") {
+                // Try to combine a surrogate pair; on a malformed low
+                // half, fall back to U+FFFD for the lone high surrogate.
+                size_t save = pos_;
+                pos_ += 2;
+                uint32_t lo = 0;
+                if (ParseHex4(&lo) && lo >= 0xDC00 && lo <= 0xDFFF) {
+                  cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else {
+                  error_.clear();
+                  pos_ = save;
+                  cp = 0xFFFD;
+                }
+              } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+                cp = 0xFFFD;  // Lone surrogate.
               }
-              ++pos_;
+              AppendUtf8(decoded, cp);
             }
             break;
           }
@@ -216,12 +326,13 @@ class JsonParser {
         }
       } else {
         ++pos_;
+        if (decoded != nullptr) *decoded += static_cast<char>(c);
       }
     }
     return Fail("unterminated string");
   }
 
-  bool ParseNumber() {
+  bool ParseNumber(JsonValue* out) {
     size_t start = pos_;
     char c;
     if (Peek(&c) && c == '-') ++pos_;
@@ -254,6 +365,11 @@ class JsonParser {
         ++pos_;
       }
     }
+    if (out != nullptr) {
+      out->kind = JsonValue::Kind::kNumber;
+      std::string slice(text_.substr(start, pos_ - start));
+      out->number = std::strtod(slice.c_str(), nullptr);
+    }
     return pos_ > start;
   }
 
@@ -265,7 +381,16 @@ class JsonParser {
 }  // namespace
 
 bool ValidateJson(std::string_view text, std::string* error) {
-  return JsonParser(text).Parse(error);
+  return JsonParser(text).Parse(nullptr, error);
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).Parse(&root, &error)) {
+    return Status::InvalidArgument("JSON parse failed: " + error);
+  }
+  return root;
 }
 
 }  // namespace rdfspark

@@ -1,0 +1,134 @@
+#ifndef RDFSPARK_OBS_AUDIT_H_
+#define RDFSPARK_OBS_AUDIT_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rdfspark::obs {
+
+/// When the serving layer captures a slow-query audit entry.
+struct AuditOptions {
+  /// Simulated-latency threshold: requests at or above it are audited.
+  uint64_t latency_threshold_ns = 50'000'000;  // 50 simulated ms
+  /// Per-tenant overrides of latency_threshold_ns.
+  std::map<std::string, uint64_t> tenant_latency_threshold_ns;
+  /// Requests whose max per-operator |actual/estimate| error factor
+  /// reaches this bound are audited regardless of latency.
+  double est_error_bound = 16.0;
+  /// Retained audit entries (canonically earliest kept; rest counted).
+  size_t max_entries = 64;
+
+  uint64_t LatencyThresholdFor(const std::string& tenant) const {
+    auto it = tenant_latency_threshold_ns.find(tenant);
+    return it == tenant_latency_threshold_ns.end() ? latency_threshold_ns
+                                                   : it->second;
+  }
+};
+
+/// Estimated vs. observed cardinality of one leaf triple-pattern scan,
+/// harvested from an EXPLAIN ANALYZE run. `pattern` is the normalized
+/// triple pattern text; `predicate` is its predicate IRI (or "?" when the
+/// predicate is a variable).
+struct PatternActual {
+  std::string pattern;
+  std::string predicate;
+  uint64_t est_rows = 0;
+  uint64_t actual_rows = 0;
+};
+
+/// One captured slow-query profile.
+struct AuditEntry {
+  uint64_t t_ns = 0;  ///< Simulated end time of the audited request.
+  std::string tenant;
+  uint64_t seq = 0;  ///< Per-tenant request sequence.
+  std::string variant;
+  std::string query;
+  std::string span_id;  ///< Trace span name of the serving job span.
+  uint64_t sim_latency_ns = 0;
+  bool latency_trigger = false;
+  bool error_trigger = false;
+  double max_est_error = 0.0;  ///< Max per-operator error factor observed.
+  std::string profile;         ///< Full EXPLAIN ANALYZE text.
+  std::vector<PatternActual> patterns;
+
+  auto Key() const { return std::tie(t_ns, tenant, seq); }
+  bool operator<(const AuditEntry& o) const { return Key() < o.Key(); }
+
+  std::string ToJson() const;
+};
+
+/// Bounded store of audit entries, canonically ordered by
+/// (t_ns, tenant, seq). Over capacity the canonically *latest* entry is
+/// dropped (and counted): the retained set is "the first max_entries
+/// audited requests on the simulated timeline", a deterministic function
+/// of the entry set.
+class SlowQueryAudit {
+ public:
+  explicit SlowQueryAudit(AuditOptions options = AuditOptions())
+      : options_(std::move(options)) {}
+
+  const AuditOptions& options() const { return options_; }
+
+  void Add(AuditEntry entry);
+
+  size_t size() const { return entries_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  std::vector<AuditEntry> Sorted() const;
+
+  /// {"dropped":N,"entries":[...]}, entries in canonical order.
+  std::string ToJson() const;
+
+ private:
+  AuditOptions options_;
+  std::multiset<AuditEntry> entries_;
+  uint64_t dropped_ = 0;
+};
+
+/// Persistent per-(pattern, predicate) cardinality actuals, aggregated
+/// across audited queries. The JSON file it round-trips through is meant
+/// for estimator re-seeding: a planner can look up the mean observed
+/// cardinality of a pattern before falling back to static heuristics.
+class StatsStore {
+ public:
+  struct Stats {
+    uint64_t count = 0;
+    uint64_t total_rows = 0;
+    uint64_t min_rows = ~0ull;
+    uint64_t max_rows = 0;
+    uint64_t est_rows = 0;  ///< Latest planner estimate (max over obs).
+
+    double MeanRows() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(total_rows) /
+                              static_cast<double>(count);
+    }
+  };
+
+  void Observe(const PatternActual& actual);
+
+  /// Mean observed cardinality, or negative when the pattern is unseen.
+  double LookupMeanRows(const std::string& pattern) const;
+
+  size_t size() const { return stats_.size(); }
+
+  /// {"patterns":[{"pattern":..,"predicate":..,"count":..,...}]} sorted by
+  /// (pattern, predicate).
+  std::string ToJson() const;
+
+  /// Parses a file previously produced by ToJson.
+  static Result<StatsStore> Parse(std::string_view json);
+
+ private:
+  std::map<std::pair<std::string, std::string>, Stats> stats_;
+};
+
+}  // namespace rdfspark::obs
+
+#endif  // RDFSPARK_OBS_AUDIT_H_

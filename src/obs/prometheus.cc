@@ -1,0 +1,259 @@
+#include "obs/prometheus.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string_view>
+
+#include "spark/metrics.h"
+
+namespace rdfspark::obs {
+
+namespace {
+
+/// Doubles print with enough digits to round-trip; integral values print
+/// as integers so counters stay byte-stable.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v >= 0 &&
+      v == static_cast<double>(static_cast<uint64_t>(v))) {
+    return std::to_string(static_cast<uint64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string EscapeLabelValue(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool IsMetricNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+bool IsLabelNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsLabelNameChar(char c) {
+  return IsLabelNameStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+struct LineChecker {
+  std::string_view line;
+  size_t pos = 0;
+
+  bool Eof() const { return pos >= line.size(); }
+  char Peek() const { return line[pos]; }
+  bool Consume(char c) {
+    if (Eof() || line[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool Name(bool label) {
+    if (Eof() || !(label ? IsLabelNameStart(Peek()) : IsMetricNameStart(Peek())))
+      return false;
+    ++pos;
+    while (!Eof() && (label ? IsLabelNameChar(Peek()) : IsMetricNameChar(Peek())))
+      ++pos;
+    return true;
+  }
+
+  bool QuotedValue() {
+    if (!Consume('"')) return false;
+    while (!Eof()) {
+      char c = line[pos++];
+      if (c == '\\') {
+        if (Eof()) return false;
+        char e = line[pos++];
+        if (e != '\\' && e != '"' && e != 'n') return false;
+      } else if (c == '"') {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Value() {
+    size_t start = pos;
+    while (!Eof() && Peek() != ' ') ++pos;
+    if (pos == start) return false;
+    std::string token(line.substr(start, pos - start));
+    if (token == "+Inf" || token == "-Inf" || token == "NaN") return true;
+    char* end = nullptr;
+    std::strtod(token.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+};
+
+}  // namespace
+
+void PrometheusBuilder::Family(const std::string& name, const std::string& type,
+                               const std::string& help) {
+  out_ += "# HELP " + name + " " + help + "\n";
+  out_ += "# TYPE " + name + " " + type + "\n";
+}
+
+void PrometheusBuilder::Sample(const std::string& name,
+                               const PrometheusLabels& labels,
+                               const std::string& value) {
+  out_ += name;
+  if (!labels.empty()) {
+    out_ += "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out_ += ",";
+      out_ += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) +
+              "\"";
+    }
+    out_ += "}";
+  }
+  out_ += " " + value + "\n";
+}
+
+void PrometheusBuilder::Add(const std::string& name,
+                            const PrometheusLabels& labels, uint64_t value) {
+  Sample(name, labels, std::to_string(value));
+}
+
+void PrometheusBuilder::Add(const std::string& name,
+                            const PrometheusLabels& labels, double value) {
+  Sample(name, labels, FormatValue(value));
+}
+
+bool CheckPrometheusText(std::string_view text, std::string* error) {
+  auto fail = [&](size_t line_no, const std::string& msg) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + msg;
+    }
+    return false;
+  };
+  std::set<std::string> typed;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, nl == std::string_view::npos ? text.size() - start : nl - start);
+    ++line_no;
+    start = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Comment: "# HELP name ..." / "# TYPE name type" or freeform.
+      LineChecker c{line, 1};
+      if (!c.Consume(' ')) return fail(line_no, "malformed comment");
+      size_t word_start = c.pos;
+      while (!c.Eof() && c.Peek() != ' ') ++c.pos;
+      std::string_view word = line.substr(word_start, c.pos - word_start);
+      if (word != "HELP" && word != "TYPE") continue;  // freeform comment
+      if (!c.Consume(' ')) return fail(line_no, "missing metric name");
+      size_t name_start = c.pos;
+      if (!c.Name(/*label=*/false)) return fail(line_no, "bad metric name");
+      std::string name(line.substr(name_start, c.pos - name_start));
+      if (word == "TYPE") {
+        if (!c.Consume(' ')) return fail(line_no, "missing type");
+        std::string_view type = line.substr(c.pos);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return fail(line_no, "unknown metric type");
+        }
+        typed.insert(name);
+      }
+      continue;
+    }
+    LineChecker c{line, 0};
+    size_t name_start = c.pos;
+    if (!c.Name(/*label=*/false)) return fail(line_no, "bad metric name");
+    std::string name(line.substr(name_start, c.pos - name_start));
+    // Histogram series carry suffixes; their family is the base name.
+    std::string family = name;
+    for (std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+      if (family.size() > suffix.size() &&
+          std::string_view(family).substr(family.size() - suffix.size()) ==
+              suffix) {
+        std::string base = family.substr(0, family.size() - suffix.size());
+        if (typed.count(base) > 0) family = base;
+        break;
+      }
+    }
+    if (typed.count(family) == 0) {
+      return fail(line_no, "sample for undeclared family " + name);
+    }
+    if (c.Consume('{')) {
+      if (!c.Consume('}')) {
+        while (true) {
+          if (!c.Name(/*label=*/true)) return fail(line_no, "bad label name");
+          if (!c.Consume('=')) return fail(line_no, "missing '='");
+          if (!c.QuotedValue()) return fail(line_no, "bad label value");
+          if (c.Consume(',')) continue;
+          if (c.Consume('}')) break;
+          return fail(line_no, "unterminated label set");
+        }
+      }
+    }
+    if (!c.Consume(' ')) return fail(line_no, "missing value");
+    if (!c.Value()) return fail(line_no, "bad sample value");
+    if (c.Consume(' ')) {
+      // Optional millisecond timestamp.
+      if (!c.Value()) return fail(line_no, "bad timestamp");
+    }
+    if (!c.Eof()) return fail(line_no, "trailing garbage");
+  }
+  return true;
+}
+
+std::string ExpositionForMetrics(const spark::Metrics& metrics,
+                                 const std::string& prefix) {
+  PrometheusBuilder b;
+  metrics.ForEachNumericField([&](const std::string& name, double value) {
+    std::string prom_name = prefix + name;
+    std::replace(prom_name.begin(), prom_name.end(), '.', '_');
+    // Histogram summary statistics and simulated_ms are point-in-time
+    // observations; plain counters are monotone.
+    bool gauge = name.find('.') != std::string::npos || name == "simulated_ms";
+    b.Family(prom_name, gauge ? "gauge" : "counter",
+             "rdfspark cluster-simulator metric " + name);
+    b.Add(prom_name, {}, value);
+  });
+  metrics.ForEachHistogram([&](const std::string& name,
+                               const spark::Histogram& hist) {
+    std::string prom_name = prefix + name + "_dist";
+    b.Family(prom_name, "histogram",
+             "rdfspark cluster-simulator distribution " + name);
+    uint64_t cumulative = 0;
+    for (int i = 0; i < spark::Histogram::kBuckets; ++i) {
+      if (hist.bucket(i) == 0) continue;
+      cumulative += hist.bucket(i);
+      // Bucket i holds values of bit width i: upper bound 2^i - 1.
+      uint64_t le = i == 0 ? 0 : (uint64_t{1} << i) - 1;
+      b.Add(prom_name + "_bucket", {{"le", std::to_string(le)}}, cumulative);
+    }
+    b.Add(prom_name + "_bucket", {{"le", "+Inf"}}, hist.count());
+    b.Add(prom_name + "_sum", {}, hist.sum());
+    b.Add(prom_name + "_count", {}, hist.count());
+  });
+  return b.Text();
+}
+
+}  // namespace rdfspark::obs

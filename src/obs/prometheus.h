@@ -1,0 +1,59 @@
+#ifndef RDFSPARK_OBS_PROMETHEUS_H_
+#define RDFSPARK_OBS_PROMETHEUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rdfspark::spark {
+class Metrics;
+}  // namespace rdfspark::spark
+
+namespace rdfspark::obs {
+
+/// Label set for one sample: (name, value) pairs rendered in the given
+/// order as {name="value",...}.
+using PrometheusLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Builds Prometheus text exposition format (version 0.0.4): `# HELP` /
+/// `# TYPE` headers followed by `name{labels} value` samples. Callers emit
+/// metric families in a deterministic order; the builder just formats.
+class PrometheusBuilder {
+ public:
+  /// Starts a metric family: writes HELP/TYPE headers. `type` is one of
+  /// "counter", "gauge", "histogram", "summary", "untyped".
+  void Family(const std::string& name, const std::string& type,
+              const std::string& help);
+
+  void Add(const std::string& name, const PrometheusLabels& labels,
+           uint64_t value);
+  void Add(const std::string& name, const PrometheusLabels& labels,
+           double value);
+
+  const std::string& Text() const { return out_; }
+
+ private:
+  void Sample(const std::string& name, const PrometheusLabels& labels,
+              const std::string& value);
+
+  std::string out_;
+};
+
+/// Line-format checker for Prometheus text exposition: every line must be
+/// empty, a `# HELP`/`# TYPE` comment, or a sample
+/// `name[{label="value",...}] value [timestamp]` with legal metric/label
+/// identifiers and a parseable value. Also enforces that every sample's
+/// family was TYPE-declared first. On failure writes a message naming the
+/// offending line to `error` (if non-null).
+bool CheckPrometheusText(std::string_view text, std::string* error = nullptr);
+
+/// Renders a spark::Metrics snapshot (every numeric field plus the
+/// power-of-two histograms as cumulative `_bucket{le=...}` series) with
+/// the given metric-name prefix, e.g. "rdfspark_".
+std::string ExpositionForMetrics(const spark::Metrics& metrics,
+                                 const std::string& prefix);
+
+}  // namespace rdfspark::obs
+
+#endif  // RDFSPARK_OBS_PROMETHEUS_H_

@@ -1,0 +1,197 @@
+#ifndef RDFSPARK_OBS_TELEMETRY_H_
+#define RDFSPARK_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/audit.h"
+#include "obs/event_log.h"
+#include "obs/histogram.h"
+#include "obs/time_series.h"
+
+namespace rdfspark::obs {
+
+/// Configuration of the serving telemetry pipeline.
+struct TelemetryOptions {
+  WindowSpec window;
+  size_t event_capacity = 4096;
+  /// Virtual cost charged per request on top of the operators' busy_ns, so
+  /// zero-cost requests (admission rejects, parse failures) still advance
+  /// the tenant's virtual clock.
+  uint64_t request_overhead_ns = 200'000;
+  /// Capacity of the logical plan-cache model replayed at export time.
+  /// Wired to the server's plan_cache_capacity.
+  size_t logical_cache_capacity = 256;
+  AuditOptions audit;
+};
+
+/// Everything the serving layer reports about one finished request.
+/// Deliberately excludes wall-clock values: the pipeline's timeline is
+/// per-tenant *virtual* time, advanced by the deterministic simulated cost
+/// of each request, so every derived artifact is bit-identical across
+/// executor-thread counts.
+struct RequestRecord {
+  std::string tenant;
+  /// Per-tenant submission sequence (0-based). Assigned under the server
+  /// lock at submit; the sink applies records in this order per tenant.
+  uint64_t tenant_seq = 0;
+  std::string variant;
+  uint64_t epoch = 0;  ///< Dataset epoch the request executed against.
+
+  enum class Outcome : uint8_t { kOk, kRejected, kRaceRejected, kFailed };
+  Outcome outcome = Outcome::kOk;
+  std::string detail;  ///< Status message for non-kOk outcomes.
+
+  /// Normalized query text used as the plan-cache key; empty when the
+  /// request never reached the cache (reject/parse failure).
+  std::string cache_key;
+  bool cache_bypass = false;
+
+  uint64_t busy_ns = 0;  ///< Sum of operator busy time (deterministic).
+  uint64_t rows = 0;
+  uint64_t records = 0;
+  uint64_t tasks = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t join_comparisons = 0;
+
+  /// Slow-query audit payload (filled by the server when triggered).
+  bool audited = false;
+  bool audit_latency_trigger = false;
+  bool audit_error_trigger = false;
+  double max_est_error = 0.0;
+  std::string query;          ///< Original query text (audited only).
+  std::string audit_profile;  ///< EXPLAIN ANALYZE text (audited only).
+  std::vector<PatternActual> pattern_actuals;
+};
+
+/// Which audit triggers fire for a request.
+struct AuditDecision {
+  bool latency = false;
+  bool est_error = false;
+  bool Any() const { return latency || est_error; }
+};
+
+/// Thread-safe collector turning per-request records into the windowed
+/// time-series registry, the structured event log, the slow-query audit
+/// log and the stats store — all on the per-tenant virtual timeline.
+///
+/// Determinism: workers may finish one tenant's requests out of order, so
+/// the sink buffers records per tenant and applies them in tenant_seq
+/// order; each tenant's virtual clock then advances through the same
+/// sequence of deterministic costs regardless of scheduling. Plan-cache
+/// metrics are NOT taken from the physical cache (whose hit/miss pattern
+/// depends on interleaving): they are recomputed at export time by
+/// replaying the retained records in canonical (end_ns, tenant, seq)
+/// order through a logical LRU model of the same capacity.
+class TelemetrySink {
+ public:
+  explicit TelemetrySink(TelemetryOptions options = TelemetryOptions());
+
+  const TelemetryOptions& options() const { return options_; }
+
+  /// Folds one finished (or rejected) request in. Every submitted request
+  /// must be ingested exactly once — per-tenant application stalls at a
+  /// missing sequence number otherwise (reported by unapplied()).
+  void Ingest(RequestRecord record);
+
+  /// Notes a dataset hot swap to `epoch`. Virtual timestamp = max tenant
+  /// clock, which is deterministic when the swap happens at a quiescent
+  /// point (the server drains in-flight requests before swapping).
+  void RecordDatasetSwap(uint64_t epoch, uint64_t triples);
+
+  /// Which audit triggers fire for a request with the given simulated
+  /// latency and root-operator estimate error factor.
+  AuditDecision DecideAudit(const std::string& tenant, uint64_t sim_latency_ns,
+                            double root_est_error) const;
+
+  /// Records buffered behind a missing tenant_seq (0 at quiescence).
+  size_t unapplied() const;
+
+  // ---- Exports (each takes the lock, safe at any quiescent point) ----
+
+  /// Prometheus text: serve-level counters, per-tenant/variant latency
+  /// histograms and logical cache metrics.
+  std::string PrometheusText() const;
+
+  /// Human-readable per-window table of tenant/variant series.
+  std::string WindowsText() const;
+
+  /// {"dropped":N,"events":[...]} — typed events incl. replayed cache
+  /// fill/hit/evict/invalidate events.
+  std::string EventsJson() const;
+
+  std::string AuditJson() const;
+  std::string StatsStoreJson() const;
+
+  /// Machine-readable rollup consumed by tools/serve_monitor: window
+  /// geometry plus every window's series values.
+  std::string TelemetryJson() const;
+
+  /// Writes metrics.prom, windows.txt, events.json, audit.json,
+  /// stats_store.json and telemetry.json under `dir` (created if needed).
+  Status WriteArtifacts(const std::string& dir) const;
+
+  /// Number of non-empty windows so far.
+  size_t window_count() const;
+
+  /// Audit entries captured so far.
+  size_t audit_count() const;
+
+ private:
+  struct TenantState {
+    uint64_t next_seq = 0;      ///< Next tenant_seq to apply.
+    uint64_t clock_ns = 0;      ///< Virtual now.
+    std::map<uint64_t, RequestRecord> pending;  ///< Out-of-order buffer.
+  };
+
+  /// Compact retained form of an applied record, enough for the logical
+  /// cache replay and for rollups.
+  struct Applied {
+    uint64_t end_ns = 0;
+    std::string tenant;
+    uint64_t seq = 0;
+    std::string cache_key;
+    uint64_t epoch = 0;
+    bool bypass = false;
+    bool ok = false;
+    bool is_swap = false;  ///< Swap marker, not a request.
+  };
+
+  /// Result of the export-time logical cache replay.
+  struct CacheReplay {
+    WindowedRegistry windows;  ///< cache_hits / cache_misses / cache_bypass.
+    std::vector<Event> events;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t bypasses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
+  void Apply(TenantState& tenant, RequestRecord rec);
+  CacheReplay ReplayCache() const;
+  std::string WindowsTextLocked(const CacheReplay& cache) const;
+  std::string TelemetryJsonLocked(const CacheReplay& cache) const;
+  std::string PrometheusTextLocked(const CacheReplay& cache) const;
+
+  TelemetryOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, TenantState> tenants_;
+  WindowedRegistry registry_;
+  EventLog events_;
+  SlowQueryAudit audit_;
+  StatsStore stats_;
+  std::vector<Applied> applied_;
+  /// Cumulative (all-time) per-scope totals for the Prometheus surface.
+  std::map<SeriesId, int64_t> total_counters_;
+  std::map<SeriesId, LatencyHistogram> total_histograms_;
+};
+
+}  // namespace rdfspark::obs
+
+#endif  // RDFSPARK_OBS_TELEMETRY_H_

@@ -1,0 +1,77 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+
+namespace rdfspark::obs {
+
+const char* ScopeKindName(ScopeKind k) {
+  switch (k) {
+    case ScopeKind::kTotal:
+      return "total";
+    case ScopeKind::kTenant:
+      return "tenant";
+    case ScopeKind::kVariant:
+      return "variant";
+  }
+  return "?";
+}
+
+uint64_t WindowSpec::FirstWindowStart(uint64_t t) const {
+  // Window starts are the multiples of stride; window [s, s + width)
+  // contains t iff s <= t and s > t - width. The lowest such start:
+  uint64_t lowest = t < width_ns ? 0 : ((t - width_ns) / stride_ns + 1) * stride_ns;
+  return lowest;
+}
+
+uint64_t WindowSpec::WindowsPerInstant() const {
+  return (width_ns + stride_ns - 1) / stride_ns;
+}
+
+template <typename Fn>
+void WindowedRegistry::ForEachWindow(const SeriesId& id, uint64_t t_ns,
+                                     SeriesKind kind, Fn&& fn) {
+  for (uint64_t start = spec_.FirstWindowStart(t_ns);
+       start <= t_ns && start + spec_.width_ns > t_ns;
+       start += spec_.stride_ns) {
+    Cell& cell = windows_[start][id];
+    cell.kind = kind;
+    if (kind == SeriesKind::kHistogram && cell.hist == nullptr) {
+      cell.hist = std::make_unique<LatencyHistogram>();
+    }
+    fn(cell);
+    if (start > ~0ull - spec_.stride_ns) break;  // overflow guard
+  }
+}
+
+void WindowedRegistry::Add(const SeriesId& id, uint64_t t_ns, int64_t delta) {
+  ForEachWindow(id, t_ns, SeriesKind::kCounter,
+                [delta](Cell& cell) { cell.counter += delta; });
+}
+
+void WindowedRegistry::SetMax(const SeriesId& id, uint64_t t_ns, uint64_t v) {
+  ForEachWindow(id, t_ns, SeriesKind::kGauge,
+                [v](Cell& cell) { cell.gauge = std::max(cell.gauge, v); });
+}
+
+void WindowedRegistry::Observe(const SeriesId& id, uint64_t t_ns, uint64_t v) {
+  ForEachWindow(id, t_ns, SeriesKind::kHistogram,
+                [v](Cell& cell) { cell.hist->Record(v); });
+}
+
+std::vector<WindowedRegistry::WindowSnapshot> WindowedRegistry::Snapshot()
+    const {
+  std::vector<WindowSnapshot> out;
+  out.reserve(windows_.size());
+  for (const auto& [start, window] : windows_) {
+    WindowSnapshot snap;
+    snap.start_ns = start;
+    snap.end_ns = start + spec_.width_ns;
+    for (const auto& [id, cell] : window) {
+      snap.series.emplace(id, &cell);
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace rdfspark::obs

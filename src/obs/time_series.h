@@ -1,0 +1,111 @@
+#ifndef RDFSPARK_OBS_TIME_SERIES_H_
+#define RDFSPARK_OBS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace rdfspark::obs {
+
+/// Window geometry over the simulated-ns timeline. stride == width is the
+/// tumbling case (every instant belongs to exactly one window);
+/// stride < width yields overlapping sliding windows where one
+/// observation lands in ceil(width / stride) of them.
+struct WindowSpec {
+  uint64_t width_ns = 25'000'000;   // 25 simulated ms
+  uint64_t stride_ns = 25'000'000;  // tumbling by default
+
+  /// Start of the first (lowest) window containing `t`.
+  uint64_t FirstWindowStart(uint64_t t) const;
+  /// Number of windows containing any instant (ceil(width / stride)).
+  uint64_t WindowsPerInstant() const;
+};
+
+/// What a series aggregates to within one window.
+enum class SeriesKind : uint8_t {
+  kCounter,    ///< Sum of signed deltas.
+  kGauge,      ///< Maximum of observed values (max is the only
+               ///< order-independent "last" under concurrent ingest).
+  kHistogram,  ///< Mergeable LatencyHistogram of samples.
+};
+
+/// Scope a series is attributed to. Totals, per-tenant and per-engine-
+/// variant series coexist in one registry and render as separate table
+/// sections.
+enum class ScopeKind : uint8_t { kTotal, kTenant, kVariant };
+
+const char* ScopeKindName(ScopeKind k);
+
+struct SeriesId {
+  ScopeKind scope = ScopeKind::kTotal;
+  std::string scope_name;  // empty for kTotal
+  std::string metric;
+
+  auto Tie() const { return std::tie(scope, scope_name, metric); }
+  bool operator<(const SeriesId& o) const { return Tie() < o.Tie(); }
+  bool operator==(const SeriesId& o) const { return Tie() == o.Tie(); }
+};
+
+/// Windowed time-series registry: counters, gauges and mergeable latency
+/// histograms per (window, scope, metric). NOT internally synchronized —
+/// the TelemetrySink owns one under its lock. Determinism contract: every
+/// aggregation is commutative and associative (sums, maxima, bucket-wise
+/// histogram merges), so a snapshot taken at a quiescent point depends
+/// only on the multiset of observations, never on ingest order or thread
+/// count.
+class WindowedRegistry {
+ public:
+  explicit WindowedRegistry(WindowSpec spec = WindowSpec()) : spec_(spec) {}
+
+  const WindowSpec& spec() const { return spec_; }
+
+  /// Adds `delta` (possibly negative) to a counter in every window
+  /// containing `t_ns`.
+  void Add(const SeriesId& id, uint64_t t_ns, int64_t delta);
+
+  /// Folds `v` into a max-gauge in every window containing `t_ns`.
+  void SetMax(const SeriesId& id, uint64_t t_ns, uint64_t v);
+
+  /// Records a histogram sample in every window containing `t_ns`.
+  void Observe(const SeriesId& id, uint64_t t_ns, uint64_t v);
+
+  struct Cell {
+    SeriesKind kind = SeriesKind::kCounter;
+    int64_t counter = 0;
+    uint64_t gauge = 0;
+    std::unique_ptr<LatencyHistogram> hist;  // kHistogram only
+  };
+
+  struct WindowSnapshot {
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
+    /// Sorted by SeriesId — deterministic iteration for every export.
+    std::map<SeriesId, const Cell*> series;
+  };
+
+  /// All non-empty windows in ascending start order. Pointers stay valid
+  /// until the next mutation.
+  std::vector<WindowSnapshot> Snapshot() const;
+
+  size_t window_count() const { return windows_.size(); }
+
+ private:
+  using Window = std::map<SeriesId, Cell>;
+
+  /// Applies `fn` to the cell of `id` in every window containing `t_ns`.
+  template <typename Fn>
+  void ForEachWindow(const SeriesId& id, uint64_t t_ns, SeriesKind kind,
+                     Fn&& fn);
+
+  WindowSpec spec_;
+  std::map<uint64_t, Window> windows_;  // keyed by window start
+};
+
+}  // namespace rdfspark::obs
+
+#endif  // RDFSPARK_OBS_TIME_SERIES_H_

@@ -69,6 +69,8 @@ class PlanCache {
 
   PlanCacheStats stats() const;
 
+  size_t capacity() const { return capacity_; }
+
  private:
   struct Entry {
     std::string key;

@@ -3,10 +3,12 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/prometheus.h"
 #include "spark/hb.h"
 #include "spark/tracing.h"
 #include "sparql/parser.h"
 #include "sparql/serialize.h"
+#include "systems/plan/analyze.h"
 #include "systems/plan/diagnostics.h"
 
 namespace rdfspark::serving {
@@ -42,6 +44,13 @@ const RequestResult& QueryServer::Ticket::Wait() {
 QueryServer::QueryServer(spark::SparkContext* sc, Options options)
     : sc_(sc), options_(options), cache_(options.plan_cache_capacity) {
   if (options_.worker_threads < 1) options_.worker_threads = 1;
+  if (options_.telemetry) {
+    // The logical cache model must mirror the physical cache's capacity,
+    // or the replayed hit/miss stream would diverge from reality.
+    obs::TelemetryOptions topts = options_.telemetry_options;
+    topts.logical_cache_capacity = options_.plan_cache_capacity;
+    telemetry_ = std::make_unique<obs::TelemetrySink>(topts);
+  }
   if (options_.check_races) {
     // The server owns one Tier C window spanning its lifetime. Opened
     // before any engine is constructed so dataset loading, cache fills and
@@ -121,6 +130,18 @@ Status QueryServer::AttachDataset(const rdf::TripleStore& store) {
   store_ = &store;
   uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   cache_.InvalidateExcept(epoch);
+  {
+    // Audit profiles captured actuals against the old dataset; the next
+    // audit trip per slow pattern re-captures against the new epoch.
+    std::lock_guard<std::mutex> lock(audit_mu_);
+    audit_profiles_.clear();
+  }
+  if (telemetry_ != nullptr) {
+    // In-flight requests drained above (exclusive dataset lock), so every
+    // tenant clock is settled and the swap's virtual timestamp is
+    // deterministic.
+    telemetry_->RecordDatasetSwap(epoch, store.size());
+  }
   return Status::OK();
 }
 
@@ -160,19 +181,29 @@ std::shared_ptr<QueryServer::Ticket> QueryServer::Submit(
     request.tenant = sessions_[static_cast<size_t>(session_id)].tenant;
     request.sequence = next_sequence_++;
     TenantState& tenant = *tenants_.at(request.tenant);
+    // tenant_seq doubles as the telemetry ordering key: every submitted
+    // request — including ones rejected right here — must reach the sink
+    // exactly once, in this order.
+    request.tenant_seq = tenant.stats.submitted;
     ++tenant.stats.submitted;
-    if (stopping_) {
-      RequestResult result;
-      result.status = Status::Unsupported("server shut down");
-      result.rejected = true;
-      std::lock_guard<std::mutex> ticket_lock(ticket->mu_);
-      ticket->result_ = std::move(result);
-      ticket->done_ = true;
-      ticket->cv_.notify_all();
-      return ticket;
+    if (!stopping_) {
+      tenant.queue.push_back(std::move(request));
+      ++queued_;
+      request.ticket = nullptr;  // queue owns it now
     }
-    tenant.queue.push_back(std::move(request));
-    ++queued_;
+  }
+  if (request.ticket != nullptr) {
+    // Submitted during shutdown: reject through the ordinary Finish path,
+    // so the ledger (submitted = completed + rejected + failed) balances
+    // and the telemetry sink sees the sequence number we just consumed.
+    RequestResult result;
+    result.status = Status::Unsupported("server shut down");
+    result.rejected = true;
+    result.tenant = request.tenant;
+    result.variant = request.variant;
+    result.sequence = request.sequence;
+    Finish(request, std::move(result));
+    return ticket;
   }
   work_cv_.notify_one();
   return ticket;
@@ -216,6 +247,13 @@ std::vector<systems::plan::Diagnostic> QueryServer::race_findings() const {
   return spark::hb::Recorder::Get().Analyze();
 }
 
+std::string QueryServer::MetricsText() const {
+  std::string out;
+  if (telemetry_ != nullptr) out += telemetry_->PrometheusText();
+  out += obs::ExpositionForMetrics(sc_->metrics(), "rdfspark_");
+  return out;
+}
+
 void QueryServer::WorkerLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -240,7 +278,6 @@ void QueryServer::WorkerLoop() {
     }
     if (!found) continue;  // Raced another worker; re-wait.
     lock.unlock();
-    RequestResult result;
     {
       // Shared with other workers; exclusive against AttachDataset.
       std::shared_lock<std::shared_mutex> dataset_lock(dataset_mu_);
@@ -248,14 +285,19 @@ void QueryServer::WorkerLoop() {
       // ordered only by declared synchronization (locks, publication
       // barriers), which is exactly what the checker verifies.
       spark::hb::RootScope request_root;
-      result = Process(request);
+      obs::RequestRecord rec;
+      RequestResult result = Process(request, &rec);
+      // Finish (stats + telemetry ingest) stays under the dataset lock so
+      // a hot swap can never observe a request executed but not yet
+      // ingested — the swap's virtual timestamp sees settled clocks.
+      Finish(request, std::move(result), std::move(rec));
     }
-    Finish(request, std::move(result));
     lock.lock();
   }
 }
 
-RequestResult QueryServer::Process(const Request& request) {
+RequestResult QueryServer::Process(const Request& request,
+                                   obs::RequestRecord* rec) {
   RequestResult result;
   result.tenant = request.tenant;
   result.variant = request.variant;
@@ -302,18 +344,25 @@ RequestResult QueryServer::Process(const Request& request) {
   // under concurrency.
   auto op = std::make_shared<spark::OpStats>();
   sparql::BindingTable table;
+  /// Plan root the request executed (null on the bypass/Execute path) —
+  /// its cardinality estimate is the only one observable without a
+  /// re-execution, so it drives the audit's estimate-error trigger.
+  std::shared_ptr<const systems::plan::PlanNode> executed_root;
   {
     spark::OpScopeGuard scope(op);
     uint64_t epoch = dataset_epoch();
+    rec->epoch = epoch;
     std::shared_ptr<const systems::plan::PlanNode> plan;
     bool cacheable = engine->ReusablePlans();
     std::string normalized;
     if (cacheable) {
       normalized = sparql::ToSparql(query);
       plan = cache_.Get(request.variant, normalized, epoch);
+      rec->cache_key = request.variant + "\n" + normalized;
     }
     if (plan != nullptr) {
       result.cache_hit = true;
+      executed_root = plan;
       auto executed = engine->ExecutePlanned(query, *plan);
       if (!executed.ok()) {
         result.status = executed.status();
@@ -326,6 +375,7 @@ RequestResult QueryServer::Process(const Request& request) {
         std::shared_ptr<const systems::plan::PlanNode> fresh(
             std::move(planned).value());
         cache_.Put(request.variant, normalized, epoch, fresh);
+        executed_root = fresh;
         auto executed = engine->ExecutePlanned(query, *fresh);
         if (!executed.ok()) {
           result.status = executed.status();
@@ -364,7 +414,45 @@ RequestResult QueryServer::Process(const Request& request) {
   result.table = std::move(table);
   result.status = Status::OK();
 
-  // Accumulate the request's operator-scope counters into its tenant.
+  // Tier C race gate: analyze the recorder window after execution. A
+  // request that raises the ERROR-finding high-water mark is the one
+  // whose execution surfaced a new race — its results are withheld and
+  // the request counts as *rejected* (distinct from execution failure:
+  // the query itself was fine; the server declined to vouch for the
+  // answer). Analyze() copies recorder state under its own locks, so
+  // concurrent requests may analyze while others record.
+  if (options_.check_races && race_check_ != nullptr &&
+      race_check_->owner()) {
+    uint64_t errors = static_cast<uint64_t>(
+        systems::plan::ErrorsOnly(spark::hb::Recorder::Get().Analyze())
+            .size());
+    uint64_t seen = race_error_high_water_.load(std::memory_order_relaxed);
+    bool culprit = false;
+    while (errors > seen) {
+      if (race_error_high_water_.compare_exchange_weak(
+              seen, errors, std::memory_order_relaxed)) {
+        culprit = true;
+        break;
+      }
+    }
+    if (culprit) {
+      result.status = Status::InvalidArgument(
+          "race gate: execution raised the happens-before ERROR count to " +
+          std::to_string(errors));
+      result.rejected = true;
+      result.race_rejected = true;
+      result.table = sparql::BindingTable();
+    }
+  }
+
+  // Accumulate the request's operator-scope counters into its tenant, and
+  // hand the deterministic per-request costs to the telemetry record.
+  rec->busy_ns = op->busy_ns.value();
+  rec->rows = result.table.num_rows();
+  rec->records = op->records_in.value();
+  rec->tasks = op->tasks.value();
+  rec->shuffle_bytes = op->shuffle_bytes.value();
+  rec->join_comparisons = op->join_comparisons.value();
   {
     std::lock_guard<std::mutex> lock(mu_);
     TenantStats& stats = tenants_.at(request.tenant)->stats;
@@ -373,11 +461,91 @@ RequestResult QueryServer::Process(const Request& request) {
     stats.shuffle_records += op->shuffle_records.value();
     stats.join_comparisons += op->join_comparisons.value();
   }
+
+  // The request's wall-clock latency stops here: the audit capture below
+  // is off-path bookkeeping, not service — counting it would make the
+  // slowest (audited) requests report audit overhead as request latency.
+  result.latency_ms = ElapsedMs(request.enqueued);
+
+  // Slow-query audit: decide on the request's *simulated* latency (and the
+  // root operator's estimate error — the only error observable without a
+  // re-execution). The capture re-executes with actuals collection OUTSIDE
+  // the request's operator scope, so the profiling run never contaminates
+  // the tenant's ledger; its charges land on the shared global Metrics
+  // like any other execution and stay deterministic (the trigger set is a
+  // deterministic function of the virtual timeline). Captures are memoized
+  // per (variant, query) within a dataset epoch — see audit_profiles_.
+  if (telemetry_ != nullptr && result.status.ok()) {
+    double root_err = 0.0;
+    if (executed_root != nullptr &&
+        executed_root->est_cardinality != systems::plan::kNoEstimate) {
+      double est = static_cast<double>(executed_root->est_cardinality);
+      double act = static_cast<double>(rec->rows);
+      if (est == 0.0 && act == 0.0) {
+        root_err = 1.0;
+      } else if (est == 0.0 || act == 0.0) {
+        root_err = est + act;
+      } else {
+        root_err = act > est ? act / est : est / act;
+      }
+    }
+    uint64_t sim_latency_ns =
+        rec->busy_ns + telemetry_->options().request_overhead_ns;
+    obs::AuditDecision decision =
+        telemetry_->DecideAudit(request.tenant, sim_latency_ns, root_err);
+    if (decision.Any()) {
+      rec->audited = true;
+      rec->audit_latency_trigger = decision.latency;
+      rec->audit_error_trigger = decision.est_error;
+      rec->query = request.text;
+      const std::string profile_key = request.variant + '\n' + request.text;
+      bool memoized = false;
+      {
+        std::lock_guard<std::mutex> lock(audit_mu_);
+        auto it = audit_profiles_.find(profile_key);
+        if (it != audit_profiles_.end()) {
+          rec->audit_profile = it->second.profile;
+          rec->max_est_error = it->second.max_est_error;
+          rec->pattern_actuals = it->second.pattern_actuals;
+          memoized = true;
+        }
+      }
+      if (!memoized) {
+        auto analyzed = engine->ExecuteAnalyzed(query);
+        if (analyzed.ok()) {
+          const systems::plan::PlanNode& root = **analyzed;
+          rec->audit_profile = systems::plan::ExplainAnalyze(root);
+          rec->max_est_error = systems::plan::MaxEstimateErrorFactor(root);
+          for (const systems::plan::LeafActual& leaf :
+               systems::plan::CollectLeafActuals(root)) {
+            obs::PatternActual pattern;
+            pattern.pattern = leaf.detail;
+            pattern.predicate = leaf.predicate;
+            pattern.est_rows = leaf.est_rows;
+            pattern.actual_rows = leaf.actual_rows;
+            rec->pattern_actuals.push_back(std::move(pattern));
+          }
+        } else {
+          rec->audit_profile =
+              "analyze failed: " + analyzed.status().ToString();
+          rec->max_est_error = root_err;
+        }
+        // Two workers racing the same key both capture (the content is
+        // deterministic, so either insert is correct); last writer wins.
+        std::lock_guard<std::mutex> lock(audit_mu_);
+        audit_profiles_[profile_key] = AuditProfile{
+            rec->audit_profile, rec->max_est_error, rec->pattern_actuals};
+      }
+    }
+  }
   return result;
 }
 
-void QueryServer::Finish(const Request& request, RequestResult result) {
-  result.latency_ms = ElapsedMs(request.enqueued);
+void QueryServer::Finish(const Request& request, RequestResult result,
+                         obs::RequestRecord rec) {
+  // latency_ms was stamped by Process before any audit capture; requests
+  // that never reached that point (e.g. unknown variant) stamp here.
+  if (result.latency_ms == 0.0) result.latency_ms = ElapsedMs(request.enqueued);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = tenants_.find(request.tenant);
@@ -385,6 +553,7 @@ void QueryServer::Finish(const Request& request, RequestResult result) {
       TenantStats& stats = it->second->stats;
       if (result.rejected) {
         ++stats.rejected;
+        if (result.race_rejected) ++stats.race_rejected;
       } else if (result.status.ok()) {
         ++stats.completed;
         stats.rows_returned += result.table.num_rows();
@@ -397,12 +566,35 @@ void QueryServer::Finish(const Request& request, RequestResult result) {
           static_cast<uint64_t>(result.latency_ms * 1e6));
     }
   }
+  // Telemetry: outcome classification mirrors the ledger above exactly.
+  // Wall-clock latency deliberately stays out of the record — the sink's
+  // timeline is virtual (see obs/telemetry.h).
+  if (telemetry_ != nullptr && !request.tenant.empty()) {
+    rec.tenant = request.tenant;
+    rec.tenant_seq = request.tenant_seq;
+    rec.variant = request.variant;
+    if (result.rejected) {
+      rec.outcome = result.race_rejected
+                        ? obs::RequestRecord::Outcome::kRaceRejected
+                        : obs::RequestRecord::Outcome::kRejected;
+    } else if (result.status.ok()) {
+      rec.outcome = obs::RequestRecord::Outcome::kOk;
+    } else {
+      rec.outcome = obs::RequestRecord::Outcome::kFailed;
+    }
+    if (!result.status.ok()) rec.detail = result.status.ToString();
+    rec.cache_bypass = result.cache_bypass;
+    telemetry_->Ingest(std::move(rec));
+  }
   // One span per served request on the driver lane, in the same stream as
-  // the job/stage/task spans the execution itself recorded.
+  // the job/stage/task spans the execution itself recorded. Named by the
+  // per-tenant sequence — the same span id the slow-query audit records —
+  // so a span is addressable from the audit log regardless of worker
+  // interleaving.
   if (sc_->tracer().enabled()) {
     sc_->tracer().Record(
-        spark::SpanKind::kJob,
-        "serve " + request.tenant + "#" + std::to_string(request.sequence) +
+        spark::SpanKind::kServe,
+        "serve " + request.tenant + "#" + std::to_string(request.tenant_seq) +
             " " + request.variant,
         sc_->metrics().simulated_ms.nanos(), 0, /*lane=*/-1,
         result.table.num_rows());

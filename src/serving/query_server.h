@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/telemetry.h"
 #include "rdf/store.h"
 #include "serving/plan_cache.h"
 #include "spark/context.h"
@@ -33,6 +34,10 @@ struct RequestResult {
   bool cache_hit = false;     ///< Executed a plan another request built.
   bool cache_bypass = false;  ///< Ran outside the plan cache entirely.
   bool rejected = false;      ///< Failed admission (never planned/executed).
+  bool race_rejected = false;  ///< Rejected by the Tier C race gate: the
+                               ///< request's results were withheld because
+                               ///< new ERROR-level happens-before findings
+                               ///< appeared while it executed.
   double latency_ms = 0.0;    ///< Wall-clock queue + execution latency.
   std::string tenant;
   std::string variant;
@@ -44,7 +49,12 @@ struct RequestResult {
 struct TenantStats {
   uint64_t submitted = 0;
   uint64_t completed = 0;  ///< Finished OK (admission + execution).
-  uint64_t rejected = 0;   ///< Failed the admission gate or parse.
+  uint64_t rejected = 0;   ///< Failed the admission gate, parse, or the
+                           ///< race gate (race_rejected is the subset).
+  uint64_t race_rejected = 0;  ///< Tier C race-gate rejections. Counted
+                               ///< inside `rejected`, never in `failed`:
+                               ///< the ledger submitted = completed +
+                               ///< rejected + failed always balances.
   uint64_t failed = 0;     ///< Admitted but failed during execution.
   uint64_t rows_returned = 0;
   uint64_t cache_hits = 0;
@@ -112,6 +122,13 @@ class QueryServer {
     /// the engines' own per-Execute gate is taken over like verify_queries.
     bool check_races;
 
+    /// Live telemetry pipeline (windowed series, event log, slow-query
+    /// audit; see obs/telemetry.h). On by default — the sink is cheap
+    /// (one mutex acquisition per finished request) and every artifact is
+    /// derived from the deterministic virtual timeline.
+    bool telemetry = true;
+    obs::TelemetryOptions telemetry_options;
+
     Options();
   };
 
@@ -172,6 +189,14 @@ class QueryServer {
   std::vector<std::string> tenant_names() const;
   PlanCacheStats plan_cache_stats() const { return cache_.stats(); }
 
+  /// The telemetry sink, or null when Options::telemetry is off. Exports
+  /// (PrometheusText, WriteArtifacts, ...) are safe at any quiescent point.
+  obs::TelemetrySink* telemetry() const { return telemetry_.get(); }
+
+  /// Prometheus text exposition: serving telemetry (when enabled) followed
+  /// by the SparkContext's cluster-simulator metrics.
+  std::string MetricsText() const;
+
   /// Tier C findings over everything recorded since the server opened its
   /// window (empty when check_races is off). Non-destructive — the window
   /// stays open; call at a quiescent point (after tickets resolved) for a
@@ -190,6 +215,10 @@ class QueryServer {
     std::string variant;
     std::string text;
     uint64_t sequence = 0;
+    /// Per-tenant submission order (0-based); the telemetry sink applies
+    /// records in this order, so every tenant's virtual timeline is
+    /// independent of worker scheduling.
+    uint64_t tenant_seq = 0;
     std::chrono::steady_clock::time_point enqueued;
     std::shared_ptr<Ticket> ticket;
   };
@@ -204,9 +233,12 @@ class QueryServer {
   };
 
   void WorkerLoop();
-  /// Runs the full request path on the calling worker thread.
-  RequestResult Process(const Request& request);
-  void Finish(const Request& request, RequestResult result);
+  /// Runs the full request path on the calling worker thread, filling
+  /// `rec` with the telemetry payload (deterministic costs, cache key,
+  /// audit capture).
+  RequestResult Process(const Request& request, obs::RequestRecord* rec);
+  void Finish(const Request& request, RequestResult result,
+              obs::RequestRecord rec = obs::RequestRecord());
 
   spark::SparkContext* sc_;
   Options options_;
@@ -231,6 +263,27 @@ class QueryServer {
 
   std::map<std::string, std::unique_ptr<systems::BgpEngineBase>> engines_;
   std::vector<std::thread> workers_;
+
+  /// Telemetry sink (null when Options::telemetry is off).
+  std::unique_ptr<obs::TelemetrySink> telemetry_;
+
+  /// Memoized EXPLAIN ANALYZE captures for the slow-query audit, keyed by
+  /// (variant, query text). A slow query pattern tends to trip the audit on
+  /// every repetition; the profile is a deterministic function of
+  /// (variant, dataset epoch, query) — PR 4's bit-identity guarantee — so
+  /// later trips reuse the first capture instead of re-executing. Cleared
+  /// on dataset swap (the map is epoch-scoped, like the plan cache).
+  struct AuditProfile {
+    std::string profile;
+    double max_est_error = 0.0;
+    std::vector<obs::PatternActual> pattern_actuals;
+  };
+  std::map<std::string, AuditProfile> audit_profiles_;
+  std::mutex audit_mu_;
+  /// Race-gate high-water mark: the most ERROR-level Tier C findings any
+  /// finished request has observed. A request that raises it is the one
+  /// whose execution surfaced the new finding and gets rejected.
+  std::atomic<uint64_t> race_error_high_water_{0};
 
   /// The server-owned Tier C window (null when check_races is off).
   /// Destroyed after the workers join, so no instrumented work outlives it.

@@ -132,4 +132,12 @@ void Metrics::ForEachNumericField(
 #undef RDFSPARK_FIELD_EMIT
 }
 
+void Metrics::ForEachHistogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+#define RDFSPARK_FIELD_EMIT(name) fn(#name, name);
+  RDFSPARK_METRICS_HISTOGRAM_FIELDS(RDFSPARK_FIELD_EMIT)
+#undef RDFSPARK_FIELD_EMIT
+}
+
 }  // namespace rdfspark::spark

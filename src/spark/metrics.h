@@ -248,6 +248,13 @@ struct Metrics {
   /// each histogram.
   void ForEachNumericField(
       const std::function<void(const std::string&, double)>& fn) const;
+
+  /// Invokes fn(name, histogram) for every histogram field — full bucket
+  /// access for exposition formats that ForEachNumericField's summary
+  /// statistics cannot serve (e.g. Prometheus `_bucket{le=...}` series).
+  void ForEachHistogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
 };
 
 /// Cost model translating simulator events into simulated milliseconds.

@@ -67,6 +67,8 @@ const char* SpanKindName(SpanKind k) {
       return "broadcast";
     case SpanKind::kSuperstep:
       return "superstep";
+    case SpanKind::kServe:
+      return "serve";
   }
   return "?";
 }

@@ -71,6 +71,7 @@ enum class SpanKind {
   kShuffleWrite,  ///< Map-side shuffle write of one source partition.
   kBroadcast,     ///< Replication of a broadcast value.
   kSuperstep,     ///< One Pregel/fixpoint iteration.
+  kServe,         ///< One served request (serving-layer job span).
 };
 
 const char* SpanKindName(SpanKind k);

@@ -186,6 +186,11 @@ Result<sparql::BindingTable> BgpEngineBase::ExecutePlanned(
 
 Result<plan::PlanPtr> BgpEngineBase::ExecuteAnalyzed(std::string_view text) {
   RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  return ExecuteAnalyzed(query);
+}
+
+Result<plan::PlanPtr> BgpEngineBase::ExecuteAnalyzed(
+    const sparql::Query& query) {
   // Like EXPLAIN, the analyzed run covers the top-level basic graph
   // pattern — the distributed part whose actuals are worth attributing.
   RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(query.where.bgp));

@@ -191,6 +191,10 @@ class BgpEngineBase : public RdfQueryEngine {
   /// aggregates these instead of re-parsing the rendered text).
   Result<plan::PlanPtr> ExecuteAnalyzed(std::string_view text);
 
+  /// Same, for an already-parsed query — the serving layer's slow-query
+  /// audit re-executes the request it just served without re-parsing.
+  Result<plan::PlanPtr> ExecuteAnalyzed(const sparql::Query& query);
+
   /// The storage/layout facts the static verifier checks plans against
   /// (Table II's partitioning column as booleans + broadcast threshold).
   /// The base profile claims nothing, so unannotated engines verify

@@ -131,4 +131,67 @@ std::string ExplainAnalyze(const PlanNode& root) {
   return out;
 }
 
+double MaxEstimateErrorFactor(const PlanNode& root) {
+  double worst = 0.0;
+  if (root.actuals != nullptr && root.actuals->rows_known &&
+      root.est_cardinality != kNoEstimate) {
+    double est = static_cast<double>(root.est_cardinality);
+    double act = static_cast<double>(root.actuals->rows_out);
+    double err;
+    if (est == 0.0 && act == 0.0) {
+      err = 1.0;
+    } else if (est == 0.0 || act == 0.0) {
+      err = est + act;  // one side is zero: error = the other's magnitude
+    } else {
+      err = act > est ? act / est : est / act;
+    }
+    worst = err;
+  }
+  for (const auto& child : root.children) {
+    double err = MaxEstimateErrorFactor(*child);
+    if (err > worst) worst = err;
+  }
+  return worst;
+}
+
+namespace {
+
+std::string LeafPredicate(const std::string& detail) {
+  size_t open = detail.find('<');
+  size_t close = detail.find('>', open == std::string::npos ? 0 : open);
+  if (open != std::string::npos && close != std::string::npos) {
+    return detail.substr(open, close - open + 1);
+  }
+  size_t end = detail.find(' ');
+  if (end == std::string::npos) end = detail.size();
+  return end == 0 ? std::string("?") : detail.substr(0, end);
+}
+
+void CollectLeaves(const PlanNode& node, std::vector<LeafActual>* out) {
+  if (node.children.empty()) {
+    if (node.actuals != nullptr && node.actuals->rows_known) {
+      LeafActual leaf;
+      std::string access = AccessPathName(node.access_path);
+      leaf.detail = access.empty() ? node.detail
+                                   : access + " " + node.detail;
+      leaf.predicate = LeafPredicate(node.detail);
+      leaf.est_rows = node.est_cardinality == kNoEstimate
+                          ? 0
+                          : node.est_cardinality;
+      leaf.actual_rows = node.actuals->rows_out;
+      out->push_back(std::move(leaf));
+    }
+    return;
+  }
+  for (const auto& child : node.children) CollectLeaves(*child, out);
+}
+
+}  // namespace
+
+std::vector<LeafActual> CollectLeafActuals(const PlanNode& root) {
+  std::vector<LeafActual> out;
+  CollectLeaves(root, &out);
+  return out;
+}
+
 }  // namespace rdfspark::systems::plan

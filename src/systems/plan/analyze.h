@@ -29,6 +29,28 @@ namespace rdfspark::systems::plan {
 /// are sums over the same multiset of charges (see OpStats).
 std::string ExplainAnalyze(const PlanNode& root);
 
+/// Max over all analyzed nodes of the *symmetric* estimate-error factor
+/// max(actual/estimate, estimate/actual) — 1.0 is a perfect estimate,
+/// larger is worse in either direction. Nodes without an estimate or
+/// without known actuals are skipped; a zero on exactly one side counts as
+/// the other side's magnitude (an estimate of 0 that materialized rows is
+/// as wrong as the row count is large). Returns 0 when no node qualifies.
+double MaxEstimateErrorFactor(const PlanNode& root);
+
+/// Estimated vs. observed output cardinality of one leaf operator of an
+/// analyzed plan, for the slow-query audit's stats store.
+struct LeafActual {
+  std::string detail;     ///< Scan annotation: "[<access> <detail>]" text.
+  std::string predicate;  ///< Best-effort predicate: the first <IRI> in the
+                          ///< detail, else its first token, else "?".
+  uint64_t est_rows = 0;  ///< Planner estimate (0 when kNoEstimate).
+  uint64_t actual_rows = 0;
+};
+
+/// Walks an analyzed plan and returns one LeafActual per leaf node with
+/// known actuals, in plan (pre-)order.
+std::vector<LeafActual> CollectLeafActuals(const PlanNode& root);
+
 /// Registers a row counter for payloads of type spark::Rdd<T>: rows out is
 /// the sum of the RDD's cached partition sizes (every partition an
 /// analyzed run needed is cached by the time counting happens; reading

@@ -1,0 +1,460 @@
+// Telemetry-pipeline tests: the obs/ subsystem must be a deterministic
+// function of the multiset of request records — exact quantiles where the
+// histogram layout promises them, merge associativity, canonical event
+// ordering under bounded eviction, stats-store round-trips, Prometheus
+// line-format acceptance, ingest-order invariance of the sink, the logical
+// plan-cache replay, and (end to end) bit-identical serving artifacts
+// across simulated executor-thread counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/audit.h"
+#include "obs/event_log.h"
+#include "obs/histogram.h"
+#include "obs/prometheus.h"
+#include "obs/telemetry.h"
+#include "obs/time_series.h"
+#include "rdf/generator.h"
+#include "rdf/store.h"
+#include "serving/query_server.h"
+#include "spark/context.h"
+
+namespace rdfspark::obs {
+namespace {
+
+// ---- LatencyHistogram ----------------------------------------------------
+
+TEST(LatencyHistogramTest, ExactQuantilesForSmallValues) {
+  // Values below 2^kSubBits = 16 get one bucket each, so quantiles are
+  // exact order statistics: rank ceil(q * count).
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.sum(), 55u);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 1u);
+  EXPECT_EQ(h.ValueAtQuantile(0.50), 5u);
+  EXPECT_EQ(h.ValueAtQuantile(0.90), 9u);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 10u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 10u);
+  EXPECT_EQ(h.min_value(), 1u);
+  EXPECT_EQ(h.max_value(), 10u);
+}
+
+TEST(LatencyHistogramTest, LargeValuesBoundedRelativeErrorAndExactMax) {
+  LatencyHistogram one;
+  one.Record(1'000'000);
+  // A single sample: every quantile's bucket bound clamps to the max.
+  EXPECT_EQ(one.ValueAtQuantile(0.5), 1'000'000u);
+  EXPECT_EQ(one.ValueAtQuantile(0.99), 1'000'000u);
+
+  LatencyHistogram two;
+  two.Record(100'000);
+  two.Record(200'000);
+  uint64_t p50 = two.ValueAtQuantile(0.5);
+  EXPECT_GE(p50, 100'000u);             // Bucket upper bound >= the sample.
+  EXPECT_LE(p50, 106'250u);             // Within the 6.25% layout bound.
+  EXPECT_EQ(two.ValueAtQuantile(1.0), 200'000u);  // Clamped to max: exact.
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeAndCommutative) {
+  std::vector<uint64_t> a = {1, 5, 9, 100'000};
+  std::vector<uint64_t> b = {2, 6, 1'234};
+  std::vector<uint64_t> c = {7, 50'000'000};
+  auto make = [](const std::vector<uint64_t>& vs) {
+    LatencyHistogram h;
+    for (uint64_t v : vs) h.Record(v);
+    return h;
+  };
+  LatencyHistogram ha = make(a), hb = make(b), hc = make(c);
+
+  LatencyHistogram left = ha;   // (a + b) + c
+  left.Merge(hb);
+  left.Merge(hc);
+  LatencyHistogram bc = hb;     // a + (b + c)
+  bc.Merge(hc);
+  LatencyHistogram right = ha;
+  right.Merge(bc);
+  EXPECT_TRUE(left == right);
+
+  LatencyHistogram ab = ha;     // a + b == b + a
+  ab.Merge(hb);
+  LatencyHistogram ba = hb;
+  ba.Merge(ha);
+  EXPECT_TRUE(ab == ba);
+
+  // Merging equals recording the union directly.
+  std::vector<uint64_t> all;
+  all.insert(all.end(), a.begin(), a.end());
+  all.insert(all.end(), b.begin(), b.end());
+  all.insert(all.end(), c.begin(), c.end());
+  EXPECT_TRUE(left == make(all));
+}
+
+// ---- WindowedRegistry ----------------------------------------------------
+
+TEST(WindowedRegistryTest, TumblingWindowsPartitionTheTimeline) {
+  WindowSpec spec;
+  spec.width_ns = 100;
+  spec.stride_ns = 100;
+  EXPECT_EQ(spec.WindowsPerInstant(), 1u);
+  WindowedRegistry reg(spec);
+  SeriesId id{ScopeKind::kTotal, "", "requests"};
+  reg.Add(id, 0, 1);
+  reg.Add(id, 99, 1);    // Same window as t=0.
+  reg.Add(id, 100, 1);   // Next window.
+  reg.Add(id, 250, 1);   // [200, 300).
+
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].start_ns, 0u);
+  EXPECT_EQ(snap[0].end_ns, 100u);
+  EXPECT_EQ(snap[0].series.at(id)->counter, 2);
+  EXPECT_EQ(snap[1].start_ns, 100u);
+  EXPECT_EQ(snap[1].series.at(id)->counter, 1);
+  EXPECT_EQ(snap[2].start_ns, 200u);
+  EXPECT_EQ(snap[2].series.at(id)->counter, 1);
+}
+
+TEST(WindowedRegistryTest, SlidingWindowsOverlap) {
+  WindowSpec spec;
+  spec.width_ns = 100;
+  spec.stride_ns = 50;
+  EXPECT_EQ(spec.WindowsPerInstant(), 2u);
+  WindowedRegistry reg(spec);
+  SeriesId id{ScopeKind::kTenant, "t0", "requests"};
+  reg.Add(id, 250, 1);  // In [200, 300) and [250, 350).
+
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].start_ns, 200u);
+  EXPECT_EQ(snap[1].start_ns, 250u);
+  for (const auto& w : snap) EXPECT_EQ(w.series.at(id)->counter, 1);
+}
+
+TEST(WindowedRegistryTest, GaugeIsMaxAndHistogramMerges) {
+  WindowedRegistry reg;
+  SeriesId g{ScopeKind::kTotal, "", "inflight"};
+  SeriesId h{ScopeKind::kTotal, "", "latency_ns"};
+  reg.SetMax(g, 10, 3);
+  reg.SetMax(g, 20, 7);
+  reg.SetMax(g, 30, 5);
+  reg.Observe(h, 10, 100);
+  reg.Observe(h, 20, 200);
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].series.at(g)->gauge, 7u);
+  EXPECT_EQ(snap[0].series.at(h)->hist->count(), 2u);
+}
+
+// ---- EventLog ------------------------------------------------------------
+
+TEST(EventLogTest, CanonicalOrderAndBoundedEviction) {
+  EventLog log(/*capacity=*/2);
+  auto ev = [](uint64_t t, EventKind kind) {
+    Event e;
+    e.t_ns = t;
+    e.scope = "tenant0";
+    e.kind = kind;
+    return e;
+  };
+  // Append out of order: eviction must drop the canonically *oldest*
+  // (smallest timestamp), independent of append order.
+  log.Add(ev(30, EventKind::kRequestFinish));
+  log.Add(ev(10, EventKind::kRequestStart));
+  log.Add(ev(20, EventKind::kCacheHit));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  auto sorted = log.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].t_ns, 20u);
+  EXPECT_EQ(sorted[1].t_ns, 30u);
+  EXPECT_TRUE(log.Covers(EventKind::kCacheHit));
+  EXPECT_FALSE(log.Covers(EventKind::kRequestStart));  // Evicted.
+
+  std::string json = log.ToJson();
+  EXPECT_TRUE(ValidateJson(json));
+  EXPECT_NE(json.find("\"dropped\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"cache_hit\""), std::string::npos);
+}
+
+TEST(EventLogTest, EventJsonIsValidWithSortedFields) {
+  Event e;
+  e.t_ns = 5;
+  e.scope = "tenantA";
+  e.seq = 2;
+  e.kind = EventKind::kCacheHit;
+  e.AddField("key", std::string("k\"1"));
+  e.AddField("epoch", uint64_t{3});
+  std::string json = e.ToJson();
+  EXPECT_TRUE(ValidateJson(json)) << json;
+  // Fields are sorted by name: epoch before key.
+  EXPECT_LT(json.find("\"epoch\":3"), json.find("\"key\":"));
+  // The quote in the value is escaped, not a terminator.
+  EXPECT_NE(json.find("k\\\"1"), std::string::npos);
+}
+
+// ---- StatsStore ----------------------------------------------------------
+
+TEST(StatsStoreTest, RoundTripsThroughJson) {
+  StatsStore store;
+  PatternActual a{"vp ?s <http://ex/p> ?o", "<http://ex/p>", 10, 40};
+  PatternActual b{"vp ?s <http://ex/p> ?o", "<http://ex/p>", 10, 60};
+  PatternActual c{"scan ?s ?p ?o", "?", 5, 7};
+  store.Observe(a);
+  store.Observe(b);
+  store.Observe(c);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_DOUBLE_EQ(store.LookupMeanRows("vp ?s <http://ex/p> ?o"), 50.0);
+
+  std::string json = store.ToJson();
+  EXPECT_TRUE(ValidateJson(json)) << json;
+  Result<StatsStore> parsed = StatsStore::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->LookupMeanRows("vp ?s <http://ex/p> ?o"), 50.0);
+  EXPECT_DOUBLE_EQ(parsed->LookupMeanRows("scan ?s ?p ?o"), 7.0);
+  EXPECT_LT(parsed->LookupMeanRows("never seen"), 0.0);
+  // Re-serialization is byte-identical: the store is canonically ordered.
+  EXPECT_EQ(parsed->ToJson(), json);
+}
+
+// ---- Prometheus text format ----------------------------------------------
+
+TEST(PrometheusTest, BuilderOutputPassesTheChecker) {
+  PrometheusBuilder b;
+  b.Family("rdfspark_requests_total", "counter", "served requests");
+  b.Add("rdfspark_requests_total", {{"tenant", "t0"}, {"variant", "S2RDF"}},
+        uint64_t{42});
+  b.Family("rdfspark_qps", "gauge", "queries per second");
+  b.Add("rdfspark_qps", {}, 12.5);
+  b.Family("rdfspark_latency_ns", "histogram", "latency distribution");
+  b.Add("rdfspark_latency_ns_bucket", {{"le", "1000"}}, uint64_t{3});
+  b.Add("rdfspark_latency_ns_bucket", {{"le", "+Inf"}}, uint64_t{4});
+  b.Add("rdfspark_latency_ns_sum", {}, uint64_t{2500});
+  b.Add("rdfspark_latency_ns_count", {}, uint64_t{4});
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(b.Text(), &error)) << error;
+}
+
+TEST(PrometheusTest, CheckerRejectsMalformedLines) {
+  std::string error;
+  // A sample whose family was never TYPE-declared.
+  EXPECT_FALSE(CheckPrometheusText("orphan_metric 1\n", &error));
+  // An illegal metric name (leading digit).
+  EXPECT_FALSE(CheckPrometheusText(
+      "# TYPE 1bad counter\n1bad 2\n", &error));
+  // An unterminated label list.
+  EXPECT_FALSE(CheckPrometheusText(
+      "# TYPE m counter\nm{l=\"v\" 3\n", &error));
+  // A non-numeric value.
+  EXPECT_FALSE(CheckPrometheusText(
+      "# TYPE m counter\nm not_a_number\n", &error));
+}
+
+// ---- TelemetrySink -------------------------------------------------------
+
+RequestRecord MakeRecord(const std::string& tenant, uint64_t seq,
+                         const std::string& variant, uint64_t busy_ns,
+                         const std::string& cache_key,
+                         RequestRecord::Outcome outcome =
+                             RequestRecord::Outcome::kOk) {
+  RequestRecord r;
+  r.tenant = tenant;
+  r.tenant_seq = seq;
+  r.variant = variant;
+  r.epoch = 1;
+  r.outcome = outcome;
+  r.cache_key = cache_key;
+  r.busy_ns = busy_ns;
+  r.rows = busy_ns / 1000;
+  r.tasks = 2;
+  r.shuffle_bytes = busy_ns / 10;
+  return r;
+}
+
+std::vector<RequestRecord> MixedWorkload() {
+  std::vector<RequestRecord> records;
+  records.push_back(MakeRecord("a", 0, "S2RDF", 3'000'000, "S2RDF\nq1"));
+  records.push_back(MakeRecord("a", 1, "S2RDF", 2'000'000, "S2RDF\nq1"));
+  records.push_back(MakeRecord("a", 2, "HAQWA", 40'000'000, "HAQWA\nq2"));
+  records.push_back(MakeRecord("a", 3, "S2X", 1'000'000, ""));
+  records.back().cache_bypass = true;
+  records.push_back(MakeRecord("b", 0, "S2RDF", 9'000'000, "S2RDF\nq1"));
+  records.push_back(MakeRecord("b", 1, "S2RDF", 0, "",
+                               RequestRecord::Outcome::kRejected));
+  records.back().detail = "InvalidArgument: rejected by admission";
+  records.push_back(MakeRecord("b", 2, "HAQWA", 500'000, "HAQWA\nq2",
+                               RequestRecord::Outcome::kFailed));
+  records.back().detail = "Internal: synthetic failure";
+  return records;
+}
+
+TEST(TelemetrySinkTest, ExportsAreIngestOrderInvariant) {
+  TelemetryOptions opts;
+  opts.window.width_ns = 10'000'000;  // 10 simulated ms
+  opts.window.stride_ns = 10'000'000;
+  TelemetrySink ordered(opts);
+  TelemetrySink shuffled(opts);
+
+  std::vector<RequestRecord> records = MixedWorkload();
+  for (const RequestRecord& r : records) ordered.Ingest(r);
+
+  // Worst-case reordering: every tenant's records arrive backwards. The
+  // sink must buffer and apply them in tenant_seq order.
+  std::vector<RequestRecord> reversed(records.rbegin(), records.rend());
+  shuffled.Ingest(reversed.front());
+  EXPECT_EQ(shuffled.unapplied(), 1u);  // Stalled behind missing seq 0.
+  for (size_t i = 1; i < reversed.size(); ++i) shuffled.Ingest(reversed[i]);
+  EXPECT_EQ(shuffled.unapplied(), 0u);
+  EXPECT_EQ(ordered.unapplied(), 0u);
+
+  EXPECT_EQ(ordered.TelemetryJson(), shuffled.TelemetryJson());
+  EXPECT_EQ(ordered.EventsJson(), shuffled.EventsJson());
+  EXPECT_EQ(ordered.PrometheusText(), shuffled.PrometheusText());
+  EXPECT_EQ(ordered.WindowsText(), shuffled.WindowsText());
+  EXPECT_EQ(ordered.AuditJson(), shuffled.AuditJson());
+  EXPECT_EQ(ordered.StatsStoreJson(), shuffled.StatsStoreJson());
+
+  // The exports are well-formed and the checker accepts the exposition.
+  std::string error;
+  EXPECT_TRUE(CheckPrometheusText(ordered.PrometheusText(), &error)) << error;
+  EXPECT_TRUE(ValidateJson(ordered.TelemetryJson(), &error)) << error;
+  EXPECT_TRUE(ValidateJson(ordered.EventsJson(), &error)) << error;
+  EXPECT_GE(ordered.window_count(), 3u);
+}
+
+TEST(TelemetrySinkTest, LogicalCacheReplayModelsLruAtCapacity) {
+  TelemetryOptions opts;
+  opts.logical_cache_capacity = 1;
+  TelemetrySink sink(opts);
+  sink.RecordDatasetSwap(1, 100);
+  sink.Ingest(MakeRecord("t", 0, "E", 1'000'000, "A"));  // miss, fill A
+  sink.Ingest(MakeRecord("t", 1, "E", 1'000'000, "A"));  // hit
+  sink.Ingest(MakeRecord("t", 2, "E", 1'000'000, "B"));  // miss, evict A
+  sink.Ingest(MakeRecord("t", 3, "E", 1'000'000, "A"));  // miss again
+  RequestRecord bypass = MakeRecord("t", 4, "S2X", 1'000'000, "");
+  bypass.cache_bypass = true;
+  sink.Ingest(bypass);
+
+  Result<JsonValue> parsed = ParseJson(sink.TelemetryJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* cache = parsed->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->NumberOr("hits", -1), 1.0);
+  EXPECT_EQ(cache->NumberOr("misses", -1), 3.0);
+  EXPECT_EQ(cache->NumberOr("bypasses", -1), 1.0);
+  EXPECT_EQ(cache->NumberOr("evictions", -1), 2.0);
+
+  // The replay synthesizes typed cache events on the virtual timeline.
+  std::string events = sink.EventsJson();
+  EXPECT_NE(events.find("\"kind\":\"cache_fill\""), std::string::npos);
+  EXPECT_NE(events.find("\"kind\":\"cache_hit\""), std::string::npos);
+  EXPECT_NE(events.find("\"kind\":\"cache_evict\""), std::string::npos);
+  EXPECT_NE(events.find("\"kind\":\"dataset_swap\""), std::string::npos);
+}
+
+TEST(TelemetrySinkTest, AuditTriggersOnLatencyAndEstimateError) {
+  TelemetryOptions opts;
+  opts.audit.latency_threshold_ns = 1'000'000;
+  opts.audit.tenant_latency_threshold_ns["lenient"] = 5'000'000;
+  opts.audit.est_error_bound = 16.0;
+  TelemetrySink sink(opts);
+
+  EXPECT_FALSE(sink.DecideAudit("t", 999'999, 1.0).Any());
+  AuditDecision lat = sink.DecideAudit("t", 1'000'000, 1.0);
+  EXPECT_TRUE(lat.latency);
+  EXPECT_FALSE(lat.est_error);
+  // The per-tenant override raises the bar for "lenient".
+  EXPECT_FALSE(sink.DecideAudit("lenient", 1'000'000, 1.0).Any());
+  EXPECT_TRUE(sink.DecideAudit("lenient", 5'000'000, 1.0).latency);
+  // The estimate-error trigger fires regardless of latency.
+  AuditDecision err = sink.DecideAudit("t", 0, 16.0);
+  EXPECT_TRUE(err.est_error);
+  EXPECT_FALSE(err.latency);
+}
+
+// ---- End to end: serving artifacts across executor-thread counts. --------
+
+rdf::TripleStore TinyLubm() {
+  rdf::LubmConfig cfg;
+  cfg.num_universities = 1;
+  cfg.departments_per_university = 3;
+  cfg.professors_per_department = 4;
+  cfg.students_per_department = 20;
+  cfg.courses_per_department = 5;
+  cfg.seed = 42;
+  rdf::TripleStore store;
+  store.AddAll(rdf::GenerateLubm(cfg));
+  store.Dedupe();
+  return store;
+}
+
+/// Runs an identical two-tenant workload on a cluster with
+/// `executor_threads` simulated threads and returns every telemetry
+/// artifact the sink exports.
+std::vector<std::string> ServeArtifacts(const rdf::TripleStore& store,
+                                        int executor_threads) {
+  spark::ClusterConfig cluster;
+  cluster.num_executors = 4;
+  cluster.default_parallelism = 8;
+  cluster.executor_threads = executor_threads;
+  spark::SparkContext sc(cluster);
+
+  serving::QueryServer::Options options;
+  options.worker_threads = 4;
+  options.verify_queries = false;
+  options.verify_plans = false;
+  options.check_races = false;
+  options.variants = {"SPARQLGX", "HAQWA", "S2X"};
+  options.telemetry_options.window.width_ns = 1'000'000;  // 1 simulated ms
+  options.telemetry_options.window.stride_ns = 1'000'000;
+  options.telemetry_options.audit.latency_threshold_ns = 1'000'000;
+  serving::QueryServer server(&sc, options);
+  EXPECT_TRUE(server.AttachDataset(store).ok());
+
+  std::vector<std::pair<rdf::QueryShape, std::string>> mix =
+      rdf::LubmQueryMix();
+  std::vector<std::shared_ptr<serving::QueryServer::Ticket>> tickets;
+  for (int t = 0; t < 2; ++t) {
+    int session = server.OpenSession("tenant" + std::to_string(t));
+    for (const auto& variant : server.variant_names()) {
+      for (const auto& [shape, text] : mix) {
+        if (shape == rdf::QueryShape::kComplex) continue;  // BGP engines.
+        tickets.push_back(server.Submit(session, variant, text));
+      }
+    }
+  }
+  for (auto& ticket : tickets) ticket->Wait();
+
+  TelemetrySink* sink = server.telemetry();
+  EXPECT_NE(sink, nullptr);
+  EXPECT_EQ(sink->unapplied(), 0u);
+  EXPECT_GE(sink->window_count(), 3u);
+  EXPECT_GE(sink->audit_count(), 1u);
+  return {sink->TelemetryJson(), sink->EventsJson(),  sink->AuditJson(),
+          sink->StatsStoreJson(), sink->PrometheusText(),
+          sink->WindowsText()};
+}
+
+TEST(TelemetryDeterminismTest, ArtifactsBitIdenticalAcrossExecutorThreads) {
+  rdf::TripleStore store = TinyLubm();
+  std::vector<std::string> serial = ServeArtifacts(store, 1);
+  std::vector<std::string> threaded = ServeArtifacts(store, 8);
+  ASSERT_EQ(serial.size(), threaded.size());
+  const char* names[] = {"telemetry.json", "events.json",     "audit.json",
+                         "stats_store.json", "metrics.prom", "windows.txt"};
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], threaded[i])
+        << names[i] << " diverged between executor_threads=1 and =8";
+    EXPECT_FALSE(serial[i].empty()) << names[i];
+  }
+}
+
+}  // namespace
+}  // namespace rdfspark::obs

@@ -465,6 +465,62 @@ TEST(QueryServerRaceTest, FrozenDictionarySharedAcrossWorkersStaysSilent) {
   server.Shutdown();
 }
 
+TEST(QueryServerRaceTest, RaceGateRejectionIsRejectedNotFailed) {
+  // Inject a genuine Tier C ERROR into the server's open happens-before
+  // window: two writes to one accumulator object from two unconnected
+  // roots are logically concurrent, so the final value is
+  // schedule-dependent (DT001). The next request to finish observes the
+  // raised ERROR count and must be *rejected* by the race gate — counted
+  // in rejected (with race_rejected as its subset), never in failed, so
+  // the tenant ledger keeps balancing.
+  rdf::TripleStore store = SmallLubm();
+  spark::SparkContext sc;
+  QueryServer server(&sc, RaceCheckedOptions(/*workers=*/1));
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  int session = server.OpenSession("racegate");
+  std::string query = rdf::LubmShapeQuery(rdf::QueryShape::kStar, 3);
+
+  // Before the injection the workload is clean.
+  RequestResult clean = server.Execute(session, "SPARQLGX", query);
+  ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+
+  auto& recorder = spark::hb::Recorder::Get();
+  int root_a = recorder.BeginRoot();
+  recorder.Record(spark::hb::AccumulatorObject(987654),
+                  spark::hb::Access::kWrite, "serving_test injected write A");
+  recorder.EndRoot(root_a);
+  int root_b = recorder.BeginRoot();
+  recorder.Record(spark::hb::AccumulatorObject(987654),
+                  spark::hb::Access::kWrite, "serving_test injected write B");
+  recorder.EndRoot(root_b);
+
+  // The next finished request surfaces the new finding and is withheld.
+  RequestResult gated = server.Execute(session, "SPARQLGX", query);
+  EXPECT_FALSE(gated.status.ok());
+  EXPECT_EQ(gated.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(gated.rejected);
+  EXPECT_TRUE(gated.race_rejected);
+  EXPECT_EQ(gated.table.num_rows(), 0u);
+
+  // The high-water mark absorbed the finding: later requests flow again.
+  RequestResult after = server.Execute(session, "SPARQLGX", query);
+  EXPECT_TRUE(after.status.ok()) << after.status.ToString();
+
+  TenantStats stats = server.tenant_stats("racegate");
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.race_rejected, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected + stats.failed);
+
+  // The telemetry event log records the rejection as its own typed kind.
+  ASSERT_NE(server.telemetry(), nullptr);
+  EXPECT_NE(server.telemetry()->EventsJson().find("race_gate_reject"),
+            std::string::npos);
+  server.Shutdown();
+}
+
 TEST(PlanCacheTest, EpochIsPartOfTheKey) {
   PlanCache cache(8);
   auto plan = std::shared_ptr<const systems::plan::PlanNode>(

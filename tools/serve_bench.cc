@@ -9,11 +9,22 @@
 //   $ ./serve_bench --tenants=8 --workers=8 --requests=400
 //   $ ./serve_bench --mode=open --rate=200           # open loop, 200 req/s
 //   $ ./serve_bench --variants=HAQWA,S2RDF,S2X
+//   $ ./serve_bench --warmup=5                       # warm/cold split
+//   $ ./serve_bench --threads=8 --telemetry-dir=/tmp/telemetry
 //
 // Closed loop: one driver thread per tenant keeps exactly one request in
 // flight (submit → wait → submit), the classic closed system model. Open
 // loop: requests arrive on a fixed schedule regardless of completions, so
 // queueing delay shows up in the latency tail.
+//
+// --warmup=N excludes each tenant's first N requests from the reported
+// wall-latency percentiles (cache fills and first-touch costs dominate
+// them); BENCH_serving.json then carries the warm/cold split.
+//
+// --threads picks the simulated cluster's executor_threads (the partition
+// task pool). The telemetry artifacts written by --telemetry-dir are on
+// the per-tenant *virtual* timeline and must be byte-identical across
+// --threads values — the determinism contract CI diffs two runs to check.
 //
 // Writes BENCH_serving.json via the shared BenchJson sink when
 // RDFSPARK_BENCH_JSON_DIR is set (the CI baseline flow).
@@ -31,6 +42,7 @@
 
 #include "bench/bench_util.h"
 #include "common/json.h"
+#include "obs/telemetry.h"
 #include "rdf/generator.h"
 #include "serving/query_server.h"
 #include "spark/context.h"
@@ -49,6 +61,12 @@ struct Config {
   double rate = 100.0;  // Open-loop arrivals per second.
   uint64_t seed = 42;
   std::vector<std::string> variants;  // Empty = all.
+  int threads = 0;     // Simulated executor_threads (0 = serial reference).
+  int warmup = 0;      // Per-tenant requests excluded from percentiles.
+  std::string telemetry_dir;  // Write telemetry artifacts here.
+  double window_ms = 0;       // Telemetry window width (simulated ms).
+  double audit_ms = 0;        // Slow-query latency threshold (simulated ms).
+  double audit_err = 0;       // Cardinality-estimate error trigger factor.
 };
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -89,6 +107,18 @@ bool ParseArgs(int argc, char** argv, Config* cfg) {
       cfg->seed = static_cast<uint64_t>(std::atoll(v));
     } else if (const char* v = value("--variants")) {
       cfg->variants = SplitCsv(v);
+    } else if (const char* v = value("--threads")) {
+      cfg->threads = std::atoi(v);
+    } else if (const char* v = value("--warmup")) {
+      cfg->warmup = std::atoi(v);
+    } else if (const char* v = value("--telemetry-dir")) {
+      cfg->telemetry_dir = v;
+    } else if (const char* v = value("--window-ms")) {
+      cfg->window_ms = std::atof(v);
+    } else if (const char* v = value("--audit-ms")) {
+      cfg->audit_ms = std::atof(v);
+    } else if (const char* v = value("--audit-err")) {
+      cfg->audit_err = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -125,11 +155,23 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &cfg)) return 2;
 
   rdf::TripleStore store = bench::MakeLubmStore(cfg.universities, cfg.seed);
-  spark::SparkContext sc(bench::DefaultCluster());
+  spark::SparkContext sc(bench::DefaultCluster(4, 8, cfg.threads));
 
   serving::QueryServer::Options options;
   options.worker_threads = cfg.workers;
   options.variants = cfg.variants;
+  if (cfg.window_ms > 0) {
+    uint64_t width = static_cast<uint64_t>(cfg.window_ms * 1e6);
+    options.telemetry_options.window.width_ns = width;
+    options.telemetry_options.window.stride_ns = width;
+  }
+  if (cfg.audit_ms > 0) {
+    options.telemetry_options.audit.latency_threshold_ns =
+        static_cast<uint64_t>(cfg.audit_ms * 1e6);
+  }
+  if (cfg.audit_err > 0) {
+    options.telemetry_options.audit.est_error_bound = cfg.audit_err;
+  }
   serving::QueryServer server(&sc, options);
   Status attached = server.AttachDataset(store);
   if (!attached.ok()) {
@@ -164,14 +206,17 @@ int main(int argc, char** argv) {
   }
   struct Planned {
     int tenant;
+    int tenant_index;  ///< Position within the tenant's own sequence.
     std::string variant;
     std::string text;
   };
   std::vector<Planned> schedule;
+  std::vector<int> tenant_counts(static_cast<size_t>(cfg.tenants), 0);
   uint64_t rng = cfg.seed;
   for (int i = 0; i < cfg.requests; ++i) {
     Planned p;
     p.tenant = i % cfg.tenants;
+    p.tenant_index = tenant_counts[static_cast<size_t>(p.tenant)]++;
     const auto& variant = variants[NextRand(&rng) % variants.size()];
     p.variant = variant.name;
     const auto& texts =
@@ -239,13 +284,21 @@ int main(int argc, char** argv) {
   for (int t = 0; t < cfg.tenants; ++t) {
     std::string name = "tenant" + std::to_string(t);
     serving::TenantStats stats = server.tenant_stats(name);
+    // Warm = past the tenant's first `warmup` requests; the reported
+    // percentiles are warm-only so steady-state latency is not skewed by
+    // plan-cache fills and first-touch costs.
     std::vector<double> mine;
+    std::vector<double> cold;
     for (size_t i = 0; i < schedule.size(); ++i) {
-      if (schedule[i].tenant == t && succeeded[i]) {
+      if (schedule[i].tenant != t || !succeeded[i]) continue;
+      if (schedule[i].tenant_index < cfg.warmup) {
+        cold.push_back(latencies_ms[i]);
+      } else {
         mine.push_back(latencies_ms[i]);
       }
     }
     std::sort(mine.begin(), mine.end());
+    std::sort(cold.begin(), cold.end());
     double p50 = Percentile(mine, 0.50);
     double p99 = Percentile(mine, 0.99);
     total_ok += stats.completed;
@@ -267,13 +320,26 @@ int main(int argc, char** argv) {
     json.Add(name, "tasks", static_cast<double>(stats.tasks));
     json.Add(name, "p50_ms", p50);
     json.Add(name, "p99_ms", p99);
+    if (cfg.warmup > 0) {
+      json.Add(name, "warm_requests", static_cast<double>(mine.size()));
+      json.Add(name, "cold_requests", static_cast<double>(cold.size()));
+      json.Add(name, "cold_p50_ms", Percentile(cold, 0.50));
+      json.Add(name, "cold_p99_ms", Percentile(cold, 0.99));
+    }
   }
 
   std::vector<double> all;
+  std::vector<double> all_cold;
   for (size_t i = 0; i < latencies_ms.size(); ++i) {
-    if (succeeded[i]) all.push_back(latencies_ms[i]);
+    if (!succeeded[i]) continue;
+    if (schedule[i].tenant_index < cfg.warmup) {
+      all_cold.push_back(latencies_ms[i]);
+    } else {
+      all.push_back(latencies_ms[i]);
+    }
   }
   std::sort(all.begin(), all.end());
+  std::sort(all_cold.begin(), all_cold.end());
   double p50 = Percentile(all, 0.50);
   double p99 = Percentile(all, 0.99);
   double qps = wall_ms > 0
@@ -288,7 +354,15 @@ int main(int argc, char** argv) {
 
   std::printf("\ntotal: %llu ok in %.1f ms  (%.1f qps)\n",
               static_cast<unsigned long long>(total_ok), wall_ms, qps);
-  std::printf("latency: p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  if (cfg.warmup > 0) {
+    std::printf(
+        "latency: p50 %.2f ms, p99 %.2f ms  (warm, %zu requests; cold %zu: "
+        "p50 %.2f ms, p99 %.2f ms)\n",
+        p50, p99, all.size(), all_cold.size(), Percentile(all_cold, 0.50),
+        Percentile(all_cold, 0.99));
+  } else {
+    std::printf("latency: p50 %.2f ms, p99 %.2f ms\n", p50, p99);
+  }
   std::printf(
       "plan cache: %llu hits, %llu misses, %llu bypasses "
       "(hit rate %.0f%%), %llu resident\n",
@@ -296,6 +370,22 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.bypasses), hit_rate * 100.0,
       static_cast<unsigned long long>(cache.entries));
+
+  if (obs::TelemetrySink* sink = server.telemetry()) {
+    std::printf(
+        "telemetry: %zu windows, %zu audit entries, %zu unapplied records\n",
+        sink->window_count(), sink->audit_count(), sink->unapplied());
+    if (!cfg.telemetry_dir.empty()) {
+      Status wrote = sink->WriteArtifacts(cfg.telemetry_dir);
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "telemetry artifacts: %s\n",
+                     wrote.ToString().c_str());
+        return 1;
+      }
+      std::printf("telemetry: artifacts written to %s\n",
+                  cfg.telemetry_dir.c_str());
+    }
+  }
 
   json.Add("total", "completed", static_cast<double>(total_ok));
   json.Add("total", "qps", qps);
@@ -305,6 +395,12 @@ int main(int argc, char** argv) {
   json.Add("total", "cache_misses", static_cast<double>(cache.misses));
   json.Add("total", "cache_bypasses", static_cast<double>(cache.bypasses));
   json.Add("total", "cache_hit_rate", hit_rate);
+  if (cfg.warmup > 0) {
+    json.Add("total", "warm_requests", static_cast<double>(all.size()));
+    json.Add("total", "cold_requests", static_cast<double>(all_cold.size()));
+    json.Add("total", "cold_p50_ms", Percentile(all_cold, 0.50));
+    json.Add("total", "cold_p99_ms", Percentile(all_cold, 0.99));
+  }
   if (json.Write()) {
     // Self-check the written artifact with the strict RFC 8259 validator,
     // like the other JSON-emitting tools do for their outputs.

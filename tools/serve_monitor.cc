@@ -1,0 +1,363 @@
+// serve_monitor — renders and validates the telemetry artifacts a
+// `serve_bench --telemetry-dir=DIR` run writes.
+//
+//   $ ./serve_monitor --dir=/tmp/telemetry           # render window tables
+//   $ ./serve_monitor --dir=/tmp/telemetry --follow  # tail a live run
+//   $ ./serve_monitor --dir=/tmp/telemetry --check
+//         --require-windows=3 --require-audit        # CI smoke gate
+//
+// The renderer consumes telemetry.json (the machine-readable rollup) and
+// rebuilds the per-window tenant/variant tables from it — deliberately NOT
+// by cat-ing windows.txt, so the monitor exercises the JSON surface end to
+// end. --follow polls the file and prints windows as they appear (a
+// serve_bench run writes artifacts once at the end; a long-running server
+// can rewrite them periodically).
+//
+// --check validates every artifact:
+//   - metrics.prom against the Prometheus text line-format checker,
+//   - events.json / audit.json / stats_store.json / telemetry.json against
+//     the strict RFC 8259 validator,
+//   - stats_store.json additionally round-trips through StatsStore::Parse,
+// and reports which event kinds the log covers. --require-windows=N and
+// --require-audit turn the acceptance thresholds into exit-code failures.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/audit.h"
+#include "obs/prometheus.h"
+
+namespace {
+
+using namespace rdfspark;
+
+struct Config {
+  std::string dir;
+  bool follow = false;
+  bool check = false;
+  int interval_ms = 500;
+  int max_polls = 0;  // --follow poll budget; 0 = until interrupted.
+  int require_windows = 0;
+  bool require_audit = false;
+};
+
+bool ParseArgs(int argc, char** argv, Config* cfg) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* name) -> const char* {
+      size_t n = std::strlen(name);
+      if (arg.compare(0, n, name) == 0 && arg.size() > n && arg[n] == '=') {
+        return arg.c_str() + n + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--dir")) {
+      cfg->dir = v;
+    } else if (arg == "--follow") {
+      cfg->follow = true;
+    } else if (arg == "--check") {
+      cfg->check = true;
+    } else if (const char* v = value("--interval-ms")) {
+      cfg->interval_ms = std::atoi(v);
+    } else if (const char* v = value("--max-polls")) {
+      cfg->max_polls = std::atoi(v);
+    } else if (const char* v = value("--require-windows")) {
+      cfg->require_windows = std::atoi(v);
+    } else if (arg == "--require-audit") {
+      cfg->require_audit = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (cfg->dir.empty()) {
+    std::fprintf(stderr, "usage: serve_monitor --dir=TELEMETRY_DIR "
+                         "[--follow] [--check] [--require-windows=N] "
+                         "[--require-audit]\n");
+    return false;
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->assign((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Numeric value of `metric` for the (scope, name) pair in one window's
+/// series array, or 0 when absent.
+double SeriesValue(const JsonValue& window, const std::string& scope,
+                   const std::string& name, const std::string& metric) {
+  const JsonValue* series = window.Find("series");
+  if (series == nullptr) return 0.0;
+  for (const JsonValue& s : series->items) {
+    if (s.StringOr("scope", "") == scope && s.StringOr("name", "") == name &&
+        s.StringOr("metric", "") == metric) {
+      return s.NumberOr("value", 0.0);
+    }
+  }
+  return 0.0;
+}
+
+const JsonValue* SeriesHist(const JsonValue& window, const std::string& scope,
+                            const std::string& name,
+                            const std::string& metric) {
+  const JsonValue* series = window.Find("series");
+  if (series == nullptr) return nullptr;
+  for (const JsonValue& s : series->items) {
+    if (s.StringOr("scope", "") == scope && s.StringOr("name", "") == name &&
+        s.StringOr("metric", "") == metric) {
+      return s.Find("p50") != nullptr ? &s : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+/// Renders windows [from, end) of the parsed telemetry.json rollup.
+/// Returns the new window count.
+size_t RenderWindows(const JsonValue& telemetry, size_t from) {
+  const JsonValue* windows = telemetry.Find("windows");
+  if (windows == nullptr || windows->kind != JsonValue::Kind::kArray) {
+    return from;
+  }
+  double width_ns = 0.0;
+  if (const JsonValue* w = telemetry.Find("window")) {
+    width_ns = w->NumberOr("width_ns", 0.0);
+  }
+  double width_s = width_ns > 0 ? width_ns / 1e9 : 1.0;
+
+  for (size_t wi = from; wi < windows->items.size(); ++wi) {
+    const JsonValue& w = windows->items[wi];
+    std::printf("window [%.1fms, %.1fms)\n",
+                w.NumberOr("start_ns", 0.0) / 1e6,
+                w.NumberOr("end_ns", 0.0) / 1e6);
+    std::printf("  %-22s %8s %8s %9s %9s %6s %7s %12s\n", "scope", "reqs",
+                "qps", "p50_ms", "p99_ms", "hit%", "rejects", "shuffle_B");
+    // Distinct (scope, name) pairs, in series order (SeriesId order:
+    // total < tenant < variant, then name).
+    std::vector<std::pair<std::string, std::string>> scopes;
+    if (const JsonValue* series = w.Find("series")) {
+      for (const JsonValue& s : series->items) {
+        std::pair<std::string, std::string> key = {s.StringOr("scope", ""),
+                                                   s.StringOr("name", "")};
+        if (scopes.empty() || scopes.back() != key) scopes.push_back(key);
+      }
+    }
+    for (const auto& [scope, name] : scopes) {
+      double reqs = SeriesValue(w, scope, name, "requests");
+      double rejects = SeriesValue(w, scope, name, "admission_rejects") +
+                       SeriesValue(w, scope, name, "race_rejects");
+      double hits = SeriesValue(w, scope, name, "cache_hits");
+      double misses = SeriesValue(w, scope, name, "cache_misses");
+      const JsonValue* hist = SeriesHist(w, scope, name, "latency_ns");
+      char p50[32] = "-";
+      char p99[32] = "-";
+      if (hist != nullptr) {
+        std::snprintf(p50, sizeof(p50), "%.3f",
+                      hist->NumberOr("p50", 0.0) / 1e6);
+        std::snprintf(p99, sizeof(p99), "%.3f",
+                      hist->NumberOr("p99", 0.0) / 1e6);
+      }
+      char hit_rate[32] = "-";
+      if (hits + misses > 0) {
+        std::snprintf(hit_rate, sizeof(hit_rate), "%.1f",
+                      100.0 * hits / (hits + misses));
+      }
+      std::string label = scope == "total" ? scope : scope + ":" + name;
+      std::printf("  %-22s %8.0f %8.1f %9s %9s %6s %7.0f %12.0f\n",
+                  label.c_str(), reqs, reqs / width_s, p50, p99, hit_rate,
+                  rejects, SeriesValue(w, scope, name, "shuffle_bytes"));
+    }
+  }
+  return windows->items.size();
+}
+
+/// Validates one JSON artifact; returns false (and prints) on failure.
+bool CheckJsonFile(const std::string& dir, const char* file, bool* ok) {
+  std::string text;
+  if (!ReadFile(dir + "/" + file, &text)) {
+    std::fprintf(stderr, "check: %s/%s missing\n", dir.c_str(), file);
+    *ok = false;
+    return false;
+  }
+  std::string error;
+  if (!ValidateJson(text, &error)) {
+    std::fprintf(stderr, "check: %s is not valid RFC 8259 JSON: %s\n", file,
+                 error.c_str());
+    *ok = false;
+    return false;
+  }
+  std::printf("check: %-16s valid JSON (%zu bytes)\n", file, text.size());
+  return true;
+}
+
+int RunCheck(const Config& cfg, const JsonValue& telemetry,
+             size_t window_count) {
+  bool ok = true;
+
+  // metrics.prom: Prometheus text line format.
+  std::string prom;
+  if (!ReadFile(cfg.dir + "/metrics.prom", &prom)) {
+    std::fprintf(stderr, "check: metrics.prom missing\n");
+    ok = false;
+  } else {
+    std::string error;
+    if (!obs::CheckPrometheusText(prom, &error)) {
+      std::fprintf(stderr, "check: metrics.prom: %s\n", error.c_str());
+      ok = false;
+    } else {
+      std::printf("check: metrics.prom    valid exposition (%zu bytes)\n",
+                  prom.size());
+    }
+  }
+
+  // The JSON artifacts: strict RFC 8259.
+  CheckJsonFile(cfg.dir, "telemetry.json", &ok);
+  CheckJsonFile(cfg.dir, "audit.json", &ok);
+  std::string events_text;
+  if (CheckJsonFile(cfg.dir, "events.json", &ok)) {
+    ReadFile(cfg.dir + "/events.json", &events_text);
+  }
+  std::string stats_text;
+  if (CheckJsonFile(cfg.dir, "stats_store.json", &ok)) {
+    ReadFile(cfg.dir + "/stats_store.json", &stats_text);
+    Result<obs::StatsStore> parsed = obs::StatsStore::Parse(stats_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "check: stats_store.json does not round-trip: %s\n",
+                   parsed.status().ToString().c_str());
+      ok = false;
+    } else {
+      std::printf("check: stats_store.json round-trips (%zu patterns)\n",
+                  parsed.value().size());
+    }
+  }
+
+  // Event-kind coverage of the structured log.
+  if (!events_text.empty()) {
+    Result<JsonValue> events = ParseJson(events_text);
+    if (events.ok()) {
+      std::set<std::string> kinds;
+      if (const JsonValue* arr = events.value().Find("events")) {
+        for (const JsonValue& e : arr->items) {
+          kinds.insert(e.StringOr("kind", "?"));
+        }
+      }
+      std::string joined;
+      for (const std::string& k : kinds) {
+        if (!joined.empty()) joined += ", ";
+        joined += k;
+      }
+      std::printf("check: event log covers %zu kinds: %s\n", kinds.size(),
+                  joined.c_str());
+    }
+  }
+
+  if (cfg.require_windows > 0 &&
+      window_count < static_cast<size_t>(cfg.require_windows)) {
+    std::fprintf(stderr, "check: %zu windows < required %d\n", window_count,
+                 cfg.require_windows);
+    ok = false;
+  }
+  if (cfg.require_audit) {
+    size_t entries = 0;
+    size_t with_profile = 0;
+    std::string audit_text;
+    if (ReadFile(cfg.dir + "/audit.json", &audit_text)) {
+      Result<JsonValue> audit = ParseJson(audit_text);
+      if (audit.ok()) {
+        if (const JsonValue* arr = audit.value().Find("entries")) {
+          entries = arr->items.size();
+          for (const JsonValue& e : arr->items) {
+            if (!e.StringOr("profile", "").empty()) ++with_profile;
+          }
+        }
+      }
+    }
+    if (entries == 0 || with_profile == 0) {
+      std::fprintf(stderr,
+                   "check: --require-audit: %zu entries, %zu with EXPLAIN "
+                   "ANALYZE profile\n",
+                   entries, with_profile);
+      ok = false;
+    } else {
+      std::printf("check: audit log has %zu entries (%zu with profile)\n",
+                  entries, with_profile);
+    }
+  }
+
+  double cache_hits = 0.0;
+  double cache_misses = 0.0;
+  if (const JsonValue* cache = telemetry.Find("cache")) {
+    cache_hits = cache->NumberOr("hits", 0.0);
+    cache_misses = cache->NumberOr("misses", 0.0);
+  }
+  std::printf("check: %zu windows, cache %0.f hits / %0.f misses — %s\n",
+              window_count, cache_hits, cache_misses,
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  if (!ParseArgs(argc, argv, &cfg)) return 2;
+
+  std::string path = cfg.dir + "/telemetry.json";
+  std::string last_text;
+  size_t rendered = 0;
+  int polls = 0;
+  Result<JsonValue> telemetry = Status::NotFound("not yet read");
+
+  do {
+    std::string text;
+    if (ReadFile(path, &text)) {
+      if (text != last_text) {
+        last_text = text;
+        telemetry = ParseJson(text);
+        if (!telemetry.ok()) {
+          std::fprintf(stderr, "serve_monitor: %s: %s\n", path.c_str(),
+                       telemetry.status().ToString().c_str());
+          return 1;
+        }
+        if (cfg.follow && rendered > 0) {
+          // A rewrite may change window contents, not just append; start
+          // over so the tail reflects the artifact exactly.
+          const JsonValue* windows = telemetry.value().Find("windows");
+          if (windows != nullptr && windows->items.size() < rendered) {
+            rendered = 0;
+          }
+        }
+        rendered = RenderWindows(telemetry.value(), rendered);
+      }
+    } else if (!cfg.follow) {
+      std::fprintf(stderr, "serve_monitor: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    if (cfg.follow) {
+      ++polls;
+      if (cfg.max_polls > 0 && polls >= cfg.max_polls) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(cfg.interval_ms));
+    }
+  } while (cfg.follow);
+
+  if (!telemetry.ok()) {
+    std::fprintf(stderr, "serve_monitor: no telemetry.json found under %s\n",
+                 cfg.dir.c_str());
+    return 1;
+  }
+  if (cfg.check) return RunCheck(cfg, telemetry.value(), rendered);
+  return 0;
+}
