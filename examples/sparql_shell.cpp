@@ -12,11 +12,14 @@
 // exposition format (what a scrape of the serving layer would see).
 // `.explain` prints the engine's physical plan (EXPLAIN) for the query
 // currently buffered at the prompt, without executing it.
-// `.lint` runs the static lint over the buffered query — the query
-// analyzer (QA rules, pure AST) plus the plan verifier (SC/CP/BC/ST/VP
-// rules), printed without executing — then executes once inside a
-// happens-before recorder window and appends the Tier C race &
-// determinism findings (RC/DT rules, see spark/hb.h).
+// `.lint [tiers]` runs the tiered static lint over the buffered query:
+// tier A (QA rules, pure AST), tier B (plan verifier SC/CP/BC/ST/VP
+// rules), tier D (resource envelope RS rules + per-stage byte envelope,
+// see systems/plan/resource.h) — all without executing — then tier C,
+// which executes once inside a happens-before recorder window and
+// appends the race & determinism findings (RC/DT rules, see spark/hb.h).
+// With no argument all four tiers run; `.lint A,B,D` (or `.lint bd`)
+// selects a subset.
 // `.lineage` *executes* the buffered query's BGP, snapshots the RDD
 // lineage DAG it built, and prints the lineage analyzer's findings
 // (LN rules: uncached reuse, redundant shuffle, deep shuffle chains)
@@ -196,19 +199,76 @@ int main(int argc, char** argv) {
           std::printf("error: %s\n", explained.status().ToString().c_str());
         }
       }
-    } else if (trimmed == ".lint") {
+    } else if (trimmed == ".lint" || trimmed.rfind(".lint ", 0) == 0) {
       if (TrimWhitespace(pending).empty()) {
         std::printf("usage: type a query first (don't run it), then .lint\n");
       } else {
-        auto linted = engine->LintText(pending);
-        if (linted.ok()) {
-          std::printf("%s", linted->c_str());
-        } else {
-          std::printf("error: %s\n", linted.status().ToString().c_str());
+        // `.lint` runs every tier; `.lint A,B,D` (or `.lint bd`) a subset.
+        std::string arg = trimmed.size() > 5
+                              ? std::string(TrimWhitespace(trimmed.substr(5)))
+                              : std::string();
+        bool tier[4] = {arg.empty(), arg.empty(), arg.empty(), arg.empty()};
+        bool arg_ok = true;
+        for (char c : arg) {
+          char u = (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A')
+                                          : c;
+          if (u == ',' || u == ' ') continue;
+          if (u >= 'A' && u <= 'D') {
+            tier[u - 'A'] = true;
+          } else {
+            arg_ok = false;
+            break;
+          }
         }
-        if (linted.ok()) {
-          if (auto* bgp_engine =
-                  dynamic_cast<systems::BgpEngineBase*>(engine.get())) {
+        auto* bgp_engine =
+            dynamic_cast<systems::BgpEngineBase*>(engine.get());
+        if (!arg_ok) {
+          std::printf("usage: .lint [tiers], e.g. `.lint A,B,D`; tiers are "
+                      "A (query), B (plan), C (races), D (resources)\n");
+        } else if (bgp_engine == nullptr) {
+          std::printf("error: engine does not expose the tiered lint\n");
+        } else {
+          std::vector<systems::plan::Diagnostic> diags;
+          std::string envelope;
+          bool failed = false;
+          if (tier[0]) {
+            auto analyzed = bgp_engine->AnalyzeQueryText(pending);
+            if (analyzed.ok()) {
+              for (auto& d : *analyzed) diags.push_back(std::move(d));
+            } else {
+              std::printf("tier A error: %s\n",
+                          analyzed.status().ToString().c_str());
+              failed = true;
+            }
+          }
+          if (tier[1]) {
+            auto linted = bgp_engine->LintQuery(pending);
+            if (linted.ok()) {
+              for (auto& d : *linted) diags.push_back(std::move(d));
+            } else {
+              std::printf("tier B error: %s\n",
+                          linted.status().ToString().c_str());
+              failed = true;
+            }
+          }
+          if (tier[3]) {
+            auto analysis = bgp_engine->ResourceEnvelope(pending);
+            if (analysis.ok()) {
+              for (auto& d : analysis->findings) diags.push_back(std::move(d));
+              envelope = systems::plan::RenderEnvelope(*analysis);
+            } else {
+              std::printf("tier D error: %s\n",
+                          analysis.status().ToString().c_str());
+              failed = true;
+            }
+          }
+          if (!failed && (tier[0] || tier[1] || tier[3])) {
+            std::printf("%s%s",
+                        systems::plan::RenderDiagnostics(std::move(diags))
+                            .c_str(),
+                        envelope.c_str());
+          }
+          if (!failed && tier[2]) {
             auto raced = bgp_engine->RaceCheckText(pending);
             if (raced.ok()) {
               std::printf("tier C (happens-before):\n%s", raced->c_str());

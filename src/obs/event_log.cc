@@ -17,6 +17,8 @@ const char* EventKindName(EventKind k) {
       return "admission_reject";
     case EventKind::kRaceGateReject:
       return "race_gate_reject";
+    case EventKind::kBudgetReject:
+      return "budget_reject";
     case EventKind::kCacheFill:
       return "cache_fill";
     case EventKind::kCacheHit:
@@ -29,6 +31,8 @@ const char* EventKindName(EventKind k) {
       return "dataset_swap";
     case EventKind::kAuditCapture:
       return "audit_capture";
+    case EventKind::kEnvelopeDrift:
+      return "envelope_drift";
   }
   return "?";
 }

@@ -17,12 +17,14 @@ enum class EventKind : uint8_t {
   kRequestFinish,
   kAdmissionReject,   ///< Tier A query-analysis gate (or parse failure).
   kRaceGateReject,    ///< Tier C happens-before gate (RDFSPARK_CHECK_RACES).
+  kBudgetReject,      ///< Tier D envelope gate (RDFSPARK_MEMORY_BUDGET).
   kCacheFill,
   kCacheHit,
   kCacheEvict,
   kCacheInvalidate,
   kDatasetSwap,
   kAuditCapture,      ///< Slow-query audit captured a profile.
+  kEnvelopeDrift,     ///< Plan envelope diverged from audited actuals.
 };
 
 const char* EventKindName(EventKind k);

@@ -20,6 +20,8 @@ constexpr const char* kMetricRequests = "requests";
 constexpr const char* kMetricOk = "ok";
 constexpr const char* kMetricAdmissionRejects = "admission_rejects";
 constexpr const char* kMetricRaceRejects = "race_rejects";
+constexpr const char* kMetricBudgetRejects = "budget_rejects";
+constexpr const char* kMetricEnvelopeDrift = "envelope_drift";
 constexpr const char* kMetricFailed = "failed";
 constexpr const char* kMetricRows = "rows";
 constexpr const char* kMetricTasks = "tasks";
@@ -39,6 +41,8 @@ const char* OutcomeMetric(RequestRecord::Outcome outcome) {
       return kMetricAdmissionRejects;
     case RequestRecord::Outcome::kRaceRejected:
       return kMetricRaceRejects;
+    case RequestRecord::Outcome::kBudgetRejected:
+      return kMetricBudgetRejects;
     case RequestRecord::Outcome::kFailed:
       return kMetricFailed;
   }
@@ -120,6 +124,11 @@ void TelemetrySink::Apply(TenantState& tenant, RequestRecord rec) {
       finish.kind = EventKind::kRaceGateReject;
       finish.AddField("reason", rec.detail);
       break;
+    case RequestRecord::Outcome::kBudgetRejected:
+      finish.kind = EventKind::kBudgetReject;
+      finish.AddField("reason", rec.detail);
+      finish.AddField("envelope_bytes", rec.envelope_bytes);
+      break;
     case RequestRecord::Outcome::kFailed:
       finish.kind = EventKind::kRequestFinish;
       finish.AddField("error", rec.detail);
@@ -191,6 +200,29 @@ void TelemetrySink::Apply(TenantState& tenant, RequestRecord rec) {
     captured.AddField("trigger", trigger);
     captured.AddField("sim_latency_ns", duration_ns);
     events_.Add(std::move(captured));
+  }
+
+  // ---- Envelope-vs-actual calibration (Tier D drift, serving side) ----
+  // Both sides present only when the request executed a statically bounded
+  // plan AND the audit's profiled re-execution measured its actual bytes.
+  if (rec.envelope_bytes > 0 && rec.observed_bytes > 0) {
+    const bool under = rec.observed_bytes > rec.envelope_bytes;
+    const bool over =
+        static_cast<double>(rec.envelope_bytes) >
+        options_.envelope_drift_bound * static_cast<double>(rec.observed_bytes);
+    if (under || over) {
+      count(kMetricEnvelopeDrift, 1);
+      Event drift;
+      drift.t_ns = end_ns;
+      drift.scope = rec.tenant;
+      drift.seq = rec.tenant_seq;
+      drift.kind = EventKind::kEnvelopeDrift;
+      drift.AddField("direction", under ? "under" : "over");
+      drift.AddField("envelope_bytes", rec.envelope_bytes);
+      drift.AddField("observed_bytes", rec.observed_bytes);
+      drift.AddField("variant", rec.variant);
+      events_.Add(std::move(drift));
+    }
   }
 
   // ---- Retain for logical cache replay ----
@@ -415,7 +447,8 @@ std::string TelemetrySink::WindowsTextLocked(const CacheReplay& cache) const {
     for (const SeriesId& scope : scopes) {
       int64_t reqs = CounterOf(w, scope, kMetricRequests);
       int64_t rejects = CounterOf(w, scope, kMetricAdmissionRejects) +
-                        CounterOf(w, scope, kMetricRaceRejects);
+                        CounterOf(w, scope, kMetricRaceRejects) +
+                        CounterOf(w, scope, kMetricBudgetRejects);
       int64_t hits = CounterOf(w, scope, kMetricCacheHits);
       int64_t misses = CounterOf(w, scope, kMetricCacheMisses);
       const LatencyHistogram* hist = HistOf(w, scope, kMetricLatencyNs);

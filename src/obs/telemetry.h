@@ -26,6 +26,13 @@ struct TelemetryOptions {
   /// Capacity of the logical plan-cache model replayed at export time.
   /// Wired to the server's plan_cache_capacity.
   size_t logical_cache_capacity = 256;
+  /// Envelope-vs-actual calibration (Tier D / RS006 at the serving layer):
+  /// when an audited request carries both a static envelope and observed
+  /// bytes, an envelope_drift event fires if the envelope exceeds
+  /// `envelope_drift_bound` times the observed bytes — or under-estimates
+  /// them at all, which is a soundness violation. Mirrors
+  /// systems::plan::kEnvelopeDriftBound.
+  double envelope_drift_bound = 16.0;
   AuditOptions audit;
 };
 
@@ -42,7 +49,13 @@ struct RequestRecord {
   std::string variant;
   uint64_t epoch = 0;  ///< Dataset epoch the request executed against.
 
-  enum class Outcome : uint8_t { kOk, kRejected, kRaceRejected, kFailed };
+  enum class Outcome : uint8_t {
+    kOk,
+    kRejected,        ///< Tier A admission / parse failure.
+    kRaceRejected,    ///< Tier C race gate.
+    kBudgetRejected,  ///< Tier D envelope gate (RDFSPARK_MEMORY_BUDGET).
+    kFailed,
+  };
   Outcome outcome = Outcome::kOk;
   std::string detail;  ///< Status message for non-kOk outcomes.
 
@@ -50,6 +63,13 @@ struct RequestRecord {
   /// request never reached the cache (reject/parse failure).
   std::string cache_key;
   bool cache_bypass = false;
+
+  /// Tier D calibration pair: the plan's static peak envelope (0 when no
+  /// analysis ran or the envelope is unbounded) and the bytes the audit's
+  /// profiled re-execution actually materialized (0 when not audited).
+  /// When both are present the sink drift-checks them (envelope_drift).
+  uint64_t envelope_bytes = 0;
+  uint64_t observed_bytes = 0;
 
   uint64_t busy_ns = 0;  ///< Sum of operator busy time (deterministic).
   uint64_t rows = 0;

@@ -104,14 +104,20 @@ DatasetStatistics TripleStore::ComputeStatistics() const {
   stats.distinct_objects = o_index_.size();
   for (const auto& [p, idxs] : p_index_) {
     stats.predicate_count[p] = idxs.size();
-    std::unordered_set<TermId> subjects;
-    std::unordered_set<TermId> objects;
+    std::unordered_map<TermId, uint64_t> subjects;
+    std::unordered_map<TermId, uint64_t> objects;
     for (uint32_t i : idxs) {
-      subjects.insert(triples_[i].s);
-      objects.insert(triples_[i].o);
+      ++subjects[triples_[i].s];
+      ++objects[triples_[i].o];
     }
     stats.predicate_distinct_subjects[p] = subjects.size();
     stats.predicate_distinct_objects[p] = objects.size();
+    uint64_t max_s = 0;
+    for (const auto& [s, n] : subjects) max_s = std::max(max_s, n);
+    uint64_t max_o = 0;
+    for (const auto& [o, n] : objects) max_o = std::max(max_o, n);
+    stats.predicate_max_subject_degree[p] = max_s;
+    stats.predicate_max_object_degree[p] = max_o;
   }
   return stats;
 }

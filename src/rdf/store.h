@@ -27,6 +27,12 @@ struct DatasetStatistics {
   /// Distinct subjects / objects per predicate, for selectivity estimation.
   std::unordered_map<TermId, uint64_t> predicate_distinct_subjects;
   std::unordered_map<TermId, uint64_t> predicate_distinct_objects;
+  /// Largest number of triples any single subject (resp. object) carries
+  /// under each predicate — *sound* caps for bound-subject/bound-object
+  /// scans, feeding the Tier D resource envelopes (max out-degree and
+  /// in-degree of the predicate's bipartite graph).
+  std::unordered_map<TermId, uint64_t> predicate_max_subject_degree;
+  std::unordered_map<TermId, uint64_t> predicate_max_object_degree;
 };
 
 /// A triple pattern over ids; std::nullopt is a wildcard.

@@ -10,6 +10,7 @@
 #include "sparql/serialize.h"
 #include "systems/plan/analyze.h"
 #include "systems/plan/diagnostics.h"
+#include "systems/plan/resource.h"
 
 namespace rdfspark::serving {
 
@@ -22,6 +23,12 @@ bool EnvFlag(const char* name) {
   return env != nullptr && env[0] != '\0';
 }
 
+uint64_t EnvBytes(const char* name) {
+  const char* env = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (env == nullptr || env[0] == '\0') return 0;
+  return std::strtoull(env, nullptr, 10);
+}
+
 double ElapsedMs(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - since)
@@ -31,7 +38,8 @@ double ElapsedMs(std::chrono::steady_clock::time_point since) {
 }  // namespace
 
 QueryServer::Options::Options()
-    : verify_queries(EnvFlag("RDFSPARK_VERIFY_QUERIES")),
+    : memory_budget_bytes(EnvBytes("RDFSPARK_MEMORY_BUDGET")),
+      verify_queries(EnvFlag("RDFSPARK_VERIFY_QUERIES")),
       verify_plans(EnvFlag("RDFSPARK_VERIFY_PLANS")),
       check_races(EnvFlag("RDFSPARK_CHECK_RACES")) {}
 
@@ -42,7 +50,9 @@ const RequestResult& QueryServer::Ticket::Wait() {
 }
 
 QueryServer::QueryServer(spark::SparkContext* sc, Options options)
-    : sc_(sc), options_(options), cache_(options.plan_cache_capacity) {
+    : sc_(sc),
+      options_(options),
+      cache_(options.plan_cache_capacity, options.plan_cache_byte_budget) {
   if (options_.worker_threads < 1) options_.worker_threads = 1;
   if (options_.telemetry) {
     // The logical cache model must mirror the physical cache's capacity,
@@ -360,8 +370,38 @@ RequestResult QueryServer::Process(const Request& request,
       plan = cache_.Get(request.variant, normalized, epoch);
       rec->cache_key = request.variant + "\n" + normalized;
     }
+    // Tier D budget gate over an obtained plan (cache hit or fresh): pure
+    // static analysis, so rejection happens before a single operator runs
+    // and is deterministic — the same plan against the same budget always
+    // decides the same way, regardless of worker count or cache state.
+    // Also records the envelope for the telemetry calibration pair even
+    // when no budget is set.
+    auto budget_check =
+        [&](const systems::plan::ResourceAnalysis& analysis) -> Status {
+      result.envelope_bytes = analysis.bounded ? analysis.peak_bytes : 0;
+      rec->envelope_bytes = result.envelope_bytes;
+      if (options_.memory_budget_bytes != 0 && analysis.bounded &&
+          analysis.peak_bytes > options_.memory_budget_bytes) {
+        return Status::InvalidArgument(
+            "budget gate: static peak envelope of " +
+            std::to_string(analysis.peak_bytes) +
+            "B exceeds RDFSPARK_MEMORY_BUDGET of " +
+            std::to_string(options_.memory_budget_bytes) + "B");
+      }
+      return Status::OK();
+    };
     if (plan != nullptr) {
       result.cache_hit = true;
+      if (options_.memory_budget_bytes != 0 || telemetry_ != nullptr) {
+        Status admitted =
+            budget_check(engine->AnalyzePlanResources(query, *plan));
+        if (!admitted.ok()) {
+          result.status = admitted;
+          result.rejected = true;
+          result.budget_rejected = true;
+          return result;
+        }
+      }
       executed_root = plan;
       auto executed = engine->ExecutePlanned(query, *plan);
       if (!executed.ok()) {
@@ -374,7 +414,20 @@ RequestResult QueryServer::Process(const Request& request,
       if (planned.ok()) {
         std::shared_ptr<const systems::plan::PlanNode> fresh(
             std::move(planned).value());
-        cache_.Put(request.variant, normalized, epoch, fresh);
+        // Insert before the gate: the plan itself is valid (another
+        // tenant with a different budget could execute it), and its
+        // envelope is exactly the byte charge the cache evicts by.
+        systems::plan::ResourceAnalysis envelope =
+            engine->AnalyzePlanResources(query, *fresh);
+        cache_.Put(request.variant, normalized, epoch, fresh,
+                   envelope.bounded ? envelope.peak_bytes : 0);
+        Status admitted = budget_check(envelope);
+        if (!admitted.ok()) {
+          result.status = admitted;
+          result.rejected = true;
+          result.budget_rejected = true;
+          return result;
+        }
         executed_root = fresh;
         auto executed = engine->ExecutePlanned(query, *fresh);
         if (!executed.ok()) {
@@ -506,6 +559,7 @@ RequestResult QueryServer::Process(const Request& request,
         if (it != audit_profiles_.end()) {
           rec->audit_profile = it->second.profile;
           rec->max_est_error = it->second.max_est_error;
+          rec->observed_bytes = it->second.observed_bytes;
           rec->pattern_actuals = it->second.pattern_actuals;
           memoized = true;
         }
@@ -516,6 +570,10 @@ RequestResult QueryServer::Process(const Request& request,
           const systems::plan::PlanNode& root = **analyzed;
           rec->audit_profile = systems::plan::ExplainAnalyze(root);
           rec->max_est_error = systems::plan::MaxEstimateErrorFactor(root);
+          // Tier D calibration: the bytes this plan actually materialized,
+          // drift-checked against rec->envelope_bytes by the sink.
+          rec->observed_bytes =
+              systems::plan::ObserveFootprint(root).output_bytes;
           for (const systems::plan::LeafActual& leaf :
                systems::plan::CollectLeafActuals(root)) {
             obs::PatternActual pattern;
@@ -533,8 +591,9 @@ RequestResult QueryServer::Process(const Request& request,
         // Two workers racing the same key both capture (the content is
         // deterministic, so either insert is correct); last writer wins.
         std::lock_guard<std::mutex> lock(audit_mu_);
-        audit_profiles_[profile_key] = AuditProfile{
-            rec->audit_profile, rec->max_est_error, rec->pattern_actuals};
+        audit_profiles_[profile_key] =
+            AuditProfile{rec->audit_profile, rec->max_est_error,
+                         rec->observed_bytes, rec->pattern_actuals};
       }
     }
   }
@@ -554,6 +613,7 @@ void QueryServer::Finish(const Request& request, RequestResult result,
       if (result.rejected) {
         ++stats.rejected;
         if (result.race_rejected) ++stats.race_rejected;
+        if (result.budget_rejected) ++stats.budget_rejected;
       } else if (result.status.ok()) {
         ++stats.completed;
         stats.rows_returned += result.table.num_rows();
@@ -574,9 +634,13 @@ void QueryServer::Finish(const Request& request, RequestResult result,
     rec.tenant_seq = request.tenant_seq;
     rec.variant = request.variant;
     if (result.rejected) {
-      rec.outcome = result.race_rejected
-                        ? obs::RequestRecord::Outcome::kRaceRejected
-                        : obs::RequestRecord::Outcome::kRejected;
+      if (result.race_rejected) {
+        rec.outcome = obs::RequestRecord::Outcome::kRaceRejected;
+      } else if (result.budget_rejected) {
+        rec.outcome = obs::RequestRecord::Outcome::kBudgetRejected;
+      } else {
+        rec.outcome = obs::RequestRecord::Outcome::kRejected;
+      }
     } else if (result.status.ok()) {
       rec.outcome = obs::RequestRecord::Outcome::kOk;
     } else {

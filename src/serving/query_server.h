@@ -38,6 +38,13 @@ struct RequestResult {
                                ///< request's results were withheld because
                                ///< new ERROR-level happens-before findings
                                ///< appeared while it executed.
+  bool budget_rejected = false;  ///< Rejected by the Tier D envelope gate:
+                                 ///< the plan's static peak envelope
+                                 ///< exceeded RDFSPARK_MEMORY_BUDGET, so it
+                                 ///< was never executed.
+  /// Static peak envelope of the plan the request executed (or would have
+  /// executed); 0 when no Tier D analysis ran or the envelope is unbounded.
+  uint64_t envelope_bytes = 0;
   double latency_ms = 0.0;    ///< Wall-clock queue + execution latency.
   std::string tenant;
   std::string variant;
@@ -55,6 +62,10 @@ struct TenantStats {
                                ///< inside `rejected`, never in `failed`:
                                ///< the ledger submitted = completed +
                                ///< rejected + failed always balances.
+  uint64_t budget_rejected = 0;  ///< Tier D envelope-gate rejections —
+                                 ///< like race_rejected, a subset of
+                                 ///< `rejected`, so the ledger still
+                                 ///< balances.
   uint64_t failed = 0;     ///< Admitted but failed during execution.
   uint64_t rows_returned = 0;
   uint64_t cache_hits = 0;
@@ -81,10 +92,14 @@ struct TenantStats {
 ///
 /// Request path: parse → admission (Tier A query analysis, ERROR findings
 /// reject before anything is planned) → plan-cache lookup keyed by
-/// (variant, normalized query, dataset epoch) → execute. Cacheable plans
-/// are verified once at insert (when verify_plans is on) and shared by
-/// concurrent executions; non-cacheable shapes and single-use-plan engines
-/// (S2X) fall through to the engine's ordinary Execute path.
+/// (variant, normalized query, dataset epoch) → Tier D budget gate (the
+/// plan's static peak envelope against RDFSPARK_MEMORY_BUDGET, when set —
+/// an over-envelope query is rejected before a single operator runs) →
+/// execute. Cacheable plans are verified once at insert (when verify_plans
+/// is on), charged their envelope against the cache's byte budget, and
+/// shared by concurrent executions; non-cacheable shapes and
+/// single-use-plan engines (S2X) fall through to the engine's ordinary
+/// Execute path (which the budget gate cannot cover — no plan to analyze).
 ///
 /// AttachDataset freezes the dataset's dictionary (query paths are
 /// read-only from then on; see rdf/dictionary.h), loads every engine, and
@@ -105,6 +120,19 @@ class QueryServer {
     /// the bit-identity tests compare against.
     int worker_threads = 4;
     size_t plan_cache_capacity = 256;
+    /// Byte budget for the plan cache: cached plans are charged their
+    /// static peak envelope and evicted LRU when the sum exceeds this.
+    /// 0 = entries-only eviction (the capacity backstop still applies).
+    uint64_t plan_cache_byte_budget = 0;
+    /// Tier D admission gate: reject a request before execution when its
+    /// plan's static peak envelope (bounded) exceeds this many bytes.
+    /// Defaults to the RDFSPARK_MEMORY_BUDGET environment variable
+    /// (decimal bytes); 0 = gate off. Unbounded envelopes are admitted —
+    /// the static tier already flags them as RS003, and rejecting on "no
+    /// information" would block every engine without scan annotations.
+    /// Only planned executions are gated: the bypass path (non-cacheable
+    /// shapes, single-use-plan engines) has no plan to analyze.
+    uint64_t memory_budget_bytes;
     /// Admission gate: run Tier A query analysis per request and reject on
     /// ERROR findings. Defaults to the RDFSPARK_VERIFY_QUERIES environment
     /// variable (set and non-empty), like the engines' own gate — which
@@ -276,6 +304,7 @@ class QueryServer {
   struct AuditProfile {
     std::string profile;
     double max_est_error = 0.0;
+    uint64_t observed_bytes = 0;  ///< Actual output bytes (Tier D drift).
     std::vector<obs::PatternActual> pattern_actuals;
   };
   std::map<std::string, AuditProfile> audit_profiles_;

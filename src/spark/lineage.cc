@@ -38,6 +38,7 @@ LineageGraph LineageGraph::Capture(
         info.num_partitions = node->num_partitions();
         info.is_shuffle = node->is_shuffle();
         info.cached = node->cached();
+        info.retained_bytes = node->RetainedBytes();
         info.partitioner = node->partitioner();
         for (const auto& parent : node->parents()) {
           info.parents.push_back(parent->id());
@@ -60,6 +61,20 @@ LineageGraph LineageGraph::Capture(
     }
   }
   for (auto& n : g.nodes_) std::sort(n.children.begin(), n.children.end());
+  // Stage fold: stage(n) = max over parents + [n is wide]. nodes_ is
+  // id-sorted and parents always have smaller ids (assigned at
+  // construction, parents first), so the forward pass is topological —
+  // the same sweep MaxShuffleDepth uses.
+  for (auto& n : g.nodes_) {
+    int parent_max = 0;
+    for (int parent : n.parents) {
+      auto it = by_id.find(parent);
+      if (it != by_id.end()) {
+        parent_max = std::max(parent_max, it->second->stage);
+      }
+    }
+    n.stage = parent_max + (n.is_shuffle ? 1 : 0);
+  }
   return g;
 }
 
@@ -99,6 +114,47 @@ int LineageGraph::MaxShuffleDepth() const {
     max_depth = std::max(max_depth, d);
   }
   return max_depth;
+}
+
+uint64_t LineageGraph::TotalRetainedBytes() const {
+  uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.retained_bytes;
+  return total;
+}
+
+int LineageGraph::StageCount() const {
+  int max_stage = -1;
+  for (const auto& n : nodes_) max_stage = std::max(max_stage, n.stage);
+  return max_stage + 1;
+}
+
+std::vector<Diagnostic> LineageGraph::AnalyzeRetention() const {
+  std::vector<Diagnostic> out;
+  // Below the floor the "dominant" share is noise: a single small cached
+  // table trivially dominates an otherwise-empty snapshot.
+  constexpr uint64_t kRetentionFloorBytes = 64 * 1024;
+  const uint64_t total = TotalRetainedBytes();
+  if (total < kRetentionFloorBytes) return out;
+  for (const auto& n : nodes_) {
+    // RS004: a persisted node with at most one captured consumer is never
+    // re-read — the cache buys nothing a narrow recompute would not —
+    // yet it pins the dominant share (> 1/2) of all retained bytes.
+    if (!n.cached || n.children.size() > 1) continue;
+    if (n.retained_bytes * 2 <= total) continue;
+    Diagnostic d;
+    d.severity = Severity::kWarn;
+    d.rule = "RS004";
+    d.node_path = NodeLabel(n);
+    d.message = "cached RDD retains " + std::to_string(n.retained_bytes) +
+                "B of " + std::to_string(total) +
+                "B total with " + std::to_string(n.children.size()) +
+                " captured consumer(s); the persist is never re-read";
+    d.hint =
+        "Uncache() the node after its single consumer, or run the context "
+        "with retain_uncached_rdds = false";
+    out.push_back(std::move(d));
+  }
+  return out;
 }
 
 std::vector<Diagnostic> LineageGraph::Analyze() const {

@@ -22,6 +22,13 @@ struct LineageNodeInfo {
   bool is_shuffle = false;
   /// Persist bit at capture time (RddNodeBase::cached).
   bool cached = false;
+  /// Bytes held by retained partitions at capture time
+  /// (RddNodeBase::RetainedBytes, the shared EstimateSize model).
+  uint64_t retained_bytes = 0;
+  /// Stage index in the simulated job: max over parents, plus one when this
+  /// node reads a shuffle — the lineage-side analogue of the Tier D stage
+  /// fold over plan trees. Derived at capture.
+  int stage = 0;
   std::optional<PartitionerInfo> partitioner;
   std::vector<int> parents;   ///< Ids of parent nodes, lineage order.
   std::vector<int> children;  ///< Ids of captured consumers (derived).
@@ -68,6 +75,22 @@ class LineageGraph {
   /// Runs LN001/LN002/LN003 over the snapshot. Findings are ordered by
   /// node id then rule, deterministically.
   std::vector<systems::plan::Diagnostic> Analyze() const;
+
+  /// Total bytes retained across all captured nodes (Σ retained_bytes).
+  uint64_t TotalRetainedBytes() const;
+
+  /// Number of stages in the snapshot (max stage index + 1; 0 when empty).
+  int StageCount() const;
+
+  /// Tier D retention rule over the snapshot:
+  ///   RS004  cache-retention footprint dominated by a never-reread RDD —
+  ///          a cached node with at most one captured consumer holds more
+  ///          than half of all retained bytes (above a noise floor); the
+  ///          persist buys no recompute savings a narrow recompute would
+  ///          not, yet pins the dominant share of executor memory (WARN).
+  /// Kept separate from Analyze() so the LN tier stays byte-identical;
+  /// dataflow_lint's Tier D pass calls both and merges.
+  std::vector<systems::plan::Diagnostic> AnalyzeRetention() const;
 
   /// Graphviz rendering: wide edges dashed, cached nodes filled, the
   /// partitioner shown on nodes that carry one.

@@ -94,6 +94,12 @@ class RddNodeBase {
   /// before fanning partition tasks out to the executor pool.
   virtual void ComputePartition(int partition) = 0;
 
+  /// Bytes currently held by retained (cached) partitions, in the shared
+  /// EstimateSize() model. Never computes anything: uncomputed or evicted
+  /// partitions contribute zero. Feeds the Tier D cache-retention rule
+  /// (RS004) through LineageGraph::Capture.
+  virtual uint64_t RetainedBytes() const { return 0; }
+
  protected:
   /// Drops every retained partition (Uncache's type-erased half).
   virtual void DropRetained() = 0;
@@ -189,6 +195,23 @@ class RddNode : public RddNodeBase {
     return cache_[partition] != nullptr;
   }
   void ComputePartition(int partition) override { GetPartition(partition); }
+
+  /// Bytes held by currently cached partitions: per-partition vector header
+  /// plus EstimateSize of every retained element. Reads only what is already
+  /// materialized — the Tier D retention probe must never trigger compute.
+  uint64_t RetainedBytes() const override {
+    uint64_t total = 0;
+    for (int p = 0; p < num_partitions(); ++p) {
+      RDFSPARK_SLOT_LOCK(locks_[p]);
+      hb::RecordAccess(hb::CacheSlotObject(id(), p), hb::Access::kRead,
+                       "RetainedBytes");
+      const auto& slot = cache_[static_cast<size_t>(p)];
+      if (!slot) continue;
+      total += 24;  // Vector header, matching EstimateSize's container model.
+      for (const T& elem : *slot) total += EstimateSize(elem);
+    }
+    return total;
+  }
 
   /// Total records across currently cached partitions. The EXPLAIN ANALYZE
   /// row-count probe: after a plan ran, every partition an operator's RDD

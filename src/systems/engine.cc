@@ -1,6 +1,8 @@
 #include "systems/engine.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 #include "spark/hb.h"
 #include "sparql/eval.h"
@@ -40,6 +42,70 @@ const char* DataModelName(DataModel m) {
 
 const char* SparqlFragmentName(SparqlFragment f) {
   return f == SparqlFragment::kBgp ? "BGP" : "BGP+";
+}
+
+uint64_t PatternScanBound(const rdf::Dictionary& dict,
+                          const rdf::DatasetStatistics& stats,
+                          const sparql::TriplePattern& tp) {
+  if (tp.p.is_variable()) return stats.num_triples;
+  auto id = dict.Lookup(tp.p.term());
+  if (!id.ok()) return 0;  // Predicate absent from the data: empty relation.
+  auto count = stats.predicate_count.find(*id);
+  uint64_t bound =
+      count == stats.predicate_count.end() ? 0 : count->second;
+  if (!tp.s.is_variable()) {
+    auto deg = stats.predicate_max_subject_degree.find(*id);
+    if (deg != stats.predicate_max_subject_degree.end()) {
+      bound = std::min(bound, deg->second);
+    }
+  }
+  if (!tp.o.is_variable()) {
+    auto deg = stats.predicate_max_object_degree.find(*id);
+    if (deg != stats.predicate_max_object_degree.end()) {
+      bound = std::min(bound, deg->second);
+    }
+  }
+  return bound;
+}
+
+uint64_t StarScanBound(const rdf::Dictionary& dict,
+                       const rdf::DatasetStatistics& stats,
+                       const std::vector<sparql::TriplePattern>& patterns) {
+  if (patterns.empty()) return 1;
+  // Per-pattern base bounds and per-subject multiplicities.
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> degrees;
+  bounds.reserve(patterns.size());
+  degrees.reserve(patterns.size());
+  for (const auto& tp : patterns) {
+    bounds.push_back(PatternScanBound(dict, stats, tp));
+    uint64_t degree = stats.num_triples;  // Predicate variable: no cap.
+    if (!tp.p.is_variable()) {
+      auto id = dict.Lookup(tp.p.term());
+      if (!id.ok()) {
+        degree = 0;
+      } else {
+        auto it = stats.predicate_max_subject_degree.find(*id);
+        degree = it == stats.predicate_max_subject_degree.end() ? 0
+                                                                : it->second;
+      }
+    }
+    degrees.push_back(degree);
+  }
+  constexpr uint64_t kCap = std::numeric_limits<uint64_t>::max();
+  auto sat_mul = [](uint64_t a, uint64_t b) {
+    if (a == 0 || b == 0) return uint64_t{0};
+    return a > kCap / b ? kCap : a * b;
+  };
+  uint64_t best = kCap;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    uint64_t candidate = bounds[i];
+    for (size_t j = 0; j < patterns.size(); ++j) {
+      if (j != i) candidate = sat_mul(candidate, degrees[j]);
+    }
+    best = std::min(best, candidate);
+  }
+  return best;
 }
 
 Result<sparql::BindingTable> RdfQueryEngine::ExecuteText(
@@ -127,15 +193,38 @@ Result<std::vector<plan::Diagnostic>> BgpEngineBase::LintQuery(
 }
 
 Result<std::string> BgpEngineBase::LintText(std::string_view text) {
-  // Both lint tiers over the same text: query analysis (QA rules) first,
-  // then the plan verifier (SC/CP/BC/ST/VP rules); one severity-sorted
-  // rendering.
+  // The static lint tiers over the same text: query analysis (QA rules),
+  // the plan verifier (SC/CP/BC/ST/VP rules), then the resource analyzer
+  // (RS rules); one severity-sorted rendering followed by the envelope.
   RDFSPARK_ASSIGN_OR_RETURN(std::vector<plan::Diagnostic> diags,
                             AnalyzeQueryText(text));
   RDFSPARK_ASSIGN_OR_RETURN(std::vector<plan::Diagnostic> plan_diags,
                             LintQuery(text));
   for (auto& d : plan_diags) diags.push_back(std::move(d));
-  return plan::RenderDiagnostics(std::move(diags));
+  RDFSPARK_ASSIGN_OR_RETURN(plan::ResourceAnalysis analysis,
+                            ResourceEnvelope(text));
+  for (auto& d : analysis.findings) diags.push_back(std::move(d));
+  return plan::RenderDiagnostics(std::move(diags)) +
+         plan::RenderEnvelope(analysis);
+}
+
+Result<plan::ResourceAnalysis> BgpEngineBase::ResourceEnvelope(
+    std::string_view text) {
+  RDFSPARK_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  RDFSPARK_ASSIGN_OR_RETURN(plan::PlanPtr root, PlanBgp(query.where.bgp));
+  return AnalyzePlanResources(query, *root);
+}
+
+plan::ResourceAnalysis BgpEngineBase::AnalyzePlanResources(
+    const sparql::Query& query, const plan::PlanNode& root,
+    uint64_t cluster_budget_bytes) const {
+  plan::ResourceProfile profile =
+      plan::ResourceProfile::FromCluster(sc_->config(), VerifyProfile());
+  profile.sort_at_root = query.distinct || !query.order_by.empty();
+  if (cluster_budget_bytes != 0) {
+    profile.cluster_budget_bytes = cluster_budget_bytes;
+  }
+  return plan::AnalyzeResources(root, profile);
 }
 
 Result<std::string> BgpEngineBase::RaceCheckText(std::string_view text) {

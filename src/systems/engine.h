@@ -15,9 +15,30 @@
 #include "sparql/ast.h"
 #include "sparql/binding.h"
 #include "systems/plan/plan.h"
+#include "systems/plan/resource.h"
 #include "systems/plan/verifier.h"
 
 namespace rdfspark::systems {
+
+/// Sound output cap of one triple-pattern scan, from dataset statistics:
+/// the scan cannot yield more rows than the base relation it reads (the
+/// predicate's VP table, or the whole triple relation for a predicate
+/// variable), tightened by the predicate's max subject/object degree when
+/// the pattern binds that position. Engines annotate
+/// PlanNode::max_cardinality with this so Tier D envelopes stay bounded
+/// even where selectivity estimates under-shoot.
+uint64_t PatternScanBound(const rdf::Dictionary& dict,
+                          const rdf::DatasetStatistics& stats,
+                          const sparql::TriplePattern& tp);
+
+/// Sound output cap of a same-subject star match over `patterns`: rows =
+/// sum over subjects of the product of per-pattern multiplicities, bounded
+/// by min over i of bound(p_i) x prod over j != i of max_subject_degree(p_j)
+/// (functional predicates contribute factor 1, so FK-style stars stay near
+/// the smallest pattern's bound).
+uint64_t StarScanBound(const rdf::Dictionary& dict,
+                       const rdf::DatasetStatistics& stats,
+                       const std::vector<sparql::TriplePattern>& patterns);
 
 /// The Spark data abstractions of Figure 1 / Table I.
 enum class SparkAbstraction {
@@ -230,6 +251,21 @@ class BgpEngineBase : public RdfQueryEngine {
   /// line ("no findings\n" for a clean run). If an outer window is already
   /// active its accumulated findings are rendered without disturbing it.
   Result<std::string> RaceCheckText(std::string_view text);
+
+  /// Tier D of the dataflow lint: plans `text`'s basic graph pattern and
+  /// statically derives its byte envelope against this engine's simulated
+  /// cluster (see plan/resource.h). Pure, like EXPLAIN: the plan is built
+  /// but never executed, and the result is byte-identical regardless of
+  /// executor threading.
+  Result<plan::ResourceAnalysis> ResourceEnvelope(std::string_view text);
+
+  /// Tier D analysis of an already-built plan for `query` — what the
+  /// serving admission gate runs on cached plans (no planning, no
+  /// execution). `cluster_budget_bytes` overrides the profile's derived
+  /// cluster budget; 0 keeps the default.
+  plan::ResourceAnalysis AnalyzePlanResources(
+      const sparql::Query& query, const plan::PlanNode& root,
+      uint64_t cluster_budget_bytes = 0) const;
 
  protected:
   explicit BgpEngineBase(spark::SparkContext* sc);

@@ -205,6 +205,7 @@ Result<plan::PlanPtr> GraphFramesEngine::PlanBgp(
         frequency(tp), nullptr);
     leaf->out_vars = tp.Variables();
     if (tp.s.is_variable()) leaf->subject_var = tp.s.var();
+    leaf->max_cardinality = PatternScanBound(store_->dictionary(), stats_, tp);
     if (root == nullptr) {
       root = std::move(leaf);
     } else {

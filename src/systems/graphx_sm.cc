@@ -164,6 +164,8 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
           });
       root->out_vars = tp.Variables();
       root->subject_var = svar;
+      root->max_cardinality =
+          PatternScanBound(store_->dictionary(), stats_, tp);
       anchor = anchor_at_dst ? ovar : svar;
       initialized = true;
       for (const auto& v : tp.Variables()) bound.Add(v);
@@ -223,6 +225,8 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
           });
       leaf->out_vars = tp.Variables();
       leaf->subject_var = svar;
+      leaf->max_cardinality =
+          PatternScanBound(store_->dictionary(), stats_, tp);
       root = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "merge match-tracks",
           std::move(root), std::move(leaf),
@@ -271,6 +275,7 @@ Result<plan::PlanPtr> GraphxSmEngine::PlanBgp(
         tp.ToString(), pattern_est(tp), nullptr);
     leaf->out_vars = tp.Variables();
     leaf->subject_var = svar;
+    leaf->max_cardinality = PatternScanBound(store_->dictionary(), stats_, tp);
     root = plan::MakeBinary(
         plan::NodeKind::kPartitionedHashJoin, detail, std::move(root),
         std::move(leaf),

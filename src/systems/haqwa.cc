@@ -260,6 +260,8 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
     }
     leaf->out_vars = group_vars.vars();
     leaf->subject_var = group.subject_var;
+    leaf->max_cardinality =
+        StarScanBound(store_->dictionary(), stats_, group.patterns);
     return leaf;
   };
 
@@ -342,6 +344,8 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
             group.patterns[0].ToString(), plan::kNoEstimate, nullptr);
         right->out_vars = group.patterns[0].Variables();
         right->subject_var = group.subject_var;
+        right->max_cardinality =
+            PatternScanBound(store_->dictionary(), stats_, group.patterns[0]);
         root = plan::MakeBinary(
             plan::NodeKind::kPartitionedHashJoin,
             "on ?" + link_var + " via replica (local)", std::move(root),
@@ -385,6 +389,8 @@ Result<plan::PlanPtr> HaqwaEngine::PlanBgp(
             group.patterns[0].ToString(), plan::kNoEstimate, nullptr);
         right->out_vars = group.patterns[0].Variables();
         right->subject_var = group.subject_var;
+        right->max_cardinality =
+            PatternScanBound(store_->dictionary(), stats_, group.patterns[0]);
         root = plan::MakeBinary(
             plan::NodeKind::kPartitionedHashJoin,
             "on ?" + link_var + " via object-replica (local)",

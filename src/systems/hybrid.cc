@@ -275,9 +275,11 @@ std::vector<std::string> AllVars(
 }
 
 /// Verifier schema facts for a pattern-scan leaf.
-void AnnotateScan(const sparql::TriplePattern& tp, plan::PlanNode* node) {
+void AnnotateScan(const sparql::TriplePattern& tp, uint64_t scan_bound,
+                  plan::PlanNode* node) {
   node->out_vars = tp.Variables();
   if (tp.s.is_variable()) node->subject_var = tp.s.var();
+  node->max_cardinality = scan_bound;
 }
 
 }  // namespace
@@ -295,7 +297,8 @@ Result<plan::PlanPtr> HybridEngine::PlanSqlNaive(
               DataFrame step, PatternDf(tp, /*subject_partitioned=*/false));
           return plan::PlanPayload(std::move(step));
         });
-    AnnotateScan(tp, node.get());
+    AnnotateScan(tp, PatternScanBound(store_->dictionary(), stats_, tp),
+                 node.get());
     return node;
   };
 
@@ -375,7 +378,8 @@ Result<plan::PlanPtr> HybridEngine::PlanRdd(
                 return std::vector<sparql::IdTable>{std::move(out)};
               }));
         });
-    AnnotateScan(tp, node.get());
+    AnnotateScan(tp, PatternScanBound(store_->dictionary(), stats_, tp),
+                 node.get());
     return node;
   };
 
@@ -443,7 +447,8 @@ Result<plan::PlanPtr> HybridEngine::PlanDataFrame(
               DataFrame step, PatternDf(tp, /*subject_partitioned=*/false));
           return plan::PlanPayload(std::move(step));
         });
-    AnnotateScan(tp, node.get());
+    AnnotateScan(tp, PatternScanBound(store_->dictionary(), stats_, tp),
+                 node.get());
     return node;
   };
 
@@ -502,7 +507,8 @@ Result<plan::PlanPtr> HybridEngine::PlanHybrid(
               DataFrame step, PatternDf(tp, /*subject_partitioned=*/true));
           return plan::PlanPayload(std::move(step));
         });
-    AnnotateScan(tp, node.get());
+    AnnotateScan(tp, PatternScanBound(store_->dictionary(), stats_, tp),
+                 node.get());
     return node;
   };
 

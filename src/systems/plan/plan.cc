@@ -85,6 +85,7 @@ PlanPtr ConstantResultPlan(sparql::BindingTable table, std::string detail) {
   node->kind = NodeKind::kProject;
   node->detail = std::move(detail);
   node->est_cardinality = table.num_rows();
+  node->max_cardinality = table.num_rows();  // The answer is the bound.
   node->out_vars = table.vars();
   auto shared = std::make_shared<sparql::BindingTable>(std::move(table));
   node->exec = [shared](std::vector<PlanPayload>) -> Result<PlanPayload> {

@@ -84,6 +84,14 @@ struct PlanNode {
   AccessPath access_path = AccessPath::kNone;
   std::string detail;                     // operator-specific annotation
   uint64_t est_cardinality = kNoEstimate; // planner's output-row estimate
+  /// Planner's *sound* output upper bound, distinct from the selectivity
+  /// estimate above: a scan over predicate p can never yield more rows than
+  /// the p-relation holds, however selective the planner guesses it is.
+  /// Engines annotate scans with the base-relation size; the Tier D
+  /// resource analyzer (resource.h) prefers this cap over est_cardinality
+  /// when deriving byte envelopes, which keeps envelopes sound even where
+  /// estimates under-shoot. kNoEstimate = no bound known.
+  uint64_t max_cardinality = kNoEstimate;
   std::vector<std::string> out_vars;      // variables bound by this node
   std::vector<std::string> key_vars;      // variables consumed by this node
   std::string subject_var;  // scan's subject variable (empty if constant)

@@ -327,6 +327,9 @@ Result<plan::PlanPtr> S2rdfEngine::PlanBgp(
                        step.table + " " + step.alias, step.rows, nullptr);
     node->out_vars = step.new_vars;
     node->subject_var = step.subject_var;
+    // step.rows is the scanned VP/ExtVP table's size — a sound cap for the
+    // filtered scan over it.
+    node->max_cardinality = step.rows;
     return node;
   };
 

@@ -239,6 +239,9 @@ Result<plan::PlanPtr> S2xEngine::PlanBgp(
         });
     node->out_vars = bgp[i].Variables();
     if (bgp[i].s.is_variable()) node->subject_var = bgp[i].s.var();
+    // Pruning only shrinks the match set; the pattern bound still caps it.
+    node->max_cardinality =
+        PatternScanBound(store_->dictionary(), stats_, bgp[i]);
     return node;
   };
 

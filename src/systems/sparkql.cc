@@ -119,6 +119,8 @@ Result<LoadStats> SparkqlEngine::Load(const rdf::TripleStore& store) {
       Parallelize(sc_, std::move(vertex_list), n),
       Parallelize(sc_, std::move(edges), n));
 
+  num_vertices_ = graph_.NumVertices();
+
   LoadStats stats;
   stats.input_triples = store.triples().size();
   stats.stored_records = graph_.NumVertices() + graph_.NumEdges();
@@ -281,6 +283,9 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
           });
       node->out_vars = tp.Variables();
       if (tp.s.is_variable()) node->subject_var = tp.s.var();
+      // Virtual triples reconstruct the store one triple per original
+      // (edges + data properties + types), so the store-level cap holds.
+      node->max_cardinality = PatternScanBound(dict, stats_, tp);
       return node;
     };
 
@@ -432,6 +437,13 @@ Result<plan::PlanPtr> SparkqlEngine::PlanBgp(
     }
     node->out_vars = leaf_vars.vars();
     node->subject_var = var;
+    // A patternless candidate table emits one base row per vertex; with
+    // local patterns the star bound applies (a forced constant still
+    // matches at most one vertex, but the star bound already covers it).
+    node->max_cardinality =
+        patterns->empty()
+            ? num_vertices_
+            : StarScanBound(store_->dictionary(), stats_, *patterns);
     return node;
   };
 

@@ -63,6 +63,7 @@ class SparkqlEngine : public BgpEngineBase {
   const rdf::TripleStore* store_ = nullptr;
   rdf::DatasetStatistics stats_;
   spark::graphx::Graph<SparkqlNode, rdf::TermId> graph_;
+  uint64_t num_vertices_ = 0;
   std::unordered_set<rdf::TermId> data_predicates_;
   rdf::TermId type_predicate_ = ~0ull;
   bool has_type_predicate_ = false;

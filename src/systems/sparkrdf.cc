@@ -282,6 +282,9 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
         });
     node->out_vars = tp.Variables();
     if (tp.s.is_variable()) node->subject_var = tp.s.var();
+    // The scan filters its class-eliminated file, so the file size is a
+    // sound cap (tighter than the whole-store pattern bound).
+    node->max_cardinality = file->size();
     return node;
   };
 
@@ -390,6 +393,7 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
           unit.AppendRowFilled(sparql::kUnbound);
           return plan::PlanPayload(std::move(unit));
         });
+    rows_plan->max_cardinality = 1;
   }
 
   // Class constraints for variables bound by other patterns.
@@ -412,6 +416,8 @@ Result<plan::PlanPtr> SparkRdfEngine::PlanBgp(
           instances == nullptr ? 0 : instances->size(), nullptr);
       index_leaf->out_vars = {var};
       index_leaf->subject_var = var;
+      index_leaf->max_cardinality =
+          instances == nullptr ? 0 : instances->size();
       rows_plan = plan::MakeBinary(
           plan::NodeKind::kCartesianProduct, "bind ?" + var,
           std::move(rows_plan), std::move(index_leaf),

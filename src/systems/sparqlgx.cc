@@ -187,6 +187,7 @@ Result<plan::PlanPtr> SparqlgxEngine::PlanBgp(
         });
     leaf->out_vars = tp.Variables();
     if (tp.s.is_variable()) leaf->subject_var = tp.s.var();
+    leaf->max_cardinality = PatternScanBound(store_->dictionary(), stats_, tp);
     return leaf;
   };
 

@@ -533,5 +533,185 @@ TEST(PlanCacheTest, EpochIsPartOfTheKey) {
   EXPECT_EQ(cache.stats().invalidations, 1u);
 }
 
+// ---- Tier D: byte-budgeted cache eviction and the admission gate. --------
+
+TEST(PlanCacheTest, ByteBudgetDrivesEviction) {
+  PlanCache cache(/*capacity=*/16, /*byte_budget=*/1000);
+  auto plan = [] {
+    return std::shared_ptr<const systems::plan::PlanNode>(
+        new systems::plan::PlanNode());
+  };
+  cache.Put("e", "q1", 1, plan(), 400);
+  cache.Put("e", "q2", 1, plan(), 400);
+  EXPECT_EQ(cache.stats().resident_bytes, 800u);
+  cache.Put("e", "q3", 1, plan(), 400);  // 1200 > 1000: q1 evicted.
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(cache.Get("e", "q1", 1), nullptr);
+  EXPECT_NE(cache.Get("e", "q2", 1), nullptr);
+  EXPECT_NE(cache.Get("e", "q3", 1), nullptr);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.resident_bytes, 800u);
+  EXPECT_EQ(stats.evicted_bytes, 400u);
+}
+
+TEST(PlanCacheTest, NewestEntrySurvivesAnOverBudgetEnvelope) {
+  // One plan whose envelope alone exceeds the budget still caches: the
+  // most recent entry is never evicted, so a hot over-budget query does
+  // not thrash the cache it needs.
+  PlanCache cache(/*capacity=*/16, /*byte_budget=*/1000);
+  auto plan = [] {
+    return std::shared_ptr<const systems::plan::PlanNode>(
+        new systems::plan::PlanNode());
+  };
+  cache.Put("e", "small", 1, plan(), 100);
+  cache.Put("e", "huge", 1, plan(), 5000);  // Evicts small, keeps itself.
+  PlanCacheStats stats = cache.stats();
+  EXPECT_NE(cache.Get("e", "huge", 1), nullptr);
+  EXPECT_EQ(cache.Get("e", "small", 1), nullptr);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.resident_bytes, 5000u);
+}
+
+TEST(PlanCacheTest, UnboundedPlansChargeNothing) {
+  PlanCache cache(/*capacity=*/16, /*byte_budget=*/1000);
+  auto plan = std::shared_ptr<const systems::plan::PlanNode>(
+      new systems::plan::PlanNode());
+  cache.Put("e", "q", 1, plan, /*envelope_bytes=*/0);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(QueryServerBudgetTest, GateRejectsAgainstTheQuerysOwnEnvelope) {
+  rdf::TripleStore store = SmallLubm();
+  const std::string variant = "Hybrid_SparkSQL_naive";
+  const std::string text = rdf::LubmShapeQuery(rdf::QueryShape::kStar, 3);
+
+  // Reference run with the gate off: learn the plan's static envelope.
+  uint64_t envelope = 0;
+  {
+    spark::SparkContext sc;
+    QueryServer::Options options = QuietOptions(1);
+    options.memory_budget_bytes = 0;
+    QueryServer server(&sc, options);
+    ASSERT_TRUE(server.AttachDataset(store).ok());
+    int session = server.OpenSession("probe");
+    RequestResult result = server.Execute(session, variant, text);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    envelope = result.envelope_bytes;
+    ASSERT_GT(envelope, 0u);  // naive SparkSQL plans are bounded.
+  }
+
+  // One byte under the envelope: rejected before a single operator runs.
+  {
+    spark::SparkContext sc;
+    QueryServer::Options options = QuietOptions(1);
+    options.memory_budget_bytes = envelope - 1;
+    QueryServer server(&sc, options);
+    ASSERT_TRUE(server.AttachDataset(store).ok());
+    int session = server.OpenSession("tight");
+    RequestResult result = server.Execute(session, variant, text);
+    EXPECT_FALSE(result.status.ok());
+    EXPECT_TRUE(result.rejected);
+    EXPECT_TRUE(result.budget_rejected);
+    EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(result.envelope_bytes, envelope);
+
+    // The plan was still cached (valid for other budgets); a retry is a
+    // cache hit and the gate rejects it again, deterministically.
+    RequestResult retry = server.Execute(session, variant, text);
+    EXPECT_TRUE(retry.budget_rejected);
+    PlanCacheStats cache = server.plan_cache_stats();
+    EXPECT_EQ(cache.misses, 1u);
+    EXPECT_EQ(cache.hits, 1u);
+
+    TenantStats stats = server.tenant_stats("tight");
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.rejected, 2u);
+    EXPECT_EQ(stats.budget_rejected, 2u);
+    EXPECT_EQ(stats.completed, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+  }
+
+  // Budget exactly at the envelope: admitted.
+  {
+    spark::SparkContext sc;
+    QueryServer::Options options = QuietOptions(1);
+    options.memory_budget_bytes = envelope;
+    QueryServer server(&sc, options);
+    ASSERT_TRUE(server.AttachDataset(store).ok());
+    int session = server.OpenSession("fits");
+    RequestResult result = server.Execute(session, variant, text);
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_FALSE(result.budget_rejected);
+    TenantStats stats = server.tenant_stats("fits");
+    EXPECT_EQ(stats.budget_rejected, 0u);
+    EXPECT_EQ(stats.completed, 1u);
+  }
+}
+
+TEST(QueryServerBudgetTest, ConcurrentRejectsMatchSerialReference) {
+  // Budget decisions depend only on the plan's static envelope, never on
+  // scheduling: an 8-worker server must reject exactly the requests a
+  // 1-worker server rejects, and every tenant ledger must still add up
+  // with budget_rejected a subset of rejected.
+  rdf::TripleStore store = SmallLubm();
+  std::vector<std::pair<rdf::QueryShape, std::string>> mix =
+      rdf::LubmQueryMix();
+  constexpr uint64_t kBudget = 200'000;
+
+  std::map<std::pair<std::string, std::string>, bool> reference;
+  {
+    spark::SparkContext sc;
+    QueryServer::Options options = QuietOptions(1);
+    options.memory_budget_bytes = kBudget;
+    QueryServer serial(&sc, options);
+    ASSERT_TRUE(serial.AttachDataset(store).ok());
+    int session = serial.OpenSession("ref");
+    for (const auto& variant : serial.variant_names()) {
+      for (const auto& [shape, text] : mix) {
+        reference[{variant, text}] =
+            serial.Execute(session, variant, text).budget_rejected;
+      }
+    }
+  }
+  size_t ref_rejects = 0;
+  for (const auto& [key, rejected] : reference) ref_rejects += rejected;
+  ASSERT_GT(ref_rejects, 0u) << "budget too loose to exercise the gate";
+  ASSERT_LT(ref_rejects, reference.size()) << "budget rejects everything";
+
+  spark::SparkContext sc;
+  QueryServer::Options options = QuietOptions(8);
+  options.memory_budget_bytes = kBudget;
+  QueryServer server(&sc, options);
+  ASSERT_TRUE(server.AttachDataset(store).ok());
+  int session = server.OpenSession("load");
+  struct Pending {
+    std::string variant;
+    std::string text;
+    std::shared_ptr<QueryServer::Ticket> ticket;
+  };
+  std::vector<Pending> pending;
+  for (const auto& variant : server.variant_names()) {
+    for (const auto& [shape, text] : mix) {
+      pending.push_back({variant, text, server.Submit(session, variant, text)});
+    }
+  }
+  for (auto& p : pending) {
+    RequestResult result = p.ticket->Wait();
+    EXPECT_EQ(result.budget_rejected, reference.at({p.variant, p.text}))
+        << p.variant << " budget decision diverged on: " << p.text;
+    if (result.budget_rejected) {
+      EXPECT_TRUE(result.rejected);
+      EXPECT_FALSE(result.status.ok());
+    }
+  }
+  TenantStats stats = server.tenant_stats("load");
+  EXPECT_EQ(stats.submitted, pending.size());
+  EXPECT_EQ(stats.submitted, stats.completed + stats.rejected + stats.failed);
+  EXPECT_EQ(stats.budget_rejected, ref_rejects);
+  EXPECT_LE(stats.budget_rejected, stats.rejected);
+}
+
 }  // namespace
 }  // namespace rdfspark::serving

@@ -11,6 +11,8 @@
 //   $ ./serve_bench --variants=HAQWA,S2RDF,S2X
 //   $ ./serve_bench --warmup=5                       # warm/cold split
 //   $ ./serve_bench --threads=8 --telemetry-dir=/tmp/telemetry
+//   $ ./serve_bench --memory-budget=100000           # Tier D admission gate
+//   $ ./serve_bench --cache-bytes=500000             # plan-cache byte budget
 //
 // Closed loop: one driver thread per tenant keeps exactly one request in
 // flight (submit → wait → submit), the classic closed system model. Open
@@ -67,6 +69,8 @@ struct Config {
   double window_ms = 0;       // Telemetry window width (simulated ms).
   double audit_ms = 0;        // Slow-query latency threshold (simulated ms).
   double audit_err = 0;       // Cardinality-estimate error trigger factor.
+  uint64_t memory_budget = 0;  // Tier D admission budget in bytes (0 = env).
+  uint64_t cache_bytes = 0;    // Plan-cache byte budget (0 = entries only).
 };
 
 std::vector<std::string> SplitCsv(const std::string& s) {
@@ -119,6 +123,10 @@ bool ParseArgs(int argc, char** argv, Config* cfg) {
       cfg->audit_ms = std::atof(v);
     } else if (const char* v = value("--audit-err")) {
       cfg->audit_err = std::atof(v);
+    } else if (const char* v = value("--memory-budget")) {
+      cfg->memory_budget = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--cache-bytes")) {
+      cfg->cache_bytes = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -172,6 +180,9 @@ int main(int argc, char** argv) {
   if (cfg.audit_err > 0) {
     options.telemetry_options.audit.est_error_bound = cfg.audit_err;
   }
+  // The flag overrides the RDFSPARK_MEMORY_BUDGET default Options picked up.
+  if (cfg.memory_budget > 0) options.memory_budget_bytes = cfg.memory_budget;
+  if (cfg.cache_bytes > 0) options.plan_cache_byte_budget = cfg.cache_bytes;
   serving::QueryServer server(&sc, options);
   Status attached = server.AttachDataset(store);
   if (!attached.ok()) {
@@ -228,6 +239,9 @@ int main(int argc, char** argv) {
 
   std::vector<double> latencies_ms(schedule.size(), 0.0);
   std::vector<bool> succeeded(schedule.size(), false);
+  // Budget-gate rejections are an expected outcome when a budget is set
+  // (the bench reports them as their own column), not a workload failure.
+  std::vector<bool> budget_rejected(schedule.size(), false);
   auto bench_start = std::chrono::steady_clock::now();
 
   if (cfg.mode == "closed") {
@@ -242,6 +256,7 @@ int main(int argc, char** argv) {
               schedule[i].text);
           latencies_ms[i] = r.latency_ms;
           succeeded[i] = r.status.ok();
+          budget_rejected[i] = r.budget_rejected;
         }
       });
     }
@@ -265,6 +280,7 @@ int main(int argc, char** argv) {
       const serving::RequestResult& r = tickets[i]->Wait();
       latencies_ms[i] = r.latency_ms;
       succeeded[i] = r.status.ok();
+      budget_rejected[i] = r.budget_rejected;
     }
   }
 
@@ -274,9 +290,9 @@ int main(int argc, char** argv) {
 
   // Aggregate + per-tenant report.
   bench::BenchJson json("serving");
-  std::vector<int> widths = {10, 10, 10, 9, 9, 11, 11, 10};
-  bench::PrintRow({"tenant", "completed", "rejected", "failed", "rows",
-                   "p50_ms", "p99_ms", "hits"},
+  std::vector<int> widths = {10, 10, 10, 11, 9, 9, 11, 11, 10};
+  bench::PrintRow({"tenant", "completed", "rejected", "budget_rej", "failed",
+                   "rows", "p50_ms", "p99_ms", "hits"},
                   widths);
   bench::PrintRule(widths);
 
@@ -303,12 +319,16 @@ int main(int argc, char** argv) {
     double p99 = Percentile(mine, 0.99);
     total_ok += stats.completed;
     bench::PrintRow({name, bench::Fmt(stats.completed),
-                     bench::Fmt(stats.rejected), bench::Fmt(stats.failed),
+                     bench::Fmt(stats.rejected),
+                     bench::Fmt(stats.budget_rejected),
+                     bench::Fmt(stats.failed),
                      bench::Fmt(stats.rows_returned), bench::Fmt(p50),
                      bench::Fmt(p99), bench::Fmt(stats.cache_hits)},
                     widths);
     json.Add(name, "completed", static_cast<double>(stats.completed));
     json.Add(name, "rejected", static_cast<double>(stats.rejected));
+    json.Add(name, "budget_rejected",
+             static_cast<double>(stats.budget_rejected));
     json.Add(name, "failed", static_cast<double>(stats.failed));
     json.Add(name, "rows_returned",
              static_cast<double>(stats.rows_returned));
@@ -365,11 +385,22 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "plan cache: %llu hits, %llu misses, %llu bypasses "
-      "(hit rate %.0f%%), %llu resident\n",
+      "(hit rate %.0f%%), %llu resident (%lluB held, %lluB evicted)\n",
       static_cast<unsigned long long>(cache.hits),
       static_cast<unsigned long long>(cache.misses),
       static_cast<unsigned long long>(cache.bypasses), hit_rate * 100.0,
-      static_cast<unsigned long long>(cache.entries));
+      static_cast<unsigned long long>(cache.entries),
+      static_cast<unsigned long long>(cache.resident_bytes),
+      static_cast<unsigned long long>(cache.evicted_bytes));
+  uint64_t total_budget_rejects = 0;
+  for (size_t i = 0; i < budget_rejected.size(); ++i) {
+    if (budget_rejected[i]) ++total_budget_rejects;
+  }
+  if (total_budget_rejects > 0) {
+    std::printf("budget gate: %llu request(s) rejected over the envelope "
+                "budget\n",
+                static_cast<unsigned long long>(total_budget_rejects));
+  }
 
   if (obs::TelemetrySink* sink = server.telemetry()) {
     std::printf(
@@ -395,6 +426,10 @@ int main(int argc, char** argv) {
   json.Add("total", "cache_misses", static_cast<double>(cache.misses));
   json.Add("total", "cache_bypasses", static_cast<double>(cache.bypasses));
   json.Add("total", "cache_hit_rate", hit_rate);
+  json.Add("total", "cache_resident_bytes",
+           static_cast<double>(cache.resident_bytes));
+  json.Add("total", "budget_rejected",
+           static_cast<double>(total_budget_rejects));
   if (cfg.warmup > 0) {
     json.Add("total", "warm_requests", static_cast<double>(all.size()));
     json.Add("total", "cold_requests", static_cast<double>(all_cold.size()));
@@ -418,9 +453,11 @@ int main(int argc, char** argv) {
 
   // Exit non-zero if anything failed outright (rejections count as
   // failures here: the default workload contains only admissible queries).
+  // Budget-gate rejections are the exception — with --memory-budget set
+  // they are the measured behavior, not a failure.
   uint64_t bad = 0;
   for (size_t i = 0; i < succeeded.size(); ++i) {
-    if (!succeeded[i]) ++bad;
+    if (!succeeded[i] && !budget_rejected[i]) ++bad;
   }
   if (bad > 0) {
     std::fprintf(stderr, "serve_bench: %llu requests failed\n",
